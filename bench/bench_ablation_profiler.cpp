@@ -1,0 +1,54 @@
+// Ablation A3: profiler observation quality vs model accuracy.
+//
+// The CUDA profiler extrapolates counters from a sampled subset of SMs.
+// This ablation rebuilds the GTX 480 corpus under different sampling-error
+// levels and reports the fitted models' error — quantifying how much of the
+// paper's prediction error is attributable to counter observation noise
+// versus genuinely unmodeled behaviour.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+using namespace gppm;
+
+int main() {
+  bench::print_banner("Ablation A3",
+                      "Profiler SM-sampling error vs unified-model accuracy "
+                      "(GTX 480 corpus).");
+
+  AsciiTable table({"sampling sigma", "power R^2", "power err%", "perf R^2",
+                    "perf err%"});
+  bench::begin_csv("ablation_profiler");
+  CsvWriter csv(std::cout);
+  csv.row({"sigma", "power_r2", "power_err", "perf_r2", "perf_err"});
+
+  for (double sigma : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    core::DatasetOptions opt;
+    opt.seed = bench::kCampaignSeed;
+    opt.profiler_sampling_sigma = sigma;
+    const core::Dataset ds = core::build_dataset(sim::GpuModel::GTX480, opt);
+    const core::UnifiedModel power =
+        core::UnifiedModel::fit(ds, core::TargetKind::Power);
+    const core::UnifiedModel perf =
+        core::UnifiedModel::fit(ds, core::TargetKind::ExecTime);
+    const double power_err = core::evaluate(power, ds).mape();
+    const double perf_err = core::evaluate(perf, ds).mape();
+
+    table.add_row({format_double(sigma, 2), format_double(power.adjusted_r2(), 2),
+                   format_double(power_err, 1),
+                   format_double(perf.adjusted_r2(), 2),
+                   format_double(perf_err, 1)});
+    csv.row(format_double(sigma, 2),
+            {power.adjusted_r2(), power_err, perf.adjusted_r2(), perf_err}, 3);
+  }
+  table.print(std::cout);
+  bench::end_csv();
+  std::cout << "Expected: even a perfect profiler (sigma 0) leaves most of "
+               "the prediction error in\nplace — the error is dominated by "
+               "behaviour no counter observes, the paper's central\n"
+               "limitation of multiple linear regression.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Baseline B1: statistical unified model vs the Hong-&-Kim-style analytical
+// model (paper Section V).
+//
+// Two claims of the paper's related-work argument are measured:
+//   1. a per-board-calibrated analytical model is competitive on its own
+//      board (the diagonal of the transfer matrix), but
+//   2. its tuned parameters do not transfer across boards — even within a
+//      generation — while the statistical model simply refits from the new
+//      board's counters.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/analytical_model.hpp"
+
+using namespace gppm;
+
+namespace {
+
+double analytical_mape(const core::AnalyticalPerfModel& model,
+                       const core::Dataset& ds) {
+  double acc = 0;
+  std::size_t n = 0;
+  for (const core::Sample& s : ds.samples) {
+    for (const core::Measurement& m : s.runs) {
+      const double pred = model.predict_seconds(s.counters, m.pair);
+      const double actual = m.exec_time.as_seconds();
+      acc += std::abs(pred - actual) / actual * 100.0;
+      ++n;
+    }
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Baseline B1",
+                      "Statistical unified model vs Hong-&-Kim-style "
+                      "analytical model (per-board calibration and "
+                      "cross-board transfer).");
+
+  // Per-board comparison.
+  AsciiTable table({"GPU", "statistical err%", "analytical err% (own board)"});
+  std::vector<core::AnalyticalPerfModel> calibrated;
+  for (sim::GpuModel model : sim::kAllGpus) {
+    const bench::BoardModels& bm = bench::board_models(model);
+    calibrated.push_back(core::AnalyticalPerfModel::calibrate(bm.dataset));
+    table.add_row({sim::to_string(model),
+                   format_double(core::evaluate(bm.perf, bm.dataset).mape(), 1),
+                   format_double(analytical_mape(calibrated.back(), bm.dataset), 1)});
+  }
+  table.print(std::cout);
+
+  // Transfer matrix: calibrate on row board, evaluate on column board.
+  std::cout << "\nAnalytical-model transfer matrix (err%, calibrated on row, "
+               "evaluated on column):\n";
+  std::vector<std::string> header = {"calibrated on \\ evaluated on"};
+  for (sim::GpuModel m : sim::kAllGpus) header.push_back(sim::to_string(m));
+  AsciiTable transfer(header);
+
+  bench::begin_csv("baseline_analytical_transfer");
+  CsvWriter csv(std::cout);
+  csv.row({"calibrated_on", "gtx285", "gtx460", "gtx480", "gtx680"});
+
+  for (std::size_t src = 0; src < sim::kAllGpus.size(); ++src) {
+    std::vector<std::string> cells = {sim::to_string(sim::kAllGpus[src])};
+    std::vector<double> values;
+    for (std::size_t dst = 0; dst < sim::kAllGpus.size(); ++dst) {
+      const bench::BoardModels& bm = bench::board_models(sim::kAllGpus[dst]);
+      const core::AnalyticalPerfModel moved =
+          calibrated[src].transferred_to(sim::kAllGpus[dst]);
+      const double err = analytical_mape(moved, bm.dataset);
+      cells.push_back(format_double(err, 1));
+      values.push_back(err);
+    }
+    transfer.add_row(cells);
+    csv.row(sim::to_string(sim::kAllGpus[src]), values, 2);
+  }
+  transfer.print(std::cout);
+  bench::end_csv();
+
+  std::cout << "Expected: the diagonal (own-board calibration) is competitive "
+               "with the statistical\nmodel; off-diagonal transfer degrades "
+               "badly — the paper's portability argument.\n";
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Fig. 10: impact of GPU clocks on the performance model —
+// same comparison as Fig. 9 for the execution-time model.
+#include "per_pair_boxes.hpp"
+
+int main() {
+  gppm::bench::run_per_pair_boxes("Fig. 10", gppm::core::TargetKind::ExecTime);
+  return 0;
+}

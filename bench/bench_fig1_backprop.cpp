@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 1: performance and power efficiency of Backprop —
+// the compute-intensive showcase.  Expected shape: performance flat across
+// memory levels, efficiency maximized at (H-L) on Tesla/Fermi and (M-L) on
+// Kepler with gains near 13/39/40/75%.
+#include "figure_sweep.hpp"
+
+int main() {
+  gppm::bench::run_figure_sweep("Fig. 1", "backprop");
+  return 0;
+}

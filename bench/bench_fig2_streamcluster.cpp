@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 2: performance and power efficiency of
+// Streamcluster — the most memory-intensive workload.  Expected shape:
+// performance tracks the memory clock; at Mem-H it still rises with the
+// core clock; on the GTX 680, (M-H) improves efficiency a few percent at
+// a high-single-digit performance loss.
+#include "figure_sweep.hpp"
+
+int main() {
+  gppm::bench::run_figure_sweep("Fig. 2", "streamcluster");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces paper Fig. 3: performance and power efficiency of Gaussian —
+// the mixed workload whose boundedness flips between operating points and
+// between the two same-generation Fermi boards.
+#include "figure_sweep.hpp"
+
+int main() {
+  gppm::bench::run_figure_sweep("Fig. 3", "gaussian");
+  return 0;
+}

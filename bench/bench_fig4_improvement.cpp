@@ -1,0 +1,46 @@
+// Reproduces paper Fig. 4: power-efficiency improvement of the best pair
+// over the default (H-H), per benchmark and board.  Paper averages:
+// 0.8% / 12.3% / 12.1% / 24.4% for GTX 285/460/480/680.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "core/characterization.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace gppm;
+
+int main() {
+  bench::print_banner("Fig. 4",
+                      "Power efficiency improvement with the best "
+                      "configuration over (H-H), per benchmark.");
+
+  const auto rows = core::characterize_suite(bench::kCampaignSeed);
+
+  for (std::size_t g = 0; g < sim::kAllGpus.size(); ++g) {
+    BarChart chart(sim::to_string(sim::kAllGpus[g]) +
+                   " — efficiency improvement (%)");
+    std::vector<double> improvements;
+    for (const core::BestPairRow& row : rows) {
+      chart.add_bar(row.benchmark, row.improvement[g]);
+      improvements.push_back(row.improvement[g]);
+    }
+    chart.print(std::cout, 40);
+    std::cout << "average: " << format_double(stats::mean(improvements), 1)
+              << "%  (paper: "
+              << std::vector<const char*>{"0.8", "12.3", "12.1", "24.4"}[g]
+              << "%),  max: " << format_double(stats::max_of(improvements), 1)
+              << "%\n\n";
+  }
+
+  bench::begin_csv("fig4_improvement");
+  CsvWriter csv(std::cout);
+  csv.row({"benchmark", "gtx285", "gtx460", "gtx480", "gtx680"});
+  for (const core::BestPairRow& row : rows) {
+    csv.row(row.benchmark, row.improvement, 2);
+  }
+  bench::end_csv();
+  return 0;
+}

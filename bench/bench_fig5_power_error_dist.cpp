@@ -1,0 +1,8 @@
+// Reproduces paper Fig. 5: errors in prediction of the power model, by
+// distribution over all benchmarks.
+#include "error_distribution.hpp"
+
+int main() {
+  gppm::bench::run_error_distribution("Fig. 5", gppm::core::TargetKind::Power);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces paper Fig. 6: errors in prediction of the performance model,
+// by distribution over all benchmarks.
+#include "error_distribution.hpp"
+
+int main() {
+  gppm::bench::run_error_distribution("Fig. 6",
+                                      gppm::core::TargetKind::ExecTime);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Fig. 7: impact of the number of explanatory variables on
+// the power model.  Expected: little improvement beyond ~10 variables.
+#include "nvars_sweep.hpp"
+
+int main() {
+  gppm::bench::run_nvars_sweep("Fig. 7", gppm::core::TargetKind::Power);
+  return 0;
+}

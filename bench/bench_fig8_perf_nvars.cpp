@@ -1,0 +1,8 @@
+// Reproduces paper Fig. 8: impact of the number of explanatory variables on
+// the performance model.  Expected: little improvement beyond ~10 variables.
+#include "nvars_sweep.hpp"
+
+int main() {
+  gppm::bench::run_nvars_sweep("Fig. 8", gppm::core::TargetKind::ExecTime);
+  return 0;
+}

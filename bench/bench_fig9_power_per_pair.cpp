@@ -1,0 +1,9 @@
+// Reproduces paper Fig. 9: impact of GPU clocks on the power model — the
+// unified model's error distribution should sit close to the per-pair
+// specialists despite covering all operating points with one model.
+#include "per_pair_boxes.hpp"
+
+int main() {
+  gppm::bench::run_per_pair_boxes("Fig. 9", gppm::core::TargetKind::Power);
+  return 0;
+}

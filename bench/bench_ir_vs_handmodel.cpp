@@ -1,0 +1,101 @@
+// Validation V2: traced IR kernels vs hand-parameterized workload models.
+//
+// The workload library's profiles are hand-derived from algorithm
+// structure; the kernel IR derives the same coefficients by executing the
+// algorithm and *measuring* its address streams.  For the four algorithms
+// present in both forms, this bench compares the derived coefficients and
+// the end-to-end simulated behaviour (boundedness and Mem-L sensitivity on
+// the reference board).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "gpusim/timing.hpp"
+#include "kernelir/programs.hpp"
+#include "kernelir/trace.hpp"
+#include "workload/suite.hpp"
+
+using namespace gppm;
+
+namespace {
+
+struct Row {
+  std::string algorithm;
+  sim::KernelProfile traced;
+  sim::KernelProfile hand;
+};
+
+double mem_l_slowdown(const sim::KernelProfile& k) {
+  const sim::DeviceSpec& spec = sim::device_spec(sim::GpuModel::GTX480);
+  const double hh =
+      sim::compute_kernel_timing(spec, k, sim::kDefaultPair).kernel_time.as_seconds();
+  const double hl = sim::compute_kernel_timing(
+                        spec, k, {sim::ClockLevel::High, sim::ClockLevel::Low})
+                        .kernel_time.as_seconds();
+  return hl / hh;
+}
+
+std::string boundedness(const sim::KernelProfile& k) {
+  const sim::DeviceSpec& spec = sim::device_spec(sim::GpuModel::GTX480);
+  const auto t = sim::compute_kernel_timing(spec, k, sim::kDefaultPair);
+  return t.compute_time.as_seconds() > t.memory_time.as_seconds() ? "compute"
+                                                                  : "memory";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Validation V2",
+                      "Traced IR kernels vs hand-parameterized workload "
+                      "models: measured coefficients and end-to-end "
+                      "behaviour on the GTX 480.");
+
+  std::vector<Row> rows;
+  rows.push_back({"vector add", ir::derive_profile(ir::vector_add(1 << 22)),
+                  workload::find_benchmark("MAdd").max_profile().kernels[0]});
+  rows.push_back({"tiled matmul",
+                  ir::derive_profile(ir::matrix_mul_tiled(1024)),
+                  workload::find_benchmark("MMul").max_profile().kernels[0]});
+  rows.push_back({"transpose", ir::derive_profile(ir::transpose_naive(2048)),
+                  workload::find_benchmark("MTranspose").max_profile().kernels[0]});
+  rows.push_back({"stencil", ir::derive_profile(ir::stencil5(1 << 20, 8)),
+                  workload::find_benchmark("stencil").max_profile().kernels[0]});
+
+  AsciiTable table({"algorithm", "source", "coalescing", "locality",
+                    "bank", "boundedness", "Mem-L slowdown"});
+  bench::begin_csv("ir_vs_handmodel");
+  CsvWriter csv(std::cout);
+  csv.row({"algorithm", "source", "coalescing", "locality", "bank_conflict",
+           "boundedness", "mem_l_slowdown"});
+
+  for (const Row& row : rows) {
+    for (const auto& [label, profile] :
+         {std::pair<const char*, const sim::KernelProfile*>{"traced",
+                                                            &row.traced},
+          {"hand", &row.hand}}) {
+      table.add_row({row.algorithm, label, format_double(profile->coalescing, 2),
+                     format_double(profile->locality, 2),
+                     format_double(profile->bank_conflict, 2),
+                     boundedness(*profile),
+                     format_double(mem_l_slowdown(*profile), 2)});
+      csv.row({row.algorithm, label, format_double(profile->coalescing, 3),
+               format_double(profile->locality, 3),
+               format_double(profile->bank_conflict, 3), boundedness(*profile),
+               format_double(mem_l_slowdown(*profile), 3)});
+    }
+  }
+  table.print(std::cout);
+  bench::end_csv();
+  std::cout
+      << "Expected: each traced/hand pair agrees on boundedness at (H-H), and "
+         "the streaming,\ntranspose and stencil rows agree on Mem-L "
+         "sensitivity.  Known gap: the traced matmul\nis a plain shared-tiled "
+         "kernel (arithmetic intensity 2 FLOPs per tile byte per k-step),\n"
+         "while the hand MMul/sgemm profiles model register-blocked kernels "
+         "with ~4x higher\nintensity — hence the traced version turns "
+         "memory-bound at Mem-L where the hand\nmodel stays compute-bound.  "
+         "Tracing makes such modeling assumptions visible.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Library micro-benchmarks (google-benchmark): throughput of the hot paths
+// a user of the library exercises — kernel timing evaluation, full run
+// simulation, measurement, regression fitting and forward selection.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/dataset.hpp"
+#include "core/runner.hpp"
+#include "core/unified_model.hpp"
+#include "gpusim/engine.hpp"
+#include "linalg/lstsq.hpp"
+#include "stats/forward_selection.hpp"
+#include "workload/suite.hpp"
+
+using namespace gppm;
+
+namespace {
+
+const workload::BenchmarkDef& bench_def() {
+  return workload::find_benchmark("hotspot");
+}
+
+void BM_KernelTiming(benchmark::State& state) {
+  const sim::DeviceSpec& spec = sim::device_spec(sim::GpuModel::GTX480);
+  const sim::RunProfile profile = bench_def().profile(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compute_kernel_timing(
+        spec, profile.kernels.front(), sim::kDefaultPair));
+  }
+}
+BENCHMARK(BM_KernelTiming);
+
+void BM_FullRunSimulation(benchmark::State& state) {
+  sim::Gpu gpu(sim::GpuModel::GTX680);
+  const sim::RunProfile profile = bench_def().profile(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpu.run(profile));
+  }
+}
+BENCHMARK(BM_FullRunSimulation);
+
+void BM_MeasuredRun(benchmark::State& state) {
+  core::MeasurementRunner runner(sim::GpuModel::GTX680);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runner.measure(bench_def(), 0, sim::kDefaultPair));
+  }
+}
+BENCHMARK(BM_MeasuredRun);
+
+void BM_Lstsq(benchmark::State& state) {
+  const std::size_t rows = state.range(0);
+  Rng rng(3);
+  linalg::Matrix a(rows, 11);
+  linalg::Vector b(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < 11; ++j) a(i, j) = rng.normal();
+    b[i] = rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::lstsq(a, b));
+  }
+}
+BENCHMARK(BM_Lstsq)->Arg(114)->Arg(798);
+
+void BM_ForwardSelection(benchmark::State& state) {
+  const std::size_t candidates = state.range(0);
+  Rng rng(7);
+  linalg::Matrix x(200, candidates);
+  linalg::Vector y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < candidates; ++j) x(i, j) = rng.normal();
+    y[i] = 2 * x(i, 0) - x(i, 1) + rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::forward_select(x, y));
+  }
+}
+BENCHMARK(BM_ForwardSelection)->Arg(32)->Arg(74)->Arg(108);
+
+void BM_DatasetBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_dataset(sim::GpuModel::GTX460));
+  }
+}
+BENCHMARK(BM_DatasetBuild)->Unit(benchmark::kMillisecond);
+
+void BM_UnifiedModelFit(benchmark::State& state) {
+  static const core::Dataset ds = core::build_dataset(sim::GpuModel::GTX460);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::UnifiedModel::fit(ds, core::TargetKind::Power));
+  }
+}
+BENCHMARK(BM_UnifiedModelFit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

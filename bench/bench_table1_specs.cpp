@@ -1,0 +1,56 @@
+// Reproduces paper TABLE I: specifications of the NVIDIA GPUs.
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "gpusim/device_spec.hpp"
+
+using namespace gppm;
+
+int main() {
+  bench::print_banner("TABLE I", "Specifications of the NVIDIA GPUs.");
+
+  AsciiTable table({"GPU", "Architecture", "# cores", "Peak GFLOPS",
+                    "BW (GB/s)", "TDP (W)", "Core MHz (L/M/H)",
+                    "Mem MHz (L/M/H)"});
+  auto freqs = [](const sim::ClockDomainSpec& dom) {
+    std::vector<std::string> parts;
+    for (const sim::ClockStep& s : dom.steps) {
+      parts.push_back(format_double(s.frequency.as_mhz(), 0));
+    }
+    return join(parts, ", ");
+  };
+  for (sim::GpuModel m : sim::kAllGpus) {
+    const sim::DeviceSpec& spec = sim::device_spec(m);
+    table.add_row({sim::to_string(m), sim::to_string(spec.architecture),
+                   std::to_string(spec.cuda_cores),
+                   format_double(spec.peak_gflops, 0),
+                   format_double(spec.mem_bandwidth_gbps, 1),
+                   format_double(spec.tdp.as_watts(), 0),
+                   freqs(spec.core_clock), freqs(spec.mem_clock)});
+  }
+  table.print(std::cout);
+
+  bench::begin_csv("table1_specs");
+  CsvWriter csv(std::cout);
+  csv.row({"gpu", "architecture", "cores", "peak_gflops", "bandwidth_gbps",
+           "tdp_w", "core_mhz_l", "core_mhz_m", "core_mhz_h", "mem_mhz_l",
+           "mem_mhz_m", "mem_mhz_h", "counters"});
+  for (sim::GpuModel m : sim::kAllGpus) {
+    const sim::DeviceSpec& spec = sim::device_spec(m);
+    csv.row({sim::to_string(m), sim::to_string(spec.architecture),
+             std::to_string(spec.cuda_cores),
+             format_double(spec.peak_gflops, 0),
+             format_double(spec.mem_bandwidth_gbps, 1),
+             format_double(spec.tdp.as_watts(), 0),
+             format_double(spec.core_clock.steps[0].frequency.as_mhz(), 0),
+             format_double(spec.core_clock.steps[1].frequency.as_mhz(), 0),
+             format_double(spec.core_clock.steps[2].frequency.as_mhz(), 0),
+             format_double(spec.mem_clock.steps[0].frequency.as_mhz(), 0),
+             format_double(spec.mem_clock.steps[1].frequency.as_mhz(), 0),
+             format_double(spec.mem_clock.steps[2].frequency.as_mhz(), 0),
+             std::to_string(spec.performance_counter_count)});
+  }
+  bench::end_csv();
+  return 0;
+}

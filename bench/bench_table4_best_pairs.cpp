@@ -1,0 +1,60 @@
+// Reproduces paper TABLE IV: the best frequency pairs for power efficiency,
+// per benchmark and board, at the maximum input size.  Non-default pairs
+// are marked with '*' (the paper bolds them).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/characterization.hpp"
+#include "workload/suite.hpp"
+
+using namespace gppm;
+
+int main() {
+  bench::print_banner("TABLE IV",
+                      "The best frequency pairs for power efficiency "
+                      "(* marks non-default pairs; paper bolds these).");
+
+  const auto rows = core::characterize_suite(bench::kCampaignSeed);
+
+  std::vector<std::string> header = {"Suite", "Benchmark"};
+  for (sim::GpuModel m : sim::kAllGpus) header.push_back(sim::to_string(m));
+  AsciiTable table(header);
+
+  const auto& suite = workload::benchmark_suite();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::string> cells = {workload::to_string(suite[i].suite),
+                                      rows[i].benchmark};
+    for (std::size_t g = 0; g < sim::kAllGpus.size(); ++g) {
+      std::string cell = sim::to_string(rows[i].best[g]);
+      if (!(rows[i].best[g] == sim::kDefaultPair)) cell += " *";
+      cells.push_back(cell);
+    }
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+
+  // Diversity summary (the paper's "becomes more diverse as the generation
+  // proceeds" observation).
+  std::cout << "\nNon-default best pairs per board:\n";
+  for (std::size_t g = 0; g < sim::kAllGpus.size(); ++g) {
+    int n = 0;
+    for (const core::BestPairRow& row : rows) {
+      if (!(row.best[g] == sim::kDefaultPair)) ++n;
+    }
+    std::cout << "  " << sim::to_string(sim::kAllGpus[g]) << ": " << n << "/"
+              << rows.size() << "\n";
+  }
+
+  bench::begin_csv("table4_best_pairs");
+  CsvWriter csv(std::cout);
+  csv.row({"benchmark", "gtx285", "gtx460", "gtx480", "gtx680"});
+  for (const core::BestPairRow& row : rows) {
+    csv.row({row.benchmark, sim::to_string(row.best[0]),
+             sim::to_string(row.best[1]), sim::to_string(row.best[2]),
+             sim::to_string(row.best[3])});
+  }
+  bench::end_csv();
+  return 0;
+}

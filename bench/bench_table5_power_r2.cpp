@@ -1,0 +1,33 @@
+// Reproduces paper TABLE V: adjusted R^2 of the unified power model.
+// Paper values: 0.30 / 0.59 / 0.70 / 0.18.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+using namespace gppm;
+
+int main() {
+  bench::print_banner("TABLE V", "Adjusted R^2 of the power model (Eq. 1).");
+
+  AsciiTable table({"GTX 285", "GTX 460", "GTX 480", "GTX 680"});
+  std::vector<std::string> cells;
+  std::vector<double> values;
+  for (sim::GpuModel m : sim::kAllGpus) {
+    const double r2 = bench::board_models(m).power.adjusted_r2();
+    cells.push_back(format_double(r2, 2));
+    values.push_back(r2);
+  }
+  table.add_row(cells);
+  table.print(std::cout);
+  std::cout << "paper: 0.30 / 0.59 / 0.70 / 0.18\n";
+
+  bench::begin_csv("table5_power_r2");
+  CsvWriter csv(std::cout);
+  csv.row({"gtx285", "gtx460", "gtx480", "gtx680"});
+  csv.row("", values, 4);
+  bench::end_csv();
+  return 0;
+}

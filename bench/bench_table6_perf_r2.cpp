@@ -1,0 +1,34 @@
+// Reproduces paper TABLE VI: adjusted R^2 of the performance model.
+// Paper values: 0.91 / 0.90 / 0.94 / 0.91.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+using namespace gppm;
+
+int main() {
+  bench::print_banner("TABLE VI",
+                      "Adjusted R^2 of the performance model (Eq. 2).");
+
+  AsciiTable table({"GTX 285", "GTX 460", "GTX 480", "GTX 680"});
+  std::vector<std::string> cells;
+  std::vector<double> values;
+  for (sim::GpuModel m : sim::kAllGpus) {
+    const double r2 = bench::board_models(m).perf.adjusted_r2();
+    cells.push_back(format_double(r2, 2));
+    values.push_back(r2);
+  }
+  table.add_row(cells);
+  table.print(std::cout);
+  std::cout << "paper: 0.91 / 0.90 / 0.94 / 0.91\n";
+
+  bench::begin_csv("table6_perf_r2");
+  CsvWriter csv(std::cout);
+  csv.row({"gtx285", "gtx460", "gtx480", "gtx680"});
+  csv.row("", values, 4);
+  bench::end_csv();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces paper TABLE VII: average prediction error of the power model,
+// in percent and in watts.  Paper: 15.0/14.0/18.2/23.5 % and
+// 20.1/15.2/24.4/23.7 W.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+using namespace gppm;
+
+int main() {
+  bench::print_banner("TABLE VII",
+                      "Average prediction error of the power model.");
+
+  AsciiTable table({"", "GTX 285", "GTX 460", "GTX 480", "GTX 680"});
+  std::vector<std::string> pct = {"Error[%]"}, watts = {"Error[W]"};
+  std::vector<double> pct_v, watts_v;
+  for (sim::GpuModel m : sim::kAllGpus) {
+    const bench::BoardModels& bm = bench::board_models(m);
+    const core::Evaluation eval = core::evaluate(bm.power, bm.dataset);
+    pct.push_back(format_double(eval.mape(), 1));
+    watts.push_back(format_double(eval.mean_abs_error(), 1));
+    pct_v.push_back(eval.mape());
+    watts_v.push_back(eval.mean_abs_error());
+  }
+  table.add_row(pct);
+  table.add_row(watts);
+  table.print(std::cout);
+  std::cout << "paper: 15.0/14.0/18.2/23.5 %  and  20.1/15.2/24.4/23.7 W\n";
+
+  bench::begin_csv("table7_power_error");
+  CsvWriter csv(std::cout);
+  csv.row({"metric", "gtx285", "gtx460", "gtx480", "gtx680"});
+  csv.row("error_pct", pct_v, 2);
+  csv.row("error_w", watts_v, 2);
+  bench::end_csv();
+  return 0;
+}

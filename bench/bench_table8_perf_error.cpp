@@ -1,0 +1,35 @@
+// Reproduces paper TABLE VIII: average prediction error of the performance
+// model.  Paper: 67.9 / 47.6 / 39.3 / 33.5 %, decreasing with generation.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+using namespace gppm;
+
+int main() {
+  bench::print_banner("TABLE VIII",
+                      "Average prediction error of the performance model.");
+
+  AsciiTable table({"", "GTX 285", "GTX 460", "GTX 480", "GTX 680"});
+  std::vector<std::string> pct = {"Error[%]"};
+  std::vector<double> pct_v;
+  for (sim::GpuModel m : sim::kAllGpus) {
+    const bench::BoardModels& bm = bench::board_models(m);
+    const core::Evaluation eval = core::evaluate(bm.perf, bm.dataset);
+    pct.push_back(format_double(eval.mape(), 1));
+    pct_v.push_back(eval.mape());
+  }
+  table.add_row(pct);
+  table.print(std::cout);
+  std::cout << "paper: 67.9 / 47.6 / 39.3 / 33.5 %\n";
+
+  bench::begin_csv("table8_perf_error");
+  CsvWriter csv(std::cout);
+  csv.row({"gtx285", "gtx460", "gtx480", "gtx680"});
+  csv.row("", pct_v, 2);
+  bench::end_csv();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper: it
+// prints a banner identifying the artifact, the reproduced table/figure in
+// ASCII, and a machine-readable CSV block (between BEGIN-CSV / END-CSV
+// markers) for external plotting.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/dataset.hpp"
+#include "core/evaluation.hpp"
+#include "core/unified_model.hpp"
+
+namespace gppm::bench {
+
+/// Seed shared by all benches so every artifact comes from the same
+/// simulated campaign.
+constexpr std::uint64_t kCampaignSeed = 42;
+
+inline void print_banner(const std::string& artifact,
+                         const std::string& description) {
+  std::cout << "==============================================================\n"
+            << "gppm reproduction | " << artifact << "\n"
+            << description << "\n"
+            << "==============================================================\n";
+}
+
+inline void begin_csv(const std::string& name) {
+  std::cout << "BEGIN-CSV " << name << "\n";
+}
+
+inline void end_csv() { std::cout << "END-CSV\n"; }
+
+/// Fitted models + corpus for one board, built once per process.
+struct BoardModels {
+  core::Dataset dataset;
+  core::UnifiedModel power;
+  core::UnifiedModel perf;
+};
+
+inline const BoardModels& board_models(sim::GpuModel model,
+                                       std::size_t max_variables = 10) {
+  static std::map<std::pair<sim::GpuModel, std::size_t>, BoardModels> cache;
+  const auto key = std::make_pair(model, max_variables);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::DatasetOptions opt;
+    opt.seed = kCampaignSeed;
+    core::Dataset ds = core::build_dataset(model, opt);
+    core::ModelOptions mopt;
+    mopt.max_variables = max_variables;
+    core::UnifiedModel power =
+        core::UnifiedModel::fit(ds, core::TargetKind::Power, mopt);
+    core::UnifiedModel perf =
+        core::UnifiedModel::fit(ds, core::TargetKind::ExecTime, mopt);
+    it = cache.emplace(key, BoardModels{std::move(ds), std::move(power),
+                                        std::move(perf)})
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace gppm::bench

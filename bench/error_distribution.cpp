@@ -1,0 +1,76 @@
+#include "error_distribution.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+
+namespace gppm::bench {
+
+void run_error_distribution(const std::string& figure_id,
+                            core::TargetKind target) {
+  const std::string what =
+      target == core::TargetKind::Power ? "power" : "performance";
+  print_banner(figure_id, "Errors in prediction of the " + what +
+                              " model, by distribution over all benchmarks "
+                              "(sorted independently per board).");
+
+  begin_csv("error_distribution_" + what);
+  CsvWriter csv(std::cout);
+  csv.row({"gpu", "rank", "benchmark", "mean_abs_pct_error"});
+
+  for (sim::GpuModel model : sim::kAllGpus) {
+    const BoardModels& bm = board_models(model);
+    const core::UnifiedModel& m =
+        target == core::TargetKind::Power ? bm.power : bm.perf;
+    const core::Evaluation eval = core::evaluate(m, bm.dataset);
+    auto per_bench = core::per_benchmark_errors(eval, bm.dataset);
+    std::sort(per_bench.begin(), per_bench.end(),
+              [](const core::BenchmarkError& a, const core::BenchmarkError& b) {
+                return a.mean_abs_percent_error < b.mean_abs_percent_error;
+              });
+    for (std::size_t i = 0; i < per_bench.size(); ++i) {
+      csv.row({sim::to_string(model), std::to_string(i),
+               per_bench[i].benchmark,
+               format_double(per_bench[i].mean_abs_percent_error, 2)});
+    }
+  }
+  end_csv();
+
+  for (sim::GpuModel model : sim::kAllGpus) {
+    const BoardModels& bm = board_models(model);
+    const core::UnifiedModel& m =
+        target == core::TargetKind::Power ? bm.power : bm.perf;
+    const core::Evaluation eval = core::evaluate(m, bm.dataset);
+    auto per_bench = core::per_benchmark_errors(eval, bm.dataset);
+    std::sort(per_bench.begin(), per_bench.end(),
+              [](const core::BenchmarkError& a, const core::BenchmarkError& b) {
+                return a.mean_abs_percent_error < b.mean_abs_percent_error;
+              });
+
+    LineChart chart(sim::to_string(model) + " — " + what +
+                        " prediction error by benchmark rank",
+                    "benchmark (sorted by error)", "mean |error| (%)");
+    Series s;
+    s.label = "per-benchmark mean |error|";
+    for (std::size_t i = 0; i < per_bench.size(); ++i) {
+      s.x.push_back(static_cast<double>(i));
+      s.y.push_back(per_bench[i].mean_abs_percent_error);
+    }
+    chart.add_series(std::move(s));
+    chart.print(std::cout, 56, 12);
+
+    std::size_t under20 = 0;
+    for (const core::BenchmarkError& b : per_bench) {
+      if (b.mean_abs_percent_error < 20.0) ++under20;
+    }
+    std::cout << "overall mean |error| " << format_double(eval.mape(), 1)
+              << "%, benchmarks under 20%: " << under20 << "/"
+              << per_bench.size() << "\n\n";
+  }
+}
+
+}  // namespace gppm::bench

@@ -1,0 +1,16 @@
+// Shared driver for Figs. 5/6: per-benchmark prediction-error
+// distributions, sorted independently per board as the paper plots them.
+#pragma once
+
+#include <string>
+
+#include "core/features.hpp"
+
+namespace gppm::bench {
+
+/// Render the figure for one target kind ("Fig. 5" = Power,
+/// "Fig. 6" = ExecTime).
+void run_error_distribution(const std::string& figure_id,
+                            core::TargetKind target);
+
+}  // namespace gppm::bench

@@ -1,0 +1,92 @@
+#include "figure_sweep.hpp"
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/characterization.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::bench {
+
+void run_figure_sweep(const std::string& figure_id,
+                      const std::string& benchmark_name) {
+  print_banner(figure_id, "Performance and power efficiency of " +
+                              benchmark_name +
+                              " (relative to (H-H); x-axis: core MHz, one "
+                              "series per memory level).");
+
+  const workload::BenchmarkDef& def = workload::find_benchmark(benchmark_name);
+
+  begin_csv("sweep_" + benchmark_name);
+  CsvWriter csv(std::cout);
+  csv.row({"gpu", "pair", "core_mhz", "mem_mhz", "exec_time_s", "power_w",
+           "energy_j", "rel_performance", "rel_efficiency"});
+
+  struct PanelData {
+    core::Sweep sweep;
+  };
+  std::vector<PanelData> panels;
+
+  for (sim::GpuModel model : sim::kAllGpus) {
+    core::RunnerOptions opt;
+    opt.seed = kCampaignSeed;
+    core::MeasurementRunner runner(model, opt);
+    core::Sweep sweep = core::sweep_pairs(runner, def, def.size_count - 1);
+
+    const sim::DeviceSpec& spec = sim::device_spec(model);
+    for (const core::PairResult& r : sweep.results) {
+      csv.row({sim::to_string(model), sim::to_string(r.measurement.pair),
+               format_double(spec.core_clock.at(r.measurement.pair.core)
+                                 .frequency.as_mhz(), 0),
+               format_double(spec.mem_clock.at(r.measurement.pair.mem)
+                                 .frequency.as_mhz(), 0),
+               format_double(r.measurement.exec_time.as_seconds(), 4),
+               format_double(r.measurement.avg_power.as_watts(), 2),
+               format_double(r.measurement.energy.as_joules(), 2),
+               format_double(r.relative_performance, 4),
+               format_double(r.relative_efficiency, 4)});
+    }
+    panels.push_back({std::move(sweep)});
+  }
+  end_csv();
+
+  for (std::size_t g = 0; g < sim::kAllGpus.size(); ++g) {
+    const sim::GpuModel model = sim::kAllGpus[g];
+    const sim::DeviceSpec& spec = sim::device_spec(model);
+    const core::Sweep& sweep = panels[g].sweep;
+
+    for (const char* metric : {"performance", "power efficiency"}) {
+      LineChart chart(sim::to_string(model) + " — relative " + metric,
+                      "core frequency (MHz)", std::string("relative ") + metric);
+      for (sim::ClockLevel mem : {sim::ClockLevel::High, sim::ClockLevel::Medium,
+                                  sim::ClockLevel::Low}) {
+        Series s;
+        s.label = "Mem-" + sim::to_string(mem);
+        for (const core::PairResult& r : sweep.results) {
+          if (r.measurement.pair.mem != mem) continue;
+          s.x.push_back(
+              spec.core_clock.at(r.measurement.pair.core).frequency.as_mhz());
+          s.y.push_back(metric == std::string("performance")
+                            ? r.relative_performance
+                            : r.relative_efficiency);
+        }
+        if (!s.x.empty()) chart.add_series(std::move(s));
+      }
+      chart.print(std::cout, 56, 14);
+      std::cout << "\n";
+    }
+
+    std::cout << sim::to_string(model) << ": best pair "
+              << sim::to_string(sweep.best_pair()) << ", efficiency +"
+              << format_double(sweep.improvement_percent(), 1)
+              << "% over (H-H), performance -"
+              << format_double(sweep.performance_loss_percent(), 1) << "%\n\n";
+  }
+}
+
+}  // namespace gppm::bench

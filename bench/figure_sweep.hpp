@@ -1,0 +1,16 @@
+// Shared driver for the Figs. 1-3 per-benchmark characterization figures:
+// performance and power efficiency versus the core frequency, one series
+// per memory frequency, one panel per board.
+#pragma once
+
+#include <string>
+
+namespace gppm::bench {
+
+/// Render the full figure (4 boards x 2 panels) for a benchmark at its
+/// maximum input size, plus the underlying CSV.  `figure_id` is e.g.
+/// "Fig. 1".
+void run_figure_sweep(const std::string& figure_id,
+                      const std::string& benchmark_name);
+
+}  // namespace gppm::bench

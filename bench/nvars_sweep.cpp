@@ -1,0 +1,61 @@
+#include "nvars_sweep.hpp"
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+namespace gppm::bench {
+
+void run_nvars_sweep(const std::string& figure_id, core::TargetKind target) {
+  const std::string what =
+      target == core::TargetKind::Power ? "power" : "performance";
+  print_banner(figure_id, "Impact of the number of explanatory variables on "
+                          "the " + what + " model (paper sweeps 5-20).");
+
+  const std::vector<std::size_t> var_counts = {5, 10, 15, 20};
+
+  AsciiTable table({"#vars", "GTX 285 err%", "GTX 460 err%", "GTX 480 err%",
+                    "GTX 680 err%"});
+  std::vector<std::vector<double>> errs(var_counts.size());
+
+  for (std::size_t vi = 0; vi < var_counts.size(); ++vi) {
+    std::vector<std::string> row = {std::to_string(var_counts[vi])};
+    for (sim::GpuModel model : sim::kAllGpus) {
+      const BoardModels& bm = board_models(model, var_counts[vi]);
+      const core::UnifiedModel& m =
+          target == core::TargetKind::Power ? bm.power : bm.perf;
+      const double err = core::evaluate(m, bm.dataset).mape();
+      row.push_back(format_double(err, 1));
+      errs[vi].push_back(err);
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  LineChart chart("mean |error| (%) vs number of explanatory variables",
+                  "#variables", "mean |error| (%)");
+  for (std::size_t g = 0; g < sim::kAllGpus.size(); ++g) {
+    Series s;
+    s.label = sim::to_string(sim::kAllGpus[g]);
+    for (std::size_t vi = 0; vi < var_counts.size(); ++vi) {
+      s.x.push_back(static_cast<double>(var_counts[vi]));
+      s.y.push_back(errs[vi][g]);
+    }
+    chart.add_series(std::move(s));
+  }
+  chart.print(std::cout, 56, 14);
+
+  begin_csv("nvars_" + what);
+  CsvWriter csv(std::cout);
+  csv.row({"nvars", "gtx285", "gtx460", "gtx480", "gtx680"});
+  for (std::size_t vi = 0; vi < var_counts.size(); ++vi) {
+    csv.row(std::to_string(var_counts[vi]), errs[vi], 2);
+  }
+  end_csv();
+}
+
+}  // namespace gppm::bench

@@ -1,0 +1,13 @@
+// Shared driver for Figs. 7/8: model accuracy versus the number of
+// explanatory variables (the paper sweeps 5 to 20 and settles on 10).
+#pragma once
+
+#include <string>
+
+#include "core/features.hpp"
+
+namespace gppm::bench {
+
+void run_nvars_sweep(const std::string& figure_id, core::TargetKind target);
+
+}  // namespace gppm::bench

@@ -1,0 +1,63 @@
+#include "per_pair_boxes.hpp"
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "dvfs/combos.hpp"
+
+namespace gppm::bench {
+
+void run_per_pair_boxes(const std::string& figure_id, core::TargetKind target) {
+  const std::string what =
+      target == core::TargetKind::Power ? "power" : "performance";
+  print_banner(figure_id,
+               "Impact of GPU clocks on the " + what +
+                   " model: per-pair baseline models (each trained and "
+                   "scored on one operating point) vs the unified model.");
+
+  begin_csv("per_pair_" + what);
+  CsvWriter csv(std::cout);
+  csv.row({"gpu", "model", "whisker_lo", "q1", "median", "q3", "whisker_hi",
+           "mean_abs_pct_error"});
+
+  for (sim::GpuModel model : sim::kAllGpus) {
+    const BoardModels& bm = board_models(model);
+    BoxPlot plot(sim::to_string(model) + " — " + what +
+                     " model |error| (%) per training scope",
+                 "absolute error (%)");
+
+    for (sim::FrequencyPair pair : dvfs::configurable_pairs(model)) {
+      const core::UnifiedModel per_pair =
+          core::UnifiedModel::fit(bm.dataset, target, {}, &pair);
+      const core::Evaluation eval = core::evaluate(per_pair, bm.dataset, &pair);
+      const stats::FiveNumber f = eval.error_distribution();
+      plot.add_box({sim::to_string(pair), f.whisker_lo, f.q1, f.median, f.q3,
+                    f.whisker_hi});
+      csv.row({sim::to_string(model), sim::to_string(pair),
+               format_double(f.whisker_lo, 2), format_double(f.q1, 2),
+               format_double(f.median, 2), format_double(f.q3, 2),
+               format_double(f.whisker_hi, 2),
+               format_double(eval.mape(), 2)});
+    }
+
+    const core::UnifiedModel& unified =
+        target == core::TargetKind::Power ? bm.power : bm.perf;
+    const core::Evaluation eval = core::evaluate(unified, bm.dataset);
+    const stats::FiveNumber f = eval.error_distribution();
+    plot.add_box(
+        {"unified", f.whisker_lo, f.q1, f.median, f.q3, f.whisker_hi});
+    csv.row({sim::to_string(model), "unified", format_double(f.whisker_lo, 2),
+             format_double(f.q1, 2), format_double(f.median, 2),
+             format_double(f.q3, 2), format_double(f.whisker_hi, 2),
+             format_double(eval.mape(), 2)});
+
+    plot.print(std::cout, 52);
+    std::cout << "\n";
+  }
+  end_csv();
+}
+
+}  // namespace gppm::bench

@@ -1,0 +1,13 @@
+// Shared driver for Figs. 9/10: box-and-whisker error distributions of
+// per-frequency-pair baseline models versus the unified model.
+#pragma once
+
+#include <string>
+
+#include "core/features.hpp"
+
+namespace gppm::bench {
+
+void run_per_pair_boxes(const std::string& figure_id, core::TargetKind target);
+
+}  // namespace gppm::bench

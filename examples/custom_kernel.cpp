@@ -1,0 +1,98 @@
+// Bring your own kernel: the downstream-user story.
+//
+// A user has an algorithm that is not in the benchmark suite.  They write
+// it as a kernel-IR program (with its real address arithmetic), trace it to
+// derive a simulator profile, characterize it across the DVFS space of a
+// board, and check what the paper's fitted models would have predicted for
+// it — all without touching the suite.
+//
+// The example kernel is a row-normalization pass over a row-major matrix:
+// each thread owns one row and walks across it, so the lanes of a warp read
+// addresses a full row apart — the classic uncoalesced-gather bug.
+//
+// Build & run:  ./build/examples/custom_kernel
+#include <iostream>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/characterization.hpp"
+#include "kernelir/trace.hpp"
+#include "workload/suite.hpp"
+
+using namespace gppm;
+
+namespace {
+
+/// Row-wise normalization of a row-major n x n float matrix, one thread
+/// per row: warp lanes touch addresses a whole row apart every iteration.
+ir::Program row_normalize(std::uint32_t n) {
+  ir::Program p;
+  p.name = "custom/row_normalize";
+  p.threads_per_block = 256;
+  p.blocks = n / 256;
+  p.iterations = n;  // one body pass per column index
+
+  const std::int64_t row_bytes = static_cast<std::int64_t>(n) * 4;
+  ir::AddressExpr row_walk;
+  row_walk.base = 1ull << 30;
+  row_walk.stride_thread = row_bytes;  // thread t owns row t
+  row_walk.stride_iter = 4;            // iteration walks across the row
+
+  p.body = {
+      ir::load_global(row_walk),  // A[row][col]
+      ir::fma(),                  // running mean / rescale
+      ir::int_op(),
+      ir::store_global([&] {
+        ir::AddressExpr out = row_walk;
+        out.base = 2ull << 30;
+        return out;
+      }()),
+  };
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const ir::Program program = row_normalize(2048);
+  const ir::TraceStats stats = ir::trace_block(program);
+
+  std::cout << "Traced '" << program.name << "':\n"
+            << "  per-thread: " << format_double(stats.flops, 0) << " FLOPs, "
+            << format_double(stats.global_load_bytes, 0) << " B loaded, "
+            << format_double(stats.global_store_bytes, 0) << " B stored\n"
+            << "  measured coalescing " << format_double(stats.coalescing, 2)
+            << " (lanes a row apart!), locality "
+            << format_double(stats.locality, 2) << "\n\n";
+
+  // Wrap the traced kernel as a run and characterize it on the GTX 680.
+  sim::RunProfile run;
+  run.benchmark_name = "row_normalize";
+  run.kernels = {ir::derive_profile(program)};
+  run.host_time = Duration::milliseconds(150.0);
+
+  core::MeasurementRunner runner(sim::GpuModel::GTX680);
+  AsciiTable table({"pair", "time s", "power W", "energy J"});
+  core::Measurement def{}, best{};
+  for (sim::FrequencyPair pair :
+       dvfs::configurable_pairs(sim::GpuModel::GTX680)) {
+    const core::Measurement m = runner.measure_profile(run, pair);
+    if (pair == sim::kDefaultPair) def = m;
+    if (best.exec_time.as_seconds() == 0.0 || m.energy < best.energy) best = m;
+    table.add_row({sim::to_string(pair),
+                   format_double(m.exec_time.as_seconds(), 3),
+                   format_double(m.avg_power.as_watts(), 1),
+                   format_double(m.energy.as_joules(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nBest pair " << sim::to_string(best.pair) << ": saves "
+            << format_double((1.0 - best.energy / def.energy) * 100.0, 1)
+            << "% energy vs (H-H) at "
+            << format_double(
+                   (1.0 - def.exec_time / best.exec_time) * -100.0, 1)
+            << "% longer runtime.\n"
+            << "Fix the coalescing (one thread per column, or a tiled transpose) and "
+               "re-trace to see the\ncharacterization flip toward "
+               "compute-bound behaviour.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Energy tuning: the paper's Section III use case as an application.
+//
+// Given a workload (default: srad_v1, pass another name as argv[1]),
+// exhaustively sweep every configurable frequency pair on all four boards
+// and report the energy-optimal setting, its saving over the factory
+// default, and the performance cost — i.e. regenerate one row of TABLE IV
+// with full context.
+//
+// Build & run:  ./build/examples/energy_tuning [benchmark-name]
+#include <iostream>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/characterization.hpp"
+#include "workload/suite.hpp"
+
+using namespace gppm;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "srad_v1";
+  const workload::BenchmarkDef& bench = workload::find_benchmark(name);
+  std::cout << "Energy tuning for '" << name << "' ("
+            << workload::to_string(bench.suite)
+            << ") at maximum input size\n\n";
+
+  AsciiTable table({"GPU", "best pair", "energy saving %", "perf loss %",
+                    "best energy (J)", "default energy (J)"});
+
+  for (sim::GpuModel model : sim::kAllGpus) {
+    core::MeasurementRunner runner(model);
+    const core::Sweep sweep =
+        core::sweep_pairs(runner, bench, bench.size_count - 1);
+    const core::PairResult& best = sweep.at(sweep.best_pair());
+    const core::PairResult& def = sweep.at(sim::kDefaultPair);
+    const double saving =
+        (1.0 - best.measurement.energy / def.measurement.energy) * 100.0;
+    table.add_row({sim::to_string(model), sim::to_string(sweep.best_pair()),
+                   format_double(saving, 1),
+                   format_double(sweep.performance_loss_percent(), 1),
+                   format_double(best.measurement.energy.as_joules(), 1),
+                   format_double(def.measurement.energy.as_joules(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPer-pair detail on the GTX 680:\n";
+  core::MeasurementRunner runner(sim::GpuModel::GTX680);
+  const core::Sweep sweep =
+      core::sweep_pairs(runner, bench, bench.size_count - 1);
+  AsciiTable detail({"pair", "time (s)", "power (W)", "energy (J)",
+                     "rel. perf", "rel. efficiency"});
+  for (const core::PairResult& r : sweep.results) {
+    detail.add_row({sim::to_string(r.measurement.pair),
+                    format_double(r.measurement.exec_time.as_seconds(), 3),
+                    format_double(r.measurement.avg_power.as_watts(), 1),
+                    format_double(r.measurement.energy.as_joules(), 1),
+                    format_double(r.relative_performance, 3),
+                    format_double(r.relative_efficiency, 3)});
+  }
+  detail.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the five-minute tour of the library.
+//
+//   1. create a simulated board and its DVFS controller,
+//   2. run a benchmark and measure time / power / energy like the paper's
+//      WT1600 setup,
+//   3. change the operating point through the VBIOS path and re-measure,
+//   4. collect CUDA-profiler counters for the same run.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "common/str.hpp"
+#include "core/runner.hpp"
+#include "dvfs/controller.hpp"
+#include "profiler/cuda_profiler.hpp"
+#include "workload/suite.hpp"
+
+using namespace gppm;
+
+int main() {
+  // A GTX 680 with deterministic behaviour (seed 42).
+  core::MeasurementRunner runner(sim::GpuModel::GTX680);
+  dvfs::Controller dvfs(runner.gpu());
+
+  std::cout << "Board: " << sim::to_string(runner.gpu().spec().model) << " ("
+            << sim::to_string(runner.gpu().spec().architecture) << ", "
+            << runner.gpu().spec().cuda_cores << " cores)\n";
+  std::cout << "Configurable pairs:";
+  for (sim::FrequencyPair p : dvfs.available_pairs()) {
+    std::cout << " " << sim::to_string(p);
+  }
+  std::cout << "\n\n";
+
+  // Run hotspot at the default clocks.
+  const workload::BenchmarkDef& bench = workload::find_benchmark("hotspot");
+  const std::size_t size = bench.size_count - 1;  // max feasible input
+
+  const core::Measurement at_default =
+      runner.measure(bench, size, dvfs.current_pair());
+  std::cout << "hotspot @ " << sim::to_string(dvfs.current_pair()) << ": "
+            << format_double(at_default.exec_time.as_seconds(), 3) << " s, "
+            << format_double(at_default.avg_power.as_watts(), 1) << " W, "
+            << format_double(at_default.energy.as_joules(), 1) << " J\n";
+
+  // Sweep every configurable pair through the VBIOS patching path and keep
+  // the energy-optimal one (the paper's TABLE IV procedure for one cell).
+  core::Measurement best = at_default;
+  for (sim::FrequencyPair pair : dvfs.available_pairs()) {
+    dvfs.set_pair(pair);
+    const core::Measurement m = runner.measure(bench, size, pair);
+    if (m.energy < best.energy) best = m;
+  }
+  std::cout << "best pair " << sim::to_string(best.pair) << ": "
+            << format_double(best.exec_time.as_seconds(), 3) << " s, "
+            << format_double(best.avg_power.as_watts(), 1) << " W, "
+            << format_double(best.energy.as_joules(), 1) << " J\n";
+  std::cout << "energy saving vs default: "
+            << format_double((1.0 - best.energy / at_default.energy) * 100, 1)
+            << "%\n\n";
+
+  // Profile the run: the counters the paper's models consume.
+  dvfs.set_pair(sim::kDefaultPair);
+  profiler::CudaProfiler prof;
+  const profiler::ProfileResult counters =
+      prof.collect(runner.gpu(), runner.prepared_profile(bench, size));
+  std::cout << "Collected " << counters.counters.size()
+            << " hardware counters; the five largest per-second rates:\n";
+  std::vector<profiler::CounterReading> sorted = counters.counters;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.per_second > b.per_second; });
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::cout << "  " << sorted[i].name << " ("
+              << profiler::to_string(sorted[i].klass) << " event): "
+              << format_double(sorted[i].per_second / 1e6, 1) << " M/s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace gppm {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double span() const { return hi - lo; }
+};
+}  // namespace
+
+void LineChart::add_series(Series s) {
+  GPPM_CHECK(s.x.size() == s.y.size(), "series x/y size mismatch");
+  GPPM_CHECK(!s.x.empty(), "empty series");
+  series_.push_back(std::move(s));
+}
+
+void LineChart::print(std::ostream& out, int width, int height) const {
+  GPPM_CHECK(width >= 8 && height >= 4, "chart too small");
+  if (series_.empty()) {
+    out << title_ << " (no data)\n";
+    return;
+  }
+
+  Range xr, yr;
+  for (const auto& s : series_) {
+    for (double v : s.x) xr.include(v);
+    for (double v : s.y) yr.include(v);
+  }
+  if (xr.span() <= 0) xr.hi = xr.lo + 1;
+  if (yr.span() <= 0) yr.hi = yr.lo + 1;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  auto plot = [&](double x, double y, char glyph) {
+    int cx = static_cast<int>(std::lround((x - xr.lo) / xr.span() * (width - 1)));
+    int cy = static_cast<int>(std::lround((y - yr.lo) / yr.span() * (height - 1)));
+    cx = std::clamp(cx, 0, width - 1);
+    cy = std::clamp(cy, 0, height - 1);
+    grid[height - 1 - cy][cx] = glyph;
+  };
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series_[si];
+    // Linear interpolation between consecutive points so lines read as lines.
+    for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+      const int steps = width;
+      for (int k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        plot(s.x[i] + t * (s.x[i + 1] - s.x[i]),
+             s.y[i] + t * (s.y[i + 1] - s.y[i]), glyph);
+      }
+    }
+    for (std::size_t i = 0; i < s.x.size(); ++i) plot(s.x[i], s.y[i], glyph);
+  }
+
+  out << title_ << "\n";
+  const std::string y_hi = format_double(yr.hi, 3);
+  const std::string y_lo = format_double(yr.lo, 3);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size());
+  for (int r = 0; r < height; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = pad_left(y_hi, margin);
+    if (r == height - 1) label = pad_left(y_lo, margin);
+    out << label << " |" << grid[r] << "\n";
+  }
+  out << std::string(margin, ' ') << " +" << std::string(width, '-') << "\n";
+  out << std::string(margin, ' ') << "  " << pad_right(format_double(xr.lo, 0), width - 8)
+      << pad_left(format_double(xr.hi, 0), 8) << "\n";
+  out << std::string(margin, ' ') << "  x: " << x_label_ << ", y: " << y_label_ << "\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out << std::string(margin, ' ') << "  " << kGlyphs[si % sizeof(kGlyphs)]
+        << " = " << series_[si].label << "\n";
+  }
+}
+
+void BarChart::add_bar(const std::string& label, double value) {
+  bars_.push_back({label, value});
+}
+
+void BarChart::print(std::ostream& out, int width) const {
+  out << title_ << "\n";
+  if (bars_.empty()) {
+    out << "(no data)\n";
+    return;
+  }
+  double max_v = 0;
+  std::size_t label_w = 0;
+  for (const auto& b : bars_) {
+    max_v = std::max(max_v, std::abs(b.value));
+    label_w = std::max(label_w, b.label.size());
+  }
+  if (max_v <= 0) max_v = 1;
+  for (const auto& b : bars_) {
+    const int n = static_cast<int>(std::lround(std::abs(b.value) / max_v * width));
+    out << pad_right(b.label, label_w) << " |" << std::string(n, '#')
+        << ' ' << format_double(b.value, 2) << "\n";
+  }
+}
+
+void BoxPlot::print(std::ostream& out, int width) const {
+  out << title_ << "\n";
+  if (boxes_.empty()) {
+    out << "(no data)\n";
+    return;
+  }
+  Range r;
+  std::size_t label_w = 0;
+  for (const auto& b : boxes_) {
+    r.include(b.whisker_lo);
+    r.include(b.whisker_hi);
+    label_w = std::max(label_w, b.label.size());
+  }
+  if (r.span() <= 0) r.hi = r.lo + 1;
+
+  auto col = [&](double v) {
+    return std::clamp(
+        static_cast<int>(std::lround((v - r.lo) / r.span() * (width - 1))), 0,
+        width - 1);
+  };
+  for (const auto& b : boxes_) {
+    std::string row(width, ' ');
+    const int lo = col(b.whisker_lo), q1 = col(b.q1), med = col(b.median),
+              q3 = col(b.q3), hi = col(b.whisker_hi);
+    for (int c = lo; c <= hi; ++c) row[c] = '-';
+    for (int c = q1; c <= q3; ++c) row[c] = '=';
+    row[lo] = '|';
+    row[hi] = '|';
+    if (q1 < static_cast<int>(row.size())) row[q1] = '[';
+    if (q3 < static_cast<int>(row.size())) row[q3] = ']';
+    row[med] = 'M';
+    out << pad_right(b.label, label_w) << " " << row << "  (med "
+        << format_double(b.median, 2) << ")\n";
+  }
+  out << std::string(label_w + 1, ' ') << pad_right(format_double(r.lo, 2), width - 8)
+      << pad_left(format_double(r.hi, 2), 8) << "\n";
+  out << std::string(label_w + 1, ' ') << "axis: " << axis_label_ << "\n";
+}
+
+}  // namespace gppm

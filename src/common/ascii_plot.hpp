@@ -1,0 +1,86 @@
+// ASCII chart renderers for the figure-reproduction benches.
+//
+// The paper's figures are line charts (performance / power efficiency vs
+// core frequency, one line per memory frequency), bar charts (efficiency
+// improvement per benchmark) and box-and-whisker plots (error
+// distributions).  These renderers draw the same shapes in a terminal so a
+// bench's output can be compared against the paper figure directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gppm {
+
+/// One line series of an XY chart.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Multi-series scatter/line chart on a character grid.  Each series is
+/// drawn with its own glyph; a legend maps glyphs to labels.
+class LineChart {
+ public:
+  LineChart(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  void add_series(Series s);
+
+  /// Render at the given grid size (plot area, excluding axes/labels).
+  void print(std::ostream& out, int width = 64, int height = 18) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::vector<Series> series_;
+};
+
+/// Horizontal bar chart: one labelled bar per item.
+class BarChart {
+ public:
+  explicit BarChart(std::string title) : title_(std::move(title)) {}
+
+  void add_bar(const std::string& label, double value);
+
+  /// Render; bars are scaled to `width` characters at the maximum value.
+  void print(std::ostream& out, int width = 50) const;
+
+ private:
+  struct Bar {
+    std::string label;
+    double value;
+  };
+  std::string title_;
+  std::vector<Bar> bars_;
+};
+
+/// Five-number summary used by the box plot (matches stats::five_number).
+struct BoxStats {
+  std::string label;
+  double whisker_lo = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double whisker_hi = 0;
+};
+
+/// Horizontal box-and-whisker plot, one row per box, shared scale.
+class BoxPlot {
+ public:
+  BoxPlot(std::string title, std::string axis_label)
+      : title_(std::move(title)), axis_label_(std::move(axis_label)) {}
+
+  void add_box(BoxStats b) { boxes_.push_back(std::move(b)); }
+
+  void print(std::ostream& out, int width = 60) const;
+
+ private:
+  std::string title_, axis_label_;
+  std::vector<BoxStats> boxes_;
+};
+
+}  // namespace gppm

@@ -1,0 +1,36 @@
+#include "common/csv.hpp"
+
+#include "common/str.hpp"
+
+namespace gppm {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::string& key, const std::vector<double>& values,
+                    int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(key);
+  for (double v : values) fields.push_back(format_double(v, precision));
+  row(fields);
+}
+
+}  // namespace gppm

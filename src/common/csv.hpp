@@ -1,0 +1,30 @@
+// Minimal CSV writer.  Benches emit their table/figure data as CSV next to
+// the human-readable rendering so results can be re-plotted externally.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gppm {
+
+/// Streams rows of a CSV document.  Fields containing commas, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row of string fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Write one row mixing a string key with numeric fields.
+  void row(const std::string& key, const std::vector<double>& values,
+           int precision = 6);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ostream& out_;
+};
+
+}  // namespace gppm

@@ -1,0 +1,38 @@
+// Error handling primitives shared by all gppm libraries.
+//
+// The library throws `gppm::Error` (a std::runtime_error subclass) for
+// violated preconditions and unrecoverable states.  GPPM_CHECK is used at
+// public API boundaries; internal invariants use GPPM_ASSERT, which compiles
+// to the same check (this is a research library — we never silently continue
+// from a broken invariant).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gppm {
+
+/// Exception type thrown by every gppm component.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": check `" +
+              expr + "` failed" + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace gppm
+
+/// Precondition check: throws gppm::Error with location info on failure.
+#define GPPM_CHECK(expr, msg)                                   \
+  do {                                                          \
+    if (!(expr)) ::gppm::detail::raise(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant check (same behaviour as GPPM_CHECK).
+#define GPPM_ASSERT(expr) GPPM_CHECK(expr, "internal invariant")

@@ -1,0 +1,59 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (meter noise, profiler sampling
+// artifacts, workload jitter) draws from these generators rather than
+// <random> distributions, because libstdc++/libc++ distributions are not
+// bit-reproducible across platforms.  The generator is xoshiro256**, seeded
+// through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gppm {
+
+/// splitmix64 step; used for seeding and for cheap hash-like stream splitting.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a 64-bit string hash; used to derive deterministic per-entity RNG
+/// streams (per benchmark, per kernel) that do not depend on call order.
+std::uint64_t fnv1a(std::string_view s);
+
+/// xoshiro256** PRNG with helpers for the distributions the library needs.
+/// All methods are deterministic given the seed.
+class Rng {
+ public:
+  /// Seeds the four-word state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal deviate (Box-Muller, deterministic).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child stream; `stream_id` selects the substream.
+  /// Children with distinct ids are statistically independent of each other
+  /// and of the parent.
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace gppm

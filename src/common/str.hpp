@@ -1,0 +1,27 @@
+// Small string helpers used by the table/CSV/plot renderers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gppm {
+
+/// Format a double with `precision` digits after the decimal point.
+std::string format_double(double v, int precision);
+
+/// Left-pad `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// True if `s` contains `needle`.
+bool contains(const std::string& s, const std::string& needle);
+
+}  // namespace gppm

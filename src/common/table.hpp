@@ -1,0 +1,36 @@
+// ASCII table renderer.  Every reproduction bench prints its paper table in
+// this format so the output can be compared to the paper side by side.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gppm {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Append a row; must have the same number of fields as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: key column plus numeric columns.
+  void add_row(const std::string& key, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Render with box-drawing separators.
+  void print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gppm

@@ -1,0 +1,124 @@
+// Strongly-typed physical quantities used across the library.
+//
+// The simulator, power meter and models pass frequencies, voltages, powers,
+// energies and durations around constantly; mixing up MHz and Hz (or W and J)
+// is the classic bug in this domain.  Each quantity is a thin wrapper around
+// a double with explicit factory functions and only the physically meaningful
+// operators defined (e.g. Power * Duration = Energy).
+#pragma once
+
+#include <compare>
+
+namespace gppm {
+
+/// Clock frequency.  Stored in MHz because every frequency in the paper
+/// (TABLE I) is specified in MHz.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  static constexpr Frequency mhz(double v) { return Frequency(v); }
+  static constexpr Frequency ghz(double v) { return Frequency(v * 1e3); }
+  static constexpr Frequency hz(double v) { return Frequency(v / 1e6); }
+
+  constexpr double as_mhz() const { return mhz_; }
+  constexpr double as_ghz() const { return mhz_ / 1e3; }
+  constexpr double as_hz() const { return mhz_ * 1e6; }
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+  constexpr Frequency operator*(double s) const { return Frequency(mhz_ * s); }
+  constexpr double operator/(Frequency o) const { return mhz_ / o.mhz_; }
+
+ private:
+  constexpr explicit Frequency(double mhz) : mhz_(mhz) {}
+  double mhz_ = 0.0;
+};
+
+/// Supply voltage in volts.
+class Voltage {
+ public:
+  constexpr Voltage() = default;
+  static constexpr Voltage volts(double v) { return Voltage(v); }
+  static constexpr Voltage millivolts(double v) { return Voltage(v / 1e3); }
+
+  constexpr double as_volts() const { return v_; }
+  constexpr double squared() const { return v_ * v_; }
+
+  constexpr auto operator<=>(const Voltage&) const = default;
+
+ private:
+  constexpr explicit Voltage(double v) : v_(v) {}
+  double v_ = 0.0;
+};
+
+class Energy;
+
+/// Time duration in seconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration seconds(double v) { return Duration(v); }
+  static constexpr Duration milliseconds(double v) { return Duration(v / 1e3); }
+  static constexpr Duration microseconds(double v) { return Duration(v / 1e6); }
+
+  constexpr double as_seconds() const { return s_; }
+  constexpr double as_milliseconds() const { return s_ * 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration(s_ + o.s_); }
+  constexpr Duration operator-(Duration o) const { return Duration(s_ - o.s_); }
+  constexpr Duration operator*(double k) const { return Duration(s_ * k); }
+  constexpr double operator/(Duration o) const { return s_ / o.s_; }
+  constexpr Duration& operator+=(Duration o) { s_ += o.s_; return *this; }
+
+ private:
+  constexpr explicit Duration(double s) : s_(s) {}
+  double s_ = 0.0;
+};
+
+/// Electrical power in watts.
+class Power {
+ public:
+  constexpr Power() = default;
+  static constexpr Power watts(double v) { return Power(v); }
+
+  constexpr double as_watts() const { return w_; }
+
+  constexpr auto operator<=>(const Power&) const = default;
+  constexpr Power operator+(Power o) const { return Power(w_ + o.w_); }
+  constexpr Power operator-(Power o) const { return Power(w_ - o.w_); }
+  constexpr Power operator*(double k) const { return Power(w_ * k); }
+  constexpr Power& operator+=(Power o) { w_ += o.w_; return *this; }
+  constexpr Energy operator*(Duration d) const;
+
+ private:
+  constexpr explicit Power(double w) : w_(w) {}
+  double w_ = 0.0;
+};
+
+/// Energy in joules.
+class Energy {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy joules(double v) { return Energy(v); }
+
+  constexpr double as_joules() const { return j_; }
+
+  constexpr auto operator<=>(const Energy&) const = default;
+  constexpr Energy operator+(Energy o) const { return Energy(j_ + o.j_); }
+  constexpr Energy& operator+=(Energy o) { j_ += o.j_; return *this; }
+  constexpr double operator/(Energy o) const { return j_ / o.j_; }
+  /// Average power over a duration.
+  constexpr Power operator/(Duration d) const {
+    return Power::watts(j_ / d.as_seconds());
+  }
+
+ private:
+  constexpr explicit Energy(double j) : j_(j) {}
+  double j_ = 0.0;
+};
+
+constexpr Energy Power::operator*(Duration d) const {
+  return Energy::joules(w_ * d.as_seconds());
+}
+
+}  // namespace gppm

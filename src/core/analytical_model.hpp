@@ -1,0 +1,75 @@
+// Analytical performance baseline (Hong & Kim style).
+//
+// The paper's related work (Section V) contrasts its statistical approach
+// with the analytical models of Hong & Kim [7, 8]: models that compute
+// execution time from instruction/memory counts and a handful of
+// architecture parameters which must be hand-tuned per board — the authors
+// report that re-tuning them "was very time-consuming" even between two
+// Tesla-generation GPUs.
+//
+// This module implements a bottleneck-form analytical model so that claim
+// can be tested: predicted time is the maximum of a compute term (warp
+// instructions at the core clock) and a memory term (DRAM traffic at the
+// memory clock), plus launch and fixed overheads.  Its four coefficients
+// play the role of Hong & Kim's tuned parameters:
+//
+//   t = max(alpha_c * insts / f_core, alpha_m * bytes / f_mem)
+//       + beta * launches + gamma
+//
+// `calibrate` fits the coefficients to one board's corpus (the per-board
+// tuning step); `bench_baseline_analytical` then scores every
+// calibrate-on-X / evaluate-on-Y combination to reproduce the portability
+// argument.
+#pragma once
+
+#include "core/dataset.hpp"
+
+namespace gppm::core {
+
+/// The tuned architecture parameters of the analytical model.
+struct AnalyticalParams {
+  double alpha_compute = 1.0;   ///< seconds per (warp-inst / GHz)
+  double alpha_memory = 1.0;    ///< seconds per (DRAM byte / GHz)
+  double beta_launch = 0.0;     ///< seconds per kernel launch
+  double gamma_fixed = 0.0;     ///< fixed host/driver time, seconds
+};
+
+/// Counter-derived workload quantities the analytical model consumes.
+/// Extraction is architecture-specific (each generation exposes different
+/// counters), mirroring the porting effort of real analytical models.
+struct AnalyticalInputs {
+  double warp_instructions = 0.0;  ///< total warp instructions executed
+  double dram_bytes = 0.0;         ///< total DRAM traffic, bytes
+  double launches = 0.0;           ///< kernel launches (est. from blocks)
+};
+
+/// Derive the model inputs from a profiled run on the given architecture.
+AnalyticalInputs analytical_inputs(const profiler::ProfileResult& counters,
+                                   sim::Architecture arch);
+
+/// The fitted analytical model for one board.
+class AnalyticalPerfModel {
+ public:
+  /// Tune the parameters on a corpus (alternating bottleneck assignment +
+  /// least squares; deterministic).  This is the "expert tuning" step the
+  /// paper criticizes — it needs the full measured corpus of the board.
+  static AnalyticalPerfModel calibrate(const Dataset& dataset);
+
+  /// Predict execution time in seconds at an operating point.
+  double predict_seconds(const profiler::ProfileResult& counters,
+                         sim::FrequencyPair pair) const;
+
+  /// Re-target the tuned parameters to a different board without
+  /// recalibration (the portability experiment): keeps the coefficients,
+  /// swaps the clock tables and counter extraction.
+  AnalyticalPerfModel transferred_to(sim::GpuModel other) const;
+
+  const AnalyticalParams& params() const { return params_; }
+  sim::GpuModel gpu() const { return gpu_; }
+
+ private:
+  AnalyticalParams params_;
+  sim::GpuModel gpu_ = sim::GpuModel::GTX480;
+};
+
+}  // namespace gppm::core

@@ -1,0 +1,113 @@
+#include "core/characterization.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::core {
+
+const PairResult& Sweep::at(sim::FrequencyPair pair) const {
+  for (const PairResult& r : results) {
+    if (r.measurement.pair == pair) return r;
+  }
+  throw Error("pair " + sim::to_string(pair) + " not in sweep");
+}
+
+sim::FrequencyPair Sweep::best_pair() const {
+  GPPM_CHECK(!results.empty(), "empty sweep");
+  const PairResult* best = &results.front();
+  for (const PairResult& r : results) {
+    if (r.measurement.power_efficiency() >
+        best->measurement.power_efficiency()) {
+      best = &r;
+    }
+  }
+  return best->measurement.pair;
+}
+
+double Sweep::improvement_percent() const {
+  const PairResult& def = at(sim::kDefaultPair);
+  const PairResult& best = at(best_pair());
+  return (best.measurement.power_efficiency() /
+              def.measurement.power_efficiency() -
+          1.0) * 100.0;
+}
+
+double Sweep::performance_loss_percent() const {
+  const PairResult& best = at(best_pair());
+  return (1.0 - best.relative_performance) * 100.0;
+}
+
+std::vector<PairResult> Sweep::pareto_front() const {
+  GPPM_CHECK(!results.empty(), "empty sweep");
+  std::vector<PairResult> front;
+  for (const PairResult& candidate : results) {
+    bool dominated = false;
+    for (const PairResult& other : results) {
+      const bool no_worse =
+          other.measurement.exec_time <= candidate.measurement.exec_time &&
+          other.measurement.energy <= candidate.measurement.energy;
+      const bool better =
+          other.measurement.exec_time < candidate.measurement.exec_time ||
+          other.measurement.energy < candidate.measurement.energy;
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const PairResult& a, const PairResult& b) {
+              return a.measurement.exec_time < b.measurement.exec_time;
+            });
+  return front;
+}
+
+Sweep sweep_pairs(MeasurementRunner& runner,
+                  const workload::BenchmarkDef& benchmark,
+                  std::size_t size_index) {
+  Sweep sweep;
+  sweep.benchmark = benchmark.name;
+  sweep.gpu = runner.gpu().spec().model;
+
+  for (sim::FrequencyPair pair : dvfs::configurable_pairs(sweep.gpu)) {
+    PairResult r;
+    r.measurement = runner.measure(benchmark, size_index, pair);
+    sweep.results.push_back(r);
+  }
+
+  const Measurement& def = sweep.at(sim::kDefaultPair).measurement;
+  for (PairResult& r : sweep.results) {
+    r.relative_performance = r.measurement.performance() / def.performance();
+    r.relative_efficiency =
+        r.measurement.power_efficiency() / def.power_efficiency();
+  }
+  return sweep;
+}
+
+std::vector<BestPairRow> characterize_suite(std::uint64_t seed) {
+  std::vector<BestPairRow> rows;
+  std::vector<MeasurementRunner> runners;
+  runners.reserve(sim::kAllGpus.size());
+  for (sim::GpuModel m : sim::kAllGpus) {
+    RunnerOptions opt;
+    opt.seed = seed;
+    runners.emplace_back(m, opt);
+  }
+
+  for (const workload::BenchmarkDef& def : workload::benchmark_suite()) {
+    BestPairRow row;
+    row.benchmark = def.name;
+    for (MeasurementRunner& runner : runners) {
+      const Sweep sweep = sweep_pairs(runner, def, def.size_count - 1);
+      row.best.push_back(sweep.best_pair());
+      row.improvement.push_back(sweep.improvement_percent());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace gppm::core

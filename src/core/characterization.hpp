@@ -1,0 +1,67 @@
+// The paper's Section III characterization: sweep every configurable
+// frequency pair for a workload, derive performance / power-efficiency
+// curves (Figs. 1-3), the energy-optimal pair (TABLE IV) and the
+// improvement over the default pair (Fig. 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "dvfs/combos.hpp"
+
+namespace gppm::core {
+
+/// Measurements at one operating point, with values relative to (H-H).
+struct PairResult {
+  Measurement measurement;
+  double relative_performance = 1.0;     ///< perf / perf(H-H)
+  double relative_efficiency = 1.0;      ///< (1/E) / (1/E at H-H)
+};
+
+/// One benchmark x board sweep over all configurable pairs.
+struct Sweep {
+  std::string benchmark;
+  sim::GpuModel gpu;
+  std::vector<PairResult> results;  ///< TABLE III row order
+
+  /// Result at a pair; throws if the pair was not swept.
+  const PairResult& at(sim::FrequencyPair pair) const;
+
+  /// The pair with the best power efficiency (minimum energy).
+  sim::FrequencyPair best_pair() const;
+
+  /// Efficiency improvement of the best pair over the default, in percent
+  /// (the quantity of Fig. 4; 0 when (H-H) is already optimal).
+  double improvement_percent() const;
+
+  /// Performance loss of the best pair relative to (H-H), in percent.
+  double performance_loss_percent() const;
+
+  /// The (time, energy) Pareto-optimal operating points: pairs not
+  /// dominated by any other pair (strictly worse in neither time nor
+  /// energy, strictly better in at least one).  Sorted fastest-first.
+  /// Everything a rational DVFS policy would ever pick lies on this front;
+  /// the paper's (H-H)-vs-best comparison looks at its two ends.
+  std::vector<PairResult> pareto_front() const;
+};
+
+/// Measure a benchmark at a size over all configurable pairs of the
+/// runner's board.
+Sweep sweep_pairs(MeasurementRunner& runner,
+                  const workload::BenchmarkDef& benchmark,
+                  std::size_t size_index);
+
+/// TABLE IV row: the best pair of one benchmark on each board.
+struct BestPairRow {
+  std::string benchmark;
+  std::vector<sim::FrequencyPair> best;    ///< one per kAllGpus entry
+  std::vector<double> improvement;         ///< percent, same order
+};
+
+/// Characterize the whole suite at maximum input size on all four boards.
+/// `seed` feeds the runners.  This is the expensive full-suite sweep behind
+/// TABLE IV and Fig. 4.
+std::vector<BestPairRow> characterize_suite(std::uint64_t seed = 42);
+
+}  // namespace gppm::core

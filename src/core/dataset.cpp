@@ -1,0 +1,47 @@
+#include "core/dataset.hpp"
+
+#include "dvfs/combos.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::core {
+
+std::size_t Dataset::row_count() const {
+  std::size_t n = 0;
+  for (const Sample& s : samples) n += s.runs.size();
+  return n;
+}
+
+Dataset build_dataset(sim::GpuModel model, const DatasetOptions& options) {
+  RunnerOptions ropt = options.runner;
+  ropt.seed = options.seed;
+  MeasurementRunner runner(model, ropt);
+  profiler::CudaProfiler prof(options.seed ^ 0xC0DA);
+  prof.set_sampling_sigma(options.profiler_sampling_sigma);
+
+  const auto pairs = dvfs::configurable_pairs(model);
+
+  Dataset ds;
+  ds.model = model;
+  for (const workload::BenchmarkDef& def : workload::benchmark_suite()) {
+    if (!profiler::CudaProfiler::supports(def.name)) continue;
+    for (std::size_t size = 0; size < def.size_count; ++size) {
+      Sample sample;
+      sample.benchmark = def.name;
+      sample.size_index = size;
+
+      // Profile at the default pair over the same (repetition-adjusted)
+      // run the measurements will execute.
+      const sim::RunProfile profile = runner.prepared_profile(def, size);
+      runner.gpu().set_frequency_pair(sim::kDefaultPair);
+      sample.counters = prof.collect(runner.gpu(), profile);
+
+      for (sim::FrequencyPair pair : pairs) {
+        sample.runs.push_back(runner.measure_profile(profile, pair));
+      }
+      ds.samples.push_back(std::move(sample));
+    }
+  }
+  return ds;
+}
+
+}  // namespace gppm::core

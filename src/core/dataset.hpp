@@ -1,0 +1,47 @@
+// The modeling corpus builder (paper Section IV-A).
+//
+// For each profiler-supported benchmark and input size, the builder
+// collects the hardware counters once at the default (H-H) pair and
+// measures power and execution time at every configurable pair.  Across
+// the suite this yields the paper's 114 samples; each sample contributes
+// one regression row per configurable pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "profiler/cuda_profiler.hpp"
+
+namespace gppm::core {
+
+/// One (benchmark, input size) modeling sample.
+struct Sample {
+  std::string benchmark;
+  std::size_t size_index = 0;
+  profiler::ProfileResult counters;  ///< collected at (H-H)
+  std::vector<Measurement> runs;     ///< one per configurable pair
+};
+
+/// The full corpus for one board.
+struct Dataset {
+  sim::GpuModel model;
+  std::vector<Sample> samples;
+
+  /// Total regression rows (sum of per-sample run counts).
+  std::size_t row_count() const;
+};
+
+/// Options for corpus construction.
+struct DatasetOptions {
+  std::uint64_t seed = 42;
+  RunnerOptions runner;
+  double profiler_sampling_sigma = 0.05;
+};
+
+/// Build the corpus for one board over the whole benchmark suite,
+/// excluding the profiler-unsupported programs.
+Dataset build_dataset(sim::GpuModel model, const DatasetOptions& options = {});
+
+}  // namespace gppm::core

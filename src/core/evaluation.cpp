@@ -1,0 +1,123 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace gppm::core {
+
+double RowError::abs_error() const { return std::abs(predicted - actual); }
+
+double RowError::abs_percent_error() const {
+  GPPM_CHECK(actual != 0.0, "zero actual value");
+  return std::abs(predicted - actual) / std::abs(actual) * 100.0;
+}
+
+double Evaluation::mape() const {
+  GPPM_CHECK(!rows.empty(), "empty evaluation");
+  double acc = 0.0;
+  for (const RowError& r : rows) acc += r.abs_percent_error();
+  return acc / static_cast<double>(rows.size());
+}
+
+double Evaluation::mean_abs_error() const {
+  GPPM_CHECK(!rows.empty(), "empty evaluation");
+  double acc = 0.0;
+  for (const RowError& r : rows) acc += r.abs_error();
+  return acc / static_cast<double>(rows.size());
+}
+
+std::vector<double> Evaluation::abs_percent_errors() const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const RowError& r : rows) out.push_back(r.abs_percent_error());
+  return out;
+}
+
+stats::FiveNumber Evaluation::error_distribution() const {
+  return stats::five_number(abs_percent_errors());
+}
+
+Evaluation evaluate(const UnifiedModel& model, const Dataset& dataset,
+                    const sim::FrequencyPair* pair_filter) {
+  GPPM_CHECK(model.gpu() == dataset.model, "model/dataset board mismatch");
+  Evaluation eval;
+  for (std::size_t si = 0; si < dataset.samples.size(); ++si) {
+    const Sample& s = dataset.samples[si];
+    for (const Measurement& m : s.runs) {
+      if (pair_filter && !(m.pair == *pair_filter)) continue;
+      RowError r;
+      r.sample_index = si;
+      r.pair = m.pair;
+      r.actual = model.target() == TargetKind::Power
+                     ? m.avg_power.as_watts()
+                     : m.exec_time.as_seconds();
+      r.predicted = model.predict(s.counters, m.pair);
+      eval.rows.push_back(r);
+    }
+  }
+  GPPM_CHECK(!eval.rows.empty(), "no rows evaluated");
+  return eval;
+}
+
+Evaluation cross_validate(const Dataset& dataset, TargetKind target,
+                          const ModelOptions& options) {
+  GPPM_CHECK(dataset.samples.size() >= 2, "corpus too small for CV");
+
+  // Distinct benchmark names, in first-appearance order.
+  std::vector<std::string> benchmarks;
+  for (const Sample& s : dataset.samples) {
+    if (std::find(benchmarks.begin(), benchmarks.end(), s.benchmark) ==
+        benchmarks.end()) {
+      benchmarks.push_back(s.benchmark);
+    }
+  }
+  GPPM_CHECK(benchmarks.size() >= 2, "CV needs >= 2 benchmarks");
+
+  Evaluation eval;
+  for (const std::string& held_out : benchmarks) {
+    Dataset train;
+    train.model = dataset.model;
+    for (const Sample& s : dataset.samples) {
+      if (s.benchmark != held_out) train.samples.push_back(s);
+    }
+    const UnifiedModel model = UnifiedModel::fit(train, target, options);
+
+    for (std::size_t si = 0; si < dataset.samples.size(); ++si) {
+      const Sample& s = dataset.samples[si];
+      if (s.benchmark != held_out) continue;
+      for (const Measurement& m : s.runs) {
+        RowError r;
+        r.sample_index = si;
+        r.pair = m.pair;
+        r.actual = target == TargetKind::Power ? m.avg_power.as_watts()
+                                               : m.exec_time.as_seconds();
+        r.predicted = model.predict(s.counters, m.pair);
+        eval.rows.push_back(r);
+      }
+    }
+  }
+  GPPM_ASSERT(eval.rows.size() == dataset.row_count());
+  return eval;
+}
+
+std::vector<BenchmarkError> per_benchmark_errors(const Evaluation& eval,
+                                                 const Dataset& dataset) {
+  std::map<std::string, std::pair<double, std::size_t>> acc;
+  for (const RowError& r : eval.rows) {
+    GPPM_CHECK(r.sample_index < dataset.samples.size(), "bad sample index");
+    auto& slot = acc[dataset.samples[r.sample_index].benchmark];
+    slot.first += r.abs_percent_error();
+    slot.second += 1;
+  }
+  std::vector<BenchmarkError> out;
+  out.reserve(acc.size());
+  for (const auto& [name, sum_count] : acc) {
+    out.push_back({name, sum_count.first / static_cast<double>(sum_count.second)});
+  }
+  return out;
+}
+
+}  // namespace gppm::core

@@ -1,0 +1,64 @@
+// Model evaluation: the error statistics behind TABLEs V-VIII and the
+// error-distribution figures (5, 6, 9, 10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/unified_model.hpp"
+#include "stats/descriptive.hpp"
+
+namespace gppm::core {
+
+/// Error of one evaluated row.
+struct RowError {
+  std::size_t sample_index;
+  sim::FrequencyPair pair;
+  double actual = 0.0;
+  double predicted = 0.0;
+
+  double abs_error() const;
+  double abs_percent_error() const;
+};
+
+/// Full evaluation of a model on a corpus.
+struct Evaluation {
+  std::vector<RowError> rows;
+
+  /// Mean absolute percentage error (TABLEs VII/VIII "Error[%]").
+  double mape() const;
+  /// Mean absolute error in target units (TABLE VII "Error[W]").
+  double mean_abs_error() const;
+  /// All absolute percentage errors, for distribution plots.
+  std::vector<double> abs_percent_errors() const;
+  /// Five-number summary of the absolute percentage errors (Figs. 9/10).
+  stats::FiveNumber error_distribution() const;
+};
+
+/// Per-benchmark mean absolute percentage error (Figs. 5/6 plot these,
+/// sorted independently per GPU).
+struct BenchmarkError {
+  std::string benchmark;
+  double mean_abs_percent_error = 0.0;
+};
+
+/// Evaluate a model on every row of the corpus (or on one pair's rows if
+/// `pair_filter` is given — used to score per-pair baseline models on
+/// their own operating point).
+Evaluation evaluate(const UnifiedModel& model, const Dataset& dataset,
+                    const sim::FrequencyPair* pair_filter = nullptr);
+
+/// Aggregate an evaluation per benchmark.
+std::vector<BenchmarkError> per_benchmark_errors(const Evaluation& eval,
+                                                 const Dataset& dataset);
+
+/// Leave-one-benchmark-out cross-validation (library extension; the paper
+/// reports in-sample error only).  For each benchmark, a model is fitted on
+/// every other benchmark's samples and scored on the held-out ones; the
+/// returned evaluation holds one out-of-sample prediction per corpus row.
+/// This answers the question the paper's deployment story depends on: how
+/// well do the models predict workloads they were not trained on?
+Evaluation cross_validate(const Dataset& dataset, TargetKind target,
+                          const ModelOptions& options = {});
+
+}  // namespace gppm::core

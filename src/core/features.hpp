@@ -1,0 +1,82 @@
+// Feature construction for the unified models (paper Eqs. 1 and 2).
+//
+// Every hardware counter is classified core-event or memory-event; its
+// value enters the power model multiplied by the matching domain frequency
+// (faster clock => more energy per event) and the performance model divided
+// by it (faster clock => shorter latency per event).  Per-second counter
+// readings feed the power model, run totals feed the performance model —
+// exactly the paper's construction, which is what lets a single model cover
+// every frequency pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace gppm::core {
+
+/// Which dependent variable a table/model targets.
+enum class TargetKind { Power, ExecTime };
+
+std::string to_string(TargetKind t);
+
+/// How operating-point information enters the power features.
+///
+/// The paper's Eq. 1 multiplies each counter by the domain *frequency* only
+/// (FrequencyOnly).  Since dynamic power actually follows C V^2 f and the
+/// boards scale voltage with frequency, a linear-in-f model systematically
+/// under-predicts the power drop of low P-states — which is why a
+/// model-driven DVFS governor built on the paper's form keeps choosing the
+/// default pair.  VoltageSquaredFrequency scales by V^2 f instead (library
+/// extension; see bench_ablation_voltage_scaling).  Time features are
+/// unaffected: event latency depends on frequency, not voltage.
+enum class FeatureScaling { FrequencyOnly, VoltageSquaredFrequency };
+
+std::string to_string(FeatureScaling s);
+
+/// Provenance of one regression row.
+struct RowInfo {
+  std::size_t sample_index;
+  sim::FrequencyPair pair;
+};
+
+/// A fully-materialized regression problem.
+struct RegressionTable {
+  linalg::Matrix features;  ///< row per (sample, pair); column per counter
+  linalg::Vector target;    ///< watts (Power) or seconds (ExecTime)
+  std::vector<RowInfo> rows;
+  std::vector<std::string> feature_names;  ///< catalog order
+};
+
+/// The Eq. 1 / Eq. 2 feature value of one counter reading at a pair.
+double feature_value(const profiler::CounterReading& reading,
+                     sim::FrequencyPair pair, const sim::DeviceSpec& spec,
+                     TargetKind target,
+                     FeatureScaling scaling = FeatureScaling::FrequencyOnly);
+
+/// Names of the two baseline pseudo-counters (see build_table).
+inline constexpr const char* kBaselineCoreFeature = "baseline_core_domain";
+inline constexpr const char* kBaselineMemFeature = "baseline_mem_domain";
+
+/// A pseudo-reading with unit rate/total for a domain's baseline feature.
+profiler::CounterReading baseline_reading(profiler::EventClass klass);
+
+/// Build the regression table from a corpus.  `pair_filter` (if non-null)
+/// restricts rows to one operating point — the per-pair baseline models of
+/// Figs. 9/10 are trained on such restricted tables.
+///
+/// `include_baseline_terms` (library extension) appends two pseudo-counters
+/// with unit rate — one core-event, one memory-event.  Their power features
+/// reduce to the domain frequency (or V^2 f) itself, letting the model
+/// capture *activity-independent* power that scales with the operating
+/// point (clock trees, the GDDR5 interface).  The paper's Eq. 1 lacks such
+/// terms, which is the second reason its form cannot value down-clocking
+/// correctly (see bench_ablation_voltage_scaling).
+RegressionTable build_table(const Dataset& dataset, TargetKind target,
+                            const sim::FrequencyPair* pair_filter = nullptr,
+                            FeatureScaling scaling = FeatureScaling::FrequencyOnly,
+                            bool include_baseline_terms = false);
+
+}  // namespace gppm::core

@@ -1,0 +1,81 @@
+#include "core/governor.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gppm::core {
+
+std::string to_string(GovernorPolicy p) {
+  switch (p) {
+    case GovernorPolicy::MinimumEnergy: return "min-energy";
+    case GovernorPolicy::MinimumEdp: return "min-edp";
+    case GovernorPolicy::PowerCap: return "power-cap";
+  }
+  throw Error("unknown governor policy");
+}
+
+DvfsGovernor::DvfsGovernor(UnifiedModel power_model, UnifiedModel perf_model,
+                           GovernorOptions options)
+    : power_(std::move(power_model)),
+      perf_(std::move(perf_model)),
+      options_(options) {
+  GPPM_CHECK(power_.target() == TargetKind::Power,
+             "first model must target power");
+  GPPM_CHECK(perf_.target() == TargetKind::ExecTime,
+             "second model must target exectime");
+  GPPM_CHECK(power_.gpu() == perf_.gpu(), "models for different boards");
+  GPPM_CHECK(options_.switch_threshold >= 0.0, "negative switch threshold");
+}
+
+double DvfsGovernor::objective(const PairPrediction& p) const {
+  switch (options_.policy) {
+    case GovernorPolicy::MinimumEnergy:
+      return p.predicted_energy_joules;
+    case GovernorPolicy::MinimumEdp:
+      return p.predicted_energy_joules * p.predicted_time_seconds;
+    case GovernorPolicy::PowerCap:
+      // Feasible pairs rank by time; infeasible ones sort after every
+      // feasible pair, then by how far over the cap they are.
+      if (p.predicted_power_watts <= options_.power_cap.as_watts()) {
+        return p.predicted_time_seconds;
+      }
+      return 1e12 + p.predicted_power_watts;
+  }
+  throw Error("unknown governor policy");
+}
+
+sim::FrequencyPair DvfsGovernor::decide(
+    const profiler::ProfileResult& phase_counters) {
+  const std::vector<PairPrediction> predictions =
+      predict_all_pairs(power_, perf_, phase_counters);
+  GPPM_CHECK(!predictions.empty(), "no configurable pairs");
+
+  const PairPrediction* best = nullptr;
+  const PairPrediction* incumbent = nullptr;
+  for (const PairPrediction& p : predictions) {
+    if (!best || objective(p) < objective(*best)) best = &p;
+    if (p.pair == current_) incumbent = &p;
+  }
+  GPPM_ASSERT(best != nullptr);
+
+  ++decisions_;
+  // Hysteresis: stay unless the best pair beats the incumbent by margin.
+  if (incumbent != nullptr) {
+    const double inc = objective(*incumbent);
+    if (objective(*best) >= inc * (1.0 - options_.switch_threshold)) {
+      return current_;
+    }
+  }
+  if (!(best->pair == current_)) ++switches_;
+  current_ = best->pair;
+  return current_;
+}
+
+void DvfsGovernor::reset(sim::FrequencyPair start) {
+  current_ = start;
+  switches_ = 0;
+  decisions_ = 0;
+}
+
+}  // namespace gppm::core

@@ -1,0 +1,71 @@
+#include "core/optimizer.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "dvfs/combos.hpp"
+
+namespace gppm::core {
+
+namespace {
+void check_models(const UnifiedModel& power_model,
+                  const UnifiedModel& perf_model) {
+  GPPM_CHECK(power_model.target() == TargetKind::Power,
+             "first model must target power");
+  GPPM_CHECK(perf_model.target() == TargetKind::ExecTime,
+             "second model must target exectime");
+  GPPM_CHECK(power_model.gpu() == perf_model.gpu(),
+             "models fitted for different boards");
+}
+}  // namespace
+
+std::vector<PairPrediction> predict_all_pairs(
+    const UnifiedModel& power_model, const UnifiedModel& perf_model,
+    const profiler::ProfileResult& counters) {
+  check_models(power_model, perf_model);
+  std::vector<PairPrediction> out;
+  for (sim::FrequencyPair pair : dvfs::configurable_pairs(power_model.gpu())) {
+    PairPrediction p;
+    p.pair = pair;
+    p.predicted_power_watts = power_model.predict(counters, pair);
+    p.predicted_time_seconds = perf_model.predict(counters, pair);
+    // Linear models can extrapolate into non-physical territory for
+    // workloads far from the training distribution; clamp to small
+    // positive values so downstream energy ranking stays defined.
+    p.predicted_power_watts = std::max(1.0, p.predicted_power_watts);
+    p.predicted_time_seconds = std::max(1e-3, p.predicted_time_seconds);
+    p.predicted_energy_joules =
+        p.predicted_power_watts * p.predicted_time_seconds;
+    out.push_back(p);
+  }
+  return out;
+}
+
+sim::FrequencyPair predict_min_energy_pair(
+    const UnifiedModel& power_model, const UnifiedModel& perf_model,
+    const profiler::ProfileResult& counters) {
+  const auto predictions = predict_all_pairs(power_model, perf_model, counters);
+  GPPM_CHECK(!predictions.empty(), "no configurable pairs");
+  const PairPrediction* best = &predictions.front();
+  for (const PairPrediction& p : predictions) {
+    if (p.predicted_energy_joules < best->predicted_energy_joules) best = &p;
+  }
+  return best->pair;
+}
+
+sim::FrequencyPair fastest_pair_under_cap(
+    const UnifiedModel& power_model, const UnifiedModel& perf_model,
+    const profiler::ProfileResult& counters, Power cap) {
+  const auto predictions = predict_all_pairs(power_model, perf_model, counters);
+  const PairPrediction* best = nullptr;
+  for (const PairPrediction& p : predictions) {
+    if (p.predicted_power_watts > cap.as_watts()) continue;
+    if (!best || p.predicted_time_seconds < best->predicted_time_seconds) {
+      best = &p;
+    }
+  }
+  GPPM_CHECK(best != nullptr, "no configurable pair satisfies the power cap");
+  return best->pair;
+}
+
+}  // namespace gppm::core

@@ -1,0 +1,39 @@
+// Model-driven DVFS decisions — the "dynamic runtime management of power
+// and performance" the paper motivates as the use of its unified models.
+// Given a workload's counter profile and the fitted power and performance
+// models, predict every configurable pair and pick operating points by
+// objective (minimum energy, or fastest under a power cap).
+#pragma once
+
+#include <vector>
+
+#include "core/unified_model.hpp"
+
+namespace gppm::core {
+
+/// Model predictions for one operating point.
+struct PairPrediction {
+  sim::FrequencyPair pair;
+  double predicted_power_watts = 0.0;
+  double predicted_time_seconds = 0.0;
+  double predicted_energy_joules = 0.0;  ///< power x time
+};
+
+/// Predict all configurable pairs of the models' board.  Both models must
+/// be fitted for the same board; power must target Power and perf ExecTime.
+std::vector<PairPrediction> predict_all_pairs(
+    const UnifiedModel& power_model, const UnifiedModel& perf_model,
+    const profiler::ProfileResult& counters);
+
+/// Pair with the minimum predicted energy.
+sim::FrequencyPair predict_min_energy_pair(
+    const UnifiedModel& power_model, const UnifiedModel& perf_model,
+    const profiler::ProfileResult& counters);
+
+/// Fastest pair whose predicted power stays at or under `cap`.
+/// Throws gppm::Error if no configurable pair satisfies the cap.
+sim::FrequencyPair fastest_pair_under_cap(
+    const UnifiedModel& power_model, const UnifiedModel& perf_model,
+    const profiler::ProfileResult& counters, Power cap);
+
+}  // namespace gppm::core

@@ -1,0 +1,84 @@
+// The measurement pipeline: executes a benchmark on a simulated board at an
+// operating point and measures it the way the paper does — wall power
+// through the WT1600, time through a host timer, with the paper's 500 ms
+// kernel-repetition rule applied so every run yields at least 10 power
+// samples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/units.hpp"
+#include "gpusim/engine.hpp"
+#include "gpusim/system.hpp"
+#include "powermeter/wt1600.hpp"
+#include "workload/benchmark.hpp"
+
+namespace gppm::core {
+
+/// One measured run.
+struct Measurement {
+  sim::FrequencyPair pair;
+  Duration exec_time;  ///< host-timer reading for the whole run
+  Power avg_power;     ///< meter average over the run
+  Energy energy;       ///< meter-accumulated energy
+
+  /// The paper's power-efficiency metric: reciprocal of energy.
+  double power_efficiency() const { return 1.0 / energy.as_joules(); }
+  /// Performance metric: reciprocal of execution time.
+  double performance() const { return 1.0 / exec_time.as_seconds(); }
+};
+
+/// Runner options.
+struct RunnerOptions {
+  std::uint64_t seed = 42;
+  sim::HostSpec host = sim::default_host();
+  meter::MeterConfig meter;
+  /// Minimum run length before measuring; shorter runs get their kernels
+  /// repeated (paper Section II-D: 500 ms at 50 ms sampling = 10 samples).
+  Duration min_run_length = Duration::milliseconds(500.0);
+};
+
+/// Executes and measures benchmark runs on one board.
+class MeasurementRunner {
+ public:
+  explicit MeasurementRunner(sim::GpuModel model, RunnerOptions options = {});
+
+  /// Measure a benchmark at a size and operating point.  The kernel
+  /// repetition factor that enforces min_run_length is decided once per
+  /// (benchmark, size) at the default pair and reused for every pair, so
+  /// energies stay comparable across the sweep.
+  Measurement measure(const workload::BenchmarkDef& benchmark,
+                      std::size_t size_index, sim::FrequencyPair pair);
+
+  /// Measure an explicit run profile (no repetition-factor caching).
+  Measurement measure_profile(const sim::RunProfile& profile,
+                              sim::FrequencyPair pair);
+
+  /// The run profile measure() actually executes: the benchmark's profile
+  /// with the 500 ms repetition factor applied.  Profiling and measuring
+  /// must see the same run for the counter totals to match the measured
+  /// execution time.
+  sim::RunProfile prepared_profile(const workload::BenchmarkDef& benchmark,
+                                   std::size_t size_index);
+
+  /// Board access for profiling at a chosen operating point.
+  sim::Gpu& gpu() { return gpu_; }
+  const RunnerOptions& options() const { return options_; }
+
+ private:
+  /// Wall-power timeline of a run execution (host + GPU through the PSU).
+  std::vector<meter::TimelineSegment> wall_timeline(
+      const sim::RunExecution& exec) const;
+
+  double repetition_factor(const workload::BenchmarkDef& benchmark,
+                           std::size_t size_index);
+
+  sim::Gpu gpu_;
+  RunnerOptions options_;
+  meter::WT1600 meter_;
+  std::map<std::string, double> repetition_cache_;
+};
+
+}  // namespace gppm::core

@@ -1,0 +1,149 @@
+#include "core/serialization.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "profiler/counters.hpp"
+
+namespace gppm::core {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+std::string gpu_token(sim::GpuModel m) {
+  switch (m) {
+    case sim::GpuModel::GTX285: return "GTX285";
+    case sim::GpuModel::GTX460: return "GTX460";
+    case sim::GpuModel::GTX480: return "GTX480";
+    case sim::GpuModel::GTX680: return "GTX680";
+  }
+  throw Error("unknown GPU model");
+}
+
+sim::GpuModel parse_gpu(const std::string& token) {
+  for (sim::GpuModel m : sim::kAllGpus) {
+    if (gpu_token(m) == token) return m;
+  }
+  throw Error("unknown gpu token: " + token);
+}
+
+/// Exact round-trip double formatting (hexfloat).
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& token) {
+  std::size_t pos = 0;
+  const double v = std::stod(token, &pos);
+  GPPM_CHECK(pos == token.size(), "bad number: " + token);
+  return v;
+}
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+void serialize_model(const UnifiedModel& model, std::ostream& out) {
+  const UnifiedModel::Parts p = model.parts();
+  out << "gppm-model " << kFormatVersion << "\n";
+  out << "gpu " << gpu_token(p.gpu) << "\n";
+  out << "target " << (p.target == TargetKind::Power ? "power" : "exectime")
+      << "\n";
+  out << "scaling "
+      << (p.scaling == FeatureScaling::FrequencyOnly ? "f" : "v2f") << "\n";
+  out << "intercept " << fmt(p.intercept) << "\n";
+  out << "adjusted_r2 " << fmt(p.adjusted_r2) << "\n";
+  for (std::size_t i = 0; i < p.variables.size(); ++i) {
+    const SelectedVariable& v = p.variables[i];
+    out << "var " << v.counter << " "
+        << (v.klass == profiler::EventClass::Core ? "core" : "memory") << " "
+        << p.counter_indices[i] << " " << fmt(v.coefficient) << " "
+        << fmt(v.cumulative_adjusted_r2) << "\n";
+  }
+  out << "end\n";
+}
+
+std::string serialize_model(const UnifiedModel& model) {
+  std::ostringstream out;
+  serialize_model(model, out);
+  return out.str();
+}
+
+UnifiedModel deserialize_model(std::istream& in) {
+  UnifiedModel::Parts p;
+  std::string line;
+  bool saw_header = false, saw_end = false;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = split(line);
+    GPPM_CHECK(!tok.empty(), "empty line");
+    const std::string& key = tok[0];
+
+    if (!saw_header) {
+      GPPM_CHECK(key == "gppm-model" && tok.size() == 2,
+                 "missing gppm-model header");
+      GPPM_CHECK(std::stoi(tok[1]) == kFormatVersion,
+                 "unsupported model format version " + tok[1]);
+      saw_header = true;
+      continue;
+    }
+    if (key == "gpu") {
+      GPPM_CHECK(tok.size() == 2, "bad gpu line");
+      p.gpu = parse_gpu(tok[1]);
+    } else if (key == "target") {
+      GPPM_CHECK(tok.size() == 2, "bad target line");
+      GPPM_CHECK(tok[1] == "power" || tok[1] == "exectime",
+                 "bad target: " + tok[1]);
+      p.target = tok[1] == "power" ? TargetKind::Power : TargetKind::ExecTime;
+    } else if (key == "scaling") {
+      GPPM_CHECK(tok.size() == 2, "bad scaling line");
+      GPPM_CHECK(tok[1] == "f" || tok[1] == "v2f", "bad scaling: " + tok[1]);
+      p.scaling = tok[1] == "f" ? FeatureScaling::FrequencyOnly
+                                : FeatureScaling::VoltageSquaredFrequency;
+    } else if (key == "intercept") {
+      GPPM_CHECK(tok.size() == 2, "bad intercept line");
+      p.intercept = parse_double(tok[1]);
+    } else if (key == "adjusted_r2") {
+      GPPM_CHECK(tok.size() == 2, "bad adjusted_r2 line");
+      p.adjusted_r2 = parse_double(tok[1]);
+    } else if (key == "var") {
+      GPPM_CHECK(tok.size() == 6, "bad var line: " + line);
+      SelectedVariable v;
+      v.counter = tok[1];
+      GPPM_CHECK(tok[2] == "core" || tok[2] == "memory",
+                 "bad event class: " + tok[2]);
+      v.klass = tok[2] == "core" ? profiler::EventClass::Core
+                                 : profiler::EventClass::Memory;
+      p.counter_indices.push_back(std::stoul(tok[3]));
+      v.coefficient = parse_double(tok[4]);
+      v.cumulative_adjusted_r2 = parse_double(tok[5]);
+      p.variables.push_back(std::move(v));
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw Error("unknown model-file field: " + key);
+    }
+  }
+  GPPM_CHECK(saw_header, "not a gppm model file");
+  GPPM_CHECK(saw_end, "truncated model file (no 'end')");
+  return UnifiedModel::from_parts(std::move(p));
+}
+
+UnifiedModel deserialize_model(const std::string& text) {
+  std::istringstream in(text);
+  return deserialize_model(in);
+}
+
+}  // namespace gppm::core

@@ -1,0 +1,39 @@
+// Text serialization of fitted unified models.
+//
+// The deployment story behind the paper's models is: profile + fit once
+// (offline, with the full measurement rig), predict at runtime (no rig).
+// That requires moving a fitted model between processes; this module
+// defines a stable, human-readable line format:
+//
+//   gppm-model 1
+//   gpu <GTX285|GTX460|GTX480|GTX680>
+//   target <power|exectime>
+//   scaling <f|v2f>
+//   max_variables <n>
+//   intercept <value>
+//   adjusted_r2 <value>
+//   var <counter-name> <core|memory> <index> <coefficient> <cumulative-r2>
+//   ...
+//   end
+//
+// Values round-trip exactly (hex float formatting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/unified_model.hpp"
+
+namespace gppm::core {
+
+/// Serialize a fitted model.
+std::string serialize_model(const UnifiedModel& model);
+void serialize_model(const UnifiedModel& model, std::ostream& out);
+
+/// Parse a serialized model.  Throws gppm::Error on malformed input,
+/// unknown fields, version mismatch, or counters that do not exist in the
+/// board's catalog.
+UnifiedModel deserialize_model(const std::string& text);
+UnifiedModel deserialize_model(std::istream& in);
+
+}  // namespace gppm::core

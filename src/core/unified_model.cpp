@@ -1,0 +1,110 @@
+#include "core/unified_model.hpp"
+
+#include "common/error.hpp"
+#include "profiler/counters.hpp"
+
+namespace gppm::core {
+
+UnifiedModel UnifiedModel::fit(const Dataset& dataset, TargetKind target,
+                               const ModelOptions& options,
+                               const sim::FrequencyPair* pair_filter) {
+  const RegressionTable table =
+      build_table(dataset, target, pair_filter, options.scaling,
+                  options.include_baseline_terms);
+
+  stats::SelectionOptions sel;
+  sel.max_variables = options.max_variables;
+  const stats::SelectionResult result =
+      stats::forward_select(table.features, table.target, sel);
+
+  UnifiedModel model;
+  model.target_ = target;
+  model.scaling_ = options.scaling;
+  model.gpu_ = dataset.model;
+  model.intercept_ = result.fit.intercept;
+  model.adjusted_r2_ = result.fit.adjusted_r_squared;
+
+  const auto& catalog =
+      profiler::counter_catalog(sim::device_spec(dataset.model).architecture);
+  GPPM_CHECK(catalog.size() +
+                     (options.include_baseline_terms ? 2u : 0u) ==
+                 table.feature_names.size(),
+             "catalog/feature mismatch");
+  for (std::size_t i = 0; i < result.selected.size(); ++i) {
+    const std::size_t col = result.selected[i];
+    SelectedVariable var;
+    var.counter = table.feature_names[col];
+    // Baseline pseudo-features sit past the catalog: core first, mem second.
+    var.klass = col < catalog.size()
+                    ? catalog[col].klass
+                    : (col == catalog.size() ? profiler::EventClass::Core
+                                             : profiler::EventClass::Memory);
+    var.coefficient = result.fit.coefficients[i];
+    var.cumulative_adjusted_r2 = result.r2_trace[i];
+    model.variables_.push_back(std::move(var));
+    model.counter_indices_.push_back(col);
+  }
+  return model;
+}
+
+UnifiedModel::Parts UnifiedModel::parts() const {
+  Parts p;
+  p.target = target_;
+  p.scaling = scaling_;
+  p.gpu = gpu_;
+  p.intercept = intercept_;
+  p.adjusted_r2 = adjusted_r2_;
+  p.variables = variables_;
+  p.counter_indices = counter_indices_;
+  return p;
+}
+
+UnifiedModel UnifiedModel::from_parts(Parts parts) {
+  GPPM_CHECK(parts.variables.size() == parts.counter_indices.size(),
+             "variables/indices size mismatch");
+  const auto& catalog =
+      profiler::counter_catalog(sim::device_spec(parts.gpu).architecture);
+  for (std::size_t i = 0; i < parts.variables.size(); ++i) {
+    const std::size_t idx = parts.counter_indices[i];
+    // Catalog counters must match by name; indices past the catalog are
+    // the two baseline pseudo-features.
+    if (idx < catalog.size()) {
+      GPPM_CHECK(catalog[idx].name == parts.variables[i].counter,
+                 "counter/index mismatch: " + parts.variables[i].counter);
+    } else {
+      GPPM_CHECK(idx <= catalog.size() + 1, "feature index out of range");
+    }
+  }
+  UnifiedModel model;
+  model.target_ = parts.target;
+  model.scaling_ = parts.scaling;
+  model.gpu_ = parts.gpu;
+  model.intercept_ = parts.intercept;
+  model.adjusted_r2_ = parts.adjusted_r2;
+  model.variables_ = std::move(parts.variables);
+  model.counter_indices_ = std::move(parts.counter_indices);
+  return model;
+}
+
+double UnifiedModel::predict(const profiler::ProfileResult& counters,
+                             sim::FrequencyPair pair) const {
+  const sim::DeviceSpec& spec = sim::device_spec(gpu_);
+  double acc = intercept_;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const std::size_t idx = counter_indices_[i];
+    profiler::CounterReading reading;
+    if (idx < counters.counters.size()) {
+      reading = counters.counters[idx];
+      GPPM_CHECK(reading.name == variables_[i].counter,
+                 "counter order mismatch: expected " + variables_[i].counter);
+    } else {
+      // Baseline pseudo-feature (extension): unit-rate reading.
+      reading = baseline_reading(variables_[i].klass);
+    }
+    acc += variables_[i].coefficient *
+           feature_value(reading, pair, spec, target_, scaling_);
+  }
+  return acc;
+}
+
+}  // namespace gppm::core

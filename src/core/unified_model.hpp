@@ -1,0 +1,84 @@
+// The paper's unified statistical power and performance models
+// (Section IV): multiple linear regression over frequency-scaled counter
+// features, with variables chosen by forward selection maximizing adjusted
+// R^2 (at most 10 variables by default; Figs. 7/8 sweep 5-20).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "stats/forward_selection.hpp"
+
+namespace gppm::core {
+
+/// Fitting options.
+struct ModelOptions {
+  std::size_t max_variables = 10;
+  /// Power-feature scaling.  FrequencyOnly is the paper's Eq. 1; the
+  /// voltage-aware variant is the library's extension (see FeatureScaling).
+  FeatureScaling scaling = FeatureScaling::FrequencyOnly;
+  /// Offer the per-domain baseline pseudo-features to forward selection
+  /// (library extension; see build_table).
+  bool include_baseline_terms = false;
+};
+
+/// One selected explanatory variable of a fitted model.
+struct SelectedVariable {
+  std::string counter;
+  profiler::EventClass klass;
+  double coefficient = 0.0;
+  /// Adjusted R^2 right after this variable was added (its marginal
+  /// contribution is the delta to the previous entry) — the quantity behind
+  /// the Fig. 11 influence breakdown.
+  double cumulative_adjusted_r2 = 0.0;
+};
+
+/// A fitted unified model for one board and one target.
+class UnifiedModel {
+ public:
+  /// Fit on a corpus.  `pair_filter`, if given, restricts training rows to
+  /// one operating point (the per-pair baseline of Figs. 9/10).
+  static UnifiedModel fit(const Dataset& dataset, TargetKind target,
+                          const ModelOptions& options = {},
+                          const sim::FrequencyPair* pair_filter = nullptr);
+
+  /// Predict the target (watts or seconds) for a profiled workload at any
+  /// operating point of the board.
+  double predict(const profiler::ProfileResult& counters,
+                 sim::FrequencyPair pair) const;
+
+  TargetKind target() const { return target_; }
+  FeatureScaling scaling() const { return scaling_; }
+  sim::GpuModel gpu() const { return gpu_; }
+  double adjusted_r2() const { return adjusted_r2_; }
+  double intercept() const { return intercept_; }
+  const std::vector<SelectedVariable>& variables() const { return variables_; }
+
+  /// Raw constituents of a fitted model, for serialization round-trips.
+  struct Parts {
+    TargetKind target = TargetKind::Power;
+    FeatureScaling scaling = FeatureScaling::FrequencyOnly;
+    sim::GpuModel gpu = sim::GpuModel::GTX480;
+    double intercept = 0.0;
+    double adjusted_r2 = 0.0;
+    std::vector<SelectedVariable> variables;
+    std::vector<std::size_t> counter_indices;  ///< parallel to variables
+  };
+  Parts parts() const;
+  /// Reassemble a model from parts; validates variable/index consistency
+  /// against the board's counter catalog.
+  static UnifiedModel from_parts(Parts parts);
+
+ private:
+  TargetKind target_ = TargetKind::Power;
+  FeatureScaling scaling_ = FeatureScaling::FrequencyOnly;
+  sim::GpuModel gpu_ = sim::GpuModel::GTX480;
+  double intercept_ = 0.0;
+  double adjusted_r2_ = 0.0;
+  std::vector<SelectedVariable> variables_;
+  /// Catalog indices of the selected counters, for fast prediction.
+  std::vector<std::size_t> counter_indices_;
+};
+
+}  // namespace gppm::core

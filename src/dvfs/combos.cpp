@@ -1,0 +1,49 @@
+#include "dvfs/combos.hpp"
+
+#include "common/error.hpp"
+
+namespace gppm::dvfs {
+
+using sim::ClockLevel;
+using sim::FrequencyPair;
+using sim::GpuModel;
+
+std::vector<FrequencyPair> all_candidate_pairs() {
+  // TABLE III row order: core level major (H, M, L), memory level minor.
+  std::vector<FrequencyPair> out;
+  for (ClockLevel core : {ClockLevel::High, ClockLevel::Medium, ClockLevel::Low}) {
+    for (ClockLevel mem : {ClockLevel::High, ClockLevel::Medium, ClockLevel::Low}) {
+      out.push_back({core, mem});
+    }
+  }
+  return out;
+}
+
+bool is_configurable(GpuModel model, FrequencyPair pair) {
+  // All boards expose every pair with core at H or M.
+  if (pair.core != ClockLevel::Low) return true;
+  // Core-L rows differ per board (TABLE III):
+  switch (model) {
+    case GpuModel::GTX285:
+      // L-H and L-M, but not L-L.
+      return pair.mem != ClockLevel::Low;
+    case GpuModel::GTX460:
+    case GpuModel::GTX480:
+      // Fermi boards only pair the 100 MHz idle core state with Mem-L.
+      return pair.mem == ClockLevel::Low;
+    case GpuModel::GTX680:
+      // Only L-H.
+      return pair.mem == ClockLevel::High;
+  }
+  throw Error("unknown GPU model");
+}
+
+std::vector<FrequencyPair> configurable_pairs(GpuModel model) {
+  std::vector<FrequencyPair> out;
+  for (FrequencyPair p : all_candidate_pairs()) {
+    if (is_configurable(model, p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace gppm::dvfs

@@ -1,0 +1,25 @@
+// The configurable frequency combinations of paper TABLE III.
+//
+// NVIDIA's BIOS exposes only a subset of the nine (core, mem) level pairs on
+// each board; the paper sweeps exactly the exposed ones.  This table is the
+// ground truth the synthetic VBIOS images are generated from and the DVFS
+// controller validates against.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/arch.hpp"
+
+namespace gppm::dvfs {
+
+/// True if the board's BIOS exposes the pair (paper TABLE III).
+bool is_configurable(sim::GpuModel model, sim::FrequencyPair pair);
+
+/// All configurable pairs of a board, in TABLE III row order
+/// (H-H, H-M, H-L, M-H, M-M, M-L, L-H, L-M, L-L, filtered to legal ones).
+std::vector<sim::FrequencyPair> configurable_pairs(sim::GpuModel model);
+
+/// The nine candidate pairs in TABLE III row order (unfiltered).
+std::vector<sim::FrequencyPair> all_candidate_pairs();
+
+}  // namespace gppm::dvfs

@@ -1,0 +1,35 @@
+#include "dvfs/controller.hpp"
+
+#include "common/error.hpp"
+#include "dvfs/combos.hpp"
+
+namespace gppm::dvfs {
+
+Controller::Controller(sim::Gpu& gpu)
+    : gpu_(gpu), image_(build_vbios(gpu.spec().model)) {
+  boot();
+}
+
+void Controller::boot() {
+  const PerfTable table = parse_vbios(image_);
+  const PStateEntry& entry = table.entries[table.boot_index];
+  GPPM_CHECK(entry.configurable, "boot P-state not configurable");
+  gpu_.set_frequency_pair(entry.pair);
+  ++reboot_count_;
+}
+
+void Controller::set_pair(sim::FrequencyPair pair) {
+  patch_boot_pstate(image_, pair);  // throws on illegal pairs
+  boot();
+}
+
+sim::FrequencyPair Controller::current_pair() const {
+  const PerfTable table = parse_vbios(image_);
+  return table.entries[table.boot_index].pair;
+}
+
+std::vector<sim::FrequencyPair> Controller::available_pairs() const {
+  return configurable_pairs(gpu_.spec().model);
+}
+
+}  // namespace gppm::dvfs

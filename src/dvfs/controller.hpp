@@ -1,0 +1,46 @@
+// The DVFS controller: applies a VBIOS-selected operating point to a
+// simulated board, reproducing the paper's control flow (patch image ->
+// reboot GPU at the chosen P-state -> run).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dvfs/vbios.hpp"
+#include "gpusim/engine.hpp"
+
+namespace gppm::dvfs {
+
+/// Owns the board's VBIOS image and drives the Gpu's clock pair through it.
+/// Every transition goes through patch_boot_pstate + a simulated re-boot, so
+/// illegal pairs are rejected with the same error the patching path raises.
+class Controller {
+ public:
+  /// Builds the factory image for the GPU's model and boots at (H-H).
+  explicit Controller(sim::Gpu& gpu);
+
+  /// Set the operating point.  Throws gppm::Error if the pair is not
+  /// configurable on this board (TABLE III).
+  void set_pair(sim::FrequencyPair pair);
+
+  /// Current operating point (decoded from the image, not cached).
+  sim::FrequencyPair current_pair() const;
+
+  /// Pairs this board's BIOS exposes, in TABLE III row order.
+  std::vector<sim::FrequencyPair> available_pairs() const;
+
+  /// The raw image (for tests and the quickstart example).
+  const std::vector<std::uint8_t>& image() const { return image_; }
+
+  /// Number of simulated reboots performed (each set_pair reboots once).
+  int reboot_count() const { return reboot_count_; }
+
+ private:
+  void boot();
+
+  sim::Gpu& gpu_;
+  std::vector<std::uint8_t> image_;
+  int reboot_count_ = 0;
+};
+
+}  // namespace gppm::dvfs

@@ -1,0 +1,122 @@
+#include "dvfs/vbios.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dvfs/combos.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace gppm::dvfs {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'G', 'V', 'B', 'S'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 8;
+constexpr std::size_t kEntrySize = 10;
+
+void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> image, std::size_t off) {
+  return static_cast<std::uint16_t>(image[off] |
+                                    (static_cast<std::uint16_t>(image[off + 1]) << 8));
+}
+
+std::uint8_t checksum_complement(std::span<const std::uint8_t> bytes) {
+  unsigned sum = 0;
+  for (std::uint8_t b : bytes) sum += b;
+  return static_cast<std::uint8_t>((256 - (sum & 0xff)) & 0xff);
+}
+
+std::uint16_t to_millivolts(gppm::Voltage v) {
+  return static_cast<std::uint16_t>(std::lround(v.as_volts() * 1000.0));
+}
+}  // namespace
+
+std::size_t PerfTable::index_of(sim::FrequencyPair pair) const {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].pair == pair) return i;
+  }
+  throw Error("P-state " + sim::to_string(pair) + " not present in table");
+}
+
+std::vector<std::uint8_t> build_vbios(sim::GpuModel model) {
+  const sim::DeviceSpec& spec = sim::device_spec(model);
+  const auto pairs = all_candidate_pairs();
+
+  std::vector<std::uint8_t> image;
+  image.reserve(kHeaderSize + kEntrySize * pairs.size() + 1);
+  image.insert(image.end(), std::begin(kMagic), std::end(kMagic));
+  image.push_back(kVersion);
+  image.push_back(static_cast<std::uint8_t>(model));
+  image.push_back(0);  // boot index: entry 0 is (H-H), the factory default
+  image.push_back(static_cast<std::uint8_t>(pairs.size()));
+
+  for (sim::FrequencyPair p : pairs) {
+    const sim::ClockStep& core = spec.core_clock.at(p.core);
+    const sim::ClockStep& mem = spec.mem_clock.at(p.mem);
+    put_u16(image, static_cast<std::uint16_t>(
+                       std::lround(core.frequency.as_mhz())));
+    put_u16(image, static_cast<std::uint16_t>(std::lround(mem.frequency.as_mhz())));
+    put_u16(image, to_millivolts(core.voltage));
+    put_u16(image, to_millivolts(mem.voltage));
+    image.push_back(is_configurable(model, p) ? 0x01 : 0x00);
+    image.push_back(0x00);  // pad
+  }
+  image.push_back(checksum_complement(image));
+  return image;
+}
+
+PerfTable parse_vbios(std::span<const std::uint8_t> image) {
+  GPPM_CHECK(image.size() > kHeaderSize + 1, "image too small");
+  for (std::size_t i = 0; i < 4; ++i) {
+    GPPM_CHECK(image[i] == kMagic[i], "bad VBIOS magic");
+  }
+  GPPM_CHECK(image[4] == kVersion, "unsupported VBIOS version");
+  const std::uint8_t model_id = image[5];
+  GPPM_CHECK(model_id < 4, "bad GPU model id");
+  const std::size_t boot_index = image[6];
+  const std::size_t count = image[7];
+  const std::size_t expected = kHeaderSize + kEntrySize * count + 1;
+  GPPM_CHECK(image.size() == expected, "image size does not match entry count");
+  GPPM_CHECK(boot_index < count, "boot index out of range");
+
+  unsigned sum = 0;
+  for (std::uint8_t b : image) sum += b;
+  GPPM_CHECK((sum & 0xff) == 0, "VBIOS checksum mismatch");
+
+  PerfTable table;
+  table.model = static_cast<sim::GpuModel>(model_id);
+  table.boot_index = boot_index;
+  const auto pairs = all_candidate_pairs();
+  GPPM_CHECK(count == pairs.size(), "unexpected entry count");
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t off = kHeaderSize + i * kEntrySize;
+    PStateEntry e;
+    e.pair = pairs[i];
+    e.core_mhz = get_u16(image, off);
+    e.mem_mhz = get_u16(image, off + 2);
+    e.core_millivolts = get_u16(image, off + 4);
+    e.mem_millivolts = get_u16(image, off + 6);
+    e.configurable = (image[off + 8] & 0x01) != 0;
+    table.entries.push_back(e);
+  }
+  return table;
+}
+
+void patch_boot_pstate(std::vector<std::uint8_t>& image,
+                       sim::FrequencyPair pair) {
+  PerfTable table = parse_vbios(image);
+  const std::size_t idx = table.index_of(pair);
+  GPPM_CHECK(table.entries[idx].configurable,
+             "pair " + sim::to_string(pair) + " is not configurable on " +
+                 sim::to_string(table.model) + " (TABLE III)");
+  image[6] = static_cast<std::uint8_t>(idx);
+  image.back() = 0;  // recompute checksum over all preceding bytes
+  image.back() = checksum_complement(
+      std::span<const std::uint8_t>(image.data(), image.size() - 1));
+}
+
+}  // namespace gppm::dvfs

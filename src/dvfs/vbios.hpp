@@ -1,0 +1,63 @@
+// Synthetic video-BIOS images and the performance-table parser.
+//
+// The paper's frequency-scaling method (Section II-B) patches the GPU's BIOS
+// image inside the proprietary driver so the board boots at a chosen P-state
+// ("interested readers ... are encouraged to visit the software repository of
+// Gdev").  We reproduce that control path against a synthetic image format:
+//
+//   offset  size  field
+//   0       4     magic "GVBS"
+//   4       1     format version (1)
+//   5       1     GpuModel id
+//   6       1     boot P-state index
+//   7       1     P-state entry count
+//   8       10*n  entries: core_mhz u16 | mem_mhz u16 | core_mv u16 |
+//                          mem_mv u16 | flags u8 (bit0: configurable) | pad u8
+//   8+10*n  1     checksum byte (two's complement; whole image sums to 0 mod 256)
+//
+// All multi-byte fields are little-endian, as in real VBIOS tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/arch.hpp"
+
+namespace gppm::dvfs {
+
+/// One decoded performance-table entry.
+struct PStateEntry {
+  sim::FrequencyPair pair;
+  std::uint16_t core_mhz = 0;
+  std::uint16_t mem_mhz = 0;
+  std::uint16_t core_millivolts = 0;
+  std::uint16_t mem_millivolts = 0;
+  bool configurable = false;
+};
+
+/// A decoded VBIOS performance table.
+struct PerfTable {
+  sim::GpuModel model;
+  std::size_t boot_index = 0;
+  std::vector<PStateEntry> entries;
+
+  /// Index of the entry matching `pair`; throws if absent.
+  std::size_t index_of(sim::FrequencyPair pair) const;
+};
+
+/// Build the board's factory VBIOS image: all nine candidate pairs with
+/// frequencies/voltages from the device spec and configurability flags from
+/// TABLE III; the boot P-state is (H-H), the paper's default.
+std::vector<std::uint8_t> build_vbios(sim::GpuModel model);
+
+/// Parse and validate an image (magic, version, bounds, checksum).
+/// Throws gppm::Error on any corruption.
+PerfTable parse_vbios(std::span<const std::uint8_t> image);
+
+/// Patch the boot P-state in-place, recomputing the checksum — the Gdev
+/// method.  Throws if the pair is not a configurable entry of the image.
+void patch_boot_pstate(std::vector<std::uint8_t>& image,
+                       sim::FrequencyPair pair);
+
+}  // namespace gppm::dvfs

@@ -1,0 +1,101 @@
+// Static specifications and calibration parameters of the four boards.
+//
+// The datasheet half of each spec comes straight from the paper's TABLE I
+// (cores, peak GFLOPS, bandwidth, TDP, clock steps).  The calibration half
+// (voltage tables, power-budget split, cache effectiveness, issue efficiency)
+// is not published for these boards; values are chosen so that the simulated
+// system reproduces the paper's *measured* behaviour (TABLE IV / Fig. 4
+// efficiency improvements, Figs. 1-3 curve shapes).  DESIGN.md documents this
+// substitution.
+#pragma once
+
+#include <array>
+
+#include "common/units.hpp"
+#include "gpusim/arch.hpp"
+
+namespace gppm::sim {
+
+/// One step of a clock domain: frequency and the supply voltage the board
+/// applies at that frequency ("voltage is implicitly adjusted with frequency
+/// changes", paper Section II-B).
+struct ClockStep {
+  Frequency frequency;
+  Voltage voltage;
+};
+
+/// A three-step (L/M/H) scalable clock domain.
+struct ClockDomainSpec {
+  std::array<ClockStep, 3> steps;  // indexed by level_index()
+
+  const ClockStep& at(ClockLevel l) const { return steps[level_index(l)]; }
+  /// Frequency ratio of `l` relative to the High step.
+  double frequency_ratio(ClockLevel l) const;
+  /// Squared voltage ratio of `l` relative to the High step.
+  double voltage_sq_ratio(ClockLevel l) const;
+};
+
+/// Power calibration: the board's power budget at (H-H) and full utilization
+/// is split into a leakage/static part and per-domain dynamic parts.  Each
+/// dynamic part has a utilization-independent baseline fraction (clock trees,
+/// DRAM interface/refresh) — the component whose removal by down-clocking
+/// produces the energy savings the paper measures on compute-bound kernels.
+struct PowerCalibration {
+  Power static_power;     ///< leakage + always-on at core-H voltage
+  Power core_dynamic;     ///< core-domain dynamic power at (H), utilization 1
+  Power mem_dynamic;      ///< memory-domain dynamic power at (H), utilization 1
+  double core_baseline;   ///< fraction of core_dynamic drawn at utilization 0
+  double mem_baseline;    ///< fraction of mem_dynamic drawn at utilization 0
+  /// Fraction of core_dynamic that does not scale with voltage/frequency at
+  /// all: clock distribution and logic without clock gating.  Large on the
+  /// Tesla generation (weak gating — the reason the paper finds almost no
+  /// DVFS headroom on the GTX 285), small on Fermi/Kepler.
+  double core_ungated;
+  /// Lognormal sigma of measured-power deviations no counter can explain
+  /// (VRM efficiency, temperature, and on Kepler the boost machinery).
+  /// The paper's anomalously low Kepler power-model R^2 (0.18) comes from
+  /// exactly this kind of activity-independent power scatter.
+  double unmodeled_power_sigma;
+};
+
+/// Timing calibration.
+struct TimingCalibration {
+  double issue_efficiency;    ///< sustained fraction of peak issue rate
+  double dram_efficiency;     ///< sustained fraction of peak DRAM bandwidth
+  double cache_effectiveness; ///< fraction of a workload's locality the cache
+                              ///< hierarchy converts into DRAM-traffic savings
+                              ///< (0 on Tesla: no L1/L2, texture cache only)
+  double dp_throughput_ratio; ///< double-precision : single-precision rate
+  Duration launch_overhead;   ///< per kernel launch (driver + PCIe)
+  int max_warps_per_sm;       ///< resident-warp limit (occupancy accounting)
+  /// Lognormal sigma of per-workload timing behaviour that hardware
+  /// counters cannot observe (replay storms, TLB/partition camping...).
+  /// Larger on older architectures — the paper attributes its decreasing
+  /// performance-model error across generations to exactly this
+  /// ("the enhanced microarchitecture can also remove unpredictable
+  /// behaviors present in old GPUs", Section IV-B).
+  double unmodeled_sigma;
+};
+
+/// Full device specification.
+struct DeviceSpec {
+  GpuModel model;
+  Architecture architecture;
+  int sm_count;
+  int cores_per_sm;
+  int cuda_cores;             ///< sm_count * cores_per_sm (TABLE I row 2)
+  double peak_gflops;         ///< TABLE I row 3, at core-H
+  double mem_bandwidth_gbps;  ///< TABLE I row 4, at mem-H
+  Power tdp;                  ///< TABLE I row 5
+  ClockDomainSpec core_clock; ///< TABLE I row 6
+  ClockDomainSpec mem_clock;  ///< TABLE I row 7
+  bool has_cache_hierarchy;   ///< L1/L2 present (Fermi, Kepler)
+  int performance_counter_count;  ///< CUDA profiler counters (paper: 32/74/108)
+  PowerCalibration power;
+  TimingCalibration timing;
+};
+
+/// Board specification registry (immutable, process-lifetime storage).
+const DeviceSpec& device_spec(GpuModel m);
+
+}  // namespace gppm::sim

@@ -1,0 +1,87 @@
+// The GPU execution engine: runs benchmark profiles at an operating point
+// and produces the three observables the paper's pipeline consumes — time,
+// power over time, and hardware-event counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/events.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "gpusim/timing.hpp"
+
+namespace gppm::sim {
+
+/// What a segment of a run's power timeline represents.
+enum class SegmentKind { HostCompute, GpuKernel };
+
+/// A constant-power interval of a run; `gpu_power` is the GPU board power
+/// during the segment (host power is added by the measurement layer).
+struct PowerSegment {
+  SegmentKind kind;
+  Duration duration;
+  Power gpu_power;
+};
+
+/// Result of executing one kernel launch series.
+struct KernelExecution {
+  KernelTiming timing;        ///< per-launch breakdown + total over launches
+  Power gpu_power;            ///< average GPU board power during the kernels
+  HardwareEvents events;      ///< ground-truth counts over all launches
+};
+
+/// Result of executing one full benchmark run.
+struct RunExecution {
+  Duration gpu_time;          ///< sum of kernel total times
+  Duration host_time;         ///< CPU-side portion (clock-independent)
+  Duration total_time;        ///< gpu_time + host_time
+  HardwareEvents events;      ///< aggregated over all kernels
+  std::vector<KernelExecution> kernels;
+  std::vector<PowerSegment> timeline;  ///< host-setup / kernels / host-finish
+};
+
+/// A simulated GPU board.  Deterministic: two Gpu instances with the same
+/// model and seed produce identical results for identical inputs, regardless
+/// of call order (per-kernel stochastic effects are keyed on kernel name and
+/// operating point, not on engine state).
+class Gpu {
+ public:
+  /// `seed` controls the unmodeled-behaviour draw (see
+  /// DeviceSpec::timing.unmodeled_sigma).
+  explicit Gpu(GpuModel model, std::uint64_t seed = 42);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Pin the clock pair, as the paper's BIOS method does at boot.
+  /// The engine accepts any of the nine combinations; the DVFS layer
+  /// enforces which ones a board's BIOS actually exposes (TABLE III).
+  void set_frequency_pair(FrequencyPair pair) { pair_ = pair; }
+  FrequencyPair frequency_pair() const { return pair_; }
+
+  /// Execute one kernel launch series at the pinned clocks.
+  KernelExecution launch(const KernelProfile& kernel) const;
+
+  /// Execute a full benchmark run (kernels + host time).
+  RunExecution run(const RunProfile& profile) const;
+
+ private:
+  /// Multiplicative time factor for counter-invisible behaviour, keyed on
+  /// (seed, model, kernel name): stable across operating points so it acts
+  /// like workload character, not run noise.
+  double unmodeled_factor(const std::string& kernel_name,
+                          double sigma_scale) const;
+
+  const DeviceSpec& spec_;
+  std::uint64_t seed_;
+  FrequencyPair pair_ = kDefaultPair;
+};
+
+/// Derive ground-truth hardware events for one kernel launch series.
+/// Exposed for the profiler layer and tests.
+HardwareEvents synthesize_events(const DeviceSpec& spec,
+                                 const KernelProfile& kernel,
+                                 const KernelTiming& timing);
+
+}  // namespace gppm::sim

@@ -1,0 +1,39 @@
+#include "gpusim/events.hpp"
+
+namespace gppm::sim {
+
+HardwareEvents& HardwareEvents::operator+=(const HardwareEvents& o) {
+  insts_issued += o.insts_issued;
+  insts_executed += o.insts_executed;
+  flops_sp += o.flops_sp;
+  flops_dp += o.flops_dp;
+  int_insts += o.int_insts;
+  special_insts += o.special_insts;
+  gld_requests += o.gld_requests;
+  gst_requests += o.gst_requests;
+  gld_transactions += o.gld_transactions;
+  gst_transactions += o.gst_transactions;
+  l1_hits += o.l1_hits;
+  l1_misses += o.l1_misses;
+  l2_reads += o.l2_reads;
+  l2_writes += o.l2_writes;
+  dram_reads += o.dram_reads;
+  dram_writes += o.dram_writes;
+  shared_loads += o.shared_loads;
+  shared_stores += o.shared_stores;
+  shared_bank_conflicts += o.shared_bank_conflicts;
+  tex_requests += o.tex_requests;
+  tex_hits += o.tex_hits;
+  branches += o.branches;
+  divergent_branches += o.divergent_branches;
+  warps_launched += o.warps_launched;
+  blocks_launched += o.blocks_launched;
+  threads_launched += o.threads_launched;
+  active_cycles += o.active_cycles;
+  elapsed_cycles += o.elapsed_cycles;
+  active_warps += o.active_warps;
+  barrier_syncs += o.barrier_syncs;
+  return *this;
+}
+
+}  // namespace gppm::sim

@@ -1,0 +1,55 @@
+// Ground-truth hardware event counts produced by the execution engine.
+//
+// These are the quantities a GPU's performance-monitoring hardware counts;
+// the profiler layer (src/profiler) exposes lossy per-architecture views of
+// them, the way the real CUDA profiler samples a subset of SMs.
+#pragma once
+
+#include <cstdint>
+
+namespace gppm::sim {
+
+/// Event totals for one kernel launch series (all launches of one kernel in
+/// one benchmark run, summed).
+struct HardwareEvents {
+  double insts_issued = 0;       ///< warp-instructions issued (incl. replays)
+  double insts_executed = 0;     ///< warp-instructions retired
+  double flops_sp = 0;
+  double flops_dp = 0;
+  double int_insts = 0;
+  double special_insts = 0;
+
+  double gld_requests = 0;       ///< global load warp-requests
+  double gst_requests = 0;       ///< global store warp-requests
+  double gld_transactions = 0;   ///< 32B memory transactions for loads
+  double gst_transactions = 0;
+  double l1_hits = 0;            ///< 0 on Tesla
+  double l1_misses = 0;
+  double l2_reads = 0;
+  double l2_writes = 0;
+  double dram_reads = 0;         ///< DRAM read transactions
+  double dram_writes = 0;
+
+  double shared_loads = 0;
+  double shared_stores = 0;
+  double shared_bank_conflicts = 0;
+
+  double tex_requests = 0;
+  double tex_hits = 0;
+
+  double branches = 0;
+  double divergent_branches = 0;
+
+  double warps_launched = 0;
+  double blocks_launched = 0;
+  double threads_launched = 0;
+  double active_cycles = 0;      ///< SM cycles with at least one active warp
+  double elapsed_cycles = 0;     ///< core-clock cycles over the launch series
+  double active_warps = 0;       ///< sum over cycles of resident warps
+  double barrier_syncs = 0;
+
+  /// Elementwise sum (used to aggregate multi-kernel benchmarks).
+  HardwareEvents& operator+=(const HardwareEvents& o);
+};
+
+}  // namespace gppm::sim

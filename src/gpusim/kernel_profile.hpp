@@ -1,0 +1,75 @@
+// The simulator's workload input format.
+//
+// A KernelProfile summarizes one CUDA kernel launch (or a homogeneous series
+// of launches) by its per-thread operation counts and behavioural
+// coefficients.  Benchmark models (src/workload) derive these from the real
+// algorithms' structure; the execution engine turns them into time, power
+// and hardware-event counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gppm::sim {
+
+/// Per-launch kernel description.  All `*_per_thread` quantities are average
+/// dynamic counts over the kernel's threads.
+struct KernelProfile {
+  std::string name;
+
+  std::uint64_t blocks = 1;
+  std::uint32_t threads_per_block = 256;
+  /// Number of identical launches of this kernel in one benchmark run
+  /// (iterative solvers launch the same kernel hundreds of times).
+  std::uint32_t launches = 1;
+
+  double flops_sp_per_thread = 0.0;      ///< single-precision FLOPs
+  double flops_dp_per_thread = 0.0;      ///< double-precision FLOPs
+  double int_ops_per_thread = 0.0;       ///< integer/address ALU ops
+  double special_ops_per_thread = 0.0;   ///< SFU ops (exp/log/sin/rsqrt)
+  double shared_ops_per_thread = 0.0;    ///< shared-memory load/store
+  double global_load_bytes_per_thread = 0.0;
+  double global_store_bytes_per_thread = 0.0;
+  double tex_ops_per_thread = 0.0;       ///< texture fetches
+
+  /// DRAM transfer efficiency of the access pattern, (0, 1]:
+  /// 1 = fully coalesced, small values waste bandwidth on partial
+  /// transactions (e.g. the paper's mummergpu-style pointer chasing).
+  double coalescing = 1.0;
+  /// Data reuse available to a cache hierarchy, [0, 1).  The fraction of
+  /// global traffic removable by caches is locality * cache_effectiveness
+  /// of the architecture (0 effective on Tesla).
+  double locality = 0.0;
+  /// Branch-divergence serialization factor on compute throughput (>= 1).
+  double divergence = 1.0;
+  /// Shared-memory bank-conflict replay factor (>= 1).
+  double bank_conflict = 1.0;
+  /// Achieved occupancy, (0, 1]; low occupancy reduces both issue
+  /// efficiency and memory-level parallelism.
+  double occupancy = 1.0;
+  /// Compute/memory overlap capability, [0, 1]: 1 = perfect overlap
+  /// (pure roofline max), 0 = fully serialized phases.
+  double overlap = 0.85;
+  /// Multiplier on the architecture's counter-invisible timing sigma.
+  /// Small inputs are relatively noisier (driver and launch effects are a
+  /// larger share of the run), which is how large relative prediction
+  /// errors coexist with high absolute-scale R^2 in the paper.
+  double unmodeled_scale = 1.0;
+
+  std::uint64_t total_threads() const {
+    return blocks * static_cast<std::uint64_t>(threads_per_block);
+  }
+};
+
+/// A benchmark run seen by the measurement pipeline: GPU kernel work plus
+/// the host-side (CPU) portion whose duration does not depend on GPU clocks.
+struct RunProfile {
+  std::string benchmark_name;
+  std::vector<KernelProfile> kernels;
+  Duration host_time;  ///< CPU-side setup/IO/transfer time per run
+};
+
+}  // namespace gppm::sim

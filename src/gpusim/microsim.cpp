@@ -1,0 +1,146 @@
+#include "gpusim/microsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/timing.hpp"
+
+namespace gppm::sim {
+
+namespace {
+
+/// Groups each warp's work is split into: one memory round-trip per group.
+constexpr int kGroupsPerWarp = 16;
+/// DRAM round-trip latency in nanoseconds (row activation + transfer +
+/// interconnect); roughly constant across the generations at stock memory
+/// clocks, stretched when the memory clock drops.
+constexpr double kBaseMemLatencyNs = 350.0;
+
+}  // namespace
+
+MicrosimResult microsim_kernel(const DeviceSpec& spec,
+                               const KernelProfile& kernel,
+                               FrequencyPair pair) {
+  GPPM_CHECK(kernel.blocks > 0 && kernel.threads_per_block > 0, "empty launch");
+
+  const double core_hz = spec.core_clock.at(pair.core).frequency.as_hz();
+  const double mem_ratio = spec.mem_clock.frequency_ratio(pair.mem);
+
+  // --- Residency -------------------------------------------------------
+  const int resident_warps = std::max(
+      1, static_cast<int>(std::lround(
+             kernel.occupancy * static_cast<double>(spec.timing.max_warps_per_sm))));
+  const double total_warps =
+      static_cast<double>(kernel.total_threads()) / 32.0;
+  const double warps_per_wave =
+      static_cast<double>(resident_warps * spec.sm_count);
+  const double waves = std::max(1.0, total_warps / warps_per_wave);
+
+  // --- Per-warp work ---------------------------------------------------
+  // Issue slots per warp (32 threads), in units of one CUDA core-cycle.
+  const double warp_slots = 32.0 * thread_issue_cycles(spec, kernel);
+  // SM issue throughput in slots per core cycle.
+  const double slots_per_cycle =
+      static_cast<double>(spec.cores_per_sm) * spec.timing.issue_efficiency;
+  const double cycles_per_group =
+      std::max(1.0, warp_slots / kGroupsPerWarp / slots_per_cycle);
+
+  // DRAM transactions per warp (32B each).  A warp performs one memory
+  // round trip per *round*; low-traffic kernels have fewer rounds than
+  // groups (they do not touch DRAM in most groups), capped at one round
+  // per group for streaming kernels.
+  const double dram_bytes_per_warp =
+      kernel_dram_bytes(spec, kernel) / std::max(total_warps, 1.0);
+  const double txns_per_warp = dram_bytes_per_warp / 32.0;
+  const int mem_rounds = static_cast<int>(
+      std::clamp(std::round(txns_per_warp), 0.0,
+                 static_cast<double>(kGroupsPerWarp)));
+  const double txns_per_round =
+      mem_rounds > 0 ? txns_per_warp / mem_rounds : 0.0;
+
+  // --- Memory pipe -----------------------------------------------------
+  // Per-SM share of sustained DRAM bandwidth, in transactions per core
+  // cycle.
+  const double bw_bytes_per_s = spec.mem_bandwidth_gbps * 1e9 * mem_ratio *
+                                spec.timing.dram_efficiency;
+  const double txns_per_cycle =
+      bw_bytes_per_s / 32.0 / static_cast<double>(spec.sm_count) / core_hz;
+  GPPM_CHECK(txns_per_cycle > 0.0, "zero memory throughput");
+  // Latency in core cycles; a slower memory clock stretches the on-die
+  // portion of the round trip.
+  const double latency_cycles =
+      kBaseMemLatencyNs * 1e-9 * core_hz * (0.7 + 0.3 / std::max(mem_ratio, 0.05));
+
+  // --- Event simulation of one wave on one SM --------------------------
+  struct Warp {
+    int groups_done = 0;
+    double ready_at = 0.0;  // cycle the warp can issue its next group
+  };
+  std::vector<Warp> warps(static_cast<std::size_t>(resident_warps));
+
+  double now = 0.0;
+  double issue_busy_until = 0.0;
+  double mem_busy_until = 0.0;
+  double issue_busy_cycles = 0.0;
+  double stall_cycles = 0.0;
+  int remaining = resident_warps * kGroupsPerWarp;
+
+  while (remaining > 0) {
+    // Pick the ready warp with the earliest ready time.
+    Warp* next = nullptr;
+    for (Warp& w : warps) {
+      if (w.groups_done >= kGroupsPerWarp) continue;
+      if (next == nullptr || w.ready_at < next->ready_at) next = &w;
+    }
+    GPPM_ASSERT(next != nullptr);
+
+    // The group starts when the warp is ready AND the issue port is free.
+    const double start = std::max({now, next->ready_at, issue_busy_until});
+    stall_cycles += std::max(0.0, start - next->ready_at);
+    const double issue_end = start + cycles_per_group;
+    issue_busy_until = issue_end;
+    issue_busy_cycles += cycles_per_group;
+
+    // Fire the group's memory requests (if this group ends a memory round):
+    // they queue behind the SM's memory pipe and come back one latency
+    // after the last one is accepted.  Memory rounds are spread evenly
+    // over the warp's groups.
+    double done = issue_end;
+    const bool has_mem_round =
+        mem_rounds > 0 &&
+        ((next->groups_done + 1) * mem_rounds) / kGroupsPerWarp >
+            (next->groups_done * mem_rounds) / kGroupsPerWarp;
+    if (has_mem_round) {
+      const double accept_start = std::max(issue_end, mem_busy_until);
+      const double service = txns_per_round / txns_per_cycle;
+      mem_busy_until = accept_start + service;
+      done = mem_busy_until + latency_cycles;
+    }
+    next->groups_done += 1;
+    next->ready_at = done;
+    --remaining;
+    now = start;
+  }
+
+  double finish = issue_busy_until;
+  for (const Warp& w : warps) finish = std::max(finish, w.ready_at);
+
+  MicrosimResult out;
+  out.cycles_per_wave = finish;
+  out.waves = waves;
+  const double kernel_s = finish * waves / core_hz;
+  out.kernel_time = Duration::seconds(kernel_s);
+  out.total_time = Duration::seconds(
+      static_cast<double>(kernel.launches) *
+      (kernel_s + spec.timing.launch_overhead.as_seconds()));
+  out.issue_utilization = finish > 0.0 ? issue_busy_cycles / finish : 0.0;
+  out.stall_fraction =
+      finish > 0.0
+          ? stall_cycles / (finish * static_cast<double>(resident_warps))
+          : 0.0;
+  return out;
+}
+
+}  // namespace gppm::sim

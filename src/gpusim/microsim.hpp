@@ -1,0 +1,40 @@
+// Cycle-level SM micro-simulator.
+//
+// An independent, finer-grained timing model used to cross-validate the
+// analytical bounded-overlap roofline in timing.cpp: instead of combining
+// aggregate compute/memory times, it event-simulates one streaming
+// multiprocessor — resident warps alternate issue groups and memory
+// requests; the warp scheduler hides memory latency with other warps; the
+// memory pipe has finite per-SM bandwidth (set by the memory clock) and a
+// fixed service latency.  Grids larger than one residency wave execute in
+// waves; the launch total scales from there.
+//
+// The two models share only the device specs and the kernel profile, so
+// their agreement (bench_microsim_validation) is a meaningful consistency
+// check: first-order behaviour (clock scaling, boundedness crossover,
+// occupancy sensitivity) must match, while latency-bound corner cases
+// (low occupancy, poor coalescing) may legitimately diverge.
+#pragma once
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_profile.hpp"
+
+namespace gppm::sim {
+
+/// Result of a micro-simulated kernel.
+struct MicrosimResult {
+  double cycles_per_wave = 0;    ///< core cycles for one residency wave
+  double waves = 0;              ///< residency waves in the grid
+  Duration kernel_time;          ///< one launch
+  Duration total_time;           ///< all launches + launch overhead
+  double issue_utilization = 0;  ///< fraction of cycles the issue port ran
+  double stall_fraction = 0;     ///< fraction of warp-cycles spent blocked
+};
+
+/// Micro-simulate `kernel` on `spec` at the operating point.
+/// Deterministic; cost is O(warps x groups) events per wave.
+MicrosimResult microsim_kernel(const DeviceSpec& spec,
+                               const KernelProfile& kernel,
+                               FrequencyPair pair);
+
+}  // namespace gppm::sim

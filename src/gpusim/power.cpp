@@ -1,0 +1,54 @@
+#include "gpusim/power.hpp"
+
+#include "common/error.hpp"
+
+namespace gppm::sim {
+
+GpuPowerBreakdown gpu_power_breakdown(const DeviceSpec& spec,
+                                      FrequencyPair pair,
+                                      double core_utilization,
+                                      double mem_utilization) {
+  GPPM_CHECK(core_utilization >= 0.0 && core_utilization <= 1.0,
+             "core utilization out of [0,1]");
+  GPPM_CHECK(mem_utilization >= 0.0 && mem_utilization <= 1.0,
+             "mem utilization out of [0,1]");
+  const PowerCalibration& cal = spec.power;
+
+  // Leakage scales with the square of the core-domain voltage (short-channel
+  // leakage is superlinear in V; V^2 is the customary first-order form).
+  const double static_scale = spec.core_clock.voltage_sq_ratio(pair.core);
+
+  const double core_vf = spec.core_clock.voltage_sq_ratio(pair.core) *
+                         spec.core_clock.frequency_ratio(pair.core);
+  const double mem_vf = spec.mem_clock.voltage_sq_ratio(pair.mem) *
+                        spec.mem_clock.frequency_ratio(pair.mem);
+
+  const double core_activity =
+      cal.core_baseline + (1.0 - cal.core_baseline) * core_utilization;
+  const double mem_activity =
+      cal.mem_baseline + (1.0 - cal.mem_baseline) * mem_utilization;
+
+  GpuPowerBreakdown b;
+  b.static_power = cal.static_power * static_scale;
+  // The ungated share of core power is paid regardless of the operating
+  // point; only the gated remainder follows V^2 f and activity.
+  b.core_dynamic =
+      cal.core_dynamic *
+      (cal.core_ungated +
+       (1.0 - cal.core_ungated) * core_vf * core_activity);
+  b.mem_dynamic = cal.mem_dynamic * (mem_vf * mem_activity);
+  b.total = b.static_power + b.core_dynamic + b.mem_dynamic;
+  return b;
+}
+
+Power gpu_power(const DeviceSpec& spec, FrequencyPair pair,
+                double core_utilization, double mem_utilization) {
+  return gpu_power_breakdown(spec, pair, core_utilization, mem_utilization)
+      .total;
+}
+
+Power gpu_idle_power(const DeviceSpec& spec, FrequencyPair pair) {
+  return gpu_power(spec, pair, 0.0, 0.0);
+}
+
+}  // namespace gppm::sim

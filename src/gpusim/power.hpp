@@ -1,0 +1,38 @@
+// The simulator's GPU power model.
+//
+// Board power is decomposed into a voltage-dependent static part and one
+// dynamic C·V²·f part per clock domain.  Each dynamic part has a
+// utilization-independent baseline (clock distribution, DRAM
+// interface/refresh) plus a utilization-proportional share.  With the BIOS
+// method the paper uses, clocks are pinned for the whole run, so the
+// baseline components are paid even while the GPU idles — exactly the
+// behaviour that makes memory down-clocking profitable for compute-bound
+// kernels.
+#pragma once
+
+#include "common/units.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace gppm::sim {
+
+/// GPU board power at an operating point given domain utilizations in [0,1].
+/// Pure function of its inputs.
+Power gpu_power(const DeviceSpec& spec, FrequencyPair pair,
+                double core_utilization, double mem_utilization);
+
+/// GPU board power while idle at pinned clocks (utilizations 0).
+Power gpu_idle_power(const DeviceSpec& spec, FrequencyPair pair);
+
+/// Breakdown of gpu_power, for tests and the ablation benches.
+struct GpuPowerBreakdown {
+  Power static_power;
+  Power core_dynamic;
+  Power mem_dynamic;
+  Power total;
+};
+GpuPowerBreakdown gpu_power_breakdown(const DeviceSpec& spec,
+                                      FrequencyPair pair,
+                                      double core_utilization,
+                                      double mem_utilization);
+
+}  // namespace gppm::sim

@@ -1,0 +1,18 @@
+#include "gpusim/system.hpp"
+
+#include "common/error.hpp"
+
+namespace gppm::sim {
+
+const HostSpec& default_host() {
+  static const HostSpec host{};
+  return host;
+}
+
+Power wall_power(const HostSpec& host, Power internal_dc) {
+  GPPM_CHECK(host.psu_efficiency > 0.0 && host.psu_efficiency <= 1.0,
+             "psu efficiency out of (0,1]");
+  return Power::watts(internal_dc.as_watts() / host.psu_efficiency);
+}
+
+}  // namespace gppm::sim

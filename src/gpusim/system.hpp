@@ -1,0 +1,32 @@
+// Host machine and power-delivery model.
+//
+// The paper measures power "from the power outlet of the machine"
+// (Section II-C): what the WT1600 sees is CPU + motherboard + GPU behind
+// the PSU's conversion loss.  This module models the Intel Core i5-2400
+// host the paper uses and the wall-power conversion.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gppm::sim {
+
+/// DC-side host power in the three states a GPGPU run cycles through.
+struct HostSpec {
+  /// Machine idle: CPU C-states, motherboard, disks, fans.
+  Power idle = Power::watts(24.0);
+  /// CPU waiting on a GPU synchronization (the driver stack blocks the
+  /// calling thread; the CPU drops into shallow sleep between wakeups).
+  Power gpu_wait = Power::watts(26.0);
+  /// CPU actively computing the host-side part of a benchmark.
+  Power host_active = Power::watts(65.0);
+  /// PSU conversion efficiency (wall power = DC power / efficiency).
+  double psu_efficiency = 0.88;
+};
+
+/// The paper's host platform (Core i5 2400, Linux 3.3.0).
+const HostSpec& default_host();
+
+/// Convert internal DC power to the wall power the meter measures.
+Power wall_power(const HostSpec& host, Power internal_dc);
+
+}  // namespace gppm::sim

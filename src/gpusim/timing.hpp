@@ -1,0 +1,43 @@
+// The simulator's kernel timing model.
+//
+// A bounded-overlap roofline: compute time scales with the core clock,
+// memory time with the memory clock (bandwidth is frequency-proportional),
+// and the kernel time is the bottleneck plus the non-overlapped share of the
+// other component.  This first-order model is what produces the paper's
+// characterization shapes — flat performance vs. core frequency for
+// memory-bound kernels at Mem-M/L, rising performance at Mem-H (Fig. 2),
+// and the compute-bound linear scaling of Fig. 1.
+#pragma once
+
+#include "common/units.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_profile.hpp"
+
+namespace gppm::sim {
+
+/// Timing breakdown of one kernel launch.
+struct KernelTiming {
+  Duration compute_time;   ///< core-side time at full issue, per launch
+  Duration memory_time;    ///< DRAM transfer time, per launch
+  Duration kernel_time;    ///< bottleneck-combined time, per launch
+  Duration total_time;     ///< launches * (kernel_time + launch overhead)
+  double core_utilization; ///< fraction of kernel_time the core is busy
+  double mem_utilization;  ///< fraction of kernel_time DRAM is busy
+  double dram_bytes;       ///< DRAM traffic per launch, bytes
+};
+
+/// Compute the timing of `kernel` on `spec` at the given operating point.
+/// Pure function of its inputs (no hidden state, no randomness).
+KernelTiming compute_kernel_timing(const DeviceSpec& spec,
+                                   const KernelProfile& kernel,
+                                   FrequencyPair pair);
+
+/// Weighted compute work of one thread, in core issue-slot cycles.  Exposed
+/// for tests and the profiler layer.
+double thread_issue_cycles(const DeviceSpec& spec, const KernelProfile& k);
+
+/// DRAM traffic of one launch in bytes after cache filtering and
+/// coalescing waste.  Exposed for tests and the profiler layer.
+double kernel_dram_bytes(const DeviceSpec& spec, const KernelProfile& k);
+
+}  // namespace gppm::sim

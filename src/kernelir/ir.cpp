@@ -1,0 +1,46 @@
+#include "kernelir/ir.hpp"
+
+#include "common/error.hpp"
+
+namespace gppm::ir {
+
+std::uint64_t AddressExpr::evaluate(std::uint32_t thread,
+                                    std::uint32_t iteration) const {
+  GPPM_CHECK(shuffle_mod > 0, "shuffle_mod must be positive");
+  std::int64_t addr = static_cast<std::int64_t>(base);
+  addr += stride_thread * static_cast<std::int64_t>(thread);
+  addr += stride_iter * static_cast<std::int64_t>(iteration);
+  addr += ((static_cast<std::int64_t>(thread) * shuffle_mul) % shuffle_mod) *
+          shuffle_stride;
+  GPPM_CHECK(addr >= 0, "negative address");
+  return static_cast<std::uint64_t>(addr);
+}
+
+Instr fma() { return Instr{Op::Fma, {}, 0.0}; }
+Instr fadd() { return Instr{Op::FAdd, {}, 0.0}; }
+Instr int_op() { return Instr{Op::IntOp, {}, 0.0}; }
+Instr special() { return Instr{Op::Special, {}, 0.0}; }
+Instr sync() { return Instr{Op::Sync, {}, 0.0}; }
+
+Instr branch(double divergence_prob) {
+  GPPM_CHECK(divergence_prob >= 0.0 && divergence_prob <= 1.0,
+             "divergence probability out of [0,1]");
+  return Instr{Op::Branch, {}, divergence_prob};
+}
+
+namespace {
+Instr mem(Op op, AddressExpr addr) {
+  GPPM_CHECK(addr.width > 0 && addr.width <= 16, "access width out of range");
+  Instr i;
+  i.op = op;
+  i.addr = addr;
+  return i;
+}
+}  // namespace
+
+Instr load_global(AddressExpr addr) { return mem(Op::LoadGlobal, addr); }
+Instr store_global(AddressExpr addr) { return mem(Op::StoreGlobal, addr); }
+Instr load_shared(AddressExpr addr) { return mem(Op::LoadShared, addr); }
+Instr store_shared(AddressExpr addr) { return mem(Op::StoreShared, addr); }
+
+}  // namespace gppm::ir

@@ -1,0 +1,89 @@
+// A miniature kernel IR: CUDA-like kernels as executable per-thread
+// programs.
+//
+// The workload library (src/workload) parameterizes the simulator with
+// hand-derived operation counts and behavioural coefficients (coalescing,
+// locality, bank conflicts).  This module closes the loop: kernels are
+// written as small instruction programs with *real address expressions*;
+// the tracer (trace.hpp) executes one representative block, observes the
+// actual address streams, and derives those coefficients by measurement —
+// coalescing from 32-byte segment counts per warp access, locality from
+// cache-line reuse, bank conflicts from shared-memory bank collisions.
+//
+// The derived sim::KernelProfile feeds the same execution engine, so a
+// traced program and a hand-parameterized model of the same algorithm can
+// be compared end-to-end (bench_ir_vs_handmodel).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gppm::ir {
+
+/// Instruction opcodes (a warp-uniform SIMT subset).
+enum class Op {
+  Fma,          ///< fused multiply-add (2 FLOPs)
+  FAdd,         ///< single FLOP
+  IntOp,        ///< integer/address arithmetic
+  Special,      ///< SFU op (exp/sin/rsqrt)
+  LoadGlobal,   ///< global memory read
+  StoreGlobal,  ///< global memory write
+  LoadShared,   ///< shared memory read
+  StoreShared,  ///< shared memory write
+  Sync,         ///< __syncthreads()
+  Branch,       ///< potentially divergent branch
+};
+
+/// Address expression of a memory instruction, evaluated per thread:
+///
+///   addr = base
+///        + stride_thread * threadIdx
+///        + stride_iter   * iteration
+///        + ((threadIdx * shuffle_mul) % shuffle_mod) * shuffle_stride
+///
+/// bytes per access is `width`.  The shuffle terms express permuted /
+/// transposed patterns (e.g. column-major walks) without a full ALU model.
+struct AddressExpr {
+  std::uint64_t base = 0;
+  std::int64_t stride_thread = 0;
+  std::int64_t stride_iter = 0;
+  std::int64_t shuffle_mul = 0;
+  std::int64_t shuffle_mod = 1;
+  std::int64_t shuffle_stride = 0;
+  int width = 4;
+
+  std::uint64_t evaluate(std::uint32_t thread, std::uint32_t iteration) const;
+};
+
+/// One instruction.
+struct Instr {
+  Op op = Op::Fma;
+  AddressExpr addr;           ///< memory ops only
+  double divergence_prob = 0; ///< Branch only: probability a warp splits
+};
+
+/// A kernel program: `body` executes `iterations` times per thread after
+/// `prologue` runs once.
+struct Program {
+  std::string name;
+  std::vector<Instr> prologue;
+  std::vector<Instr> body;
+  std::uint32_t iterations = 1;
+  std::uint32_t threads_per_block = 256;
+  std::uint64_t blocks = 1;
+};
+
+// Convenience constructors.
+Instr fma();
+Instr fadd();
+Instr int_op();
+Instr special();
+Instr sync();
+Instr branch(double divergence_prob);
+Instr load_global(AddressExpr addr);
+Instr store_global(AddressExpr addr);
+Instr load_shared(AddressExpr addr);
+Instr store_shared(AddressExpr addr);
+
+}  // namespace gppm::ir

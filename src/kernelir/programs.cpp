@@ -1,0 +1,204 @@
+#include "kernelir/programs.hpp"
+
+#include "common/error.hpp"
+
+namespace gppm::ir {
+
+namespace {
+// Distinct base regions keep the traced address streams of different
+// arrays from aliasing in the reuse tracker.
+constexpr std::uint64_t kRegion = 1ull << 30;
+
+AddressExpr linear(std::uint64_t region, std::int64_t stride_thread,
+                   std::int64_t stride_iter, int width = 4) {
+  AddressExpr a;
+  a.base = region * kRegion;
+  a.stride_thread = stride_thread;
+  a.stride_iter = stride_iter;
+  a.width = width;
+  return a;
+}
+}  // namespace
+
+Program vector_add(std::uint64_t elements) {
+  GPPM_CHECK(elements >= 256, "too few elements");
+  Program p;
+  p.name = "ir/vector_add";
+  p.threads_per_block = 256;
+  p.blocks = elements / 256;
+  p.iterations = 1;
+  // addr = region + tid*4: lanes touch consecutive words.
+  p.body = {
+      load_global(linear(1, 4, 0)),
+      load_global(linear(2, 4, 0)),
+      fadd(),
+      int_op(),  // index computation
+      store_global(linear(3, 4, 0)),
+  };
+  return p;
+}
+
+Program matrix_mul_tiled(std::uint32_t n) {
+  GPPM_CHECK(n >= 64 && n % 16 == 0, "n must be a multiple of 16, >= 64");
+  Program p;
+  p.name = "ir/matrix_mul_tiled";
+  p.threads_per_block = 256;  // one 16x16 output tile per block
+  p.blocks = static_cast<std::uint64_t>(n / 16) * (n / 16);
+  p.iterations = n / 16;  // one body pass per k-tile
+
+  const std::int64_t row_bytes = static_cast<std::int64_t>(n) * 4;
+
+  // Thread (ty, tx) with tid = ty*16 + tx.
+  // A[ty_global][k0 + tx]: ty component is linear in tid (stride row/16),
+  // the tx*4 column walk needs the shuffle correction (see AddressExpr).
+  AddressExpr a_tile;
+  a_tile.base = 1 * kRegion;
+  a_tile.stride_thread = row_bytes / 16;
+  a_tile.shuffle_mul = 1;
+  a_tile.shuffle_mod = 16;
+  a_tile.shuffle_stride = 4 - row_bytes / 16;
+  a_tile.stride_iter = 16 * 4;  // k0 advances 16 columns per tile
+
+  // B[k0 + ty][tx_global]: row from ty (shuffled), column from tx.
+  AddressExpr b_tile;
+  b_tile.base = 2 * kRegion;
+  b_tile.stride_thread = row_bytes / 16;  // ty*row via the same split
+  b_tile.shuffle_mul = 1;
+  b_tile.shuffle_mod = 16;
+  b_tile.shuffle_stride = 4 - row_bytes / 16;
+  b_tile.stride_iter = 16 * row_bytes;  // k0 advances 16 rows per tile
+
+  // Shared tiles: 16x16 floats, row-major: addr = tid*4 (conflict-free).
+  const AddressExpr as_store = linear(0, 4, 0);
+  AddressExpr bs_store = linear(0, 4, 0);
+  bs_store.base = 16 * 16 * 4;
+
+  p.body = {load_global(a_tile),  store_shared(as_store),
+            load_global(b_tile),  store_shared(bs_store),
+            int_op(),             sync()};
+  // Inner product over the tile: 16 steps of two shared loads + one FMA.
+  for (int k = 0; k < 16; ++k) {
+    // As[ty][k]: same address for all tx in a row -> broadcast.
+    AddressExpr as_ld;
+    as_ld.stride_thread = 4 * 16 / 16;  // ty*64 via the linear/shuffle split
+    as_ld.shuffle_mul = 1;
+    as_ld.shuffle_mod = 16;
+    as_ld.shuffle_stride = -4;  // cancel tx so rows broadcast
+    as_ld.base = static_cast<std::uint64_t>(k) * 4;
+    // Bs[k][tx]: consecutive words across tx -> distinct banks.
+    AddressExpr bs_ld;
+    bs_ld.base = 16 * 16 * 4 + static_cast<std::uint64_t>(k) * 16 * 4;
+    bs_ld.shuffle_mul = 1;
+    bs_ld.shuffle_mod = 16;
+    bs_ld.shuffle_stride = 4;
+    p.body.push_back(load_shared(as_ld));
+    p.body.push_back(load_shared(bs_ld));
+    p.body.push_back(fma());
+  }
+  p.body.push_back(sync());
+  return p;
+}
+
+Program transpose_naive(std::uint32_t n) {
+  GPPM_CHECK(n >= 256 && n % 16 == 0, "n must be a multiple of 16, >= 256");
+  Program p;
+  p.name = "ir/transpose_naive";
+  p.threads_per_block = 256;
+  p.blocks = static_cast<std::uint64_t>(n) * n / 256;
+  p.iterations = 1;
+  const std::int64_t row_bytes = static_cast<std::int64_t>(n) * 4;
+
+  // Read row-major: consecutive lanes read consecutive words.
+  p.body.push_back(load_global(linear(1, 4, 0)));
+  p.body.push_back(int_op());
+  p.body.push_back(int_op());
+  // Write column-major: consecutive lanes write a whole matrix row apart.
+  // For tid = 32w + l the address is 128w + row_bytes*l — warps advance by
+  // 128 bytes while the 32 lanes of each warp walk down a column, which is
+  // exactly the transposed store's coalescing collapse.
+  AddressExpr out;
+  out.base = 2 * kRegion;
+  out.stride_thread = 4;
+  out.shuffle_mul = 1;
+  out.shuffle_mod = 32;
+  out.shuffle_stride = row_bytes - 4;
+  p.body.push_back(store_global(out));
+  return p;
+}
+
+Program stencil5(std::uint32_t width, std::uint32_t steps) {
+  GPPM_CHECK(width >= 1024, "width too small");
+  GPPM_CHECK(steps >= 1, "steps must be >= 1");
+  Program p;
+  p.name = "ir/stencil5";
+  p.threads_per_block = 256;
+  p.blocks = width / 256;
+  p.iterations = steps;
+  // Five taps around tid; neighbours share cache lines with the centre.
+  for (std::int64_t offset : {-8, -4, 0, 4, 8}) {
+    AddressExpr tap = linear(1, 4, 0);
+    tap.base = static_cast<std::uint64_t>(1 * kRegion + 64 + offset);
+    p.body.push_back(load_global(tap));
+  }
+  p.body.push_back(fadd());
+  p.body.push_back(fadd());
+  p.body.push_back(fadd());
+  p.body.push_back(fadd());
+  p.body.push_back(fma());
+  p.body.push_back(store_global(linear(2, 4, 0)));
+  return p;
+}
+
+Program histogram_shared(std::uint32_t bins, std::uint32_t items_per_thread) {
+  GPPM_CHECK(bins >= 1 && bins <= 256, "bins out of range");
+  GPPM_CHECK(items_per_thread >= 1, "items_per_thread must be >= 1");
+  Program p;
+  p.name = "ir/histogram_shared";
+  p.threads_per_block = 256;
+  p.blocks = 1024;
+  p.iterations = items_per_thread;
+  // Stream the input; bin by a pseudo-random shuffle of the thread id:
+  // threads in a warp collide on bins when bins < 32.
+  AddressExpr bin;
+  bin.shuffle_mul = 7;  // odd multiplier scatters lanes across bins
+  bin.shuffle_mod = bins;
+  bin.shuffle_stride = 4;
+  bin.stride_iter = 0;
+  p.body = {
+      load_global(linear(1, 4, 1024)),
+      int_op(),
+      int_op(),
+      load_shared(bin),
+      store_shared(bin),
+  };
+  return p;
+}
+
+Program pointer_chase(std::uint64_t nodes, std::uint32_t hops,
+                      double divergence_prob) {
+  GPPM_CHECK(nodes >= 4096, "too few nodes");
+  GPPM_CHECK(hops >= 1, "hops must be >= 1");
+  Program p;
+  p.name = "ir/pointer_chase";
+  p.threads_per_block = 256;
+  p.blocks = 512;
+  p.iterations = hops;
+  // Pseudo-random gathers: a large odd multiplier modulo the node count
+  // scatters consecutive lanes across the whole array; each hop lands on a
+  // different pseudo-random offset via stride_iter.
+  AddressExpr gather;
+  gather.base = 1 * kRegion;
+  gather.shuffle_mul = 2654435761;  // Knuth's multiplicative hash constant
+  gather.shuffle_mod = static_cast<std::int64_t>(nodes);
+  gather.shuffle_stride = 16;  // node records are 16 bytes apart
+  gather.stride_iter = 16 * 977;
+  p.body = {
+      load_global(gather),
+      int_op(),
+      int_op(),
+      branch(divergence_prob),
+  };
+  return p;
+}
+
+}  // namespace gppm::ir

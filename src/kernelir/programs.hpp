@@ -1,0 +1,40 @@
+// A library of real kernels written in the IR, mirroring algorithms the
+// benchmark suite models by hand.  Each builder returns an executable
+// Program whose traced profile can be compared against the corresponding
+// hand parameterization (bench_ir_vs_handmodel).
+#pragma once
+
+#include <cstdint>
+
+#include "kernelir/ir.hpp"
+
+namespace gppm::ir {
+
+/// C[i] = A[i] + B[i] over `elements` floats: the MAdd analogue.
+/// Perfectly coalesced streaming, no reuse.
+Program vector_add(std::uint64_t elements);
+
+/// Tiled single-precision matrix multiply, n x n with 16x16 shared-memory
+/// tiles (one block computes one output tile): the MMul/sgemm analogue.
+/// High data reuse in shared memory, coalesced tile loads.
+Program matrix_mul_tiled(std::uint32_t n);
+
+/// Naive out-of-place transpose of an n x n float matrix (256-thread
+/// blocks, row-major loads, column-major stores): the MTranspose analogue
+/// with its classic store-side coalescing collapse.
+Program transpose_naive(std::uint32_t n);
+
+/// 1D 5-point stencil over a row of `width` floats, `steps` sweeps: the
+/// hotspot/stencil analogue.  Neighbour loads hit cached lines.
+Program stencil5(std::uint32_t width, std::uint32_t steps);
+
+/// Shared-memory histogram with `bins` bins over a streamed input (the
+/// histogram64/256 analogue).  bins < 32 forces multi-way bank conflicts.
+Program histogram_shared(std::uint32_t bins, std::uint32_t items_per_thread);
+
+/// Data-dependent graph walk (the bfs/mummergpu flavour): scattered,
+/// pseudo-random 4-byte gathers plus divergent branches.
+Program pointer_chase(std::uint64_t nodes, std::uint32_t hops,
+                      double divergence_prob);
+
+}  // namespace gppm::ir

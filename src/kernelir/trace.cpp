@@ -1,0 +1,207 @@
+#include "kernelir/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace gppm::ir {
+
+namespace {
+
+constexpr std::uint32_t kWarpSize = 32;
+constexpr std::uint64_t kSegmentBytes = 32;   // DRAM transaction granularity
+constexpr std::uint64_t kLineBytes = 128;     // cache line
+constexpr int kSharedBanks = 32;
+/// Reuse window for the locality estimate, in global accesses (~ the reach
+/// of an L1 + L2 slice for one block's stream).
+constexpr std::uint64_t kReuseWindow = 4096;
+
+/// Running statistics collected while walking the instruction stream.
+struct Collector {
+  TraceStats stats;
+  double warp_accesses = 0;
+  double coalescing_sum = 0;
+  double shared_accesses = 0;
+  double replay_sum = 0;
+  double line_accesses = 0;
+  double line_hits = 0;
+  double divergence_mass = 0;
+  std::uint64_t access_clock = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_seen;
+
+  void global_access(const AddressExpr& addr, std::uint32_t warp_base,
+                     std::uint32_t thread_count, std::uint32_t iteration,
+                     bool is_load) {
+    // Segment and cache-line footprints of the warp access.  Reuse is
+    // counted at line granularity per *warp access*: a streaming warp that
+    // touches a line once (even with all 32 lanes) gets no credit — the
+    // line is fetched once and never revisited — while stencil neighbours
+    // and tile reloads do.
+    std::set<std::uint64_t> segments;
+    std::set<std::uint64_t> lines;
+    for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
+      const std::uint32_t thread = warp_base + lane;
+      if (thread >= thread_count) break;
+      const std::uint64_t a = addr.evaluate(thread, iteration);
+      for (std::uint64_t b = a / kSegmentBytes;
+           b <= (a + addr.width - 1) / kSegmentBytes; ++b) {
+        segments.insert(b);
+      }
+      lines.insert(a / kLineBytes);
+      const double bytes = addr.width;
+      if (is_load) {
+        stats.global_load_bytes += bytes;
+      } else {
+        stats.global_store_bytes += bytes;
+      }
+    }
+    for (std::uint64_t line : lines) {
+      ++line_accesses;
+      const auto it = last_seen.find(line);
+      if (it != last_seen.end() && access_clock - it->second <= kReuseWindow) {
+        ++line_hits;
+      }
+      last_seen[line] = access_clock;
+      ++access_clock;
+    }
+    const std::uint32_t active =
+        std::min(kWarpSize, thread_count - warp_base);
+    const double ideal = std::max<double>(
+        1.0, static_cast<double>(active) * addr.width / kSegmentBytes);
+    coalescing_sum +=
+        std::min(1.0, ideal / static_cast<double>(segments.size()));
+    ++warp_accesses;
+  }
+
+  void shared_access(const AddressExpr& addr, std::uint32_t warp_base,
+                     std::uint32_t thread_count, std::uint32_t iteration,
+                     bool is_store) {
+    // Bank conflict degree.  For loads, distinct addresses mapping to the
+    // same bank serialize while identical addresses broadcast; stores to
+    // the same address also serialize (no write broadcast) — the histogram
+    // contention case.
+    std::set<std::uint64_t> distinct[kSharedBanks];
+    std::size_t lanes_per_bank[kSharedBanks] = {};
+    for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
+      const std::uint32_t thread = warp_base + lane;
+      if (thread >= thread_count) break;
+      const std::uint64_t a = addr.evaluate(thread, iteration);
+      const std::size_t bank = (a / 4) % kSharedBanks;
+      distinct[bank].insert(a);
+      lanes_per_bank[bank] += 1;
+      stats.shared_ops += 1;
+    }
+    std::size_t replay = 1;
+    for (int bank = 0; bank < kSharedBanks; ++bank) {
+      replay = std::max(replay, is_store ? lanes_per_bank[bank]
+                                         : distinct[bank].size());
+    }
+    replay_sum += static_cast<double>(replay);
+    ++shared_accesses;
+  }
+};
+
+void execute(const std::vector<Instr>& instrs, std::uint32_t iteration,
+             const Program& program, Collector& c) {
+  const std::uint32_t threads = program.threads_per_block;
+  for (const Instr& instr : instrs) {
+    switch (instr.op) {
+      case Op::Fma:
+        c.stats.flops += 2.0 * threads;
+        break;
+      case Op::FAdd:
+        c.stats.flops += 1.0 * threads;
+        break;
+      case Op::IntOp:
+        c.stats.int_ops += 1.0 * threads;
+        break;
+      case Op::Special:
+        c.stats.special_ops += 1.0 * threads;
+        break;
+      case Op::Sync:
+        c.stats.syncs += 1.0;
+        break;
+      case Op::Branch:
+        c.divergence_mass += instr.divergence_prob;
+        break;
+      case Op::LoadGlobal:
+      case Op::StoreGlobal:
+        for (std::uint32_t w = 0; w < threads; w += kWarpSize) {
+          c.global_access(instr.addr, w, threads, iteration,
+                          instr.op == Op::LoadGlobal);
+        }
+        break;
+      case Op::LoadShared:
+      case Op::StoreShared:
+        for (std::uint32_t w = 0; w < threads; w += kWarpSize) {
+          c.shared_access(instr.addr, w, threads, iteration,
+                          instr.op == Op::StoreShared);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+TraceStats trace_block(const Program& program) {
+  GPPM_CHECK(program.threads_per_block > 0, "empty block");
+  GPPM_CHECK(program.iterations > 0, "iterations must be >= 1");
+  GPPM_CHECK(!program.body.empty() || !program.prologue.empty(),
+             "empty program");
+
+  Collector c;
+  execute(program.prologue, 0, program, c);
+  for (std::uint32_t it = 0; it < program.iterations; ++it) {
+    execute(program.body, it, program, c);
+  }
+
+  TraceStats stats = c.stats;
+  const double threads = program.threads_per_block;
+  stats.flops /= threads;
+  stats.int_ops /= threads;
+  stats.special_ops /= threads;
+  stats.shared_ops /= threads;
+  stats.global_load_bytes /= threads;
+  stats.global_store_bytes /= threads;
+
+  stats.coalescing =
+      c.warp_accesses > 0 ? c.coalescing_sum / c.warp_accesses : 1.0;
+  stats.locality = c.line_accesses > 0 ? c.line_hits / c.line_accesses : 0.0;
+  stats.bank_conflict =
+      c.shared_accesses > 0 ? c.replay_sum / c.shared_accesses : 1.0;
+  // A branch with divergence probability p executes both sides of the
+  // split for its share of the iteration: accumulate and cap.
+  stats.divergence =
+      std::min(2.5, 1.0 + c.divergence_mass /
+                              static_cast<double>(program.iterations));
+  return stats;
+}
+
+sim::KernelProfile derive_profile(const Program& program,
+                                  const ProfileOptions& options) {
+  const TraceStats stats = trace_block(program);
+  sim::KernelProfile k;
+  k.name = program.name;
+  k.blocks = program.blocks;
+  k.threads_per_block = program.threads_per_block;
+  k.flops_sp_per_thread = stats.flops;
+  k.int_ops_per_thread = stats.int_ops;
+  k.special_ops_per_thread = stats.special_ops;
+  k.shared_ops_per_thread = stats.shared_ops;
+  k.global_load_bytes_per_thread = stats.global_load_bytes;
+  k.global_store_bytes_per_thread = stats.global_store_bytes;
+  // Clamp into the simulator's valid ranges (a fully-uncacheable stream
+  // measures locality 0; a fully-cached one approaches but must not hit 1).
+  k.coalescing = std::clamp(stats.coalescing, 0.01, 1.0);
+  k.locality = std::clamp(stats.locality, 0.0, 0.95);
+  k.bank_conflict = std::max(1.0, stats.bank_conflict);
+  k.divergence = std::max(1.0, stats.divergence);
+  k.occupancy = options.occupancy;
+  k.overlap = options.overlap;
+  return k;
+}
+
+}  // namespace gppm::ir

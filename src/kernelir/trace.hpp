@@ -1,0 +1,48 @@
+// The tracer: execute one representative block of a Program and derive a
+// sim::KernelProfile by measuring the address streams.
+#pragma once
+
+#include "gpusim/kernel_profile.hpp"
+#include "kernelir/ir.hpp"
+
+namespace gppm::ir {
+
+/// Measured behavioural statistics of one traced block.
+struct TraceStats {
+  // Per-thread dynamic operation counts.
+  double flops = 0;
+  double int_ops = 0;
+  double special_ops = 0;
+  double shared_ops = 0;
+  double global_load_bytes = 0;
+  double global_store_bytes = 0;
+
+  /// Measured DRAM transfer efficiency: ideal 32B segments / touched
+  /// segments, averaged over global warp accesses.  1 = fully coalesced.
+  double coalescing = 1.0;
+  /// Measured cache-line (128B) reuse fraction over the global access
+  /// stream (LRU window), the cacheable share of the traffic.
+  double locality = 0.0;
+  /// Measured shared-memory replay factor from bank collisions (>= 1).
+  double bank_conflict = 1.0;
+  /// Expected warp-serialization factor from divergent branches (>= 1).
+  double divergence = 1.0;
+  /// Barriers executed per thread.
+  double syncs = 0;
+};
+
+/// Trace one block of `program` (all its threads, warp by warp).
+/// Deterministic and side-effect free.
+TraceStats trace_block(const Program& program);
+
+/// Options for profile derivation.
+struct ProfileOptions {
+  double occupancy = 0.85;
+  double overlap = 0.85;
+};
+
+/// Derive a simulator profile for the whole grid from a traced block.
+sim::KernelProfile derive_profile(const Program& program,
+                                  const ProfileOptions& options = {});
+
+}  // namespace gppm::ir

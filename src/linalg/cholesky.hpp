@@ -1,0 +1,19 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// Used for fast refits inside forward selection where the normal equations
+// are small (<= 21 x 21) and well-conditioned after column scaling.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gppm::linalg {
+
+/// Lower-triangular L with A = L L^T.  Throws gppm::Error if A is not
+/// (numerically) positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b given A's Cholesky factor is computed internally.
+/// Requires A symmetric positive definite.
+Vector cholesky_solve(const Matrix& a, const Vector& b);
+
+}  // namespace gppm::linalg

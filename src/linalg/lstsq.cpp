@@ -1,0 +1,64 @@
+#include "linalg/lstsq.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/qr.hpp"
+
+namespace gppm::linalg {
+
+LstsqResult lstsq(const Matrix& a, const Vector& b) {
+  GPPM_CHECK(!a.empty(), "lstsq on empty matrix");
+  GPPM_CHECK(b.size() == a.rows(), "rhs size mismatch");
+  GPPM_CHECK(a.rows() >= a.cols(), "underdetermined system");
+  const std::size_t m = a.rows(), n = a.cols();
+
+  // Column equilibration.
+  Vector scale(n, 1.0);
+  Matrix as = a;
+  for (std::size_t j = 0; j < n; ++j) {
+    double nrm = norm2(a.col(j));
+    if (nrm > 0.0) {
+      scale[j] = nrm;
+      for (std::size_t i = 0; i < m; ++i) as(i, j) = a(i, j) / nrm;
+    }
+  }
+
+  QrResult f = qr_decompose(as);
+  LstsqResult out;
+  out.full_rank = f.full_rank;
+
+  if (!f.full_rank) {
+    // Regularize tiny diagonals: Tikhonov-like fallback keeps the solve
+    // defined when forward selection probes a collinear candidate column.
+    double max_diag = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      max_diag = std::max(max_diag, std::abs(f.r(i, i)));
+    const double bump = std::max(max_diag, 1.0) * 1e-10;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(f.r(i, i)) < bump) f.r(i, i) = (f.r(i, i) < 0 ? -bump : bump);
+    }
+  }
+
+  // x_scaled = R^{-1} Q^T b
+  Vector qtb(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += f.q(i, j) * b[i];
+    qtb[j] = acc;
+  }
+  Vector xs = solve_upper_triangular(f.r, qtb);
+  out.x.resize(n);
+  for (std::size_t j = 0; j < n; ++j) out.x[j] = xs[j] / scale[j];
+
+  const Vector pred = a * out.x;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double r = b[i] - pred[i];
+    ss += r * r;
+  }
+  out.residual_ss = ss;
+  return out;
+}
+
+}  // namespace gppm::linalg

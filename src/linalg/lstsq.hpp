@@ -1,0 +1,22 @@
+// Linear least squares via QR with column equilibration.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gppm::linalg {
+
+/// Result of a least-squares solve min ||A x - b||_2.
+struct LstsqResult {
+  Vector x;              ///< coefficient vector, size A.cols()
+  double residual_ss;    ///< sum of squared residuals
+  bool full_rank;        ///< false if A was column-rank-deficient
+};
+
+/// Solve the least-squares problem by Householder QR.  Columns of A are
+/// scaled to unit norm before factorization and the solution is unscaled,
+/// which keeps the solve stable for design matrices whose columns span many
+/// orders of magnitude (counter values vs. intercept).  Rank-deficient
+/// columns get coefficient 0 and full_rank=false.
+LstsqResult lstsq(const Matrix& a, const Vector& b);
+
+}  // namespace gppm::linalg

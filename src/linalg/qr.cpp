@@ -1,0 +1,92 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gppm::linalg {
+
+QrResult qr_decompose(const Matrix& a, double rank_tol) {
+  GPPM_CHECK(!a.empty(), "qr of empty matrix");
+  const std::size_t m = a.rows(), n = a.cols();
+  GPPM_CHECK(m >= n, "qr requires rows >= cols");
+
+  // Work on a copy; accumulate Householder vectors in-place below the
+  // diagonal and R on/above it, then form thin Q explicitly at the end.
+  Matrix work = a;
+  std::vector<Vector> reflectors;
+  reflectors.reserve(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    Vector v(m - k);
+    double norm_x = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      v[i - k] = work(i, k);
+      norm_x += v[i - k] * v[i - k];
+    }
+    norm_x = std::sqrt(norm_x);
+    const double alpha = (v[0] >= 0.0) ? -norm_x : norm_x;
+    v[0] -= alpha;
+    const double vnorm = norm2(v);
+    if (vnorm > 0.0) {
+      for (auto& e : v) e /= vnorm;
+      // Apply reflection H = I - 2 v v^T to the trailing submatrix.
+      for (std::size_t j = k; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t i = k; i < m; ++i) s += v[i - k] * work(i, j);
+        s *= 2.0;
+        for (std::size_t i = k; i < m; ++i) work(i, j) -= s * v[i - k];
+      }
+    }
+    reflectors.push_back(std::move(v));
+  }
+
+  QrResult out;
+  out.r = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) out.r(i, j) = work(i, j);
+  }
+
+  // Form thin Q by applying the reflections to the first n columns of I,
+  // in reverse order.
+  Matrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    const Vector& v = reflectors[k];
+    if (norm2(v) == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * q(i, j);
+      s *= 2.0;
+      for (std::size_t i = k; i < m; ++i) q(i, j) -= s * v[i - k];
+    }
+  }
+  out.q = std::move(q);
+
+  // Rank check relative to the largest diagonal magnitude.
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_diag = std::max(max_diag, std::abs(out.r(i, i)));
+  out.full_rank = max_diag > 0.0;
+  for (std::size_t i = 0; i < n && out.full_rank; ++i) {
+    if (std::abs(out.r(i, i)) <= rank_tol * max_diag) out.full_rank = false;
+  }
+  return out;
+}
+
+Vector solve_upper_triangular(const Matrix& r, const Vector& b) {
+  GPPM_CHECK(r.rows() == r.cols(), "R must be square");
+  GPPM_CHECK(b.size() == r.rows(), "rhs size mismatch");
+  const std::size_t n = r.rows();
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * x[j];
+    GPPM_CHECK(r(ii, ii) != 0.0, "singular triangular system");
+    x[ii] = acc / r(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace gppm::linalg

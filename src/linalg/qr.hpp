@@ -1,0 +1,30 @@
+// Householder QR factorization.
+//
+// Used by the least-squares solver: QR is the numerically stable choice for
+// the regression design matrices produced by the feature layer, whose columns
+// (counter x frequency products) can differ by many orders of magnitude.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gppm::linalg {
+
+/// Thin QR factorization A = Q R of an m x n matrix with m >= n.
+/// Q is m x n with orthonormal columns; R is n x n upper triangular.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+  /// True if no diagonal of R is (numerically) zero, i.e. A has full column
+  /// rank at the given tolerance.
+  bool full_rank = false;
+};
+
+/// Compute the thin QR factorization by Householder reflections.
+/// Requires a.rows() >= a.cols() and a non-empty matrix.
+QrResult qr_decompose(const Matrix& a, double rank_tol = 1e-12);
+
+/// Solve R x = b for upper-triangular R (back substitution).
+/// Requires R square, b.size() == R.rows(), and nonzero diagonal.
+Vector solve_upper_triangular(const Matrix& r, const Vector& b);
+
+}  // namespace gppm::linalg

@@ -1,0 +1,135 @@
+#include "nvml/nvml.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gpusim/power.hpp"
+
+namespace gppm::nvml {
+
+DeviceHandle Session::attach_device(sim::Gpu& gpu) {
+  Device d;
+  d.gpu = &gpu;
+  devices_.push_back(std::move(d));
+  return DeviceHandle{devices_.size() - 1};
+}
+
+const Session::Device& Session::device(DeviceHandle handle) const {
+  GPPM_CHECK(handle.index < devices_.size(), "invalid device handle");
+  return devices_[handle.index];
+}
+
+std::string Session::device_name(DeviceHandle handle) const {
+  return "NVIDIA GeForce " + sim::to_string(device(handle).gpu->spec().model);
+}
+
+ClockInfo Session::clock_info(DeviceHandle handle) const {
+  const Device& d = device(handle);
+  const sim::DeviceSpec& spec = d.gpu->spec();
+  const sim::FrequencyPair pair = d.gpu->frequency_pair();
+  ClockInfo info;
+  info.graphics_mhz = static_cast<unsigned>(
+      std::lround(spec.core_clock.at(pair.core).frequency.as_mhz()));
+  info.memory_mhz = static_cast<unsigned>(
+      std::lround(spec.mem_clock.at(pair.mem).frequency.as_mhz()));
+  return info;
+}
+
+void Session::begin_run(DeviceHandle handle, const sim::RunExecution& exec) {
+  GPPM_CHECK(handle.index < devices_.size(), "invalid device handle");
+  devices_[handle.index].timeline = exec.timeline;
+  devices_[handle.index].kernels = exec.kernels;
+}
+
+namespace {
+/// Locate the timeline segment covering virtual time `at`; nullptr if the
+/// run has ended (or none is loaded).
+const sim::PowerSegment* segment_at(const std::vector<sim::PowerSegment>& tl,
+                                    Duration at) {
+  double t = at.as_seconds();
+  GPPM_CHECK(t >= 0.0, "negative timestamp");
+  for (const sim::PowerSegment& seg : tl) {
+    if (t < seg.duration.as_seconds()) return &seg;
+    t -= seg.duration.as_seconds();
+  }
+  return nullptr;
+}
+}  // namespace
+
+unsigned Session::power_usage_mw(DeviceHandle handle, Duration at) const {
+  const Device& d = device(handle);
+  const sim::PowerSegment* seg = segment_at(d.timeline, at);
+  const Power p = seg != nullptr
+                      ? seg->gpu_power
+                      : sim::gpu_idle_power(d.gpu->spec(), d.gpu->frequency_pair());
+  return static_cast<unsigned>(std::lround(p.as_watts() * 1000.0));
+}
+
+UtilizationRates Session::utilization(DeviceHandle handle, Duration at) const {
+  const Device& d = device(handle);
+  const sim::PowerSegment* seg = segment_at(d.timeline, at);
+  UtilizationRates rates;
+  if (seg == nullptr || seg->kind != sim::SegmentKind::GpuKernel) {
+    return rates;  // idle or host phase: 0/0
+  }
+  // Identify which kernel this segment belongs to (segments and kernels are
+  // in launch order; GpuKernel segments map 1:1 to kernels).
+  std::size_t kernel_idx = 0;
+  double t = at.as_seconds();
+  for (const sim::PowerSegment& s : d.timeline) {
+    if (t < s.duration.as_seconds()) break;
+    t -= s.duration.as_seconds();
+    if (s.kind == sim::SegmentKind::GpuKernel) ++kernel_idx;
+  }
+  GPPM_CHECK(kernel_idx < d.kernels.size(), "timeline/kernel mismatch");
+  const sim::KernelTiming& timing = d.kernels[kernel_idx].timing;
+  rates.gpu = static_cast<unsigned>(
+      std::lround(timing.core_utilization * 100.0));
+  rates.memory = static_cast<unsigned>(
+      std::lround(timing.mem_utilization * 100.0));
+  return rates;
+}
+
+std::uint64_t Session::total_energy_mj(DeviceHandle handle,
+                                       Duration until) const {
+  const Device& d = device(handle);
+  double t = until.as_seconds();
+  GPPM_CHECK(t >= 0.0, "negative timestamp");
+  double joules = 0.0;
+  for (const sim::PowerSegment& seg : d.timeline) {
+    const double take = std::min(t, seg.duration.as_seconds());
+    if (take <= 0.0) break;
+    joules += seg.gpu_power.as_watts() * take;
+    t -= take;
+  }
+  if (t > 0.0) {
+    // Run over: the board idles for the remainder.
+    joules +=
+        sim::gpu_idle_power(d.gpu->spec(), d.gpu->frequency_pair()).as_watts() *
+        t;
+  }
+  return static_cast<std::uint64_t>(std::llround(joules * 1000.0));
+}
+
+std::vector<PowerSample> sample_power(const Session& session,
+                                      DeviceHandle handle, Duration duration,
+                                      Duration period) {
+  GPPM_CHECK(period > Duration::seconds(0.0), "period must be positive");
+  GPPM_CHECK(duration >= period, "duration shorter than one period");
+  std::vector<PowerSample> out;
+  for (double t = 0.0; t < duration.as_seconds(); t += period.as_seconds()) {
+    const Duration at = Duration::seconds(t);
+    out.push_back({at, Power::watts(
+                           session.power_usage_mw(handle, at) / 1000.0)});
+  }
+  return out;
+}
+
+Power average_power(const std::vector<PowerSample>& samples) {
+  GPPM_CHECK(!samples.empty(), "no samples");
+  double acc = 0.0;
+  for (const PowerSample& s : samples) acc += s.power.as_watts();
+  return Power::watts(acc / static_cast<double>(samples.size()));
+}
+
+}  // namespace gppm::nvml

@@ -1,0 +1,104 @@
+// NVML-style runtime monitoring shim.
+//
+// A modern reproduction of the paper's measurement setup would sample board
+// power through NVML instead of a wall-power meter.  This module provides
+// an NVML-shaped API over the simulated boards so downstream tooling
+// written against that interface (samplers, dashboards, governors) can run
+// unmodified on the simulator:
+//
+//   * device enumeration and handles,
+//   * clock / utilization / power queries tied to a running workload,
+//   * on-board energy counters (millijoules, like nvmlDeviceGetTotalEnergyConsumption).
+//
+// Semantics note: NVML reads *board* power (not wall power) and reflects
+// whatever the board is doing at the query's virtual timestamp.  The shim
+// is driven by an explicit virtual timeline — callers attach the power
+// segments of a run and then query at chosen offsets, which keeps the
+// library deterministic and free of wall-clock dependencies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gpusim/engine.hpp"
+
+namespace gppm::nvml {
+
+/// Opaque device handle (index into the session's device table).
+struct DeviceHandle {
+  std::size_t index = 0;
+  bool operator==(const DeviceHandle&) const = default;
+};
+
+/// Instantaneous utilization rates, as NVML reports them (percent).
+struct UtilizationRates {
+  unsigned gpu = 0;     ///< percent of time the SMs were busy
+  unsigned memory = 0;  ///< percent of time the memory interface was busy
+};
+
+/// Clock readings in MHz.
+struct ClockInfo {
+  unsigned graphics_mhz = 0;
+  unsigned memory_mhz = 0;
+};
+
+/// An NVML session over a set of simulated boards.
+class Session {
+ public:
+  Session() = default;
+
+  /// Register a board with the session; returns its handle.
+  DeviceHandle attach_device(sim::Gpu& gpu);
+
+  /// Number of attached devices (nvmlDeviceGetCount).
+  std::size_t device_count() const { return devices_.size(); }
+
+  /// Board name (nvmlDeviceGetName).
+  std::string device_name(DeviceHandle handle) const;
+
+  /// Current clocks (nvmlDeviceGetClockInfo).
+  ClockInfo clock_info(DeviceHandle handle) const;
+
+  /// Load a run's power timeline into the device's virtual recorder.  The
+  /// timeline starts at virtual time 0; subsequent queries sample it.
+  void begin_run(DeviceHandle handle, const sim::RunExecution& exec);
+
+  /// Board power draw at a virtual timestamp (nvmlDeviceGetPowerUsage,
+  /// milliwatts).  Past the end of the run the board reads idle power.
+  unsigned power_usage_mw(DeviceHandle handle, Duration at) const;
+
+  /// Utilization at a virtual timestamp (nvmlDeviceGetUtilizationRates).
+  UtilizationRates utilization(DeviceHandle handle, Duration at) const;
+
+  /// Total board energy from run start to `until`
+  /// (nvmlDeviceGetTotalEnergyConsumption, millijoules).
+  std::uint64_t total_energy_mj(DeviceHandle handle, Duration until) const;
+
+ private:
+  struct Device {
+    sim::Gpu* gpu = nullptr;
+    std::vector<sim::PowerSegment> timeline;
+    std::vector<sim::KernelExecution> kernels;
+  };
+  const Device& device(DeviceHandle handle) const;
+
+  std::vector<Device> devices_;
+};
+
+/// Fixed-interval power sampler built on a Session — the NVML equivalent of
+/// the WT1600 loop ("sample power every N ms, accumulate energy").
+struct PowerSample {
+  Duration timestamp;
+  Power power;
+};
+
+/// Sample a device's power over [0, duration) every `period`.
+std::vector<PowerSample> sample_power(const Session& session,
+                                      DeviceHandle handle, Duration duration,
+                                      Duration period);
+
+/// Average power of a sample series.
+Power average_power(const std::vector<PowerSample>& samples);
+
+}  // namespace gppm::nvml

@@ -1,0 +1,94 @@
+#include "powermeter/wt1600.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gppm::meter {
+
+WT1600::WT1600(MeterConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  GPPM_CHECK(config_.sampling_period > Duration::seconds(0.0),
+             "sampling period must be positive");
+  GPPM_CHECK(config_.noise_floor_watts >= 0.0 && config_.noise_fraction >= 0.0,
+             "negative noise");
+  GPPM_CHECK(config_.quantization_watts >= 0.0, "negative quantization");
+}
+
+Energy WT1600::integrate(const std::vector<TimelineSegment>& timeline) {
+  Energy e = Energy::joules(0.0);
+  for (const TimelineSegment& seg : timeline) {
+    GPPM_CHECK(seg.duration >= Duration::seconds(0.0), "negative duration");
+    e += seg.power * seg.duration;
+  }
+  return e;
+}
+
+Duration WT1600::total_duration(const std::vector<TimelineSegment>& timeline) {
+  Duration d = Duration::seconds(0.0);
+  for (const TimelineSegment& seg : timeline) d += seg.duration;
+  return d;
+}
+
+Measurement WT1600::measure(const std::vector<TimelineSegment>& timeline) {
+  GPPM_CHECK(!timeline.empty(), "empty timeline");
+  const Duration total = total_duration(timeline);
+  const double period_s = config_.sampling_period.as_seconds();
+  GPPM_CHECK(total.as_seconds() >= period_s,
+             "run shorter than one sampling period; apply the 500 ms "
+             "repetition rule before measuring");
+
+  Rng rng = Rng(seed_).fork(session_++);
+
+  Measurement m;
+  // The instrument integrates V*I over each 50 ms window; we model the
+  // window average of the (piecewise-constant) true power plus noise.
+  const std::size_t n_samples =
+      static_cast<std::size_t>(std::floor(total.as_seconds() / period_s));
+  std::size_t seg_idx = 0;
+  double seg_remaining = timeline[0].duration.as_seconds();
+
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    // Average true power over this window.
+    double window_left = period_s;
+    double joules = 0.0;
+    while (window_left > 1e-15 && seg_idx < timeline.size()) {
+      const double take = std::min(window_left, seg_remaining);
+      joules += timeline[seg_idx].power.as_watts() * take;
+      window_left -= take;
+      seg_remaining -= take;
+      if (seg_remaining <= 1e-15) {
+        ++seg_idx;
+        if (seg_idx < timeline.size()) {
+          seg_remaining = timeline[seg_idx].duration.as_seconds();
+        }
+      }
+    }
+    const double covered = period_s - window_left;
+    double reading = covered > 0.0 ? joules / covered : 0.0;
+
+    // Instrument noise and quantization.
+    reading += rng.normal(0.0, config_.noise_floor_watts +
+                                   config_.noise_fraction * reading);
+    if (config_.quantization_watts > 0.0) {
+      reading = std::round(reading / config_.quantization_watts) *
+                config_.quantization_watts;
+    }
+    reading = std::max(0.0, reading);
+
+    m.samples.push_back(
+        {Duration::seconds(static_cast<double>(s + 1) * period_s),
+         Power::watts(reading)});
+  }
+
+  GPPM_ASSERT(!m.samples.empty());
+  m.duration = Duration::seconds(static_cast<double>(n_samples) * period_s);
+  double joules = 0.0;
+  for (const PowerSample& s : m.samples) joules += s.power.as_watts() * period_s;
+  m.energy = Energy::joules(joules);
+  m.average_power = m.energy / m.duration;
+  return m;
+}
+
+}  // namespace gppm::meter

@@ -1,0 +1,75 @@
+// Model of the Yokogawa WT1600 digital power meter (paper Section II-C).
+//
+// The instrument samples wall voltage and current every 50 ms; power is
+// their product and energy is the accumulation of the sampled power.  The
+// model reproduces the measurement pipeline's artifacts: the 50 ms sampling
+// grid (which is why the paper repeats sub-500 ms benchmarks until at least
+// 10 samples exist), additive measurement noise, and display quantization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gppm::meter {
+
+/// A constant-power interval of the measured system's wall-power draw.
+struct TimelineSegment {
+  Duration duration;
+  Power power;
+};
+
+/// Instrument configuration.  Defaults model the WT1600 on its 50 ms range.
+struct MeterConfig {
+  Duration sampling_period = Duration::milliseconds(50.0);
+  /// Additive gaussian noise floor (instrument + line noise), watts.
+  double noise_floor_watts = 0.3;
+  /// Multiplicative gaussian noise, fraction of the reading.
+  double noise_fraction = 0.002;
+  /// Reading quantization step, watts.
+  double quantization_watts = 0.1;
+};
+
+/// One sampled reading.
+struct PowerSample {
+  Duration timestamp;  ///< sample time from measurement start
+  Power power;
+};
+
+/// Result of one measurement session.
+struct Measurement {
+  std::vector<PowerSample> samples;
+  Duration duration;    ///< sample_count * sampling period
+  Energy energy;        ///< accumulated sampled power
+  Power average_power;  ///< energy / duration
+
+  std::size_t sample_count() const { return samples.size(); }
+};
+
+/// The meter.  Deterministic given its seed.
+class WT1600 {
+ public:
+  explicit WT1600(MeterConfig config = {}, std::uint64_t seed = 7);
+
+  /// Measure a run described by its wall-power timeline.  The timeline must
+  /// be long enough to produce at least one sample; the paper's 500 ms
+  /// repetition rule guarantees >= 10.
+  Measurement measure(const std::vector<TimelineSegment>& timeline);
+
+  /// Exact (instrument-free) integral of a timeline, for tests and
+  /// meter-accuracy ablations.
+  static Energy integrate(const std::vector<TimelineSegment>& timeline);
+
+  /// Exact total duration of a timeline.
+  static Duration total_duration(const std::vector<TimelineSegment>& timeline);
+
+  const MeterConfig& config() const { return config_; }
+
+ private:
+  MeterConfig config_;
+  std::uint64_t seed_;
+  std::uint64_t session_ = 0;
+};
+
+}  // namespace gppm::meter

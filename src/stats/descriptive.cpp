@@ -1,0 +1,85 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gppm::stats {
+
+double mean(const std::vector<double>& v) {
+  GPPM_CHECK(!v.empty(), "mean of empty vector");
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  GPPM_CHECK(v.size() >= 2, "variance needs >= 2 samples");
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double min_of(const std::vector<double>& v) {
+  GPPM_CHECK(!v.empty(), "min of empty vector");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  GPPM_CHECK(!v.empty(), "max of empty vector");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double quantile(std::vector<double> v, double q) {
+  GPPM_CHECK(!v.empty(), "quantile of empty vector");
+  GPPM_CHECK(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(const std::vector<double>& v) { return quantile(v, 0.5); }
+
+FiveNumber five_number(const std::vector<double>& v) {
+  GPPM_CHECK(!v.empty(), "five_number of empty vector");
+  FiveNumber f{};
+  f.q1 = quantile(v, 0.25);
+  f.median = quantile(v, 0.5);
+  f.q3 = quantile(v, 0.75);
+  const double iqr = f.q3 - f.q1;
+  const double lo_fence = f.q1 - 1.5 * iqr;
+  const double hi_fence = f.q3 + 1.5 * iqr;
+  f.whisker_lo = f.q3;
+  f.whisker_hi = f.q1;
+  // Whisker = most extreme point within the fences.
+  double wlo = f.q1, whi = f.q3;
+  for (double x : v) {
+    if (x >= lo_fence) wlo = std::min(wlo, x);
+    if (x <= hi_fence) whi = std::max(whi, x);
+  }
+  f.whisker_lo = wlo;
+  f.whisker_hi = whi;
+  return f;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  GPPM_CHECK(x.size() == y.size() && x.size() >= 2, "pearson size mismatch");
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  GPPM_CHECK(sxx > 0.0 && syy > 0.0, "pearson of constant series");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace gppm::stats

@@ -1,0 +1,36 @@
+// Descriptive statistics helpers used by the evaluation layer and the
+// box-and-whisker figures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gppm::stats {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  ///< sample variance (n-1)
+double stddev(const std::vector<double>& v);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+/// Linear-interpolated quantile, q in [0, 1].  Requires non-empty input.
+double quantile(std::vector<double> v, double q);
+
+/// Median (quantile 0.5).
+double median(const std::vector<double>& v);
+
+/// Five-number summary for box-and-whisker plots.  Whiskers follow the Tukey
+/// convention: most extreme data point within 1.5 IQR of the box.
+struct FiveNumber {
+  double whisker_lo;
+  double q1;
+  double median;
+  double q3;
+  double whisker_hi;
+};
+FiveNumber five_number(const std::vector<double>& v);
+
+/// Pearson correlation coefficient; requires equal non-trivial sizes.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace gppm::stats

@@ -1,0 +1,90 @@
+#include "stats/forward_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gppm::stats {
+
+linalg::Matrix gather_columns(const linalg::Matrix& m,
+                              const std::vector<std::size_t>& cols) {
+  linalg::Matrix out(m.rows(), cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    GPPM_CHECK(cols[j] < m.cols(), "column index out of range");
+    for (std::size_t i = 0; i < m.rows(); ++i) out(i, j) = m(i, cols[j]);
+  }
+  return out;
+}
+
+namespace {
+bool is_constant_column(const linalg::Matrix& m, std::size_t c) {
+  const double first = m(0, c);
+  for (std::size_t i = 1; i < m.rows(); ++i) {
+    if (m(i, c) != first) return false;
+  }
+  return true;
+}
+}  // namespace
+
+SelectionResult forward_select(const linalg::Matrix& candidates,
+                               const linalg::Vector& y,
+                               const SelectionOptions& options) {
+  GPPM_CHECK(candidates.rows() == y.size(), "X/y row mismatch");
+  GPPM_CHECK(candidates.rows() >= 3, "too few samples");
+  GPPM_CHECK(options.max_variables >= 1, "max_variables must be >= 1");
+
+  const std::size_t n_candidates = candidates.cols();
+  std::vector<bool> used(n_candidates, false);
+  // Constant columns can never improve the fit beyond the intercept and make
+  // the design rank-deficient; exclude them up front.
+  for (std::size_t c = 0; c < n_candidates; ++c) {
+    if (is_constant_column(candidates, c)) used[c] = true;
+  }
+
+  SelectionResult result;
+  double best_adj_r2 = -std::numeric_limits<double>::infinity();
+
+  const std::size_t cap =
+      std::min(options.max_variables,
+               candidates.rows() >= 2 ? candidates.rows() - 2
+                                      : static_cast<std::size_t>(0));
+
+  while (result.selected.size() < cap) {
+    std::size_t best_c = n_candidates;
+    double best_step_r2 = best_adj_r2;
+    OlsFit best_fit;
+
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      if (used[c]) continue;
+      std::vector<std::size_t> trial = result.selected;
+      trial.push_back(c);
+      const OlsFit fit = ols_fit(gather_columns(candidates, trial), y);
+      if (!fit.full_rank) continue;  // collinear with current model
+      if (fit.adjusted_r_squared > best_step_r2) {
+        best_step_r2 = fit.adjusted_r_squared;
+        best_c = c;
+        best_fit = fit;
+      }
+    }
+
+    if (best_c == n_candidates) break;  // nothing improves
+    if (!result.selected.empty() &&
+        best_step_r2 - best_adj_r2 < options.min_improvement) {
+      break;
+    }
+
+    used[best_c] = true;
+    result.selected.push_back(best_c);
+    result.fit = best_fit;
+    result.r2_trace.push_back(best_step_r2);
+    best_adj_r2 = best_step_r2;
+  }
+
+  GPPM_CHECK(!result.selected.empty(),
+             "forward selection found no usable variable");
+  return result;
+}
+
+}  // namespace gppm::stats

@@ -1,0 +1,44 @@
+// Forward stepwise variable selection maximizing adjusted R^2.
+//
+// This is the selection procedure of the paper (Section IV-A): starting from
+// the empty model, greedily add the candidate column that maximizes adjusted
+// R-bar^2, stop when no candidate improves it or when the cap on the number
+// of variables (10 in the paper; 5..20 in the Fig. 7/8 sweeps) is reached.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "stats/ols.hpp"
+
+namespace gppm::stats {
+
+/// Outcome of a forward-selection run.
+struct SelectionResult {
+  std::vector<std::size_t> selected;  ///< candidate column indices, in
+                                      ///< the order they were added
+  OlsFit fit;                         ///< final model over the selected columns
+  std::vector<double> r2_trace;       ///< adjusted R^2 after each addition
+};
+
+/// Options for forward selection.
+struct SelectionOptions {
+  std::size_t max_variables = 10;
+  /// Stop early if the best candidate improves adjusted R^2 by less than
+  /// this amount (0 reproduces "maximize" exactly; a tiny positive epsilon
+  /// avoids adding numerically useless columns).
+  double min_improvement = 1e-9;
+};
+
+/// Run forward selection of columns of `candidates` against target `y`.
+/// Columns that are constant or collinear with the current model are skipped.
+SelectionResult forward_select(const linalg::Matrix& candidates,
+                               const linalg::Vector& y,
+                               const SelectionOptions& options = {});
+
+/// Helper: gather the given columns of a matrix into a new matrix.
+linalg::Matrix gather_columns(const linalg::Matrix& m,
+                              const std::vector<std::size_t>& cols);
+
+}  // namespace gppm::stats

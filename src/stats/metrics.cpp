@@ -1,0 +1,52 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gppm::stats {
+
+namespace {
+void check_sizes(const std::vector<double>& a, const std::vector<double>& p) {
+  GPPM_CHECK(a.size() == p.size(), "actual/predicted size mismatch");
+  GPPM_CHECK(!a.empty(), "empty metric input");
+}
+}  // namespace
+
+std::vector<double> signed_percentage_errors(const std::vector<double>& actual,
+                                             const std::vector<double>& predicted) {
+  check_sizes(actual, predicted);
+  std::vector<double> out(actual.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    GPPM_CHECK(actual[i] != 0.0, "percentage error with zero actual");
+    out[i] = (predicted[i] - actual[i]) / std::abs(actual[i]) * 100.0;
+  }
+  return out;
+}
+
+std::vector<double> absolute_percentage_errors(
+    const std::vector<double>& actual, const std::vector<double>& predicted) {
+  std::vector<double> out = signed_percentage_errors(actual, predicted);
+  for (double& v : out) v = std::abs(v);
+  return out;
+}
+
+double mape(const std::vector<double>& actual,
+            const std::vector<double>& predicted) {
+  const std::vector<double> errs = absolute_percentage_errors(actual, predicted);
+  double acc = 0.0;
+  for (double e : errs) acc += e;
+  return acc / static_cast<double>(errs.size());
+}
+
+double mae(const std::vector<double>& actual,
+           const std::vector<double>& predicted) {
+  check_sizes(actual, predicted);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    acc += std::abs(predicted[i] - actual[i]);
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+}  // namespace gppm::stats

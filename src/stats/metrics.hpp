@@ -1,0 +1,27 @@
+// Prediction-error metrics reported by the paper's evaluation
+// (TABLEs VII/VIII report mean absolute percentage error and, for power,
+// mean absolute error in watts).
+#pragma once
+
+#include <vector>
+
+namespace gppm::stats {
+
+/// Mean absolute percentage error: mean(|pred - actual| / |actual|) * 100.
+/// Requires all actual values nonzero.
+double mape(const std::vector<double>& actual,
+            const std::vector<double>& predicted);
+
+/// Mean absolute error in the units of the inputs.
+double mae(const std::vector<double>& actual,
+           const std::vector<double>& predicted);
+
+/// Per-sample signed percentage errors ((pred - actual) / actual * 100).
+std::vector<double> signed_percentage_errors(
+    const std::vector<double>& actual, const std::vector<double>& predicted);
+
+/// Per-sample absolute percentage errors.
+std::vector<double> absolute_percentage_errors(
+    const std::vector<double>& actual, const std::vector<double>& predicted);
+
+}  // namespace gppm::stats

@@ -1,0 +1,65 @@
+#include "stats/ols.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/lstsq.hpp"
+#include "stats/descriptive.hpp"
+
+namespace gppm::stats {
+
+double OlsFit::predict(const linalg::Vector& features) const {
+  GPPM_CHECK(features.size() == coefficients.size(),
+             "feature size != coefficient count");
+  return intercept + linalg::dot(features, coefficients);
+}
+
+OlsFit ols_fit(const linalg::Matrix& x, const linalg::Vector& y,
+               bool fit_intercept) {
+  GPPM_CHECK(x.rows() == y.size(), "X/y row mismatch");
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const std::size_t total_params = p + (fit_intercept ? 1 : 0);
+  GPPM_CHECK(n > total_params, "not enough samples for the parameter count");
+
+  // Build the design matrix with an intercept column if requested.
+  linalg::Matrix design(n, total_params);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t j = 0;
+    if (fit_intercept) design(i, j++) = 1.0;
+    for (std::size_t c = 0; c < p; ++c) design(i, j++) = x(i, c);
+  }
+
+  const linalg::LstsqResult sol = linalg::lstsq(design, y);
+
+  OlsFit fit;
+  fit.n_samples = n;
+  fit.n_predictors = p;
+  fit.full_rank = sol.full_rank;
+  fit.residual_ss = sol.residual_ss;
+  std::size_t j = 0;
+  if (fit_intercept) fit.intercept = sol.x[j++];
+  fit.coefficients.assign(sol.x.begin() + static_cast<std::ptrdiff_t>(j),
+                          sol.x.end());
+
+  // R^2 against the mean model (or against zero when no intercept).
+  double tss = 0.0;
+  if (fit_intercept) {
+    const double my = mean(y);
+    for (double v : y) tss += (v - my) * (v - my);
+  } else {
+    for (double v : y) tss += v * v;
+  }
+  if (tss <= 0.0) {
+    fit.r_squared = 1.0;
+    fit.adjusted_r_squared = 1.0;
+    return fit;
+  }
+  fit.r_squared = 1.0 - fit.residual_ss / tss;
+  const double dof = static_cast<double>(n) - static_cast<double>(total_params);
+  fit.adjusted_r_squared =
+      1.0 - (1.0 - fit.r_squared) * (static_cast<double>(n) - 1.0) / dof;
+  return fit;
+}
+
+}  // namespace gppm::stats

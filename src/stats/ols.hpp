@@ -1,0 +1,33 @@
+// Ordinary least squares with the goodness-of-fit statistics the paper's
+// model selection relies on (R^2 and adjusted R^2).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gppm::stats {
+
+/// A fitted linear model y ~ X beta (+ intercept if fit_intercept).
+struct OlsFit {
+  linalg::Vector coefficients;  ///< one per column of X
+  double intercept = 0.0;       ///< 0 if fit_intercept was false
+  double r_squared = 0.0;
+  double adjusted_r_squared = 0.0;
+  double residual_ss = 0.0;
+  std::size_t n_samples = 0;
+  std::size_t n_predictors = 0;  ///< excluding the intercept
+  bool full_rank = true;
+
+  /// Predict for one feature row (size must equal n_predictors).
+  double predict(const linalg::Vector& features) const;
+};
+
+/// Fit y ~ X by QR least squares.
+/// Requires X.rows() == y.size() and X.rows() > X.cols() (+1 if intercept).
+/// adjusted R^2 uses the standard (1 - (1-R^2)(n-1)/(n-p-1)) form, the
+/// quantity the paper reports in TABLEs V and VI.
+OlsFit ols_fit(const linalg::Matrix& x, const linalg::Vector& y,
+               bool fit_intercept = true);
+
+}  // namespace gppm::stats

@@ -1,0 +1,39 @@
+#include "workload/benchmark.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gppm::workload {
+
+std::string to_string(Suite s) {
+  switch (s) {
+    case Suite::Rodinia: return "Rodinia";
+    case Suite::Parboil: return "Parboil";
+    case Suite::CudaSdk: return "CUDA SDK";
+    case Suite::Matrix: return "Matrix";
+  }
+  throw Error("unknown suite");
+}
+
+double BenchmarkDef::scale_of(std::size_t size_index) const {
+  GPPM_CHECK(size_index < size_count, "size index out of range");
+  return std::pow(2.0, static_cast<double>(size_index));
+}
+
+sim::RunProfile BenchmarkDef::profile(std::size_t size_index) const {
+  GPPM_CHECK(static_cast<bool>(build), "benchmark has no builder");
+  sim::RunProfile p = build(scale_of(size_index));
+  GPPM_CHECK(!p.kernels.empty(), "benchmark built no kernels");
+  // Tag kernels with the size so per-workload effects key on (name, size),
+  // and scale the counter-invisible noise: small inputs are relatively
+  // noisier than large ones.
+  for (sim::KernelProfile& k : p.kernels) {
+    k.name = name + "/s" + std::to_string(size_index) + "/" + k.name;
+    k.unmodeled_scale = 1.45 - 0.3 * static_cast<double>(size_index);
+  }
+  p.benchmark_name = name;
+  return p;
+}
+
+}  // namespace gppm::workload

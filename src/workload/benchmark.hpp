@@ -1,0 +1,47 @@
+// Benchmark-suite framework.
+//
+// Each of the paper's 37 target programs (TABLE II: Rodinia, Parboil,
+// CUDA SDK, matrix kernels) is modeled as a BenchmarkDef: a name, the suite
+// it comes from, the input sizes it is run at, and a builder that derives
+// the kernel profiles for a given size from the real algorithm's structure
+// (op counts per element, access pattern, iteration counts).  The paper
+// varies input sizes to obtain its 114 modeling samples; `size_count`
+// encodes how many sizes each program contributes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel_profile.hpp"
+
+namespace gppm::workload {
+
+/// Benchmark suite of origin (paper TABLE II).
+enum class Suite { Rodinia, Parboil, CudaSdk, Matrix };
+
+std::string to_string(Suite s);
+
+/// One benchmark program.
+struct BenchmarkDef {
+  std::string name;
+  Suite suite;
+  /// Number of input sizes this program is sampled at; size index i runs at
+  /// scale 2^i of the base input.
+  std::size_t size_count = 3;
+  /// Build the run profile at a given input scale (1, 2, 4, ...).
+  std::function<sim::RunProfile(double scale)> build;
+
+  /// Input scale of size index i (doubling ladder, i < size_count).
+  double scale_of(std::size_t size_index) const;
+
+  /// Run profile at size index i; the largest index is the paper's
+  /// "maximum feasible input data size" used for characterization.
+  sim::RunProfile profile(std::size_t size_index) const;
+
+  /// Profile at the largest size.
+  sim::RunProfile max_profile() const { return profile(size_count - 1); }
+};
+
+}  // namespace gppm::workload

@@ -1,0 +1,56 @@
+// Factory declarations for the 37 benchmark models (paper TABLE II).
+// Each factory lives in its own translation unit under
+// src/workload/benchmarks/ and documents how the profile was derived from
+// the real program's algorithm.
+#pragma once
+
+#include "workload/benchmark.hpp"
+
+namespace gppm::workload::benchmarks {
+
+// Rodinia (18)
+BenchmarkDef make_backprop();
+BenchmarkDef make_bfs();
+BenchmarkDef make_cfd();
+BenchmarkDef make_gaussian();
+BenchmarkDef make_heartwall();
+BenchmarkDef make_hotspot();
+BenchmarkDef make_kmeans();
+BenchmarkDef make_lavamd();
+BenchmarkDef make_leukocyte();
+BenchmarkDef make_mummergpu();
+BenchmarkDef make_lud();
+BenchmarkDef make_nn();
+BenchmarkDef make_nw();
+BenchmarkDef make_particlefilter();
+BenchmarkDef make_pathfinder();
+BenchmarkDef make_srad_v1();
+BenchmarkDef make_srad_v2();
+BenchmarkDef make_streamcluster();
+
+// Parboil (10)
+BenchmarkDef make_cutcp();
+BenchmarkDef make_histo();
+BenchmarkDef make_lbm();
+BenchmarkDef make_mri_gridding();
+BenchmarkDef make_mri_q();
+BenchmarkDef make_sad();
+BenchmarkDef make_sgemm();
+BenchmarkDef make_spmv();
+BenchmarkDef make_stencil();
+BenchmarkDef make_tpacf();
+
+// CUDA SDK (6)
+BenchmarkDef make_binomial_options();
+BenchmarkDef make_black_scholes();
+BenchmarkDef make_concurrent_kernels();
+BenchmarkDef make_histogram64();
+BenchmarkDef make_histogram256();
+BenchmarkDef make_mersenne_twister();
+
+// Matrix (3)
+BenchmarkDef make_madd();
+BenchmarkDef make_mmul();
+BenchmarkDef make_mtranspose();
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,57 @@
+// Rodinia `backprop`: back-propagation training of a fully-connected neural
+// network layer.  Two kernels per iteration: layerforward (dense
+// matrix-vector products into shared-memory partial sums) and
+// adjust_weights (weight update).  Per connection the forward pass does a
+// multiply-accumulate plus index arithmetic on data that stays resident,
+// so arithmetic intensity is high — the paper showcases it as the
+// compute-intensive workload of Fig. 1 (performance flat in memory
+// frequency, linear in core frequency, on every architecture).
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_backprop() {
+  BenchmarkDef def;
+  def.name = "backprop";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(80.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile fwd;
+    fwd.name = "layerforward";
+    fwd.blocks = 2048;
+    fwd.threads_per_block = 256;
+    fwd.flops_sp_per_thread = 900.0;   // MACs over the hidden layer
+    fwd.int_ops_per_thread = 160.0;    // index arithmetic
+    fwd.shared_ops_per_thread = 24.0;  // partial-sum reduction
+    fwd.global_load_bytes_per_thread = 3.0;
+    fwd.global_store_bytes_per_thread = 1.0;
+    fwd.coalescing = 0.97;
+    fwd.locality = 0.85;  // weights stay resident across the layer sweep
+    fwd.divergence = 1.05;
+    fwd.occupancy = 0.90;
+    fwd.overlap = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(fwd, scale), 0.50 * scale));
+
+    sim::KernelProfile adj;
+    adj.name = "adjust_weights";
+    adj.blocks = 2048;
+    adj.threads_per_block = 256;
+    adj.flops_sp_per_thread = 400.0;
+    adj.int_ops_per_thread = 80.0;
+    adj.global_load_bytes_per_thread = 3.0;
+    adj.global_store_bytes_per_thread = 1.0;
+    adj.coalescing = 0.95;
+    adj.locality = 0.85;
+    adj.occupancy = 0.90;
+    adj.overlap = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(adj, scale), 0.22 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

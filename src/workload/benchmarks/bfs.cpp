@@ -1,0 +1,38 @@
+// Rodinia `bfs`: level-synchronous breadth-first search.  Frontier threads
+// chase adjacency lists through scattered global loads — almost no FLOPs,
+// terrible coalescing, heavy branch divergence: the classic
+// latency/bandwidth-bound irregular workload.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_bfs() {
+  BenchmarkDef def;
+  def.name = "bfs";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(480.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "bfs_kernel";
+    k.blocks = 3072;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 4.0;
+    k.int_ops_per_thread = 34.0;   // offset/visited-bitmap arithmetic
+    k.global_load_bytes_per_thread = 22.0;  // edge list + frontier flags
+    k.global_store_bytes_per_thread = 4.0;
+    k.coalescing = 0.25;  // neighbor indices land in scattered segments
+    k.locality = 0.20;
+    k.divergence = 1.9;   // frontier membership splits every warp
+    k.occupancy = 0.85;
+    k.overlap = 0.70;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.35 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,39 @@
+// CUDA SDK `binomialOptions`: binomial-tree option pricing.  One block per
+// option walks the tree backwards entirely in shared memory: thousands of
+// FLOPs per byte of global traffic — pure compute with shared-memory
+// pressure.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_binomial_options() {
+  BenchmarkDef def;
+  def.name = "binomialOptions";
+  def.suite = Suite::CudaSdk;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(200.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "binomialOptionsKernel";
+    k.blocks = 1024;  // one per option
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 880.0;
+    k.int_ops_per_thread = 160.0;
+    k.shared_ops_per_thread = 220.0;
+    k.bank_conflict = 1.05;
+    k.global_load_bytes_per_thread = 2.0;
+    k.global_store_bytes_per_thread = 1.0;
+    k.coalescing = 1.0;
+    k.locality = 0.80;
+    k.occupancy = 0.70;
+    k.overlap = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 1.0 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,37 @@
+// CUDA SDK `BlackScholes`: closed-form option pricing over a large array.
+// Five inputs / two outputs per option with ~80 FLOPs and several
+// transcendental calls in between: a streaming kernel whose intensity sits
+// below Kepler's compute/bandwidth balance but above Tesla's.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_black_scholes() {
+  BenchmarkDef def;
+  def.name = "BlackScholes";
+  def.suite = Suite::CudaSdk;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(240.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "BlackScholesGPU";
+    k.blocks = 4096;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 90.0;
+    k.int_ops_per_thread = 20.0;
+    k.special_ops_per_thread = 22.0;  // exp/log/sqrt in the CND
+    k.global_load_bytes_per_thread = 20.0;
+    k.global_store_bytes_per_thread = 8.0;
+    k.coalescing = 1.0;
+    k.locality = 0.05;
+    k.occupancy = 1.0;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.8 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,54 @@
+// Rodinia `cfd`: unstructured-grid Euler solver (3D flux computation).
+// Per cell the flux kernel evaluates ~100 floating-point operations over
+// four neighbour states fetched through an indirection table; the solver
+// iterates many time steps, so kernel launches dominate the run.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_cfd() {
+  BenchmarkDef def;
+  def.name = "cfd";
+  def.suite = Suite::Rodinia;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(420.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "compute_flux";
+    k.blocks = 1536;
+    k.threads_per_block = 192;
+    k.flops_sp_per_thread = 240.0;
+    k.int_ops_per_thread = 60.0;
+    k.special_ops_per_thread = 8.0;  // sqrt in the speed-of-sound terms
+    k.global_load_bytes_per_thread = 26.0;  // neighbour states via indirection
+    k.global_store_bytes_per_thread = 8.0;
+    k.coalescing = 0.80;
+    k.locality = 0.40;
+    k.divergence = 1.1;
+    k.occupancy = 0.70;
+    k.overlap = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 1.0 * scale));
+
+    // The RK time-step update: a light streaming kernel launched as often
+    // as the flux kernel.
+    sim::KernelProfile step;
+    step.name = "time_step";
+    step.blocks = 1536;
+    step.threads_per_block = 192;
+    step.flops_sp_per_thread = 24.0;
+    step.int_ops_per_thread = 12.0;
+    step.global_load_bytes_per_thread = 20.0;
+    step.global_store_bytes_per_thread = 20.0;
+    step.coalescing = 0.95;
+    step.locality = 0.15;
+    step.occupancy = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(step, scale), 0.2 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,37 @@
+// CUDA SDK `concurrentKernels`: many tiny kernels issued back-to-back to
+// exercise concurrent execution.  Each launch occupies a fraction of the
+// machine for microseconds, so launch overhead and idle gaps dominate —
+// the GPU is mostly underutilized, which is why the paper finds
+// low-frequency pairs optimal for it on every board (TABLE IV).
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_concurrent_kernels() {
+  BenchmarkDef def;
+  def.name = "concurrentKernels";
+  def.suite = Suite::CudaSdk;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(180.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "clock_block";
+    k.blocks = 8;  // deliberately undersized grid
+    k.threads_per_block = 128;
+    k.flops_sp_per_thread = 200.0;
+    k.int_ops_per_thread = 40.0;
+    k.global_load_bytes_per_thread = 8.0;
+    k.global_store_bytes_per_thread = 4.0;
+    k.coalescing = 0.90;
+    k.locality = 0.30;
+    k.occupancy = 0.25;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.6 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

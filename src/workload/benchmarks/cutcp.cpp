@@ -1,0 +1,39 @@
+// Parboil `cutcp`: cutoff-limited Coulombic potential on a 3D lattice.
+// Each thread accumulates distance-weighted charges from a shared-memory
+// bin of atoms: dense FMA work with rsqrt (SFU) per interaction — strongly
+// compute-bound.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_cutcp() {
+  BenchmarkDef def;
+  def.name = "cutcp";
+  def.suite = Suite::Parboil;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(260.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "cuda_cutoff_potential_lattice";
+    k.blocks = 1536;
+    k.threads_per_block = 128;
+    k.flops_sp_per_thread = 640.0;
+    k.int_ops_per_thread = 120.0;
+    k.special_ops_per_thread = 40.0;  // rsqrt per atom interaction
+    k.shared_ops_per_thread = 30.0;
+    k.global_load_bytes_per_thread = 9.0;
+    k.global_store_bytes_per_thread = 3.0;
+    k.coalescing = 0.85;
+    k.locality = 0.65;
+    k.occupancy = 0.75;
+    k.overlap = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.8 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

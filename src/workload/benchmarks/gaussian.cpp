@@ -1,0 +1,51 @@
+// Rodinia `gaussian`: Gaussian elimination.  Row elimination alternates a
+// small multiplier kernel (Fan1) and a large update kernel (Fan2) once per
+// pivot.  Its arithmetic intensity sits near the compute/memory balance
+// point of the evaluated boards, which is why the paper uses it (Fig. 3) as
+// the workload whose boundedness flips between frequency pairs and between
+// same-generation boards.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_gaussian() {
+  BenchmarkDef def;
+  def.name = "gaussian";
+  def.suite = Suite::Rodinia;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(260.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile fan1;
+    fan1.name = "Fan1";
+    fan1.blocks = 64;
+    fan1.threads_per_block = 128;
+    fan1.flops_sp_per_thread = 20.0;
+    fan1.int_ops_per_thread = 10.0;
+    fan1.global_load_bytes_per_thread = 8.0;
+    fan1.global_store_bytes_per_thread = 4.0;
+    fan1.coalescing = 0.90;
+    fan1.locality = 0.40;
+    fan1.occupancy = 0.40;  // one block column: underpopulated grid
+    run.kernels.push_back(balance_launches(scale_grid(fan1, scale), 0.12 * scale));
+
+    sim::KernelProfile fan2;
+    fan2.name = "Fan2";
+    fan2.blocks = 1024;
+    fan2.threads_per_block = 256;
+    fan2.flops_sp_per_thread = 50.0;   // multiply-subtract over the submatrix
+    fan2.int_ops_per_thread = 24.0;
+    fan2.global_load_bytes_per_thread = 12.0;
+    fan2.global_store_bytes_per_thread = 6.0;
+    fan2.coalescing = 0.90;
+    fan2.locality = 0.45;
+    fan2.occupancy = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(fan2, scale), 0.75 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,38 @@
+// Rodinia `heartwall`: mouse-heart-wall tracking on ultrasound frames.
+// Template matching around each tracking point: convolution-like arithmetic
+// with data-dependent control flow across points (divergence) and moderate
+// reuse of the frame window.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_heartwall() {
+  BenchmarkDef def;
+  def.name = "heartwall";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(520.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "heartwall_kernel";
+    k.blocks = 1024;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 260.0;
+    k.int_ops_per_thread = 90.0;
+    k.special_ops_per_thread = 14.0;
+    k.global_load_bytes_per_thread = 18.0;
+    k.global_store_bytes_per_thread = 4.0;
+    k.coalescing = 0.75;
+    k.locality = 0.55;
+    k.divergence = 1.45;
+    k.occupancy = 0.60;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.9 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,53 @@
+// Parboil `histo`: large saturating histogram.  Input-dependent scatter
+// into bins: shared-memory sub-histograms with heavy bank conflicts,
+// divergent saturation checks, poorly coalesced global merges.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_histo() {
+  BenchmarkDef def;
+  def.name = "histo";
+  def.suite = Suite::Parboil;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(360.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "histo_main_kernel";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 8.0;
+    k.int_ops_per_thread = 46.0;
+    k.shared_ops_per_thread = 40.0;
+    k.bank_conflict = 1.8;
+    k.global_load_bytes_per_thread = 12.0;
+    k.global_store_bytes_per_thread = 6.0;
+    k.coalescing = 0.50;
+    k.locality = 0.45;
+    k.divergence = 1.6;
+    k.occupancy = 0.70;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.5 * scale));
+
+    // histo_final: merge per-block sub-histograms with saturation.
+    sim::KernelProfile merge;
+    merge.name = "histo_final_kernel";
+    merge.blocks = 512;
+    merge.threads_per_block = 256;
+    merge.flops_sp_per_thread = 2.0;
+    merge.int_ops_per_thread = 30.0;
+    merge.global_load_bytes_per_thread = 24.0;
+    merge.global_store_bytes_per_thread = 8.0;
+    merge.coalescing = 0.90;
+    merge.locality = 0.30;
+    merge.divergence = 1.2;
+    merge.occupancy = 0.80;
+    run.kernels.push_back(balance_launches(scale_grid(merge, scale), 0.1 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

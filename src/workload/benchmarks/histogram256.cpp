@@ -1,0 +1,37 @@
+// CUDA SDK `histogram256`: 256-bin histogram with per-warp shared-memory
+// sub-histograms.  More bins than histogram64 means worse bank behaviour
+// and heavier merge traffic.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_histogram256() {
+  BenchmarkDef def;
+  def.name = "histogram256";
+  def.suite = Suite::CudaSdk;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(200.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "histogram256Kernel";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 6.0;
+    k.int_ops_per_thread = 44.0;
+    k.shared_ops_per_thread = 30.0;
+    k.bank_conflict = 2.0;
+    k.global_load_bytes_per_thread = 16.0;
+    k.global_store_bytes_per_thread = 3.0;
+    k.coalescing = 0.80;
+    k.locality = 0.50;
+    k.occupancy = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.55 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

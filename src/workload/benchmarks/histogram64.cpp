@@ -1,0 +1,37 @@
+// CUDA SDK `histogram64`: 64-bin histogram with per-thread sub-histograms
+// in shared memory.  Integer-dominated binning with moderate bank
+// conflicts; the byte stream is read once.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_histogram64() {
+  BenchmarkDef def;
+  def.name = "histogram64";
+  def.suite = Suite::CudaSdk;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(200.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "histogram64Kernel";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 6.0;
+    k.int_ops_per_thread = 40.0;
+    k.shared_ops_per_thread = 26.0;
+    k.bank_conflict = 1.5;
+    k.global_load_bytes_per_thread = 16.0;
+    k.global_store_bytes_per_thread = 2.0;
+    k.coalescing = 0.80;
+    k.locality = 0.50;
+    k.occupancy = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.5 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

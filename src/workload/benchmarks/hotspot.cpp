@@ -1,0 +1,38 @@
+// Rodinia `hotspot`: 2D thermal simulation, iterative 5-point stencil with
+// shared-memory tiling (pyramidal blocking).  Raw arithmetic intensity is
+// low but the tile reuse makes it cache/shared friendly: compute-leaning on
+// the cached architectures, memory-leaning on Tesla.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_hotspot() {
+  BenchmarkDef def;
+  def.name = "hotspot";
+  def.suite = Suite::Rodinia;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(280.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "calculate_temp";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 42.0;   // 5-point update + power term, per cell
+    k.int_ops_per_thread = 20.0;
+    k.shared_ops_per_thread = 14.0; // tile loads/stores
+    k.global_load_bytes_per_thread = 16.0;
+    k.global_store_bytes_per_thread = 4.0;
+    k.coalescing = 0.92;
+    k.locality = 0.72;
+    k.divergence = 1.1;  // halo threads
+    k.occupancy = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.6 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

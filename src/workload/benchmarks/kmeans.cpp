@@ -1,0 +1,51 @@
+// Rodinia `kmeans`: k-means clustering.  Each thread computes distances
+// from one point to all centroids; centroids are small enough to cache but
+// the point stream is read once per iteration — a balanced workload with a
+// memory-leaning tilt at large inputs.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_kmeans() {
+  BenchmarkDef def;
+  def.name = "kmeans";
+  def.suite = Suite::Rodinia;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(380.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "kmeansPoint";
+    k.blocks = 3072;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 70.0;   // distance terms over centroids
+    k.int_ops_per_thread = 36.0;
+    k.global_load_bytes_per_thread = 22.0;  // features (streamed) + centroids
+    k.global_store_bytes_per_thread = 2.0;  // membership index
+    k.coalescing = 0.85;
+    k.locality = 0.30;
+    k.divergence = 1.15;
+    k.occupancy = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.65 * scale));
+
+    // kmeans_swap: transpose the feature matrix for coalesced access —
+    // pure data movement, run once per invocation batch.
+    sim::KernelProfile swap;
+    swap.name = "kmeans_swap";
+    swap.blocks = 3072;
+    swap.threads_per_block = 256;
+    swap.int_ops_per_thread = 10.0;
+    swap.global_load_bytes_per_thread = 16.0;
+    swap.global_store_bytes_per_thread = 16.0;
+    swap.coalescing = 0.70;
+    swap.locality = 0.10;
+    swap.occupancy = 0.95;
+    run.kernels.push_back(balance_launches(scale_grid(swap, scale), 0.15 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

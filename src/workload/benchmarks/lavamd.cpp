@@ -1,0 +1,41 @@
+// Rodinia `lavaMD`: molecular dynamics inside neighbour boxes.  Pairwise
+// particle interactions with exponentials (SFU work) over shared-memory
+// particle tiles: one of the most compute-dense Rodinia programs, with
+// register pressure capping occupancy.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_lavamd() {
+  BenchmarkDef def;
+  def.name = "lavaMD";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(300.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "kernel_gpu_cuda";
+    k.blocks = 1000;  // one block per box
+    k.threads_per_block = 128;
+    k.flops_sp_per_thread = 520.0;
+    k.flops_dp_per_thread = 40.0;   // accumulation in double
+    k.int_ops_per_thread = 110.0;
+    k.special_ops_per_thread = 26.0;  // exp() per interaction
+    k.shared_ops_per_thread = 40.0;
+    k.global_load_bytes_per_thread = 14.0;
+    k.global_store_bytes_per_thread = 4.0;
+    k.coalescing = 0.80;
+    k.locality = 0.60;
+    k.divergence = 1.2;
+    k.occupancy = 0.60;  // register-limited
+    k.overlap = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 1.1 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,53 @@
+// Parboil `lbm`: D3Q19 lattice-Boltzmann fluid step.  Per cell, 19
+// distribution values are read and 19 written to neighbour offsets with a
+// couple hundred FLOPs in between: a classic bandwidth-bound streaming
+// kernel whose working set defeats caches.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_lbm() {
+  BenchmarkDef def;
+  def.name = "lbm";
+  def.suite = Suite::Parboil;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(560.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "performStreamCollide";
+    k.blocks = 2560;
+    k.threads_per_block = 128;
+    k.flops_sp_per_thread = 210.0;
+    k.int_ops_per_thread = 50.0;
+    k.global_load_bytes_per_thread = 76.0;   // 19 x 4B distributions in
+    k.global_store_bytes_per_thread = 76.0;  // 19 x 4B out
+    k.coalescing = 0.78;  // propagation offsets break some coalescing
+    k.locality = 0.20;
+    k.occupancy = 0.80;
+    k.overlap = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 1.35 * scale));
+
+    // Obstacle/boundary treatment: a divergent, smaller sweep per step.
+    sim::KernelProfile boundary;
+    boundary.name = "treatBoundary";
+    boundary.blocks = 640;
+    boundary.threads_per_block = 128;
+    boundary.flops_sp_per_thread = 40.0;
+    boundary.int_ops_per_thread = 30.0;
+    boundary.global_load_bytes_per_thread = 40.0;
+    boundary.global_store_bytes_per_thread = 20.0;
+    boundary.coalescing = 0.60;
+    boundary.locality = 0.25;
+    boundary.divergence = 1.6;
+    boundary.occupancy = 0.70;
+    run.kernels.push_back(
+        balance_launches(scale_grid(boundary, scale), 0.15 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,38 @@
+// Rodinia `leukocyte`: white-blood-cell tracking in video microscopy.
+// Gradient-inverse-coefficient-of-variation stencils plus iterative active
+// contours: high FLOP density with SFU usage and moderate divergence at
+// cell boundaries.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_leukocyte() {
+  BenchmarkDef def;
+  def.name = "leukocyte";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(450.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "IMGVF_kernel";
+    k.blocks = 1200;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 380.0;
+    k.int_ops_per_thread = 90.0;
+    k.special_ops_per_thread = 30.0;
+    k.global_load_bytes_per_thread = 12.0;
+    k.global_store_bytes_per_thread = 3.0;
+    k.coalescing = 0.80;
+    k.locality = 0.60;
+    k.divergence = 1.3;
+    k.occupancy = 0.65;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.9 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

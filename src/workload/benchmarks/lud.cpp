@@ -1,0 +1,38 @@
+// Rodinia `lud`: dense LU decomposition with shared-memory blocking.
+// Diagonal, perimeter and internal kernels per block step; the internal
+// kernel dominates: tile multiply-subtract with good reuse but noticeable
+// bank pressure, and shrinking parallelism near the end of the matrix.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_lud() {
+  BenchmarkDef def;
+  def.name = "lud";
+  def.suite = Suite::Rodinia;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(240.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "lud_internal";
+    k.blocks = 1024;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 120.0;
+    k.int_ops_per_thread = 40.0;
+    k.shared_ops_per_thread = 60.0;
+    k.bank_conflict = 1.35;
+    k.global_load_bytes_per_thread = 10.0;
+    k.global_store_bytes_per_thread = 5.0;
+    k.coalescing = 0.85;
+    k.locality = 0.65;
+    k.occupancy = 0.55;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.7 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,36 @@
+// Matrix `MAdd`: elementwise matrix addition C = A + B.  One FLOP per
+// twelve bytes of perfectly coalesced traffic: the purest bandwidth-bound
+// workload in the suite.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_madd() {
+  BenchmarkDef def;
+  def.name = "MAdd";
+  def.suite = Suite::Matrix;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(180.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "madd_kernel";
+    k.blocks = 4096;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 2.0;
+    k.int_ops_per_thread = 12.0;
+    k.global_load_bytes_per_thread = 8.0;
+    k.global_store_bytes_per_thread = 4.0;
+    k.coalescing = 1.0;
+    k.locality = 0.05;
+    k.occupancy = 1.0;
+    k.overlap = 0.80;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.5 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,36 @@
+// CUDA SDK `MersenneTwister`: parallel Mersenne-Twister random number
+// generation plus Box-Muller transform.  Integer state updates dominate,
+// output is a pure write stream.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_mersenne_twister() {
+  BenchmarkDef def;
+  def.name = "MersenneTwister";
+  def.suite = Suite::CudaSdk;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(220.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "RandomGPU";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 30.0;   // Box-Muller
+    k.int_ops_per_thread = 140.0;   // twister state updates
+    k.special_ops_per_thread = 6.0;
+    k.global_load_bytes_per_thread = 4.0;
+    k.global_store_bytes_per_thread = 16.0;
+    k.coalescing = 0.95;
+    k.locality = 0.20;
+    k.occupancy = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.6 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

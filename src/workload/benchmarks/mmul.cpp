@@ -1,0 +1,37 @@
+// Matrix `MMul`: tiled dense matrix multiply (the canonical shared-memory
+// CUDA example).  Tile reuse turns it compute-bound everywhere.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_mmul() {
+  BenchmarkDef def;
+  def.name = "MMul";
+  def.suite = Suite::Matrix;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(220.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "mmul_kernel";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 512.0;
+    k.int_ops_per_thread = 60.0;
+    k.shared_ops_per_thread = 64.0;
+    k.bank_conflict = 1.1;
+    k.global_load_bytes_per_thread = 16.0;
+    k.global_store_bytes_per_thread = 2.0;
+    k.coalescing = 0.95;
+    k.locality = 0.75;
+    k.occupancy = 0.85;
+    k.overlap = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.9 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

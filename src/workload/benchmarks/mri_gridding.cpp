@@ -1,0 +1,37 @@
+// Parboil `mri-gridding`: gridding of non-uniform MRI k-space samples onto
+// a regular grid.  Scatter with a Kaiser-Bessel window: data-dependent
+// neighbourhoods, poor coalescing, divergent bounds checks.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_mri_gridding() {
+  BenchmarkDef def;
+  def.name = "mri-gridding";
+  def.suite = Suite::Parboil;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(480.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "gridding_GPU";
+    k.blocks = 1536;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 90.0;
+    k.int_ops_per_thread = 70.0;
+    k.special_ops_per_thread = 10.0;  // window function evaluation
+    k.global_load_bytes_per_thread = 20.0;
+    k.global_store_bytes_per_thread = 12.0;
+    k.coalescing = 0.30;
+    k.locality = 0.35;
+    k.divergence = 1.5;
+    k.occupancy = 0.65;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.9 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,38 @@
+// Parboil `mri-q`: MRI reconstruction Q-matrix.  Each thread accumulates
+// cos/sin phase terms over thousands of sample points kept in constant
+// memory: enormous FLOP count with SFU trigonometry and almost no DRAM
+// traffic — the most compute-bound Parboil program.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_mri_q() {
+  BenchmarkDef def;
+  def.name = "mri-q";
+  def.suite = Suite::Parboil;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(240.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "ComputeQ_GPU";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 760.0;
+    k.int_ops_per_thread = 90.0;
+    k.special_ops_per_thread = 90.0;  // sincos per sample point
+    k.global_load_bytes_per_thread = 6.0;
+    k.global_store_bytes_per_thread = 3.0;
+    k.coalescing = 1.0;
+    k.locality = 0.50;
+    k.occupancy = 0.85;
+    k.overlap = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.9 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,38 @@
+// Matrix `MTranspose`: out-of-place matrix transpose through shared-memory
+// tiles.  Zero FLOPs: pure data movement whose write side is only partially
+// coalesced — entirely at the mercy of the memory clock.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_mtranspose() {
+  BenchmarkDef def;
+  def.name = "MTranspose";
+  def.suite = Suite::Matrix;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(180.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "transpose_kernel";
+    k.blocks = 4096;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 0.0;
+    k.int_ops_per_thread = 14.0;
+    k.shared_ops_per_thread = 8.0;
+    k.bank_conflict = 1.1;
+    k.global_load_bytes_per_thread = 8.0;
+    k.global_store_bytes_per_thread = 8.0;
+    k.coalescing = 0.85;
+    k.locality = 0.30;
+    k.occupancy = 0.95;
+    k.overlap = 0.80;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.45 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,39 @@
+// Rodinia `mummergpu`: DNA read alignment by suffix-tree traversal.  Each
+// thread walks pointer-linked tree nodes (bound through the texture path on
+// real hardware): scattered accesses, deep divergence, almost no arithmetic.
+// One of the four programs the paper's CUDA profiler could not analyze.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_mummergpu() {
+  BenchmarkDef def;
+  def.name = "mummergpu";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(900.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "mummergpuKernel";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 10.0;
+    k.int_ops_per_thread = 60.0;     // match-length bookkeeping
+    k.tex_ops_per_thread = 24.0;     // tree nodes fetched via texture
+    k.global_load_bytes_per_thread = 26.0;
+    k.global_store_bytes_per_thread = 5.0;
+    k.coalescing = 0.15;  // pointer chasing
+    k.locality = 0.35;    // upper tree levels are shared
+    k.divergence = 2.3;
+    k.occupancy = 0.70;
+    k.overlap = 0.60;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.8 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,37 @@
+// Rodinia `nn`: k-nearest-neighbours over hurricane records.  A single
+// short distance kernel streams the record array once; most of the wall
+// time is host-side parsing and the final CPU-side sort, so the GPU's DVFS
+// leverage is small.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_nn() {
+  BenchmarkDef def;
+  def.name = "nn";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(700.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "euclid";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 20.0;  // lat/long distance
+    k.int_ops_per_thread = 10.0;
+    k.special_ops_per_thread = 2.0;  // sqrt
+    k.global_load_bytes_per_thread = 16.0;
+    k.global_store_bytes_per_thread = 4.0;
+    k.coalescing = 0.95;
+    k.locality = 0.10;
+    k.occupancy = 0.95;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.15 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,38 @@
+// Rodinia `nw`: Needleman-Wunsch sequence alignment.  The score matrix is
+// filled along anti-diagonals: many small dependent launches, shared-memory
+// tiles, low occupancy at the diagonal ends — a launch-bound, weakly
+// parallel workload.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_nw() {
+  BenchmarkDef def;
+  def.name = "nw";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(260.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "needle_cuda_shared";
+    k.blocks = 512;
+    k.threads_per_block = 64;
+    k.flops_sp_per_thread = 30.0;
+    k.int_ops_per_thread = 26.0;
+    k.shared_ops_per_thread = 30.0;
+    k.global_load_bytes_per_thread = 9.0;
+    k.global_store_bytes_per_thread = 5.0;
+    k.coalescing = 0.70;
+    k.locality = 0.60;
+    k.divergence = 1.3;
+    k.occupancy = 0.35;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.5 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

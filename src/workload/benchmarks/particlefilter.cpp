@@ -1,0 +1,37 @@
+// Rodinia `particlefilter_float`: particle-filter object tracking.
+// Likelihood evaluation and resampling per particle: moderate arithmetic
+// with transcendental calls, divergent resampling branches.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_particlefilter() {
+  BenchmarkDef def;
+  def.name = "particlefilter_float";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(340.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "likelihood_kernel";
+    k.blocks = 1536;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 110.0;
+    k.int_ops_per_thread = 50.0;
+    k.special_ops_per_thread = 18.0;  // exp/log in the likelihood
+    k.global_load_bytes_per_thread = 12.0;
+    k.global_store_bytes_per_thread = 6.0;
+    k.coalescing = 0.80;
+    k.locality = 0.40;
+    k.divergence = 1.35;
+    k.occupancy = 0.75;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.7 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

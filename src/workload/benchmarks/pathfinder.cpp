@@ -1,0 +1,38 @@
+// Rodinia `pathfinder`: dynamic-programming grid traversal (one row per
+// step, ghost-zone blocking in shared memory).  Light arithmetic with good
+// row reuse; launch count scales with the grid height.  One of the four
+// programs the paper's CUDA profiler could not analyze.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_pathfinder() {
+  BenchmarkDef def;
+  def.name = "pathfinder";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(220.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "dynproc_kernel";
+    k.blocks = 1024;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 18.0;
+    k.int_ops_per_thread = 24.0;
+    k.shared_ops_per_thread = 12.0;
+    k.global_load_bytes_per_thread = 10.0;
+    k.global_store_bytes_per_thread = 3.0;
+    k.coalescing = 0.90;
+    k.locality = 0.70;
+    k.divergence = 1.15;
+    k.occupancy = 0.80;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.4 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

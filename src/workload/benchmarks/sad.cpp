@@ -1,0 +1,38 @@
+// Parboil `sad`: sum-of-absolute-differences block matching from H.264
+// motion estimation.  16x16 macroblock comparisons with strong reuse of the
+// reference window (texture path on hardware) and integer-dominated
+// arithmetic.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_sad() {
+  BenchmarkDef def;
+  def.name = "sad";
+  def.suite = Suite::Parboil;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(300.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "mb_sad_calc";
+    k.blocks = 1800;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 130.0;  // abs-diff accumulation
+    k.int_ops_per_thread = 60.0;
+    k.shared_ops_per_thread = 30.0;
+    k.tex_ops_per_thread = 8.0;
+    k.global_load_bytes_per_thread = 14.0;
+    k.global_store_bytes_per_thread = 5.0;
+    k.coalescing = 0.80;
+    k.locality = 0.70;
+    k.occupancy = 0.80;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.5 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,39 @@
+// Parboil `sgemm`: single-precision dense matrix multiply with
+// shared-memory tiling and register blocking.  Per loaded byte each thread
+// performs dozens of FMAs thanks to tile reuse: compute-bound on every
+// architecture, with shared-memory traffic as the secondary pressure.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_sgemm() {
+  BenchmarkDef def;
+  def.name = "sgemm";
+  def.suite = Suite::Parboil;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(280.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "mysgemmNT";
+    k.blocks = 1024;
+    k.threads_per_block = 128;
+    k.flops_sp_per_thread = 1024.0;  // 2 x tile-K FMAs per output element
+    k.int_ops_per_thread = 120.0;
+    k.shared_ops_per_thread = 128.0;
+    k.bank_conflict = 1.1;
+    k.global_load_bytes_per_thread = 24.0;
+    k.global_store_bytes_per_thread = 4.0;
+    k.coalescing = 0.95;
+    k.locality = 0.75;
+    k.occupancy = 0.80;
+    k.overlap = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 1.0 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,37 @@
+// Parboil `spmv`: sparse matrix-vector multiply (JDS format).  Index-driven
+// gathers of the dense vector defeat coalescing; two loads per FMA make it
+// firmly bandwidth-bound with an irregular access tail.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_spmv() {
+  BenchmarkDef def;
+  def.name = "spmv";
+  def.suite = Suite::Parboil;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(300.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "spmv_jds";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 24.0;
+    k.int_ops_per_thread = 26.0;
+    k.global_load_bytes_per_thread = 36.0;  // values + column indices + x gathers
+    k.global_store_bytes_per_thread = 2.0;
+    k.coalescing = 0.45;
+    k.locality = 0.30;
+    k.divergence = 1.25;  // row-length imbalance
+    k.occupancy = 0.80;
+    k.overlap = 0.75;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.6 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,37 @@
+// Rodinia `srad_v1`: speckle-reducing anisotropic diffusion (image
+// despeckling), two stencil passes per iteration with divergence
+// coefficients computed through exp().  Stencil reuse gives the cached
+// architectures a compute-leaning profile; Tesla sees it memory-bound.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_srad_v1() {
+  BenchmarkDef def;
+  def.name = "srad_v1";
+  def.suite = Suite::Rodinia;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(300.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "srad_kernel";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 60.0;
+    k.int_ops_per_thread = 30.0;
+    k.special_ops_per_thread = 8.0;  // exp() in the diffusion coefficient
+    k.global_load_bytes_per_thread = 24.0;  // 4-neighbour stencil
+    k.global_store_bytes_per_thread = 6.0;
+    k.coalescing = 0.90;
+    k.locality = 0.62;
+    k.occupancy = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.7 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

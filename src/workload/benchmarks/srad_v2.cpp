@@ -1,0 +1,36 @@
+// Rodinia `srad_v2`: the second SRAD variant — same diffusion algorithm
+// restructured without shared-memory tiling, so slightly less reuse and
+// more raw global traffic than srad_v1.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_srad_v2() {
+  BenchmarkDef def;
+  def.name = "srad_v2";
+  def.suite = Suite::Rodinia;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(300.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "srad_cuda_1";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 48.0;
+    k.int_ops_per_thread = 26.0;
+    k.special_ops_per_thread = 6.0;
+    k.global_load_bytes_per_thread = 26.0;
+    k.global_store_bytes_per_thread = 7.0;
+    k.coalescing = 0.90;
+    k.locality = 0.55;
+    k.occupancy = 0.85;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.7 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,35 @@
+// Parboil `stencil`: 7-point 3D Jacobi stencil.  Streaming sweeps with
+// plane reuse in cache: low arithmetic intensity, well-coalesced —
+// bandwidth-bound with a cache-assisted tilt on Fermi/Kepler.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_stencil() {
+  BenchmarkDef def;
+  def.name = "stencil";
+  def.suite = Suite::Parboil;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(260.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "block2D_hybrid_coarsen_x";
+    k.blocks = 2048;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 34.0;  // 7-point update + scaling
+    k.int_ops_per_thread = 18.0;
+    k.global_load_bytes_per_thread = 30.0;
+    k.global_store_bytes_per_thread = 5.0;
+    k.coalescing = 0.92;
+    k.locality = 0.60;
+    k.occupancy = 0.90;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.8 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,38 @@
+// Rodinia `streamcluster`: online clustering.  The pgain kernel streams the
+// full point set against candidate centers every call: long-stride reads
+// with almost no reuse and little arithmetic per byte — the paper's
+// most memory-intensive workload (Fig. 2).
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_streamcluster() {
+  BenchmarkDef def;
+  def.name = "streamcluster";
+  def.suite = Suite::Rodinia;
+  def.size_count = 4;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(420.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "pgain_kernel";
+    k.blocks = 3072;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 36.0;
+    k.int_ops_per_thread = 20.0;
+    k.global_load_bytes_per_thread = 40.0;  // point coordinates, streamed
+    k.global_store_bytes_per_thread = 3.0;
+    k.coalescing = 0.90;
+    k.locality = 0.15;
+    k.divergence = 1.1;
+    k.occupancy = 0.85;
+    k.overlap = 0.75;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 1.4 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

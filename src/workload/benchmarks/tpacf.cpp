@@ -1,0 +1,39 @@
+// Parboil `tpacf`: two-point angular correlation function over galaxy
+// positions.  Pairwise angular distances binned into shared-memory
+// histograms: FLOP-heavy with transcendental calls and divergent binning.
+#include "workload/benchmarks/all.hpp"
+#include "workload/kernels.hpp"
+
+namespace gppm::workload::benchmarks {
+
+BenchmarkDef make_tpacf() {
+  BenchmarkDef def;
+  def.name = "tpacf";
+  def.suite = Suite::Parboil;
+  def.size_count = 3;
+  def.build = [](double scale) {
+    sim::RunProfile run;
+    run.host_time = Duration::milliseconds(340.0 * (0.5 + 0.5 * scale));
+
+    sim::KernelProfile k;
+    k.name = "gen_hists";
+    k.blocks = 1024;
+    k.threads_per_block = 256;
+    k.flops_sp_per_thread = 210.0;
+    k.int_ops_per_thread = 80.0;
+    k.special_ops_per_thread = 24.0;  // acos per pair
+    k.shared_ops_per_thread = 50.0;
+    k.bank_conflict = 1.2;
+    k.global_load_bytes_per_thread = 10.0;
+    k.global_store_bytes_per_thread = 2.0;
+    k.coalescing = 0.80;
+    k.locality = 0.60;
+    k.divergence = 1.4;
+    k.occupancy = 0.70;
+    run.kernels.push_back(balance_launches(scale_grid(k, scale), 0.9 * scale));
+    return run;
+  };
+  return def;
+}
+
+}  // namespace gppm::workload::benchmarks

@@ -1,0 +1,39 @@
+#include "workload/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gpusim/timing.hpp"
+
+namespace gppm::workload {
+
+sim::KernelProfile scale_grid(sim::KernelProfile base, double scale) {
+  GPPM_CHECK(scale > 0.0, "scale must be positive");
+  base.blocks = static_cast<std::uint64_t>(
+      std::max(1.0, std::round(static_cast<double>(base.blocks) * scale)));
+  return base;
+}
+
+sim::KernelProfile scale_launches(sim::KernelProfile base, double scale) {
+  GPPM_CHECK(scale > 0.0, "scale must be positive");
+  base.launches = static_cast<std::uint32_t>(
+      std::max(1.0, std::round(static_cast<double>(base.launches) * scale)));
+  return base;
+}
+
+sim::KernelProfile balance_launches(sim::KernelProfile kernel,
+                                    double target_seconds) {
+  GPPM_CHECK(target_seconds > 0.0, "target must be positive");
+  const sim::DeviceSpec& ref = sim::device_spec(sim::GpuModel::GTX480);
+  kernel.launches = 1;
+  const sim::KernelTiming t =
+      sim::compute_kernel_timing(ref, kernel, sim::kDefaultPair);
+  const double per_launch = t.total_time.as_seconds();
+  GPPM_ASSERT(per_launch > 0.0);
+  kernel.launches = static_cast<std::uint32_t>(
+      std::clamp(std::round(target_seconds / per_launch), 1.0, 2e5));
+  return kernel;
+}
+
+}  // namespace gppm::workload

@@ -1,0 +1,26 @@
+// Helpers for building kernel profiles inside benchmark definitions.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/kernel_profile.hpp"
+
+namespace gppm::workload {
+
+/// Scale a kernel's grid by the input scale factor (data-parallel scaling:
+/// more input elements -> more blocks, same per-thread work).
+sim::KernelProfile scale_grid(sim::KernelProfile base, double scale);
+
+/// Scale a kernel's launch count (iterative algorithms: more input -> more
+/// solver iterations).
+sim::KernelProfile scale_launches(sim::KernelProfile base, double scale);
+
+/// Choose the launch count so the kernel's nominal GPU time at (H-H) on the
+/// reference board (GTX 480, the paper's mid-generation device) is
+/// approximately `target_seconds`.  Benchmark models use this to place their
+/// runtimes in the paper's hundreds-of-ms-to-tens-of-seconds range without
+/// hand-computing cycle counts.
+sim::KernelProfile balance_launches(sim::KernelProfile kernel,
+                                    double target_seconds);
+
+}  // namespace gppm::workload

@@ -1,0 +1,71 @@
+#include "workload/suite.hpp"
+
+#include "common/error.hpp"
+#include "workload/benchmarks/all.hpp"
+
+namespace gppm::workload {
+
+const std::vector<BenchmarkDef>& benchmark_suite() {
+  static const std::vector<BenchmarkDef> suite = [] {
+    using namespace benchmarks;
+    std::vector<BenchmarkDef> s;
+    // Rodinia
+    s.push_back(make_backprop());
+    s.push_back(make_bfs());
+    s.push_back(make_cfd());
+    s.push_back(make_gaussian());
+    s.push_back(make_heartwall());
+    s.push_back(make_hotspot());
+    s.push_back(make_kmeans());
+    s.push_back(make_lavamd());
+    s.push_back(make_leukocyte());
+    s.push_back(make_mummergpu());
+    s.push_back(make_lud());
+    s.push_back(make_nn());
+    s.push_back(make_nw());
+    s.push_back(make_particlefilter());
+    s.push_back(make_pathfinder());
+    s.push_back(make_srad_v1());
+    s.push_back(make_srad_v2());
+    s.push_back(make_streamcluster());
+    // Parboil
+    s.push_back(make_cutcp());
+    s.push_back(make_histo());
+    s.push_back(make_lbm());
+    s.push_back(make_mri_gridding());
+    s.push_back(make_mri_q());
+    s.push_back(make_sad());
+    s.push_back(make_sgemm());
+    s.push_back(make_spmv());
+    s.push_back(make_stencil());
+    s.push_back(make_tpacf());
+    // CUDA SDK
+    s.push_back(make_binomial_options());
+    s.push_back(make_black_scholes());
+    s.push_back(make_concurrent_kernels());
+    s.push_back(make_histogram64());
+    s.push_back(make_histogram256());
+    s.push_back(make_mersenne_twister());
+    // Matrix
+    s.push_back(make_madd());
+    s.push_back(make_mmul());
+    s.push_back(make_mtranspose());
+    return s;
+  }();
+  return suite;
+}
+
+const BenchmarkDef& find_benchmark(const std::string& name) {
+  for (const BenchmarkDef& def : benchmark_suite()) {
+    if (def.name == name) return def;
+  }
+  throw Error("unknown benchmark: " + name);
+}
+
+std::size_t total_samples(const std::vector<BenchmarkDef>& defs) {
+  std::size_t n = 0;
+  for (const BenchmarkDef& def : defs) n += def.size_count;
+  return n;
+}
+
+}  // namespace gppm::workload

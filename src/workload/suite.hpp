@@ -1,0 +1,23 @@
+// The benchmark-suite registry.
+#pragma once
+
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace gppm::workload {
+
+/// All 37 benchmark definitions in paper TABLE II order (Rodinia, Parboil,
+/// CUDA SDK, Matrix).  Built once; the reference stays valid for the
+/// process lifetime.
+const std::vector<BenchmarkDef>& benchmark_suite();
+
+/// Find by name; throws gppm::Error on unknown names.
+const BenchmarkDef& find_benchmark(const std::string& name);
+
+/// Total number of (benchmark, input size) samples over a set of
+/// benchmarks — the paper's modeling corpus counts 114 of these across the
+/// 33 profiler-supported programs.
+std::size_t total_samples(const std::vector<BenchmarkDef>& defs);
+
+}  // namespace gppm::workload

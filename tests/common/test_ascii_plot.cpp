@@ -1,0 +1,80 @@
+#include "common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gppm {
+namespace {
+
+TEST(LineChart, RendersSeriesAndLegend) {
+  LineChart chart("Perf", "core MHz", "relative");
+  chart.add_series({"Mem-H", {600, 800, 1296}, {0.5, 0.7, 1.0}});
+  chart.add_series({"Mem-L", {600, 800, 1296}, {0.5, 0.69, 0.98}});
+  std::ostringstream out;
+  chart.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Perf"), std::string::npos);
+  EXPECT_NE(s.find("* = Mem-H"), std::string::npos);
+  EXPECT_NE(s.find("o = Mem-L"), std::string::npos);
+  EXPECT_NE(s.find("core MHz"), std::string::npos);
+}
+
+TEST(LineChart, RejectsMismatchedSeries) {
+  LineChart chart("t", "x", "y");
+  EXPECT_THROW(chart.add_series({"bad", {1, 2}, {1}}), Error);
+}
+
+TEST(LineChart, RejectsEmptySeries) {
+  LineChart chart("t", "x", "y");
+  EXPECT_THROW(chart.add_series({"bad", {}, {}}), Error);
+}
+
+TEST(LineChart, HandlesConstantSeries) {
+  LineChart chart("t", "x", "y");
+  chart.add_series({"flat", {1, 2, 3}, {5, 5, 5}});
+  std::ostringstream out;
+  EXPECT_NO_THROW(chart.print(out));
+}
+
+TEST(BarChart, BarsScaleToMax) {
+  BarChart chart("Improvement");
+  chart.add_bar("a", 10.0);
+  chart.add_bar("b", 5.0);
+  std::ostringstream out;
+  chart.print(out, 20);
+  const std::string s = out.str();
+  EXPECT_NE(s.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(s.find(std::string(10, '#')), std::string::npos);
+}
+
+TEST(BarChart, EmptyChartDoesNotCrash) {
+  BarChart chart("empty");
+  std::ostringstream out;
+  EXPECT_NO_THROW(chart.print(out));
+  EXPECT_NE(out.str().find("no data"), std::string::npos);
+}
+
+TEST(BoxPlot, RendersMedianMarker) {
+  BoxPlot plot("Errors", "%");
+  plot.add_box({"GTX 285", 1.0, 5.0, 10.0, 20.0, 40.0});
+  std::ostringstream out;
+  plot.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find('M'), std::string::npos);
+  EXPECT_NE(s.find('['), std::string::npos);
+  EXPECT_NE(s.find(']'), std::string::npos);
+}
+
+TEST(BoxPlot, MultipleBoxesShareScale) {
+  BoxPlot plot("Errors", "%");
+  plot.add_box({"a", 0, 1, 2, 3, 4});
+  plot.add_box({"b", 10, 11, 12, 13, 100});
+  std::ostringstream out;
+  EXPECT_NO_THROW(plot.print(out));
+}
+
+}  // namespace
+}  // namespace gppm

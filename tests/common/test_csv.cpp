@@ -1,0 +1,54 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gppm {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(Csv, EscapesQuotes) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"a\nb"});
+  EXPECT_EQ(out.str(), "\"a\nb\"\n");
+}
+
+TEST(Csv, NumericRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row("key", {1.5, 2.25}, 2);
+  EXPECT_EQ(out.str(), "key,1.50,2.25\n");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"h1", "h2"});
+  w.row({"v1", "v2"});
+  EXPECT_EQ(out.str(), "h1,h2\nv1,v2\n");
+}
+
+}  // namespace
+}  // namespace gppm

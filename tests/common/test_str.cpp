@@ -1,0 +1,42 @@
+#include "common/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gppm {
+namespace {
+
+TEST(Str, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.5, 0), "-2");  // round-half-to-even via printf
+  EXPECT_EQ(format_double(0.0, 3), "0.000");
+}
+
+TEST(Str, PadLeft) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Str, PadRight) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(starts_with("l2_subp0_read", "l2_"));
+  EXPECT_FALSE(starts_with("fb_read", "l2_"));
+  EXPECT_FALSE(starts_with("l2", "l2_"));
+}
+
+TEST(Str, Contains) {
+  EXPECT_TRUE(contains("gld_transactions", "trans"));
+  EXPECT_FALSE(contains("gld", "gst"));
+}
+
+}  // namespace
+}  // namespace gppm

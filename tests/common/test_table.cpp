@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gppm {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| beta  | 22    |"), std::string::npos);
+}
+
+TEST(AsciiTable, TitlePrintedFirst) {
+  AsciiTable t({"c"});
+  t.set_title("TABLE X");
+  t.add_row({"v"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(out.str().rfind("TABLE X", 0), 0u);
+}
+
+TEST(AsciiTable, RejectsWrongWidth) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(AsciiTable, NumericRowFormatsPrecision) {
+  AsciiTable t({"k", "v1", "v2"});
+  t.add_row("row", {1.234, 5.678}, 1);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("1.2"), std::string::npos);
+  EXPECT_NE(out.str().find("5.7"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsWidenToLongestCell) {
+  AsciiTable t({"x"});
+  t.add_row({"very-long-cell-content"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("very-long-cell-content"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gppm

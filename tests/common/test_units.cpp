@@ -1,0 +1,74 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gppm {
+namespace {
+
+TEST(Frequency, Conversions) {
+  const Frequency f = Frequency::mhz(1500.0);
+  EXPECT_DOUBLE_EQ(f.as_mhz(), 1500.0);
+  EXPECT_DOUBLE_EQ(f.as_ghz(), 1.5);
+  EXPECT_DOUBLE_EQ(f.as_hz(), 1.5e9);
+  EXPECT_DOUBLE_EQ(Frequency::ghz(2.0).as_mhz(), 2000.0);
+  EXPECT_DOUBLE_EQ(Frequency::hz(1e6).as_mhz(), 1.0);
+}
+
+TEST(Frequency, RatioAndScaling) {
+  const Frequency a = Frequency::mhz(800), b = Frequency::mhz(1600);
+  EXPECT_DOUBLE_EQ(a / b, 0.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).as_mhz(), 1600.0);
+  EXPECT_LT(a, b);
+}
+
+TEST(Voltage, SquaredAndComparison) {
+  const Voltage v = Voltage::volts(1.1);
+  EXPECT_NEAR(v.squared(), 1.21, 1e-12);
+  EXPECT_DOUBLE_EQ(Voltage::millivolts(900).as_volts(), 0.9);
+  EXPECT_LT(Voltage::volts(0.9), v);
+}
+
+TEST(Duration, ConversionsAndArithmetic) {
+  const Duration d = Duration::milliseconds(250);
+  EXPECT_DOUBLE_EQ(d.as_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(d.as_milliseconds(), 250.0);
+  EXPECT_DOUBLE_EQ((d + d).as_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ((d - Duration::milliseconds(50)).as_seconds(), 0.2);
+  EXPECT_DOUBLE_EQ((d * 4.0).as_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(d / Duration::milliseconds(50), 5.0);
+  EXPECT_DOUBLE_EQ(Duration::microseconds(1000).as_milliseconds(), 1.0);
+}
+
+TEST(PowerEnergy, PhysicalRelations) {
+  const Power p = Power::watts(200);
+  const Duration t = Duration::seconds(3);
+  const Energy e = p * t;
+  EXPECT_DOUBLE_EQ(e.as_joules(), 600.0);
+  EXPECT_DOUBLE_EQ((e / t).as_watts(), 200.0);
+  EXPECT_DOUBLE_EQ((e / Energy::joules(300)), 2.0);
+}
+
+TEST(Power, Arithmetic) {
+  Power p = Power::watts(100);
+  p += Power::watts(50);
+  EXPECT_DOUBLE_EQ(p.as_watts(), 150.0);
+  EXPECT_DOUBLE_EQ((p - Power::watts(30)).as_watts(), 120.0);
+  EXPECT_DOUBLE_EQ((p * 0.5).as_watts(), 75.0);
+  EXPECT_GT(p, Power::watts(149));
+}
+
+TEST(Energy, Accumulation) {
+  Energy e = Energy::joules(1.0);
+  e += Energy::joules(2.5);
+  EXPECT_DOUBLE_EQ(e.as_joules(), 3.5);
+  EXPECT_DOUBLE_EQ((e + Energy::joules(0.5)).as_joules(), 4.0);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::seconds(1.0);
+  d += Duration::seconds(0.5);
+  EXPECT_DOUBLE_EQ(d.as_seconds(), 1.5);
+}
+
+}  // namespace
+}  // namespace gppm

@@ -1,0 +1,113 @@
+#include "core/analytical_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/evaluation.hpp"
+
+namespace gppm::core {
+namespace {
+
+const Dataset& ds480() {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX480);
+  return ds;
+}
+
+double mape_of(const AnalyticalPerfModel& model, const Dataset& ds) {
+  double acc = 0;
+  std::size_t n = 0;
+  for (const Sample& s : ds.samples) {
+    for (const Measurement& m : s.runs) {
+      const double pred = model.predict_seconds(s.counters, m.pair);
+      acc += std::abs(pred - m.exec_time.as_seconds()) /
+             m.exec_time.as_seconds() * 100.0;
+      ++n;
+    }
+  }
+  return acc / static_cast<double>(n);
+}
+
+TEST(AnalyticalInputs, ExtractsPositiveQuantities) {
+  const Sample& s = ds480().samples.front();
+  const AnalyticalInputs in =
+      analytical_inputs(s.counters, sim::Architecture::Fermi);
+  EXPECT_GT(in.warp_instructions, 0.0);
+  EXPECT_GT(in.dram_bytes, 0.0);
+  EXPECT_GT(in.launches, 0.0);
+}
+
+TEST(AnalyticalInputs, TeslaUsesSizeBinnedTransactions) {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX285);
+  const AnalyticalInputs in =
+      analytical_inputs(ds.samples.front().counters, sim::Architecture::Tesla);
+  EXPECT_GT(in.warp_instructions, 0.0);
+  EXPECT_GT(in.dram_bytes, 0.0);
+}
+
+TEST(AnalyticalModel, CalibrationProducesPositiveParams) {
+  const AnalyticalPerfModel model = AnalyticalPerfModel::calibrate(ds480());
+  EXPECT_GT(model.params().alpha_compute, 0.0);
+  EXPECT_GT(model.params().alpha_memory, 0.0);
+  EXPECT_GE(model.params().beta_launch, 0.0);
+  EXPECT_GE(model.params().gamma_fixed, 0.0);
+  EXPECT_EQ(model.gpu(), sim::GpuModel::GTX480);
+}
+
+TEST(AnalyticalModel, PredictionsArePositive) {
+  const AnalyticalPerfModel model = AnalyticalPerfModel::calibrate(ds480());
+  for (const Sample& s : ds480().samples) {
+    EXPECT_GT(model.predict_seconds(s.counters, sim::kDefaultPair), 0.0);
+  }
+}
+
+TEST(AnalyticalModel, CalibratedErrorIsBounded) {
+  const AnalyticalPerfModel model = AnalyticalPerfModel::calibrate(ds480());
+  EXPECT_LT(mape_of(model, ds480()), 90.0);
+}
+
+TEST(AnalyticalModel, PredictionsScaleWithCoreClockForComputeBound) {
+  // For a compute-dominated sample the bottleneck term scales with 1/f_core.
+  const AnalyticalPerfModel model = AnalyticalPerfModel::calibrate(ds480());
+  const Sample* compute_heavy = nullptr;
+  for (const Sample& s : ds480().samples) {
+    if (s.benchmark == "mri-q") compute_heavy = &s;
+  }
+  ASSERT_NE(compute_heavy, nullptr);
+  const double hh =
+      model.predict_seconds(compute_heavy->counters, sim::kDefaultPair);
+  const double mh = model.predict_seconds(
+      compute_heavy->counters,
+      {sim::ClockLevel::Medium, sim::ClockLevel::High});
+  EXPECT_GT(mh, hh);
+}
+
+TEST(AnalyticalModel, TransferAcrossBoardsDegrades) {
+  // The paper's portability argument: parameters tuned for one board do not
+  // transfer to another generation.
+  static const Dataset ds680 = build_dataset(sim::GpuModel::GTX680);
+  const AnalyticalPerfModel own = AnalyticalPerfModel::calibrate(ds680);
+  const AnalyticalPerfModel moved =
+      AnalyticalPerfModel::calibrate(ds480()).transferred_to(
+          sim::GpuModel::GTX680);
+  EXPECT_GT(mape_of(moved, ds680), mape_of(own, ds680));
+}
+
+TEST(AnalyticalModel, StatisticalModelBeatsAnalyticalInSample) {
+  // On every corpus the statistical model's flexible feature set should
+  // match or beat the four-parameter analytical form.
+  const AnalyticalPerfModel analytical =
+      AnalyticalPerfModel::calibrate(ds480());
+  const UnifiedModel statistical =
+      UnifiedModel::fit(ds480(), TargetKind::ExecTime);
+  EXPECT_LT(evaluate(statistical, ds480()).mape(), mape_of(analytical, ds480()));
+}
+
+TEST(AnalyticalModel, DeterministicCalibration) {
+  const AnalyticalPerfModel a = AnalyticalPerfModel::calibrate(ds480());
+  const AnalyticalPerfModel b = AnalyticalPerfModel::calibrate(ds480());
+  EXPECT_DOUBLE_EQ(a.params().alpha_compute, b.params().alpha_compute);
+  EXPECT_DOUBLE_EQ(a.params().alpha_memory, b.params().alpha_memory);
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -1,0 +1,134 @@
+#include "core/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::core {
+namespace {
+
+Sweep sweep(sim::GpuModel model, const std::string& bench,
+            std::size_t size = 0) {
+  MeasurementRunner runner(model);
+  return sweep_pairs(runner, workload::find_benchmark(bench), size);
+}
+
+TEST(Characterization, SweepCoversAllConfigurablePairs) {
+  const Sweep s = sweep(sim::GpuModel::GTX285, "hotspot");
+  EXPECT_EQ(s.results.size(), dvfs::configurable_pairs(sim::GpuModel::GTX285).size());
+  EXPECT_EQ(s.benchmark, "hotspot");
+  EXPECT_EQ(s.gpu, sim::GpuModel::GTX285);
+}
+
+TEST(Characterization, DefaultPairIsReference) {
+  const Sweep s = sweep(sim::GpuModel::GTX460, "kmeans");
+  const PairResult& def = s.at(sim::kDefaultPair);
+  EXPECT_DOUBLE_EQ(def.relative_performance, 1.0);
+  EXPECT_DOUBLE_EQ(def.relative_efficiency, 1.0);
+}
+
+TEST(Characterization, AtThrowsForUnsweptPair) {
+  const Sweep s = sweep(sim::GpuModel::GTX460, "kmeans");
+  // (L-H) is not configurable on the GTX 460.
+  EXPECT_THROW(s.at({sim::ClockLevel::Low, sim::ClockLevel::High}),
+               gppm::Error);
+}
+
+TEST(Characterization, BestPairHasMaximalEfficiency) {
+  const Sweep s = sweep(sim::GpuModel::GTX680, "spmv");
+  const double best_eff =
+      s.at(s.best_pair()).measurement.power_efficiency();
+  for (const PairResult& r : s.results) {
+    EXPECT_LE(r.measurement.power_efficiency(), best_eff + 1e-12);
+  }
+}
+
+TEST(Characterization, ImprovementNonNegative) {
+  for (const char* bench : {"hotspot", "spmv", "sgemm"}) {
+    const Sweep s = sweep(sim::GpuModel::GTX480, bench);
+    EXPECT_GE(s.improvement_percent(), 0.0) << bench;
+  }
+}
+
+TEST(Characterization, ComputeBoundPerfFlatAcrossMemoryClock) {
+  // Fig. 1 left half: backprop performance barely moves with the memory
+  // frequency at Core-H.
+  const Sweep s = sweep(sim::GpuModel::GTX480, "backprop", 2);
+  const double hl =
+      s.at({sim::ClockLevel::High, sim::ClockLevel::Low}).relative_performance;
+  EXPECT_GT(hl, 0.93);
+}
+
+TEST(Characterization, MemoryBoundPerfCollapsesAtMemLow) {
+  // Fig. 2: streamcluster throughput tracks the memory clock.
+  const Sweep s = sweep(sim::GpuModel::GTX480, "streamcluster", 3);
+  const double hl =
+      s.at({sim::ClockLevel::High, sim::ClockLevel::Low}).relative_performance;
+  EXPECT_LT(hl, 0.3);
+}
+
+TEST(Characterization, MemoryBoundGainsFromCoreClockAtMemHigh) {
+  // Fig. 2's second observation: at Mem-H, performance improves with the
+  // core clock even for the most memory-intensive benchmark.
+  const Sweep s = sweep(sim::GpuModel::GTX680, "streamcluster", 3);
+  const double mh = s.at({sim::ClockLevel::Medium, sim::ClockLevel::High})
+                        .relative_performance;
+  const double lh =
+      s.at({sim::ClockLevel::Low, sim::ClockLevel::High}).relative_performance;
+  EXPECT_LT(lh, mh);
+  EXPECT_LT(mh, 1.0);
+}
+
+TEST(Characterization, ParetoFrontIsNonDominatedAndSorted) {
+  const Sweep s = sweep(sim::GpuModel::GTX680, "gaussian", 1);
+  const auto front = s.pareto_front();
+  ASSERT_FALSE(front.empty());
+  // Sorted by time, and energy strictly decreasing along the front.
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].measurement.exec_time.as_seconds(),
+              front[i - 1].measurement.exec_time.as_seconds());
+    EXPECT_LT(front[i].measurement.energy.as_joules(),
+              front[i - 1].measurement.energy.as_joules());
+  }
+  // No swept point dominates any front point.
+  for (const PairResult& f : front) {
+    for (const PairResult& other : s.results) {
+      const bool dominates =
+          other.measurement.exec_time.as_seconds() <
+              f.measurement.exec_time.as_seconds() &&
+          other.measurement.energy.as_joules() <
+              f.measurement.energy.as_joules();
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(Characterization, ParetoFrontContainsFastestAndBestEnergy) {
+  const Sweep s = sweep(sim::GpuModel::GTX460, "spmv", 1);
+  const auto front = s.pareto_front();
+  const sim::FrequencyPair best_energy = s.best_pair();
+  bool has_best_energy = false;
+  for (const PairResult& f : front) {
+    if (f.measurement.pair == best_energy) has_best_energy = true;
+  }
+  EXPECT_TRUE(has_best_energy);
+  // The first entry is the globally fastest pair.
+  for (const PairResult& r : s.results) {
+    EXPECT_GE(r.measurement.exec_time.as_seconds(),
+              front.front().measurement.exec_time.as_seconds() - 1e-12);
+  }
+}
+
+TEST(CharacterizeSuite, CoversWholeSuiteOnAllBoards) {
+  const auto rows = characterize_suite(42);
+  EXPECT_EQ(rows.size(), workload::benchmark_suite().size());
+  for (const BestPairRow& row : rows) {
+    EXPECT_EQ(row.best.size(), sim::kAllGpus.size());
+    EXPECT_EQ(row.improvement.size(), sim::kAllGpus.size());
+    for (double imp : row.improvement) EXPECT_GE(imp, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/evaluation.hpp"
+
+namespace gppm::core {
+namespace {
+
+const Dataset& dataset() {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX480);
+  return ds;
+}
+
+TEST(CrossValidation, CoversEveryRowExactlyOnce) {
+  const Evaluation cv = cross_validate(dataset(), TargetKind::Power);
+  EXPECT_EQ(cv.rows.size(), dataset().row_count());
+  // Each sample index must appear exactly runs.size() times.
+  std::map<std::size_t, std::size_t> counts;
+  for (const RowError& r : cv.rows) counts[r.sample_index]++;
+  for (std::size_t si = 0; si < dataset().samples.size(); ++si) {
+    EXPECT_EQ(counts[si], dataset().samples[si].runs.size());
+  }
+}
+
+TEST(CrossValidation, OutOfSampleErrorAtLeastInSample) {
+  const UnifiedModel in_sample = UnifiedModel::fit(dataset(), TargetKind::Power);
+  const double in_err = evaluate(in_sample, dataset()).mape();
+  const double cv_err = cross_validate(dataset(), TargetKind::Power).mape();
+  EXPECT_GE(cv_err, in_err * 0.9);  // CV cannot be dramatically better
+}
+
+TEST(CrossValidation, PerfModelGeneralizesWithinReason) {
+  // The deployment question: for unseen benchmarks the error should grow
+  // but stay in the same order of magnitude as in-sample.
+  const UnifiedModel in_sample =
+      UnifiedModel::fit(dataset(), TargetKind::ExecTime);
+  const double in_err = evaluate(in_sample, dataset()).mape();
+  const double cv_err = cross_validate(dataset(), TargetKind::ExecTime).mape();
+  EXPECT_LT(cv_err, in_err * 6.0);
+}
+
+TEST(CrossValidation, WorksWithExtendedOptions) {
+  ModelOptions opt;
+  opt.scaling = FeatureScaling::VoltageSquaredFrequency;
+  opt.include_baseline_terms = true;
+  const Evaluation cv = cross_validate(dataset(), TargetKind::Power, opt);
+  EXPECT_EQ(cv.rows.size(), dataset().row_count());
+  EXPECT_GT(cv.mape(), 0.0);
+}
+
+TEST(CrossValidation, RejectsTinyCorpus) {
+  Dataset tiny;
+  tiny.model = dataset().model;
+  tiny.samples.push_back(dataset().samples.front());
+  EXPECT_THROW(cross_validate(tiny, TargetKind::Power), Error);
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -1,0 +1,96 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::core {
+namespace {
+
+const Dataset& dataset() {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX680);
+  return ds;
+}
+
+const UnifiedModel& model() {
+  static const UnifiedModel m = UnifiedModel::fit(dataset(), TargetKind::Power);
+  return m;
+}
+
+TEST(Evaluation, OneRowPerMeasurement) {
+  const Evaluation eval = evaluate(model(), dataset());
+  EXPECT_EQ(eval.rows.size(), dataset().row_count());
+}
+
+TEST(Evaluation, RowErrorMath) {
+  RowError r;
+  r.actual = 200.0;
+  r.predicted = 150.0;
+  EXPECT_DOUBLE_EQ(r.abs_error(), 50.0);
+  EXPECT_DOUBLE_EQ(r.abs_percent_error(), 25.0);
+}
+
+TEST(Evaluation, RowErrorRejectsZeroActual) {
+  RowError r;
+  r.actual = 0.0;
+  r.predicted = 1.0;
+  EXPECT_THROW(r.abs_percent_error(), gppm::Error);
+}
+
+TEST(Evaluation, MapeIsMeanOfAbsPercentErrors) {
+  const Evaluation eval = evaluate(model(), dataset());
+  const auto errs = eval.abs_percent_errors();
+  double acc = 0;
+  for (double e : errs) acc += e;
+  EXPECT_NEAR(eval.mape(), acc / errs.size(), 1e-9);
+}
+
+TEST(Evaluation, DistributionIsOrdered) {
+  const Evaluation eval = evaluate(model(), dataset());
+  const stats::FiveNumber f = eval.error_distribution();
+  EXPECT_LE(f.whisker_lo, f.q1);
+  EXPECT_LE(f.q1, f.median);
+  EXPECT_LE(f.median, f.q3);
+  EXPECT_LE(f.q3, f.whisker_hi);
+  EXPECT_GE(f.whisker_lo, 0.0);
+}
+
+TEST(Evaluation, PairFilterRestrictsRows) {
+  const sim::FrequencyPair hh = sim::kDefaultPair;
+  const Evaluation eval = evaluate(model(), dataset(), &hh);
+  EXPECT_EQ(eval.rows.size(), dataset().samples.size());
+  for (const RowError& r : eval.rows) EXPECT_EQ(r.pair, hh);
+}
+
+TEST(Evaluation, PerBenchmarkErrorsCoverCorpus) {
+  const Evaluation eval = evaluate(model(), dataset());
+  const auto per_bench = per_benchmark_errors(eval, dataset());
+  EXPECT_EQ(per_bench.size(), 33u);  // profiler-supported programs
+  for (const BenchmarkError& b : per_bench) {
+    EXPECT_GE(b.mean_abs_percent_error, 0.0);
+    EXPECT_FALSE(b.benchmark.empty());
+  }
+}
+
+TEST(Evaluation, ModelDatasetBoardMismatchRejected) {
+  const Dataset other = build_dataset(sim::GpuModel::GTX285);
+  EXPECT_THROW(evaluate(model(), other), gppm::Error);
+}
+
+TEST(Evaluation, InSampleFitBeatsInterceptOnly) {
+  // The fitted model's in-sample absolute error must beat predicting the
+  // global mean for every row.
+  const Evaluation eval = evaluate(model(), dataset());
+  double mean_actual = 0;
+  for (const RowError& r : eval.rows) mean_actual += r.actual;
+  mean_actual /= static_cast<double>(eval.rows.size());
+  double mean_model_err = 0, mean_const_err = 0;
+  for (const RowError& r : eval.rows) {
+    mean_model_err += r.abs_error();
+    mean_const_err += std::abs(r.actual - mean_actual);
+  }
+  EXPECT_LT(mean_model_err, mean_const_err);
+}
+
+}  // namespace
+}  // namespace gppm::core

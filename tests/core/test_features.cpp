@@ -1,0 +1,106 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::core {
+namespace {
+
+/// Shared corpus: built once per test binary (construction sweeps the whole
+/// suite, so caching matters).
+const Dataset& gtx480_dataset() {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX480);
+  return ds;
+}
+
+profiler::CounterReading reading(profiler::EventClass klass, double total,
+                                 double per_second) {
+  profiler::CounterReading r;
+  r.name = "c";
+  r.klass = klass;
+  r.total = total;
+  r.per_second = per_second;
+  return r;
+}
+
+TEST(Features, PowerFeatureMultipliesByDomainFrequency) {
+  const sim::DeviceSpec& spec = sim::device_spec(sim::GpuModel::GTX480);
+  const auto core = reading(profiler::EventClass::Core, 100.0, 10.0);
+  const auto mem = reading(profiler::EventClass::Memory, 100.0, 10.0);
+  // Eq. 1: per-second value x frequency (GHz).
+  EXPECT_NEAR(feature_value(core, sim::kDefaultPair, spec, TargetKind::Power),
+              10.0 * 1.4, 1e-9);
+  EXPECT_NEAR(feature_value(mem, sim::kDefaultPair, spec, TargetKind::Power),
+              10.0 * 1.848, 1e-9);
+}
+
+TEST(Features, TimeFeatureDividesByDomainFrequency) {
+  const sim::DeviceSpec& spec = sim::device_spec(sim::GpuModel::GTX480);
+  const auto core = reading(profiler::EventClass::Core, 100.0, 10.0);
+  // Eq. 2: total / frequency (GHz).
+  EXPECT_NEAR(feature_value(core, sim::kDefaultPair, spec, TargetKind::ExecTime),
+              100.0 / 1.4, 1e-9);
+  const sim::FrequencyPair ml{sim::ClockLevel::Medium, sim::ClockLevel::Low};
+  EXPECT_NEAR(feature_value(core, ml, spec, TargetKind::ExecTime),
+              100.0 / 0.81, 1e-9);
+}
+
+TEST(Features, MemoryEventUsesMemoryClock) {
+  const sim::DeviceSpec& spec = sim::device_spec(sim::GpuModel::GTX480);
+  const auto mem = reading(profiler::EventClass::Memory, 100.0, 10.0);
+  const sim::FrequencyPair hl{sim::ClockLevel::High, sim::ClockLevel::Low};
+  EXPECT_NEAR(feature_value(mem, hl, spec, TargetKind::ExecTime),
+              100.0 / 0.135, 1e-9);
+}
+
+TEST(Features, TableHasRowPerSamplePair) {
+  const Dataset& ds = gtx480_dataset();
+  const RegressionTable table = build_table(ds, TargetKind::Power);
+  EXPECT_EQ(table.features.rows(), ds.row_count());
+  EXPECT_EQ(table.features.rows(), 114u * 7u);
+  EXPECT_EQ(table.features.cols(), 74u);
+  EXPECT_EQ(table.target.size(), table.features.rows());
+  EXPECT_EQ(table.rows.size(), table.features.rows());
+  EXPECT_EQ(table.feature_names.size(), 74u);
+}
+
+TEST(Features, PairFilterRestrictsRows) {
+  const Dataset& ds = gtx480_dataset();
+  const sim::FrequencyPair hh = sim::kDefaultPair;
+  const RegressionTable table = build_table(ds, TargetKind::ExecTime, &hh);
+  EXPECT_EQ(table.features.rows(), 114u);
+  for (const RowInfo& info : table.rows) EXPECT_EQ(info.pair, hh);
+}
+
+TEST(Features, TargetsMatchMeasurements) {
+  const Dataset& ds = gtx480_dataset();
+  const RegressionTable power = build_table(ds, TargetKind::Power);
+  const RegressionTable time = build_table(ds, TargetKind::ExecTime);
+  for (std::size_t i = 0; i < power.rows.size(); ++i) {
+    const Sample& s = ds.samples[power.rows[i].sample_index];
+    bool found = false;
+    for (const Measurement& m : s.runs) {
+      if (m.pair == power.rows[i].pair) {
+        EXPECT_DOUBLE_EQ(power.target[i], m.avg_power.as_watts());
+        EXPECT_DOUBLE_EQ(time.target[i], m.exec_time.as_seconds());
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Features, ToStringNames) {
+  EXPECT_EQ(to_string(TargetKind::Power), "power");
+  EXPECT_EQ(to_string(TargetKind::ExecTime), "exectime");
+}
+
+TEST(Features, EmptyDatasetRejected) {
+  Dataset empty;
+  empty.model = sim::GpuModel::GTX480;
+  EXPECT_THROW(build_table(empty, TargetKind::Power), gppm::Error);
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -1,0 +1,140 @@
+#include "core/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::core {
+namespace {
+
+const Dataset& dataset() {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX680);
+  return ds;
+}
+
+UnifiedModel extended_power() {
+  ModelOptions opt;
+  opt.scaling = FeatureScaling::VoltageSquaredFrequency;
+  opt.include_baseline_terms = true;
+  return UnifiedModel::fit(dataset(), TargetKind::Power, opt);
+}
+
+UnifiedModel perf_model() {
+  return UnifiedModel::fit(dataset(), TargetKind::ExecTime);
+}
+
+const profiler::ProfileResult& counters_of(const std::string& bench) {
+  for (const Sample& s : dataset().samples) {
+    if (s.benchmark == bench && s.size_index == 0) return s.counters;
+  }
+  throw Error("benchmark not in corpus: " + bench);
+}
+
+TEST(Governor, ConstructionValidatesModels) {
+  EXPECT_THROW(DvfsGovernor(perf_model(), perf_model()), Error);
+  EXPECT_NO_THROW(DvfsGovernor(extended_power(), perf_model()));
+}
+
+TEST(Governor, MinEnergyDecisionMatchesOptimizer) {
+  GovernorOptions opt;
+  opt.switch_threshold = 0.0;  // no hysteresis: pure argmin
+  const UnifiedModel power = extended_power();
+  const UnifiedModel perf = perf_model();
+  DvfsGovernor governor(power, perf, opt);
+  const auto& c = counters_of("sgemm");
+  EXPECT_EQ(governor.decide(c), predict_min_energy_pair(power, perf, c));
+}
+
+TEST(Governor, EdpPolicyPrefersFasterPairsThanEnergyPolicy) {
+  // EDP weighs time quadratically: across the corpus the EDP policy must
+  // never pick a slower predicted pair than the energy policy does.
+  GovernorOptions energy_opt;
+  energy_opt.switch_threshold = 0.0;
+  GovernorOptions edp_opt = energy_opt;
+  edp_opt.policy = GovernorPolicy::MinimumEdp;
+  const UnifiedModel power = extended_power();
+  const UnifiedModel perf = perf_model();
+  DvfsGovernor energy(power, perf, energy_opt);
+  DvfsGovernor edp(power, perf, edp_opt);
+
+  for (const Sample& s : dataset().samples) {
+    const sim::FrequencyPair pe = energy.decide(s.counters);
+    const sim::FrequencyPair pd = edp.decide(s.counters);
+    double te = 0, td = 0;
+    for (const PairPrediction& p : predict_all_pairs(power, perf, s.counters)) {
+      if (p.pair == pe) te = p.predicted_time_seconds;
+      if (p.pair == pd) td = p.predicted_time_seconds;
+    }
+    EXPECT_LE(td, te + 1e-12);
+  }
+}
+
+TEST(Governor, PowerCapRespectedWhenFeasible) {
+  GovernorOptions opt;
+  opt.policy = GovernorPolicy::PowerCap;
+  opt.power_cap = Power::watts(150.0);
+  opt.switch_threshold = 0.0;
+  const UnifiedModel power = extended_power();
+  const UnifiedModel perf = perf_model();
+  DvfsGovernor governor(power, perf, opt);
+  const auto& c = counters_of("lbm");
+  const sim::FrequencyPair pick = governor.decide(c);
+  EXPECT_LE(power.predict(c, pick), 150.0 + 1e-9);
+}
+
+TEST(Governor, ImpossibleCapFallsBackToMinPower) {
+  GovernorOptions opt;
+  opt.policy = GovernorPolicy::PowerCap;
+  opt.power_cap = Power::watts(1.0);  // nothing fits
+  opt.switch_threshold = 0.0;
+  const UnifiedModel power = extended_power();
+  const UnifiedModel perf = perf_model();
+  DvfsGovernor governor(power, perf, opt);
+  const auto& c = counters_of("lbm");
+  const sim::FrequencyPair pick = governor.decide(c);
+  // Fallback is the minimum-predicted-power pair.
+  double min_power = 1e300;
+  sim::FrequencyPair min_pair{};
+  for (const PairPrediction& p : predict_all_pairs(power, perf, c)) {
+    if (p.predicted_power_watts < min_power) {
+      min_power = p.predicted_power_watts;
+      min_pair = p.pair;
+    }
+  }
+  EXPECT_EQ(pick, min_pair);
+}
+
+TEST(Governor, HysteresisSuppressesMarginalSwitches) {
+  const UnifiedModel power = extended_power();
+  const UnifiedModel perf = perf_model();
+  GovernorOptions eager;
+  eager.switch_threshold = 0.0;
+  GovernorOptions sticky;
+  sticky.switch_threshold = 0.5;  // only move for a 50% predicted gain
+  DvfsGovernor g_eager(power, perf, eager);
+  DvfsGovernor g_sticky(power, perf, sticky);
+  for (const Sample& s : dataset().samples) {
+    g_eager.decide(s.counters);
+    g_sticky.decide(s.counters);
+  }
+  EXPECT_LE(g_sticky.switch_count(), g_eager.switch_count());
+  EXPECT_EQ(g_eager.decision_count(), 114);
+}
+
+TEST(Governor, ResetClearsState) {
+  DvfsGovernor governor(extended_power(), perf_model());
+  governor.decide(counters_of("sgemm"));
+  governor.reset();
+  EXPECT_EQ(governor.current_pair(), sim::kDefaultPair);
+  EXPECT_EQ(governor.switch_count(), 0);
+  EXPECT_EQ(governor.decision_count(), 0);
+}
+
+TEST(Governor, PolicyNames) {
+  EXPECT_EQ(to_string(GovernorPolicy::MinimumEnergy), "min-energy");
+  EXPECT_EQ(to_string(GovernorPolicy::MinimumEdp), "min-edp");
+  EXPECT_EQ(to_string(GovernorPolicy::PowerCap), "power-cap");
+}
+
+}  // namespace
+}  // namespace gppm::core

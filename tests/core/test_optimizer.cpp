@@ -1,0 +1,130 @@
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/evaluation.hpp"
+#include "dvfs/combos.hpp"
+
+namespace gppm::core {
+namespace {
+
+const Dataset& dataset() {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX680);
+  return ds;
+}
+
+const UnifiedModel& power_model() {
+  static const UnifiedModel m = UnifiedModel::fit(dataset(), TargetKind::Power);
+  return m;
+}
+
+const UnifiedModel& perf_model() {
+  static const UnifiedModel m =
+      UnifiedModel::fit(dataset(), TargetKind::ExecTime);
+  return m;
+}
+
+const profiler::ProfileResult& sample_counters() {
+  return dataset().samples.front().counters;
+}
+
+TEST(Optimizer, PredictsEveryConfigurablePair) {
+  const auto preds =
+      predict_all_pairs(power_model(), perf_model(), sample_counters());
+  EXPECT_EQ(preds.size(),
+            dvfs::configurable_pairs(sim::GpuModel::GTX680).size());
+  for (const PairPrediction& p : preds) {
+    EXPECT_GT(p.predicted_power_watts, 0.0);
+    EXPECT_GT(p.predicted_time_seconds, 0.0);
+    EXPECT_NEAR(p.predicted_energy_joules,
+                p.predicted_power_watts * p.predicted_time_seconds, 1e-9);
+  }
+}
+
+TEST(Optimizer, MinEnergyPairIsArgmin) {
+  const auto preds =
+      predict_all_pairs(power_model(), perf_model(), sample_counters());
+  const sim::FrequencyPair best =
+      predict_min_energy_pair(power_model(), perf_model(), sample_counters());
+  double best_energy = 0;
+  for (const PairPrediction& p : preds) {
+    if (p.pair == best) best_energy = p.predicted_energy_joules;
+  }
+  for (const PairPrediction& p : preds) {
+    EXPECT_GE(p.predicted_energy_joules, best_energy - 1e-12);
+  }
+}
+
+TEST(Optimizer, CapSelectsFastestFeasible) {
+  const auto preds =
+      predict_all_pairs(power_model(), perf_model(), sample_counters());
+  // Use the median predicted power as a binding cap.
+  std::vector<double> powers;
+  for (const auto& p : preds) powers.push_back(p.predicted_power_watts);
+  std::sort(powers.begin(), powers.end());
+  const Power cap = Power::watts(powers[powers.size() / 2]);
+
+  const sim::FrequencyPair pick = fastest_pair_under_cap(
+      power_model(), perf_model(), sample_counters(), cap);
+  double pick_time = 0, pick_power = 0;
+  for (const auto& p : preds) {
+    if (p.pair == pick) {
+      pick_time = p.predicted_time_seconds;
+      pick_power = p.predicted_power_watts;
+    }
+  }
+  EXPECT_LE(pick_power, cap.as_watts());
+  for (const auto& p : preds) {
+    if (p.predicted_power_watts <= cap.as_watts()) {
+      EXPECT_GE(p.predicted_time_seconds, pick_time - 1e-12);
+    }
+  }
+}
+
+TEST(Optimizer, ImpossibleCapThrows) {
+  EXPECT_THROW(fastest_pair_under_cap(power_model(), perf_model(),
+                                      sample_counters(), Power::watts(0.5)),
+               gppm::Error);
+}
+
+TEST(Optimizer, RejectsSwappedModels) {
+  EXPECT_THROW(
+      predict_all_pairs(perf_model(), power_model(), sample_counters()),
+      gppm::Error);
+}
+
+TEST(Optimizer, RejectsMismatchedBoards) {
+  static const Dataset other = build_dataset(sim::GpuModel::GTX285);
+  static const UnifiedModel other_perf =
+      UnifiedModel::fit(other, TargetKind::ExecTime);
+  EXPECT_THROW(predict_all_pairs(power_model(), other_perf, sample_counters()),
+               gppm::Error);
+}
+
+TEST(Optimizer, ModelDrivenChoiceBeatsWorstPairOnAverage) {
+  // Across the corpus, picking the model-predicted minimum-energy pair must
+  // yield lower *measured* energy than the measured-worst pair, and should
+  // recover a good share of the oracle's savings.
+  const Dataset& ds = dataset();
+  double chosen = 0, worst = 0, oracle = 0;
+  for (const Sample& s : ds.samples) {
+    const sim::FrequencyPair pick =
+        predict_min_energy_pair(power_model(), perf_model(), s.counters);
+    double pick_e = 0, worst_e = 0, best_e = 1e300;
+    for (const Measurement& m : s.runs) {
+      const double e = m.energy.as_joules();
+      if (m.pair == pick) pick_e = e;
+      worst_e = std::max(worst_e, e);
+      best_e = std::min(best_e, e);
+    }
+    chosen += pick_e;
+    worst += worst_e;
+    oracle += best_e;
+  }
+  EXPECT_LT(chosen, worst);
+  EXPECT_GE(chosen, oracle - 1e-9);
+}
+
+}  // namespace
+}  // namespace gppm::core

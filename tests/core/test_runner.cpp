@@ -1,0 +1,93 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::core {
+namespace {
+
+const workload::BenchmarkDef& quick_bench() {
+  return workload::find_benchmark("nn");  // smallest GPU time in the suite
+}
+
+TEST(Runner, MeasurementFieldsAreConsistent) {
+  MeasurementRunner runner(sim::GpuModel::GTX480);
+  const Measurement m = runner.measure(quick_bench(), 0, sim::kDefaultPair);
+  EXPECT_GT(m.exec_time.as_seconds(), 0.0);
+  EXPECT_GT(m.avg_power.as_watts(), 0.0);
+  EXPECT_NEAR(m.energy.as_joules(),
+              m.avg_power.as_watts() * m.exec_time.as_seconds(), 1e-6);
+  EXPECT_NEAR(m.power_efficiency(), 1.0 / m.energy.as_joules(), 1e-15);
+  EXPECT_NEAR(m.performance(), 1.0 / m.exec_time.as_seconds(), 1e-15);
+}
+
+TEST(Runner, DeterministicAcrossRunners) {
+  RunnerOptions opt;
+  opt.seed = 99;
+  MeasurementRunner a(sim::GpuModel::GTX680, opt);
+  MeasurementRunner b(sim::GpuModel::GTX680, opt);
+  const Measurement ma = a.measure(quick_bench(), 1, sim::kDefaultPair);
+  const Measurement mb = b.measure(quick_bench(), 1, sim::kDefaultPair);
+  EXPECT_DOUBLE_EQ(ma.exec_time.as_seconds(), mb.exec_time.as_seconds());
+  EXPECT_DOUBLE_EQ(ma.energy.as_joules(), mb.energy.as_joules());
+}
+
+TEST(Runner, RepetitionRuleExtendsShortRuns) {
+  // `nn` at size 0 has a tiny GPU portion; the prepared profile must carry
+  // enough launches for the run to exceed 500 ms.
+  MeasurementRunner runner(sim::GpuModel::GTX680);
+  const sim::RunProfile prepared = runner.prepared_profile(quick_bench(), 0);
+  runner.gpu().set_frequency_pair(sim::kDefaultPair);
+  const sim::RunExecution exec = runner.gpu().run(prepared);
+  EXPECT_GE(exec.total_time.as_seconds(), 0.5);
+}
+
+TEST(Runner, RepetitionFactorSharedAcrossPairs) {
+  // The factor must be decided once per (benchmark, size): identical kernel
+  // launch counts at every operating point.
+  MeasurementRunner runner(sim::GpuModel::GTX460);
+  const sim::RunProfile p1 = runner.prepared_profile(quick_bench(), 0);
+  runner.measure(quick_bench(), 0,
+                 {sim::ClockLevel::Medium, sim::ClockLevel::Low});
+  const sim::RunProfile p2 = runner.prepared_profile(quick_bench(), 0);
+  ASSERT_EQ(p1.kernels.size(), p2.kernels.size());
+  for (std::size_t i = 0; i < p1.kernels.size(); ++i) {
+    EXPECT_EQ(p1.kernels[i].launches, p2.kernels[i].launches);
+  }
+}
+
+TEST(Runner, LongRunsNotRepeated) {
+  MeasurementRunner runner(sim::GpuModel::GTX285);
+  const auto& slow = workload::find_benchmark("streamcluster");
+  const sim::RunProfile raw = slow.profile(slow.size_count - 1);
+  const sim::RunProfile prepared =
+      runner.prepared_profile(slow, slow.size_count - 1);
+  EXPECT_EQ(raw.kernels.front().launches, prepared.kernels.front().launches);
+}
+
+TEST(Runner, LowerClocksDrawLessPower) {
+  MeasurementRunner runner(sim::GpuModel::GTX480);
+  const auto& bench = workload::find_benchmark("sgemm");
+  const Measurement hh = runner.measure(bench, 0, sim::kDefaultPair);
+  const Measurement ml = runner.measure(
+      bench, 0, {sim::ClockLevel::Medium, sim::ClockLevel::Low});
+  EXPECT_LT(ml.avg_power.as_watts(), hh.avg_power.as_watts());
+}
+
+TEST(Runner, SystemPowerAboveHostFloor) {
+  MeasurementRunner runner(sim::GpuModel::GTX285);
+  const Measurement m = runner.measure(quick_bench(), 0, sim::kDefaultPair);
+  const sim::HostSpec& host = runner.options().host;
+  EXPECT_GT(m.avg_power.as_watts(),
+            host.gpu_wait.as_watts() / host.psu_efficiency);
+}
+
+TEST(Runner, GpuAccessorExposesBoard) {
+  MeasurementRunner runner(sim::GpuModel::GTX680);
+  EXPECT_EQ(runner.gpu().spec().model, sim::GpuModel::GTX680);
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -1,0 +1,107 @@
+#include "core/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/evaluation.hpp"
+
+namespace gppm::core {
+namespace {
+
+const Dataset& dataset() {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX460);
+  return ds;
+}
+
+const UnifiedModel& model() {
+  static const UnifiedModel m = UnifiedModel::fit(dataset(), TargetKind::Power);
+  return m;
+}
+
+TEST(Serialization, RoundTripPreservesMetadata) {
+  const UnifiedModel loaded = deserialize_model(serialize_model(model()));
+  EXPECT_EQ(loaded.gpu(), model().gpu());
+  EXPECT_EQ(loaded.target(), model().target());
+  EXPECT_EQ(loaded.scaling(), model().scaling());
+  EXPECT_DOUBLE_EQ(loaded.intercept(), model().intercept());
+  EXPECT_DOUBLE_EQ(loaded.adjusted_r2(), model().adjusted_r2());
+  ASSERT_EQ(loaded.variables().size(), model().variables().size());
+  for (std::size_t i = 0; i < loaded.variables().size(); ++i) {
+    EXPECT_EQ(loaded.variables()[i].counter, model().variables()[i].counter);
+    EXPECT_DOUBLE_EQ(loaded.variables()[i].coefficient,
+                     model().variables()[i].coefficient);
+  }
+}
+
+TEST(Serialization, RoundTripPredictionsIdentical) {
+  const UnifiedModel loaded = deserialize_model(serialize_model(model()));
+  for (const Sample& s : dataset().samples) {
+    for (const Measurement& m : s.runs) {
+      EXPECT_DOUBLE_EQ(loaded.predict(s.counters, m.pair),
+                       model().predict(s.counters, m.pair));
+    }
+  }
+}
+
+TEST(Serialization, RoundTripExtendedModel) {
+  ModelOptions opt;
+  opt.scaling = FeatureScaling::VoltageSquaredFrequency;
+  opt.include_baseline_terms = true;
+  const UnifiedModel ext = UnifiedModel::fit(dataset(), TargetKind::Power, opt);
+  const UnifiedModel loaded = deserialize_model(serialize_model(ext));
+  EXPECT_EQ(loaded.scaling(), FeatureScaling::VoltageSquaredFrequency);
+  const Sample& s = dataset().samples.front();
+  EXPECT_DOUBLE_EQ(loaded.predict(s.counters, sim::kDefaultPair),
+                   ext.predict(s.counters, sim::kDefaultPair));
+}
+
+TEST(Serialization, PerfModelRoundTrips) {
+  const UnifiedModel perf = UnifiedModel::fit(dataset(), TargetKind::ExecTime);
+  const UnifiedModel loaded = deserialize_model(serialize_model(perf));
+  EXPECT_EQ(loaded.target(), TargetKind::ExecTime);
+  const Sample& s = dataset().samples.back();
+  EXPECT_DOUBLE_EQ(loaded.predict(s.counters, s.runs.front().pair),
+                   perf.predict(s.counters, s.runs.front().pair));
+}
+
+TEST(Serialization, RejectsGarbage) {
+  EXPECT_THROW(deserialize_model("not a model"), Error);
+  EXPECT_THROW(deserialize_model(""), Error);
+}
+
+TEST(Serialization, RejectsTruncatedFile) {
+  std::string text = serialize_model(model());
+  text.resize(text.size() - 5);  // cut off "end\n"
+  EXPECT_THROW(deserialize_model(text), Error);
+}
+
+TEST(Serialization, RejectsUnknownField) {
+  std::string text = serialize_model(model());
+  text.insert(text.find("intercept"), "bogus 1\n");
+  EXPECT_THROW(deserialize_model(text), Error);
+}
+
+TEST(Serialization, RejectsWrongVersion) {
+  std::string text = serialize_model(model());
+  text.replace(text.find("gppm-model 1"), 12, "gppm-model 9");
+  EXPECT_THROW(deserialize_model(text), Error);
+}
+
+TEST(Serialization, RejectsCounterIndexMismatch) {
+  // Corrupt a var line's index so it no longer matches the counter name.
+  std::string text = serialize_model(model());
+  const std::size_t var_pos = text.find("\nvar ");
+  ASSERT_NE(var_pos, std::string::npos);
+  // Find the index token (third field after "var").
+  std::istringstream in(text.substr(var_pos + 1));
+  std::string kw, name, klass, idx;
+  in >> kw >> name >> klass >> idx;
+  const std::string needle = kw + " " + name + " " + klass + " " + idx;
+  const std::string bogus = kw + " " + name + " " + klass + " " +
+                            std::to_string(std::stoul(idx) == 0 ? 1 : 0);
+  text.replace(text.find(needle), needle.size(), bogus);
+  EXPECT_THROW(deserialize_model(text), Error);
+}
+
+}  // namespace
+}  // namespace gppm::core

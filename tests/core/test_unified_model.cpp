@@ -1,0 +1,128 @@
+#include "core/unified_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "core/evaluation.hpp"
+
+namespace gppm::core {
+namespace {
+
+const Dataset& dataset() {
+  static const Dataset ds = build_dataset(sim::GpuModel::GTX460);
+  return ds;
+}
+
+const UnifiedModel& power_model() {
+  static const UnifiedModel m = UnifiedModel::fit(dataset(), TargetKind::Power);
+  return m;
+}
+
+const UnifiedModel& perf_model() {
+  static const UnifiedModel m =
+      UnifiedModel::fit(dataset(), TargetKind::ExecTime);
+  return m;
+}
+
+TEST(UnifiedModel, MetadataAfterFit) {
+  EXPECT_EQ(power_model().target(), TargetKind::Power);
+  EXPECT_EQ(power_model().gpu(), sim::GpuModel::GTX460);
+  EXPECT_EQ(perf_model().target(), TargetKind::ExecTime);
+}
+
+TEST(UnifiedModel, RespectsVariableCap) {
+  EXPECT_LE(power_model().variables().size(), 10u);
+  EXPECT_GE(power_model().variables().size(), 1u);
+  ModelOptions opt;
+  opt.max_variables = 3;
+  const UnifiedModel small = UnifiedModel::fit(dataset(), TargetKind::Power, opt);
+  EXPECT_LE(small.variables().size(), 3u);
+}
+
+TEST(UnifiedModel, AdjustedR2InRange) {
+  EXPECT_GT(power_model().adjusted_r2(), 0.0);
+  EXPECT_LE(power_model().adjusted_r2(), 1.0);
+  EXPECT_GT(perf_model().adjusted_r2(), 0.5);
+}
+
+TEST(UnifiedModel, CumulativeR2NonDecreasing) {
+  const auto& vars = perf_model().variables();
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    EXPECT_GE(vars[i].cumulative_adjusted_r2,
+              vars[i - 1].cumulative_adjusted_r2 - 1e-12);
+  }
+  EXPECT_NEAR(vars.back().cumulative_adjusted_r2, perf_model().adjusted_r2(),
+              1e-12);
+}
+
+TEST(UnifiedModel, SelectedCountersAreDistinct) {
+  std::set<std::string> names;
+  for (const SelectedVariable& v : power_model().variables()) {
+    EXPECT_TRUE(names.insert(v.counter).second) << v.counter;
+  }
+}
+
+TEST(UnifiedModel, PredictMatchesManualComputation) {
+  const Sample& s = dataset().samples.front();
+  const sim::FrequencyPair pair = s.runs.back().pair;
+  const sim::DeviceSpec& spec = sim::device_spec(sim::GpuModel::GTX460);
+  double manual = power_model().intercept();
+  for (const SelectedVariable& v : power_model().variables()) {
+    const auto idx =
+        profiler::counter_index(sim::Architecture::Fermi, v.counter);
+    manual += v.coefficient *
+              feature_value(s.counters.counters[idx], pair, spec,
+                            TargetKind::Power);
+  }
+  EXPECT_NEAR(power_model().predict(s.counters, pair), manual, 1e-9);
+}
+
+TEST(UnifiedModel, PredictionsTrackFrequencyDirection) {
+  // Averaged over the corpus, predicted power must drop from (H-H) to
+  // (M-L); the unified frequency scaling is what encodes this.
+  const Dataset& ds = dataset();
+  double hh = 0, ml = 0;
+  for (const Sample& s : ds.samples) {
+    hh += power_model().predict(s.counters, sim::kDefaultPair);
+    ml += power_model().predict(
+        s.counters, {sim::ClockLevel::Medium, sim::ClockLevel::Low});
+  }
+  EXPECT_LT(ml, hh);
+}
+
+TEST(UnifiedModel, PerfPredictionsGrowWhenCoreSlows) {
+  const Dataset& ds = dataset();
+  double hh = 0, mh = 0;
+  for (const Sample& s : ds.samples) {
+    hh += perf_model().predict(s.counters, sim::kDefaultPair);
+    mh += perf_model().predict(
+        s.counters, {sim::ClockLevel::Medium, sim::ClockLevel::High});
+  }
+  EXPECT_GT(mh, hh);
+}
+
+TEST(UnifiedModel, PerPairFitUsesOnlyThatPair) {
+  const sim::FrequencyPair hh = sim::kDefaultPair;
+  const UnifiedModel per_pair =
+      UnifiedModel::fit(dataset(), TargetKind::Power, {}, &hh);
+  // Scoring it on its own pair must beat (or match) scoring it everywhere.
+  const Evaluation own = evaluate(per_pair, dataset(), &hh);
+  const Evaluation all = evaluate(per_pair, dataset());
+  EXPECT_LE(own.mape(), all.mape() + 1e-9);
+}
+
+TEST(UnifiedModel, MoreVariablesNeverHurtAdjustedR2) {
+  ModelOptions small;
+  small.max_variables = 5;
+  ModelOptions large;
+  large.max_variables = 15;
+  const UnifiedModel m5 = UnifiedModel::fit(dataset(), TargetKind::ExecTime, small);
+  const UnifiedModel m15 =
+      UnifiedModel::fit(dataset(), TargetKind::ExecTime, large);
+  EXPECT_GE(m15.adjusted_r2(), m5.adjusted_r2() - 1e-9);
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -1,0 +1,68 @@
+// Validates the legal-combination table against paper TABLE III.
+#include "dvfs/combos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gppm::dvfs {
+namespace {
+
+using sim::ClockLevel;
+using sim::FrequencyPair;
+using sim::GpuModel;
+
+FrequencyPair fp(ClockLevel c, ClockLevel m) { return {c, m}; }
+
+TEST(Combos, NineCandidatesInTableOrder) {
+  const auto all = all_candidate_pairs();
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_EQ(all.front(), fp(ClockLevel::High, ClockLevel::High));
+  EXPECT_EQ(all.back(), fp(ClockLevel::Low, ClockLevel::Low));
+}
+
+TEST(Combos, CoreHighAndMediumAlwaysConfigurable) {
+  for (GpuModel m : sim::kAllGpus) {
+    for (ClockLevel core : {ClockLevel::High, ClockLevel::Medium}) {
+      for (ClockLevel mem : sim::kAllLevels) {
+        EXPECT_TRUE(is_configurable(m, fp(core, mem)))
+            << sim::to_string(m) << " " << sim::to_string(fp(core, mem));
+      }
+    }
+  }
+}
+
+TEST(Combos, Gtx285CoreLowRows) {
+  // TABLE III: L-H and L-M configurable, L-L not.
+  EXPECT_TRUE(is_configurable(GpuModel::GTX285, fp(ClockLevel::Low, ClockLevel::High)));
+  EXPECT_TRUE(is_configurable(GpuModel::GTX285, fp(ClockLevel::Low, ClockLevel::Medium)));
+  EXPECT_FALSE(is_configurable(GpuModel::GTX285, fp(ClockLevel::Low, ClockLevel::Low)));
+}
+
+TEST(Combos, FermiBoardsCoreLowOnlyWithMemLow) {
+  for (GpuModel m : {GpuModel::GTX460, GpuModel::GTX480}) {
+    EXPECT_FALSE(is_configurable(m, fp(ClockLevel::Low, ClockLevel::High)));
+    EXPECT_FALSE(is_configurable(m, fp(ClockLevel::Low, ClockLevel::Medium)));
+    EXPECT_TRUE(is_configurable(m, fp(ClockLevel::Low, ClockLevel::Low)));
+  }
+}
+
+TEST(Combos, Gtx680CoreLowOnlyWithMemHigh) {
+  EXPECT_TRUE(is_configurable(GpuModel::GTX680, fp(ClockLevel::Low, ClockLevel::High)));
+  EXPECT_FALSE(is_configurable(GpuModel::GTX680, fp(ClockLevel::Low, ClockLevel::Medium)));
+  EXPECT_FALSE(is_configurable(GpuModel::GTX680, fp(ClockLevel::Low, ClockLevel::Low)));
+}
+
+TEST(Combos, PairCountsPerBoard) {
+  EXPECT_EQ(configurable_pairs(GpuModel::GTX285).size(), 8u);
+  EXPECT_EQ(configurable_pairs(GpuModel::GTX460).size(), 7u);
+  EXPECT_EQ(configurable_pairs(GpuModel::GTX480).size(), 7u);
+  EXPECT_EQ(configurable_pairs(GpuModel::GTX680).size(), 7u);
+}
+
+TEST(Combos, ConfigurableListContainsDefaultFirst) {
+  for (GpuModel m : sim::kAllGpus) {
+    EXPECT_EQ(configurable_pairs(m).front(), sim::kDefaultPair);
+  }
+}
+
+}  // namespace
+}  // namespace gppm::dvfs

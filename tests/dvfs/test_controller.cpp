@@ -1,0 +1,68 @@
+#include "dvfs/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dvfs/combos.hpp"
+
+namespace gppm::dvfs {
+namespace {
+
+using sim::ClockLevel;
+using sim::FrequencyPair;
+using sim::GpuModel;
+
+TEST(Controller, BootsAtDefaultPair) {
+  sim::Gpu gpu(GpuModel::GTX480);
+  gpu.set_frequency_pair({ClockLevel::Low, ClockLevel::Low});  // pre-set junk
+  Controller ctl(gpu);
+  EXPECT_EQ(gpu.frequency_pair(), sim::kDefaultPair);
+  EXPECT_EQ(ctl.current_pair(), sim::kDefaultPair);
+  EXPECT_EQ(ctl.reboot_count(), 1);
+}
+
+TEST(Controller, SetPairAppliesToGpu) {
+  sim::Gpu gpu(GpuModel::GTX680);
+  Controller ctl(gpu);
+  const FrequencyPair mm{ClockLevel::Medium, ClockLevel::Medium};
+  ctl.set_pair(mm);
+  EXPECT_EQ(gpu.frequency_pair(), mm);
+  EXPECT_EQ(ctl.current_pair(), mm);
+  EXPECT_EQ(ctl.reboot_count(), 2);
+}
+
+TEST(Controller, RejectsIllegalPairAndKeepsState) {
+  sim::Gpu gpu(GpuModel::GTX680);
+  Controller ctl(gpu);
+  const FrequencyPair before = ctl.current_pair();
+  EXPECT_THROW(ctl.set_pair({ClockLevel::Low, ClockLevel::Low}), gppm::Error);
+  EXPECT_EQ(ctl.current_pair(), before);
+  EXPECT_EQ(gpu.frequency_pair(), before);
+}
+
+TEST(Controller, AvailablePairsMatchTableThree) {
+  sim::Gpu gpu(GpuModel::GTX460);
+  Controller ctl(gpu);
+  EXPECT_EQ(ctl.available_pairs(), configurable_pairs(GpuModel::GTX460));
+}
+
+TEST(Controller, CanSweepEveryAvailablePair) {
+  for (GpuModel m : sim::kAllGpus) {
+    sim::Gpu gpu(m);
+    Controller ctl(gpu);
+    for (FrequencyPair p : ctl.available_pairs()) {
+      ctl.set_pair(p);
+      EXPECT_EQ(gpu.frequency_pair(), p);
+    }
+  }
+}
+
+TEST(Controller, ImageStaysParseable) {
+  sim::Gpu gpu(GpuModel::GTX285);
+  Controller ctl(gpu);
+  ctl.set_pair({ClockLevel::Low, ClockLevel::Medium});
+  EXPECT_NO_THROW(parse_vbios(ctl.image()));
+}
+
+}  // namespace
+}  // namespace gppm::dvfs

@@ -1,0 +1,176 @@
+#include "gpusim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/power.hpp"
+
+namespace gppm::sim {
+namespace {
+
+KernelProfile test_kernel(const std::string& name = "k") {
+  KernelProfile k;
+  k.name = name;
+  k.blocks = 1024;
+  k.threads_per_block = 256;
+  k.flops_sp_per_thread = 200.0;
+  k.int_ops_per_thread = 50.0;
+  k.shared_ops_per_thread = 10.0;
+  k.global_load_bytes_per_thread = 16.0;
+  k.global_store_bytes_per_thread = 4.0;
+  k.locality = 0.4;
+  k.divergence = 1.2;
+  k.bank_conflict = 1.1;
+  return k;
+}
+
+RunProfile test_run() {
+  RunProfile run;
+  run.benchmark_name = "testbench";
+  run.kernels = {test_kernel("k1"), test_kernel("k2")};
+  run.host_time = Duration::milliseconds(100);
+  return run;
+}
+
+TEST(Engine, DeterministicAcrossInstances) {
+  Gpu a(GpuModel::GTX480, 42), b(GpuModel::GTX480, 42);
+  const auto ra = a.run(test_run());
+  const auto rb = b.run(test_run());
+  EXPECT_DOUBLE_EQ(ra.total_time.as_seconds(), rb.total_time.as_seconds());
+  EXPECT_DOUBLE_EQ(ra.kernels[0].gpu_power.as_watts(),
+                   rb.kernels[0].gpu_power.as_watts());
+}
+
+TEST(Engine, CallOrderDoesNotMatter) {
+  Gpu a(GpuModel::GTX480, 42);
+  const auto first = a.launch(test_kernel("other"));
+  const auto target_after = a.launch(test_kernel("target"));
+  Gpu b(GpuModel::GTX480, 42);
+  const auto target_fresh = b.launch(test_kernel("target"));
+  (void)first;
+  EXPECT_DOUBLE_EQ(target_after.timing.total_time.as_seconds(),
+                   target_fresh.timing.total_time.as_seconds());
+}
+
+TEST(Engine, SeedChangesUnmodeledBehaviour) {
+  Gpu a(GpuModel::GTX285, 1), b(GpuModel::GTX285, 2);
+  const auto ra = a.launch(test_kernel());
+  const auto rb = b.launch(test_kernel());
+  EXPECT_NE(ra.timing.total_time.as_seconds(), rb.timing.total_time.as_seconds());
+}
+
+TEST(Engine, FrequencyPairPinning) {
+  Gpu gpu(GpuModel::GTX680);
+  EXPECT_EQ(gpu.frequency_pair(), kDefaultPair);
+  const FrequencyPair ml{ClockLevel::Medium, ClockLevel::Low};
+  gpu.set_frequency_pair(ml);
+  EXPECT_EQ(gpu.frequency_pair(), ml);
+}
+
+TEST(Engine, TimelineDurationsSumToTotalTime) {
+  Gpu gpu(GpuModel::GTX460);
+  const RunExecution exec = gpu.run(test_run());
+  double sum = 0;
+  for (const PowerSegment& seg : exec.timeline) sum += seg.duration.as_seconds();
+  EXPECT_NEAR(sum, exec.total_time.as_seconds(), 1e-9);
+}
+
+TEST(Engine, TimelineStructureHostKernelHost) {
+  Gpu gpu(GpuModel::GTX460);
+  const RunExecution exec = gpu.run(test_run());
+  ASSERT_EQ(exec.timeline.size(), 4u);  // host, k1, k2, host
+  EXPECT_EQ(exec.timeline.front().kind, SegmentKind::HostCompute);
+  EXPECT_EQ(exec.timeline[1].kind, SegmentKind::GpuKernel);
+  EXPECT_EQ(exec.timeline.back().kind, SegmentKind::HostCompute);
+}
+
+TEST(Engine, HostSegmentsUseIdleGpuPower) {
+  Gpu gpu(GpuModel::GTX480);
+  const RunExecution exec = gpu.run(test_run());
+  const Power idle = gpu_idle_power(gpu.spec(), gpu.frequency_pair());
+  EXPECT_DOUBLE_EQ(exec.timeline.front().gpu_power.as_watts(), idle.as_watts());
+  EXPECT_GT(exec.timeline[1].gpu_power.as_watts(), idle.as_watts());
+}
+
+TEST(Engine, EventsAggregateAcrossKernels) {
+  Gpu gpu(GpuModel::GTX480);
+  const RunExecution exec = gpu.run(test_run());
+  double sum = 0;
+  for (const auto& k : exec.kernels) sum += k.events.insts_executed;
+  EXPECT_NEAR(exec.events.insts_executed, sum, 1e-6);
+}
+
+TEST(Engine, RejectsEmptyRun) {
+  Gpu gpu(GpuModel::GTX480);
+  RunProfile empty;
+  empty.benchmark_name = "empty";
+  EXPECT_THROW(gpu.run(empty), gppm::Error);
+}
+
+TEST(Engine, UnmodeledFactorStableAcrossPairs) {
+  // The factor models workload character: the same kernel must get the same
+  // factor at every operating point, so cross-pair ratios stay physical.
+  Gpu gpu(GpuModel::GTX285, 42);
+  const KernelProfile k = test_kernel("stable");
+  gpu.set_frequency_pair(kDefaultPair);
+  const auto hh = gpu.launch(k);
+  gpu.set_frequency_pair({ClockLevel::Medium, ClockLevel::High});
+  const auto mh = gpu.launch(k);
+  // Compute-leaning kernel: the time ratio must track the core clock ratio
+  // closely, which only holds if the noise factor cancelled.
+  const double ratio = mh.timing.kernel_time / hh.timing.kernel_time;
+  const double freq = 1296.0 / 800.0;
+  EXPECT_NEAR(ratio, freq, 0.25);
+}
+
+TEST(EngineEvents, CountsScaleWithThreads) {
+  const DeviceSpec& spec = device_spec(GpuModel::GTX480);
+  KernelProfile k = test_kernel();
+  const auto t = compute_kernel_timing(spec, k, kDefaultPair);
+  const HardwareEvents e1 = synthesize_events(spec, k, t);
+  k.blocks *= 2;
+  const auto t2 = compute_kernel_timing(spec, k, kDefaultPair);
+  const HardwareEvents e2 = synthesize_events(spec, k, t2);
+  EXPECT_NEAR(e2.flops_sp / e1.flops_sp, 2.0, 1e-9);
+  EXPECT_NEAR(e2.gld_transactions / e1.gld_transactions, 2.0, 1e-9);
+}
+
+TEST(EngineEvents, TeslaHasNoCacheEvents) {
+  const DeviceSpec& spec = device_spec(GpuModel::GTX285);
+  const KernelProfile k = test_kernel();
+  const auto t = compute_kernel_timing(spec, k, kDefaultPair);
+  const HardwareEvents e = synthesize_events(spec, k, t);
+  EXPECT_EQ(e.l1_hits, 0.0);
+  EXPECT_EQ(e.l2_reads, 0.0);
+}
+
+TEST(EngineEvents, IssuedAtLeastExecuted) {
+  const DeviceSpec& spec = device_spec(GpuModel::GTX680);
+  const KernelProfile k = test_kernel();
+  const auto t = compute_kernel_timing(spec, k, kDefaultPair);
+  const HardwareEvents e = synthesize_events(spec, k, t);
+  EXPECT_GE(e.insts_issued, e.insts_executed);
+}
+
+TEST(EngineEvents, DramTrafficConsistentWithTiming) {
+  const DeviceSpec& spec = device_spec(GpuModel::GTX680);
+  const KernelProfile k = test_kernel();
+  const auto t = compute_kernel_timing(spec, k, kDefaultPair);
+  const HardwareEvents e = synthesize_events(spec, k, t);
+  EXPECT_NEAR((e.dram_reads + e.dram_writes) * 32.0, t.dram_bytes, 1.0);
+}
+
+TEST(EngineEvents, DivergentBranchesTrackDivergence) {
+  const DeviceSpec& spec = device_spec(GpuModel::GTX480);
+  KernelProfile k = test_kernel();
+  k.divergence = 1.0;
+  auto t = compute_kernel_timing(spec, k, kDefaultPair);
+  EXPECT_EQ(synthesize_events(spec, k, t).divergent_branches, 0.0);
+  k.divergence = 2.0;
+  t = compute_kernel_timing(spec, k, kDefaultPair);
+  const HardwareEvents e = synthesize_events(spec, k, t);
+  EXPECT_NEAR(e.divergent_branches, e.branches * 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace gppm::sim

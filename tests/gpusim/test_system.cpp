@@ -1,0 +1,39 @@
+#include "gpusim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::sim {
+namespace {
+
+TEST(System, WallPowerIncludesPsuLoss) {
+  const HostSpec host = default_host();
+  const Power wall = wall_power(host, Power::watts(176.0));
+  EXPECT_NEAR(wall.as_watts(), 176.0 / host.psu_efficiency, 1e-9);
+  EXPECT_GT(wall.as_watts(), 176.0);
+}
+
+TEST(System, DefaultHostStatesAreOrdered) {
+  const HostSpec host = default_host();
+  EXPECT_LT(host.idle.as_watts(), host.host_active.as_watts());
+  EXPECT_LE(host.idle.as_watts(), host.gpu_wait.as_watts());
+  EXPECT_LT(host.gpu_wait.as_watts(), host.host_active.as_watts());
+}
+
+TEST(System, RejectsBadPsuEfficiency) {
+  HostSpec host;
+  host.psu_efficiency = 0.0;
+  EXPECT_THROW(wall_power(host, Power::watts(100)), gppm::Error);
+  host.psu_efficiency = 1.5;
+  EXPECT_THROW(wall_power(host, Power::watts(100)), gppm::Error);
+}
+
+TEST(System, PerfectPsuPassesThrough) {
+  HostSpec host;
+  host.psu_efficiency = 1.0;
+  EXPECT_DOUBLE_EQ(wall_power(host, Power::watts(123)).as_watts(), 123.0);
+}
+
+}  // namespace
+}  // namespace gppm::sim

@@ -1,0 +1,209 @@
+// Reproduction guardrails: the paper's headline numbers, asserted with
+// bands.  EXPERIMENTS.md records the exact measured values; these tests
+// pin the *shape* so refactoring cannot silently lose the reproduction.
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+#include "core/evaluation.hpp"
+#include "stats/descriptive.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::core {
+namespace {
+
+using sim::ClockLevel;
+using sim::FrequencyPair;
+using sim::GpuModel;
+
+Sweep backprop_sweep(GpuModel model) {
+  MeasurementRunner runner(model);
+  const auto& def = workload::find_benchmark("backprop");
+  return sweep_pairs(runner, def, def.size_count - 1);
+}
+
+// --- Fig. 1 / abstract: backprop best-case efficiency per generation ----
+
+TEST(PaperHeadlines, BackpropBestPairsMatchTableFour) {
+  // TABLE IV row Backprop: (H-L) on GTX 285/460/480, (M-L) on GTX 680.
+  EXPECT_EQ(backprop_sweep(GpuModel::GTX285).best_pair(),
+            (FrequencyPair{ClockLevel::High, ClockLevel::Low}));
+  EXPECT_EQ(backprop_sweep(GpuModel::GTX460).best_pair(),
+            (FrequencyPair{ClockLevel::High, ClockLevel::Low}));
+  EXPECT_EQ(backprop_sweep(GpuModel::GTX480).best_pair(),
+            (FrequencyPair{ClockLevel::High, ClockLevel::Low}));
+  EXPECT_EQ(backprop_sweep(GpuModel::GTX680).best_pair(),
+            (FrequencyPair{ClockLevel::Medium, ClockLevel::Low}));
+}
+
+TEST(PaperHeadlines, BackpropImprovementLadder) {
+  // Paper: 13%, 39%, 40%, 75% with losses 2%, 2%, 0.1%, 30%.
+  const double i285 = backprop_sweep(GpuModel::GTX285).improvement_percent();
+  const double i460 = backprop_sweep(GpuModel::GTX460).improvement_percent();
+  const double i480 = backprop_sweep(GpuModel::GTX480).improvement_percent();
+  const double i680 = backprop_sweep(GpuModel::GTX680).improvement_percent();
+  EXPECT_NEAR(i285, 13.0, 6.0);
+  EXPECT_NEAR(i460, 39.0, 10.0);
+  EXPECT_NEAR(i480, 40.0, 10.0);
+  EXPECT_NEAR(i680, 75.0, 15.0);
+  // Generation ordering.
+  EXPECT_LT(i285, i460);
+  EXPECT_LT(i480, i680);
+}
+
+TEST(PaperHeadlines, BackpropPerformanceLossesSmallExceptKepler) {
+  EXPECT_LT(backprop_sweep(GpuModel::GTX285).performance_loss_percent(), 8.0);
+  EXPECT_LT(backprop_sweep(GpuModel::GTX460).performance_loss_percent(), 8.0);
+  EXPECT_LT(backprop_sweep(GpuModel::GTX480).performance_loss_percent(), 8.0);
+  const double loss680 =
+      backprop_sweep(GpuModel::GTX680).performance_loss_percent();
+  EXPECT_GT(loss680, 12.0);
+  EXPECT_LT(loss680, 35.0);
+}
+
+// --- Fig. 2: streamcluster on the GTX 680 --------------------------------
+
+TEST(PaperHeadlines, StreamclusterKeplerPrefersCoreMediumAtMemHigh) {
+  MeasurementRunner runner(GpuModel::GTX680);
+  const auto& def = workload::find_benchmark("streamcluster");
+  const Sweep s = sweep_pairs(runner, def, def.size_count - 1);
+  // Paper: best (M-H), ~4.7% gain at ~8.7% performance loss.
+  EXPECT_EQ(s.best_pair(), (FrequencyPair{ClockLevel::Medium, ClockLevel::High}));
+  EXPECT_GT(s.improvement_percent(), 1.0);
+  EXPECT_LT(s.improvement_percent(), 25.0);
+  EXPECT_GT(s.performance_loss_percent(), 2.0);
+  EXPECT_LT(s.performance_loss_percent(), 15.0);
+}
+
+// --- Fig. 4 / TABLE IV aggregates ----------------------------------------
+
+class SuiteCharacterization : public ::testing::Test {
+ protected:
+  static const std::vector<BestPairRow>& rows() {
+    static const std::vector<BestPairRow> r = characterize_suite(42);
+    return r;
+  }
+  static std::vector<double> improvements(std::size_t gpu_index) {
+    std::vector<double> out;
+    for (const BestPairRow& row : rows()) out.push_back(row.improvement[gpu_index]);
+    return out;
+  }
+  static int non_default(std::size_t gpu_index) {
+    int n = 0;
+    for (const BestPairRow& row : rows()) {
+      if (!(row.best[gpu_index] == sim::kDefaultPair)) ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(SuiteCharacterization, AverageImprovementGrowsWithGeneration) {
+  // Paper Fig. 4: 0.8% / 12.3% / 12.1% / 24.4%.
+  const double a285 = stats::mean(improvements(0));
+  const double a460 = stats::mean(improvements(1));
+  const double a480 = stats::mean(improvements(2));
+  const double a680 = stats::mean(improvements(3));
+  EXPECT_LT(a285, 8.0);
+  EXPECT_NEAR(a460, 12.3, 6.0);
+  EXPECT_NEAR(a480, 12.1, 7.0);
+  EXPECT_GT(a680, 20.0);
+  EXPECT_LT(a285, a460);
+  EXPECT_LT(a460, a680);
+  EXPECT_LT(a480, a680);
+}
+
+TEST_F(SuiteCharacterization, KeplerBestPairsAllNonDefault) {
+  // Paper: "for GTX 680, the best power efficiency for all the benchmarks
+  // are achieved besides the default configuration".
+  EXPECT_EQ(non_default(3), static_cast<int>(rows().size()));
+}
+
+TEST_F(SuiteCharacterization, TeslaMostlyDefault) {
+  // The GTX 285 keeps (H-H) for the majority of the suite.
+  EXPECT_LT(non_default(0), static_cast<int>(rows().size()) / 2);
+}
+
+TEST_F(SuiteCharacterization, DiversityGrowsWithGeneration) {
+  EXPECT_LE(non_default(0), non_default(3));
+  EXPECT_LE(non_default(1), non_default(3));
+}
+
+// --- TABLEs V-VIII: model quality ----------------------------------------
+
+struct ModelBands {
+  GpuModel model;
+  double power_r2_lo, power_r2_hi;
+  double perf_r2_lo;
+  double power_err_lo, power_err_hi;  // percent
+  double perf_err_lo, perf_err_hi;    // percent
+};
+
+class ModelQuality : public ::testing::TestWithParam<ModelBands> {
+ protected:
+  struct Fitted {
+    Dataset ds;
+    UnifiedModel power;
+    UnifiedModel perf;
+  };
+  static const Fitted& fitted(GpuModel model) {
+    static std::map<GpuModel, Fitted> cache;
+    auto it = cache.find(model);
+    if (it == cache.end()) {
+      Dataset ds = build_dataset(model);
+      UnifiedModel power = UnifiedModel::fit(ds, TargetKind::Power);
+      UnifiedModel perf = UnifiedModel::fit(ds, TargetKind::ExecTime);
+      it = cache.emplace(model, Fitted{std::move(ds), std::move(power),
+                                       std::move(perf)})
+               .first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(ModelQuality, PowerModelInPaperBand) {
+  const ModelBands& band = GetParam();
+  const Fitted& f = fitted(band.model);
+  EXPECT_GT(f.power.adjusted_r2(), band.power_r2_lo);
+  EXPECT_LT(f.power.adjusted_r2(), band.power_r2_hi);
+  const double err = evaluate(f.power, f.ds).mape();
+  EXPECT_GT(err, band.power_err_lo);
+  EXPECT_LT(err, band.power_err_hi);
+}
+
+TEST_P(ModelQuality, PerfModelInPaperBand) {
+  const ModelBands& band = GetParam();
+  const Fitted& f = fitted(band.model);
+  EXPECT_GT(f.perf.adjusted_r2(), band.perf_r2_lo);
+  const double err = evaluate(f.perf, f.ds).mape();
+  EXPECT_GT(err, band.perf_err_lo);
+  EXPECT_LT(err, band.perf_err_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBoards, ModelQuality,
+    ::testing::Values(
+        // Paper: power R2 .30/.59/.70/.18; power err 15.0/14.0/18.2/23.5;
+        //        perf R2 .91/.90/.94/.91; perf err 67.9/47.6/39.3/33.5.
+        ModelBands{GpuModel::GTX285, 0.15, 0.60, 0.75, 7.0, 22.0, 45.0, 95.0},
+        ModelBands{GpuModel::GTX460, 0.45, 0.90, 0.80, 8.0, 22.0, 30.0, 70.0},
+        ModelBands{GpuModel::GTX480, 0.45, 0.90, 0.80, 10.0, 25.0, 25.0, 60.0},
+        ModelBands{GpuModel::GTX680, 0.10, 0.75, 0.80, 14.0, 32.0, 22.0, 50.0}),
+    [](const ::testing::TestParamInfo<ModelBands>& info) {
+      std::string n = sim::to_string(info.param.model);
+      n.erase(std::remove(n.begin(), n.end(), ' '), n.end());
+      return n;
+    });
+
+TEST(PaperHeadlines, PerfErrorDecreasesWithGeneration) {
+  // TABLE VIII's trend: newer architectures predict better.
+  std::vector<double> errs;
+  for (GpuModel m : sim::kAllGpus) {
+    const Dataset ds = build_dataset(m);
+    const UnifiedModel perf = UnifiedModel::fit(ds, TargetKind::ExecTime);
+    errs.push_back(evaluate(perf, ds).mape());
+  }
+  EXPECT_GT(errs[0], errs[1]);  // Tesla worse than Fermi
+  EXPECT_GT(errs[1], errs[3]);  // GTX 460 worse than Kepler
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -1,0 +1,130 @@
+// End-to-end pipeline tests: VBIOS-controlled board -> benchmark execution
+// -> WT1600 measurement -> profiling -> dataset -> unified models.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/dataset.hpp"
+#include "core/evaluation.hpp"
+#include "core/optimizer.hpp"
+#include "dvfs/combos.hpp"
+#include "dvfs/controller.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::core {
+namespace {
+
+TEST(Pipeline, DvfsControlledMeasurement) {
+  // Drive the full control path the paper describes: patch the VBIOS, boot
+  // at the chosen P-state, run, measure.
+  MeasurementRunner runner(sim::GpuModel::GTX460);
+  dvfs::Controller ctl(runner.gpu());
+  const auto& bench = workload::find_benchmark("hotspot");
+
+  std::vector<double> energies;
+  for (sim::FrequencyPair pair : ctl.available_pairs()) {
+    ctl.set_pair(pair);
+    EXPECT_EQ(runner.gpu().frequency_pair(), pair);
+    const Measurement m = runner.measure(bench, 0, pair);
+    energies.push_back(m.energy.as_joules());
+  }
+  EXPECT_EQ(energies.size(), 7u);
+  // Energies must differ across pairs (the sweep is meaningful).
+  EXPECT_NE(stats::min_of(energies), stats::max_of(energies));
+}
+
+TEST(Pipeline, DatasetBuildsFullCorpusOnEveryBoard) {
+  for (sim::GpuModel model : sim::kAllGpus) {
+    const Dataset ds = build_dataset(model);
+    EXPECT_EQ(ds.samples.size(), 114u) << sim::to_string(model);
+    const std::size_t pairs = dvfs::configurable_pairs(model).size();
+    EXPECT_EQ(ds.row_count(), 114u * pairs) << sim::to_string(model);
+    for (const Sample& s : ds.samples) {
+      EXPECT_EQ(s.counters.counters.size(),
+                static_cast<std::size_t>(
+                    sim::device_spec(model).performance_counter_count));
+      EXPECT_EQ(s.runs.size(), pairs);
+    }
+  }
+}
+
+TEST(Pipeline, DatasetExcludesProfilerFailures) {
+  const Dataset ds = build_dataset(sim::GpuModel::GTX480);
+  for (const Sample& s : ds.samples) {
+    for (const char* failed : {"backprop", "bfs", "mummergpu", "pathfinder"}) {
+      EXPECT_NE(s.benchmark, failed);
+    }
+  }
+}
+
+TEST(Pipeline, DatasetDeterministicGivenSeed) {
+  DatasetOptions opt;
+  opt.seed = 7;
+  const Dataset a = build_dataset(sim::GpuModel::GTX285, opt);
+  const Dataset b = build_dataset(sim::GpuModel::GTX285, opt);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    ASSERT_EQ(a.samples[i].runs.size(), b.samples[i].runs.size());
+    for (std::size_t j = 0; j < a.samples[i].runs.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.samples[i].runs[j].energy.as_joules(),
+                       b.samples[i].runs[j].energy.as_joules());
+    }
+  }
+}
+
+TEST(Pipeline, ModelsFitAndEvaluateOnEveryBoard) {
+  for (sim::GpuModel model : sim::kAllGpus) {
+    const Dataset ds = build_dataset(model);
+    const UnifiedModel power = UnifiedModel::fit(ds, TargetKind::Power);
+    const UnifiedModel perf = UnifiedModel::fit(ds, TargetKind::ExecTime);
+    const Evaluation pe = evaluate(power, ds);
+    const Evaluation te = evaluate(perf, ds);
+    // Wide sanity bands; the tight paper bands live in the headline test.
+    EXPECT_GT(power.adjusted_r2(), 0.1) << sim::to_string(model);
+    EXPECT_GT(perf.adjusted_r2(), 0.6) << sim::to_string(model);
+    EXPECT_LT(pe.mape(), 40.0) << sim::to_string(model);
+    EXPECT_LT(te.mape(), 120.0) << sim::to_string(model);
+  }
+}
+
+TEST(Pipeline, OptimizerRecoversRealSavings) {
+  // DVFS selection quality end-to-end (the ablation A4 story): the paper's
+  // frequency-only model form cannot value down-clocking (its picks hover
+  // around the default's energy), while the extended form (V^2 f features
+  // + baseline terms) recovers most of the oracle saving.
+  const Dataset ds = build_dataset(sim::GpuModel::GTX680);
+  const UnifiedModel perf = UnifiedModel::fit(ds, TargetKind::ExecTime);
+  const UnifiedModel paper_power = UnifiedModel::fit(ds, TargetKind::Power);
+  ModelOptions ext;
+  ext.scaling = FeatureScaling::VoltageSquaredFrequency;
+  ext.include_baseline_terms = true;
+  const UnifiedModel ext_power = UnifiedModel::fit(ds, TargetKind::Power, ext);
+
+  auto score = [&](const UnifiedModel& power) {
+    double chosen = 0, fixed_default = 0, oracle = 0;
+    for (const Sample& s : ds.samples) {
+      const sim::FrequencyPair pick =
+          predict_min_energy_pair(power, perf, s.counters);
+      double best_e = 1e300;
+      for (const Measurement& m : s.runs) {
+        const double e = m.energy.as_joules();
+        if (m.pair == pick) chosen += e;
+        if (m.pair == sim::kDefaultPair) fixed_default += e;
+        best_e = std::min(best_e, e);
+      }
+      oracle += best_e;
+    }
+    return std::tuple{chosen, fixed_default, oracle};
+  };
+
+  const auto [paper_chosen, def1, oracle1] = score(paper_power);
+  EXPECT_NEAR(paper_chosen / def1, 1.0, 0.05);  // paper form: ~no effect
+
+  const auto [ext_chosen, def2, oracle2] = score(ext_power);
+  EXPECT_LT(ext_chosen, def2 * 0.90);           // extended: real savings
+  const double capture = (def2 - ext_chosen) / (def2 - oracle2);
+  EXPECT_GT(capture, 0.5);                      // most of the oracle saving
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -1,0 +1,78 @@
+#include "kernelir/ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::ir {
+namespace {
+
+TEST(AddressExpr, LinearEvaluation) {
+  AddressExpr a;
+  a.base = 1000;
+  a.stride_thread = 4;
+  a.stride_iter = 256;
+  EXPECT_EQ(a.evaluate(0, 0), 1000u);
+  EXPECT_EQ(a.evaluate(3, 0), 1012u);
+  EXPECT_EQ(a.evaluate(3, 2), 1524u);
+}
+
+TEST(AddressExpr, ShuffleTermWraps) {
+  AddressExpr a;
+  a.shuffle_mul = 1;
+  a.shuffle_mod = 16;
+  a.shuffle_stride = 8;
+  EXPECT_EQ(a.evaluate(5, 0), 40u);
+  EXPECT_EQ(a.evaluate(21, 0), 40u);  // 21 % 16 == 5
+}
+
+TEST(AddressExpr, NegativeShuffleStrideCancelsLinearPart) {
+  // The split used by the tiled-mmul broadcast pattern: tid*4 - (tid%16)*4
+  // is constant within a 16-thread row group.
+  AddressExpr a;
+  a.base = 4096;
+  a.stride_thread = 4;
+  a.shuffle_mul = 1;
+  a.shuffle_mod = 16;
+  a.shuffle_stride = -4;
+  EXPECT_EQ(a.evaluate(0, 0), a.evaluate(15, 0));
+  EXPECT_NE(a.evaluate(0, 0), a.evaluate(16, 0));
+}
+
+TEST(AddressExpr, RejectsNegativeResult) {
+  AddressExpr a;
+  a.base = 0;
+  a.shuffle_mul = 1;
+  a.shuffle_mod = 16;
+  a.shuffle_stride = -4;
+  EXPECT_THROW(a.evaluate(5, 0), Error);
+}
+
+TEST(AddressExpr, RejectsNonPositiveMod) {
+  AddressExpr a;
+  a.shuffle_mod = 0;
+  EXPECT_THROW(a.evaluate(0, 0), Error);
+}
+
+TEST(IrBuilders, OpcodesAndValidation) {
+  EXPECT_EQ(fma().op, Op::Fma);
+  EXPECT_EQ(fadd().op, Op::FAdd);
+  EXPECT_EQ(int_op().op, Op::IntOp);
+  EXPECT_EQ(special().op, Op::Special);
+  EXPECT_EQ(sync().op, Op::Sync);
+  EXPECT_EQ(branch(0.3).op, Op::Branch);
+  EXPECT_DOUBLE_EQ(branch(0.3).divergence_prob, 0.3);
+  EXPECT_THROW(branch(1.5), Error);
+
+  AddressExpr a;
+  a.width = 4;
+  EXPECT_EQ(load_global(a).op, Op::LoadGlobal);
+  EXPECT_EQ(store_global(a).op, Op::StoreGlobal);
+  EXPECT_EQ(load_shared(a).op, Op::LoadShared);
+  EXPECT_EQ(store_shared(a).op, Op::StoreShared);
+  a.width = 0;
+  EXPECT_THROW(load_global(a), Error);
+}
+
+}  // namespace
+}  // namespace gppm::ir

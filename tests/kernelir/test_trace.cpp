@@ -1,0 +1,140 @@
+#include "kernelir/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/timing.hpp"
+#include "kernelir/programs.hpp"
+
+namespace gppm::ir {
+namespace {
+
+TEST(Trace, CountsArithmeticPerThread) {
+  Program p;
+  p.name = "counts";
+  p.threads_per_block = 64;
+  p.iterations = 3;
+  p.body = {fma(), fma(), fadd(), int_op(), special()};
+  const TraceStats s = trace_block(p);
+  EXPECT_DOUBLE_EQ(s.flops, 3 * (2 + 2 + 1));
+  EXPECT_DOUBLE_EQ(s.int_ops, 3.0);
+  EXPECT_DOUBLE_EQ(s.special_ops, 3.0);
+}
+
+TEST(Trace, PrologueRunsOnce) {
+  Program p;
+  p.name = "prologue";
+  p.threads_per_block = 32;
+  p.iterations = 5;
+  p.prologue = {fadd()};
+  p.body = {int_op()};
+  const TraceStats s = trace_block(p);
+  EXPECT_DOUBLE_EQ(s.flops, 1.0);
+  EXPECT_DOUBLE_EQ(s.int_ops, 5.0);
+}
+
+TEST(Trace, CoalescedStreamMeasuresFullEfficiency) {
+  const TraceStats s = trace_block(vector_add(1 << 16));
+  EXPECT_GT(s.coalescing, 0.95);
+  EXPECT_DOUBLE_EQ(s.global_load_bytes, 8.0);
+  EXPECT_DOUBLE_EQ(s.global_store_bytes, 4.0);
+}
+
+TEST(Trace, StreamingHasNoReuse) {
+  const TraceStats s = trace_block(vector_add(1 << 16));
+  EXPECT_LT(s.locality, 0.05);
+}
+
+TEST(Trace, TransposedStoreCollapsesCoalescing) {
+  const TraceStats s = trace_block(transpose_naive(1024));
+  // Load side coalesced, store side one 32B segment per lane:
+  // across both accesses efficiency lands near (1 + 4/32) / 2.
+  EXPECT_LT(s.coalescing, 0.62);
+  EXPECT_GT(s.coalescing, 0.40);
+}
+
+TEST(Trace, StencilNeighboursHitCacheLines) {
+  const TraceStats s = trace_block(stencil5(4096, 4));
+  // Five taps per cell: four of the five land on lines the sweep already
+  // touched.
+  EXPECT_GT(s.locality, 0.5);
+}
+
+TEST(Trace, TiledMatmulReusesTiles) {
+  const TraceStats s = trace_block(matrix_mul_tiled(256));
+  EXPECT_GT(s.shared_ops, 30.0);        // 2 stores + 32 loads per k-tile
+  EXPECT_GT(s.coalescing, 0.9);         // tile loads are coalesced
+  EXPECT_NEAR(s.flops, 256.0 / 16 * 16 * 2, 1.0);  // 2 FLOPs per k element
+}
+
+TEST(Trace, SharedBroadcastIsConflictFree) {
+  const TraceStats s = trace_block(matrix_mul_tiled(256));
+  EXPECT_LT(s.bank_conflict, 1.3);
+}
+
+TEST(Trace, FewBinHistogramConflicts) {
+  const TraceStats s8 = trace_block(histogram_shared(8, 16));
+  const TraceStats s256 = trace_block(histogram_shared(256, 16));
+  EXPECT_GT(s8.bank_conflict, 2.0);   // 32 lanes onto 8 bins
+  EXPECT_GT(s8.bank_conflict, s256.bank_conflict);
+}
+
+TEST(Trace, PointerChaseScattersAndDiverges) {
+  const TraceStats s = trace_block(pointer_chase(1 << 20, 32, 0.5));
+  EXPECT_LT(s.coalescing, 0.3);
+  EXPECT_GT(s.divergence, 1.3);
+  EXPECT_LT(s.locality, 0.2);
+}
+
+TEST(Trace, SyncsCounted) {
+  const TraceStats s = trace_block(matrix_mul_tiled(128));
+  EXPECT_DOUBLE_EQ(s.syncs, 2.0 * (128 / 16));
+}
+
+TEST(Trace, RejectsInvalidPrograms) {
+  Program p;
+  p.threads_per_block = 0;
+  EXPECT_THROW(trace_block(p), Error);
+  p.threads_per_block = 32;
+  EXPECT_THROW(trace_block(p), Error);  // empty body and prologue
+}
+
+TEST(DeriveProfile, ProducesValidSimulatorInput) {
+  for (const Program& p :
+       {vector_add(1 << 16), matrix_mul_tiled(256), transpose_naive(512),
+        stencil5(4096, 4), histogram_shared(64, 8),
+        pointer_chase(1 << 18, 16, 0.4)}) {
+    const sim::KernelProfile k = derive_profile(p);
+    EXPECT_EQ(k.name, p.name);
+    EXPECT_EQ(k.blocks, p.blocks);
+    EXPECT_NO_THROW(sim::compute_kernel_timing(
+        sim::device_spec(sim::GpuModel::GTX480), k, sim::kDefaultPair))
+        << p.name;
+  }
+}
+
+TEST(DeriveProfile, OptionsPropagate) {
+  ProfileOptions opt;
+  opt.occupancy = 0.5;
+  opt.overlap = 0.6;
+  const sim::KernelProfile k = derive_profile(vector_add(1 << 16), opt);
+  EXPECT_DOUBLE_EQ(k.occupancy, 0.5);
+  EXPECT_DOUBLE_EQ(k.overlap, 0.6);
+}
+
+TEST(DeriveProfile, TracedStreamingKernelIsMemoryBound) {
+  const sim::KernelProfile k = derive_profile(vector_add(1 << 20));
+  const auto t = sim::compute_kernel_timing(
+      sim::device_spec(sim::GpuModel::GTX480), k, sim::kDefaultPair);
+  EXPECT_GT(t.memory_time.as_seconds(), t.compute_time.as_seconds());
+}
+
+TEST(DeriveProfile, TracedTiledMatmulIsComputeBound) {
+  const sim::KernelProfile k = derive_profile(matrix_mul_tiled(512));
+  const auto t = sim::compute_kernel_timing(
+      sim::device_spec(sim::GpuModel::GTX480), k, sim::kDefaultPair);
+  EXPECT_GT(t.compute_time.as_seconds(), t.memory_time.as_seconds());
+}
+
+}  // namespace
+}  // namespace gppm::ir

@@ -1,0 +1,66 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gppm::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  gppm::Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+  }
+  // A^T A + n I is symmetric positive definite.
+  Matrix spd = a.transposed() * a;
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+class CholeskySizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskySizes, FactorReconstructs) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, 11 + n);
+  const Matrix l = cholesky(a);
+  EXPECT_LT((l * l.transposed()).max_abs_diff(a), 1e-9);
+}
+
+TEST_P(CholeskySizes, SolveMatchesMatVec) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, 23 + n);
+  gppm::Rng rng(99);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.normal();
+  const Vector b = a * x_true;
+  const Vector x = cholesky_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes, ::testing::Values(1, 2, 5, 10, 21));
+
+TEST(Cholesky, LowerTriangularOutput) {
+  const Matrix l = cholesky(random_spd(4, 3));
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = r + 1; c < 4; ++c) EXPECT_EQ(l(r, c), 0.0);
+  }
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), gppm::Error);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1, 0}, {0, -1}};
+  EXPECT_THROW(cholesky(a), gppm::Error);
+}
+
+TEST(Cholesky, SolveRejectsSizeMismatch) {
+  EXPECT_THROW(cholesky_solve(Matrix::identity(2), {1, 2, 3}), gppm::Error);
+}
+
+}  // namespace
+}  // namespace gppm::linalg

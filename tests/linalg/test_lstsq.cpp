@@ -1,0 +1,81 @@
+#include "linalg/lstsq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gppm::linalg {
+namespace {
+
+TEST(Lstsq, ExactSystemRecovered) {
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const Vector b = a * Vector{2.0, -3.0};
+  const LstsqResult r = lstsq(a, b);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.x[1], -3.0, 1e-12);
+  EXPECT_NEAR(r.residual_ss, 0.0, 1e-18);
+  EXPECT_TRUE(r.full_rank);
+}
+
+TEST(Lstsq, MinimizesResidualOnOverdetermined) {
+  // y = 2x fit over noisy points; solution must be near 2 and the residual
+  // must not exceed that of the true coefficient.
+  gppm::Rng rng(5);
+  const std::size_t n = 200;
+  Matrix a(n, 1);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / 10.0;
+    a(i, 0) = x;
+    b[i] = 2.0 * x + rng.normal(0.0, 0.1);
+  }
+  const LstsqResult r = lstsq(a, b);
+  EXPECT_NEAR(r.x[0], 2.0, 0.01);
+
+  double true_ss = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double res = b[i] - 2.0 * a(i, 0);
+    true_ss += res * res;
+  }
+  EXPECT_LE(r.residual_ss, true_ss + 1e-9);
+}
+
+TEST(Lstsq, HandlesWildColumnScales) {
+  // Columns spanning 12 orders of magnitude — the regime the regression
+  // layer actually produces (counter totals vs intercept-scale features).
+  Matrix a(6, 2);
+  Vector b(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = 1e-6 * static_cast<double>(i + 1);
+    a(i, 1) = 1e6 * static_cast<double>((i * 7) % 5 + 1);
+    b[i] = 3.0 * a(i, 0) + 2e-6 * a(i, 1);
+  }
+  const LstsqResult r = lstsq(a, b);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 2e-6, 1e-12);
+}
+
+TEST(Lstsq, RankDeficientStillSolves) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // collinear
+  }
+  const Vector b{2, 4, 6, 8};
+  const LstsqResult r = lstsq(a, b);
+  EXPECT_FALSE(r.full_rank);
+  // Prediction must still reproduce b even if the split between the two
+  // collinear coefficients is arbitrary.
+  const Vector pred = a * r.x;
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(pred[i], b[i], 1e-6);
+}
+
+TEST(Lstsq, RejectsBadInputs) {
+  EXPECT_THROW(lstsq(Matrix(), Vector{}), gppm::Error);
+  EXPECT_THROW(lstsq(Matrix(3, 2), Vector{1, 2}), gppm::Error);   // rhs size
+  EXPECT_THROW(lstsq(Matrix(2, 3), Vector{1, 2}), gppm::Error);   // wide
+}
+
+}  // namespace
+}  // namespace gppm::linalg

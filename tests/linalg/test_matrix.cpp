@@ -1,0 +1,104 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  EXPECT_EQ(id(2, 2), 1.0);
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), Error);
+  EXPECT_THROW(m(0, 2), Error);
+}
+
+TEST(Matrix, RowAndColExtraction) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (Vector{3, 6}));
+  EXPECT_THROW(m.row(2), Error);
+  EXPECT_THROW(m.col(3), Error);
+}
+
+TEST(Matrix, SetCol) {
+  Matrix m(2, 2);
+  m.set_col(1, {7, 8});
+  EXPECT_EQ(m(0, 1), 7.0);
+  EXPECT_EQ(m(1, 1), 8.0);
+  EXPECT_THROW(m.set_col(0, {1}), Error);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MatMul) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatMulDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, Error);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a * Vector({1, 1}), (Vector{3, 7}));
+  EXPECT_THROW(a * Vector({1, 1, 1}), Error);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2.5}, {3, 4}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+  Matrix c(1, 2);
+  EXPECT_THROW(a.max_abs_diff(c), Error);
+}
+
+TEST(VectorOps, DotNormSub) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_EQ(sub({3, 4}, {1, 1}), (Vector{2, 3}));
+  EXPECT_THROW(dot({1}, {1, 2}), Error);
+  EXPECT_THROW(sub({1}, {1, 2}), Error);
+}
+
+}  // namespace
+}  // namespace gppm::linalg

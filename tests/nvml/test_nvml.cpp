@@ -1,0 +1,138 @@
+#include "nvml/nvml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/power.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::nvml {
+namespace {
+
+struct Fixture {
+  sim::Gpu gpu{sim::GpuModel::GTX680, 42};
+  Session session;
+  DeviceHandle handle;
+  sim::RunExecution exec;
+
+  Fixture() {
+    handle = session.attach_device(gpu);
+    exec = gpu.run(workload::find_benchmark("hotspot").profile(0));
+    session.begin_run(handle, exec);
+  }
+};
+
+TEST(Nvml, DeviceEnumeration) {
+  sim::Gpu a(sim::GpuModel::GTX285), b(sim::GpuModel::GTX680);
+  Session session;
+  const DeviceHandle ha = session.attach_device(a);
+  const DeviceHandle hb = session.attach_device(b);
+  EXPECT_EQ(session.device_count(), 2u);
+  EXPECT_EQ(session.device_name(ha), "NVIDIA GeForce GTX 285");
+  EXPECT_EQ(session.device_name(hb), "NVIDIA GeForce GTX 680");
+}
+
+TEST(Nvml, InvalidHandleRejected) {
+  Session session;
+  EXPECT_THROW(session.device_name(DeviceHandle{5}), Error);
+}
+
+TEST(Nvml, ClockInfoTracksOperatingPoint) {
+  Fixture f;
+  EXPECT_EQ(f.session.clock_info(f.handle).graphics_mhz, 1411u);
+  EXPECT_EQ(f.session.clock_info(f.handle).memory_mhz, 3004u);
+  f.gpu.set_frequency_pair({sim::ClockLevel::Medium, sim::ClockLevel::Low});
+  EXPECT_EQ(f.session.clock_info(f.handle).graphics_mhz, 1080u);
+  EXPECT_EQ(f.session.clock_info(f.handle).memory_mhz, 324u);
+}
+
+TEST(Nvml, PowerDuringKernelAboveIdle) {
+  Fixture f;
+  // Host setup phase first: idle-ish power.
+  const unsigned setup_mw =
+      f.session.power_usage_mw(f.handle, Duration::seconds(0.0));
+  // Middle of the run: likely inside the kernel.
+  const Duration mid = Duration::seconds(f.exec.total_time.as_seconds() / 2);
+  const unsigned mid_mw = f.session.power_usage_mw(f.handle, mid);
+  EXPECT_GT(mid_mw, setup_mw);
+}
+
+TEST(Nvml, PowerAfterRunIsIdle) {
+  Fixture f;
+  const Duration after =
+      Duration::seconds(f.exec.total_time.as_seconds() + 1.0);
+  const double idle_w =
+      sim::gpu_idle_power(f.gpu.spec(), f.gpu.frequency_pair()).as_watts();
+  EXPECT_NEAR(f.session.power_usage_mw(f.handle, after) / 1000.0, idle_w, 0.01);
+}
+
+TEST(Nvml, UtilizationZeroDuringHostPhases) {
+  Fixture f;
+  const UtilizationRates rates =
+      f.session.utilization(f.handle, Duration::seconds(0.0));
+  EXPECT_EQ(rates.gpu, 0u);
+  EXPECT_EQ(rates.memory, 0u);
+}
+
+TEST(Nvml, UtilizationReportedDuringKernel) {
+  Fixture f;
+  const Duration mid = Duration::seconds(f.exec.total_time.as_seconds() / 2);
+  const UtilizationRates rates = f.session.utilization(f.handle, mid);
+  EXPECT_GT(rates.gpu + rates.memory, 0u);
+  EXPECT_LE(rates.gpu, 100u);
+  EXPECT_LE(rates.memory, 100u);
+}
+
+TEST(Nvml, EnergyCounterMatchesTimelineIntegral) {
+  Fixture f;
+  double joules = 0.0;
+  for (const sim::PowerSegment& seg : f.exec.timeline) {
+    joules += seg.gpu_power.as_watts() * seg.duration.as_seconds();
+  }
+  const std::uint64_t mj = f.session.total_energy_mj(f.handle, f.exec.total_time);
+  EXPECT_NEAR(static_cast<double>(mj) / 1000.0, joules, joules * 1e-6 + 0.01);
+}
+
+TEST(Nvml, EnergyCounterMonotonic) {
+  Fixture f;
+  std::uint64_t prev = 0;
+  for (double t = 0.1; t < f.exec.total_time.as_seconds() + 1.0; t += 0.2) {
+    const std::uint64_t mj =
+        f.session.total_energy_mj(f.handle, Duration::seconds(t));
+    EXPECT_GE(mj, prev);
+    prev = mj;
+  }
+}
+
+TEST(Nvml, SamplerAveragesNearTimelineAverage) {
+  Fixture f;
+  const auto samples =
+      sample_power(f.session, f.handle, f.exec.total_time,
+                   Duration::milliseconds(10.0));
+  EXPECT_GT(samples.size(), 10u);
+  const double avg = average_power(samples).as_watts();
+  const double true_avg =
+      static_cast<double>(f.session.total_energy_mj(f.handle, f.exec.total_time)) /
+      1000.0 / f.exec.total_time.as_seconds();
+  EXPECT_NEAR(avg, true_avg, true_avg * 0.15);
+}
+
+TEST(Nvml, SamplerValidatesArguments) {
+  Fixture f;
+  EXPECT_THROW(sample_power(f.session, f.handle, Duration::seconds(1.0),
+                            Duration::seconds(0.0)),
+               Error);
+  EXPECT_THROW(sample_power(f.session, f.handle, Duration::seconds(0.01),
+                            Duration::seconds(1.0)),
+               Error);
+  EXPECT_THROW(average_power({}), Error);
+}
+
+TEST(Nvml, NegativeTimestampRejected) {
+  Fixture f;
+  EXPECT_THROW(f.session.power_usage_mw(f.handle, Duration::seconds(-1.0)),
+               Error);
+}
+
+}  // namespace
+}  // namespace gppm::nvml

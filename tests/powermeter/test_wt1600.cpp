@@ -1,0 +1,130 @@
+#include "powermeter/wt1600.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::meter {
+namespace {
+
+std::vector<TimelineSegment> constant(double watts, double seconds) {
+  return {{Duration::seconds(seconds), Power::watts(watts)}};
+}
+
+MeterConfig noiseless() {
+  MeterConfig c;
+  c.noise_floor_watts = 0.0;
+  c.noise_fraction = 0.0;
+  c.quantization_watts = 0.0;
+  return c;
+}
+
+TEST(WT1600, SampleCountMatchesFiftyMsGrid) {
+  WT1600 meter(noiseless());
+  const Measurement m = meter.measure(constant(100.0, 0.5));
+  EXPECT_EQ(m.sample_count(), 10u);  // the paper's >= 10 samples rule
+  EXPECT_NEAR(m.duration.as_seconds(), 0.5, 1e-12);
+}
+
+TEST(WT1600, ConstantPowerMeasuredExactlyWithoutNoise) {
+  WT1600 meter(noiseless());
+  const Measurement m = meter.measure(constant(215.5, 1.0));
+  EXPECT_NEAR(m.average_power.as_watts(), 215.5, 1e-9);
+  EXPECT_NEAR(m.energy.as_joules(), 215.5, 1e-6);
+}
+
+TEST(WT1600, WindowAveragesAcrossSegmentBoundaries) {
+  WT1600 meter(noiseless());
+  // 25 ms at 100 W then 25 ms at 300 W inside one 50 ms window -> 200 W.
+  const std::vector<TimelineSegment> timeline = {
+      {Duration::milliseconds(25), Power::watts(100)},
+      {Duration::milliseconds(25), Power::watts(300)},
+  };
+  const Measurement m = meter.measure(timeline);
+  ASSERT_EQ(m.sample_count(), 1u);
+  EXPECT_NEAR(m.samples[0].power.as_watts(), 200.0, 1e-9);
+}
+
+TEST(WT1600, RejectsRunsShorterThanOneSample) {
+  WT1600 meter;
+  EXPECT_THROW(meter.measure(constant(100.0, 0.02)), gppm::Error);
+  EXPECT_THROW(meter.measure({}), gppm::Error);
+}
+
+TEST(WT1600, NoiseAverageIsUnbiased) {
+  MeterConfig cfg;
+  cfg.noise_floor_watts = 1.0;
+  cfg.noise_fraction = 0.01;
+  WT1600 meter(cfg, 5);
+  const Measurement m = meter.measure(constant(200.0, 60.0));  // 1200 samples
+  EXPECT_NEAR(m.average_power.as_watts(), 200.0, 1.0);
+}
+
+TEST(WT1600, QuantizationSnapsReadings) {
+  MeterConfig cfg = noiseless();
+  cfg.quantization_watts = 0.5;
+  WT1600 meter(cfg);
+  const Measurement m = meter.measure(constant(100.26, 0.5));
+  EXPECT_NEAR(m.samples[0].power.as_watts(), 100.5, 1e-12);
+}
+
+TEST(WT1600, SessionsDifferButInstrumentIsSeeded) {
+  MeterConfig cfg;
+  WT1600 a(cfg, 7), b(cfg, 7);
+  const auto ma1 = a.measure(constant(150.0, 1.0));
+  const auto mb1 = b.measure(constant(150.0, 1.0));
+  // Same seed, same session index -> identical readings.
+  EXPECT_DOUBLE_EQ(ma1.average_power.as_watts(), mb1.average_power.as_watts());
+  // Next session on the same instrument differs (fresh noise draw).
+  const auto ma2 = a.measure(constant(150.0, 1.0));
+  EXPECT_NE(ma1.average_power.as_watts(), ma2.average_power.as_watts());
+}
+
+TEST(WT1600, IntegrateIsExact) {
+  const std::vector<TimelineSegment> timeline = {
+      {Duration::seconds(2.0), Power::watts(100)},
+      {Duration::seconds(1.0), Power::watts(50)},
+  };
+  EXPECT_DOUBLE_EQ(WT1600::integrate(timeline).as_joules(), 250.0);
+  EXPECT_DOUBLE_EQ(WT1600::total_duration(timeline).as_seconds(), 3.0);
+}
+
+TEST(WT1600, EnergyAccumulationMatchesIntegralOnGridAlignedRuns) {
+  WT1600 meter(noiseless());
+  const std::vector<TimelineSegment> timeline = {
+      {Duration::seconds(0.5), Power::watts(100)},
+      {Duration::seconds(0.5), Power::watts(300)},
+  };
+  const Measurement m = meter.measure(timeline);
+  EXPECT_NEAR(m.energy.as_joules(), WT1600::integrate(timeline).as_joules(),
+              1e-6);
+}
+
+TEST(WT1600, TailShorterThanWindowIsDropped) {
+  WT1600 meter(noiseless());
+  // 0.52 s -> 10 full windows, 20 ms tail discarded by the instrument.
+  const Measurement m = meter.measure(constant(100.0, 0.52));
+  EXPECT_EQ(m.sample_count(), 10u);
+  EXPECT_NEAR(m.duration.as_seconds(), 0.5, 1e-12);
+}
+
+TEST(WT1600, ConfigValidation) {
+  MeterConfig cfg;
+  cfg.sampling_period = Duration::seconds(0.0);
+  EXPECT_THROW(WT1600 m(cfg), gppm::Error);
+  cfg = MeterConfig{};
+  cfg.noise_floor_watts = -1.0;
+  EXPECT_THROW(WT1600 m(cfg), gppm::Error);
+}
+
+TEST(WT1600, SampleTimestampsAreMonotonic) {
+  WT1600 meter;
+  const Measurement m = meter.measure(constant(100.0, 1.0));
+  for (std::size_t i = 1; i < m.samples.size(); ++i) {
+    EXPECT_GT(m.samples[i].timestamp.as_seconds(),
+              m.samples[i - 1].timestamp.as_seconds());
+  }
+}
+
+}  // namespace
+}  // namespace gppm::meter

@@ -1,0 +1,121 @@
+#include "profiler/cuda_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::profiler {
+namespace {
+
+sim::RunProfile small_run(const std::string& name = "hotspot") {
+  return workload::find_benchmark(name).profile(0);
+}
+
+TEST(CudaProfiler, UnsupportedSetMatchesPaper) {
+  const auto& list = CudaProfiler::unsupported_benchmarks();
+  EXPECT_EQ(list.size(), 4u);
+  for (const char* name : {"mummergpu", "backprop", "pathfinder", "bfs"}) {
+    EXPECT_FALSE(CudaProfiler::supports(name)) << name;
+  }
+  EXPECT_TRUE(CudaProfiler::supports("hotspot"));
+}
+
+TEST(CudaProfiler, ThrowsOnUnsupportedBenchmark) {
+  sim::Gpu gpu(sim::GpuModel::GTX480);
+  CudaProfiler prof;
+  EXPECT_THROW(prof.collect(gpu, small_run("backprop")), ProfilerUnsupported);
+}
+
+TEST(CudaProfiler, CollectsFullCatalog) {
+  sim::Gpu gpu(sim::GpuModel::GTX680);
+  CudaProfiler prof;
+  const ProfileResult r = prof.collect(gpu, small_run());
+  EXPECT_EQ(r.counters.size(), 108u);
+  EXPECT_GT(r.run_time.as_seconds(), 0.0);
+}
+
+TEST(CudaProfiler, CatalogOrderPreserved) {
+  sim::Gpu gpu(sim::GpuModel::GTX460);
+  CudaProfiler prof;
+  const ProfileResult r = prof.collect(gpu, small_run());
+  const auto& catalog = counter_catalog(sim::Architecture::Fermi);
+  ASSERT_EQ(r.counters.size(), catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(r.counters[i].name, catalog[i].name);
+    EXPECT_EQ(r.counters[i].klass, catalog[i].klass);
+  }
+}
+
+TEST(CudaProfiler, PerSecondConsistentWithTotals) {
+  sim::Gpu gpu(sim::GpuModel::GTX480);
+  CudaProfiler prof;
+  const ProfileResult r = prof.collect(gpu, small_run());
+  for (const CounterReading& c : r.counters) {
+    EXPECT_NEAR(c.per_second * r.run_time.as_seconds(), c.total,
+                1e-6 * std::max(1.0, c.total))
+        << c.name;
+  }
+}
+
+TEST(CudaProfiler, ReadingsAreIntegerTotals) {
+  sim::Gpu gpu(sim::GpuModel::GTX285);
+  CudaProfiler prof;
+  const ProfileResult r = prof.collect(gpu, small_run());
+  for (const CounterReading& c : r.counters) {
+    EXPECT_EQ(c.total, std::round(c.total)) << c.name;
+    EXPECT_GE(c.total, 0.0) << c.name;
+  }
+}
+
+TEST(CudaProfiler, DeterministicGivenSeed) {
+  sim::Gpu gpu(sim::GpuModel::GTX480);
+  CudaProfiler a(11), b(11);
+  const auto ra = a.collect(gpu, small_run());
+  const auto rb = b.collect(gpu, small_run());
+  for (std::size_t i = 0; i < ra.counters.size(); ++i) {
+    EXPECT_EQ(ra.counters[i].total, rb.counters[i].total);
+  }
+}
+
+TEST(CudaProfiler, SamplingErrorBoundedAndPresent) {
+  // With sigma = 5%, observed totals should sit near truth but not exactly
+  // on it for large counters.
+  sim::Gpu gpu(sim::GpuModel::GTX480);
+  CudaProfiler prof;
+  const sim::RunProfile run = small_run();
+  const sim::RunExecution exec = gpu.run(run);
+  const ProfileResult r = prof.collect(gpu, run);
+  const auto& catalog = counter_catalog(sim::Architecture::Fermi);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const double truth = catalog[i].extract(exec.events);
+    if (truth < 1000.0) continue;
+    EXPECT_NEAR(r.counters[i].total, truth, truth * 0.30) << catalog[i].name;
+    if (std::abs(r.counters[i].total - truth) > 0.5) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(CudaProfiler, ZeroSigmaReproducesTruthExactly) {
+  sim::Gpu gpu(sim::GpuModel::GTX480);
+  CudaProfiler prof;
+  prof.set_sampling_sigma(0.0);
+  const sim::RunProfile run = small_run();
+  const sim::RunExecution exec = gpu.run(run);
+  const ProfileResult r = prof.collect(gpu, run);
+  const auto& catalog = counter_catalog(sim::Architecture::Fermi);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(r.counters[i].total, std::round(catalog[i].extract(exec.events)));
+  }
+}
+
+TEST(CudaProfiler, RejectsNegativeSigma) {
+  CudaProfiler prof;
+  EXPECT_THROW(prof.set_sampling_sigma(-0.1), gppm::Error);
+}
+
+}  // namespace
+}  // namespace gppm::profiler

@@ -1,0 +1,89 @@
+#include "stats/descriptive.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::stats {
+namespace {
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({-1, 1}), 0.0);
+  EXPECT_THROW(mean({}), gppm::Error);
+}
+
+TEST(Descriptive, VarianceAndStddev) {
+  // Sample variance of {2,4,4,4,5,5,7,9} is 32/7.
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_THROW(variance({1.0}), gppm::Error);
+}
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3.0);
+  EXPECT_THROW(min_of({}), gppm::Error);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(Descriptive, QuantileValidatesInput) {
+  EXPECT_THROW(quantile({}, 0.5), gppm::Error);
+  EXPECT_THROW(quantile({1.0}, 1.5), gppm::Error);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Descriptive, FiveNumberBasics) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const FiveNumber f = five_number(v);
+  EXPECT_NEAR(f.median, 50.5, 1e-9);
+  EXPECT_NEAR(f.q1, 25.75, 1e-9);
+  EXPECT_NEAR(f.q3, 75.25, 1e-9);
+  // No outliers: whiskers reach the extremes.
+  EXPECT_DOUBLE_EQ(f.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(f.whisker_hi, 100.0);
+}
+
+TEST(Descriptive, FiveNumberExcludesOutliersFromWhiskers) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1000};
+  const FiveNumber f = five_number(v);
+  EXPECT_LT(f.whisker_hi, 1000.0);  // the outlier is beyond the fence
+  EXPECT_GE(f.whisker_hi, f.q3);
+}
+
+TEST(Descriptive, FiveNumberOrdering) {
+  const std::vector<double> v{9, 3, 7, 1, 5, 8, 2};
+  const FiveNumber f = five_number(v);
+  EXPECT_LE(f.whisker_lo, f.q1);
+  EXPECT_LE(f.q1, f.median);
+  EXPECT_LE(f.median, f.q3);
+  EXPECT_LE(f.q3, f.whisker_hi);
+}
+
+TEST(Descriptive, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonValidates) {
+  EXPECT_THROW(pearson({1, 2}, {1}), gppm::Error);
+  EXPECT_THROW(pearson({1, 1}, {1, 2}), gppm::Error);  // constant series
+}
+
+}  // namespace
+}  // namespace gppm::stats

@@ -1,0 +1,133 @@
+#include "stats/forward_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gppm::stats {
+namespace {
+
+/// 60 samples, 8 candidates of which columns 2 and 5 generate y.
+struct Problem {
+  linalg::Matrix x;
+  linalg::Vector y;
+};
+
+Problem make_problem(double noise_sigma) {
+  gppm::Rng rng(17);
+  const std::size_t n = 60, p = 8;
+  Problem prob{linalg::Matrix(n, p), linalg::Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) prob.x(i, j) = rng.normal();
+    prob.y[i] = 4.0 * prob.x(i, 2) - 3.0 * prob.x(i, 5) +
+                rng.normal(0.0, noise_sigma);
+  }
+  return prob;
+}
+
+TEST(ForwardSelection, FindsTruePredictorsFirst) {
+  const Problem prob = make_problem(0.05);
+  SelectionOptions opt;
+  opt.max_variables = 2;
+  const SelectionResult result = forward_select(prob.x, prob.y, opt);
+  ASSERT_EQ(result.selected.size(), 2u);
+  std::vector<std::size_t> sorted = result.selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{2, 5}));
+  EXPECT_GT(result.fit.adjusted_r_squared, 0.99);
+}
+
+TEST(ForwardSelection, RespectsVariableCap) {
+  const Problem prob = make_problem(1.0);
+  SelectionOptions opt;
+  opt.max_variables = 3;
+  const SelectionResult result = forward_select(prob.x, prob.y, opt);
+  EXPECT_LE(result.selected.size(), 3u);
+}
+
+TEST(ForwardSelection, R2TraceIsNonDecreasing) {
+  const Problem prob = make_problem(0.5);
+  SelectionOptions opt;
+  opt.max_variables = 6;
+  const SelectionResult result = forward_select(prob.x, prob.y, opt);
+  for (std::size_t i = 1; i < result.r2_trace.size(); ++i) {
+    EXPECT_GE(result.r2_trace[i], result.r2_trace[i - 1] - 1e-12);
+  }
+  EXPECT_EQ(result.r2_trace.size(), result.selected.size());
+}
+
+TEST(ForwardSelection, StopsWhenNothingImproves) {
+  // y depends on one column only; selection should stop well before the cap
+  // because further variables cannot improve adjusted R^2.
+  gppm::Rng rng(7);
+  const std::size_t n = 80;
+  linalg::Matrix x(n, 6);
+  linalg::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) x(i, j) = rng.normal();
+    y[i] = 2.0 * x(i, 0);  // exact, single-variable
+  }
+  SelectionOptions opt;
+  opt.max_variables = 6;
+  const SelectionResult result = forward_select(x, y, opt);
+  EXPECT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], 0u);
+}
+
+TEST(ForwardSelection, SkipsConstantColumns) {
+  gppm::Rng rng(9);
+  const std::size_t n = 30;
+  linalg::Matrix x(n, 3);
+  linalg::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = 5.0;  // constant (like prof_trigger counters)
+    x(i, 1) = rng.normal();
+    x(i, 2) = rng.normal();
+    y[i] = x(i, 1) + 0.1 * rng.normal();
+  }
+  const SelectionResult result = forward_select(x, y);
+  for (std::size_t c : result.selected) EXPECT_NE(c, 0u);
+}
+
+TEST(ForwardSelection, SkipsCollinearCandidates) {
+  gppm::Rng rng(21);
+  const std::size_t n = 40;
+  linalg::Matrix x(n, 3);
+  linalg::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = 2.0 * x(i, 0);  // exact copy (scaled)
+    x(i, 2) = rng.normal();
+    y[i] = x(i, 0) + x(i, 2);
+  }
+  SelectionOptions opt;
+  opt.max_variables = 3;
+  const SelectionResult result = forward_select(x, y, opt);
+  // Both of {0,1} cannot be selected together.
+  const bool has0 = std::count(result.selected.begin(), result.selected.end(), 0u);
+  const bool has1 = std::count(result.selected.begin(), result.selected.end(), 1u);
+  EXPECT_FALSE(has0 && has1);
+}
+
+TEST(ForwardSelection, ValidatesInputs) {
+  linalg::Matrix x(10, 2);
+  EXPECT_THROW(forward_select(x, linalg::Vector(5)), gppm::Error);
+  SelectionOptions opt;
+  opt.max_variables = 0;
+  EXPECT_THROW(forward_select(x, linalg::Vector(10), opt), gppm::Error);
+}
+
+TEST(GatherColumns, ExtractsRequestedColumns) {
+  linalg::Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const linalg::Matrix g = gather_columns(m, {2, 0});
+  EXPECT_EQ(g.cols(), 2u);
+  EXPECT_EQ(g(0, 0), 3.0);
+  EXPECT_EQ(g(1, 1), 4.0);
+  EXPECT_THROW(gather_columns(m, {5}), gppm::Error);
+}
+
+}  // namespace
+}  // namespace gppm::stats

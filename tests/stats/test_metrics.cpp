@@ -1,0 +1,48 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::stats {
+namespace {
+
+TEST(Metrics, MapeKnownValue) {
+  // Errors: 10% and 20% -> mean 15%.
+  EXPECT_NEAR(mape({100, 100}, {110, 80}), 15.0, 1e-12);
+}
+
+TEST(Metrics, MapeZeroForPerfectPrediction) {
+  EXPECT_DOUBLE_EQ(mape({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(Metrics, MaeKnownValue) {
+  EXPECT_DOUBLE_EQ(mae({10, 20}, {12, 16}), 3.0);
+}
+
+TEST(Metrics, SignedErrorsKeepDirection) {
+  const auto errs = signed_percentage_errors({100, 200}, {110, 180});
+  EXPECT_NEAR(errs[0], 10.0, 1e-12);
+  EXPECT_NEAR(errs[1], -10.0, 1e-12);
+}
+
+TEST(Metrics, AbsoluteErrorsAreNonNegative) {
+  const auto errs = absolute_percentage_errors({100, 200}, {90, 260});
+  EXPECT_NEAR(errs[0], 10.0, 1e-12);
+  EXPECT_NEAR(errs[1], 30.0, 1e-12);
+}
+
+TEST(Metrics, NegativeActualUsesMagnitude) {
+  const auto errs = signed_percentage_errors({-100}, {-90});
+  EXPECT_NEAR(errs[0], 10.0, 1e-12);
+}
+
+TEST(Metrics, ValidatesInputs) {
+  EXPECT_THROW(mape({1, 2}, {1}), gppm::Error);
+  EXPECT_THROW(mape({}, {}), gppm::Error);
+  EXPECT_THROW(mape({0.0}, {1.0}), gppm::Error);  // zero actual
+  EXPECT_THROW(mae({1}, {}), gppm::Error);
+}
+
+}  // namespace
+}  // namespace gppm::stats

@@ -1,0 +1,98 @@
+#include "stats/ols.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gppm::stats {
+namespace {
+
+TEST(Ols, RecoversExactLinearModel) {
+  linalg::Matrix x(10, 2);
+  linalg::Vector y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = static_cast<double>(i * i);
+    y[i] = 5.0 + 2.0 * x(i, 0) - 0.5 * x(i, 1);
+  }
+  const OlsFit fit = ols_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -0.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.adjusted_r_squared, 1.0, 1e-12);
+}
+
+TEST(Ols, PredictMatchesManualEvaluation) {
+  linalg::Matrix x{{1, 2}, {2, 1}, {3, 3}, {0, 1}};
+  const linalg::Vector y{4, 5, 9, 1};
+  const OlsFit fit = ols_fit(x, y);
+  const double pred = fit.predict({2.0, 2.0});
+  EXPECT_NEAR(pred,
+              fit.intercept + 2.0 * fit.coefficients[0] + 2.0 * fit.coefficients[1],
+              1e-12);
+}
+
+TEST(Ols, PredictValidatesFeatureCount) {
+  linalg::Matrix x{{1}, {2}, {3}};
+  const OlsFit fit = ols_fit(x, {1, 2, 3});
+  EXPECT_THROW(fit.predict({1.0, 2.0}), gppm::Error);
+}
+
+TEST(Ols, AdjustedR2BelowR2WithUselessPredictors) {
+  gppm::Rng rng(3);
+  const std::size_t n = 40;
+  linalg::Matrix x(n, 3);
+  linalg::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = rng.normal();  // noise predictors
+    x(i, 2) = rng.normal();
+    y[i] = 1.0 + 0.5 * x(i, 0) + rng.normal(0.0, 2.0);
+  }
+  const OlsFit fit = ols_fit(x, y);
+  EXPECT_LT(fit.adjusted_r_squared, fit.r_squared);
+  EXPECT_GT(fit.r_squared, 0.5);
+}
+
+TEST(Ols, NoInterceptFitsThroughOrigin) {
+  linalg::Matrix x(5, 1);
+  linalg::Vector y(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    x(i, 0) = static_cast<double>(i + 1);
+    y[i] = 3.0 * x(i, 0);
+  }
+  const OlsFit fit = ols_fit(x, y, /*fit_intercept=*/false);
+  EXPECT_EQ(fit.intercept, 0.0);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-12);
+}
+
+TEST(Ols, RejectsUnderdeterminedProblems) {
+  linalg::Matrix x(3, 3);  // 3 samples, 3 predictors + intercept = 4 params
+  EXPECT_THROW(ols_fit(x, {1, 2, 3}), gppm::Error);
+}
+
+TEST(Ols, RejectsRowMismatch) {
+  EXPECT_THROW(ols_fit(linalg::Matrix(4, 1), {1, 2, 3}), gppm::Error);
+}
+
+TEST(Ols, ConstantTargetGivesPerfectFit) {
+  linalg::Matrix x{{1}, {2}, {3}, {4}};
+  const OlsFit fit = ols_fit(x, {7, 7, 7, 7});
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict({10.0}), 7.0, 1e-9);
+}
+
+TEST(Ols, FlagsCollinearDesign) {
+  linalg::Matrix x(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 2.0 * static_cast<double>(i);
+  }
+  const OlsFit fit = ols_fit(x, {0, 2, 4, 6, 8, 10});
+  EXPECT_FALSE(fit.full_rank);
+}
+
+}  // namespace
+}  // namespace gppm::stats

@@ -1,0 +1,71 @@
+#include "workload/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/timing.hpp"
+
+namespace gppm::workload {
+namespace {
+
+sim::KernelProfile base_kernel() {
+  sim::KernelProfile k;
+  k.name = "k";
+  k.blocks = 1000;
+  k.threads_per_block = 256;
+  k.flops_sp_per_thread = 100.0;
+  k.global_load_bytes_per_thread = 8.0;
+  return k;
+}
+
+TEST(Kernels, ScaleGridMultipliesBlocks) {
+  const auto k = scale_grid(base_kernel(), 4.0);
+  EXPECT_EQ(k.blocks, 4000u);
+}
+
+TEST(Kernels, ScaleGridRoundsAndFloorsAtOne) {
+  auto k = base_kernel();
+  k.blocks = 1;
+  EXPECT_EQ(scale_grid(k, 0.1).blocks, 1u);
+  EXPECT_THROW(scale_grid(k, 0.0), gppm::Error);
+}
+
+TEST(Kernels, ScaleLaunches) {
+  auto k = base_kernel();
+  k.launches = 10;
+  EXPECT_EQ(scale_launches(k, 2.5).launches, 25u);
+  EXPECT_THROW(scale_launches(k, -1.0), gppm::Error);
+}
+
+TEST(Kernels, BalanceLaunchesHitsTargetOnReferenceBoard) {
+  const double target = 0.8;
+  const auto k = balance_launches(base_kernel(), target);
+  const sim::DeviceSpec& ref = sim::device_spec(sim::GpuModel::GTX480);
+  const auto t = sim::compute_kernel_timing(ref, k, sim::kDefaultPair);
+  // Launch count quantization bounds the error to one launch either way.
+  const double per_launch = t.total_time.as_seconds() / k.launches;
+  EXPECT_NEAR(t.total_time.as_seconds(), target, per_launch + 1e-9);
+}
+
+TEST(Kernels, BalanceLaunchesAtLeastOne) {
+  const auto k = balance_launches(base_kernel(), 1e-9);
+  EXPECT_GE(k.launches, 1u);
+}
+
+TEST(Kernels, BalanceLaunchesRejectsNonPositiveTarget) {
+  EXPECT_THROW(balance_launches(base_kernel(), 0.0), gppm::Error);
+}
+
+TEST(Kernels, BalanceLaunchesCapped) {
+  // A microscopic kernel cannot blow up the launch count unboundedly.
+  auto k = base_kernel();
+  k.blocks = 1;
+  k.threads_per_block = 32;
+  k.flops_sp_per_thread = 1.0;
+  k.global_load_bytes_per_thread = 0.5;
+  const auto balanced = balance_launches(k, 3600.0);
+  EXPECT_LE(balanced.launches, 200000u);
+}
+
+}  // namespace
+}  // namespace gppm::workload

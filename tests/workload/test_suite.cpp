@@ -1,0 +1,77 @@
+// Validates the benchmark suite against paper TABLE II and the modeling
+// corpus size (114 samples over the profiler-supported programs).
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "profiler/cuda_profiler.hpp"
+
+namespace gppm::workload {
+namespace {
+
+TEST(Suite, ThirtySevenBenchmarks) {
+  EXPECT_EQ(benchmark_suite().size(), 37u);
+}
+
+TEST(Suite, SuiteCompositionMatchesTableTwo) {
+  std::map<Suite, int> counts;
+  for (const BenchmarkDef& def : benchmark_suite()) counts[def.suite]++;
+  EXPECT_EQ(counts[Suite::Rodinia], 18);
+  EXPECT_EQ(counts[Suite::Parboil], 10);
+  EXPECT_EQ(counts[Suite::CudaSdk], 6);
+  EXPECT_EQ(counts[Suite::Matrix], 3);
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const BenchmarkDef& def : benchmark_suite()) {
+    EXPECT_TRUE(names.insert(def.name).second) << def.name;
+  }
+}
+
+TEST(Suite, TableTwoProgramsPresent) {
+  for (const char* name :
+       {"backprop", "bfs", "cfd", "gaussian", "heartwall", "hotspot", "kmeans",
+        "lavaMD", "leukocyte", "mummergpu", "lud", "nn", "nw",
+        "particlefilter_float", "pathfinder", "srad_v1", "srad_v2",
+        "streamcluster", "cutcp", "histo", "lbm", "mri-gridding", "mri-q",
+        "sad", "sgemm", "spmv", "stencil", "tpacf", "binomialOptions",
+        "BlackScholes", "concurrentKernels", "histogram64", "histogram256",
+        "MersenneTwister", "MAdd", "MMul", "MTranspose"}) {
+    EXPECT_NO_THROW(find_benchmark(name)) << name;
+  }
+}
+
+TEST(Suite, FindUnknownThrows) {
+  EXPECT_THROW(find_benchmark("nonexistent"), gppm::Error);
+}
+
+TEST(Suite, ModelingCorpusHas114Samples) {
+  // The paper: 114 samples across the profiler-supported programs.
+  std::vector<BenchmarkDef> supported;
+  for (const BenchmarkDef& def : benchmark_suite()) {
+    if (profiler::CudaProfiler::supports(def.name)) supported.push_back(def);
+  }
+  EXPECT_EQ(supported.size(), 33u);
+  EXPECT_EQ(total_samples(supported), 114u);
+}
+
+TEST(Suite, EverySizeCountPositiveAndSmall) {
+  for (const BenchmarkDef& def : benchmark_suite()) {
+    EXPECT_GE(def.size_count, 3u) << def.name;
+    EXPECT_LE(def.size_count, 4u) << def.name;
+  }
+}
+
+TEST(Suite, ToStringCoversAllSuites) {
+  EXPECT_EQ(to_string(Suite::Rodinia), "Rodinia");
+  EXPECT_EQ(to_string(Suite::Parboil), "Parboil");
+  EXPECT_EQ(to_string(Suite::CudaSdk), "CUDA SDK");
+  EXPECT_EQ(to_string(Suite::Matrix), "Matrix");
+}
+
+}  // namespace
+}  // namespace gppm::workload

@@ -1,0 +1,43 @@
+// Calibration tool: prints the characterization headlines (Figs. 1-4
+// showcase sweeps and the suite-wide Fig. 4 aggregates) for tuning the
+// device-spec calibration parameters against the paper's numbers.
+// Not part of the reproduction suite; see bench/ for the real artifacts.
+#include <cstdio>
+#include "core/characterization.hpp"
+#include "workload/suite.hpp"
+#include "stats/descriptive.hpp"
+using namespace gppm;
+
+int main() {
+  for (const char* name : {"backprop", "streamcluster", "gaussian"}) {
+    std::printf("=== %s ===\n", name);
+    const auto& def = workload::find_benchmark(name);
+    for (sim::GpuModel m : sim::kAllGpus) {
+      core::RunnerOptions opt; opt.seed = 42;
+      core::MeasurementRunner runner(m, opt);
+      auto sweep = core::sweep_pairs(runner, def, def.size_count - 1);
+      std::printf("%s: best=%s improve=%.1f%% perf_loss=%.1f%%\n",
+                  sim::to_string(m).c_str(), sim::to_string(sweep.best_pair()).c_str(),
+                  sweep.improvement_percent(), sweep.performance_loss_percent());
+      for (auto& r : sweep.results) {
+        std::printf("   %s t=%.3fs P=%.1fW E=%.1fJ relperf=%.3f releff=%.3f\n",
+          sim::to_string(r.measurement.pair).c_str(), r.measurement.exec_time.as_seconds(),
+          r.measurement.avg_power.as_watts(), r.measurement.energy.as_joules(),
+          r.relative_performance, r.relative_efficiency);
+      }
+    }
+  }
+  std::printf("=== suite-wide Fig.4 ===\n");
+  auto rows = core::characterize_suite(42);
+  for (size_t g = 0; g < sim::kAllGpus.size(); ++g) {
+    std::vector<double> imps; int nondefault = 0;
+    for (auto& row : rows) {
+      imps.push_back(row.improvement[g]);
+      if (!(row.best[g] == sim::kDefaultPair)) nondefault++;
+    }
+    std::printf("%s: avg improvement=%.1f%% max=%.1f%% nondefault=%d/%zu\n",
+                sim::to_string(sim::kAllGpus[g]).c_str(), stats::mean(imps),
+                stats::max_of(imps), nondefault, rows.size());
+  }
+  return 0;
+}

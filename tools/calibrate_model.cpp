@@ -1,0 +1,26 @@
+// Calibration tool: fits the unified models on every board and prints
+// adjusted R^2 and error tables (TABLEs V-VIII headlines) for tuning the
+// noise parameters.  Not part of the reproduction suite; see bench/.
+#include <cstdio>
+#include "core/dataset.hpp"
+#include "core/unified_model.hpp"
+#include "core/evaluation.hpp"
+using namespace gppm;
+
+int main() {
+  for (sim::GpuModel m : sim::kAllGpus) {
+    core::Dataset ds = core::build_dataset(m);
+    core::UnifiedModel pw = core::UnifiedModel::fit(ds, core::TargetKind::Power);
+    core::UnifiedModel pf = core::UnifiedModel::fit(ds, core::TargetKind::ExecTime);
+    auto ew = core::evaluate(pw, ds);
+    auto ef = core::evaluate(pf, ds);
+    std::printf("%s: samples=%zu rows=%zu\n", sim::to_string(m).c_str(),
+                ds.samples.size(), ds.row_count());
+    std::printf("  power: R2=%.2f err=%.1f%% err=%.1fW  vars:", pw.adjusted_r2(), ew.mape(), ew.mean_abs_error());
+    for (auto& v : pw.variables()) std::printf(" %s", v.counter.c_str());
+    std::printf("\n  perf : R2=%.2f err=%.1f%%  vars:", pf.adjusted_r2(), ef.mape());
+    for (auto& v : pf.variables()) std::printf(" %s", v.counter.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

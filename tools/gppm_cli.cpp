@@ -1,0 +1,322 @@
+// gppm command-line interface.
+//
+// Everything the library offers, driveable from a shell:
+//
+//   gppm specs                          TABLE I device registry
+//   gppm pairs <gpu>                    configurable pairs of a board
+//   gppm benchmarks                     the 37-program suite
+//   gppm sweep <gpu> <benchmark>        per-pair measurement sweep
+//   gppm fit <gpu> <power|exectime> [--out FILE] [--v2f] [--baseline]
+//                                       build the 114-sample corpus, fit a
+//                                       unified model, optionally save it
+//   gppm predict <model-file> <benchmark> [size]
+//                                       load a model, profile the workload,
+//                                       predict every configurable pair
+//   gppm governor <gpu> <bench> [bench...]
+//                                       run the phase-level DVFS governor
+//
+// GPU names: gtx285, gtx460, gtx480, gtx680.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/characterization.hpp"
+#include "core/evaluation.hpp"
+#include "core/governor.hpp"
+#include "core/serialization.hpp"
+#include "dvfs/combos.hpp"
+#include "kernelir/programs.hpp"
+#include "kernelir/trace.hpp"
+#include "profiler/cuda_profiler.hpp"
+#include "workload/suite.hpp"
+
+using namespace gppm;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  gppm specs\n"
+         "  gppm pairs <gpu>\n"
+         "  gppm counters <gpu>\n"
+         "  gppm trace <ir-program>\n"
+         "  gppm benchmarks\n"
+         "  gppm sweep <gpu> <benchmark>\n"
+         "  gppm fit <gpu> <power|exectime> [--out FILE] [--v2f] [--baseline]\n"
+         "  gppm predict <model-file> <benchmark> [size-index]\n"
+         "  gppm governor <gpu> <benchmark> [benchmark...]\n"
+         "gpus: gtx285 gtx460 gtx480 gtx680\n";
+  return 2;
+}
+
+sim::GpuModel parse_gpu(const std::string& name) {
+  if (name == "gtx285") return sim::GpuModel::GTX285;
+  if (name == "gtx460") return sim::GpuModel::GTX460;
+  if (name == "gtx480") return sim::GpuModel::GTX480;
+  if (name == "gtx680") return sim::GpuModel::GTX680;
+  throw Error("unknown GPU '" + name + "' (expected gtx285/460/480/680)");
+}
+
+int cmd_specs() {
+  AsciiTable table({"GPU", "arch", "cores", "GFLOPS", "GB/s", "TDP W",
+                    "counters"});
+  for (sim::GpuModel m : sim::kAllGpus) {
+    const sim::DeviceSpec& s = sim::device_spec(m);
+    table.add_row({sim::to_string(m), sim::to_string(s.architecture),
+                   std::to_string(s.cuda_cores), format_double(s.peak_gflops, 0),
+                   format_double(s.mem_bandwidth_gbps, 1),
+                   format_double(s.tdp.as_watts(), 0),
+                   std::to_string(s.performance_counter_count)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_pairs(const std::string& gpu) {
+  const sim::GpuModel model = parse_gpu(gpu);
+  const sim::DeviceSpec& spec = sim::device_spec(model);
+  AsciiTable table({"pair", "core MHz", "mem MHz"});
+  for (sim::FrequencyPair p : dvfs::configurable_pairs(model)) {
+    table.add_row({sim::to_string(p),
+                   format_double(spec.core_clock.at(p.core).frequency.as_mhz(), 0),
+                   format_double(spec.mem_clock.at(p.mem).frequency.as_mhz(), 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_counters(const std::string& gpu) {
+  const sim::GpuModel model = parse_gpu(gpu);
+  const auto& catalog =
+      profiler::counter_catalog(sim::device_spec(model).architecture);
+  AsciiTable table({"#", "counter", "class"});
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    table.add_row({std::to_string(i), catalog[i].name,
+                   profiler::to_string(catalog[i].klass)});
+  }
+  table.print(std::cout);
+  std::cout << catalog.size() << " counters ("
+            << sim::to_string(sim::device_spec(model).architecture) << ")\n";
+  return 0;
+}
+
+int cmd_trace(const std::string& which) {
+  ir::Program program;
+  if (which == "vector_add") {
+    program = ir::vector_add(1 << 22);
+  } else if (which == "matmul") {
+    program = ir::matrix_mul_tiled(1024);
+  } else if (which == "transpose") {
+    program = ir::transpose_naive(2048);
+  } else if (which == "stencil") {
+    program = ir::stencil5(1 << 20, 8);
+  } else if (which == "histogram") {
+    program = ir::histogram_shared(8, 32);
+  } else if (which == "pointer_chase") {
+    program = ir::pointer_chase(1 << 20, 32, 0.4);
+  } else {
+    throw Error("unknown IR program '" + which +
+                "' (vector_add, matmul, transpose, stencil, histogram, "
+                "pointer_chase)");
+  }
+  const ir::TraceStats s = ir::trace_block(program);
+  AsciiTable table({"quantity", "measured (per thread)"});
+  table.add_row({"FLOPs", format_double(s.flops, 1)});
+  table.add_row({"int ops", format_double(s.int_ops, 1)});
+  table.add_row({"SFU ops", format_double(s.special_ops, 1)});
+  table.add_row({"shared ops", format_double(s.shared_ops, 1)});
+  table.add_row({"global load bytes", format_double(s.global_load_bytes, 1)});
+  table.add_row({"global store bytes", format_double(s.global_store_bytes, 1)});
+  table.add_row({"coalescing", format_double(s.coalescing, 3)});
+  table.add_row({"locality", format_double(s.locality, 3)});
+  table.add_row({"bank-conflict replay", format_double(s.bank_conflict, 2)});
+  table.add_row({"divergence factor", format_double(s.divergence, 2)});
+  table.add_row({"barriers", format_double(s.syncs, 1)});
+  std::cout << "traced " << program.name << " ("
+            << program.threads_per_block << " threads x "
+            << program.iterations << " iterations, one block)\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_benchmarks() {
+  AsciiTable table({"benchmark", "suite", "input sizes", "profiler"});
+  for (const workload::BenchmarkDef& def : workload::benchmark_suite()) {
+    table.add_row({def.name, workload::to_string(def.suite),
+                   std::to_string(def.size_count),
+                   profiler::CudaProfiler::supports(def.name) ? "ok"
+                                                              : "unsupported"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const std::string& gpu, const std::string& bench_name) {
+  const sim::GpuModel model = parse_gpu(gpu);
+  const workload::BenchmarkDef& bench = workload::find_benchmark(bench_name);
+  core::MeasurementRunner runner(model);
+  const core::Sweep sweep =
+      core::sweep_pairs(runner, bench, bench.size_count - 1);
+
+  AsciiTable table({"pair", "time s", "power W", "energy J", "rel perf",
+                    "rel eff"});
+  for (const core::PairResult& r : sweep.results) {
+    table.add_row({sim::to_string(r.measurement.pair),
+                   format_double(r.measurement.exec_time.as_seconds(), 3),
+                   format_double(r.measurement.avg_power.as_watts(), 1),
+                   format_double(r.measurement.energy.as_joules(), 1),
+                   format_double(r.relative_performance, 3),
+                   format_double(r.relative_efficiency, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "best pair " << sim::to_string(sweep.best_pair())
+            << ", efficiency +" << format_double(sweep.improvement_percent(), 1)
+            << "%, performance -"
+            << format_double(sweep.performance_loss_percent(), 1) << "%\n";
+  return 0;
+}
+
+int cmd_fit(int argc, char** argv) {
+  // gppm fit <gpu> <target> [--out FILE] [--v2f] [--baseline]
+  if (argc < 4) return usage();
+  const sim::GpuModel model = parse_gpu(argv[2]);
+  const std::string target_name = argv[3];
+  if (target_name != "power" && target_name != "exectime") return usage();
+  const core::TargetKind target = target_name == "power"
+                                      ? core::TargetKind::Power
+                                      : core::TargetKind::ExecTime;
+  core::ModelOptions opt;
+  std::string out_file;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_file = argv[++i];
+    } else if (arg == "--v2f") {
+      opt.scaling = core::FeatureScaling::VoltageSquaredFrequency;
+    } else if (arg == "--baseline") {
+      opt.include_baseline_terms = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::cout << "building corpus for " << sim::to_string(model) << "...\n";
+  const core::Dataset ds = core::build_dataset(model);
+  const core::UnifiedModel fitted = core::UnifiedModel::fit(ds, target, opt);
+  const core::Evaluation eval = core::evaluate(fitted, ds);
+
+  std::cout << "adjusted R^2 " << format_double(fitted.adjusted_r2(), 3)
+            << ", mean |error| " << format_double(eval.mape(), 1) << "%\n";
+  AsciiTable table({"counter", "class", "coefficient", "cum. adj R^2"});
+  for (const core::SelectedVariable& v : fitted.variables()) {
+    table.add_row({v.counter, profiler::to_string(v.klass),
+                   format_double(v.coefficient, 6),
+                   format_double(v.cumulative_adjusted_r2, 3)});
+  }
+  table.print(std::cout);
+
+  if (!out_file.empty()) {
+    std::ofstream out(out_file);
+    if (!out) throw Error("cannot open " + out_file);
+    core::serialize_model(fitted, out);
+    std::cout << "model written to " << out_file << "\n";
+  }
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  // gppm predict <model-file> <benchmark> [size]
+  if (argc < 4) return usage();
+  std::ifstream in(argv[2]);
+  if (!in) throw Error(std::string("cannot open ") + argv[2]);
+  const core::UnifiedModel model = core::deserialize_model(in);
+  const workload::BenchmarkDef& bench = workload::find_benchmark(argv[3]);
+  const std::size_t size = argc > 4
+                               ? static_cast<std::size_t>(std::stoul(argv[4]))
+                               : bench.size_count - 1;
+
+  core::MeasurementRunner runner(model.gpu());
+  profiler::CudaProfiler prof;
+  runner.gpu().set_frequency_pair(sim::kDefaultPair);
+  const profiler::ProfileResult counters =
+      prof.collect(runner.gpu(), runner.prepared_profile(bench, size));
+
+  const std::string unit =
+      model.target() == core::TargetKind::Power ? "W" : "s";
+  AsciiTable table({"pair", "predicted " + unit, "measured " + unit});
+  for (sim::FrequencyPair pair : dvfs::configurable_pairs(model.gpu())) {
+    const core::Measurement m = runner.measure(bench, size, pair);
+    const double actual = model.target() == core::TargetKind::Power
+                              ? m.avg_power.as_watts()
+                              : m.exec_time.as_seconds();
+    table.add_row({sim::to_string(pair),
+                   format_double(model.predict(counters, pair), 2),
+                   format_double(actual, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_governor(int argc, char** argv) {
+  // gppm governor <gpu> <bench> [bench...]
+  if (argc < 4) return usage();
+  const sim::GpuModel model = parse_gpu(argv[2]);
+
+  std::cout << "training models for " << sim::to_string(model) << "...\n";
+  const core::Dataset ds = core::build_dataset(model);
+  core::ModelOptions popt;
+  popt.scaling = core::FeatureScaling::VoltageSquaredFrequency;
+  popt.include_baseline_terms = true;
+  core::DvfsGovernor governor(
+      core::UnifiedModel::fit(ds, core::TargetKind::Power, popt),
+      core::UnifiedModel::fit(ds, core::TargetKind::ExecTime));
+
+  core::MeasurementRunner runner(model);
+  profiler::CudaProfiler prof;
+
+  AsciiTable table({"phase", "pair", "energy J", "default J", "saving %"});
+  for (int i = 3; i < argc; ++i) {
+    const workload::BenchmarkDef& bench = workload::find_benchmark(argv[i]);
+    const sim::RunProfile profile =
+        runner.prepared_profile(bench, bench.size_count - 1);
+    runner.gpu().set_frequency_pair(governor.current_pair());
+    const profiler::ProfileResult counters = prof.collect(runner.gpu(), profile);
+    const sim::FrequencyPair pick = governor.decide(counters);
+    const core::Measurement chosen = runner.measure_profile(profile, pick);
+    const core::Measurement def =
+        runner.measure_profile(profile, sim::kDefaultPair);
+    table.add_row({argv[i], sim::to_string(pick),
+                   format_double(chosen.energy.as_joules(), 1),
+                   format_double(def.energy.as_joules(), 1),
+                   format_double((1.0 - chosen.energy / def.energy) * 100, 1)});
+  }
+  table.print(std::cout);
+  std::cout << governor.switch_count() << " P-state switches over "
+            << governor.decision_count() << " phases\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "specs") return cmd_specs();
+    if (cmd == "pairs" && argc == 3) return cmd_pairs(argv[2]);
+    if (cmd == "counters" && argc == 3) return cmd_counters(argv[2]);
+    if (cmd == "trace" && argc == 3) return cmd_trace(argv[2]);
+    if (cmd == "benchmarks") return cmd_benchmarks();
+    if (cmd == "sweep" && argc == 4) return cmd_sweep(argv[2], argv[3]);
+    if (cmd == "fit") return cmd_fit(argc, argv);
+    if (cmd == "predict") return cmd_predict(argc, argv);
+    if (cmd == "governor") return cmd_governor(argc, argv);
+    return usage();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
