@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "profiler/counters.hpp"
 
 namespace gppm::core {
@@ -77,6 +78,10 @@ std::string serialize_model(const UnifiedModel& model) {
   std::ostringstream out;
   serialize_model(model, out);
   return out.str();
+}
+
+std::uint64_t model_fingerprint(const UnifiedModel& model) {
+  return fnv1a(serialize_model(model));
 }
 
 UnifiedModel deserialize_model(std::istream& in) {

@@ -19,6 +19,7 @@
 // Values round-trip exactly (hex float formatting).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -29,6 +30,12 @@ namespace gppm::core {
 /// Serialize a fitted model.
 std::string serialize_model(const UnifiedModel& model);
 void serialize_model(const UnifiedModel& model, std::ostream& out);
+
+/// Stable 64-bit fingerprint of a fitted model: FNV-1a over the serialized
+/// text, so two models collide exactly when their serialized forms are
+/// byte-identical and the fingerprint survives serialization round-trips.
+/// The serving layer keys its prediction cache on this.
+std::uint64_t model_fingerprint(const UnifiedModel& model);
 
 /// Parse a serialized model.  Throws gppm::Error on malformed input,
 /// unknown fields, version mismatch, or counters that do not exist in the

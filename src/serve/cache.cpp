@@ -1,0 +1,126 @@
+#include "serve/cache.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gppm::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t counters_fingerprint(const profiler::ProfileResult& counters) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, counters.counters.size());
+  mix(h, double_bits(counters.run_time.as_seconds()));
+  for (const profiler::CounterReading& r : counters.counters) {
+    mix(h, double_bits(r.total));
+    mix(h, double_bits(r.per_second));
+  }
+  return h;
+}
+
+std::uint64_t PredictionKey::hash() const {
+  std::uint64_t h = kFnvOffset;
+  mix(h, model_fp);
+  mix(h, counters_fp);
+  mix(h, static_cast<std::uint64_t>(pair.core) * 4 +
+             static_cast<std::uint64_t>(pair.mem));
+  return h;
+}
+
+PredictionCache::PredictionCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  GPPM_CHECK(shards > 0, "cache must have at least one shard");
+  if (capacity_ == 0) return;  // disabled: no shards needed
+  if (shards > capacity_) shards = capacity_;
+  per_shard_capacity_ = (capacity_ + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PredictionCache::Shard& PredictionCache::shard_for(const PredictionKey& key) {
+  // Re-scramble with splitmix64 so shard choice and bucket choice inside a
+  // shard use decorrelated bits of the key hash.
+  std::uint64_t h = key.hash();
+  return *shards_[splitmix64(h) % shards_.size()];
+}
+
+bool PredictionCache::lookup(const PredictionKey& key, double& value) {
+  if (!enabled()) return false;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  value = it->second->value;
+  return true;
+}
+
+void PredictionCache::insert(const PredictionKey& key, double value) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{key, value});
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+CacheStats PredictionCache::stats() const {
+  CacheStats s;
+  s.capacity = capacity_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.evictions += shard->evictions;
+    s.entries += shard->lru.size();
+  }
+  return s;
+}
+
+void PredictionCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->hits = shard->misses = shard->evictions = 0;
+  }
+}
+
+}  // namespace gppm::serve

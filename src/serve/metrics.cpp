@@ -1,0 +1,173 @@
+#include "serve/metrics.hpp"
+
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace gppm::serve {
+
+std::string to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Predict: return "predict";
+    case RequestKind::Optimize: return "optimize";
+    case RequestKind::Govern: return "govern";
+  }
+  throw Error("unknown request kind");
+}
+
+std::size_t MetricsCollector::latency_bin(double seconds) {
+  if (seconds <= kLatencyMinSeconds) return 0;
+  const double decades = std::log10(seconds / kLatencyMinSeconds);
+  const auto bin = static_cast<std::size_t>(decades * kBinsPerDecade);
+  return bin >= kLatencyBins ? kLatencyBins - 1 : bin;
+}
+
+double MetricsCollector::bin_upper_seconds(std::size_t bin) {
+  return kLatencyMinSeconds *
+         std::pow(10.0, static_cast<double>(bin + 1) / kBinsPerDecade);
+}
+
+void MetricsCollector::record_request(RequestKind kind,
+                                      double latency_seconds) {
+  EndpointCells& cells = endpoints_[static_cast<std::size_t>(kind)];
+  cells.requests.fetch_add(1, std::memory_order_relaxed);
+  cells.latency_nanos.fetch_add(
+      static_cast<std::uint64_t>(latency_seconds * 1e9),
+      std::memory_order_relaxed);
+  cells.bins[latency_bin(latency_seconds)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void MetricsCollector::record_batch(std::size_t batch_size) {
+  if (batch_size == 0) return;
+  const std::size_t bin =
+      batch_size > kMaxTrackedBatch ? kMaxTrackedBatch - 1 : batch_size - 1;
+  batch_bins_[bin].fetch_add(1, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_items_.fetch_add(batch_size, std::memory_order_relaxed);
+  std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+  while (batch_size > seen &&
+         !max_batch_.compare_exchange_weak(seen, batch_size,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsCollector::record_rejected() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+double histogram_quantile(
+    const std::array<std::uint64_t, kLatencyBins>& bins, std::uint64_t total,
+    double q) {
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kLatencyBins; ++i) {
+    seen += bins[i];
+    if (seen >= rank) return MetricsCollector::bin_upper_seconds(i);
+  }
+  return MetricsCollector::bin_upper_seconds(kLatencyBins - 1);
+}
+
+}  // namespace
+
+ServerMetrics MetricsCollector::snapshot() const {
+  ServerMetrics m;
+  for (std::size_t e = 0; e < kRequestKindCount; ++e) {
+    const EndpointCells& cells = endpoints_[e];
+    EndpointStats& out = m.endpoints[e];
+    std::array<std::uint64_t, kLatencyBins> bins;
+    out.requests = cells.requests.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kLatencyBins; ++i) {
+      bins[i] = cells.bins[i].load(std::memory_order_relaxed);
+    }
+    if (out.requests > 0) {
+      out.mean_latency_seconds =
+          static_cast<double>(
+              cells.latency_nanos.load(std::memory_order_relaxed)) /
+          1e9 / static_cast<double>(out.requests);
+      out.p50_seconds = histogram_quantile(bins, out.requests, 0.50);
+      out.p95_seconds = histogram_quantile(bins, out.requests, 0.95);
+      out.p99_seconds = histogram_quantile(bins, out.requests, 0.99);
+    }
+    m.total_requests += out.requests;
+  }
+  for (std::size_t i = 0; i < kMaxTrackedBatch; ++i) {
+    m.batch_size_counts[i] = batch_bins_[i].load(std::memory_order_relaxed);
+  }
+  m.batches = batches_.load(std::memory_order_relaxed);
+  if (m.batches > 0) {
+    m.mean_batch_size =
+        static_cast<double>(batch_items_.load(std::memory_order_relaxed)) /
+        static_cast<double>(m.batches);
+  }
+  m.max_batch_size =
+      static_cast<std::size_t>(max_batch_.load(std::memory_order_relaxed));
+  m.rejected_requests = rejected_.load(std::memory_order_relaxed);
+  return m;
+}
+
+AsciiTable ServerMetrics::to_table() const {
+  AsciiTable table(
+      {"endpoint", "requests", "mean us", "p50 us", "p95 us", "p99 us"});
+  table.set_title("serve metrics");
+  for (std::size_t e = 0; e < kRequestKindCount; ++e) {
+    const EndpointStats& s = endpoints[e];
+    table.add_row({to_string(static_cast<RequestKind>(e)),
+                   std::to_string(s.requests),
+                   format_double(s.mean_latency_seconds * 1e6, 2),
+                   format_double(s.p50_seconds * 1e6, 2),
+                   format_double(s.p95_seconds * 1e6, 2),
+                   format_double(s.p99_seconds * 1e6, 2)});
+  }
+  return table;
+}
+
+void ServerMetrics::print(std::ostream& out) const {
+  to_table().print(out);
+  out << "total " << total_requests << " requests ("
+      << rejected_requests << " rejected), " << batches
+      << " batches, mean batch " << format_double(mean_batch_size, 2)
+      << ", max batch " << max_batch_size << ", queue high-water "
+      << queue_high_water << "\n";
+  out << "cache: " << cache.entries << "/" << cache.capacity << " entries, "
+      << cache.hits << " hits / " << cache.misses << " misses (hit rate "
+      << format_double(cache.hit_rate() * 100.0, 1) << "%), "
+      << cache.evictions << " evictions\n";
+}
+
+void ServerMetrics::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.row({"record", "key", "value"});
+  for (std::size_t e = 0; e < kRequestKindCount; ++e) {
+    const EndpointStats& s = endpoints[e];
+    const std::string name = to_string(static_cast<RequestKind>(e));
+    csv.row({"requests", name, std::to_string(s.requests)});
+    csv.row({"mean_us", name, format_double(s.mean_latency_seconds * 1e6, 3)});
+    csv.row({"p50_us", name, format_double(s.p50_seconds * 1e6, 3)});
+    csv.row({"p95_us", name, format_double(s.p95_seconds * 1e6, 3)});
+    csv.row({"p99_us", name, format_double(s.p99_seconds * 1e6, 3)});
+  }
+  csv.row({"summary", "total_requests", std::to_string(total_requests)});
+  csv.row({"summary", "rejected_requests", std::to_string(rejected_requests)});
+  csv.row({"summary", "batches", std::to_string(batches)});
+  csv.row({"summary", "mean_batch", format_double(mean_batch_size, 3)});
+  csv.row({"summary", "max_batch", std::to_string(max_batch_size)});
+  csv.row({"summary", "queue_high_water", std::to_string(queue_high_water)});
+  csv.row({"summary", "cache_hits", std::to_string(cache.hits)});
+  csv.row({"summary", "cache_misses", std::to_string(cache.misses)});
+  csv.row({"summary", "cache_hit_rate", format_double(cache.hit_rate(), 4)});
+  csv.row({"summary", "cache_evictions", std::to_string(cache.evictions)});
+  for (std::size_t i = 0; i < kMaxTrackedBatch; ++i) {
+    if (batch_size_counts[i] == 0) continue;
+    csv.row({"batch_size", std::to_string(i + 1),
+             std::to_string(batch_size_counts[i])});
+  }
+}
+
+}  // namespace gppm::serve

@@ -1,0 +1,92 @@
+// Serving observability: request counts, latency distributions, batch
+// shapes, queue saturation, cache effectiveness.
+//
+// Workers record into lock-free atomic histograms (fixed log-spaced
+// latency bins, exact batch-size bins); snapshot() materializes a plain
+// ServerMetrics value that renders as the standard ASCII table and as CSV,
+// the same two formats every reproduction bench emits.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "serve/cache.hpp"
+#include "serve/request.hpp"
+
+namespace gppm::serve {
+
+/// Latency histogram geometry: log10-spaced bins, 10 per decade, covering
+/// 100 ns .. 1000 s.  Resolution is one bin = factor 10^0.1 (~26% wide),
+/// plenty for p50/p95/p99 reporting.
+inline constexpr std::size_t kLatencyBins = 100;
+inline constexpr double kLatencyMinSeconds = 1e-7;
+inline constexpr std::size_t kBinsPerDecade = 10;
+
+/// Batch sizes are tracked exactly up to this value; larger batches clamp
+/// into the last bin.
+inline constexpr std::size_t kMaxTrackedBatch = 64;
+
+/// Per-endpoint snapshot statistics.
+struct EndpointStats {
+  std::uint64_t requests = 0;
+  double mean_latency_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// A point-in-time view of the server's counters, safe to copy around.
+struct ServerMetrics {
+  std::array<EndpointStats, kRequestKindCount> endpoints;
+  std::uint64_t total_requests = 0;
+  std::uint64_t rejected_requests = 0;  ///< submissions after shutdown/full
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  std::size_t max_batch_size = 0;
+  std::array<std::uint64_t, kMaxTrackedBatch> batch_size_counts{};
+  std::size_t queue_high_water = 0;
+  CacheStats cache;
+
+  /// Human-readable rendering (per-endpoint table + summary lines).
+  AsciiTable to_table() const;
+  void print(std::ostream& out) const;
+  /// Machine-readable rendering: one CSV row per endpoint plus summary
+  /// key/value rows, via common/csv.
+  void write_csv(std::ostream& out) const;
+};
+
+/// Thread-safe recorder the worker pool writes into.
+class MetricsCollector {
+ public:
+  void record_request(RequestKind kind, double latency_seconds);
+  void record_batch(std::size_t batch_size);
+  void record_rejected();
+
+  /// Materialize a snapshot.  Bins are read without a global lock; counts
+  /// recorded concurrently with the snapshot may land in either view.
+  ServerMetrics snapshot() const;
+
+  /// Latency bin index for a duration (exposed for tests).
+  static std::size_t latency_bin(double seconds);
+  /// Upper edge of a latency bin in seconds (exposed for tests).
+  static double bin_upper_seconds(std::size_t bin);
+
+ private:
+  struct EndpointCells {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> latency_nanos{0};
+    std::array<std::atomic<std::uint64_t>, kLatencyBins> bins{};
+  };
+  std::array<EndpointCells, kRequestKindCount> endpoints_;
+  std::array<std::atomic<std::uint64_t>, kMaxTrackedBatch> batch_bins_{};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_items_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace gppm::serve

@@ -1,0 +1,121 @@
+// Bounded MPMC queue — the serving engine's admission path and the repo's
+// first shared concurrency primitive.
+//
+// Semantics chosen for a request queue rather than a generic channel:
+//   * bounded: producers block (or fail, with try_push) when the queue is
+//     full, so a slow worker pool applies back-pressure to clients instead
+//     of growing an unbounded backlog;
+//   * batch pop: a consumer drains up to `max` queued items in one lock
+//     acquisition — the dynamic micro-batcher is built directly on this,
+//     and it keeps the per-item lock cost amortized under load;
+//   * close-with-drain: close() rejects new pushes immediately but lets
+//     consumers pop everything already queued; pop returns empty only when
+//     the queue is both closed and empty.  This is exactly the server's
+//     graceful-shutdown contract (reject-new, finish-queued).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gppm::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    GPPM_CHECK(capacity > 0, "queue capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room (or the queue closes).  Returns false if
+  /// the queue was closed before the item could be admitted.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false if full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pop up to `max` items in one lock acquisition, blocking while the
+  /// queue is empty and open.  Returns an empty vector only after close()
+  /// once every queued item has been consumed.
+  std::vector<T> pop_batch(std::size_t max) {
+    GPPM_CHECK(max > 0, "batch size must be positive");
+    std::vector<T> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      const std::size_t n = items_.size() < max ? items_.size() : max;
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (!batch.empty()) not_full_.notify_all();
+    return batch;
+  }
+
+  /// Reject new pushes; queued items remain poppable (drain semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Largest queue depth ever observed — the saturation indicator exported
+  /// through ServerMetrics.
+  std::size_t high_water_mark() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace gppm::serve

@@ -1,0 +1,58 @@
+// Request/response vocabulary of the prediction server.
+//
+// A client ships a workload phase (its counter profile) plus what it wants
+// to know; the server answers from the fitted unified models of the named
+// board.  The three kinds mirror the paper's three uses of the models:
+// point prediction (TABLES V-VIII), energy-optimal pair selection
+// (TABLE IV semantics via core/optimizer) and online governor decisions
+// (the "dynamic runtime management" future work via core/governor).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "core/governor.hpp"
+
+namespace gppm::serve {
+
+/// What a request asks of the models.
+enum class RequestKind : std::uint8_t {
+  Predict,   ///< power + time at one explicit frequency pair
+  Optimize,  ///< rank all configurable pairs, return the energy-optimal one
+  Govern,    ///< stateful governor decision (hysteresis across requests)
+};
+
+inline constexpr std::size_t kRequestKindCount = 3;
+
+std::string to_string(RequestKind kind);
+
+/// One serving request.
+struct Request {
+  RequestKind kind = RequestKind::Predict;
+  sim::GpuModel gpu = sim::GpuModel::GTX680;
+  profiler::ProfileResult counters;
+  /// Predict only: the operating point to evaluate.
+  sim::FrequencyPair pair = sim::kDefaultPair;
+  /// Govern only: which governor instance decides.
+  core::GovernorPolicy policy = core::GovernorPolicy::MinimumEnergy;
+};
+
+/// The server's answer.  All predictions are the raw model outputs except
+/// for Optimize/Govern, which apply core/optimizer's physical clamps
+/// before ranking (power >= 1 W, time >= 1 ms).
+struct Response {
+  RequestKind kind = RequestKind::Predict;
+  /// Predict: the requested pair.  Optimize/Govern: the chosen pair.
+  sim::FrequencyPair pair = sim::kDefaultPair;
+  double power_watts = 0.0;
+  double time_seconds = 0.0;
+  double energy_joules = 0.0;
+  /// True if every model evaluation behind this response was served from
+  /// the prediction cache.
+  bool cache_hit = false;
+  /// Queue wait + service time, measured by the worker.
+  Duration latency;
+};
+
+}  // namespace gppm::serve

@@ -1,0 +1,277 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "dvfs/combos.hpp"
+
+namespace gppm::serve {
+
+namespace {
+
+std::size_t gpu_slot(sim::GpuModel gpu) {
+  for (std::size_t i = 0; i < sim::kAllGpus.size(); ++i) {
+    if (sim::kAllGpus[i] == gpu) return i;
+  }
+  throw Error("unknown GPU model");
+}
+
+std::size_t policy_slot(core::GovernorPolicy policy) {
+  return static_cast<std::size_t>(policy);
+}
+
+/// Batch-grouping key: jobs with equal keys share a registry entry and an
+/// endpoint handler.
+std::uint32_t group_key(const Request& r) {
+  return static_cast<std::uint32_t>(gpu_slot(r.gpu)) * kRequestKindCount +
+         static_cast<std::uint32_t>(r.kind);
+}
+
+}  // namespace
+
+PredictionServer::PredictionServer(ServerOptions options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      cache_(options.cache_capacity, options.cache_shards) {
+  GPPM_CHECK(options_.worker_threads > 0, "server needs at least one worker");
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.max_batch > kMaxTrackedBatch) {
+    options_.max_batch = kMaxTrackedBatch;
+  }
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PredictionServer::~PredictionServer() { shutdown(); }
+
+sim::GpuModel PredictionServer::load_models(core::UnifiedModel power_model,
+                                            core::UnifiedModel perf_model) {
+  GPPM_CHECK(power_model.target() == core::TargetKind::Power,
+             "first model must target power");
+  GPPM_CHECK(perf_model.target() == core::TargetKind::ExecTime,
+             "second model must target exectime");
+  GPPM_CHECK(power_model.gpu() == perf_model.gpu(),
+             "models fitted for different boards");
+
+  auto entry = std::make_shared<ModelEntry>();
+  entry->power_fp = core::model_fingerprint(power_model);
+  entry->perf_fp = core::model_fingerprint(perf_model);
+  entry->pairs = dvfs::configurable_pairs(power_model.gpu());
+  for (core::GovernorPolicy policy :
+       {core::GovernorPolicy::MinimumEnergy, core::GovernorPolicy::MinimumEdp,
+        core::GovernorPolicy::PowerCap}) {
+    core::GovernorOptions gopt = options_.governor;
+    gopt.policy = policy;
+    entry->governors[policy_slot(policy)] = std::make_unique<GovernorSlot>(
+        core::DvfsGovernor(power_model, perf_model, gopt));
+  }
+  entry->power = std::move(power_model);
+  entry->perf = std::move(perf_model);
+
+  const sim::GpuModel gpu = entry->power.gpu();
+  const std::size_t slot = gpu_slot(gpu);
+  std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+  registry_[slot] = std::move(entry);
+  return gpu;
+}
+
+sim::GpuModel PredictionServer::load_model_files(const std::string& power_path,
+                                                 const std::string& perf_path) {
+  std::ifstream power_in(power_path);
+  GPPM_CHECK(static_cast<bool>(power_in), "cannot open " + power_path);
+  std::ifstream perf_in(perf_path);
+  GPPM_CHECK(static_cast<bool>(perf_in), "cannot open " + perf_path);
+  return load_models(core::deserialize_model(power_in),
+                     core::deserialize_model(perf_in));
+}
+
+bool PredictionServer::has_models(sim::GpuModel gpu) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  return registry_[gpu_slot(gpu)] != nullptr;
+}
+
+std::shared_ptr<PredictionServer::ModelEntry> PredictionServer::entry_for(
+    sim::GpuModel gpu) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  return registry_[gpu_slot(gpu)];
+}
+
+std::future<Response> PredictionServer::submit(Request request) {
+  Job job;
+  job.request = std::move(request);
+  job.enqueued = std::chrono::steady_clock::now();
+  std::future<Response> future = job.promise.get_future();
+  if (!queue_.push(std::move(job))) {
+    metrics_.record_rejected();
+    throw Error("prediction server is shut down");
+  }
+  return future;
+}
+
+std::optional<std::future<Response>> PredictionServer::try_submit(
+    Request request) {
+  Job job;
+  job.request = std::move(request);
+  job.enqueued = std::chrono::steady_clock::now();
+  std::future<Response> future = job.promise.get_future();
+  if (!queue_.try_push(std::move(job))) {
+    metrics_.record_rejected();
+    return std::nullopt;
+  }
+  return future;
+}
+
+void PredictionServer::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    running_.store(false, std::memory_order_release);
+    queue_.close();
+    for (std::thread& w : workers_) w.join();
+  });
+}
+
+ServerMetrics PredictionServer::metrics() const {
+  ServerMetrics m = metrics_.snapshot();
+  m.queue_high_water = queue_.high_water_mark();
+  m.cache = cache_.stats();
+  return m;
+}
+
+void PredictionServer::worker_loop() {
+  while (true) {
+    std::vector<Job> batch = queue_.pop_batch(options_.max_batch);
+    if (batch.empty()) break;  // closed and fully drained
+    metrics_.record_batch(batch.size());
+
+    // Micro-batch grouping: bring jobs sharing (gpu, kind) together so the
+    // registry lookup and per-board state amortize across the group.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Job& a, const Job& b) {
+                       return group_key(a.request) < group_key(b.request);
+                     });
+    std::size_t begin = 0;
+    while (begin < batch.size()) {
+      std::size_t end = begin + 1;
+      while (end < batch.size() && group_key(batch[end].request) ==
+                                       group_key(batch[begin].request)) {
+        ++end;
+      }
+      const std::shared_ptr<ModelEntry> entry =
+          entry_for(batch[begin].request.gpu);
+      if (entry == nullptr) {
+        for (std::size_t i = begin; i < end; ++i) {
+          batch[i].promise.set_exception(std::make_exception_ptr(Error(
+              "no models loaded for " + sim::to_string(batch[i].request.gpu))));
+        }
+      } else {
+        process_group(*entry, batch.data() + begin, end - begin);
+      }
+      begin = end;
+    }
+  }
+}
+
+void PredictionServer::process_group(ModelEntry& entry, Job* jobs,
+                                     std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Job& job = jobs[i];
+    try {
+      bool cache_hit = false;
+      Response response = handle(entry, job.request, cache_hit);
+      response.kind = job.request.kind;
+      response.cache_hit = cache_hit;
+      const auto now = std::chrono::steady_clock::now();
+      const double latency =
+          std::chrono::duration<double>(now - job.enqueued).count();
+      response.latency = Duration::seconds(latency);
+      metrics_.record_request(job.request.kind, latency);
+      job.promise.set_value(std::move(response));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+double PredictionServer::cached_predict(
+    const core::UnifiedModel& model, std::uint64_t model_fp,
+    std::uint64_t counters_fp, const profiler::ProfileResult& counters,
+    sim::FrequencyPair pair, bool& all_hits) {
+  const PredictionKey key{model_fp, counters_fp, pair};
+  double value = 0.0;
+  if (cache_.lookup(key, value)) return value;
+  all_hits = false;
+  value = model.predict(counters, pair);
+  cache_.insert(key, value);
+  return value;
+}
+
+Response PredictionServer::handle(ModelEntry& entry, const Request& request,
+                                  bool& cache_hit) {
+  const std::uint64_t cfp = counters_fingerprint(request.counters);
+  bool all_hits = true;
+  Response response;
+
+  switch (request.kind) {
+    case RequestKind::Predict: {
+      response.pair = request.pair;
+      response.power_watts = cached_predict(
+          entry.power, entry.power_fp, cfp, request.counters, request.pair,
+          all_hits);
+      response.time_seconds = cached_predict(
+          entry.perf, entry.perf_fp, cfp, request.counters, request.pair,
+          all_hits);
+      response.energy_joules = response.power_watts * response.time_seconds;
+      break;
+    }
+    case RequestKind::Optimize: {
+      // TABLE IV semantics: rank every configurable pair by predicted
+      // energy, with core/optimizer's physical clamps so the ranking
+      // matches predict_min_energy_pair exactly.
+      double best_energy = 0.0;
+      bool first = true;
+      for (sim::FrequencyPair pair : entry.pairs) {
+        const double power =
+            std::max(1.0, cached_predict(entry.power, entry.power_fp, cfp,
+                                         request.counters, pair, all_hits));
+        const double time =
+            std::max(1e-3, cached_predict(entry.perf, entry.perf_fp, cfp,
+                                          request.counters, pair, all_hits));
+        const double energy = power * time;
+        if (first || energy < best_energy) {
+          first = false;
+          best_energy = energy;
+          response.pair = pair;
+          response.power_watts = power;
+          response.time_seconds = time;
+          response.energy_joules = energy;
+        }
+      }
+      GPPM_CHECK(!first, "no configurable pairs");
+      break;
+    }
+    case RequestKind::Govern: {
+      GovernorSlot& slot = *entry.governors[policy_slot(request.policy)];
+      sim::FrequencyPair pick;
+      {
+        std::lock_guard<std::mutex> lock(slot.mutex);
+        pick = slot.governor.decide(request.counters);
+      }
+      response.pair = pick;
+      response.power_watts =
+          std::max(1.0, cached_predict(entry.power, entry.power_fp, cfp,
+                                       request.counters, pick, all_hits));
+      response.time_seconds =
+          std::max(1e-3, cached_predict(entry.perf, entry.perf_fp, cfp,
+                                        request.counters, pick, all_hits));
+      response.energy_joules = response.power_watts * response.time_seconds;
+      break;
+    }
+  }
+  cache_hit = all_hits;
+  return response;
+}
+
+}  // namespace gppm::serve

@@ -1,0 +1,149 @@
+// The concurrent model-serving engine.
+//
+// "Fit once offline, predict at runtime" at traffic scale: the server
+// holds the fitted (power, exectime) UnifiedModel pair per board and
+// answers Predict / Optimize / Govern requests (see request.hpp) from a
+// pool of worker threads.
+//
+// Internals, front to back:
+//   * a BoundedQueue<Job> admission queue — full queue = back-pressure on
+//     producers, closed queue = shutdown in progress (reject-new);
+//   * a dynamic micro-batcher: each worker drains up to `max_batch` queued
+//     jobs in one lock acquisition and groups them by (gpu, kind), so the
+//     registry lookup, the configurable-pair list and (for Govern) the
+//     governor lock amortize over the group — batch size adapts to load
+//     by construction, there is no artificial batching delay;
+//   * a sharded LRU PredictionCache keyed on (model fingerprint, counter
+//     fingerprint, pair) — fitted models are pure functions, so repeated
+//     phases are answered without touching the model at all;
+//   * a MetricsCollector every worker records into (per-endpoint latency
+//     histograms, batch shapes, rejections) plus queue high-water and
+//     cache hit/miss accounting, exported as table and CSV.
+//
+// Shutdown drains: shutdown() closes the queue, every already-admitted
+// job is still answered, then the workers join.  Submissions after (or
+// racing with) shutdown fail with gppm::Error and count as rejected.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialization.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace gppm::serve {
+
+struct ServerOptions {
+  /// Worker pool size.  One thread already saturates a core on the pure
+  /// hit path; scale this with the machine.
+  std::size_t worker_threads = 4;
+  std::size_t queue_capacity = 4096;
+  /// Upper bound of the dynamic micro-batch (clamped to kMaxTrackedBatch).
+  std::size_t max_batch = 32;
+  /// Total prediction-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+  /// Governor configuration for the Govern endpoint (policy is taken from
+  /// the request; threshold and cap from here).
+  core::GovernorOptions governor;
+};
+
+/// Concurrent prediction server over fitted unified models.
+class PredictionServer {
+ public:
+  /// Starts the worker pool immediately.
+  explicit PredictionServer(ServerOptions options = {});
+  /// Drains and joins (equivalent to shutdown()).
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Register (or hot-swap) the model pair for a board.  Validates the
+  /// pairing the same way core::DvfsGovernor does.  Returns the board the
+  /// pair was registered under (the models' own board).
+  sim::GpuModel load_models(core::UnifiedModel power_model,
+                            core::UnifiedModel perf_model);
+  /// Load a serialized power/exectime model pair from disk.  Returns the
+  /// board the files target.
+  sim::GpuModel load_model_files(const std::string& power_path,
+                                 const std::string& perf_path);
+  bool has_models(sim::GpuModel gpu) const;
+
+  /// Enqueue a request.  Blocks while the queue is full (back-pressure);
+  /// throws gppm::Error once the server is shut down.  The future resolves
+  /// to the response, or to the worker-side error (e.g. no models loaded
+  /// for the requested board).
+  std::future<Response> submit(Request request);
+
+  /// Non-blocking variant for open-loop producers: returns std::nullopt
+  /// (and counts a rejection) when the queue is full or closed.
+  std::optional<std::future<Response>> try_submit(Request request);
+
+  /// Drain and stop: reject new submissions, answer everything already
+  /// queued, join the workers.  Idempotent.
+  void shutdown();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Point-in-time metrics (endpoint latencies, batches, queue, cache).
+  ServerMetrics metrics() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  /// One governor instance per policy; decide() mutates hysteresis state,
+  /// so each slot carries its own lock.
+  struct GovernorSlot {
+    std::mutex mutex;
+    core::DvfsGovernor governor;
+    explicit GovernorSlot(core::DvfsGovernor g) : governor(std::move(g)) {}
+  };
+  /// Everything the workers need for one board, resolved once per group.
+  struct ModelEntry {
+    core::UnifiedModel power;
+    core::UnifiedModel perf;
+    std::uint64_t power_fp = 0;
+    std::uint64_t perf_fp = 0;
+    std::vector<sim::FrequencyPair> pairs;
+    std::array<std::unique_ptr<GovernorSlot>, 3> governors;
+  };
+
+  void worker_loop();
+  void process_group(ModelEntry& entry, Job* jobs, std::size_t count);
+  Response handle(ModelEntry& entry, const Request& request, bool& cache_hit);
+  double cached_predict(const core::UnifiedModel& model,
+                        std::uint64_t model_fp, std::uint64_t counters_fp,
+                        const profiler::ProfileResult& counters,
+                        sim::FrequencyPair pair, bool& all_hits);
+  std::shared_ptr<ModelEntry> entry_for(sim::GpuModel gpu) const;
+
+  ServerOptions options_;
+  BoundedQueue<Job> queue_;
+  PredictionCache cache_;
+  MetricsCollector metrics_;
+  mutable std::shared_mutex registry_mutex_;
+  std::array<std::shared_ptr<ModelEntry>, sim::kAllGpus.size()> registry_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace gppm::serve

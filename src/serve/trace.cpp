@@ -1,0 +1,102 @@
+#include "serve/trace.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "dvfs/combos.hpp"
+#include "profiler/cuda_profiler.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::serve {
+
+PhaseCorpus build_phase_corpus(sim::GpuModel gpu, bool all_sizes,
+                               std::uint64_t seed) {
+  PhaseCorpus corpus;
+  corpus.gpu = gpu;
+  core::RunnerOptions ropt;
+  ropt.seed = seed;
+  core::MeasurementRunner runner(gpu, ropt);
+  profiler::CudaProfiler prof(seed);
+  runner.gpu().set_frequency_pair(sim::kDefaultPair);
+  for (const workload::BenchmarkDef& bench : workload::benchmark_suite()) {
+    if (!profiler::CudaProfiler::supports(bench.name)) continue;
+    const std::size_t first = all_sizes ? 0 : bench.size_count - 1;
+    for (std::size_t size = first; size < bench.size_count; ++size) {
+      corpus.names.push_back(bench.name + "/" + std::to_string(size));
+      corpus.counters.push_back(
+          prof.collect(runner.gpu(), runner.prepared_profile(bench, size)));
+    }
+  }
+  GPPM_CHECK(!corpus.counters.empty(), "empty phase corpus");
+  return corpus;
+}
+
+std::vector<Request> synthetic_trace(const PhaseCorpus& corpus,
+                                     const TraceOptions& options) {
+  GPPM_CHECK(options.optimize_fraction >= 0 && options.govern_fraction >= 0 &&
+                 options.optimize_fraction + options.govern_fraction <= 1.0,
+             "endpoint fractions must be non-negative and sum to <= 1");
+  GPPM_CHECK(options.counter_jitter >= 0 && options.counter_jitter <= 1,
+             "counter_jitter must be in [0, 1]");
+
+  // Zipf popularity: phase i (suite order) gets weight 1/(i+1)^s.
+  std::vector<double> cumulative(corpus.counters.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < corpus.counters.size(); ++i) {
+    total += std::pow(static_cast<double>(i + 1), -options.zipf_exponent);
+    cumulative[i] = total;
+  }
+
+  const std::vector<sim::FrequencyPair> pairs =
+      dvfs::configurable_pairs(corpus.gpu);
+  const std::array<core::GovernorPolicy, 3> policies = {
+      core::GovernorPolicy::MinimumEnergy, core::GovernorPolicy::MinimumEdp,
+      core::GovernorPolicy::PowerCap};
+
+  Rng rng(options.seed);
+  std::vector<Request> trace;
+  trace.reserve(options.request_count);
+  for (std::size_t i = 0; i < options.request_count; ++i) {
+    // Phase pick: binary search the cumulative Zipf weights.
+    const double u = rng.uniform(0.0, total);
+    std::size_t lo = 0, hi = cumulative.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cumulative[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+
+    Request req;
+    req.gpu = corpus.gpu;
+    req.counters = corpus.counters[lo];
+    const double kind = rng.uniform();
+    if (kind < options.optimize_fraction) {
+      req.kind = RequestKind::Optimize;
+    } else if (kind < options.optimize_fraction + options.govern_fraction) {
+      req.kind = RequestKind::Govern;
+      req.policy = policies[rng.uniform_index(policies.size())];
+    } else {
+      req.kind = RequestKind::Predict;
+      req.pair = pairs[rng.uniform_index(pairs.size())];
+    }
+    if (options.counter_jitter > 0 && rng.uniform() < options.counter_jitter) {
+      // Perturb every reading by a tiny unique factor: a fresh phase the
+      // cache has never seen, while staying in the model's input range.
+      const double factor = 1.0 + 1e-9 * static_cast<double>(i + 1);
+      for (profiler::CounterReading& r : req.counters.counters) {
+        r.total *= factor;
+        r.per_second *= factor;
+      }
+    }
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+}  // namespace gppm::serve

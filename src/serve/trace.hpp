@@ -1,0 +1,52 @@
+// Synthetic serving traffic over the 37-benchmark suite.
+//
+// A serving trace needs realistic phases: each request carries the counter
+// profile of a real suite workload, collected once per (benchmark, size)
+// through the CUDA-profiler model — the same corpus construction the
+// paper's models were fitted on.  Request arrival mixes the three
+// endpoints and draws phases from a Zipf popularity distribution (serving
+// traffic is always skewed); an optional counter-jitter knob perturbs a
+// fraction of requests into never-seen-before phases to exercise the
+// cache-miss path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace gppm::serve {
+
+/// The profiled phases of one board's suite.
+struct PhaseCorpus {
+  sim::GpuModel gpu = sim::GpuModel::GTX680;
+  std::vector<std::string> names;  ///< "benchmark/size"
+  std::vector<profiler::ProfileResult> counters;
+};
+
+/// Profile every profiler-supported benchmark of the suite on `gpu`.
+/// `all_sizes` profiles every input size (the paper's 114-sample corpus
+/// shape); otherwise only the largest size of each program (one phase per
+/// benchmark, faster to build).
+PhaseCorpus build_phase_corpus(sim::GpuModel gpu, bool all_sizes = false,
+                               std::uint64_t seed = 42);
+
+struct TraceOptions {
+  std::size_t request_count = 10000;
+  std::uint64_t seed = 42;
+  /// Endpoint mix; the remainder after optimize + govern is predict.
+  double optimize_fraction = 0.25;
+  double govern_fraction = 0.10;
+  /// Zipf popularity exponent over phases (0 = uniform).
+  double zipf_exponent = 1.0;
+  /// Fraction of requests whose counters are perturbed into a fresh,
+  /// never-repeated phase (defeats the prediction cache).
+  double counter_jitter = 0.0;
+};
+
+/// Generate a deterministic request trace drawing phases from `corpus`.
+std::vector<Request> synthetic_trace(const PhaseCorpus& corpus,
+                                     const TraceOptions& options = {});
+
+}  // namespace gppm::serve

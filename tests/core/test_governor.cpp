@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace gppm::core {
@@ -119,6 +122,57 @@ TEST(Governor, HysteresisSuppressesMarginalSwitches) {
   }
   EXPECT_LE(g_sticky.switch_count(), g_eager.switch_count());
   EXPECT_EQ(g_eager.decision_count(), 114);
+}
+
+TEST(Governor, HysteresisBoundaryHoldsBelowAndSwitchesAbove) {
+  const UnifiedModel power = extended_power();
+  const UnifiedModel perf = perf_model();
+  GovernorOptions probe_opt;
+  probe_opt.switch_threshold = 0.0;
+  DvfsGovernor probe(power, perf, probe_opt);
+
+  // Find a phase whose best pair differs from the kDefaultPair incumbent and
+  // measure the predicted fractional benefit of switching to it.
+  const profiler::ProfileResult* phase = nullptr;
+  sim::FrequencyPair best_pair{};
+  double benefit = 0.0;
+  for (const Sample& s : dataset().samples) {
+    double best = std::numeric_limits<double>::infinity();
+    double incumbent = std::numeric_limits<double>::infinity();
+    sim::FrequencyPair arg{};
+    for (const PairPrediction& p : predict_all_pairs(power, perf, s.counters)) {
+      const double obj = probe.objective(p);
+      if (obj < best) {
+        best = obj;
+        arg = p.pair;
+      }
+      if (p.pair == sim::kDefaultPair) incumbent = obj;
+    }
+    if (!(arg == sim::kDefaultPair)) {
+      phase = &s.counters;
+      best_pair = arg;
+      benefit = 1.0 - best / incumbent;
+      break;
+    }
+  }
+  ASSERT_NE(phase, nullptr) << "corpus has no phase favoring a non-default pair";
+  ASSERT_GT(benefit, 0.0);
+  const double eps = std::min(1e-6, benefit * 0.5);
+
+  // Threshold just above the predicted benefit: the governor must hold the
+  // incumbent pair.
+  GovernorOptions hold_opt;
+  hold_opt.switch_threshold = benefit + eps;
+  DvfsGovernor holds(power, perf, hold_opt);
+  EXPECT_EQ(holds.decide(*phase), sim::kDefaultPair);
+  EXPECT_EQ(holds.switch_count(), 0);
+
+  // Threshold just below the benefit: the governor must switch.
+  GovernorOptions move_opt;
+  move_opt.switch_threshold = benefit - eps;
+  DvfsGovernor moves(power, perf, move_opt);
+  EXPECT_EQ(moves.decide(*phase), best_pair);
+  EXPECT_EQ(moves.switch_count(), 1);
 }
 
 TEST(Governor, ResetClearsState) {

@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numeric>
+#include <vector>
+
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/evaluation.hpp"
+#include "gpusim/device_spec.hpp"
+#include "profiler/counters.hpp"
 
 namespace gppm::core {
 namespace {
@@ -62,6 +69,73 @@ TEST(Serialization, PerfModelRoundTrips) {
   const Sample& s = dataset().samples.back();
   EXPECT_DOUBLE_EQ(loaded.predict(s.counters, s.runs.front().pair),
                    perf.predict(s.counters, s.runs.front().pair));
+}
+
+TEST(Serialization, RandomModelsRoundTripExactly) {
+  // Fuzz-ish sweep: every board, both targets, both scalings, 0-10 randomly
+  // chosen catalog variables with coefficients spanning 24 decades and both
+  // signs.  The hex-float serialization contract promises *exact* recovery.
+  Rng rng(20260807);
+  const auto coefficient = [&rng] {
+    const double magnitude = std::pow(10.0, rng.uniform(-12.0, 12.0));
+    return (rng.uniform() < 0.5 ? -magnitude : magnitude) *
+           rng.uniform(0.5, 1.5);
+  };
+  for (sim::GpuModel gpu : sim::kAllGpus) {
+    const auto& catalog =
+        profiler::counter_catalog(sim::device_spec(gpu).architecture);
+    for (TargetKind target : {TargetKind::Power, TargetKind::ExecTime}) {
+      for (FeatureScaling scaling :
+           {FeatureScaling::FrequencyOnly,
+            FeatureScaling::VoltageSquaredFrequency}) {
+        for (int iter = 0; iter < 6; ++iter) {
+          UnifiedModel::Parts parts;
+          parts.gpu = gpu;
+          parts.target = target;
+          parts.scaling = scaling;
+          parts.intercept = coefficient();
+          parts.adjusted_r2 = rng.uniform(-1.0, 1.0);
+          const std::size_t nvars = rng.uniform_index(11);  // 0..10 variables
+          std::vector<std::size_t> pool(catalog.size());
+          std::iota(pool.begin(), pool.end(), std::size_t{0});
+          for (std::size_t v = 0; v < nvars; ++v) {
+            // Partial Fisher-Yates: distinct catalog indices.
+            std::swap(pool[v], pool[v + rng.uniform_index(pool.size() - v)]);
+            const std::size_t idx = pool[v];
+            SelectedVariable var;
+            var.counter = catalog[idx].name;
+            var.klass = catalog[idx].klass;
+            var.coefficient = coefficient();
+            var.cumulative_adjusted_r2 = rng.uniform();
+            parts.variables.push_back(var);
+            parts.counter_indices.push_back(idx);
+          }
+          const UnifiedModel original = UnifiedModel::from_parts(parts);
+          const UnifiedModel loaded =
+              deserialize_model(serialize_model(original));
+          EXPECT_EQ(loaded.gpu(), gpu);
+          EXPECT_EQ(loaded.target(), target);
+          EXPECT_EQ(loaded.scaling(), scaling);
+          EXPECT_EQ(loaded.intercept(), original.intercept());
+          EXPECT_EQ(loaded.adjusted_r2(), original.adjusted_r2());
+          ASSERT_EQ(loaded.variables().size(), nvars);
+          for (std::size_t v = 0; v < nvars; ++v) {
+            EXPECT_EQ(loaded.variables()[v].counter,
+                      original.variables()[v].counter);
+            EXPECT_EQ(loaded.variables()[v].klass,
+                      original.variables()[v].klass);
+            EXPECT_EQ(loaded.variables()[v].coefficient,
+                      original.variables()[v].coefficient);
+            EXPECT_EQ(loaded.variables()[v].cumulative_adjusted_r2,
+                      original.variables()[v].cumulative_adjusted_r2);
+          }
+          // Serialized text is stable across a round-trip, which is what
+          // makes core::model_fingerprint a usable cache key.
+          EXPECT_EQ(serialize_model(loaded), serialize_model(original));
+        }
+      }
+    }
+  }
 }
 
 TEST(Serialization, RejectsGarbage) {

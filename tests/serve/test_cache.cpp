@@ -1,0 +1,134 @@
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/serialization.hpp"
+
+namespace gppm::serve {
+namespace {
+
+PredictionKey key(std::uint64_t model_fp, std::uint64_t counters_fp,
+                  sim::FrequencyPair pair = sim::kDefaultPair) {
+  return PredictionKey{model_fp, counters_fp, pair};
+}
+
+TEST(ServeCache, MissThenHit) {
+  PredictionCache cache(16);
+  double v = 0.0;
+  EXPECT_FALSE(cache.lookup(key(1, 2), v));
+  cache.insert(key(1, 2), 42.0);
+  EXPECT_TRUE(cache.lookup(key(1, 2), v));
+  EXPECT_EQ(v, 42.0);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ServeCache, KeyComponentsAllMatter) {
+  PredictionCache cache(16);
+  cache.insert(key(1, 2, sim::kDefaultPair), 1.0);
+  double v = 0.0;
+  EXPECT_FALSE(cache.lookup(key(9, 2, sim::kDefaultPair), v));
+  EXPECT_FALSE(cache.lookup(key(1, 9, sim::kDefaultPair), v));
+  EXPECT_FALSE(cache.lookup(
+      key(1, 2, {sim::ClockLevel::Low, sim::ClockLevel::High}), v));
+  EXPECT_TRUE(cache.lookup(key(1, 2, sim::kDefaultPair), v));
+}
+
+TEST(ServeCache, LruEvictsOldestWithinShard) {
+  // Single shard so the LRU order is global and deterministic.
+  PredictionCache cache(2, /*shards=*/1);
+  cache.insert(key(1, 1), 1.0);
+  cache.insert(key(2, 2), 2.0);
+  double v = 0.0;
+  ASSERT_TRUE(cache.lookup(key(1, 1), v));  // refresh key 1
+  cache.insert(key(3, 3), 3.0);             // evicts key 2 (LRU)
+  EXPECT_TRUE(cache.lookup(key(1, 1), v));
+  EXPECT_FALSE(cache.lookup(key(2, 2), v));
+  EXPECT_TRUE(cache.lookup(key(3, 3), v));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ServeCache, InsertRefreshesExistingEntry) {
+  PredictionCache cache(4, 1);
+  cache.insert(key(1, 1), 1.0);
+  cache.insert(key(1, 1), 7.0);
+  double v = 0.0;
+  ASSERT_TRUE(cache.lookup(key(1, 1), v));
+  EXPECT_EQ(v, 7.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ServeCache, ZeroCapacityDisables) {
+  PredictionCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(key(1, 1), 1.0);
+  double v = 0.0;
+  EXPECT_FALSE(cache.lookup(key(1, 1), v));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeCache, ClearResetsEntriesAndStats) {
+  PredictionCache cache(8);
+  cache.insert(key(1, 1), 1.0);
+  double v = 0.0;
+  cache.lookup(key(1, 1), v);
+  cache.clear();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+}
+
+TEST(ServeCache, CountersFingerprintSeparatesPhases) {
+  profiler::ProfileResult a;
+  a.run_time = Duration::seconds(1.0);
+  a.counters.push_back({"c0", profiler::EventClass::Core, 10.0, 10.0});
+  profiler::ProfileResult b = a;
+  EXPECT_EQ(counters_fingerprint(a), counters_fingerprint(b));
+  b.counters[0].total = 10.0000001;
+  EXPECT_NE(counters_fingerprint(a), counters_fingerprint(b));
+}
+
+TEST(ServeCache, ModelFingerprintStableAcrossRoundTrip) {
+  const core::Dataset ds = core::build_dataset(sim::GpuModel::GTX460);
+  const core::UnifiedModel power =
+      core::UnifiedModel::fit(ds, core::TargetKind::Power);
+  const core::UnifiedModel perf =
+      core::UnifiedModel::fit(ds, core::TargetKind::ExecTime);
+  EXPECT_NE(core::model_fingerprint(power), core::model_fingerprint(perf));
+  const core::UnifiedModel loaded =
+      core::deserialize_model(core::serialize_model(power));
+  EXPECT_EQ(core::model_fingerprint(power), core::model_fingerprint(loaded));
+}
+
+TEST(ServeCache, ConcurrentMixedLoadKeepsCounts) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 5000;
+  PredictionCache cache(256);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const auto k = key(static_cast<std::uint64_t>(t),
+                           static_cast<std::uint64_t>(i % 97));
+        double v = 0.0;
+        if (!cache.lookup(k, v)) cache.insert(k, static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_LE(s.entries, 256u);
+}
+
+}  // namespace
+}  // namespace gppm::serve

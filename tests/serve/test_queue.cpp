@@ -1,0 +1,131 @@
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace gppm::serve {
+namespace {
+
+TEST(ServeQueue, PushPopBasics) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  const std::vector<int> batch = q.pop_batch(2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 1);  // FIFO
+  EXPECT_EQ(batch[1], 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ServeQueue, PopBatchDrainsUpToMax) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.pop_batch(64).size(), 10u);
+}
+
+TEST(ServeQueue, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.pop_batch(1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(ServeQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), Error);
+}
+
+TEST(ServeQueue, HighWaterMarkTracksPeakDepth) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  q.pop_batch(5);
+  q.push(1);
+  EXPECT_EQ(q.high_water_mark(), 5u);
+}
+
+TEST(ServeQueue, CloseRejectsNewButDrainsQueued) {
+  BoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop_batch(8).size(), 2u);  // drain still works
+  EXPECT_TRUE(q.pop_batch(8).empty());   // then empty-on-closed
+}
+
+TEST(ServeQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] { EXPECT_TRUE(q.pop_batch(4).empty()); });
+  q.close();
+  consumer.join();
+}
+
+TEST(ServeQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });  // blocks on full
+  q.close();
+  producer.join();
+}
+
+TEST(ServeQueue, FullQueueAppliesBackpressure) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));
+    pushed.store(true);
+  });
+  // The producer must be blocked until a pop frees a slot.
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop_batch(1).size(), 1u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop_batch(1).front(), 2);
+}
+
+TEST(ServeQueue, ConcurrentProducersConsumersConserveItems) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> q(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        const std::vector<int> batch = q.pop_batch(16);
+        if (batch.empty()) return;  // closed and drained
+        for (int v : batch) sum.fetch_add(v);
+        popped.fetch_add(static_cast<int>(batch.size()));
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace gppm::serve

@@ -1,0 +1,268 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "serve/trace.hpp"
+
+namespace gppm::serve {
+namespace {
+
+const core::Dataset& dataset() {
+  static const core::Dataset ds = core::build_dataset(sim::GpuModel::GTX460);
+  return ds;
+}
+
+const core::UnifiedModel& power_model() {
+  static const core::UnifiedModel m =
+      core::UnifiedModel::fit(dataset(), core::TargetKind::Power);
+  return m;
+}
+
+const core::UnifiedModel& perf_model() {
+  static const core::UnifiedModel m =
+      core::UnifiedModel::fit(dataset(), core::TargetKind::ExecTime);
+  return m;
+}
+
+Request predict_request(const profiler::ProfileResult& counters,
+                        sim::FrequencyPair pair = sim::kDefaultPair) {
+  Request r;
+  r.kind = RequestKind::Predict;
+  r.gpu = sim::GpuModel::GTX460;
+  r.counters = counters;
+  r.pair = pair;
+  return r;
+}
+
+TEST(ServeServer, LoadValidatesModelPairing) {
+  PredictionServer server;
+  EXPECT_THROW(server.load_models(perf_model(), perf_model()), Error);
+  EXPECT_THROW(server.load_models(power_model(), power_model()), Error);
+  EXPECT_FALSE(server.has_models(sim::GpuModel::GTX460));
+  server.load_models(power_model(), perf_model());
+  EXPECT_TRUE(server.has_models(sim::GpuModel::GTX460));
+  EXPECT_FALSE(server.has_models(sim::GpuModel::GTX680));
+}
+
+TEST(ServeServer, PredictMatchesDirectModelCall) {
+  PredictionServer server;
+  server.load_models(power_model(), perf_model());
+  const profiler::ProfileResult& counters = dataset().samples.front().counters;
+  const sim::FrequencyPair pair{sim::ClockLevel::Medium, sim::ClockLevel::Low};
+  const Response r = server.submit(predict_request(counters, pair)).get();
+  EXPECT_EQ(r.kind, RequestKind::Predict);
+  EXPECT_EQ(r.pair, pair);
+  EXPECT_DOUBLE_EQ(r.power_watts, power_model().predict(counters, pair));
+  EXPECT_DOUBLE_EQ(r.time_seconds, perf_model().predict(counters, pair));
+  EXPECT_DOUBLE_EQ(r.energy_joules, r.power_watts * r.time_seconds);
+  EXPECT_GT(r.latency.as_seconds(), 0.0);
+}
+
+TEST(ServeServer, OptimizeMatchesOptimizer) {
+  PredictionServer server;
+  server.load_models(power_model(), perf_model());
+  for (std::size_t i = 0; i < 5; ++i) {
+    const core::Sample& sample = dataset().samples[i * 7];
+    Request req;
+    req.kind = RequestKind::Optimize;
+    req.gpu = sim::GpuModel::GTX460;
+    req.counters = sample.counters;
+    const Response r = server.submit(req).get();
+    EXPECT_EQ(r.pair, core::predict_min_energy_pair(power_model(), perf_model(),
+                                                    sample.counters));
+    // The response carries the optimizer-clamped values.
+    bool found = false;
+    for (const core::PairPrediction& p : core::predict_all_pairs(
+             power_model(), perf_model(), sample.counters)) {
+      if (!(p.pair == r.pair)) continue;
+      found = true;
+      EXPECT_DOUBLE_EQ(r.power_watts, p.predicted_power_watts);
+      EXPECT_DOUBLE_EQ(r.time_seconds, p.predicted_time_seconds);
+      EXPECT_DOUBLE_EQ(r.energy_joules, p.predicted_energy_joules);
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ServeServer, GovernMatchesFreshGovernor) {
+  ServerOptions opt;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+  core::GovernorOptions gopt = opt.governor;
+  gopt.policy = core::GovernorPolicy::MinimumEnergy;
+  core::DvfsGovernor reference(power_model(), perf_model(), gopt);
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    const core::Sample& sample = dataset().samples[i * 3];
+    Request req;
+    req.kind = RequestKind::Govern;
+    req.gpu = sim::GpuModel::GTX460;
+    req.counters = sample.counters;
+    req.policy = core::GovernorPolicy::MinimumEnergy;
+    const Response r = server.submit(req).get();
+    // The server's governor sees the same phase sequence, so its stateful
+    // hysteresis decisions must match the reference governor's.
+    EXPECT_EQ(r.pair, reference.decide(sample.counters));
+  }
+}
+
+TEST(ServeServer, RepeatedRequestHitsCache) {
+  PredictionServer server;
+  server.load_models(power_model(), perf_model());
+  const Request req = predict_request(dataset().samples.front().counters);
+  const Response first = server.submit(req).get();
+  EXPECT_FALSE(first.cache_hit);
+  const Response second = server.submit(req).get();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_DOUBLE_EQ(second.power_watts, first.power_watts);
+  const ServerMetrics m = server.metrics();
+  EXPECT_GE(m.cache.hits, 2u);  // power + time predictions on the repeat
+  EXPECT_GE(m.cache.entries, 2u);
+}
+
+TEST(ServeServer, DisabledCacheNeverHits) {
+  ServerOptions opt;
+  opt.cache_capacity = 0;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+  const Request req = predict_request(dataset().samples.front().counters);
+  EXPECT_FALSE(server.submit(req).get().cache_hit);
+  EXPECT_FALSE(server.submit(req).get().cache_hit);
+  EXPECT_EQ(server.metrics().cache.hits, 0u);
+}
+
+TEST(ServeServer, HotSwapChangesServedModel) {
+  PredictionServer server;
+  server.load_models(power_model(), perf_model());
+  core::ModelOptions ext;
+  ext.scaling = core::FeatureScaling::VoltageSquaredFrequency;
+  ext.include_baseline_terms = true;
+  const core::UnifiedModel extended =
+      core::UnifiedModel::fit(dataset(), core::TargetKind::Power, ext);
+  server.load_models(extended, perf_model());
+  const profiler::ProfileResult& counters = dataset().samples.back().counters;
+  const Response r = server.submit(predict_request(counters)).get();
+  EXPECT_DOUBLE_EQ(r.power_watts, extended.predict(counters, sim::kDefaultPair));
+}
+
+TEST(ServeServer, UnloadedBoardFailsTheFuture) {
+  PredictionServer server;
+  server.load_models(power_model(), perf_model());
+  Request req = predict_request(dataset().samples.front().counters);
+  req.gpu = sim::GpuModel::GTX680;  // never loaded
+  EXPECT_THROW(server.submit(req).get(), Error);
+}
+
+TEST(ServeServer, ShutdownDrainsQueuedWorkAndRejectsNew) {
+  ServerOptions opt;
+  opt.worker_threads = 2;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(
+        server.submit(predict_request(dataset().samples.front().counters)));
+  }
+  server.shutdown();
+  EXPECT_FALSE(server.running());
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());  // all drained
+
+  EXPECT_THROW(
+      server.submit(predict_request(dataset().samples.front().counters)),
+      Error);
+  EXPECT_EQ(server.try_submit(
+                predict_request(dataset().samples.front().counters)),
+            std::nullopt);
+  EXPECT_GE(server.metrics().rejected_requests, 2u);
+  EXPECT_EQ(server.metrics().total_requests, 200u);
+}
+
+TEST(ServeServer, ShutdownIsIdempotent) {
+  PredictionServer server;
+  server.shutdown();
+  server.shutdown();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeServer, ConcurrentClientsAllAnswered) {
+  ServerOptions opt;
+  opt.worker_threads = 4;
+  opt.queue_capacity = 64;  // small queue: exercises back-pressure
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 500;
+  std::vector<std::thread> clients;
+  std::array<std::size_t, kClients> answered{};
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const core::Sample& sample =
+            dataset().samples[(c * kPerClient + i) % dataset().samples.size()];
+        Request req;
+        req.gpu = sim::GpuModel::GTX460;
+        req.counters = sample.counters;
+        switch (i % 3) {
+          case 0:
+            req.kind = RequestKind::Predict;
+            req.pair = sample.runs[i % sample.runs.size()].pair;
+            break;
+          case 1: req.kind = RequestKind::Optimize; break;
+          case 2:
+            req.kind = RequestKind::Govern;
+            req.policy = core::GovernorPolicy::MinimumEdp;
+            break;
+        }
+        // Predict returns *raw* model output, which may be non-positive for
+        // unfavorable counter/pair combos — count resolution, not value.
+        const Response r = server.submit(req).get();
+        if (r.latency.as_seconds() > 0.0) ++answered[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(answered[c], kPerClient);
+  }
+  const ServerMetrics m = server.metrics();
+  EXPECT_EQ(m.total_requests, kClients * kPerClient);
+  EXPECT_GE(m.batches, 1u);
+  EXPECT_GT(m.cache.hit_rate(), 0.5);  // phases repeat across clients
+}
+
+TEST(ServeServer, SyntheticTraceReplayEndToEnd) {
+  ServerOptions opt;
+  opt.worker_threads = 2;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+
+  PhaseCorpus corpus;
+  corpus.gpu = sim::GpuModel::GTX460;
+  for (std::size_t i = 0; i < 8; ++i) {
+    corpus.names.push_back(dataset().samples[i].benchmark);
+    corpus.counters.push_back(dataset().samples[i].counters);
+  }
+  TraceOptions topt;
+  topt.request_count = 400;
+  const std::vector<Request> trace = synthetic_trace(corpus, topt);
+  ASSERT_EQ(trace.size(), 400u);
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(trace.size());
+  for (const Request& req : trace) futures.push_back(server.submit(req));
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  const ServerMetrics m = server.metrics();
+  EXPECT_EQ(m.total_requests, 400u);
+  std::uint64_t per_endpoint = 0;
+  for (const EndpointStats& s : m.endpoints) per_endpoint += s.requests;
+  EXPECT_EQ(per_endpoint, 400u);
+  EXPECT_GT(m.cache.hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace gppm::serve

@@ -14,11 +14,15 @@
 //                                       predict every configurable pair
 //   gppm governor <gpu> <bench> [bench...]
 //                                       run the phase-level DVFS governor
+//   gppm serve-bench <gpu> [options]    replay a synthetic trace against the
+//                                       concurrent prediction server
 //
 // GPU names: gtx285, gtx460, gtx480, gtx680.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "common/str.hpp"
 #include "common/table.hpp"
@@ -30,15 +34,18 @@
 #include "kernelir/programs.hpp"
 #include "kernelir/trace.hpp"
 #include "profiler/cuda_profiler.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
 #include "workload/suite.hpp"
 
 using namespace gppm;
 
 namespace {
 
-int usage() {
-  std::cerr
-      << "usage:\n"
+/// Explicitly requested help prints to stdout and exits 0; a bad
+/// invocation prints the same text to stderr and exits 2.
+int usage(std::ostream& out, int code) {
+  out << "usage:\n"
          "  gppm specs\n"
          "  gppm pairs <gpu>\n"
          "  gppm counters <gpu>\n"
@@ -48,9 +55,13 @@ int usage() {
          "  gppm fit <gpu> <power|exectime> [--out FILE] [--v2f] [--baseline]\n"
          "  gppm predict <model-file> <benchmark> [size-index]\n"
          "  gppm governor <gpu> <benchmark> [benchmark...]\n"
+         "  gppm serve-bench <gpu> [--requests N] [--workers N] [--clients N]"
+         " [--cache N] [--jitter F]\n"
          "gpus: gtx285 gtx460 gtx480 gtx680\n";
-  return 2;
+  return code;
 }
+
+int usage() { return usage(std::cerr, 2); }
 
 sim::GpuModel parse_gpu(const std::string& name) {
   if (name == "gtx285") return sim::GpuModel::GTX285;
@@ -299,12 +310,88 @@ int cmd_governor(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve_bench(int argc, char** argv) {
+  // gppm serve-bench <gpu> [--requests N] [--workers N] [--clients N]
+  //                        [--cache N] [--jitter F]
+  if (argc < 3) return usage();
+  const sim::GpuModel model = parse_gpu(argv[2]);
+  std::size_t requests = 5000, workers = 4, clients = 4, cache = 1 << 16;
+  double jitter = 0.0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--requests" && has_value) {
+      requests = std::stoul(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      workers = std::stoul(argv[++i]);
+    } else if (arg == "--clients" && has_value) {
+      clients = std::stoul(argv[++i]);
+    } else if (arg == "--cache" && has_value) {
+      cache = std::stoul(argv[++i]);
+    } else if (arg == "--jitter" && has_value) {
+      jitter = std::stod(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  if (requests == 0 || workers == 0 || clients == 0) return usage();
+
+  std::cout << "fitting models for " << sim::to_string(model)
+            << " (extended form)...\n";
+  const core::Dataset ds = core::build_dataset(model);
+  core::ModelOptions popt;
+  popt.scaling = core::FeatureScaling::VoltageSquaredFrequency;
+  popt.include_baseline_terms = true;
+
+  serve::ServerOptions sopt;
+  sopt.worker_threads = workers;
+  sopt.cache_capacity = cache;
+  serve::PredictionServer server(sopt);
+  server.load_models(core::UnifiedModel::fit(ds, core::TargetKind::Power, popt),
+                     core::UnifiedModel::fit(ds, core::TargetKind::ExecTime));
+
+  const serve::PhaseCorpus corpus = serve::build_phase_corpus(model);
+  serve::TraceOptions topt;
+  topt.request_count = requests;
+  topt.counter_jitter = jitter;
+  const std::vector<serve::Request> trace = serve::synthetic_trace(corpus, topt);
+  std::cout << corpus.counters.size() << " phases, " << trace.size()
+            << " requests, " << clients << " closed-loop clients, " << workers
+            << " workers\n";
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (std::size_t i = c; i < trace.size(); i += clients) {
+        server.submit(trace[i]).get();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  server.shutdown();
+  server.metrics().print(std::cout);
+  std::cout << "replayed " << trace.size() << " requests in "
+            << format_double(elapsed, 3) << " s = "
+            << format_double(static_cast<double>(trace.size()) / elapsed, 0)
+            << " req/s\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      return usage(std::cout, 0);
+    }
     if (cmd == "specs") return cmd_specs();
     if (cmd == "pairs" && argc == 3) return cmd_pairs(argv[2]);
     if (cmd == "counters" && argc == 3) return cmd_counters(argv[2]);
@@ -314,8 +401,12 @@ int main(int argc, char** argv) {
     if (cmd == "fit") return cmd_fit(argc, argv);
     if (cmd == "predict") return cmd_predict(argc, argv);
     if (cmd == "governor") return cmd_governor(argc, argv);
+    if (cmd == "serve-bench") return cmd_serve_bench(argc, argv);
     return usage();
   } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

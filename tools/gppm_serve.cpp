@@ -1,0 +1,183 @@
+// gppm-serve — standalone serving driver.
+//
+// Fits (or loads) the power/exectime model pair for a board, builds the
+// synthetic suite trace, replays it against a PredictionServer with
+// closed-loop clients and reports throughput plus the full metrics table.
+//
+//   gppm-serve [--gpu gtx680] [--requests N] [--workers N] [--clients N]
+//              [--cache N] [--jitter F] [--all-sizes] [--csv]
+//              [--power-model FILE --perf-model FILE]
+//
+// Without --power-model/--perf-model the models are fitted in-process from
+// the board's 114-sample corpus (the extended V^2 f + baseline form, the
+// one a DVFS governor actually wants to serve).
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/str.hpp"
+#include "core/dataset.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+
+using namespace gppm;
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: gppm-serve [--gpu gtx285|gtx460|gtx480|gtx680]\n"
+         "                  [--requests N] [--workers N] [--clients N]\n"
+         "                  [--cache ENTRIES] [--jitter FRACTION]\n"
+         "                  [--all-sizes] [--csv]\n"
+         "                  [--power-model FILE --perf-model FILE]\n";
+  return code;
+}
+
+sim::GpuModel parse_gpu(const std::string& name) {
+  if (name == "gtx285") return sim::GpuModel::GTX285;
+  if (name == "gtx460") return sim::GpuModel::GTX460;
+  if (name == "gtx480") return sim::GpuModel::GTX480;
+  if (name == "gtx680") return sim::GpuModel::GTX680;
+  throw Error("unknown GPU '" + name + "' (expected gtx285/460/480/680)");
+}
+
+struct Cli {
+  sim::GpuModel gpu = sim::GpuModel::GTX680;
+  std::size_t requests = 20000;
+  std::size_t workers = 4;
+  std::size_t clients = 4;
+  std::size_t cache = 1 << 16;
+  double jitter = 0.0;
+  bool all_sizes = false;
+  bool csv = false;
+  std::string power_model_path;
+  std::string perf_model_path;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const bool has_value = i + 1 < argc;
+      if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+      if (arg == "--gpu" && has_value) {
+        cli.gpu = parse_gpu(argv[++i]);
+      } else if (arg == "--requests" && has_value) {
+        cli.requests = std::stoul(argv[++i]);
+      } else if (arg == "--workers" && has_value) {
+        cli.workers = std::stoul(argv[++i]);
+      } else if (arg == "--clients" && has_value) {
+        cli.clients = std::stoul(argv[++i]);
+      } else if (arg == "--cache" && has_value) {
+        cli.cache = std::stoul(argv[++i]);
+      } else if (arg == "--jitter" && has_value) {
+        cli.jitter = std::stod(argv[++i]);
+      } else if (arg == "--all-sizes") {
+        cli.all_sizes = true;
+      } else if (arg == "--csv") {
+        cli.csv = true;
+      } else if (arg == "--power-model" && has_value) {
+        cli.power_model_path = argv[++i];
+      } else if (arg == "--perf-model" && has_value) {
+        cli.perf_model_path = argv[++i];
+      } else {
+        return usage(std::cerr, 2);
+      }
+    }
+    if (cli.power_model_path.empty() != cli.perf_model_path.empty()) {
+      std::cerr << "error: --power-model and --perf-model go together\n";
+      return 2;
+    }
+    if (cli.requests == 0 || cli.workers == 0 || cli.clients == 0) {
+      std::cerr << "error: --requests/--workers/--clients must be positive\n";
+      return 2;
+    }
+
+    serve::ServerOptions sopt;
+    sopt.worker_threads = cli.workers;
+    sopt.cache_capacity = cli.cache;
+    serve::PredictionServer server(sopt);
+
+    if (!cli.power_model_path.empty()) {
+      std::cout << "loading models from " << cli.power_model_path << " + "
+                << cli.perf_model_path << "\n";
+      // The trace must target the board the files were fitted for, which
+      // wins over any --gpu value.
+      cli.gpu = server.load_model_files(cli.power_model_path,
+                                        cli.perf_model_path);
+      std::cout << "serving board: " << sim::to_string(cli.gpu) << "\n";
+    } else {
+      std::cout << "fitting models for " << sim::to_string(cli.gpu)
+                << " (extended V^2 f + baseline form)...\n";
+      const core::Dataset ds = core::build_dataset(cli.gpu);
+      core::ModelOptions popt;
+      popt.scaling = core::FeatureScaling::VoltageSquaredFrequency;
+      popt.include_baseline_terms = true;
+      server.load_models(
+          core::UnifiedModel::fit(ds, core::TargetKind::Power, popt),
+          core::UnifiedModel::fit(ds, core::TargetKind::ExecTime));
+    }
+
+    std::cout << "profiling the suite into a phase corpus...\n";
+    const serve::PhaseCorpus corpus =
+        serve::build_phase_corpus(cli.gpu, cli.all_sizes);
+    serve::TraceOptions topt;
+    topt.request_count = cli.requests;
+    topt.counter_jitter = cli.jitter;
+    const std::vector<serve::Request> trace =
+        serve::synthetic_trace(corpus, topt);
+    std::cout << corpus.counters.size() << " phases, " << trace.size()
+              << " requests, " << cli.clients << " closed-loop clients, "
+              << cli.workers << " workers\n";
+
+    // Closed-loop replay: each client owns a contiguous slice of the trace
+    // and keeps exactly one request in flight.
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(cli.clients);
+    std::atomic<std::size_t> failed{0};
+    for (std::size_t c = 0; c < cli.clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = c; i < trace.size(); i += cli.clients) {
+          try {
+            server.submit(trace[i]).get();
+          } catch (const std::exception&) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    server.shutdown();
+    const serve::ServerMetrics metrics = server.metrics();
+    metrics.print(std::cout);
+    if (failed.load() > 0) {
+      std::cout << failed.load() << " requests failed\n";
+    }
+    std::cout << "replayed " << trace.size() << " requests in "
+              << format_double(elapsed, 3) << " s = "
+              << format_double(static_cast<double>(trace.size()) / elapsed, 0)
+              << " req/s\n";
+    if (cli.csv) {
+      std::cout << "BEGIN-CSV serve_metrics\n";
+      metrics.write_csv(std::cout);
+      std::cout << "END-CSV\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
