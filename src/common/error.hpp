@@ -18,6 +18,21 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure that is expected to go away on retry: a dropped instrument
+/// sample, a timed-out NVML query, a P-state transition the board refused
+/// once.  Retry loops (common/retry.hpp) retry exactly this type.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A failure that will not go away on retry (bad configuration, a lost
+/// device).  Retry loops propagate it immediately.
+class PermanentError : public Error {
+ public:
+  explicit PermanentError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void raise(const char* expr, const char* file, int line,
                                const std::string& msg) {

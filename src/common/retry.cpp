@@ -1,0 +1,21 @@
+#include "common/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gppm {
+
+Duration backoff_delay(const RetryPolicy& policy, int retry, Rng& rng) {
+  const double base = policy.initial_backoff.as_seconds() *
+                      std::pow(std::max(1.0, policy.multiplier),
+                               static_cast<double>(std::max(0, retry)));
+  const double capped = std::min(base, policy.max_backoff.as_seconds());
+  const double jitter =
+      policy.jitter_fraction > 0.0
+          ? rng.uniform(1.0 - policy.jitter_fraction,
+                        1.0 + policy.jitter_fraction)
+          : 1.0;
+  return Duration::seconds(std::max(0.0, capped * jitter));
+}
+
+}  // namespace gppm

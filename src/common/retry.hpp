@@ -1,0 +1,83 @@
+// Bounded retry with exponential backoff — the acquisition layer's answer
+// to an unreliable instrument channel.
+//
+// A real characterization rig (wall-power meter on a serial link, NVML over
+// the driver, VBIOS reflash + reboot per P-state) sees transient failures
+// routinely; the paper's 37-benchmark x pair sweep cannot afford to abort on
+// the first one.  Errors are split into transient (retry) and permanent
+// (propagate) via the exception types in common/error.hpp, and retries are
+// paced by an exponential backoff whose jitter comes from the library's
+// deterministic RNG, so a replayed sweep backs off identically.
+//
+// Backoff time is *virtual*: the simulator never sleeps.  Delays are
+// computed, accumulated into RetryStats and charged against the policy's
+// retry budget exactly as a wall-clock implementation would, which keeps
+// tests instant and sweeps reproducible.
+#pragma once
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace gppm {
+
+/// Retry discipline for one logical operation (one measurement, one query,
+/// one P-state transition).
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 4;
+  /// Backoff before the first retry; doubles (by `multiplier`) per retry.
+  Duration initial_backoff = Duration::milliseconds(10.0);
+  double multiplier = 2.0;
+  /// Per-retry backoff ceiling.
+  Duration max_backoff = Duration::seconds(2.0);
+  /// Deterministic jitter: each delay is scaled by a factor drawn uniformly
+  /// from [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.1;
+  /// Total backoff budget across the operation's retries; once spent, the
+  /// next transient failure is final.
+  Duration retry_budget = Duration::seconds(10.0);
+};
+
+/// What one retried operation actually did.
+struct RetryStats {
+  int attempts = 0;               ///< attempts performed (>= 1 once run)
+  int transient_failures = 0;     ///< transient errors absorbed
+  Duration total_backoff;         ///< virtual time spent backing off
+  bool budget_exhausted = false;  ///< gave up because the budget ran out
+};
+
+/// Backoff before retry number `retry` (0-based: the delay after the first
+/// failure is backoff_delay(policy, 0, rng)).  Deterministic given the RNG
+/// state.
+Duration backoff_delay(const RetryPolicy& policy, int retry, Rng& rng);
+
+/// Run `fn`, retrying on TransientError under `policy`.  PermanentError and
+/// every other exception propagate immediately.  When attempts or budget
+/// run out, the last TransientError propagates.  `stats` accumulates what
+/// happened either way; `rng` drives the jitter (pass a forked stream for
+/// order-independent determinism).
+template <typename Fn>
+auto retry_call(const RetryPolicy& policy, Rng& rng, RetryStats& stats,
+                Fn&& fn) -> decltype(fn()) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 0;; ++attempt) {
+    ++stats.attempts;
+    try {
+      return std::forward<Fn>(fn)();
+    } catch (const TransientError&) {
+      ++stats.transient_failures;
+      if (attempt + 1 >= attempts) throw;
+      const Duration delay = backoff_delay(policy, attempt, rng);
+      if (stats.total_backoff + delay > policy.retry_budget) {
+        stats.budget_exhausted = true;
+        throw;
+      }
+      stats.total_backoff += delay;
+    }
+  }
+}
+
+}  // namespace gppm

@@ -3,15 +3,30 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/str.hpp"
 #include "workload/suite.hpp"
 
 namespace gppm::core {
 
 const PairResult& Sweep::at(sim::FrequencyPair pair) const {
-  for (const PairResult& r : results) {
-    if (r.measurement.pair == pair) return r;
+  const PairResult* r = find(pair);
+  if (r == nullptr) {
+    throw Error("pair " + sim::to_string(pair) + " not in sweep");
   }
-  throw Error("pair " + sim::to_string(pair) + " not in sweep");
+  return *r;
+}
+
+const PairResult* Sweep::find(sim::FrequencyPair pair) const {
+  for (const PairResult& r : results) {
+    if (r.measurement.pair == pair) return &r;
+  }
+  return nullptr;
+}
+
+double Sweep::coverage() const {
+  const std::size_t total = total_cells();
+  if (total == 0) return 0.0;
+  return static_cast<double>(results.size()) / static_cast<double>(total);
 }
 
 sim::FrequencyPair Sweep::best_pair() const {
@@ -87,6 +102,36 @@ Sweep sweep_pairs(MeasurementRunner& runner,
   return sweep;
 }
 
+Sweep sweep_pairs_resilient(MeasurementRunner& runner,
+                            const workload::BenchmarkDef& benchmark,
+                            std::size_t size_index) {
+  Sweep sweep;
+  sweep.benchmark = benchmark.name;
+  sweep.gpu = runner.gpu().spec().model;
+
+  for (sim::FrequencyPair pair : dvfs::configurable_pairs(sweep.gpu)) {
+    MeasuredCell cell = runner.measure_checked(benchmark, size_index, pair);
+    if (cell.covered()) {
+      PairResult r;
+      r.measurement = *cell.measurement;
+      r.quality = std::move(cell.quality);
+      sweep.results.push_back(std::move(r));
+    } else {
+      sweep.missing.push_back({pair, std::move(cell.quality)});
+    }
+  }
+
+  if (const PairResult* def = sweep.find(sim::kDefaultPair)) {
+    const Measurement m = def->measurement;
+    for (PairResult& r : sweep.results) {
+      r.relative_performance = r.measurement.performance() / m.performance();
+      r.relative_efficiency =
+          r.measurement.power_efficiency() / m.power_efficiency();
+    }
+  }
+  return sweep;
+}
+
 std::vector<BestPairRow> characterize_suite(std::uint64_t seed) {
   std::vector<BestPairRow> rows;
   std::vector<MeasurementRunner> runners;
@@ -108,6 +153,106 @@ std::vector<BestPairRow> characterize_suite(std::uint64_t seed) {
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+double ChaosReport::coverage() const {
+  if (cells_total == 0) return 0.0;
+  return static_cast<double>(cells_covered) / static_cast<double>(cells_total);
+}
+
+std::size_t ChaosReport::divergent_count() const {
+  std::size_t n = 0;
+  for (const ChaosBenchmarkRow& row : rows) n += row.divergent ? 1 : 0;
+  return n;
+}
+
+std::size_t ChaosReport::comparable_count() const {
+  std::size_t n = 0;
+  for (const ChaosBenchmarkRow& row : rows) n += row.comparable ? 1 : 0;
+  return n;
+}
+
+std::string ChaosReport::summary() const {
+  std::string out;
+  out += "gpu=" + sim::to_string(gpu) + " seed=" + std::to_string(seed) + "\n";
+  out += "coverage=" + std::to_string(cells_covered) + "/" +
+         std::to_string(cells_total) + " (" +
+         format_double(coverage() * 100.0, 2) + "%)\n";
+  out += "divergent=" + std::to_string(divergent_count()) +
+         " comparable=" + std::to_string(comparable_count()) + "/" +
+         std::to_string(rows.size()) + "\n";
+  out += "faults=" + std::to_string(fault_fires) + "/" +
+         std::to_string(fault_checks) + " site checks\n";
+  for (const ChaosCell& c : cells) {
+    out += c.benchmark + " " + sim::to_string(c.pair) + ": " +
+           c.quality.to_string() + "\n";
+  }
+  return out;
+}
+
+ChaosReport chaos_characterization(sim::GpuModel gpu,
+                                   const fault::FaultPlan& plan,
+                                   std::uint64_t seed,
+                                   std::size_t benchmark_limit) {
+  ChaosReport report;
+  report.gpu = gpu;
+  report.seed = seed;
+
+  RunnerOptions clean_opt;
+  clean_opt.seed = seed;
+  MeasurementRunner clean_runner(gpu, clean_opt);
+
+  fault::FaultInjector injector(plan, seed);
+  RunnerOptions chaos_opt;
+  chaos_opt.seed = seed;
+  chaos_opt.injector = &injector;
+  MeasurementRunner chaos_runner(gpu, chaos_opt);
+
+  std::size_t count = 0;
+  for (const workload::BenchmarkDef& def : workload::benchmark_suite()) {
+    if (benchmark_limit != 0 && count++ >= benchmark_limit) break;
+    const std::size_t size = def.size_count - 1;
+    const Sweep clean = sweep_pairs_resilient(clean_runner, def, size);
+    const Sweep chaos = sweep_pairs_resilient(chaos_runner, def, size);
+    GPPM_ASSERT(clean.missing.empty());  // healthy instruments always cover
+
+    ChaosBenchmarkRow row;
+    row.benchmark = def.name;
+    row.best_fault_free = clean.best_pair();
+    row.covered = chaos.results.size();
+    row.total = chaos.total_cells();
+    if (!chaos.results.empty()) {
+      row.has_chaos_best = true;
+      row.best_chaos = chaos.best_pair();
+      row.comparable = chaos.find(row.best_fault_free) != nullptr;
+      row.divergent =
+          row.comparable && !(row.best_chaos == row.best_fault_free);
+    }
+    report.cells_total += row.total;
+    report.cells_covered += row.covered;
+
+    // Cells in TABLE III pair order, covered and missing interleaved back
+    // into deterministic sequence.
+    for (sim::FrequencyPair pair : dvfs::configurable_pairs(gpu)) {
+      ChaosCell cell;
+      cell.benchmark = def.name;
+      cell.pair = pair;
+      if (const PairResult* r = chaos.find(pair)) {
+        cell.covered = true;
+        cell.quality = r->quality;
+      } else {
+        for (const MissingCell& m : chaos.missing) {
+          if (m.pair == pair) cell.quality = m.quality;
+        }
+      }
+      report.cells.push_back(std::move(cell));
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  report.fault_checks = injector.total_checks();
+  report.fault_fires = injector.total_fires();
+  return report;
 }
 
 }  // namespace gppm::core

@@ -4,11 +4,13 @@
 // improvement over the default pair (Fig. 4).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/runner.hpp"
 #include "dvfs/combos.hpp"
+#include "fault/plan.hpp"
 
 namespace gppm::core {
 
@@ -17,16 +19,35 @@ struct PairResult {
   Measurement measurement;
   double relative_performance = 1.0;     ///< perf / perf(H-H)
   double relative_efficiency = 1.0;      ///< (1/E) / (1/E at H-H)
+  /// Measurement quality (meaningful for resilient sweeps; an untouched
+  /// default for the plain fault-free path).
+  QualityReport quality;
+};
+
+/// A (benchmark, pair) cell a resilient sweep could not measure.
+struct MissingCell {
+  sim::FrequencyPair pair;
+  QualityReport quality;  ///< why the cell is missing
 };
 
 /// One benchmark x board sweep over all configurable pairs.
 struct Sweep {
   std::string benchmark;
   sim::GpuModel gpu;
-  std::vector<PairResult> results;  ///< TABLE III row order
+  std::vector<PairResult> results;  ///< TABLE III row order, covered cells
+  /// Cells the resilient sweep recorded as permanently failed (empty for
+  /// the plain fault-free sweep, which aborts on the first error instead).
+  std::vector<MissingCell> missing;
 
   /// Result at a pair; throws if the pair was not swept.
   const PairResult& at(sim::FrequencyPair pair) const;
+
+  /// Result at a pair, or nullptr when the cell is missing / not swept.
+  const PairResult* find(sim::FrequencyPair pair) const;
+
+  std::size_t total_cells() const { return results.size() + missing.size(); }
+  /// Covered fraction; 1.0 for a sweep with no missing cells.
+  double coverage() const;
 
   /// The pair with the best power efficiency (minimum energy).
   sim::FrequencyPair best_pair() const;
@@ -52,6 +73,15 @@ Sweep sweep_pairs(MeasurementRunner& runner,
                   const workload::BenchmarkDef& benchmark,
                   std::size_t size_index);
 
+/// Resilient sweep through MeasurementRunner::measure_checked: instrument
+/// faults are retried, invalid runs re-measured, and a permanently failed
+/// (benchmark, pair) cell lands in `missing` instead of aborting the sweep.
+/// Relative metrics are computed against (H-H) when that cell is covered
+/// and left at 1.0 otherwise.
+Sweep sweep_pairs_resilient(MeasurementRunner& runner,
+                            const workload::BenchmarkDef& benchmark,
+                            std::size_t size_index);
+
 /// TABLE IV row: the best pair of one benchmark on each board.
 struct BestPairRow {
   std::string benchmark;
@@ -63,5 +93,65 @@ struct BestPairRow {
 /// `seed` feeds the runners.  This is the expensive full-suite sweep behind
 /// TABLE IV and Fig. 4.
 std::vector<BestPairRow> characterize_suite(std::uint64_t seed = 42);
+
+/// One benchmark's outcome in a chaos characterization: the fault-free
+/// TABLE IV pick vs. the pick under injected faults, plus that benchmark's
+/// cell coverage.
+struct ChaosBenchmarkRow {
+  std::string benchmark;
+  sim::FrequencyPair best_fault_free = sim::kDefaultPair;
+  /// True when the chaos sweep covered at least one cell (so it has a best
+  /// pair at all).
+  bool has_chaos_best = false;
+  sim::FrequencyPair best_chaos = sim::kDefaultPair;
+  /// True when the fault-free best pair's cell is covered in the chaos
+  /// sweep — only then is a best-pair comparison meaningful.
+  bool comparable = false;
+  /// Comparable and the picks differ: measurement quality, not coverage,
+  /// changed TABLE IV.
+  bool divergent = false;
+  std::size_t covered = 0;
+  std::size_t total = 0;
+};
+
+/// A (benchmark, pair) cell's quality in a chaos run, in deterministic
+/// (suite order x TABLE III pair order) sequence.
+struct ChaosCell {
+  std::string benchmark;
+  sim::FrequencyPair pair;
+  bool covered = false;
+  QualityReport quality;
+};
+
+/// Full-suite characterization under injected faults on one board, paired
+/// with the fault-free reference run for divergence accounting.
+struct ChaosReport {
+  sim::GpuModel gpu = sim::GpuModel::GTX680;
+  std::uint64_t seed = 0;
+  std::vector<ChaosBenchmarkRow> rows;
+  std::vector<ChaosCell> cells;
+  std::size_t cells_total = 0;
+  std::size_t cells_covered = 0;
+  std::uint64_t fault_checks = 0;  ///< injection-site checks performed
+  std::uint64_t fault_fires = 0;   ///< faults actually injected
+
+  double coverage() const;
+  std::size_t divergent_count() const;
+  std::size_t comparable_count() const;
+
+  /// Byte-stable rendering (headline + per-cell QualityReports); two chaos
+  /// runs with the same plan and seed must produce identical summaries.
+  std::string summary() const;
+};
+
+/// Run the suite (truncated to `benchmark_limit` benchmarks when nonzero)
+/// at maximum input size on `gpu`, once fault-free and once under `plan`
+/// injected with `seed`, and report coverage + divergence.  Both runs go
+/// through the checked measurement path, so a chaos cell whose faults all
+/// missed reproduces the fault-free measurement bit-for-bit.
+ChaosReport chaos_characterization(sim::GpuModel gpu,
+                                   const fault::FaultPlan& plan,
+                                   std::uint64_t seed = 7,
+                                   std::size_t benchmark_limit = 0);
 
 }  // namespace gppm::core

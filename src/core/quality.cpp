@@ -1,0 +1,170 @@
+#include "core/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/str.hpp"
+
+namespace gppm::core {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  const std::size_t n = v.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  const double hi = v[mid];
+  if (n % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + (mid - 1), v.begin() + mid);
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+}  // namespace
+
+std::string QualityReport::to_string() const {
+  std::string out = valid ? "valid" : "missing";
+  out += " attempts=" + std::to_string(attempts);
+  out += " faults=" + std::to_string(transient_faults);
+  out += " samples=" + std::to_string(samples_delivered);
+  out += " rejected=" + std::to_string(samples_rejected);
+  out += " imputed=" + std::to_string(samples_imputed);
+  out += " backoff_ms=" + format_double(backoff.as_milliseconds(), 3);
+  if (!failure.empty()) out += " failure=\"" + failure + "\"";
+  return out;
+}
+
+ValidatedRun validate_run(const meter::Measurement& m,
+                          const ValidationOptions& options) {
+  ValidatedRun out;
+  std::vector<double> watts;
+  watts.reserve(m.samples.size());
+  for (const meter::PowerSample& s : m.samples) {
+    watts.push_back(s.power.as_watts());
+  }
+
+  std::vector<meter::PowerSample> accepted;
+  if (watts.empty()) {
+    out.reason = "no samples delivered";
+    return out;
+  }
+
+  // The sampling grid the stream was (supposed to be) delivered on.
+  const double period_s =
+      options.sampling_period > Duration::seconds(0.0)
+          ? options.sampling_period.as_seconds()
+          : m.duration.as_seconds() / static_cast<double>(m.samples.size());
+  const auto n_slots = static_cast<std::size_t>(
+      std::llround(m.duration.as_seconds() / period_s));
+  if (n_slots == 0 || n_slots < m.samples.size()) {
+    out.reason = "sample stream inconsistent with the sampling grid";
+    return out;
+  }
+
+  // Spike rejection against a *running* median: a real power trace is
+  // bimodal by construction (GPU-kernel plateaus vs. host plateaus), so a
+  // global median would nuke the minority mode wholesale.  An injected
+  // spike is an isolated sample disagreeing with its neighbours; the
+  // 5-wide local median follows the plateau the sample sits on, and the
+  // residuals against it are back to unimodal noise that scaled MAD
+  // (1.4826 * MAD estimates sigma for gaussian noise) can calibrate.
+  // The sigma floor keeps a noiseless constant stream from rejecting
+  // legitimate quantization wiggle.
+  const std::size_t n = watts.size();
+  const double med = median_of(watts);
+  std::vector<double> residual;
+  residual.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= 2 ? i - 2 : 0;
+    const std::size_t hi = std::min(n, lo + 5);
+    residual.push_back(std::abs(
+        watts[i] -
+        median_of(std::vector<double>(watts.begin() + static_cast<long>(lo),
+                                      watts.begin() + static_cast<long>(hi)))));
+  }
+  const double mad = median_of(residual);
+  const double sigma =
+      std::max({1.4826 * mad, 1e-3 * std::abs(med), 1e-9});
+  const double cutoff = options.mad_threshold * sigma;
+
+  accepted.reserve(m.samples.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (residual[i] > cutoff) continue;
+    accepted.push_back(m.samples[i]);
+  }
+  out.rejected = m.samples.size() - accepted.size();
+  out.imputed = n_slots - accepted.size();
+
+  const double imputed_fraction = static_cast<double>(out.imputed) /
+                                  static_cast<double>(n_slots);
+  if (imputed_fraction > options.max_rejected_fraction) {
+    out.reason = "imputed fraction " + format_double(imputed_fraction, 3) +
+                 " exceeds " + format_double(options.max_rejected_fraction, 3);
+    return out;
+  }
+  if (accepted.size() < options.min_samples) {
+    out.reason = "only " + std::to_string(accepted.size()) + " of >= " +
+                 std::to_string(options.min_samples) +
+                 " required samples survived";
+    return out;
+  }
+
+  out.ok = true;
+  if (out.imputed == 0) {
+    out.cleaned = m;  // bit-identical: nothing was removed or rejected
+    return out;
+  }
+
+  // Rebuild the full grid, filling dropped/rejected slots by linear
+  // interpolation between the nearest accepted slots (nearest-value at the
+  // edges).  Each delivered sample's slot comes from its own timestamp, so
+  // channel-thinned streams land where they were actually taken.
+  std::vector<double> grid(n_slots, 0.0);
+  std::vector<bool> have(n_slots, false);
+  for (const meter::PowerSample& s : accepted) {
+    auto slot = static_cast<std::size_t>(
+        std::llround(s.timestamp.as_seconds() / period_s) - 1);
+    if (slot >= n_slots) slot = n_slots - 1;
+    grid[slot] = s.power.as_watts();
+    have[slot] = true;
+  }
+  std::size_t prev = n_slots;  // index of the last accepted slot seen
+  for (std::size_t i = 0; i < n_slots; ++i) {
+    if (!have[i]) continue;
+    if (prev == n_slots) {
+      for (std::size_t j = 0; j < i; ++j) grid[j] = grid[i];  // leading edge
+    } else {
+      const double span = static_cast<double>(i - prev);
+      for (std::size_t j = prev + 1; j < i; ++j) {
+        const double t = static_cast<double>(j - prev) / span;
+        grid[j] = grid[prev] + t * (grid[i] - grid[prev]);
+      }
+    }
+    prev = i;
+  }
+  if (prev == n_slots) {
+    out.ok = false;
+    out.reason = "no accepted samples to impute from";
+    return out;
+  }
+  for (std::size_t j = prev + 1; j < n_slots; ++j) {
+    grid[j] = grid[prev];  // trailing edge
+  }
+
+  out.cleaned.samples.clear();
+  out.cleaned.samples.reserve(n_slots);
+  double watts_sum = 0.0;
+  for (std::size_t i = 0; i < n_slots; ++i) {
+    out.cleaned.samples.push_back(
+        {Duration::seconds(static_cast<double>(i + 1) * period_s),
+         Power::watts(grid[i])});
+    watts_sum += grid[i];
+  }
+  out.cleaned.duration = m.duration;
+  out.cleaned.average_power =
+      Power::watts(watts_sum / static_cast<double>(n_slots));
+  out.cleaned.energy = out.cleaned.average_power * out.cleaned.duration;
+  return out;
+}
+
+}  // namespace gppm::core

@@ -1,0 +1,86 @@
+// Sample validation and per-run quality accounting for the measurement
+// pipeline.
+//
+// The paper's rig gives every run at least 10 wall-power samples (the
+// 500 ms repetition rule); a hardened harness must also notice when the
+// acquisition channel thinned or corrupted that stream.  Validation
+// applies two classic instrument checks:
+//
+//   * minimum sample count — a run whose channel dropped too many samples
+//     carries too little signal and must be re-measured;
+//   * MAD-based spike rejection — readings further than `mad_threshold`
+//     robust standard deviations from a running median (scaled MAD over the
+//     local residuals) are glitches, not physics; they are rejected.
+//
+// Rejected and dropped slots are then *imputed* by linear interpolation
+// between accepted neighbours on the meter's sampling grid rather than
+// deleted: a wall-power trace is bimodal (kernel vs host plateaus), so
+// deleting samples shifts the plateau mix and biases the mean, while
+// interpolation keeps the cleaned summaries within noise of the unfaulted
+// stream — the property the chaos suite's divergence accounting relies on.
+//
+// Every measured (benchmark, pair) cell carries a QualityReport: attempts,
+// faults retried through, samples rejected, virtual backoff spent, and —
+// for permanently failed cells — the reason the cell is missing.  Reports
+// render byte-stably so chaos runs can be diffed for reproducibility.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+#include "powermeter/wt1600.hpp"
+
+namespace gppm::core {
+
+/// Validation thresholds applied to every measured run.
+struct ValidationOptions {
+  /// Runs with fewer accepted samples than this are invalid (the paper's
+  /// repetition rule targets >= 10 raw samples; allow a small loss).
+  std::size_t min_samples = 8;
+  /// Reject samples deviating from the running median by more than
+  /// mad_threshold * scaled MAD of the local residuals.
+  double mad_threshold = 8.0;
+  /// Invalid when more than this fraction of the sampling grid had to be
+  /// imputed (dropped by the channel or spike-rejected).
+  double max_rejected_fraction = 0.25;
+  /// The meter's sampling grid; zero means infer it from the measurement
+  /// (duration / sample count of an unthinned stream).
+  Duration sampling_period;
+};
+
+/// Per-cell measurement quality: what it took to get a valid run, or why
+/// there is none.
+struct QualityReport {
+  int attempts = 0;                   ///< measurement attempts performed
+  int transient_faults = 0;           ///< faults absorbed by retries
+  std::size_t samples_delivered = 0;  ///< samples in the accepted run
+  std::size_t samples_rejected = 0;   ///< spike-rejected in the accepted run
+  std::size_t samples_imputed = 0;    ///< grid slots filled by interpolation
+  Duration backoff;                   ///< virtual retry backoff spent
+  bool valid = false;
+  std::string failure;                ///< empty when valid
+
+  /// Byte-stable one-line rendering (the chaos determinism test compares
+  /// these across runs).
+  std::string to_string() const;
+};
+
+/// Outcome of validating one delivered measurement.
+struct ValidatedRun {
+  meter::Measurement cleaned;   ///< full grid, rejected/dropped slots imputed
+  std::size_t rejected = 0;     ///< samples rejected as spikes
+  std::size_t imputed = 0;      ///< grid slots filled by interpolation
+  bool ok = false;
+  std::string reason;           ///< set when !ok
+};
+
+/// Validate a delivered measurement: spike-reject against a running median,
+/// enforce the minimum-count and imputed-fraction rules, rebuild the full
+/// sampling grid with rejected/dropped slots linearly interpolated from
+/// accepted neighbours, and recompute the summaries over the rebuilt grid.
+/// An untouched stream is returned bit-identical.
+ValidatedRun validate_run(const meter::Measurement& m,
+                          const ValidationOptions& options);
+
+}  // namespace gppm::core

@@ -4,13 +4,17 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "fault/faulty_meter.hpp"
 
 namespace gppm::core {
 
 MeasurementRunner::MeasurementRunner(sim::GpuModel model, RunnerOptions options)
     : gpu_(model, options.seed),
       options_(options),
-      meter_(options.meter, options.seed ^ 0x5741313630300ull /* "WT1600" */) {}
+      meter_(options.meter, options.seed ^ 0x5741313630300ull /* "WT1600" */) {
+  GPPM_CHECK(options_.min_run_length > Duration::seconds(0.0),
+             "min_run_length must be positive");
+}
 
 std::vector<meter::TimelineSegment> MeasurementRunner::wall_timeline(
     const sim::RunExecution& exec) const {
@@ -63,6 +67,34 @@ sim::RunProfile MeasurementRunner::prepared_profile(
   return profile;
 }
 
+std::uint64_t MeasurementRunner::run_identity(const sim::RunProfile& profile,
+                                              sim::FrequencyPair pair) const {
+  std::uint64_t key = fnv1a(profile.benchmark_name) ^
+                      (fnv1a(sim::to_string(pair)) << 1) ^
+                      (static_cast<std::uint64_t>(gpu_.spec().model) << 48);
+  for (const sim::KernelProfile& k : profile.kernels) key ^= fnv1a(k.name);
+  return key;
+}
+
+Measurement MeasurementRunner::summarize(const sim::RunProfile& profile,
+                                         sim::FrequencyPair pair,
+                                         const sim::RunExecution& exec,
+                                         const meter::Measurement& m) const {
+  // Host timer: accurate to a fraction of a percent, keyed on run identity
+  // so repeated measurements are reproducible.
+  Rng rng = Rng(options_.seed).fork(run_identity(profile, pair));
+  const double timer_noise = 1.0 + rng.normal(0.0, 0.003);
+
+  Measurement out;
+  out.pair = pair;
+  out.exec_time = Duration::seconds(exec.total_time.as_seconds() * timer_noise);
+  out.avg_power = m.average_power;
+  // Report energy over the full run: meter energy covers whole sampling
+  // windows only; extend the average power over the tail remainder.
+  out.energy = m.average_power * out.exec_time;
+  return out;
+}
+
 Measurement MeasurementRunner::measure(const workload::BenchmarkDef& benchmark,
                                        std::size_t size_index,
                                        sim::FrequencyPair pair) {
@@ -74,24 +106,91 @@ Measurement MeasurementRunner::measure_profile(const sim::RunProfile& profile,
   gpu_.set_frequency_pair(pair);
   const sim::RunExecution exec = gpu_.run(profile);
   const meter::Measurement m = meter_.measure(wall_timeline(exec));
+  return summarize(profile, pair, exec, m);
+}
 
-  // Host timer: accurate to a fraction of a percent, keyed on run identity
-  // so repeated measurements are reproducible.
-  std::uint64_t key = fnv1a(profile.benchmark_name) ^
-                      (fnv1a(sim::to_string(pair)) << 1) ^
-                      (static_cast<std::uint64_t>(gpu_.spec().model) << 48);
-  for (const sim::KernelProfile& k : profile.kernels) key ^= fnv1a(k.name);
-  Rng rng = Rng(options_.seed).fork(key);
-  const double timer_noise = 1.0 + rng.normal(0.0, 0.003);
+MeasuredCell MeasurementRunner::measure_checked(
+    const workload::BenchmarkDef& benchmark, std::size_t size_index,
+    sim::FrequencyPair pair) {
+  return measure_profile_checked(prepared_profile(benchmark, size_index), pair);
+}
 
-  Measurement out;
-  out.pair = pair;
-  out.exec_time = Duration::seconds(exec.total_time.as_seconds() * timer_noise);
-  out.avg_power = m.average_power;
-  // Report energy over the full run: meter energy covers whole sampling
-  // windows only; extend the average power over the tail remainder.
-  out.energy = m.average_power * out.exec_time;
-  return out;
+MeasuredCell MeasurementRunner::measure_profile_checked(
+    const sim::RunProfile& profile, sim::FrequencyPair pair) {
+  MeasuredCell cell;
+  QualityReport& q = cell.quality;
+  const std::uint64_t key = run_identity(profile, pair);
+  const RetryPolicy& policy = options_.retry;
+  Rng backoff_rng = Rng(options_.seed).fork(key ^ fnv1a("retry.jitter"));
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+
+  // Charge one backoff delay against the budget; false ends the cell.
+  const auto charge_backoff = [&](int attempt) {
+    const Duration delay = backoff_delay(policy, attempt, backoff_rng);
+    if (q.backoff + delay > policy.retry_budget) {
+      q.failure = "retry budget exhausted";
+      return false;
+    }
+    q.backoff += delay;
+    return true;
+  };
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++q.attempts;
+    const bool last = attempt + 1 == max_attempts;
+
+    // P-state transition: the paper's patch + reboot step, which a real
+    // board occasionally refuses.  The previous operating point survives
+    // a refusal, exactly like dvfs::Controller's transactional set_pair.
+    if (options_.injector != nullptr &&
+        options_.injector->should_fire(fault::kSiteDvfsSetPair)) {
+      ++q.transient_faults;
+      q.failure = "P-state transition to " + sim::to_string(pair) + " failed";
+      if (last || !charge_backoff(attempt)) break;
+      continue;
+    }
+    gpu_.set_frequency_pair(pair);
+    const sim::RunExecution exec = gpu_.run(profile);
+
+    // The meter stream is keyed on the run identity, not on call order:
+    // every attempt (and the fault-free pipeline) sees the same underlying
+    // samples, so what the faults change is exactly what the faults broke.
+    fault::FaultyMeter fmeter(options_.meter,
+                              options_.seed ^ 0x5741313630300ull ^ key,
+                              options_.injector);
+    meter::Measurement m;
+    try {
+      m = fmeter.measure(wall_timeline(exec));
+    } catch (const TransientError& e) {
+      ++q.transient_faults;
+      q.failure = e.what();
+      if (last || !charge_backoff(attempt)) break;
+      continue;
+    }
+
+    ValidationOptions vopt = options_.validation;
+    if (!(vopt.sampling_period > Duration::seconds(0.0))) {
+      vopt.sampling_period = options_.meter.sampling_period;
+    }
+    const ValidatedRun v = validate_run(m, vopt);
+    if (!v.ok) {
+      // An invalid run (thinned below the minimum, or spike-ridden) is
+      // re-measured immediately; no instrument backoff applies.
+      q.failure = "invalid run: " + v.reason;
+      continue;
+    }
+
+    q.samples_delivered = m.samples.size();
+    q.samples_rejected = v.rejected;
+    q.samples_imputed = v.imputed;
+    q.valid = true;
+    q.failure.clear();
+    cell.measurement = summarize(profile, pair, exec, v.cleaned);
+    break;
+  }
+
+  if (!q.valid && q.failure.empty()) q.failure = "attempts exhausted";
+  return cell;
 }
 
 }  // namespace gppm::core

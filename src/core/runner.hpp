@@ -7,9 +7,13 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "common/retry.hpp"
 #include "common/units.hpp"
+#include "core/quality.hpp"
+#include "fault/injector.hpp"
 #include "gpusim/engine.hpp"
 #include "gpusim/system.hpp"
 #include "powermeter/wt1600.hpp"
@@ -38,6 +42,25 @@ struct RunnerOptions {
   /// Minimum run length before measuring; shorter runs get their kernels
   /// repeated (paper Section II-D: 500 ms at 50 ms sampling = 10 samples).
   Duration min_run_length = Duration::milliseconds(500.0);
+  /// Fault injection for the checked measurement path (non-owning; nullptr
+  /// = healthy instruments).  measure() ignores it — the fault-free paper
+  /// pipeline stays byte-identical.
+  fault::FaultInjector* injector = nullptr;
+  /// Retry discipline for transient faults in measure_checked().
+  RetryPolicy retry;
+  /// Sample validation applied by measure_checked().
+  ValidationOptions validation;
+};
+
+/// A (benchmark, pair) cell of a resilient sweep: the measurement when one
+/// was obtained, and the quality accounting either way.  A cell with no
+/// measurement is *missing* — the sweep degrades gracefully instead of
+/// aborting.
+struct MeasuredCell {
+  std::optional<Measurement> measurement;
+  QualityReport quality;
+
+  bool covered() const { return measurement.has_value(); }
 };
 
 /// Executes and measures benchmark runs on one board.
@@ -55,6 +78,21 @@ class MeasurementRunner {
   /// Measure an explicit run profile (no repetition-factor caching).
   Measurement measure_profile(const sim::RunProfile& profile,
                               sim::FrequencyPair pair);
+
+  /// The hardened measurement path: measure under the options' fault
+  /// injector with bounded retries (exponential backoff, deterministic
+  /// jitter, retry budget), sample validation (minimum count, MAD spike
+  /// rejection) and automatic re-measurement of invalid runs.  Never
+  /// throws for instrument faults — a permanently failed cell comes back
+  /// missing, with the reason in its QualityReport.  The meter noise is
+  /// keyed on the run identity (not on global call order), so a fault-free
+  /// attempt reproduces the fault-free pipeline's samples exactly.
+  MeasuredCell measure_checked(const workload::BenchmarkDef& benchmark,
+                               std::size_t size_index, sim::FrequencyPair pair);
+
+  /// measure_checked for an explicit profile.
+  MeasuredCell measure_profile_checked(const sim::RunProfile& profile,
+                                       sim::FrequencyPair pair);
 
   /// The run profile measure() actually executes: the benchmark's profile
   /// with the 500 ms repetition factor applied.  Profiling and measuring
@@ -74,6 +112,17 @@ class MeasurementRunner {
 
   double repetition_factor(const workload::BenchmarkDef& benchmark,
                            std::size_t size_index);
+
+  /// Deterministic identity of a (profile, pair) run on this board; keys
+  /// the host-timer noise and the checked path's meter stream.
+  std::uint64_t run_identity(const sim::RunProfile& profile,
+                             sim::FrequencyPair pair) const;
+
+  /// Assemble the Measurement summary from an executed run and the
+  /// (validated) meter output.
+  Measurement summarize(const sim::RunProfile& profile, sim::FrequencyPair pair,
+                        const sim::RunExecution& exec,
+                        const meter::Measurement& m) const;
 
   sim::Gpu gpu_;
   RunnerOptions options_;

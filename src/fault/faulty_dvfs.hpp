@@ -1,0 +1,51 @@
+// DVFS transitions as an unreliable operation.
+//
+// The paper's frequency-scaling method reflashes the VBIOS boot P-state and
+// reboots the board for every operating-point change — a procedure that in
+// practice occasionally fails (the board does not come back at the
+// requested clocks and the harness must re-issue the transition).  This
+// wrapper reproduces that failure mode over dvfs::Controller: when the
+// `dvfs.set_pair` site fires, set_pair throws TransientError *before*
+// touching the controller, so the previous operating point, the VBIOS
+// image and the reboot count all stay exactly as they were — the
+// transactional behaviour the controller's own tests pin down.
+#pragma once
+
+#include "common/error.hpp"
+#include "dvfs/controller.hpp"
+#include "fault/injector.hpp"
+
+namespace gppm::fault {
+
+/// A dvfs::Controller whose transitions can transiently fail.
+class FaultyController {
+ public:
+  /// `injector` may be nullptr: transitions then always succeed.
+  FaultyController(dvfs::Controller& inner, FaultInjector* injector)
+      : inner_(inner), injector_(injector) {}
+
+  /// Apply an operating point.  Throws TransientError when the injected
+  /// transition fails (state untouched); propagates the controller's own
+  /// gppm::Error for illegal pairs.
+  void set_pair(sim::FrequencyPair pair) {
+    if (injector_ != nullptr && injector_->should_fire(kSiteDvfsSetPair)) {
+      throw TransientError("P-state transition to " + sim::to_string(pair) +
+                           " failed; board still at " +
+                           sim::to_string(inner_.current_pair()));
+    }
+    inner_.set_pair(pair);
+  }
+
+  sim::FrequencyPair current_pair() const { return inner_.current_pair(); }
+  std::vector<sim::FrequencyPair> available_pairs() const {
+    return inner_.available_pairs();
+  }
+  int reboot_count() const { return inner_.reboot_count(); }
+  dvfs::Controller& controller() { return inner_; }
+
+ private:
+  dvfs::Controller& inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace gppm::fault

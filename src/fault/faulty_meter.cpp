@@ -1,0 +1,80 @@
+#include "fault/faulty_meter.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gppm::fault {
+
+FaultyMeter::FaultyMeter(meter::MeterConfig config, std::uint64_t seed,
+                         FaultInjector* injector)
+    : meter_(config, seed), injector_(injector) {}
+
+std::size_t FaultyMeter::expected_sample_count(
+    const meter::MeterConfig& config,
+    const std::vector<meter::TimelineSegment>& timeline) {
+  const double total = meter::WT1600::total_duration(timeline).as_seconds();
+  return static_cast<std::size_t>(
+      std::floor(total / config.sampling_period.as_seconds()));
+}
+
+meter::Measurement FaultyMeter::measure(
+    const std::vector<meter::TimelineSegment>& timeline) {
+  meter::Measurement m = meter_.measure(timeline);
+  if (injector_ == nullptr) return m;
+
+  // Disconnect is a per-run event (the GPIB link dying), not a per-sample
+  // one — runs span hundreds of sampling windows and a per-sample check
+  // would compound the probability into near-certain failure.  The cut
+  // point is drawn from the same site stream, so it is as deterministic as
+  // the decision itself.
+  if (injector_->should_fire(kSiteMeterDisconnect)) {
+    const auto cut = static_cast<std::size_t>(
+        injector_->uniform(kSiteMeterDisconnect) *
+        static_cast<double>(m.samples.size()));
+    throw TransientError("power meter disconnected mid-run after " +
+                         std::to_string(cut) + " of " +
+                         std::to_string(m.samples.size()) + " samples");
+  }
+
+  std::vector<meter::PowerSample> survivors;
+  survivors.reserve(m.samples.size());
+  bool mutated = false;
+  for (std::size_t i = 0; i < m.samples.size(); ++i) {
+    if (injector_->should_fire(kSiteMeterDrop)) {
+      mutated = true;
+      continue;
+    }
+    meter::PowerSample sample = m.samples[i];
+    if (injector_->should_fire(kSiteMeterSpike)) {
+      sample.power = sample.power * injector_->magnitude(kSiteMeterSpike);
+      mutated = true;
+    }
+    survivors.push_back(sample);
+  }
+  // A run every site left alone is bit-identical to the healthy meter's —
+  // the equivalence the chaos suite's best-pair assertions build on.
+  if (!mutated) return m;
+
+  // Recompute the summaries over what survived; an empty survivor set is a
+  // run the channel lost entirely.
+  if (survivors.empty()) {
+    throw TransientError("power meter delivered no samples");
+  }
+  const double period_s = meter_.config().sampling_period.as_seconds();
+  m.samples = std::move(survivors);
+  double joules = 0.0;
+  for (const meter::PowerSample& s : m.samples) {
+    joules += s.power.as_watts() * period_s;
+  }
+  // Duration stays the nominal measurement window; energy is extrapolated
+  // from the surviving samples' mean so a thinned stream remains an
+  // unbiased (if noisier) estimate.
+  const double mean_watts =
+      joules / (static_cast<double>(m.samples.size()) * period_s);
+  m.average_power = Power::watts(mean_watts);
+  m.energy = m.average_power * m.duration;
+  return m;
+}
+
+}  // namespace gppm::fault

@@ -1,0 +1,55 @@
+// WT1600 behind an unreliable acquisition channel.
+//
+// The real meter sits on a serial link polled every 50 ms; real harnesses
+// see three failure shapes, all reproduced here under injector control:
+//
+//   * meter.drop       — a sample never arrives (the reading is lost);
+//   * meter.spike      — a sample arrives corrupted (reading multiplied by
+//                        the site magnitude, modeling a glitched transfer);
+//   * meter.disconnect — the link dies mid-run: the measurement is lost
+//                        and the caller sees a TransientError.
+//
+// The wrapper measures through an inner WT1600 and then corrupts the
+// sample stream, so with a null injector (or an all-zero plan) the output
+// is bit-identical to the healthy meter's — the property the chaos suite's
+// "same best pairs as the fault-free run" assertion builds on.  Summary
+// statistics (energy, average power) are recomputed from the surviving
+// samples; sample validation downstream decides whether what survived is
+// usable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "powermeter/wt1600.hpp"
+
+namespace gppm::fault {
+
+/// A WT1600 whose sample stream passes through an injected-fault channel.
+class FaultyMeter {
+ public:
+  /// `injector` may be nullptr: the meter is then exactly a WT1600.
+  FaultyMeter(meter::MeterConfig config, std::uint64_t seed,
+              FaultInjector* injector);
+
+  /// Measure a timeline.  Throws gppm::TransientError if the meter
+  /// disconnects mid-run; otherwise returns the (possibly thinned and
+  /// corrupted) measurement with summaries recomputed from the surviving
+  /// samples.
+  meter::Measurement measure(const std::vector<meter::TimelineSegment>& timeline);
+
+  /// Samples the inner meter would deliver for this run if every fault
+  /// site stayed quiet (the expected count for validation).
+  static std::size_t expected_sample_count(
+      const meter::MeterConfig& config,
+      const std::vector<meter::TimelineSegment>& timeline);
+
+  const meter::MeterConfig& config() const { return meter_.config(); }
+
+ private:
+  meter::WT1600 meter_;
+  FaultInjector* injector_;
+};
+
+}  // namespace gppm::fault

@@ -1,0 +1,86 @@
+#include "fault/faulty_nvml.hpp"
+
+namespace gppm::fault {
+
+std::string to_string(NvmlStatus status) {
+  switch (status) {
+    case NvmlStatus::Success: return "NVML_SUCCESS";
+    case NvmlStatus::ErrorTimeout: return "NVML_ERROR_TIMEOUT";
+    case NvmlStatus::ErrorUnknown: return "NVML_ERROR_UNKNOWN";
+    case NvmlStatus::ErrorGpuIsLost: return "NVML_ERROR_GPU_IS_LOST";
+  }
+  return "NVML_ERROR_?";
+}
+
+bool is_transient(NvmlStatus status) {
+  return status == NvmlStatus::ErrorTimeout ||
+         status == NvmlStatus::ErrorUnknown;
+}
+
+FaultyNvmlSession::FaultyNvmlSession(nvml::Session& session,
+                                     FaultInjector* injector)
+    : session_(session), injector_(injector) {}
+
+NvmlStatus FaultyNvmlSession::query_status() {
+  if (injector_ == nullptr || !injector_->should_fire(kSiteNvmlQuery)) {
+    return NvmlStatus::Success;
+  }
+  // Failed queries split deterministically: mostly timeouts, sometimes an
+  // unknown driver error, rarely a lost device.
+  const double u = injector_->uniform(kSiteNvmlQuery);
+  if (u < 0.60) return NvmlStatus::ErrorTimeout;
+  if (u < 0.95) return NvmlStatus::ErrorUnknown;
+  return NvmlStatus::ErrorGpuIsLost;
+}
+
+NvmlResult<unsigned> FaultyNvmlSession::power_usage_mw(
+    nvml::DeviceHandle handle, Duration at) {
+  NvmlResult<unsigned> r;
+  r.status = query_status();
+  if (r.ok()) r.value = session_.power_usage_mw(handle, at);
+  return r;
+}
+
+NvmlResult<nvml::UtilizationRates> FaultyNvmlSession::utilization(
+    nvml::DeviceHandle handle, Duration at) {
+  NvmlResult<nvml::UtilizationRates> r;
+  r.status = query_status();
+  if (r.ok()) r.value = session_.utilization(handle, at);
+  return r;
+}
+
+NvmlResult<std::uint64_t> FaultyNvmlSession::total_energy_mj(
+    nvml::DeviceHandle handle, Duration until) {
+  NvmlResult<std::uint64_t> r;
+  r.status = query_status();
+  if (r.ok()) r.value = session_.total_energy_mj(handle, until);
+  return r;
+}
+
+std::vector<nvml::PowerSample> FaultyNvmlSession::sample_power(
+    nvml::DeviceHandle handle, Duration duration, Duration period,
+    const RetryPolicy& policy, RetryStats* stats) {
+  GPPM_CHECK(period > Duration::seconds(0.0), "sampling period must be positive");
+  GPPM_CHECK(duration >= period, "duration shorter than one period");
+  std::vector<nvml::PowerSample> samples;
+  RetryStats local;
+  RetryStats& acc = stats != nullptr ? *stats : local;
+  Rng jitter_rng = Rng(injector_ != nullptr ? injector_->seed() : 0)
+                       .fork(fnv1a("nvml.sample_power"));
+  for (Duration t = Duration::seconds(0.0); t < duration; t += period) {
+    const unsigned mw = retry_call(policy, jitter_rng, acc, [&] {
+      const NvmlResult<unsigned> r = power_usage_mw(handle, t);
+      if (r.status == NvmlStatus::ErrorGpuIsLost) {
+        throw PermanentError("nvml query failed: " + to_string(r.status));
+      }
+      if (!r.ok()) {
+        throw TransientError("nvml query failed: " + to_string(r.status));
+      }
+      return r.value;
+    });
+    samples.push_back({t, Power::watts(mw / 1000.0)});
+  }
+  return samples;
+}
+
+}  // namespace gppm::fault

@@ -1,0 +1,82 @@
+// NVML queries as an unreliable, status-returning channel.
+//
+// Real NVML calls return nvmlReturn_t; transient NVML_ERROR_TIMEOUT /
+// NVML_ERROR_UNKNOWN results are routine under driver load and callers are
+// expected to retry, while NVML_ERROR_GPU_IS_LOST means the device fell off
+// the bus and retrying is pointless.  This wrapper reproduces that contract
+// over the deterministic nvml::Session shim: every query consults the
+// `nvml.query` injection site and, when it fires, returns an NVML-style
+// status instead of a value (transient statuses with high probability, the
+// permanent one rarely).
+//
+// A retrying sampler built on common/retry.hpp is included — the hardened
+// equivalent of nvml::sample_power, which keeps sampling through transient
+// query failures and surfaces only permanent ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/retry.hpp"
+#include "fault/injector.hpp"
+#include "nvml/nvml.hpp"
+
+namespace gppm::fault {
+
+/// NVML-style status codes (the subset the wrapper can produce).
+enum class NvmlStatus : std::uint8_t {
+  Success,
+  ErrorTimeout,    ///< transient: the query timed out
+  ErrorUnknown,    ///< transient: the driver hiccupped
+  ErrorGpuIsLost,  ///< permanent: the device fell off the bus
+};
+
+std::string to_string(NvmlStatus status);
+
+/// True for statuses a caller should retry.
+bool is_transient(NvmlStatus status);
+
+/// A status-or-value query result (NVML's nvmlReturn_t + out-parameter
+/// shape, folded into one value).
+template <typename T>
+struct NvmlResult {
+  NvmlStatus status = NvmlStatus::Success;
+  T value{};
+  bool ok() const { return status == NvmlStatus::Success; }
+};
+
+/// An nvml::Session whose queries can fail with NVML-style statuses.
+class FaultyNvmlSession {
+ public:
+  /// `injector` may be nullptr: every query then succeeds.
+  FaultyNvmlSession(nvml::Session& session, FaultInjector* injector);
+
+  NvmlResult<unsigned> power_usage_mw(nvml::DeviceHandle handle,
+                                      Duration at);
+  NvmlResult<nvml::UtilizationRates> utilization(nvml::DeviceHandle handle,
+                                                 Duration at);
+  NvmlResult<std::uint64_t> total_energy_mj(nvml::DeviceHandle handle,
+                                            Duration until);
+
+  /// Hardened fixed-interval sampler: like nvml::sample_power but each
+  /// query retries under `policy` on transient statuses.  Queries that
+  /// stay failed after the policy's attempts throw TransientError;
+  /// ErrorGpuIsLost throws PermanentError immediately.  `stats`, when
+  /// non-null, accumulates the retry accounting.
+  std::vector<nvml::PowerSample> sample_power(nvml::DeviceHandle handle,
+                                              Duration duration,
+                                              Duration period,
+                                              const RetryPolicy& policy,
+                                              RetryStats* stats = nullptr);
+
+  const nvml::Session& session() const { return session_; }
+
+ private:
+  NvmlStatus query_status();
+
+  nvml::Session& session_;
+  FaultInjector* injector_;
+};
+
+}  // namespace gppm::fault

@@ -1,0 +1,67 @@
+#include "fault/injector.hpp"
+
+namespace gppm::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)) {
+  reset(seed);
+}
+
+void FaultInjector::reset(std::uint64_t seed) {
+  seed_ = seed;
+  states_.clear();
+  stats_.clear();
+  for (const SiteSpec& spec : plan_.sites) stats_[spec.site];  // pre-list
+}
+
+FaultInjector::SiteState& FaultInjector::state(std::string_view site) {
+  auto it = states_.find(site);
+  if (it == states_.end()) {
+    SiteState s;
+    s.spec = plan_.find(site);
+    s.rng = Rng(seed_).fork(fnv1a(site));
+    it = states_.emplace(std::string(site), std::move(s)).first;
+  }
+  return it->second;
+}
+
+bool FaultInjector::should_fire(std::string_view site) {
+  SiteState& s = state(site);
+  SiteStats& st = stats_[std::string(site)];
+  ++st.checks;
+  if (s.spec == nullptr || s.spec->probability <= 0.0) return false;
+
+  bool fire = false;
+  if (s.burst_remaining > 0) {
+    fire = true;
+    --s.burst_remaining;
+  } else if (s.rng.uniform() < s.spec->probability) {
+    fire = true;
+    s.burst_remaining = s.spec->burst - 1;
+  }
+  if (fire) ++st.fires;
+  return fire;
+}
+
+double FaultInjector::magnitude(std::string_view site) const {
+  const SiteSpec* spec = plan_.find(site);
+  return spec != nullptr ? spec->magnitude : SiteSpec{}.magnitude;
+}
+
+double FaultInjector::uniform(std::string_view site) {
+  return state(site).rng.uniform();
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::uint64_t n = 0;
+  for (const auto& [site, st] : stats_) n += st.fires;
+  return n;
+}
+
+std::uint64_t FaultInjector::total_checks() const {
+  std::uint64_t n = 0;
+  for (const auto& [site, st] : stats_) n += st.checks;
+  return n;
+}
+
+}  // namespace gppm::fault

@@ -1,0 +1,83 @@
+// The executing half of fault injection: a seeded, fully deterministic
+// firing engine over named sites.
+//
+// Every instrumented code path asks `should_fire(site)` at the moment the
+// corresponding real-world failure could happen (one check per meter
+// sample, per NVML query, per P-state transition).  Each site draws from
+// its own RNG stream — forked from the injector seed by the FNV-1a hash of
+// the site name — so firing sequences are independent of the order in
+// which *other* sites are exercised and byte-reproducible across runs with
+// the same seed and the same per-site check sequence.
+//
+// Burst semantics model correlated failures (a wedged serial link drops
+// several consecutive samples, a driver hiccup fails several consecutive
+// queries): once a site triggers, it keeps firing for `burst` consecutive
+// checks before re-arming.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "fault/plan.hpp"
+
+namespace gppm::fault {
+
+/// Per-site firing statistics.
+struct SiteStats {
+  std::uint64_t checks = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Deterministic fault firing engine.  A default-constructed injector has
+/// no plan and never fires; code paths accept `FaultInjector*` with nullptr
+/// meaning "healthy".
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// One injection-point check.  Deterministic given the seed and this
+  /// site's check count.  Unknown (or zero-probability) sites never fire.
+  bool should_fire(std::string_view site);
+
+  /// Kind-specific magnitude of a site (e.g. the spike factor); falls back
+  /// to the SiteSpec default when the plan does not name the site.
+  double magnitude(std::string_view site) const;
+
+  /// Uniform [0,1) draw from the site's stream — used by wrappers that
+  /// need a deterministic secondary choice (e.g. which NVML status code a
+  /// failed query returns).  Counts as neither check nor fire.
+  double uniform(std::string_view site);
+
+  /// Re-arm every site from scratch with a new seed (check counts, burst
+  /// state and statistics reset).
+  void reset(std::uint64_t seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Firing statistics per site (sites appear once checked or planned).
+  const std::map<std::string, SiteStats, std::less<>>& stats() const {
+    return stats_;
+  }
+  std::uint64_t total_fires() const;
+  std::uint64_t total_checks() const;
+
+ private:
+  struct SiteState {
+    const SiteSpec* spec = nullptr;  // points into plan_.sites
+    Rng rng{0};
+    int burst_remaining = 0;
+  };
+  SiteState& state(std::string_view site);
+
+  FaultPlan plan_;
+  std::uint64_t seed_ = 0;
+  std::map<std::string, SiteState, std::less<>> states_;
+  std::map<std::string, SiteStats, std::less<>> stats_;
+};
+
+}  // namespace gppm::fault

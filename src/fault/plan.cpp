@@ -1,0 +1,113 @@
+#include "fault/plan.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace gppm::fault {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+double parse_number(const std::string& field, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(value, &consumed);
+    GPPM_CHECK(consumed == value.size(), "trailing junk");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("fault profile: bad value '" + value + "' for " + field);
+  }
+}
+
+}  // namespace
+
+const SiteSpec* FaultPlan::find(std::string_view site) const {
+  for (const SiteSpec& s : sites) {
+    if (s.site == site) return &s;
+  }
+  return nullptr;
+}
+
+FaultPlan FaultPlan::parse(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    SiteSpec spec;
+    spec.site = tokens[0];
+    GPPM_CHECK(plan.find(spec.site) == nullptr,
+               "fault profile line " + std::to_string(lineno) +
+                   ": duplicate site '" + spec.site + "'");
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::string& tok = tokens[i];
+      const std::size_t eq = tok.find('=');
+      GPPM_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < tok.size(),
+                 "fault profile line " + std::to_string(lineno) +
+                     ": expected key=value, got '" + tok + "'");
+      const std::string key = tok.substr(0, eq);
+      const std::string value = tok.substr(eq + 1);
+      if (key == "p") {
+        spec.probability = parse_number(key, value);
+      } else if (key == "burst") {
+        spec.burst = static_cast<int>(parse_number(key, value));
+      } else if (key == "mag") {
+        spec.magnitude = parse_number(key, value);
+      } else {
+        throw Error("fault profile line " + std::to_string(lineno) +
+                    ": unknown field '" + key + "'");
+      }
+    }
+    GPPM_CHECK(spec.probability >= 0.0 && spec.probability <= 1.0,
+               "fault profile: probability of '" + spec.site +
+                   "' must be in [0, 1]");
+    GPPM_CHECK(spec.burst >= 1,
+               "fault profile: burst of '" + spec.site + "' must be >= 1");
+    plan.sites.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+FaultPlan FaultPlan::default_profile() {
+  return parse_string(
+      "# gppm default chaos profile\n"
+      "meter.drop        p=0.02 burst=2\n"
+      "meter.spike       p=0.02 mag=3.0\n"
+      "meter.disconnect  p=0.03\n"
+      "nvml.query        p=0.05 burst=3\n"
+      "dvfs.set_pair     p=0.08\n");
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const SiteSpec& s : sites) {
+    out += s.site + " p=" + format_double(s.probability, 6) +
+           " burst=" + std::to_string(s.burst) +
+           " mag=" + format_double(s.magnitude, 6) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gppm::fault

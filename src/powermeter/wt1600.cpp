@@ -33,6 +33,10 @@ Duration WT1600::total_duration(const std::vector<TimelineSegment>& timeline) {
 
 Measurement WT1600::measure(const std::vector<TimelineSegment>& timeline) {
   GPPM_CHECK(!timeline.empty(), "empty timeline");
+  for (const TimelineSegment& seg : timeline) {
+    GPPM_CHECK(seg.duration >= Duration::seconds(0.0),
+               "timeline segment with negative duration");
+  }
   const Duration total = total_duration(timeline);
   const double period_s = config_.sampling_period.as_seconds();
   GPPM_CHECK(total.as_seconds() >= period_s,

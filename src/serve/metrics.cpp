@@ -17,6 +17,17 @@ std::string to_string(RequestKind kind) {
   throw Error("unknown request kind");
 }
 
+std::string to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::Ok: return "ok";
+    case ResponseStatus::NoModels: return "no_models";
+    case ResponseStatus::DeadlineExceeded: return "deadline_exceeded";
+    case ResponseStatus::Overloaded: return "overloaded";
+    case ResponseStatus::InternalError: return "internal_error";
+  }
+  throw Error("unknown response status");
+}
+
 std::size_t MetricsCollector::latency_bin(double seconds) {
   if (seconds <= kLatencyMinSeconds) return 0;
   const double decades = std::log10(seconds / kLatencyMinSeconds);
@@ -56,6 +67,18 @@ void MetricsCollector::record_batch(std::size_t batch_size) {
 
 void MetricsCollector::record_rejected() {
   rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsCollector::record_shed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsCollector::record_deadline_expired() {
+  deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsCollector::record_error_response() {
+  error_responses_.fetch_add(1, std::memory_order_relaxed);
 }
 
 namespace {
@@ -109,6 +132,9 @@ ServerMetrics MetricsCollector::snapshot() const {
   m.max_batch_size =
       static_cast<std::size_t>(max_batch_.load(std::memory_order_relaxed));
   m.rejected_requests = rejected_.load(std::memory_order_relaxed);
+  m.shed_requests = shed_.load(std::memory_order_relaxed);
+  m.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  m.error_responses = error_responses_.load(std::memory_order_relaxed);
   return m;
 }
 
@@ -131,7 +157,9 @@ AsciiTable ServerMetrics::to_table() const {
 void ServerMetrics::print(std::ostream& out) const {
   to_table().print(out);
   out << "total " << total_requests << " requests ("
-      << rejected_requests << " rejected), " << batches
+      << rejected_requests << " rejected, " << shed_requests << " shed, "
+      << deadline_expired << " past deadline, " << error_responses
+      << " errors), " << batches
       << " batches, mean batch " << format_double(mean_batch_size, 2)
       << ", max batch " << max_batch_size << ", queue high-water "
       << queue_high_water << "\n";
@@ -155,6 +183,9 @@ void ServerMetrics::write_csv(std::ostream& out) const {
   }
   csv.row({"summary", "total_requests", std::to_string(total_requests)});
   csv.row({"summary", "rejected_requests", std::to_string(rejected_requests)});
+  csv.row({"summary", "shed_requests", std::to_string(shed_requests)});
+  csv.row({"summary", "deadline_expired", std::to_string(deadline_expired)});
+  csv.row({"summary", "error_responses", std::to_string(error_responses)});
   csv.row({"summary", "batches", std::to_string(batches)});
   csv.row({"summary", "mean_batch", format_double(mean_batch_size, 3)});
   csv.row({"summary", "max_batch", std::to_string(max_batch_size)});

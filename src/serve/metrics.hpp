@@ -44,6 +44,9 @@ struct ServerMetrics {
   std::array<EndpointStats, kRequestKindCount> endpoints;
   std::uint64_t total_requests = 0;
   std::uint64_t rejected_requests = 0;  ///< submissions after shutdown/full
+  std::uint64_t shed_requests = 0;      ///< answered Overloaded at admission
+  std::uint64_t deadline_expired = 0;   ///< answered DeadlineExceeded
+  std::uint64_t error_responses = 0;    ///< NoModels / InternalError answers
   std::uint64_t batches = 0;
   double mean_batch_size = 0.0;
   std::size_t max_batch_size = 0;
@@ -65,6 +68,9 @@ class MetricsCollector {
   void record_request(RequestKind kind, double latency_seconds);
   void record_batch(std::size_t batch_size);
   void record_rejected();
+  void record_shed();
+  void record_deadline_expired();
+  void record_error_response();
 
   /// Materialize a snapshot.  Bins are read without a global lock; counts
   /// recorded concurrently with the snapshot may land in either view.
@@ -87,6 +93,9 @@ class MetricsCollector {
   std::atomic<std::uint64_t> batch_items_{0};
   std::atomic<std::uint64_t> max_batch_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> error_responses_{0};
 };
 
 }  // namespace gppm::serve

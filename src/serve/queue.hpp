@@ -49,8 +49,10 @@ class BoundedQueue {
     return true;
   }
 
-  /// Non-blocking push; false if full or closed.
-  bool try_push(T item) {
+  /// Non-blocking push; false if full or closed.  On failure `item` is
+  /// left untouched, so the caller can still answer the request it carries
+  /// (load shedding needs the promise back).
+  bool try_push(T&& item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;

@@ -36,13 +36,34 @@ struct Request {
   sim::FrequencyPair pair = sim::kDefaultPair;
   /// Govern only: which governor instance decides.
   core::GovernorPolicy policy = core::GovernorPolicy::MinimumEnergy;
+  /// Service deadline relative to submission; zero (the default) means
+  /// none.  A request still queued past its deadline is answered with
+  /// ResponseStatus::DeadlineExceeded instead of being evaluated.
+  Duration deadline;
 };
+
+/// Why a request did not produce a prediction.  Errors are *responses*,
+/// not worker-side exceptions: a bad request must never kill a worker
+/// thread or turn into a broken future.
+enum class ResponseStatus : std::uint8_t {
+  Ok,
+  NoModels,          ///< no model pair loaded for the requested board
+  DeadlineExceeded,  ///< spent longer than request.deadline in the queue
+  Overloaded,        ///< load-shed: queue saturated at submission time
+  InternalError,     ///< the handler threw; details in Response::error
+};
+
+std::string to_string(ResponseStatus status);
 
 /// The server's answer.  All predictions are the raw model outputs except
 /// for Optimize/Govern, which apply core/optimizer's physical clamps
 /// before ranking (power >= 1 W, time >= 1 ms).
 struct Response {
   RequestKind kind = RequestKind::Predict;
+  /// Ok, or the typed reason there is no prediction in this response.
+  ResponseStatus status = ResponseStatus::Ok;
+  /// Human-readable detail for non-Ok statuses.
+  std::string error;
   /// Predict: the requested pair.  Optimize/Govern: the chosen pair.
   sim::FrequencyPair pair = sim::kDefaultPair;
   double power_watts = 0.0;
@@ -53,6 +74,8 @@ struct Response {
   bool cache_hit = false;
   /// Queue wait + service time, measured by the worker.
   Duration latency;
+
+  bool ok() const { return status == ResponseStatus::Ok; }
 };
 
 }  // namespace gppm::serve

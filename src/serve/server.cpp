@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/str.hpp"
 #include "dvfs/combos.hpp"
 
 namespace gppm::serve {
@@ -105,6 +106,23 @@ std::future<Response> PredictionServer::submit(Request request) {
   job.request = std::move(request);
   job.enqueued = std::chrono::steady_clock::now();
   std::future<Response> future = job.promise.get_future();
+  if (options_.load_shedding) {
+    if (queue_.try_push(std::move(job))) return future;
+    // try_push left the job intact; a closed queue is still a hard
+    // rejection, a merely full one is answered Overloaded right here.
+    if (queue_.closed()) {
+      metrics_.record_rejected();
+      throw Error("prediction server is shut down");
+    }
+    metrics_.record_shed();
+    Response response;
+    response.kind = job.request.kind;
+    response.status = ResponseStatus::Overloaded;
+    response.error = "admission queue saturated (" +
+                     std::to_string(options_.queue_capacity) + " queued)";
+    job.promise.set_value(std::move(response));
+    return future;
+  }
   if (!queue_.push(std::move(job))) {
     metrics_.record_rejected();
     throw Error("prediction server is shut down");
@@ -163,8 +181,13 @@ void PredictionServer::worker_loop() {
           entry_for(batch[begin].request.gpu);
       if (entry == nullptr) {
         for (std::size_t i = begin; i < end; ++i) {
-          batch[i].promise.set_exception(std::make_exception_ptr(Error(
-              "no models loaded for " + sim::to_string(batch[i].request.gpu))));
+          if (expire_if_past_deadline(batch[i])) continue;
+          metrics_.record_error_response();
+          Response response;
+          response.status = ResponseStatus::NoModels;
+          response.error =
+              "no models loaded for " + sim::to_string(batch[i].request.gpu);
+          finish(batch[i], std::move(response));
         }
       } else {
         process_group(*entry, batch.data() + begin, end - begin);
@@ -174,23 +197,50 @@ void PredictionServer::worker_loop() {
   }
 }
 
+void PredictionServer::finish(Job& job, Response response) {
+  response.kind = job.request.kind;
+  const auto now = std::chrono::steady_clock::now();
+  response.latency = Duration::seconds(
+      std::chrono::duration<double>(now - job.enqueued).count());
+  job.promise.set_value(std::move(response));
+}
+
+bool PredictionServer::expire_if_past_deadline(Job& job) {
+  if (!(job.request.deadline > Duration::seconds(0.0))) return false;
+  const auto now = std::chrono::steady_clock::now();
+  const double waited =
+      std::chrono::duration<double>(now - job.enqueued).count();
+  if (waited <= job.request.deadline.as_seconds()) return false;
+  metrics_.record_deadline_expired();
+  Response response;
+  response.status = ResponseStatus::DeadlineExceeded;
+  response.error = "queued " + format_double(waited * 1e3, 1) +
+                   " ms past a " +
+                   format_double(job.request.deadline.as_seconds() * 1e3, 1) +
+                   " ms deadline";
+  finish(job, std::move(response));
+  return true;
+}
+
 void PredictionServer::process_group(ModelEntry& entry, Job* jobs,
                                      std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
     Job& job = jobs[i];
+    if (expire_if_past_deadline(job)) continue;
     try {
       bool cache_hit = false;
       Response response = handle(entry, job.request, cache_hit);
-      response.kind = job.request.kind;
       response.cache_hit = cache_hit;
-      const auto now = std::chrono::steady_clock::now();
-      const double latency =
-          std::chrono::duration<double>(now - job.enqueued).count();
-      response.latency = Duration::seconds(latency);
+      const double latency = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - job.enqueued).count();
       metrics_.record_request(job.request.kind, latency);
-      job.promise.set_value(std::move(response));
-    } catch (...) {
-      job.promise.set_exception(std::current_exception());
+      finish(job, std::move(response));
+    } catch (const std::exception& e) {
+      metrics_.record_error_response();
+      Response response;
+      response.status = ResponseStatus::InternalError;
+      response.error = e.what();
+      finish(job, std::move(response));
     }
   }
 }

@@ -20,9 +20,16 @@
 //     histograms, batch shapes, rejections) plus queue high-water and
 //     cache hit/miss accounting, exported as table and CSV.
 //
+// Robustness contract: a request that cannot be served is *answered*, not
+// abandoned — workers never die and futures never carry exceptions.
+// Missing models, expired deadlines, shed load and handler failures all
+// come back as typed non-Ok ResponseStatus values (see request.hpp).
+//
 // Shutdown drains: shutdown() closes the queue, every already-admitted
 // job is still answered, then the workers join.  Submissions after (or
-// racing with) shutdown fail with gppm::Error and count as rejected.
+// racing with) shutdown fail with gppm::Error and count as rejected —
+// shutdown is the one condition that still throws, because there is no
+// worker left to promise an answer.
 #pragma once
 
 #include <array>
@@ -59,6 +66,11 @@ struct ServerOptions {
   /// Governor configuration for the Govern endpoint (policy is taken from
   /// the request; threshold and cap from here).
   core::GovernorOptions governor;
+  /// Shed instead of blocking: when true, submit() on a saturated queue
+  /// resolves immediately to ResponseStatus::Overloaded rather than
+  /// applying back-pressure.  Off by default (closed-loop clients want the
+  /// back-pressure).
+  bool load_shedding = false;
 };
 
 /// Concurrent prediction server over fitted unified models.
@@ -83,10 +95,12 @@ class PredictionServer {
                                  const std::string& perf_path);
   bool has_models(sim::GpuModel gpu) const;
 
-  /// Enqueue a request.  Blocks while the queue is full (back-pressure);
-  /// throws gppm::Error once the server is shut down.  The future resolves
-  /// to the response, or to the worker-side error (e.g. no models loaded
-  /// for the requested board).
+  /// Enqueue a request.  Blocks while the queue is full (back-pressure)
+  /// unless load shedding is on, in which case a saturated queue answers
+  /// ResponseStatus::Overloaded immediately.  Throws gppm::Error once the
+  /// server is shut down.  The future always resolves to a Response; check
+  /// Response::status — serving failures (no models for the board, expired
+  /// deadline, handler error) are typed statuses, never exceptions.
   std::future<Response> submit(Request request);
 
   /// Non-blocking variant for open-loop producers: returns std::nullopt
@@ -128,6 +142,11 @@ class PredictionServer {
 
   void worker_loop();
   void process_group(ModelEntry& entry, Job* jobs, std::size_t count);
+  /// Stamp kind + latency and resolve the job's promise.
+  static void finish(Job& job, Response response);
+  /// Answer DeadlineExceeded if the job out-waited its deadline (and
+  /// record it); returns true when the job was answered.
+  bool expire_if_past_deadline(Job& job);
   Response handle(ModelEntry& entry, const Request& request, bool& cache_hit);
   double cached_predict(const core::UnifiedModel& model,
                         std::uint64_t model_fp, std::uint64_t counters_fp,

@@ -1,0 +1,131 @@
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gppm {
+namespace {
+
+RetryPolicy no_jitter() {
+  RetryPolicy p;
+  p.jitter_fraction = 0.0;
+  return p;
+}
+
+TEST(Retry, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy p = no_jitter();
+  p.initial_backoff = Duration::milliseconds(10.0);
+  p.multiplier = 2.0;
+  p.max_backoff = Duration::milliseconds(50.0);
+  Rng rng(1);
+  EXPECT_NEAR(backoff_delay(p, 0, rng).as_milliseconds(), 10.0, 1e-9);
+  EXPECT_NEAR(backoff_delay(p, 1, rng).as_milliseconds(), 20.0, 1e-9);
+  EXPECT_NEAR(backoff_delay(p, 2, rng).as_milliseconds(), 40.0, 1e-9);
+  EXPECT_NEAR(backoff_delay(p, 3, rng).as_milliseconds(), 50.0, 1e-9);
+  EXPECT_NEAR(backoff_delay(p, 9, rng).as_milliseconds(), 50.0, 1e-9);
+}
+
+TEST(Retry, JitterIsBoundedAndDeterministic) {
+  RetryPolicy p;  // default jitter_fraction = 0.1
+  Rng a(7);
+  Rng b(7);
+  for (int retry = 0; retry < 6; ++retry) {
+    const double nominal =
+        std::min(p.initial_backoff.as_milliseconds() *
+                     std::pow(p.multiplier, static_cast<double>(retry)),
+                 p.max_backoff.as_milliseconds());
+    const double da = backoff_delay(p, retry, a).as_milliseconds();
+    const double db = backoff_delay(p, retry, b).as_milliseconds();
+    EXPECT_DOUBLE_EQ(da, db);  // same RNG state, same delay
+    EXPECT_GE(da, nominal * (1.0 - p.jitter_fraction) - 1e-9);
+    EXPECT_LE(da, nominal * (1.0 + p.jitter_fraction) + 1e-9);
+  }
+}
+
+TEST(Retry, RetriesTransientUntilSuccess) {
+  Rng rng(3);
+  RetryStats stats;
+  int calls = 0;
+  const int v = retry_call(RetryPolicy{}, rng, stats, [&] {
+    if (++calls < 3) throw TransientError("flaky channel");
+    return 42;
+  });
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.transient_failures, 2);
+  EXPECT_GT(stats.total_backoff.as_seconds(), 0.0);
+  EXPECT_FALSE(stats.budget_exhausted);
+}
+
+TEST(Retry, PermanentErrorPropagatesImmediately) {
+  Rng rng(3);
+  RetryStats stats;
+  EXPECT_THROW(retry_call(RetryPolicy{}, rng, stats,
+                          []() -> int { throw PermanentError("device lost"); }),
+               PermanentError);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.transient_failures, 0);
+  EXPECT_DOUBLE_EQ(stats.total_backoff.as_seconds(), 0.0);
+}
+
+TEST(Retry, AttemptsExhaustedRethrowsLastTransient) {
+  RetryPolicy p = no_jitter();
+  p.max_attempts = 3;
+  Rng rng(5);
+  RetryStats stats;
+  EXPECT_THROW(retry_call(p, rng, stats,
+                          []() -> int { throw TransientError("still down"); }),
+               TransientError);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.transient_failures, 3);
+  EXPECT_FALSE(stats.budget_exhausted);
+}
+
+TEST(Retry, BudgetExhaustionEndsRetriesEarly) {
+  RetryPolicy p = no_jitter();
+  p.max_attempts = 10;
+  p.initial_backoff = Duration::milliseconds(10.0);
+  p.retry_budget = Duration::milliseconds(5.0);  // first delay already over
+  Rng rng(5);
+  RetryStats stats;
+  EXPECT_THROW(retry_call(p, rng, stats,
+                          []() -> int { throw TransientError("down"); }),
+               TransientError);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_EQ(stats.attempts, 1);  // far fewer than max_attempts
+  EXPECT_DOUBLE_EQ(stats.total_backoff.as_seconds(), 0.0);
+}
+
+TEST(Retry, SingleAttemptPolicyNeverBacksOff) {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  Rng rng(9);
+  RetryStats stats;
+  EXPECT_THROW(retry_call(p, rng, stats,
+                          []() -> int { throw TransientError("once"); }),
+               TransientError);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_DOUBLE_EQ(stats.total_backoff.as_seconds(), 0.0);
+}
+
+TEST(Retry, SameSeedSameBackoffAccounting) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  RetryStats sa;
+  RetryStats sb;
+  Rng a(11);
+  Rng b(11);
+  EXPECT_THROW(retry_call(p, a, sa, []() -> int { throw TransientError("x"); }),
+               TransientError);
+  EXPECT_THROW(retry_call(p, b, sb, []() -> int { throw TransientError("x"); }),
+               TransientError);
+  EXPECT_DOUBLE_EQ(sa.total_backoff.as_seconds(), sb.total_backoff.as_seconds());
+  EXPECT_EQ(sa.attempts, sb.attempts);
+}
+
+}  // namespace
+}  // namespace gppm

@@ -1,0 +1,178 @@
+#include "core/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace gppm::core {
+namespace {
+
+constexpr double kPeriod = 0.05;  // the WT1600's 50 ms grid
+
+// A delivered measurement whose samples sit on the 50 ms grid.  Pass the
+// slot indices to drop to simulate a thinned channel (the timestamps of the
+// surviving samples keep their original grid positions).
+meter::Measurement make_measurement(const std::vector<double>& watts,
+                                    const std::vector<std::size_t>& dropped = {}) {
+  meter::Measurement m;
+  m.duration = Duration::seconds(static_cast<double>(watts.size()) * kPeriod);
+  double sum = 0.0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < watts.size(); ++i) {
+    bool drop = false;
+    for (std::size_t d : dropped) drop = drop || d == i;
+    if (drop) continue;
+    m.samples.push_back({Duration::seconds(static_cast<double>(i + 1) * kPeriod),
+                         Power::watts(watts[i])});
+    sum += watts[i];
+    ++kept;
+  }
+  m.average_power = Power::watts(kept > 0 ? sum / static_cast<double>(kept) : 0.0);
+  m.energy = m.average_power * m.duration;
+  return m;
+}
+
+ValidationOptions grid_options() {
+  ValidationOptions o;
+  o.sampling_period = Duration::seconds(kPeriod);
+  return o;
+}
+
+TEST(Quality, CleanStreamIsReturnedBitIdentical) {
+  std::vector<double> watts(20, 200.0);
+  watts[3] = 200.1;  // quantization-scale wiggle must not be rejected
+  watts[11] = 199.9;
+  const meter::Measurement m = make_measurement(watts);
+  const ValidatedRun v = validate_run(m, grid_options());
+  ASSERT_TRUE(v.ok) << v.reason;
+  EXPECT_EQ(v.rejected, 0u);
+  EXPECT_EQ(v.imputed, 0u);
+  ASSERT_EQ(v.cleaned.samples.size(), m.samples.size());
+  for (std::size_t i = 0; i < m.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(v.cleaned.samples[i].power.as_watts(),
+                     m.samples[i].power.as_watts());
+  }
+  EXPECT_DOUBLE_EQ(v.cleaned.energy.as_joules(), m.energy.as_joules());
+  EXPECT_DOUBLE_EQ(v.cleaned.average_power.as_watts(),
+                   m.average_power.as_watts());
+}
+
+TEST(Quality, SpikeIsRejectedAndImputedFromNeighbours) {
+  std::vector<double> watts(20, 200.0);
+  watts[7] = 600.0;  // 3x glitch, the faulty meter's spike shape
+  const ValidatedRun v = validate_run(make_measurement(watts), grid_options());
+  ASSERT_TRUE(v.ok) << v.reason;
+  EXPECT_EQ(v.rejected, 1u);
+  EXPECT_EQ(v.imputed, 1u);
+  ASSERT_EQ(v.cleaned.samples.size(), 20u);
+  EXPECT_NEAR(v.cleaned.samples[7].power.as_watts(), 200.0, 1e-9);
+  EXPECT_NEAR(v.cleaned.average_power.as_watts(), 200.0, 1e-9);
+}
+
+TEST(Quality, BimodalPlateausAreNotRejected) {
+  // A wall-power trace is bimodal (GPU-kernel vs host plateaus).  A global
+  // median would reject one mode wholesale; the running median must keep
+  // both plateaus untouched.
+  std::vector<double> watts;
+  for (int i = 0; i < 10; ++i) watts.push_back(120.0);
+  for (int i = 0; i < 10; ++i) watts.push_back(260.0);
+  const ValidatedRun v = validate_run(make_measurement(watts), grid_options());
+  ASSERT_TRUE(v.ok) << v.reason;
+  EXPECT_EQ(v.rejected, 0u);
+  EXPECT_EQ(v.imputed, 0u);
+}
+
+TEST(Quality, DroppedSlotsAreImputedOnTheGrid) {
+  // Slots 5 and 19 never arrive; the grid is rebuilt with both filled
+  // (interior by interpolation, the trailing edge by nearest value).
+  const std::vector<double> watts(20, 200.0);
+  const ValidatedRun v =
+      validate_run(make_measurement(watts, {5, 19}), grid_options());
+  ASSERT_TRUE(v.ok) << v.reason;
+  EXPECT_EQ(v.rejected, 0u);  // nothing was corrupted, just dropped
+  EXPECT_EQ(v.imputed, 2u);
+  ASSERT_EQ(v.cleaned.samples.size(), 20u);
+  EXPECT_NEAR(v.cleaned.samples[5].power.as_watts(), 200.0, 1e-9);
+  EXPECT_NEAR(v.cleaned.samples[19].power.as_watts(), 200.0, 1e-9);
+  EXPECT_NEAR(v.cleaned.average_power.as_watts(), 200.0, 1e-9);
+  EXPECT_NEAR(v.cleaned.duration.as_seconds(), 1.0, 1e-12);
+}
+
+TEST(Quality, InterpolationBridgesAGapLinearly) {
+  // Steps around a dropped slot: neighbours at 100 W and 300 W, the imputed
+  // slot must land on the line between them.
+  std::vector<double> watts(20, 100.0);
+  for (std::size_t i = 11; i < 20; ++i) watts[i] = 300.0;
+  watts[10] = 200.0;  // will be dropped; linear bridge reproduces it
+  const ValidatedRun v =
+      validate_run(make_measurement(watts, {10}), grid_options());
+  ASSERT_TRUE(v.ok) << v.reason;
+  EXPECT_EQ(v.imputed, 1u);
+  EXPECT_NEAR(v.cleaned.samples[10].power.as_watts(), 200.0, 1e-9);
+}
+
+TEST(Quality, TooFewSamplesIsInvalid) {
+  const std::vector<double> watts(5, 200.0);  // below min_samples = 8
+  const ValidatedRun v = validate_run(make_measurement(watts), grid_options());
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("required samples"), std::string::npos);
+}
+
+TEST(Quality, ExcessiveImputationIsInvalid) {
+  const std::vector<double> watts(20, 200.0);
+  const ValidatedRun v = validate_run(
+      make_measurement(watts, {1, 3, 5, 7, 9, 11, 13, 15}), grid_options());
+  EXPECT_FALSE(v.ok);  // 8 of 20 slots = 40% > the 25% ceiling
+  EXPECT_NE(v.reason.find("imputed fraction"), std::string::npos);
+}
+
+TEST(Quality, EmptyStreamIsInvalid) {
+  meter::Measurement m;
+  m.duration = Duration::seconds(1.0);
+  const ValidatedRun v = validate_run(m, grid_options());
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.reason, "no samples delivered");
+}
+
+TEST(Quality, MoreSamplesThanGridSlotsIsInvalid) {
+  // 20 samples claiming a 0.5 s run on a 50 ms grid (10 slots): the stream
+  // contradicts the grid and cannot be trusted.
+  meter::Measurement m = make_measurement(std::vector<double>(20, 200.0));
+  m.duration = Duration::seconds(0.5);
+  const ValidatedRun v = validate_run(m, grid_options());
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("inconsistent"), std::string::npos);
+}
+
+TEST(Quality, InfersThePeriodWhenNotConfigured) {
+  const ValidatedRun v = validate_run(
+      make_measurement(std::vector<double>(20, 200.0)), ValidationOptions{});
+  ASSERT_TRUE(v.ok) << v.reason;
+  EXPECT_EQ(v.imputed, 0u);
+}
+
+TEST(Quality, ReportRendersByteStably) {
+  QualityReport q;
+  q.valid = true;
+  q.attempts = 2;
+  q.transient_faults = 1;
+  q.samples_delivered = 18;
+  q.samples_rejected = 1;
+  q.samples_imputed = 2;
+  q.backoff = Duration::milliseconds(12.5);
+  EXPECT_EQ(q.to_string(),
+            "valid attempts=2 faults=1 samples=18 rejected=1 imputed=2 "
+            "backoff_ms=12.500");
+
+  QualityReport missing;
+  missing.attempts = 4;
+  missing.transient_faults = 4;
+  missing.failure = "retry budget exhausted";
+  EXPECT_EQ(missing.to_string(),
+            "missing attempts=4 faults=4 samples=0 rejected=0 imputed=0 "
+            "backoff_ms=0.000 failure=\"retry budget exhausted\"");
+}
+
+}  // namespace
+}  // namespace gppm::core

@@ -40,6 +40,24 @@ TEST(Controller, RejectsIllegalPairAndKeepsState) {
   EXPECT_EQ(gpu.frequency_pair(), before);
 }
 
+TEST(Controller, RejectedSetPairIsFullyTransactional) {
+  // A refused transition must leave no trace: the VBIOS image byte-for-byte
+  // as it was, and no reboot charged — set_pair validates before patching.
+  sim::Gpu gpu(GpuModel::GTX680);
+  Controller ctl(gpu);
+  ctl.set_pair({ClockLevel::Medium, ClockLevel::Medium});  // non-default state
+  const std::vector<std::uint8_t> image_before = ctl.image();
+  const int reboots_before = ctl.reboot_count();
+  EXPECT_THROW(ctl.set_pair({ClockLevel::Low, ClockLevel::Low}), gppm::Error);
+  EXPECT_EQ(ctl.image(), image_before);
+  EXPECT_EQ(ctl.reboot_count(), reboots_before);
+  EXPECT_EQ(ctl.current_pair(),
+            (FrequencyPair{ClockLevel::Medium, ClockLevel::Medium}));
+  // The controller still works after the refusal.
+  EXPECT_NO_THROW(ctl.set_pair(sim::kDefaultPair));
+  EXPECT_EQ(ctl.reboot_count(), reboots_before + 1);
+}
+
 TEST(Controller, AvailablePairsMatchTableThree) {
   sim::Gpu gpu(GpuModel::GTX460);
   Controller ctl(gpu);

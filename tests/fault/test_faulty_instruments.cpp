@@ -1,0 +1,254 @@
+// Tests for the faulty instrument wrappers: the meter channel, the NVML
+// query path and the DVFS transition path, each driven by a deterministic
+// FaultInjector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "dvfs/controller.hpp"
+#include "fault/faulty_dvfs.hpp"
+#include "fault/faulty_meter.hpp"
+#include "fault/faulty_nvml.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::fault {
+namespace {
+
+using sim::ClockLevel;
+
+meter::MeterConfig noiseless() {
+  meter::MeterConfig c;
+  c.noise_floor_watts = 0.0;
+  c.noise_fraction = 0.0;
+  c.quantization_watts = 0.0;
+  return c;
+}
+
+std::vector<meter::TimelineSegment> constant_timeline(double watts,
+                                                      double seconds) {
+  return {{Duration::seconds(seconds), Power::watts(watts)}};
+}
+
+TEST(FaultyMeter, NullInjectorIsBitIdenticalToHealthyMeter) {
+  meter::WT1600 healthy(meter::MeterConfig{}, 17);
+  FaultyMeter faulty(meter::MeterConfig{}, 17, nullptr);
+  const meter::Measurement a = healthy.measure(constant_timeline(200.0, 1.0));
+  const meter::Measurement b = faulty.measure(constant_timeline(200.0, 1.0));
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].power.as_watts(),
+                     b.samples[i].power.as_watts());
+  }
+  EXPECT_DOUBLE_EQ(a.energy.as_joules(), b.energy.as_joules());
+  EXPECT_DOUBLE_EQ(a.average_power.as_watts(), b.average_power.as_watts());
+}
+
+TEST(FaultyMeter, QuietSitesLeaveTheRunBitIdentical) {
+  // An injector whose sites all miss this run must not change a byte — the
+  // equivalence the chaos suite's best-pair assertions build on.
+  FaultInjector injector(FaultPlan{}, 3);  // empty plan: never fires
+  meter::WT1600 healthy(meter::MeterConfig{}, 17);
+  FaultyMeter faulty(meter::MeterConfig{}, 17, &injector);
+  const meter::Measurement a = healthy.measure(constant_timeline(180.0, 2.0));
+  const meter::Measurement b = faulty.measure(constant_timeline(180.0, 2.0));
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].power.as_watts(),
+                     b.samples[i].power.as_watts());
+  }
+  EXPECT_GT(injector.total_checks(), 0u);  // the sites were consulted
+  EXPECT_EQ(injector.total_fires(), 0u);
+}
+
+TEST(FaultyMeter, DropThinsTheStreamWithoutBiasingTheMean) {
+  FaultInjector injector(FaultPlan::parse_string("meter.drop p=0.3\n"), 17);
+  FaultyMeter faulty(noiseless(), 17, &injector);
+  const meter::Measurement m = faulty.measure(constant_timeline(200.0, 2.0));
+  const std::size_t expected =
+      FaultyMeter::expected_sample_count(noiseless(), constant_timeline(200.0, 2.0));
+  EXPECT_EQ(expected, 40u);
+  EXPECT_LT(m.sample_count(), expected);  // something was dropped
+  EXPECT_GT(m.sample_count(), 0u);
+  for (const meter::PowerSample& s : m.samples) {
+    EXPECT_NEAR(s.power.as_watts(), 200.0, 1e-9);
+  }
+  // Summaries are recomputed over the survivors: the thinned stream still
+  // estimates the same constant power and full-run energy.
+  EXPECT_NEAR(m.average_power.as_watts(), 200.0, 1e-9);
+  EXPECT_NEAR(m.energy.as_joules(), 400.0, 1e-6);
+}
+
+TEST(FaultyMeter, SpikesScaleReadingsByTheSiteMagnitude) {
+  FaultInjector injector(
+      FaultPlan::parse_string("meter.spike p=1 mag=3.0\n"), 5);
+  FaultyMeter faulty(noiseless(), 5, &injector);
+  const meter::Measurement m = faulty.measure(constant_timeline(200.0, 1.0));
+  ASSERT_EQ(m.sample_count(), 20u);
+  for (const meter::PowerSample& s : m.samples) {
+    EXPECT_NEAR(s.power.as_watts(), 600.0, 1e-9);
+  }
+  EXPECT_NEAR(m.average_power.as_watts(), 600.0, 1e-9);
+}
+
+TEST(FaultyMeter, DisconnectThrowsTransient) {
+  FaultInjector injector(
+      FaultPlan::parse_string("meter.disconnect p=1\n"), 5);
+  FaultyMeter faulty(noiseless(), 5, &injector);
+  EXPECT_THROW(faulty.measure(constant_timeline(200.0, 1.0)), TransientError);
+}
+
+TEST(FaultyMeter, FullyDroppedRunIsTransient) {
+  FaultInjector injector(FaultPlan::parse_string("meter.drop p=1\n"), 5);
+  FaultyMeter faulty(noiseless(), 5, &injector);
+  EXPECT_THROW(faulty.measure(constant_timeline(200.0, 1.0)), TransientError);
+}
+
+// --- NVML -----------------------------------------------------------------
+
+struct NvmlFixture {
+  sim::Gpu gpu{sim::GpuModel::GTX480};
+  nvml::Session session;
+  nvml::DeviceHandle handle;
+  sim::RunExecution exec;
+
+  NvmlFixture() {
+    handle = session.attach_device(gpu);
+    exec = gpu.run(workload::find_benchmark("nn").profile(0));
+    session.begin_run(handle, exec);
+  }
+};
+
+TEST(FaultyNvml, StatusSpellingAndTransience) {
+  EXPECT_EQ(to_string(NvmlStatus::Success), "NVML_SUCCESS");
+  EXPECT_EQ(to_string(NvmlStatus::ErrorTimeout), "NVML_ERROR_TIMEOUT");
+  EXPECT_EQ(to_string(NvmlStatus::ErrorUnknown), "NVML_ERROR_UNKNOWN");
+  EXPECT_EQ(to_string(NvmlStatus::ErrorGpuIsLost), "NVML_ERROR_GPU_IS_LOST");
+  EXPECT_FALSE(is_transient(NvmlStatus::Success));
+  EXPECT_TRUE(is_transient(NvmlStatus::ErrorTimeout));
+  EXPECT_TRUE(is_transient(NvmlStatus::ErrorUnknown));
+  EXPECT_FALSE(is_transient(NvmlStatus::ErrorGpuIsLost));
+}
+
+TEST(FaultyNvml, NullInjectorQueriesMatchTheSession) {
+  NvmlFixture fx;
+  FaultyNvmlSession faulty(fx.session, nullptr);
+  const Duration at = Duration::milliseconds(10.0);
+  const NvmlResult<unsigned> power = faulty.power_usage_mw(fx.handle, at);
+  ASSERT_TRUE(power.ok());
+  EXPECT_EQ(power.value, fx.session.power_usage_mw(fx.handle, at));
+  const NvmlResult<nvml::UtilizationRates> util =
+      faulty.utilization(fx.handle, at);
+  ASSERT_TRUE(util.ok());
+  EXPECT_EQ(util.value.gpu, fx.session.utilization(fx.handle, at).gpu);
+  const NvmlResult<std::uint64_t> energy =
+      faulty.total_energy_mj(fx.handle, at);
+  ASSERT_TRUE(energy.ok());
+  EXPECT_EQ(energy.value, fx.session.total_energy_mj(fx.handle, at));
+}
+
+TEST(FaultyNvml, FailedQueriesReturnNvmlStatusesNotValues) {
+  NvmlFixture fx;
+  FaultInjector injector(FaultPlan::parse_string("nvml.query p=1\n"), 5);
+  FaultyNvmlSession faulty(fx.session, &injector);
+  int transient = 0;
+  for (int i = 0; i < 50; ++i) {
+    const NvmlResult<unsigned> r =
+        faulty.power_usage_mw(fx.handle, Duration::milliseconds(10.0));
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.status, NvmlStatus::Success);
+    if (is_transient(r.status)) ++transient;
+  }
+  // The status split is mostly transient (60% timeout + 35% unknown).
+  EXPECT_GT(transient, 25);
+}
+
+TEST(FaultyNvml, SamplePowerRetriesThroughTransientFailures) {
+  NvmlFixture fx;
+  FaultInjector injector(
+      FaultPlan::parse_string("nvml.query p=0.15 burst=2\n"), 9);
+  FaultyNvmlSession faulty(fx.session, &injector);
+  RetryStats stats;
+  const Duration duration = Duration::seconds(1.0);
+  const Duration period = Duration::milliseconds(50.0);
+  const std::vector<nvml::PowerSample> hardened =
+      faulty.sample_power(fx.handle, duration, period, RetryPolicy{}, &stats);
+  const std::vector<nvml::PowerSample> reference =
+      nvml::sample_power(fx.session, fx.handle, duration, period);
+  ASSERT_EQ(hardened.size(), reference.size());
+  for (std::size_t i = 0; i < hardened.size(); ++i) {
+    // Retries must not corrupt the sampled values, only absorb failures.
+    EXPECT_DOUBLE_EQ(hardened[i].power.as_watts(),
+                     reference[i].power.as_watts());
+    EXPECT_DOUBLE_EQ(hardened[i].timestamp.as_seconds(),
+                     reference[i].timestamp.as_seconds());
+  }
+  EXPECT_GT(stats.transient_failures, 0);
+  EXPECT_GT(stats.attempts, static_cast<int>(hardened.size()));
+}
+
+TEST(FaultyNvml, HopelessChannelExhaustsRetries) {
+  NvmlFixture fx;
+  FaultInjector injector(FaultPlan::parse_string("nvml.query p=1\n"), 5);
+  FaultyNvmlSession faulty(fx.session, &injector);
+  // Every query fails; whichever status the stream draws, the sampler must
+  // surface a gppm::Error (TransientError after the policy's attempts, or
+  // PermanentError the moment the device is lost).
+  EXPECT_THROW(faulty.sample_power(fx.handle, Duration::seconds(1.0),
+                                   Duration::milliseconds(50.0), RetryPolicy{}),
+               Error);
+}
+
+TEST(FaultyNvml, SamplePowerValidatesItsWindow) {
+  NvmlFixture fx;
+  FaultyNvmlSession faulty(fx.session, nullptr);
+  EXPECT_THROW(faulty.sample_power(fx.handle, Duration::seconds(1.0),
+                                   Duration::seconds(0.0), RetryPolicy{}),
+               Error);
+  EXPECT_THROW(faulty.sample_power(fx.handle, Duration::milliseconds(10.0),
+                                   Duration::milliseconds(50.0), RetryPolicy{}),
+               Error);
+}
+
+// --- DVFS -----------------------------------------------------------------
+
+TEST(FaultyDvfs, NullInjectorPassesTransitionsThrough) {
+  sim::Gpu gpu(sim::GpuModel::GTX680);
+  dvfs::Controller ctl(gpu);
+  FaultyController faulty(ctl, nullptr);
+  const sim::FrequencyPair mm{ClockLevel::Medium, ClockLevel::Medium};
+  faulty.set_pair(mm);
+  EXPECT_EQ(faulty.current_pair(), mm);
+  EXPECT_EQ(gpu.frequency_pair(), mm);
+  EXPECT_EQ(faulty.reboot_count(), 2);
+  EXPECT_EQ(faulty.available_pairs(), ctl.available_pairs());
+}
+
+TEST(FaultyDvfs, TransientFailureLeavesControllerStateIntact) {
+  sim::Gpu gpu(sim::GpuModel::GTX680);
+  dvfs::Controller ctl(gpu);
+  FaultInjector injector(FaultPlan::parse_string("dvfs.set_pair p=1\n"), 3);
+  FaultyController faulty(ctl, &injector);
+
+  const sim::FrequencyPair before = ctl.current_pair();
+  const std::vector<std::uint8_t> image_before = ctl.image();
+  const int reboots_before = ctl.reboot_count();
+  EXPECT_THROW(
+      faulty.set_pair({ClockLevel::Medium, ClockLevel::Medium}),
+      TransientError);
+  EXPECT_EQ(ctl.current_pair(), before);
+  EXPECT_EQ(gpu.frequency_pair(), before);
+  EXPECT_EQ(ctl.image(), image_before);  // VBIOS untouched
+  EXPECT_EQ(ctl.reboot_count(), reboots_before);
+}
+
+TEST(FaultyDvfs, IllegalPairsStillRejectedByTheController) {
+  sim::Gpu gpu(sim::GpuModel::GTX680);
+  dvfs::Controller ctl(gpu);
+  FaultyController faulty(ctl, nullptr);
+  EXPECT_THROW(faulty.set_pair({ClockLevel::Low, ClockLevel::Low}), Error);
+  EXPECT_EQ(ctl.current_pair(), sim::kDefaultPair);
+}
+
+}  // namespace
+}  // namespace gppm::fault

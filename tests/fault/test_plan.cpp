@@ -1,0 +1,87 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace gppm::fault {
+namespace {
+
+TEST(FaultPlan, DefaultProfileNamesEveryWiredSite) {
+  const FaultPlan plan = FaultPlan::default_profile();
+  for (std::string_view site :
+       {kSiteMeterDrop, kSiteMeterSpike, kSiteMeterDisconnect, kSiteNvmlQuery,
+        kSiteDvfsSetPair}) {
+    const SiteSpec* spec = plan.find(site);
+    ASSERT_NE(spec, nullptr) << site;
+    EXPECT_GT(spec->probability, 0.0) << site;
+    EXPECT_LE(spec->probability, 1.0) << site;
+    EXPECT_GE(spec->burst, 1) << site;
+  }
+  EXPECT_EQ(plan.find(kSiteMeterDrop)->burst, 2);
+  EXPECT_NEAR(plan.find(kSiteMeterSpike)->magnitude, 3.0, 1e-12);
+}
+
+TEST(FaultPlan, ParsesCommentsBlanksAndAnyFieldOrder) {
+  const FaultPlan plan = FaultPlan::parse_string(
+      "# header comment\n"
+      "\n"
+      "meter.spike mag=2.5 p=0.5   # trailing comment\n"
+      "nvml.query p=1 burst=3\n"
+      "custom.site\n");
+  ASSERT_EQ(plan.sites.size(), 3u);
+  const SiteSpec* spike = plan.find("meter.spike");
+  ASSERT_NE(spike, nullptr);
+  EXPECT_NEAR(spike->probability, 0.5, 1e-12);
+  EXPECT_NEAR(spike->magnitude, 2.5, 1e-12);
+  EXPECT_EQ(spike->burst, 1);  // untouched default
+  const SiteSpec* nvml = plan.find("nvml.query");
+  ASSERT_NE(nvml, nullptr);
+  EXPECT_NEAR(nvml->probability, 1.0, 1e-12);
+  EXPECT_EQ(nvml->burst, 3);
+  // A bare site line is legal: all defaults (probability 0 = never fires).
+  const SiteSpec* custom = plan.find("custom.site");
+  ASSERT_NE(custom, nullptr);
+  EXPECT_DOUBLE_EQ(custom->probability, 0.0);
+}
+
+TEST(FaultPlan, FindReturnsNullForUnknownSites) {
+  const FaultPlan plan = FaultPlan::default_profile();
+  EXPECT_EQ(plan.find("no.such.site"), nullptr);
+  EXPECT_EQ(FaultPlan{}.find(kSiteMeterDrop), nullptr);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const FaultPlan a = FaultPlan::default_profile();
+  const FaultPlan b = FaultPlan::parse_string(a.to_string());
+  ASSERT_EQ(b.sites.size(), a.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(b.sites[i].site, a.sites[i].site);
+    EXPECT_DOUBLE_EQ(b.sites[i].probability, a.sites[i].probability);
+    EXPECT_EQ(b.sites[i].burst, a.sites[i].burst);
+    EXPECT_DOUBLE_EQ(b.sites[i].magnitude, a.sites[i].magnitude);
+  }
+  EXPECT_EQ(b.to_string(), a.to_string());
+}
+
+TEST(FaultPlan, RejectsMalformedProfiles) {
+  // Duplicate site.
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop p=0.1\nmeter.drop p=0.2\n"),
+               Error);
+  // Probability outside [0, 1].
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop p=1.5\n"), Error);
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop p=-0.1\n"), Error);
+  // Burst below 1.
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop p=0.1 burst=0\n"), Error);
+  // Unknown field.
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop prob=0.1\n"), Error);
+  // Not key=value.
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop 0.1\n"), Error);
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop p=\n"), Error);
+  // Unparseable number.
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop p=abc\n"), Error);
+  EXPECT_THROW(FaultPlan::parse_string("meter.drop p=0.1x\n"), Error);
+}
+
+}  // namespace
+}  // namespace gppm::fault

@@ -51,6 +51,24 @@ TEST(WT1600, RejectsRunsShorterThanOneSample) {
   EXPECT_THROW(meter.measure({}), gppm::Error);
 }
 
+TEST(WT1600, RejectsNonpositiveSamplingPeriod) {
+  MeterConfig zero;
+  zero.sampling_period = Duration::seconds(0.0);
+  EXPECT_THROW(WT1600{zero}, gppm::Error);
+  MeterConfig negative;
+  negative.sampling_period = Duration::milliseconds(-50.0);
+  EXPECT_THROW(WT1600{negative}, gppm::Error);
+}
+
+TEST(WT1600, RejectsNegativeDurationSegments) {
+  WT1600 meter(noiseless());
+  const std::vector<TimelineSegment> timeline = {
+      {Duration::seconds(1.0), Power::watts(100)},
+      {Duration::seconds(-0.25), Power::watts(200)},
+  };
+  EXPECT_THROW(meter.measure(timeline), gppm::Error);
+}
+
 TEST(WT1600, NoiseAverageIsUnbiased) {
   MeterConfig cfg;
   cfg.noise_floor_watts = 1.0;

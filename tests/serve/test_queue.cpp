@@ -127,5 +127,54 @@ TEST(ServeQueue, ConcurrentProducersConsumersConserveItems) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(ServeQueue, ShutdownUnderProducerPressureLosesNothing) {
+  // Producers hammer a full bounded queue (most of them block on capacity)
+  // while close-with-drain races them: every push must resolve to exactly
+  // one of accepted/rejected, and every accepted item must come back out.
+  // This is the shutdown data-race stress the TSan serve_smoke build runs.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.push(i));  // start saturated
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.push(i)) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);  // woken by close
+        }
+      }
+    });
+  }
+  std::thread consumer([&] {
+    // Drain a little so producers make progress, then close mid-flight and
+    // keep draining until the queue reports closed-and-empty.
+    while (popped.load() < 3 * kProducers) {
+      popped.fetch_add(static_cast<int>(q.pop_batch(8).size()));
+    }
+    q.close();
+    while (true) {
+      const std::vector<int> batch = q.pop_batch(16);
+      if (batch.empty()) return;
+      popped.fetch_add(static_cast<int>(batch.size()));
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_GT(rejected.load(), 0);  // close really cut producers off
+  EXPECT_EQ(popped.load(), 4 + accepted.load());  // nothing lost or invented
+  EXPECT_FALSE(q.push(1));  // still closed
+  EXPECT_TRUE(q.pop_batch(1).empty());
+}
+
 }  // namespace
 }  // namespace gppm::serve

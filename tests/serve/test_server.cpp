@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -149,12 +151,113 @@ TEST(ServeServer, HotSwapChangesServedModel) {
   EXPECT_DOUBLE_EQ(r.power_watts, extended.predict(counters, sim::kDefaultPair));
 }
 
-TEST(ServeServer, UnloadedBoardFailsTheFuture) {
+TEST(ServeServer, UnloadedBoardGetsTypedErrorResponse) {
   PredictionServer server;
   server.load_models(power_model(), perf_model());
   Request req = predict_request(dataset().samples.front().counters);
   req.gpu = sim::GpuModel::GTX680;  // never loaded
-  EXPECT_THROW(server.submit(req).get(), Error);
+  // Errors are responses, not exceptions: the future must resolve.
+  const Response r = server.submit(req).get();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, ResponseStatus::NoModels);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.kind, RequestKind::Predict);
+  EXPECT_GT(r.latency.as_seconds(), 0.0);
+  EXPECT_GE(server.metrics().error_responses, 1u);
+}
+
+TEST(ServeServer, ResponseStatusNamesAreStable) {
+  EXPECT_EQ(to_string(ResponseStatus::Ok), "ok");
+  EXPECT_EQ(to_string(ResponseStatus::NoModels), "no_models");
+  EXPECT_EQ(to_string(ResponseStatus::DeadlineExceeded), "deadline_exceeded");
+  EXPECT_EQ(to_string(ResponseStatus::Overloaded), "overloaded");
+  EXPECT_EQ(to_string(ResponseStatus::InternalError), "internal_error");
+}
+
+TEST(ServeServer, ExpiredDeadlinesGetTypedResponses) {
+  ServerOptions opt;
+  opt.worker_threads = 1;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+  Request req = predict_request(dataset().samples.front().counters);
+  req.deadline = Duration::seconds(1e-9);  // expires before any worker runs
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 64; ++i) futures.push_back(server.submit(req));
+  std::uint64_t expired = 0;
+  for (auto& f : futures) {
+    const Response r = f.get();  // always resolves, never throws
+    if (r.status == ResponseStatus::DeadlineExceeded) {
+      ++expired;
+      EXPECT_FALSE(r.error.empty());
+    } else {
+      EXPECT_EQ(r.status, ResponseStatus::Ok);
+    }
+  }
+  EXPECT_GT(expired, 0u);
+  EXPECT_EQ(server.metrics().deadline_expired, expired);
+}
+
+TEST(ServeServer, GenerousDeadlinesAreServedNormally) {
+  PredictionServer server;
+  server.load_models(power_model(), perf_model());
+  Request req = predict_request(dataset().samples.front().counters);
+  req.deadline = Duration::seconds(60.0);
+  const Response r = server.submit(req).get();
+  EXPECT_EQ(r.status, ResponseStatus::Ok);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(server.metrics().deadline_expired, 0u);
+}
+
+TEST(ServeServer, LoadSheddingAnswersOverloadedInsteadOfBlocking) {
+  ServerOptions opt;
+  opt.worker_threads = 1;
+  opt.queue_capacity = 2;  // tiny queue, saturates immediately
+  opt.load_shedding = true;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 500;
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        Request req;
+        req.kind = RequestKind::Optimize;  // heavier than a single predict
+        req.gpu = sim::GpuModel::GTX460;
+        req.counters =
+            dataset().samples[(c * kPerClient + i) % dataset().samples.size()]
+                .counters;
+        const Response r = server.submit(req).get();
+        if (r.status == ResponseStatus::Overloaded) {
+          shed.fetch_add(1);
+          EXPECT_FALSE(r.error.empty());
+        } else {
+          EXPECT_EQ(r.status, ResponseStatus::Ok);
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load() + shed.load(), kClients * kPerClient);
+  EXPECT_GT(shed.load(), 0u);  // capacity 2 with one worker must shed
+  const ServerMetrics m = server.metrics();
+  EXPECT_EQ(m.shed_requests, shed.load());
+  EXPECT_EQ(m.total_requests, ok.load());  // shed requests never served
+}
+
+TEST(ServeServer, SheddingServerStillThrowsAfterShutdown) {
+  ServerOptions opt;
+  opt.load_shedding = true;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+  server.shutdown();
+  EXPECT_THROW(
+      server.submit(predict_request(dataset().samples.front().counters)),
+      Error);
 }
 
 TEST(ServeServer, ShutdownDrainsQueuedWorkAndRejectsNew) {

@@ -16,6 +16,9 @@
 //                                       run the phase-level DVFS governor
 //   gppm serve-bench <gpu> [options]    replay a synthetic trace against the
 //                                       concurrent prediction server
+//   gppm chaos <gpu> [options]          characterize under injected
+//                                       instrument faults; report coverage
+//                                       and divergence vs the fault-free run
 //
 // GPU names: gtx285, gtx460, gtx480, gtx680.
 #include <chrono>
@@ -57,6 +60,8 @@ int usage(std::ostream& out, int code) {
          "  gppm governor <gpu> <benchmark> [benchmark...]\n"
          "  gppm serve-bench <gpu> [--requests N] [--workers N] [--clients N]"
          " [--cache N] [--jitter F]\n"
+         "  gppm chaos <gpu> [--fault-profile FILE] [--seed N]"
+         " [--benchmarks N]\n"
          "gpus: gtx285 gtx460 gtx480 gtx680\n";
   return code;
 }
@@ -383,6 +388,55 @@ int cmd_serve_bench(int argc, char** argv) {
   return 0;
 }
 
+int cmd_chaos(int argc, char** argv) {
+  // gppm chaos <gpu> [--fault-profile FILE] [--seed N] [--benchmarks N]
+  if (argc < 3) return usage();
+  const sim::GpuModel model = parse_gpu(argv[2]);
+  fault::FaultPlan plan = fault::FaultPlan::default_profile();
+  std::uint64_t seed = 7;
+  std::size_t benchmark_limit = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--fault-profile" && has_value) {
+      std::ifstream in(argv[++i]);
+      if (!in) throw Error(std::string("cannot open ") + argv[i]);
+      plan = fault::FaultPlan::parse(in);
+    } else if (arg == "--seed" && has_value) {
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--benchmarks" && has_value) {
+      benchmark_limit = std::stoul(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  std::cout << "fault profile:\n" << plan.to_string();
+  const core::ChaosReport report =
+      core::chaos_characterization(model, plan, seed, benchmark_limit);
+
+  AsciiTable table({"benchmark", "covered", "fault-free best", "chaos best",
+                    "verdict"});
+  for (const core::ChaosBenchmarkRow& row : report.rows) {
+    table.add_row({row.benchmark,
+                   std::to_string(row.covered) + "/" +
+                       std::to_string(row.total),
+                   sim::to_string(row.best_fault_free),
+                   row.has_chaos_best ? sim::to_string(row.best_chaos) : "-",
+                   !row.comparable ? "incomparable"
+                   : row.divergent ? "DIVERGENT"
+                                   : "match"});
+  }
+  table.print(std::cout);
+  std::cout << "coverage " << report.cells_covered << "/" << report.cells_total
+            << " cells (" << format_double(report.coverage() * 100.0, 2)
+            << "%), " << report.divergent_count() << " divergent of "
+            << report.comparable_count() << " comparable benchmarks, "
+            << report.fault_fires << "/" << report.fault_checks
+            << " site checks fired\n";
+  return report.divergent_count() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -402,6 +456,7 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(argc, argv);
     if (cmd == "governor") return cmd_governor(argc, argv);
     if (cmd == "serve-bench") return cmd_serve_bench(argc, argv);
+    if (cmd == "chaos") return cmd_chaos(argc, argv);
     return usage();
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
