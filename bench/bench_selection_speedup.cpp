@@ -1,0 +1,240 @@
+// Performance benchmark of the model-fitting pipeline: naive QR-refit
+// forward selection vs the incremental Gram/Cholesky engine, serial and
+// parallel.  Not a paper artifact — this tracks the perf trajectory of the
+// selection hot path, which every table/figure bench and the Fig. 7/8
+// sweeps sit on.
+//
+// Emits BENCH_selection.json (wall times + speedups) into the working
+// directory so successive runs can be compared, plus the usual ASCII table
+// and CSV block.  `--smoke` runs one repetition of the paper-scale scenario
+// only (used by the `bench`-labeled ctest smoke).
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/features.hpp"
+#include "stats/forward_selection.hpp"
+
+namespace {
+
+using gppm::linalg::Matrix;
+using gppm::linalg::Vector;
+using gppm::stats::SelectionEngine;
+using gppm::stats::SelectionOptions;
+using gppm::stats::SelectionResult;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Problem {
+  std::string name;
+  Matrix x;
+  Vector y;
+  std::size_t max_variables = 20;
+  bool time_naive = true;  // naive is too slow at the scaled size
+};
+
+/// The paper-scale problem: the GTX 480 power regression table (one row per
+/// (sample, pair), one candidate column per profiler counter) at the top of
+/// the Fig. 7/8 sweep range.
+Problem paper_scale_problem() {
+  const gppm::bench::BoardFamilies& fam =
+      gppm::bench::board_families(gppm::sim::GpuModel::GTX480);
+  const gppm::core::RegressionTable table = gppm::core::build_table(
+      fam.dataset, gppm::core::TargetKind::Power);
+  Problem p;
+  p.name = "paper_scale";
+  p.x = table.features;
+  p.y = table.target;
+  p.max_variables = 20;
+  p.time_naive = true;
+  return p;
+}
+
+/// A scaled-up synthetic corpus (what the reproduction line grows toward:
+/// more counters, more samples): y depends on a planted subset of columns.
+Problem scaled_problem() {
+  gppm::Rng rng(1234);
+  const std::size_t n = 2048, p = 192;
+  Problem prob;
+  prob.name = "scaled";
+  prob.x = Matrix(n, p);
+  prob.y = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) prob.x(i, j) = rng.normal();
+    double v = 0.0;
+    for (std::size_t j = 0; j < 24; ++j) {
+      v += (j % 2 ? -1.0 : 1.0) * (1.0 + 0.2 * static_cast<double>(j)) *
+           prob.x(i, j * 7 % p);
+    }
+    prob.y[i] = v + rng.normal(0.0, 2.0);
+  }
+  prob.max_variables = 20;
+  prob.time_naive = false;
+  return prob;
+}
+
+struct Timing {
+  double naive_ms = 0.0;
+  double incremental_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool selected_match = true;
+  double max_coeff_abs_diff = 0.0;
+  std::size_t rows = 0, candidates = 0, selected = 0;
+};
+
+double time_engine(const Problem& prob, const SelectionOptions& opt, int reps,
+                   SelectionResult* out) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    SelectionResult result =
+        gppm::stats::forward_select(prob.x, prob.y, opt);
+    const double elapsed = now_ms() - t0;
+    if (r == 0 || elapsed < best) best = elapsed;
+    if (r == 0 && out) *out = std::move(result);
+  }
+  return best;
+}
+
+Timing run_problem(const Problem& prob, int reps) {
+  Timing t;
+  t.rows = prob.x.rows();
+  t.candidates = prob.x.cols();
+
+  SelectionOptions naive;
+  naive.max_variables = prob.max_variables;
+  naive.engine = SelectionEngine::NaiveQr;
+
+  SelectionOptions incr = naive;
+  incr.engine = SelectionEngine::IncrementalGram;
+  incr.parallel = false;
+
+  SelectionOptions par = incr;
+  par.parallel = true;
+
+  SelectionResult incr_result;
+  t.incremental_ms = time_engine(prob, incr, reps, &incr_result);
+  SelectionResult par_result;
+  t.parallel_ms = time_engine(prob, par, reps, &par_result);
+  t.selected = incr_result.selected.size();
+
+  t.selected_match = incr_result.selected == par_result.selected;
+  if (prob.time_naive) {
+    SelectionResult naive_result;
+    t.naive_ms = time_engine(prob, naive, reps, &naive_result);
+    t.selected_match =
+        t.selected_match && naive_result.selected == incr_result.selected;
+    if (t.selected_match) {
+      for (std::size_t i = 0; i < naive_result.fit.coefficients.size(); ++i) {
+        const double d = std::abs(naive_result.fit.coefficients[i] -
+                                  incr_result.fit.coefficients[i]);
+        if (d > t.max_coeff_abs_diff) t.max_coeff_abs_diff = d;
+      }
+    }
+  }
+  return t;
+}
+
+void json_scenario(std::ostream& os, const std::string& name, const Timing& t,
+                   bool has_naive) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"rows\": " << t.rows << ",\n"
+     << "    \"candidates\": " << t.candidates << ",\n"
+     << "    \"selected\": " << t.selected << ",\n";
+  if (has_naive) {
+    os << "    \"naive_ms\": " << t.naive_ms << ",\n"
+       << "    \"speedup_incremental_vs_naive\": "
+       << (t.incremental_ms > 0 ? t.naive_ms / t.incremental_ms : 0.0) << ",\n"
+       << "    \"speedup_parallel_vs_naive\": "
+       << (t.parallel_ms > 0 ? t.naive_ms / t.parallel_ms : 0.0) << ",\n"
+       << "    \"max_coeff_abs_diff\": " << t.max_coeff_abs_diff << ",\n";
+  }
+  os << "    \"incremental_ms\": " << t.incremental_ms << ",\n"
+     << "    \"parallel_ms\": " << t.parallel_ms << ",\n"
+     << "    \"speedup_parallel_vs_incremental\": "
+     << (t.parallel_ms > 0 ? t.incremental_ms / t.parallel_ms : 0.0) << ",\n"
+     << "    \"selected_match\": " << (t.selected_match ? "true" : "false")
+     << "\n  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  gppm::bench::print_banner(
+      "selection speedup",
+      "Forward-selection engines: naive QR refit vs incremental "
+      "Gram/Cholesky (serial and parallel fan-out).");
+
+  const int reps = smoke ? 1 : 3;
+  std::vector<std::pair<Problem, Timing>> runs;
+  runs.emplace_back(paper_scale_problem(), Timing{});
+  if (!smoke) runs.emplace_back(scaled_problem(), Timing{});
+  for (auto& [prob, timing] : runs) timing = run_problem(prob, reps);
+
+  gppm::AsciiTable table({"scenario", "rows", "cands", "naive ms",
+                          "incremental ms", "parallel ms", "speedup",
+                          "match"});
+  for (const auto& [prob, t] : runs) {
+    table.add_row(
+        {prob.name, std::to_string(t.rows), std::to_string(t.candidates),
+         prob.time_naive ? gppm::format_double(t.naive_ms, 2) : "-",
+         gppm::format_double(t.incremental_ms, 2),
+         gppm::format_double(t.parallel_ms, 2),
+         prob.time_naive
+             ? gppm::format_double(t.naive_ms / t.incremental_ms, 1) + "x"
+             : gppm::format_double(t.incremental_ms / t.parallel_ms, 1) + "x",
+         t.selected_match ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  gppm::bench::begin_csv("selection_speedup");
+  std::cout << "scenario,rows,candidates,naive_ms,incremental_ms,parallel_ms,"
+               "selected_match\n";
+  for (const auto& [prob, t] : runs) {
+    std::cout << prob.name << "," << t.rows << "," << t.candidates << ","
+              << t.naive_ms << "," << t.incremental_ms << "," << t.parallel_ms
+              << "," << (t.selected_match ? 1 : 0) << "\n";
+  }
+  gppm::bench::end_csv();
+
+  {
+    std::ofstream json("BENCH_selection.json");
+    json << "{\n  \"schema\": \"gppm.bench_selection.v1\",\n"
+         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+         << "  \"threads\": " << gppm::parallel_threads() << ",\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      json_scenario(json, runs[i].first.name, runs[i].second,
+                    runs[i].first.time_naive);
+      json << (i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    json << "}\n";
+  }
+  std::cout << "wrote BENCH_selection.json\n";
+
+  // The smoke run doubles as a correctness gate: the engines must agree.
+  for (const auto& [prob, t] : runs) {
+    if (!t.selected_match) {
+      std::cerr << "engine mismatch on " << prob.name << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -18,6 +18,10 @@ void run_nvars_sweep(const std::string& figure_id, core::TargetKind target) {
 
   const std::vector<std::size_t> var_counts = {5, 10, 15, 20};
 
+  // One concurrent selection run per (board, target); every var count below
+  // is then read as a prefix of the cached family instead of refitting.
+  prefetch_board_families();
+
   AsciiTable table({"#vars", "GTX 285 err%", "GTX 460 err%", "GTX 480 err%",
                     "GTX 680 err%"});
   std::vector<std::vector<double>> errs(var_counts.size());

@@ -23,24 +23,40 @@ void run_per_pair_boxes(const std::string& figure_id, core::TargetKind target) {
   csv.row({"gpu", "model", "whisker_lo", "q1", "median", "q3", "whisker_hi",
            "mean_abs_pct_error"});
 
+  prefetch_board_families();
+
   for (sim::GpuModel model : sim::kAllGpus) {
     const BoardModels& bm = board_models(model);
     BoxPlot plot(sim::to_string(model) + " — " + what +
                      " model |error| (%) per training scope",
                  "absolute error (%)");
 
-    for (sim::FrequencyPair pair : dvfs::configurable_pairs(model)) {
+    // The per-pair baseline models are independent fits — fan them out and
+    // report serially in pair order.
+    const std::vector<sim::FrequencyPair> pairs =
+        dvfs::configurable_pairs(model);
+    struct PairResult {
+      stats::FiveNumber dist;
+      double mape = 0.0;
+    };
+    std::vector<PairResult> results(pairs.size());
+    gppm::parallel_for(pairs.size(), [&](std::size_t pi) {
       const core::UnifiedModel per_pair =
-          core::UnifiedModel::fit(bm.dataset, target, {}, &pair);
-      const core::Evaluation eval = core::evaluate(per_pair, bm.dataset, &pair);
-      const stats::FiveNumber f = eval.error_distribution();
-      plot.add_box({sim::to_string(pair), f.whisker_lo, f.q1, f.median, f.q3,
-                    f.whisker_hi});
-      csv.row({sim::to_string(model), sim::to_string(pair),
+          core::UnifiedModel::fit(bm.dataset, target, {}, &pairs[pi]);
+      const core::Evaluation eval =
+          core::evaluate(per_pair, bm.dataset, &pairs[pi]);
+      results[pi] = {eval.error_distribution(), eval.mape()};
+    });
+
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+      const stats::FiveNumber& f = results[pi].dist;
+      plot.add_box({sim::to_string(pairs[pi]), f.whisker_lo, f.q1, f.median,
+                    f.q3, f.whisker_hi});
+      csv.row({sim::to_string(model), sim::to_string(pairs[pi]),
                format_double(f.whisker_lo, 2), format_double(f.q1, 2),
                format_double(f.median, 2), format_double(f.q3, 2),
                format_double(f.whisker_hi, 2),
-               format_double(eval.mape(), 2)});
+               format_double(results[pi].mape, 2)});
     }
 
     const core::UnifiedModel& unified =

@@ -1,0 +1,166 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gppm {
+
+namespace {
+
+thread_local bool tl_in_worker = false;
+
+/// Lazily-started compute pool.  Holds parallel_threads() - 1 workers; the
+/// thread that calls parallel_for contributes the remaining lane.
+class ComputePool {
+ public:
+  static ComputePool& instance() {
+    static ComputePool pool(parallel_threads() > 0 ? parallel_threads() - 1
+                                                   : 0);
+    return pool;
+  }
+
+  std::size_t workers() const { return threads_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  ~ComputePool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+ private:
+  explicit ComputePool(std::size_t n) {
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads_.emplace_back([this] {
+        tl_in_worker = true;
+        for (;;) {
+          std::function<void()> task;
+          {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+          }
+          task();
+        }
+      });
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Shared state of one parallel_for call: dynamic index dispenser plus a
+/// completion latch, with first-exception capture.
+struct LoopState {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t active_runners = 0;
+  std::exception_ptr error;
+
+  void run_iterations() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t parallel_threads() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("GPPM_THREADS")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) {
+        return static_cast<std::size_t>(v > 256 ? 256 : v);
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+  }();
+  return cached;
+}
+
+bool in_parallel_worker() { return tl_in_worker; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t min_parallel) {
+  if (n == 0) return;
+  const bool serial =
+      n < min_parallel || tl_in_worker || parallel_threads() <= 1;
+  if (serial) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  ComputePool& pool = ComputePool::instance();
+  if (pool.workers() == 0) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->body = &body;
+  state->n = n;
+
+  // One runner per pool worker (capped at n-1: the caller is a runner too).
+  std::size_t helpers = pool.workers();
+  if (helpers > n - 1) helpers = n - 1;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->active_runners = helpers;
+  }
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([state] {
+      state->run_iterations();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->active_runners == 0) state->done_cv.notify_all();
+    });
+  }
+
+  state->run_iterations();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->active_runners == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace gppm

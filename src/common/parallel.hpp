@@ -1,0 +1,43 @@
+// Shared compute thread pool and parallel_for.
+//
+// The model-fitting pipeline fans out work that is embarrassingly parallel
+// and CPU-bound: candidate scoring inside a forward-selection step,
+// cross-validation folds, and independent (board, target, pair) fits in the
+// bench drivers.  This pool serves exactly that kind of work; it is distinct
+// from the serve request worker pool (src/serve/server.hpp), which owns
+// request lifecycles and blocking queues.
+//
+// Determinism contract: parallel_for runs body(i) for every i in [0, n)
+// exactly once, with no ordering guarantee.  Callers keep results
+// deterministic by writing each iteration's output into a slot owned by that
+// iteration (a preallocated array indexed by i) and reducing serially
+// afterwards — every user in this codebase follows that pattern, so results
+// are bit-identical to the serial loop regardless of thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace gppm {
+
+/// Worker-thread budget of the shared pool: the GPPM_THREADS environment
+/// variable if set (clamped to [1, 256]), else hardware_concurrency, else 1.
+/// A budget of 1 makes every parallel_for run serially in the caller.
+std::size_t parallel_threads();
+
+/// True when called from inside a shared-pool worker.  Nested parallel_for
+/// calls detect this and run serially, so composed parallel code (e.g. a
+/// parallel selection step inside a parallel cross-validation fold) cannot
+/// deadlock the pool.
+bool in_parallel_worker();
+
+/// Run body(i) for every i in [0, n), possibly concurrently on the shared
+/// pool; the calling thread participates.  Runs serially when n <
+/// min_parallel, when the thread budget is 1, or when already inside a pool
+/// worker.  If any body throws, the first exception is rethrown in the
+/// caller after all in-flight iterations finish (remaining iterations are
+/// abandoned).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t min_parallel = 2);
+
+}  // namespace gppm

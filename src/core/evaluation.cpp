@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace gppm::core {
 
@@ -76,8 +77,12 @@ Evaluation cross_validate(const Dataset& dataset, TargetKind target,
   }
   GPPM_CHECK(benchmarks.size() >= 2, "CV needs >= 2 benchmarks");
 
-  Evaluation eval;
-  for (const std::string& held_out : benchmarks) {
+  // The folds are independent refits — fan them out over the compute pool.
+  // Each fold writes its own slot and the slots are concatenated in
+  // benchmark order, so the result is identical to the serial loop.
+  std::vector<std::vector<RowError>> fold_rows(benchmarks.size());
+  gppm::parallel_for(benchmarks.size(), [&](std::size_t bi) {
+    const std::string& held_out = benchmarks[bi];
     Dataset train;
     train.model = dataset.model;
     for (const Sample& s : dataset.samples) {
@@ -95,9 +100,14 @@ Evaluation cross_validate(const Dataset& dataset, TargetKind target,
         r.actual = target == TargetKind::Power ? m.avg_power.as_watts()
                                                : m.exec_time.as_seconds();
         r.predicted = model.predict(s.counters, m.pair);
-        eval.rows.push_back(r);
+        fold_rows[bi].push_back(r);
       }
     }
+  });
+
+  Evaluation eval;
+  for (const std::vector<RowError>& rows : fold_rows) {
+    eval.rows.insert(eval.rows.end(), rows.begin(), rows.end());
   }
   GPPM_ASSERT(eval.rows.size() == dataset.row_count());
   return eval;

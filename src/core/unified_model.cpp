@@ -1,5 +1,7 @@
 #include "core/unified_model.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "profiler/counters.hpp"
 
@@ -8,21 +10,22 @@ namespace gppm::core {
 UnifiedModel UnifiedModel::fit(const Dataset& dataset, TargetKind target,
                                const ModelOptions& options,
                                const sim::FrequencyPair* pair_filter) {
+  return ModelFamily::fit(dataset, target, options, pair_filter).full();
+}
+
+ModelFamily ModelFamily::fit(const Dataset& dataset, TargetKind target,
+                             const ModelOptions& options,
+                             const sim::FrequencyPair* pair_filter) {
   const RegressionTable table =
       build_table(dataset, target, pair_filter, options.scaling,
                   options.include_baseline_terms);
 
   stats::SelectionOptions sel;
   sel.max_variables = options.max_variables;
+  sel.engine = options.engine;
+  sel.parallel = options.parallel;
   const stats::SelectionResult result =
       stats::forward_select(table.features, table.target, sel);
-
-  UnifiedModel model;
-  model.target_ = target;
-  model.scaling_ = options.scaling;
-  model.gpu_ = dataset.model;
-  model.intercept_ = result.fit.intercept;
-  model.adjusted_r2_ = result.fit.adjusted_r_squared;
 
   const auto& catalog =
       profiler::counter_catalog(sim::device_spec(dataset.model).architecture);
@@ -30,21 +33,41 @@ UnifiedModel UnifiedModel::fit(const Dataset& dataset, TargetKind target,
                      (options.include_baseline_terms ? 2u : 0u) ==
                  table.feature_names.size(),
              "catalog/feature mismatch");
-  for (std::size_t i = 0; i < result.selected.size(); ++i) {
-    const std::size_t col = result.selected[i];
-    SelectedVariable var;
-    var.counter = table.feature_names[col];
-    // Baseline pseudo-features sit past the catalog: core first, mem second.
-    var.klass = col < catalog.size()
-                    ? catalog[col].klass
-                    : (col == catalog.size() ? profiler::EventClass::Core
-                                             : profiler::EventClass::Memory);
-    var.coefficient = result.fit.coefficients[i];
-    var.cumulative_adjusted_r2 = result.r2_trace[i];
-    model.variables_.push_back(std::move(var));
-    model.counter_indices_.push_back(col);
+
+  ModelFamily family;
+  family.prefixes_.reserve(result.selected.size());
+  for (std::size_t k = 1; k <= result.selected.size(); ++k) {
+    const stats::OlsFit& prefix = result.prefix_fits[k - 1];
+    UnifiedModel model;
+    model.target_ = target;
+    model.scaling_ = options.scaling;
+    model.gpu_ = dataset.model;
+    model.intercept_ = prefix.intercept;
+    model.adjusted_r2_ = prefix.adjusted_r_squared;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t col = result.selected[i];
+      SelectedVariable var;
+      var.counter = table.feature_names[col];
+      // Baseline pseudo-features sit past the catalog: core first, mem second.
+      var.klass = col < catalog.size()
+                      ? catalog[col].klass
+                      : (col == catalog.size() ? profiler::EventClass::Core
+                                               : profiler::EventClass::Memory);
+      var.coefficient = prefix.coefficients[i];
+      var.cumulative_adjusted_r2 = result.r2_trace[i];
+      model.variables_.push_back(std::move(var));
+      model.counter_indices_.push_back(col);
+    }
+    family.prefixes_.push_back(std::move(model));
   }
-  return model;
+  return family;
+}
+
+const UnifiedModel& ModelFamily::at(std::size_t k) const {
+  GPPM_CHECK(k >= 1, "prefix size must be >= 1");
+  GPPM_CHECK(!prefixes_.empty(), "empty model family");
+  const std::size_t idx = std::min(k, prefixes_.size()) - 1;
+  return prefixes_[idx];
 }
 
 UnifiedModel::Parts UnifiedModel::parts() const {

@@ -21,6 +21,10 @@ struct ModelOptions {
   /// Offer the per-domain baseline pseudo-features to forward selection
   /// (library extension; see build_table).
   bool include_baseline_terms = false;
+  /// Selection engine (results are identical; see stats::SelectionEngine).
+  stats::SelectionEngine engine = stats::SelectionEngine::IncrementalGram;
+  /// Fan candidate scoring out over the shared compute pool.
+  bool parallel = false;
 };
 
 /// One selected explanatory variable of a fitted model.
@@ -79,6 +83,38 @@ class UnifiedModel {
   std::vector<SelectedVariable> variables_;
   /// Catalog indices of the selected counters, for fast prediction.
   std::vector<std::size_t> counter_indices_;
+
+  friend class ModelFamily;
+};
+
+/// Every prefix model of one forward-selection run.
+///
+/// Greedy selection is prefix-consistent: the run capped at k variables is
+/// exactly the first k steps of the run capped at K >= k.  Fitting a family
+/// once at the largest cap therefore yields, for free, the model every
+/// smaller cap would produce — prefix k is bit-identical to a direct
+/// UnifiedModel::fit with max_variables = k.  The Fig. 7/8 nvars sweeps
+/// (5/10/15/20 variables) read one fit per (board, target) this way instead
+/// of refitting per variable count.
+class ModelFamily {
+ public:
+  /// Run selection once with options.max_variables as the cap and
+  /// materialize every prefix model.
+  static ModelFamily fit(const Dataset& dataset, TargetKind target,
+                         const ModelOptions& options = {},
+                         const sim::FrequencyPair* pair_filter = nullptr);
+
+  /// Number of variables actually selected at the cap.
+  std::size_t size() const { return prefixes_.size(); }
+
+  /// The model over the first min(k, size()) selected variables (k >= 1).
+  const UnifiedModel& at(std::size_t k) const;
+
+  /// The model at the full cap (== at(size())).
+  const UnifiedModel& full() const { return at(prefixes_.size()); }
+
+ private:
+  std::vector<UnifiedModel> prefixes_;  ///< index k-1: first k variables
 };
 
 }  // namespace gppm::core

@@ -25,25 +25,103 @@ Matrix cholesky(const Matrix& a) {
   return l;
 }
 
-Vector cholesky_solve(const Matrix& a, const Vector& b) {
-  GPPM_CHECK(b.size() == a.rows(), "rhs size mismatch");
-  const Matrix l = cholesky(a);
+Vector solve_lower_triangular(const Matrix& l, const Vector& b) {
+  GPPM_CHECK(l.rows() == l.cols(), "L must be square");
+  GPPM_CHECK(b.size() == l.rows(), "rhs size mismatch");
   const std::size_t n = l.rows();
-  // Forward substitution: L y = b.
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
     for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    GPPM_CHECK(l(i, i) != 0.0, "singular triangular system");
     y[i] = acc / l(i, i);
   }
-  // Back substitution: L^T x = y.
+  return y;
+}
+
+Vector solve_lower_transposed(const Matrix& l, const Vector& y) {
+  GPPM_CHECK(l.rows() == l.cols(), "L must be square");
+  GPPM_CHECK(y.size() == l.rows(), "rhs size mismatch");
+  const std::size_t n = l.rows();
   Vector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = y[ii];
     for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    GPPM_CHECK(l(ii, ii) != 0.0, "singular triangular system");
     x[ii] = acc / l(ii, ii);
   }
   return x;
+}
+
+Vector cholesky_solve(const Matrix& a, const Vector& b) {
+  GPPM_CHECK(b.size() == a.rows(), "rhs size mismatch");
+  const Matrix l = cholesky(a);
+  return solve_lower_transposed(l, solve_lower_triangular(l, b));
+}
+
+Matrix cholesky_append(const Matrix& l, const Vector& cross, double diag) {
+  GPPM_CHECK(l.rows() == l.cols(), "L must be square");
+  GPPM_CHECK(cross.size() == l.rows(), "cross-term size mismatch");
+  const std::size_t k = l.rows();
+  // Bordered factor: new row w = L^{-1} cross, new pivot sqrt(diag - |w|^2).
+  const Vector w = k == 0 ? Vector{} : solve_lower_triangular(l, cross);
+  double s = diag;
+  for (double v : w) s -= v * v;
+  // An exactly dependent column can still leave s a few ulps above zero
+  // (the subtraction cancels to rounding noise), so the positivity test must
+  // be relative to the column's own scale, mirroring the QR rank tolerance.
+  GPPM_CHECK(s > diag * 1e-12, "appended column is linearly dependent");
+  Matrix out(k + 1, k + 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) out(i, j) = l(i, j);
+  }
+  for (std::size_t j = 0; j < k; ++j) out(k, j) = w[j];
+  out(k, k) = std::sqrt(s);
+  return out;
+}
+
+Matrix cholesky_update(const Matrix& l, const Vector& v) {
+  GPPM_CHECK(l.rows() == l.cols(), "L must be square");
+  GPPM_CHECK(v.size() == l.rows(), "update vector size mismatch");
+  const std::size_t n = l.rows();
+  Matrix out = l;
+  Vector w = v;
+  // Sequence of Givens rotations absorbing w into the factor.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lkk = out(k, k);
+    const double r = std::hypot(lkk, w[k]);
+    const double c = r / lkk;
+    const double s = w[k] / lkk;
+    out(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      out(i, k) = (out(i, k) + s * w[i]) / c;
+      w[i] = c * w[i] - s * out(i, k);
+    }
+  }
+  return out;
+}
+
+Matrix cholesky_downdate(const Matrix& l, const Vector& v) {
+  GPPM_CHECK(l.rows() == l.cols(), "L must be square");
+  GPPM_CHECK(v.size() == l.rows(), "downdate vector size mismatch");
+  const std::size_t n = l.rows();
+  Matrix out = l;
+  Vector w = v;
+  // Hyperbolic rotations; fails when A - v v^T loses positive definiteness.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lkk = out(k, k);
+    const double rsq = lkk * lkk - w[k] * w[k];
+    GPPM_CHECK(rsq > 0.0, "downdate makes matrix indefinite");
+    const double r = std::sqrt(rsq);
+    const double c = r / lkk;
+    const double s = w[k] / lkk;
+    out(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      out(i, k) = (out(i, k) - s * w[i]) / c;
+      w[i] = c * w[i] - s * out(i, k);
+    }
+  }
+  return out;
 }
 
 }  // namespace gppm::linalg

@@ -1,7 +1,10 @@
-// Cholesky factorization of symmetric positive-definite matrices.
+// Cholesky factorization of symmetric positive-definite matrices, plus the
+// incremental operations the forward-selection engine is built on.
 //
 // Used for fast refits inside forward selection where the normal equations
-// are small (<= 21 x 21) and well-conditioned after column scaling.
+// are small (<= 21 x 21) and well-conditioned after column scaling.  The
+// append/update/downdate routines let a factor track a growing or rank-1
+// perturbed Gram matrix in O(k^2) instead of refactorizing in O(k^3).
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -15,5 +18,25 @@ Matrix cholesky(const Matrix& a);
 /// Solve A x = b given A's Cholesky factor is computed internally.
 /// Requires A symmetric positive definite.
 Vector cholesky_solve(const Matrix& a, const Vector& b);
+
+/// Solve L y = b for lower-triangular L (forward substitution).
+Vector solve_lower_triangular(const Matrix& l, const Vector& b);
+
+/// Solve L^T x = y for lower-triangular L (back substitution on L^T).
+Vector solve_lower_transposed(const Matrix& l, const Vector& y);
+
+/// Grow a factor by one row/column: given L with A = L L^T (k x k), the new
+/// column's cross terms `cross` = A[0..k-1, k] and diagonal `diag` = A[k, k],
+/// return the (k+1) x (k+1) factor of the bordered matrix.  Throws
+/// gppm::Error if the bordered matrix is not (numerically) positive definite
+/// — i.e. the appended column is linearly dependent on the existing ones.
+Matrix cholesky_append(const Matrix& l, const Vector& cross, double diag);
+
+/// Factor of the rank-1 update A + v v^T, given L with A = L L^T.  O(k^2).
+Matrix cholesky_update(const Matrix& l, const Vector& v);
+
+/// Factor of the rank-1 downdate A - v v^T, given L with A = L L^T.  O(k^2).
+/// Throws gppm::Error if the downdated matrix is not positive definite.
+Matrix cholesky_downdate(const Matrix& l, const Vector& v);
 
 }  // namespace gppm::linalg

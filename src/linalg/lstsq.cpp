@@ -17,7 +17,7 @@ LstsqResult lstsq(const Matrix& a, const Vector& b) {
   Vector scale(n, 1.0);
   Matrix as = a;
   for (std::size_t j = 0; j < n; ++j) {
-    double nrm = norm2(a.col(j));
+    const double nrm = a.col_norm(j);
     if (nrm > 0.0) {
       scale[j] = nrm;
       for (std::size_t i = 0; i < m; ++i) as(i, j) = a(i, j) / nrm;

@@ -54,6 +54,26 @@ void Matrix::set_col(std::size_t c, const Vector& v) {
   for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = v[r];
 }
 
+double Matrix::col_dot(std::size_t c1, std::size_t c2) const {
+  GPPM_CHECK(c1 < cols_ && c2 < cols_, "col out of range");
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    acc += data_[r * cols_ + c1] * data_[r * cols_ + c2];
+  }
+  return acc;
+}
+
+double Matrix::col_norm(std::size_t c) const { return std::sqrt(col_dot(c, c)); }
+
+double Matrix::row_dot(std::size_t r1, std::size_t r2) const {
+  GPPM_CHECK(r1 < rows_ && r2 < rows_, "row out of range");
+  const double* a = data_.data() + r1 * cols_;
+  const double* b = data_.data() + r2 * cols_;
+  double acc = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * b[c];
+  return acc;
+}
+
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {

@@ -43,6 +43,13 @@ class Matrix {
   /// Overwrite column c.
   void set_col(std::size_t c, const Vector& v);
 
+  /// Dot product of two columns, computed in place (no temporary copies).
+  double col_dot(std::size_t c1, std::size_t c2) const;
+  /// Euclidean norm of column c, computed in place (no temporary copy).
+  double col_norm(std::size_t c) const;
+  /// Dot product of two rows, computed in place (contiguous in memory).
+  double row_dot(std::size_t r1, std::size_t r2) const;
+
   /// Matrix transpose.
   Matrix transposed() const;
 

@@ -5,6 +5,9 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/gram.hpp"
 
 namespace gppm::stats {
 
@@ -19,37 +22,48 @@ linalg::Matrix gather_columns(const linalg::Matrix& m,
 }
 
 namespace {
+
+/// A column whose spread is negligible *relative to its magnitude* can never
+/// improve the fit beyond the intercept; it only costs a rank-deficient
+/// trial solve per step.  The relative tolerance also catches columns that
+/// are constant up to rounding (e.g. a counter rate quantized at 1e-12 of
+/// its value), which an exact equality test lets through.
 bool is_constant_column(const linalg::Matrix& m, std::size_t c) {
-  const double first = m(0, c);
+  double lo = m(0, c), hi = m(0, c);
   for (std::size_t i = 1; i < m.rows(); ++i) {
-    if (m(i, c) != first) return false;
+    lo = std::min(lo, m(i, c));
+    hi = std::max(hi, m(i, c));
   }
-  return true;
+  const double magnitude = std::max(std::abs(lo), std::abs(hi));
+  return hi - lo <= magnitude * 1e-12;
 }
-}  // namespace
 
-SelectionResult forward_select(const linalg::Matrix& candidates,
-                               const linalg::Vector& y,
-                               const SelectionOptions& options) {
-  GPPM_CHECK(candidates.rows() == y.size(), "X/y row mismatch");
-  GPPM_CHECK(candidates.rows() >= 3, "too few samples");
-  GPPM_CHECK(options.max_variables >= 1, "max_variables must be >= 1");
-
-  const std::size_t n_candidates = candidates.cols();
-  std::vector<bool> used(n_candidates, false);
-  // Constant columns can never improve the fit beyond the intercept and make
-  // the design rank-deficient; exclude them up front.
-  for (std::size_t c = 0; c < n_candidates; ++c) {
+/// Candidate columns the engines must ignore up front.
+std::vector<bool> excluded_columns(const linalg::Matrix& candidates) {
+  std::vector<bool> used(candidates.cols(), false);
+  for (std::size_t c = 0; c < candidates.cols(); ++c) {
     if (is_constant_column(candidates, c)) used[c] = true;
   }
+  return used;
+}
+
+std::size_t selection_cap(const linalg::Matrix& candidates,
+                          const SelectionOptions& options) {
+  return std::min(options.max_variables,
+                  candidates.rows() >= 2 ? candidates.rows() - 2
+                                         : static_cast<std::size_t>(0));
+}
+
+/// Reference engine: refit every trial model from scratch by QR.
+SelectionResult forward_select_naive(const linalg::Matrix& candidates,
+                                     const linalg::Vector& y,
+                                     const SelectionOptions& options) {
+  const std::size_t n_candidates = candidates.cols();
+  std::vector<bool> used = excluded_columns(candidates);
 
   SelectionResult result;
   double best_adj_r2 = -std::numeric_limits<double>::infinity();
-
-  const std::size_t cap =
-      std::min(options.max_variables,
-               candidates.rows() >= 2 ? candidates.rows() - 2
-                                      : static_cast<std::size_t>(0));
+  const std::size_t cap = selection_cap(candidates, options);
 
   while (result.selected.size() < cap) {
     std::size_t best_c = n_candidates;
@@ -79,9 +93,223 @@ SelectionResult forward_select(const linalg::Matrix& candidates,
     result.selected.push_back(best_c);
     result.fit = best_fit;
     result.r2_trace.push_back(best_step_r2);
+    result.prefix_fits.push_back(std::move(best_fit));
     best_adj_r2 = best_step_r2;
   }
+  return result;
+}
 
+/// Incremental engine: score candidates from the precomputed Gram system by
+/// a one-column Cholesky append in O(k^2), QR-refit only accepted models.
+///
+/// State invariants, all in the column-normalized design of the GramSystem
+/// (design index 0 = intercept, candidate c = c + 1):
+///   l       = Cholesky factor of gram[model, model] (row-grown, k x k)
+///   z       = l^{-1} xty[model], so rss = y^T y - |z|^2
+/// Appending design column d to the model extends the factor by
+///   w = l^{-1} gram[model, d],   pivot s = 1 - |w|^2,
+///   z_d = (xty[d] - w.z) / sqrt(s),   rss' = rss - z_d^2,
+/// which prices every candidate's exact OLS residual in O(k^2).
+class IncrementalState {
+ public:
+  IncrementalState(const linalg::GramSystem& gs)
+      : gs_(gs), model_{0}, lrows_{{1.0}}, z_{gs.xty[0]} {
+    rss_ = gs_.yty - z_[0] * z_[0];
+  }
+
+  /// Adjusted R^2 of the model extended with candidate c, or NaN when c is
+  /// numerically collinear with the current model.
+  double score(std::size_t c) const {
+    linalg::Vector w;
+    double s = 0.0, zd = 0.0;
+    if (!try_append(c, w, s, zd)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    double rss = rss_ - zd * zd;
+    if (rss < 0.0) rss = 0.0;
+    const double n = static_cast<double>(gs_.n_rows);
+    const double k = static_cast<double>(model_.size());  // params incl. new
+    if (gs_.tss <= 0.0) return 1.0;
+    const double r2 = 1.0 - rss / gs_.tss;
+    return 1.0 - (1.0 - r2) * (n - 1.0) / (n - k - 1.0);
+  }
+
+  /// Extend the model with candidate c (must have scored non-NaN).
+  void accept(std::size_t c) {
+    linalg::Vector w;
+    double s = 0.0, zd = 0.0;
+    GPPM_CHECK(try_append(c, w, s, zd), "accepting a collinear candidate");
+    w.push_back(std::sqrt(s));
+    lrows_.push_back(std::move(w));
+    z_.push_back(zd);
+    rss_ -= zd * zd;
+    if (rss_ < 0.0) rss_ = 0.0;
+    model_.push_back(c + 1);
+  }
+
+ private:
+  /// Pivot tolerance matching the QR engine's rank test: QR flags a trial
+  /// design rank-deficient when the new diagonal of R falls below 1e-12 of
+  /// the largest (all <= 1 after normalization); s is that diagonal squared.
+  static constexpr double kPivotTol = 1e-24;
+
+  bool try_append(std::size_t c, linalg::Vector& w, double& s,
+                  double& zd) const {
+    const std::size_t d = c + 1;
+    const std::size_t k = model_.size();
+    if (gs_.col_scale[d] <= 0.0) return false;  // all-zero column
+    // Forward substitution against the row-grown factor.
+    w.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      double acc = gs_.gram(model_[i], d);
+      for (std::size_t j = 0; j < i; ++j) acc -= lrows_[i][j] * w[j];
+      w[i] = acc / lrows_[i][i];
+    }
+    s = 1.0;
+    double wz = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      s -= w[i] * w[i];
+      wz += w[i] * z_[i];
+    }
+    if (s <= kPivotTol) return false;
+    zd = (gs_.xty[d] - wz) / std::sqrt(s);
+    return true;
+  }
+
+  const linalg::GramSystem& gs_;
+  std::vector<std::size_t> model_;        ///< design indices, intercept first
+  std::vector<linalg::Vector> lrows_;     ///< growable lower-triangular factor
+  linalg::Vector z_;
+  double rss_ = 0.0;
+};
+
+SelectionResult forward_select_incremental(const linalg::Matrix& candidates,
+                                           const linalg::Vector& y,
+                                           const SelectionOptions& options) {
+  const std::size_t n_candidates = candidates.cols();
+  std::vector<bool> used = excluded_columns(candidates);
+  const std::size_t cap = selection_cap(candidates, options);
+
+  const linalg::GramSystem gs =
+      linalg::build_gram_system(candidates, y, options.parallel);
+  IncrementalState state(gs);
+
+  SelectionResult result;
+  double best_adj_r2 = -std::numeric_limits<double>::infinity();
+  // Width of the window (below the best score) within which Gram-based
+  // scores cannot be trusted to rank candidates: anything this close to the
+  // top is re-scored by the exact QR reference before the argmax decides.
+  const double score_slack = std::max(options.min_improvement, 1e-9);
+
+  std::vector<double> scores(n_candidates);
+  std::vector<bool> confirmed(n_candidates);
+  std::vector<OlsFit> exact_fits(n_candidates);
+
+  // Replace candidate c's O(k^2) score with its exact QR adjusted R^2 (NaN
+  // if the trial design is rank-deficient).
+  const auto confirm = [&](std::size_t c) {
+    std::vector<std::size_t> trial = result.selected;
+    trial.push_back(c);
+    OlsFit exact = ols_fit(gather_columns(candidates, trial), y);
+    if (!exact.full_rank) {
+      scores[c] = std::numeric_limits<double>::quiet_NaN();
+      return;
+    }
+    scores[c] = exact.adjusted_r_squared;
+    exact_fits[c] = std::move(exact);
+    confirmed[c] = true;
+  };
+
+  while (result.selected.size() < cap) {
+    const auto score_one = [&](std::size_t c) {
+      scores[c] = used[c] ? std::numeric_limits<double>::quiet_NaN()
+                          : state.score(c);
+    };
+    if (options.parallel) {
+      // Each slot is written by exactly one iteration, so the fan-out is
+      // bit-deterministic; the argmax below is serial with first-index wins,
+      // matching the reference engine's strict-improvement scan.
+      gppm::parallel_for(n_candidates, score_one, /*min_parallel=*/64);
+    } else {
+      for (std::size_t c = 0; c < n_candidates; ++c) score_one(c);
+    }
+    std::fill(confirmed.begin(), confirmed.end(), false);
+
+    bool accepted = false;
+    bool stop = false;
+    while (!accepted && !stop) {
+      // First-index-wins argmax, matching the reference engine's ascending
+      // strict-improvement scan.
+      std::size_t best_c = n_candidates;
+      double best_score = -std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < n_candidates; ++c) {
+        if (std::isnan(scores[c])) continue;
+        if (scores[c] > best_score) {
+          best_score = scores[c];
+          best_c = c;
+        }
+      }
+      if (best_c == n_candidates) {
+        stop = true;  // every remaining candidate is used or collinear
+        break;
+      }
+
+      // The accept/stop decisions and the returned models must come from the
+      // reference QR fit, so both engines apply tie-breaking and
+      // min_improvement semantics to the same numbers.
+      if (!confirmed[best_c]) {
+        confirm(best_c);
+        continue;  // re-rank on the exact value
+      }
+
+      // Gram scores can reorder an exact tie by a few ulps (e.g. between two
+      // collinear candidates).  Confirm every candidate whose score lands in
+      // the slack window below the winner, so ties compare exact-vs-exact
+      // and the lowest index wins like the reference scan.
+      bool window_changed = false;
+      for (std::size_t c = 0; c < n_candidates; ++c) {
+        if (confirmed[c] || std::isnan(scores[c])) continue;
+        if (scores[c] < best_score - score_slack) continue;
+        confirm(c);
+        window_changed = true;
+      }
+      if (window_changed) continue;
+
+      const double adj = scores[best_c];
+      if (!result.selected.empty() &&
+          (adj <= best_adj_r2 ||
+           adj - best_adj_r2 < options.min_improvement)) {
+        stop = true;
+        break;
+      }
+
+      state.accept(best_c);
+      used[best_c] = true;
+      result.selected.push_back(best_c);
+      result.fit = exact_fits[best_c];
+      result.r2_trace.push_back(adj);
+      result.prefix_fits.push_back(std::move(exact_fits[best_c]));
+      best_adj_r2 = adj;
+      accepted = true;
+    }
+    if (stop) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+SelectionResult forward_select(const linalg::Matrix& candidates,
+                               const linalg::Vector& y,
+                               const SelectionOptions& options) {
+  GPPM_CHECK(candidates.rows() == y.size(), "X/y row mismatch");
+  GPPM_CHECK(candidates.rows() >= 3, "too few samples");
+  GPPM_CHECK(options.max_variables >= 1, "max_variables must be >= 1");
+
+  SelectionResult result = options.engine == SelectionEngine::NaiveQr
+                               ? forward_select_naive(candidates, y, options)
+                               : forward_select_incremental(candidates, y,
+                                                            options);
   GPPM_CHECK(!result.selected.empty(),
              "forward selection found no usable variable");
   return result;

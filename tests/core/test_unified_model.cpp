@@ -113,6 +113,60 @@ TEST(UnifiedModel, PerPairFitUsesOnlyThatPair) {
   EXPECT_LE(own.mape(), all.mape() + 1e-9);
 }
 
+TEST(ModelFamily, PrefixesMatchDirectFits) {
+  // One selection run at the family cap serves every smaller variable count:
+  // family.at(k) must be exactly the model a direct fit capped at k returns.
+  ModelOptions opt;
+  opt.max_variables = 8;
+  const ModelFamily family = ModelFamily::fit(dataset(), TargetKind::Power, opt);
+  ASSERT_GE(family.size(), 3u);
+  EXPECT_EQ(family.full().variables().size(), family.size());
+  for (std::size_t k : {std::size_t{1}, std::size_t{3}, family.size()}) {
+    ModelOptions capped = opt;
+    capped.max_variables = k;
+    const UnifiedModel direct =
+        UnifiedModel::fit(dataset(), TargetKind::Power, capped);
+    const UnifiedModel& prefix = family.at(k);
+    ASSERT_EQ(prefix.variables().size(), direct.variables().size());
+    EXPECT_EQ(prefix.intercept(), direct.intercept());
+    for (std::size_t i = 0; i < direct.variables().size(); ++i) {
+      EXPECT_EQ(prefix.variables()[i].counter, direct.variables()[i].counter);
+      EXPECT_EQ(prefix.variables()[i].coefficient,
+                direct.variables()[i].coefficient);
+      EXPECT_EQ(prefix.variables()[i].cumulative_adjusted_r2,
+                direct.variables()[i].cumulative_adjusted_r2);
+    }
+  }
+}
+
+TEST(ModelFamily, AtClampsToSelectedCount) {
+  ModelOptions opt;
+  opt.max_variables = 4;
+  const ModelFamily family =
+      ModelFamily::fit(dataset(), TargetKind::ExecTime, opt);
+  // Asking beyond what selection kept returns the full model.
+  EXPECT_EQ(&family.at(family.size()), &family.full());
+  EXPECT_THROW(family.at(0), gppm::Error);
+}
+
+TEST(UnifiedModel, EnginesProduceIdenticalModels) {
+  // The incremental engine is the default; the naive QR engine is the
+  // reference.  Fit tables must be bit-identical between them.
+  ModelOptions naive;
+  naive.engine = stats::SelectionEngine::NaiveQr;
+  const UnifiedModel reference =
+      UnifiedModel::fit(dataset(), TargetKind::Power, naive);
+  const UnifiedModel& incremental = power_model();
+  ASSERT_EQ(reference.variables().size(), incremental.variables().size());
+  EXPECT_EQ(reference.intercept(), incremental.intercept());
+  for (std::size_t i = 0; i < reference.variables().size(); ++i) {
+    EXPECT_EQ(reference.variables()[i].counter,
+              incremental.variables()[i].counter);
+    EXPECT_EQ(reference.variables()[i].coefficient,
+              incremental.variables()[i].coefficient);
+  }
+}
+
 TEST(UnifiedModel, MoreVariablesNeverHurtAdjustedR2) {
   ModelOptions small;
   small.max_variables = 5;

@@ -120,6 +120,153 @@ TEST(ForwardSelection, ValidatesInputs) {
   EXPECT_THROW(forward_select(x, linalg::Vector(10), opt), gppm::Error);
 }
 
+Problem seeded_problem(std::uint64_t seed, double noise_sigma,
+                       std::size_t n = 60, std::size_t p = 12) {
+  gppm::Rng rng(seed);
+  Problem prob{linalg::Matrix(n, p), linalg::Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) prob.x(i, j) = rng.normal();
+    prob.y[i] = 4.0 * prob.x(i, 2) - 3.0 * prob.x(i, 5) +
+                0.5 * prob.x(i, 7) + rng.normal(0.0, noise_sigma);
+  }
+  return prob;
+}
+
+SelectionResult run_engine(const Problem& prob, SelectionEngine engine,
+                           bool parallel, std::size_t max_variables) {
+  SelectionOptions opt;
+  opt.max_variables = max_variables;
+  opt.engine = engine;
+  opt.parallel = parallel;
+  return forward_select(prob.x, prob.y, opt);
+}
+
+/// Accepted models are QR-refit in both engines, so parity is exact — not
+/// approximate: same selected order, same traces, same coefficient bits.
+void expect_exact_parity(const SelectionResult& a, const SelectionResult& b) {
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.r2_trace, b.r2_trace);
+  EXPECT_EQ(a.fit.coefficients, b.fit.coefficients);
+  EXPECT_EQ(a.fit.r_squared, b.fit.r_squared);
+  EXPECT_EQ(a.fit.adjusted_r_squared, b.fit.adjusted_r_squared);
+  ASSERT_EQ(a.prefix_fits.size(), b.prefix_fits.size());
+  for (std::size_t k = 0; k < a.prefix_fits.size(); ++k) {
+    EXPECT_EQ(a.prefix_fits[k].coefficients, b.prefix_fits[k].coefficients);
+  }
+}
+
+TEST(ForwardSelectionParity, IncrementalMatchesNaiveOnRandomProblems) {
+  for (std::uint64_t seed : {3u, 11u, 29u, 57u}) {
+    for (double noise : {0.05, 1.0, 5.0}) {
+      const Problem prob = seeded_problem(seed, noise);
+      const SelectionResult naive =
+          run_engine(prob, SelectionEngine::NaiveQr, false, 8);
+      const SelectionResult incr =
+          run_engine(prob, SelectionEngine::IncrementalGram, false, 8);
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " noise=" + std::to_string(noise));
+      expect_exact_parity(naive, incr);
+    }
+  }
+}
+
+TEST(ForwardSelectionParity, ParallelMatchesSerial) {
+  // Deterministic fan-out: per-candidate score slots plus a serial argmax
+  // make the result independent of thread count.
+  const Problem prob = seeded_problem(101, 0.8, 120, 80);
+  const SelectionResult serial =
+      run_engine(prob, SelectionEngine::IncrementalGram, false, 10);
+  const SelectionResult parallel =
+      run_engine(prob, SelectionEngine::IncrementalGram, true, 10);
+  expect_exact_parity(serial, parallel);
+}
+
+TEST(ForwardSelectionParity, MatchesNaiveWithDegenerateColumns) {
+  gppm::Rng rng(33);
+  const std::size_t n = 50;
+  Problem prob{linalg::Matrix(n, 8), linalg::Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    prob.x(i, 0) = rng.normal();
+    prob.x(i, 1) = 7.5;                                // constant
+    prob.x(i, 2) = -3.0 * prob.x(i, 0);                // collinear with 0
+    prob.x(i, 3) = rng.normal();
+    prob.x(i, 4) = 0.0;                                // all-zero
+    prob.x(i, 5) = prob.x(i, 0) + prob.x(i, 3);        // sum of 0 and 3
+    prob.x(i, 6) = rng.normal();
+    prob.x(i, 7) = 1e9 * (1.0 + 1e-15 * rng.normal()); // constant up to noise
+    prob.y[i] = 2.0 * prob.x(i, 0) - prob.x(i, 3) + 0.5 * prob.x(i, 6) +
+                rng.normal(0.0, 0.3);
+  }
+  const SelectionResult naive =
+      run_engine(prob, SelectionEngine::NaiveQr, false, 8);
+  const SelectionResult incr =
+      run_engine(prob, SelectionEngine::IncrementalGram, false, 8);
+  expect_exact_parity(naive, incr);
+  for (std::size_t c : incr.selected) {
+    EXPECT_NE(c, 1u);
+    EXPECT_NE(c, 4u);
+    EXPECT_NE(c, 7u);
+  }
+}
+
+TEST(ForwardSelectionParity, MinImprovementStopsBothEnginesAlike) {
+  const Problem prob = seeded_problem(71, 2.0);
+  for (double min_improvement : {0.0, 1e-3, 0.05}) {
+    SelectionOptions opt;
+    opt.max_variables = 10;
+    opt.min_improvement = min_improvement;
+    opt.engine = SelectionEngine::NaiveQr;
+    const SelectionResult naive = forward_select(prob.x, prob.y, opt);
+    opt.engine = SelectionEngine::IncrementalGram;
+    const SelectionResult incr = forward_select(prob.x, prob.y, opt);
+    SCOPED_TRACE("min_improvement=" + std::to_string(min_improvement));
+    expect_exact_parity(naive, incr);
+  }
+}
+
+TEST(ForwardSelection, PrefixFitsMatchCappedRuns) {
+  // Greedy selection is prefix-consistent: capping at k must reproduce the
+  // first k steps of a larger run, so prefix_fits[k-1] is exactly the model
+  // a max_variables=k run would return.
+  const Problem prob = seeded_problem(5, 0.5);
+  const SelectionResult full =
+      run_engine(prob, SelectionEngine::IncrementalGram, false, 6);
+  ASSERT_GE(full.selected.size(), 3u);
+  ASSERT_EQ(full.prefix_fits.size(), full.selected.size());
+  for (std::size_t k = 1; k <= full.selected.size(); ++k) {
+    const SelectionResult capped =
+        run_engine(prob, SelectionEngine::IncrementalGram, false, k);
+    ASSERT_EQ(capped.selected.size(), k);
+    EXPECT_TRUE(std::equal(capped.selected.begin(), capped.selected.end(),
+                           full.selected.begin()));
+    EXPECT_EQ(capped.fit.coefficients, full.prefix_fits[k - 1].coefficients);
+    EXPECT_EQ(capped.fit.adjusted_r_squared, full.r2_trace[k - 1]);
+  }
+}
+
+TEST(ForwardSelection, ExcludesNearConstantColumns) {
+  // Relative tolerance: a column hovering at 1e9 with 1e-4 absolute jitter
+  // is constant for all fitting purposes (spread / magnitude ~ 1e-13), even
+  // though an absolute test would keep it.
+  gppm::Rng rng(13);
+  const std::size_t n = 40;
+  linalg::Matrix x(n, 3);
+  linalg::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1e9 + 1e-4 * rng.normal();
+    x(i, 1) = rng.normal();
+    x(i, 2) = rng.normal();
+    y[i] = 3.0 * x(i, 1) + 0.1 * rng.normal();
+  }
+  for (SelectionEngine engine :
+       {SelectionEngine::NaiveQr, SelectionEngine::IncrementalGram}) {
+    SelectionOptions opt;
+    opt.engine = engine;
+    const SelectionResult result = forward_select(x, y, opt);
+    for (std::size_t c : result.selected) EXPECT_NE(c, 0u);
+  }
+}
+
 TEST(GatherColumns, ExtractsRequestedColumns) {
   linalg::Matrix m{{1, 2, 3}, {4, 5, 6}};
   const linalg::Matrix g = gather_columns(m, {2, 0});
