@@ -22,6 +22,8 @@
 #include "common/str.hpp"
 #include "common/table.hpp"
 #include "core/features.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "stats/forward_selection.hpp"
 
 namespace {
@@ -174,9 +176,19 @@ void json_scenario(std::ostream& os, const std::string& name, const Timing& t,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    // --trace-out=FILE enables gppm::obs span recording for the timed runs
+    // and dumps a Chrome trace on exit.  Tracing adds overhead to the hot
+    // path, so traced numbers are for span inspection, not for comparing
+    // against untraced baselines.
+    else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+      trace_out = argv[i] + 12;
+    else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+      trace_out = argv[++i];
   }
+  if (!trace_out.empty()) gppm::obs::set_enabled(true);
 
   gppm::bench::print_banner(
       "selection speedup",
@@ -228,6 +240,13 @@ int main(int argc, char** argv) {
     json << "}\n";
   }
   std::cout << "wrote BENCH_selection.json\n";
+
+  if (!trace_out.empty()) {
+    gppm::obs::write_trace_file(trace_out);
+    std::cout << "wrote " << trace_out << " ("
+              << gppm::obs::span_snapshot().size() << " spans, "
+              << gppm::obs::spans_dropped() << " dropped)\n";
+  }
 
   // The smoke run doubles as a correctness gate: the engines must agree.
   for (const auto& [prob, t] : runs) {

@@ -5,7 +5,7 @@
 namespace gppm {
 
 std::string CsvWriter::escape(const std::string& field) {
-  const bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  const bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return field;
   std::string out = "\"";
   for (char c : field) {

@@ -8,8 +8,8 @@
 
 namespace gppm {
 
-/// Streams rows of a CSV document.  Fields containing commas, quotes or
-/// newlines are quoted per RFC 4180.
+/// Streams rows of a CSV document.  Fields containing commas, quotes,
+/// newlines or carriage returns are quoted per RFC 4180.
 class CsvWriter {
  public:
   /// Writes to `out`; the stream must outlive the writer.

@@ -9,11 +9,36 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace gppm {
 
 namespace {
 
 thread_local bool tl_in_worker = false;
+
+// Pool instruments, registered once and cached so the hot path is a single
+// enabled-flag branch per record.
+obs::Counter& loops_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("parallel.loops");
+  return c;
+}
+obs::Counter& tasks_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("parallel.tasks");
+  return c;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("parallel.queue_depth");
+  return g;
+}
+obs::Gauge& busy_workers_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("parallel.busy_workers");
+  return g;
+}
 
 /// Lazily-started compute pool.  Holds parallel_threads() - 1 workers; the
 /// thread that calls parallel_for contributes the remaining lane.
@@ -31,6 +56,7 @@ class ComputePool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       tasks_.push_back(std::move(task));
+      queue_depth_gauge().set(static_cast<std::int64_t>(tasks_.size()));
     }
     cv_.notify_one();
   }
@@ -58,8 +84,15 @@ class ComputePool {
             if (stop_ && tasks_.empty()) return;
             task = std::move(tasks_.front());
             tasks_.pop_front();
+            queue_depth_gauge().set(static_cast<std::int64_t>(tasks_.size()));
           }
-          task();
+          {
+            obs::ObsSpan span("parallel.task");
+            tasks_counter().add();
+            busy_workers_gauge().add(1);
+            task();
+            busy_workers_gauge().add(-1);
+          }
         }
       });
     }
@@ -136,6 +169,8 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     return;
   }
 
+  obs::ObsSpan span("parallel.for");
+  loops_counter().add();
   auto state = std::make_shared<LoopState>();
   state->body = &body;
   state->n = n;

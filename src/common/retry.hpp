@@ -59,6 +59,16 @@ Duration backoff_delay(const RetryPolicy& policy, int retry, Rng& rng);
 /// run out, the last TransientError propagates.  `stats` accumulates what
 /// happened either way; `rng` drives the jitter (pass a forked stream for
 /// order-independent determinism).
+///
+/// Budget-exhaustion semantics, pinned by tests: the delay that *would*
+/// overrun the budget is computed (advancing `rng` by exactly one jitter
+/// draw, the same as a charged delay) but never charged —
+/// `stats.total_backoff` counts only delays actually spent, so it never
+/// exceeds `policy.retry_budget`, while the RNG stream position depends
+/// only on the number of transient failures that were followed by a backoff
+/// computation.  Two runs with the same seed and failure pattern therefore
+/// leave their RNGs in identical states whether or not the last delay fit
+/// the budget.
 template <typename Fn>
 auto retry_call(const RetryPolicy& policy, Rng& rng, RetryStats& stats,
                 Fn&& fn) -> decltype(fn()) {

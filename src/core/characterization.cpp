@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/str.hpp"
+#include "obs/obs.hpp"
 #include "workload/suite.hpp"
 
 namespace gppm::core {
@@ -83,11 +84,13 @@ std::vector<PairResult> Sweep::pareto_front() const {
 Sweep sweep_pairs(MeasurementRunner& runner,
                   const workload::BenchmarkDef& benchmark,
                   std::size_t size_index) {
+  obs::ObsSpan sweep_span("sweep.pairs");
   Sweep sweep;
   sweep.benchmark = benchmark.name;
   sweep.gpu = runner.gpu().spec().model;
 
   for (sim::FrequencyPair pair : dvfs::configurable_pairs(sweep.gpu)) {
+    obs::ObsSpan cell_span("sweep.cell");
     PairResult r;
     r.measurement = runner.measure(benchmark, size_index, pair);
     sweep.results.push_back(r);
@@ -105,11 +108,13 @@ Sweep sweep_pairs(MeasurementRunner& runner,
 Sweep sweep_pairs_resilient(MeasurementRunner& runner,
                             const workload::BenchmarkDef& benchmark,
                             std::size_t size_index) {
+  obs::ObsSpan sweep_span("sweep.resilient");
   Sweep sweep;
   sweep.benchmark = benchmark.name;
   sweep.gpu = runner.gpu().spec().model;
 
   for (sim::FrequencyPair pair : dvfs::configurable_pairs(sweep.gpu)) {
+    obs::ObsSpan cell_span("sweep.cell");
     MeasuredCell cell = runner.measure_checked(benchmark, size_index, pair);
     if (cell.covered()) {
       PairResult r;

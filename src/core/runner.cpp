@@ -5,8 +5,41 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "fault/faulty_meter.hpp"
+#include "obs/obs.hpp"
 
 namespace gppm::core {
+
+namespace {
+
+// Quality-path instruments for the checked measurement pipeline; cached so
+// the fault-free path pays one branch per record.
+struct SweepInstruments {
+  obs::Counter& attempts;
+  obs::Counter& retries;
+  obs::Counter& invalid_runs;
+  obs::Counter& samples_rejected;
+  obs::Counter& samples_imputed;
+  obs::Counter& cells_measured;
+  obs::Counter& cells_missing;
+  obs::Histogram& backoff_ms;
+
+  static SweepInstruments& instance() {
+    static SweepInstruments* in = new SweepInstruments{
+        obs::Registry::instance().counter("sweep.attempts"),
+        obs::Registry::instance().counter("sweep.retries"),
+        obs::Registry::instance().counter("sweep.invalid_runs"),
+        obs::Registry::instance().counter("sweep.samples_rejected"),
+        obs::Registry::instance().counter("sweep.samples_imputed"),
+        obs::Registry::instance().counter("sweep.cells_measured"),
+        obs::Registry::instance().counter("sweep.cells_missing"),
+        obs::Registry::instance().histogram(
+            "sweep.backoff_ms", {1.0, 10.0, 100.0, 1000.0, 10000.0}),
+    };
+    return *in;
+  }
+};
+
+}  // namespace
 
 MeasurementRunner::MeasurementRunner(sim::GpuModel model, RunnerOptions options)
     : gpu_(model, options.seed),
@@ -103,6 +136,9 @@ Measurement MeasurementRunner::measure(const workload::BenchmarkDef& benchmark,
 
 Measurement MeasurementRunner::measure_profile(const sim::RunProfile& profile,
                                                sim::FrequencyPair pair) {
+  // Span only: the fault-free pipeline stays byte-identical (no counters
+  // move that the checked path does not already own).
+  obs::ObsSpan span("sweep.measure");
   gpu_.set_frequency_pair(pair);
   const sim::RunExecution exec = gpu_.run(profile);
   const meter::Measurement m = meter_.measure(wall_timeline(exec));
@@ -117,6 +153,8 @@ MeasuredCell MeasurementRunner::measure_checked(
 
 MeasuredCell MeasurementRunner::measure_profile_checked(
     const sim::RunProfile& profile, sim::FrequencyPair pair) {
+  obs::ObsSpan span("sweep.measure_checked");
+  SweepInstruments& ins = SweepInstruments::instance();
   MeasuredCell cell;
   QualityReport& q = cell.quality;
   const std::uint64_t key = run_identity(profile, pair);
@@ -137,6 +175,7 @@ MeasuredCell MeasurementRunner::measure_profile_checked(
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     ++q.attempts;
+    ins.attempts.add();
     const bool last = attempt + 1 == max_attempts;
 
     // P-state transition: the paper's patch + reboot step, which a real
@@ -145,6 +184,7 @@ MeasuredCell MeasurementRunner::measure_profile_checked(
     if (options_.injector != nullptr &&
         options_.injector->should_fire(fault::kSiteDvfsSetPair)) {
       ++q.transient_faults;
+      ins.retries.add();
       q.failure = "P-state transition to " + sim::to_string(pair) + " failed";
       if (last || !charge_backoff(attempt)) break;
       continue;
@@ -163,6 +203,7 @@ MeasuredCell MeasurementRunner::measure_profile_checked(
       m = fmeter.measure(wall_timeline(exec));
     } catch (const TransientError& e) {
       ++q.transient_faults;
+      ins.retries.add();
       q.failure = e.what();
       if (last || !charge_backoff(attempt)) break;
       continue;
@@ -176,6 +217,7 @@ MeasuredCell MeasurementRunner::measure_profile_checked(
     if (!v.ok) {
       // An invalid run (thinned below the minimum, or spike-ridden) is
       // re-measured immediately; no instrument backoff applies.
+      ins.invalid_runs.add();
       q.failure = "invalid run: " + v.reason;
       continue;
     }
@@ -183,6 +225,8 @@ MeasuredCell MeasurementRunner::measure_profile_checked(
     q.samples_delivered = m.samples.size();
     q.samples_rejected = v.rejected;
     q.samples_imputed = v.imputed;
+    ins.samples_rejected.add(v.rejected);
+    ins.samples_imputed.add(v.imputed);
     q.valid = true;
     q.failure.clear();
     cell.measurement = summarize(profile, pair, exec, v.cleaned);
@@ -190,6 +234,10 @@ MeasuredCell MeasurementRunner::measure_profile_checked(
   }
 
   if (!q.valid && q.failure.empty()) q.failure = "attempts exhausted";
+  (q.valid ? ins.cells_measured : ins.cells_missing).add();
+  if (obs::enabled() && q.backoff > Duration::seconds(0.0)) {
+    ins.backoff_ms.record(q.backoff.as_milliseconds());
+  }
   return cell;
 }
 

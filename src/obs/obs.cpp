@@ -1,0 +1,251 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace gppm::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+Histogram::Histogram(std::vector<double> uppers)
+    : uppers_(std::move(uppers)), buckets_(uppers_.size() + 1) {
+  GPPM_CHECK(!uppers_.empty(), "histogram needs at least one bucket bound");
+  GPPM_CHECK(std::is_sorted(uppers_.begin(), uppers_.end()),
+             "histogram bounds must be ascending");
+}
+
+void Histogram::record(double v) {
+  if (!enabled()) return;
+  std::size_t b = 0;
+  while (b < uppers_.size() && v > uppers_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Sums accumulate in integer nanounits so concurrent records stay exact.
+  const double scaled = v * 1e9;
+  sum_nanos_.fetch_add(
+      scaled > 0.0 ? static_cast<std::uint64_t>(scaled) : 0,
+      std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1e9;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: instrument addresses stay stable across registrations,
+  // so call sites can cache references forever.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& Registry::instance() {
+  // Leaked on purpose (see header): pool workers may record at teardown.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.gauges[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.histograms[name];
+  if (!slot) slot.reset(new Histogram(std::move(upper_bounds)));
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  MetricsSnapshot s;
+  s.counters.reserve(im.counters.size());
+  for (const auto& [name, c] : im.counters) {
+    s.counters.push_back({name, c->value()});
+  }
+  s.gauges.reserve(im.gauges.size());
+  for (const auto& [name, g] : im.gauges) {
+    s.gauges.push_back({name, g->value(), g->max()});
+  }
+  s.histograms.reserve(im.histograms.size());
+  for (const auto& [name, h] : im.histograms) {
+    s.histograms.push_back(
+        {name, h->upper_bounds(), h->bucket_counts(), h->count(), h->sum()});
+  }
+  return s;
+}
+
+void Registry::reset_values() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+bool MetricsSnapshot::has_activity(const std::string& prefix) const {
+  const auto matches = [&](const std::string& name) {
+    return name.size() >= prefix.size() &&
+           name.compare(0, prefix.size(), prefix) == 0;
+  };
+  for (const CounterRow& c : counters) {
+    if (matches(c.name) && c.value > 0) return true;
+  }
+  for (const GaugeRow& g : gauges) {
+    if (matches(g.name) && g.max > 0) return true;
+  }
+  for (const HistogramRow& h : histograms) {
+    if (matches(h.name) && h.count > 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+namespace {
+
+struct SpanBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+  std::size_t capacity = 1 << 16;
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+SpanBuffer& span_buffer() {
+  static SpanBuffer* b = new SpanBuffer();  // leaked, like the registry
+  return *b;
+}
+
+std::uint64_t trace_epoch_ns() {
+  static const std::uint64_t epoch = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return epoch;
+}
+
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local std::uint32_t tl_span_depth = 0;
+
+}  // namespace
+
+std::uint64_t trace_now_ns() {
+  // Resolve the epoch before reading the clock: the first-ever call
+  // initializes it, and reading `now` first would put it before the epoch
+  // (a negative difference wrapped to ~2^64).
+  const std::uint64_t epoch = trace_epoch_ns();
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - epoch;
+}
+
+ObsSpan::ObsSpan(const char* name) : name_(name) {
+  if (!enabled()) return;
+  active_ = true;
+  depth_ = tl_span_depth++;
+  start_ns_ = trace_now_ns();
+}
+
+ObsSpan::~ObsSpan() {
+  if (!active_) return;
+  --tl_span_depth;
+  SpanRecord rec;
+  rec.name = name_;
+  rec.tid = this_thread_index();
+  rec.depth = depth_;
+  rec.start_ns = start_ns_;
+  rec.duration_ns = trace_now_ns() - start_ns_;
+  SpanBuffer& buf = span_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.spans.size() >= buf.capacity) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.spans.push_back(rec);
+}
+
+std::vector<SpanRecord> span_snapshot() {
+  SpanBuffer& buf = span_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  return buf.spans;
+}
+
+std::uint64_t spans_dropped() {
+  return span_buffer().dropped.load(std::memory_order_relaxed);
+}
+
+void clear_spans() {
+  SpanBuffer& buf = span_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.spans.clear();
+  buf.dropped.store(0, std::memory_order_relaxed);
+}
+
+void set_span_capacity(std::size_t cap) {
+  SpanBuffer& buf = span_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.capacity = cap;
+}
+
+}  // namespace gppm::obs

@@ -1,0 +1,224 @@
+// gppm::obs — process-wide observability for the long-running layers.
+//
+// The paper's headline numbers come from unattended runs (37 benchmarks x
+// frequency pairs x 50 ms power sampling feeding 114-sample regression
+// fits); characterization results are only trustworthy when the measurement
+// pipeline itself is instrumented.  This layer gives every subsystem one
+// shared vocabulary:
+//
+//   * a metrics registry — named Counters, Gauges and fixed-bucket
+//     Histograms.  Registration takes a mutex once; the returned instrument
+//     reference is stable for the process lifetime, and every hot-path
+//     record is a single relaxed atomic op.
+//   * span-based tracing — RAII ObsSpan scoped timers with thread-aware
+//     nesting (per-thread depth, dense thread ids) collected into a bounded
+//     in-memory buffer and exportable as Chrome trace_event JSON
+//     (chrome://tracing / Perfetto loadable); see obs/export.hpp.
+//
+// The whole layer is gated on one process-wide enable flag: with obs
+// disabled (the default) every instrument call is a single relaxed atomic
+// load and branch, no allocation, no lock — cheap enough to leave compiled
+// into the selection and serving hot paths.
+//
+// Singletons are intentionally leaked: the compute pool's workers and other
+// static-lifetime objects may record during process teardown, so neither
+// the registry nor the span buffer is ever destroyed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gppm::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when the observability layer is recording.  Relaxed load — the one
+/// branch every disabled-mode instrument call pays.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn recording on or off process-wide.  Instruments registered while
+/// disabled stay registered; their values simply stop moving.
+void set_enabled(bool on);
+
+/// Monotonic event counter.  add() is lock-free (one relaxed fetch_add).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level with a high-water mark (queue depths, busy workers).
+/// set()/add() are lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+  /// Adjust the level by `delta` (e.g. +1/-1 around a busy section).
+  void add(std::int64_t delta) {
+    if (!enabled()) return;
+    const std::int64_t v =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raise_max(v);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  void raise_max(std::int64_t v) {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram: explicit upper bounds (ascending) plus an
+/// implicit overflow bucket.  record() is lock-free: one linear bucket scan
+/// over a handful of bounds and two relaxed atomic ops.
+class Histogram {
+ public:
+  void record(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& upper_bounds() const { return uppers_; }
+  /// Bucket counts; size() == upper_bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> uppers);
+  void reset();
+  std::vector<double> uppers_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // uppers_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_nanos_{0};  // sum scaled by 1e9 for atomicity
+};
+
+/// One registry row per instrument kind, materialized by snapshot().
+struct CounterRow {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeRow {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+struct HistogramRow {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> bucket_counts;  // bounds + overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// A point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+
+  /// True when any instrument whose name starts with `prefix` has recorded
+  /// at least one event (counter/histogram count > 0, or gauge max > 0).
+  bool has_activity(const std::string& prefix) const;
+};
+
+/// Process-wide instrument registry.  counter()/gauge()/histogram() find or
+/// create by name under a mutex; call sites cache the returned reference
+/// (function-local static) so the hot path never touches the map.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Find or create; `upper_bounds` must be non-empty and ascending, and is
+  /// ignored when the histogram already exists.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument (registrations and cached references survive).
+  void reset_values();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// ---------------------------------------------------------------------------
+// Span tracing.
+
+/// One completed span, in the order spans *ended*.
+struct SpanRecord {
+  const char* name = "";     ///< static-lifetime literal from the call site
+  std::uint32_t tid = 0;     ///< dense per-process thread index
+  std::uint32_t depth = 0;   ///< nesting depth on that thread at entry
+  std::uint64_t start_ns = 0;     ///< since the process trace epoch
+  std::uint64_t duration_ns = 0;
+};
+
+/// RAII scoped timer.  Constructing while disabled is a no-op (no clock
+/// read, no allocation); the record lands in the bounded span buffer at
+/// destruction.  `name` must be a string literal or otherwise outlive the
+/// buffer.
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name);
+  ~ObsSpan();
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+/// Copy of the span buffer (completion order).
+std::vector<SpanRecord> span_snapshot();
+
+/// Spans dropped because the buffer was full.
+std::uint64_t spans_dropped();
+
+/// Empty the span buffer and reset the dropped count.
+void clear_spans();
+
+/// Resize the span buffer cap (default 65536).  Existing spans beyond the
+/// new cap are kept; new spans drop while at or above it.
+void set_span_capacity(std::size_t cap);
+
+/// Nanoseconds since the process trace epoch (first use of the clock).
+std::uint64_t trace_now_ns();
+
+}  // namespace gppm::obs

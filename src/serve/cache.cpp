@@ -33,6 +33,11 @@ std::uint64_t counters_fingerprint(const profiler::ProfileResult& counters) {
   mix(h, counters.counters.size());
   mix(h, double_bits(counters.run_time.as_seconds()));
   for (const profiler::CounterReading& r : counters.counters) {
+    // Counter identity matters: two profiles with identical numerics but
+    // different names/classes (e.g. different architecture catalogs) must
+    // not collide, or the cache returns a wrong prediction.
+    mix(h, fnv1a(r.name));
+    mix(h, static_cast<std::uint64_t>(r.klass));
     mix(h, double_bits(r.total));
     mix(h, double_bits(r.per_second));
   }

@@ -27,10 +27,11 @@
 
 namespace gppm::serve {
 
-/// Fingerprint of a counter vector: FNV-1a over the bit patterns of every
-/// reading (totals and rates) plus the run time.  Counter *names* are
-/// deliberately excluded — they are fixed by catalog order, which the
-/// model fingerprint already pins down.
+/// Fingerprint of a counter vector: FNV-1a over every reading's identity
+/// (name and event class) and bit patterns (totals and rates) plus the run
+/// time.  Identity is part of the key: profiles from different architecture
+/// catalogs can carry identical numerics under different counter names, and
+/// excluding the names made such profiles collide onto one cache entry.
 std::uint64_t counters_fingerprint(const profiler::ProfileResult& counters);
 
 /// Cache key for one prediction.

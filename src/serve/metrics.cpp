@@ -5,8 +5,41 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/str.hpp"
+#include "obs/obs.hpp"
 
 namespace gppm::serve {
+
+namespace {
+
+// Shared-registry instruments the recorders below mirror into.  The
+// collector's own atomic cells stay authoritative — the obs bridge adds
+// one enabled-flag branch per record and nothing else, so the serve table
+// and CSV output are byte-identical with obs on or off.
+struct ServeInstruments {
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Counter& rejected;
+  obs::Counter& shed;
+  obs::Counter& deadline_expired;
+  obs::Counter& errors;
+  obs::Histogram& latency_us;
+
+  static ServeInstruments& instance() {
+    static ServeInstruments* in = new ServeInstruments{
+        obs::Registry::instance().counter("serve.requests"),
+        obs::Registry::instance().counter("serve.batches"),
+        obs::Registry::instance().counter("serve.rejected"),
+        obs::Registry::instance().counter("serve.shed"),
+        obs::Registry::instance().counter("serve.deadline_expired"),
+        obs::Registry::instance().counter("serve.errors"),
+        obs::Registry::instance().histogram(
+            "serve.latency_us", {10.0, 100.0, 1000.0, 10000.0, 100000.0}),
+    };
+    return *in;
+  }
+};
+
+}  // namespace
 
 std::string to_string(RequestKind kind) {
   switch (kind) {
@@ -49,6 +82,9 @@ void MetricsCollector::record_request(RequestKind kind,
       std::memory_order_relaxed);
   cells.bins[latency_bin(latency_seconds)].fetch_add(
       1, std::memory_order_relaxed);
+  ServeInstruments& ins = ServeInstruments::instance();
+  ins.requests.add();
+  if (obs::enabled()) ins.latency_us.record(latency_seconds * 1e6);
 }
 
 void MetricsCollector::record_batch(std::size_t batch_size) {
@@ -63,22 +99,27 @@ void MetricsCollector::record_batch(std::size_t batch_size) {
          !max_batch_.compare_exchange_weak(seen, batch_size,
                                            std::memory_order_relaxed)) {
   }
+  ServeInstruments::instance().batches.add();
 }
 
 void MetricsCollector::record_rejected() {
   rejected_.fetch_add(1, std::memory_order_relaxed);
+  ServeInstruments::instance().rejected.add();
 }
 
 void MetricsCollector::record_shed() {
   shed_.fetch_add(1, std::memory_order_relaxed);
+  ServeInstruments::instance().shed.add();
 }
 
 void MetricsCollector::record_deadline_expired() {
   deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  ServeInstruments::instance().deadline_expired.add();
 }
 
 void MetricsCollector::record_error_response() {
   error_responses_.fetch_add(1, std::memory_order_relaxed);
+  ServeInstruments::instance().errors.add();
 }
 
 namespace {
@@ -199,6 +240,21 @@ void ServerMetrics::write_csv(std::ostream& out) const {
     csv.row({"batch_size", std::to_string(i + 1),
              std::to_string(batch_size_counts[i])});
   }
+}
+
+void publish_to_obs(const ServerMetrics& metrics) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::Registry::instance();
+  const auto as_i64 = [](std::uint64_t v) {
+    return static_cast<std::int64_t>(v);
+  };
+  reg.gauge("serve.queue_high_water")
+      .set(as_i64(metrics.queue_high_water));
+  reg.gauge("serve.max_batch").set(as_i64(metrics.max_batch_size));
+  reg.gauge("serve.cache_entries").set(as_i64(metrics.cache.entries));
+  reg.gauge("serve.cache_hits").set(as_i64(metrics.cache.hits));
+  reg.gauge("serve.cache_misses").set(as_i64(metrics.cache.misses));
+  reg.gauge("serve.cache_evictions").set(as_i64(metrics.cache.evictions));
 }
 
 }  // namespace gppm::serve

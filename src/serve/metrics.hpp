@@ -62,6 +62,12 @@ struct ServerMetrics {
   void write_csv(std::ostream& out) const;
 };
 
+/// Bridge a snapshot onto the shared gppm::obs registry (serve.* gauges:
+/// queue high-water, batches, cache hits/misses/evictions, shed/rejected
+/// totals).  No-op while obs is disabled; the snapshot itself and its
+/// table/CSV renderings are untouched either way.
+void publish_to_obs(const ServerMetrics& metrics);
+
 /// Thread-safe recorder the worker pool writes into.
 class MetricsCollector {
  public:

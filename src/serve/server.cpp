@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/str.hpp"
 #include "dvfs/combos.hpp"
+#include "obs/obs.hpp"
 
 namespace gppm::serve {
 
@@ -155,6 +156,7 @@ ServerMetrics PredictionServer::metrics() const {
   ServerMetrics m = metrics_.snapshot();
   m.queue_high_water = queue_.high_water_mark();
   m.cache = cache_.stats();
+  publish_to_obs(m);
   return m;
 }
 
@@ -162,6 +164,7 @@ void PredictionServer::worker_loop() {
   while (true) {
     std::vector<Job> batch = queue_.pop_batch(options_.max_batch);
     if (batch.empty()) break;  // closed and fully drained
+    obs::ObsSpan span("serve.batch");
     metrics_.record_batch(batch.size());
 
     // Micro-batch grouping: bring jobs sharing (gpu, kind) together so the

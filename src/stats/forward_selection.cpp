@@ -8,8 +8,31 @@
 #include "common/parallel.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/gram.hpp"
+#include "obs/obs.hpp"
 
 namespace gppm::stats {
+
+namespace {
+
+// Selection-engine instruments, cached once; every record below is a single
+// enabled-flag branch when obs is off, keeping the hot path at reference
+// speed.
+struct SelectionInstruments {
+  obs::Counter& steps;
+  obs::Counter& candidates_scored;
+  obs::Counter& qr_confirms;
+
+  static SelectionInstruments& instance() {
+    static SelectionInstruments* in = new SelectionInstruments{
+        obs::Registry::instance().counter("select.steps"),
+        obs::Registry::instance().counter("select.candidates_scored"),
+        obs::Registry::instance().counter("select.qr_confirms"),
+    };
+    return *in;
+  }
+};
+
+}  // namespace
 
 linalg::Matrix gather_columns(const linalg::Matrix& m,
                               const std::vector<std::size_t>& cols) {
@@ -208,6 +231,8 @@ SelectionResult forward_select_incremental(const linalg::Matrix& candidates,
   // Replace candidate c's O(k^2) score with its exact QR adjusted R^2 (NaN
   // if the trial design is rank-deficient).
   const auto confirm = [&](std::size_t c) {
+    obs::ObsSpan span("select.confirm");
+    SelectionInstruments::instance().qr_confirms.add();
     std::vector<std::size_t> trial = result.selected;
     trial.push_back(c);
     OlsFit exact = ols_fit(gather_columns(candidates, trial), y);
@@ -221,17 +246,23 @@ SelectionResult forward_select_incremental(const linalg::Matrix& candidates,
   };
 
   while (result.selected.size() < cap) {
+    obs::ObsSpan step_span("select.step");
+    SelectionInstruments::instance().steps.add();
     const auto score_one = [&](std::size_t c) {
       scores[c] = used[c] ? std::numeric_limits<double>::quiet_NaN()
                           : state.score(c);
     };
-    if (options.parallel) {
-      // Each slot is written by exactly one iteration, so the fan-out is
-      // bit-deterministic; the argmax below is serial with first-index wins,
-      // matching the reference engine's strict-improvement scan.
-      gppm::parallel_for(n_candidates, score_one, /*min_parallel=*/64);
-    } else {
-      for (std::size_t c = 0; c < n_candidates; ++c) score_one(c);
+    {
+      obs::ObsSpan score_span("select.score");
+      if (options.parallel) {
+        // Each slot is written by exactly one iteration, so the fan-out is
+        // bit-deterministic; the argmax below is serial with first-index
+        // wins, matching the reference engine's strict-improvement scan.
+        gppm::parallel_for(n_candidates, score_one, /*min_parallel=*/64);
+      } else {
+        for (std::size_t c = 0; c < n_candidates; ++c) score_one(c);
+      }
+      SelectionInstruments::instance().candidates_scored.add(n_candidates);
     }
     std::fill(confirmed.begin(), confirmed.end(), false);
 
@@ -306,6 +337,7 @@ SelectionResult forward_select(const linalg::Matrix& candidates,
   GPPM_CHECK(candidates.rows() >= 3, "too few samples");
   GPPM_CHECK(options.max_variables >= 1, "max_variables must be >= 1");
 
+  obs::ObsSpan span("select.run");
   SelectionResult result = options.engine == SelectionEngine::NaiveQr
                                ? forward_select_naive(candidates, y, options)
                                : forward_select_incremental(candidates, y,

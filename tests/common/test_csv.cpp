@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace gppm {
 namespace {
@@ -33,6 +35,64 @@ TEST(Csv, QuotesNewlines) {
   CsvWriter w(out);
   w.row({"a\nb"});
   EXPECT_EQ(out.str(), "\"a\nb\"\n");
+}
+
+TEST(Csv, QuotesCarriageReturns) {
+  // Regression: \r was missing from the quote-trigger set, so a field with a
+  // bare carriage return (or a Windows \r\n) was emitted unquoted and split
+  // into two records by RFC 4180 readers.
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"a\rb", "c\r\nd"});
+  EXPECT_EQ(out.str(), "\"a\rb\",\"c\r\nd\"\n");
+}
+
+// Minimal RFC 4180 reader for the round-trip check below: one record,
+// quoted fields may contain separators, CR, LF and doubled quotes.
+std::vector<std::string> parse_csv_record(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        field += '"';
+        i += 2;
+      } else if (c == '"') {
+        quoted = false;
+        ++i;
+      } else {
+        field += c;
+        ++i;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+      ++i;
+    } else if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+      ++i;
+    } else if (c == '\n' && !quoted) {
+      break;
+    } else {
+      field += c;
+      ++i;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+TEST(Csv, RoundTripsEveryEscapeTrigger) {
+  const std::vector<std::string> original = {
+      "plain", "comma,inside", "quote\"inside", "line\nbreak", "cr\rreturn",
+      "crlf\r\npair", "all,\"of\"\r\nthem"};
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row(original);
+  EXPECT_EQ(parse_csv_record(out.str()), original);
 }
 
 TEST(Csv, NumericRow) {

@@ -100,6 +100,60 @@ TEST(Retry, BudgetExhaustionEndsRetriesEarly) {
   EXPECT_DOUBLE_EQ(stats.total_backoff.as_seconds(), 0.0);
 }
 
+TEST(Retry, BudgetBoundaryExcludesRejectedDelayAndKeepsRngStream) {
+  // Pins the documented budget-exhaustion semantics (common/retry.hpp): the
+  // delay that would overrun the budget is computed — advancing the jitter
+  // RNG by exactly one draw, like a charged delay — but never added to
+  // total_backoff.
+  RetryPolicy p;  // default jitter keeps the RNG draws meaningful
+  p.max_attempts = 10;
+  p.initial_backoff = Duration::milliseconds(10.0);
+  p.multiplier = 2.0;
+  // Fits the ~10 ms first delay but not the ~20 ms second one, even at the
+  // jitter extremes (9..11 ms then 18..22 ms).
+  p.retry_budget = Duration::milliseconds(15.0);
+
+  Rng rng(21);
+  RetryStats stats;
+  EXPECT_THROW(retry_call(p, rng, stats,
+                          []() -> int { throw TransientError("down"); }),
+               TransientError);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.transient_failures, 2);
+  // Only the first (charged) delay is accounted; the rejected second delay
+  // is excluded, so the total stays within the budget.
+  EXPECT_GT(stats.total_backoff.as_milliseconds(), 0.0);
+  EXPECT_LE(stats.total_backoff.as_milliseconds(),
+            p.retry_budget.as_milliseconds());
+  EXPECT_LT(stats.total_backoff.as_milliseconds(), 11.0 + 1e-9);
+
+  // Same seed, same failure pattern, but a budget large enough to charge
+  // both delays: two transient failures were followed by a backoff
+  // computation either way, so both runs leave the RNG in the same state.
+  RetryPolicy roomy = p;
+  roomy.max_attempts = 3;  // third failure is final: no delay computed
+  roomy.retry_budget = Duration::seconds(10.0);
+  Rng control(21);
+  RetryStats control_stats;
+  EXPECT_THROW(retry_call(roomy, control, control_stats,
+                          []() -> int { throw TransientError("down"); }),
+               TransientError);
+  EXPECT_FALSE(control_stats.budget_exhausted);
+  EXPECT_EQ(control_stats.transient_failures, 3);
+  EXPECT_EQ(rng.next_u64(), control.next_u64());
+
+  // And the exhausted run itself is reproducible draw for draw.
+  Rng replay(21);
+  RetryStats replay_stats;
+  EXPECT_THROW(retry_call(p, replay, replay_stats,
+                          []() -> int { throw TransientError("down"); }),
+               TransientError);
+  EXPECT_DOUBLE_EQ(replay_stats.total_backoff.as_seconds(),
+                   stats.total_backoff.as_seconds());
+  EXPECT_TRUE(replay_stats.budget_exhausted);
+}
+
 TEST(Retry, SingleAttemptPolicyNeverBacksOff) {
   RetryPolicy p;
   p.max_attempts = 1;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.hpp"
@@ -94,6 +95,34 @@ TEST(ServeCache, CountersFingerprintSeparatesPhases) {
   EXPECT_EQ(counters_fingerprint(a), counters_fingerprint(b));
   b.counters[0].total = 10.0000001;
   EXPECT_NE(counters_fingerprint(a), counters_fingerprint(b));
+}
+
+TEST(ServeCache, CountersFingerprintKeyedOnNameAndClass) {
+  // Regression: the fingerprint once hashed only the numeric values, so two
+  // profiles with identical readings under *different counter names* (or
+  // event classes) collided — and the prediction cache served one workload's
+  // cached prediction for the other.
+  profiler::ProfileResult a;
+  a.run_time = Duration::seconds(1.0);
+  a.counters.push_back({"inst_executed", profiler::EventClass::Core, 10.0, 10.0});
+  a.counters.push_back({"dram_reads", profiler::EventClass::Memory, 3.0, 3.0});
+
+  profiler::ProfileResult renamed = a;
+  renamed.counters[0].name = "inst_issued";  // same values, different counter
+  EXPECT_NE(counters_fingerprint(a), counters_fingerprint(renamed));
+
+  profiler::ProfileResult reclassed = a;
+  reclassed.counters[0].klass = profiler::EventClass::Memory;
+  EXPECT_NE(counters_fingerprint(a), counters_fingerprint(reclassed));
+
+  // Same multiset of (name, value) attached to swapped counters must also
+  // differ: identity stays glued to its own reading.
+  profiler::ProfileResult swapped = a;
+  std::swap(swapped.counters[0].name, swapped.counters[1].name);
+  EXPECT_NE(counters_fingerprint(a), counters_fingerprint(swapped));
+
+  profiler::ProfileResult same = a;
+  EXPECT_EQ(counters_fingerprint(a), counters_fingerprint(same));
 }
 
 TEST(ServeCache, ModelFingerprintStableAcrossRoundTrip) {

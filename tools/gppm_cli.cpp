@@ -19,14 +19,24 @@
 //   gppm chaos <gpu> [options]          characterize under injected
 //                                       instrument faults; report coverage
 //                                       and divergence vs the fault-free run
+//   gppm obs-demo                       exercise every instrumented layer
+//                                       and print the obs metrics table
+//
+// Any command additionally accepts --trace-out=FILE and --metrics-out=FILE:
+// either flag enables the gppm::obs observability layer for the run and,
+// on exit, writes the span buffer as Chrome trace_event JSON
+// (chrome://tracing / Perfetto loadable) and the metrics registry as CSV.
 //
 // GPU names: gtx285, gtx460, gtx480, gtx680.
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
 #include "core/characterization.hpp"
@@ -36,6 +46,8 @@
 #include "dvfs/combos.hpp"
 #include "kernelir/programs.hpp"
 #include "kernelir/trace.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "profiler/cuda_profiler.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
@@ -62,6 +74,8 @@ int usage(std::ostream& out, int code) {
          " [--cache N] [--jitter F]\n"
          "  gppm chaos <gpu> [--fault-profile FILE] [--seed N]"
          " [--benchmarks N]\n"
+         "  gppm obs-demo\n"
+         "any command also accepts --trace-out=FILE --metrics-out=FILE\n"
          "gpus: gtx285 gtx460 gtx480 gtx680\n";
   return code;
 }
@@ -437,27 +451,123 @@ int cmd_chaos(int argc, char** argv) {
   return report.divergent_count() == 0 ? 0 : 1;
 }
 
+int cmd_obs_demo() {
+  // A small pass through every instrumented layer, so the obs wiring can be
+  // eyeballed end to end: a resilient sweep under a light fault plan (sweep.*
+  // counters + spans), a parallel forward selection (select.* and parallel.*),
+  // and a burst against the prediction server (serve.* via the metrics
+  // bridge).
+  gppm::obs::set_enabled(true);
+
+  std::cout << "[1/3] resilient sweep under the default fault profile...\n";
+  fault::FaultInjector injector(fault::FaultPlan::default_profile(), 7);
+  core::RunnerOptions ropt;
+  ropt.injector = &injector;
+  core::MeasurementRunner runner(sim::GpuModel::GTX460, ropt);
+  const workload::BenchmarkDef& bench = workload::find_benchmark("gaussian");
+  const core::Sweep sweep = core::sweep_pairs_resilient(runner, bench, 0);
+  std::cout << "  " << sweep.results.size() << "/" << sweep.total_cells()
+            << " cells covered\n";
+
+  std::cout << "[2/3] parallel forward selection on the GTX 460 corpus...\n";
+  const core::Dataset ds = core::build_dataset(sim::GpuModel::GTX460);
+  const core::RegressionTable table =
+      core::build_table(ds, core::TargetKind::Power);
+  stats::SelectionOptions sopt;
+  sopt.max_variables = 10;
+  sopt.parallel = true;
+  const stats::SelectionResult sel =
+      stats::forward_select(table.features, table.target, sopt);
+  std::cout << "  selected " << sel.selected.size() << " variables, adj R^2 "
+            << format_double(sel.r2_trace.back(), 3) << "\n";
+
+  std::cout << "[3/3] prediction-server burst...\n";
+  serve::PredictionServer server;
+  server.load_models(core::UnifiedModel::fit(ds, core::TargetKind::Power),
+                     core::UnifiedModel::fit(ds, core::TargetKind::ExecTime));
+  std::vector<std::future<serve::Response>> pending;
+  for (std::size_t i = 0; i < 64; ++i) {
+    serve::Request req;
+    req.kind = serve::RequestKind::Predict;
+    req.gpu = sim::GpuModel::GTX460;
+    req.counters = ds.samples[i % ds.samples.size()].counters;
+    req.pair = sim::kDefaultPair;
+    pending.push_back(server.submit(std::move(req)));
+  }
+  for (auto& f : pending) f.get();
+  server.shutdown();
+  server.metrics().print(std::cout);
+
+  obs::metrics_table(obs::Registry::instance().snapshot()).print(std::cout);
+  std::cout << obs::span_snapshot().size() << " spans buffered ("
+            << obs::spans_dropped() << " dropped)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Observability flags are global: strip them before command dispatch, and
+  // flush the requested artifacts after the command finishes (also on a
+  // nonzero exit, so a divergent chaos run still leaves its trace behind).
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--trace-out" && has_value) {
+      trace_out = argv[++i];
+    } else if (starts_with(arg, "--trace-out=")) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg == "--metrics-out" && has_value) {
+      metrics_out = argv[++i];
+    } else if (starts_with(arg, "--metrics-out=")) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
+  const auto flush_obs = [&] {
+    if (!trace_out.empty()) {
+      obs::write_trace_file(trace_out);
+      std::cout << "trace written to " << trace_out << " ("
+                << obs::span_snapshot().size() << " spans, "
+                << obs::spans_dropped() << " dropped)\n";
+    }
+    if (!metrics_out.empty()) {
+      obs::write_metrics_file(metrics_out);
+      std::cout << "metrics written to " << metrics_out << "\n";
+    }
+  };
+
   try {
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       return usage(std::cout, 0);
     }
-    if (cmd == "specs") return cmd_specs();
-    if (cmd == "pairs" && argc == 3) return cmd_pairs(argv[2]);
-    if (cmd == "counters" && argc == 3) return cmd_counters(argv[2]);
-    if (cmd == "trace" && argc == 3) return cmd_trace(argv[2]);
-    if (cmd == "benchmarks") return cmd_benchmarks();
-    if (cmd == "sweep" && argc == 4) return cmd_sweep(argv[2], argv[3]);
-    if (cmd == "fit") return cmd_fit(argc, argv);
-    if (cmd == "predict") return cmd_predict(argc, argv);
-    if (cmd == "governor") return cmd_governor(argc, argv);
-    if (cmd == "serve-bench") return cmd_serve_bench(argc, argv);
-    if (cmd == "chaos") return cmd_chaos(argc, argv);
-    return usage();
+    int rc = 2;
+    if (cmd == "specs") rc = cmd_specs();
+    else if (cmd == "pairs" && argc == 3) rc = cmd_pairs(argv[2]);
+    else if (cmd == "counters" && argc == 3) rc = cmd_counters(argv[2]);
+    else if (cmd == "trace" && argc == 3) rc = cmd_trace(argv[2]);
+    else if (cmd == "benchmarks") rc = cmd_benchmarks();
+    else if (cmd == "sweep" && argc == 4) rc = cmd_sweep(argv[2], argv[3]);
+    else if (cmd == "fit") rc = cmd_fit(argc, argv);
+    else if (cmd == "predict") rc = cmd_predict(argc, argv);
+    else if (cmd == "governor") rc = cmd_governor(argc, argv);
+    else if (cmd == "serve-bench") rc = cmd_serve_bench(argc, argv);
+    else if (cmd == "chaos") rc = cmd_chaos(argc, argv);
+    else if (cmd == "obs-demo") rc = cmd_obs_demo();
+    else return usage();
+    flush_obs();
+    return rc;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
