@@ -1,6 +1,7 @@
 #include "core/serialization.hpp"
 
-#include <cstdio>
+#include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -30,18 +31,109 @@ sim::GpuModel parse_gpu(const std::string& token) {
   throw Error("unknown gpu token: " + token);
 }
 
-/// Exact round-trip double formatting (hexfloat).
+/// Exact round-trip double formatting: hexfloat assembled from the IEEE-754
+/// bits directly.  printf("%a") would produce the same text in the C locale
+/// but swaps the radix character under others — a model file must encode
+/// identically (and fingerprint identically) no matter the process locale,
+/// because fingerprints travel the wire (net/protocol) and gate the cache.
+/// Shape matches glibc %a exactly, so files written by earlier versions
+/// parse and fingerprint unchanged: lowercase digits, lead digit 1 (0 for
+/// zero/subnormals), fraction trimmed of trailing zeros, '.' omitted when
+/// the fraction is zero, exponent in decimal with an explicit sign.
 std::string fmt(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  const bool negative = (bits >> 63) != 0;
+  const int raw_exp = static_cast<int>((bits >> 52) & 0x7ff);
+  const std::uint64_t frac = bits & 0xfffffffffffffull;
+  GPPM_CHECK(raw_exp != 0x7ff, "cannot serialize a non-finite value");
+
+  std::string out;
+  if (negative) out += '-';
+  out += "0x";
+  int exp = 0;
+  if (raw_exp == 0) {
+    out += '0';  // zero or subnormal: significand 0.frac
+    exp = frac == 0 ? 0 : -1022;
+  } else {
+    out += '1';  // normal: significand 1.frac
+    exp = raw_exp - 1023;
+  }
+  if (frac != 0) {
+    out += '.';
+    char digits[13];
+    for (int i = 0; i < 13; ++i) {
+      digits[i] = "0123456789abcdef"[(frac >> (48 - 4 * i)) & 0xf];
+    }
+    int n = 13;
+    while (n > 0 && digits[n - 1] == '0') --n;
+    out.append(digits, static_cast<std::size_t>(n));
+  }
+  out += 'p';
+  out += exp < 0 ? '-' : '+';
+  out += std::to_string(exp < 0 ? -exp : exp);
+  return out;
 }
 
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Locale-free hexfloat parser, the exact inverse of fmt().  std::stod
+/// reads the radix character from the global locale, so a model written on
+/// one box could fail to parse on another; this accepts only [+-]0x
+/// h[.hhh…]p[+-]dd and reconstructs the value exactly — at most 16
+/// significant hex digits fit a uint64_t, and fmt() emits at most 14, so
+/// mantissa and ldexp scaling are both exact (no rounding anywhere).
 double parse_double(const std::string& token) {
-  std::size_t pos = 0;
-  const double v = std::stod(token, &pos);
-  GPPM_CHECK(pos == token.size(), "bad number: " + token);
-  return v;
+  const char* s = token.c_str();
+  const char* const begin = s;
+  bool negative = false;
+  if (*s == '+' || *s == '-') negative = *s++ == '-';
+  GPPM_CHECK(s[0] == '0' && (s[1] == 'x' || s[1] == 'X'),
+             "bad number (want hexfloat): " + token);
+  s += 2;
+
+  std::uint64_t mantissa = 0;
+  int digits = 0, frac_digits = 0;
+  bool in_fraction = false;
+  while (true) {
+    if (*s == '.' && !in_fraction) {
+      in_fraction = true;
+      ++s;
+      continue;
+    }
+    const int d = hex_digit(*s);
+    if (d < 0) break;
+    GPPM_CHECK(digits < 16, "too many mantissa digits: " + token);
+    mantissa = (mantissa << 4) | static_cast<std::uint64_t>(d);
+    ++digits;
+    if (in_fraction) ++frac_digits;
+    ++s;
+  }
+  GPPM_CHECK(digits > 0, "bad number: " + token);
+
+  GPPM_CHECK(*s == 'p' || *s == 'P', "bad number (missing exponent): " + token);
+  ++s;
+  bool exp_negative = false;
+  if (*s == '+' || *s == '-') exp_negative = *s++ == '-';
+  GPPM_CHECK(*s >= '0' && *s <= '9', "bad exponent: " + token);
+  long exponent = 0;
+  while (*s >= '0' && *s <= '9') {
+    exponent = exponent * 10 + (*s - '0');
+    GPPM_CHECK(exponent <= 4096, "exponent out of range: " + token);
+    ++s;
+  }
+  GPPM_CHECK(static_cast<std::size_t>(s - begin) == token.size(),
+             "bad number: " + token);
+  if (exp_negative) exponent = -exponent;
+
+  const double value = std::ldexp(static_cast<double>(mantissa),
+                                  static_cast<int>(exponent) - 4 * frac_digits);
+  return negative ? -value : value;
 }
 
 std::vector<std::string> split(const std::string& line) {

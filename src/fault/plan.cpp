@@ -100,6 +100,14 @@ FaultPlan FaultPlan::default_profile() {
       "dvfs.set_pair     p=0.08\n");
 }
 
+FaultPlan FaultPlan::net_profile() {
+  return parse_string(
+      "# gppm network chaos profile\n"
+      "net.connect     p=0.10 burst=2\n"
+      "net.short_read  p=0.20 burst=4\n"
+      "net.reset       p=0.02\n");
+}
+
 std::string FaultPlan::to_string() const {
   std::string out;
   for (const SiteSpec& s : sites) {

@@ -35,6 +35,16 @@ inline constexpr std::string_view kSiteMeterDisconnect = "meter.disconnect";
 inline constexpr std::string_view kSiteNvmlQuery = "nvml.query";
 inline constexpr std::string_view kSiteDvfsSetPair = "dvfs.set_pair";
 
+/// The `net` site family consulted by fault::FaultySocket (src/net):
+///   * net.connect    — a connect() attempt is refused;
+///   * net.short_read — a read delivers only one byte (stream reassembly
+///                      must cope with arbitrary chunking);
+///   * net.reset      — the connection dies mid-frame (partial write or
+///                      failed read followed by a reset).
+inline constexpr std::string_view kSiteNetConnect = "net.connect";
+inline constexpr std::string_view kSiteNetShortRead = "net.short_read";
+inline constexpr std::string_view kSiteNetReset = "net.reset";
+
 /// Fault behaviour of one named site.
 struct SiteSpec {
   std::string site;
@@ -62,6 +72,11 @@ struct FaultPlan {
   /// The default chaos profile used by `gppm chaos` and the chaos
   /// integration suite (the values in the header comment).
   static FaultPlan default_profile();
+
+  /// A network-layer chaos profile over the `net` site family: occasional
+  /// connect refusals, frequent short reads, rare mid-frame resets.  Used
+  /// by the net chaos suite and `gppm-loadgen --chaos`.
+  static FaultPlan net_profile();
 
   /// Render back into the profile format (parse round-trips).
   std::string to_string() const;

@@ -1,0 +1,290 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace gppm::net {
+
+namespace {
+
+struct ClientObs {
+  obs::Counter& rpcs;
+  obs::Counter& reconnects;
+  obs::Counter& transport_retries;
+  obs::Counter& bytes_tx;
+  obs::Counter& bytes_rx;
+  obs::Histogram& rtt_us;
+};
+
+ClientObs& client_obs() {
+  obs::Registry& reg = obs::Registry::instance();
+  static ClientObs instruments{
+      reg.counter("net.client.rpcs"),
+      reg.counter("net.client.reconnects"),
+      reg.counter("net.client.transport_retries"),
+      reg.counter("net.client.bytes_tx"),
+      reg.counter("net.client.bytes_rx"),
+      reg.histogram("net.client.rtt_us",
+                    {50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000,
+                     250000}),
+  };
+  return instruments;
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options, fault::FaultInjector* injector)
+    : options_(std::move(options)), injector_(injector) {
+  if (options_.pool_size == 0) options_.pool_size = 1;
+  const Rng root(options_.seed);
+  pool_.reserve(options_.pool_size);
+  for (std::size_t i = 0; i < options_.pool_size; ++i) {
+    auto conn = std::make_unique<Conn>();
+    conn->decoder = FrameDecoder(options_.max_frame_payload);
+    conn->rng = root.fork(i);
+    pool_.push_back(std::move(conn));
+  }
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  for (const std::unique_ptr<Conn>& conn : pool_) {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->socket.close();
+    conn->connected = false;
+  }
+}
+
+ClientStats Client::stats() const {
+  ClientStats s;
+  s.rpcs = rpcs_.load();
+  s.connects = connects_.load();
+  s.reconnects = reconnects_.load();
+  s.transport_retries = transport_retries_.load();
+  s.frames_sent = frames_sent_.load();
+  s.frames_received = frames_received_.load();
+  s.bytes_sent = bytes_sent_.load();
+  s.bytes_received = bytes_received_.load();
+  return s;
+}
+
+void Client::ensure_connected(Conn& conn) {
+  if (conn.connected) return;
+  conn.socket =
+      fault::FaultySocket::connect(options_.host, options_.port, injector_);
+  // A fresh connection carries no stale half-frame from the last one.
+  conn.decoder = FrameDecoder(options_.max_frame_payload);
+  conn.connected = true;
+  if (connects_.fetch_add(1) >= pool_.size()) {
+    reconnects_.fetch_add(1);
+    client_obs().reconnects.add();
+  }
+}
+
+Frame Client::attempt(Conn& conn, const std::vector<std::uint8_t>& bytes) {
+  ensure_connected(conn);
+  conn.socket.write_all(bytes.data(), bytes.size());
+  frames_sent_.fetch_add(1);
+  bytes_sent_.fetch_add(bytes.size());
+  client_obs().bytes_tx.add(bytes.size());
+  return read_frame(conn);
+}
+
+Frame Client::read_frame(Conn& conn) {
+  std::uint8_t buf[16 * 1024];
+  while (true) {
+    if (std::optional<Frame> frame = conn.decoder.next()) {
+      frames_received_.fetch_add(1);
+      return std::move(*frame);
+    }
+    if (!conn.socket.wait_readable(options_.response_timeout_ms)) {
+      throw ConnectionError("timed out after " +
+                            std::to_string(options_.response_timeout_ms) +
+                            " ms waiting for a response");
+    }
+    const std::size_t n = conn.socket.read_some(buf, sizeof(buf));
+    if (n == 0) throw ConnectionError("server closed the connection");
+    bytes_received_.fetch_add(n);
+    client_obs().bytes_rx.add(n);
+    conn.decoder.feed(buf, n);
+  }
+}
+
+void Client::raise_error_reply(const Frame& frame) {
+  const WireError error = decode_wire_error(frame.payload);
+  throw RpcError(error.code, error.message);
+}
+
+Frame Client::call(FrameType type, const std::vector<std::uint8_t>& payload,
+                   std::uint64_t deadline_micros) {
+  obs::ObsSpan span("net.client.rpc");
+  const auto start = std::chrono::steady_clock::now();
+  Conn& conn =
+      *pool_[next_conn_.fetch_add(1, std::memory_order_relaxed) %
+             pool_.size()];
+  std::lock_guard<std::mutex> lock(conn.mutex);
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(type, payload, deadline_micros);
+
+  // Manual retry loop rather than retry_call: backoff here is real sleep
+  // on a live transport, not the acquisition layer's virtual time.  The
+  // delay schedule and budget semantics are the same (backoff_delay).
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  Duration slept;
+  for (int retry = 0;; ++retry) {
+    try {
+      Frame frame = attempt(conn, bytes);
+      rpcs_.fetch_add(1);
+      client_obs().rpcs.add();
+      client_obs().rtt_us.record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      if (frame.header.type == FrameType::ErrorReply) {
+        raise_error_reply(frame);
+      }
+      return frame;
+    } catch (const ProtocolError&) {
+      // Bad bytes: resending cannot help, and the stream position is
+      // unknown — drop the connection and propagate.
+      conn.socket.close();
+      conn.connected = false;
+      throw;
+    } catch (const ConnectionError&) {
+      conn.socket.close();
+      conn.connected = false;
+      transport_retries_.fetch_add(1);
+      client_obs().transport_retries.add();
+      if (retry + 1 >= attempts) throw;
+      const Duration delay = backoff_delay(options_.retry, retry, conn.rng);
+      if (slept + delay > options_.retry.retry_budget) throw;
+      slept += delay;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(delay.as_seconds()));
+    }
+  }
+}
+
+std::vector<serve::Response> Client::predict_batch(
+    const std::vector<serve::Request>& requests) {
+  std::vector<serve::Response> responses;
+  if (requests.empty()) return responses;
+  obs::ObsSpan span("net.client.rpc_batch");
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::uint64_t base = next_request_id_.fetch_add(
+      requests.size(), std::memory_order_relaxed);
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::vector<std::uint8_t> one = encode_frame(
+        FrameType::PredictRequest, encode_predict_request(base + i, requests[i]),
+        deadline_to_micros(requests[i].deadline));
+    bytes.insert(bytes.end(), one.begin(), one.end());
+  }
+
+  Conn& conn =
+      *pool_[next_conn_.fetch_add(1, std::memory_order_relaxed) %
+             pool_.size()];
+  std::lock_guard<std::mutex> lock(conn.mutex);
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  Duration slept;
+  for (int retry = 0;; ++retry) {
+    responses.clear();
+    try {
+      ensure_connected(conn);
+      conn.socket.write_all(bytes.data(), bytes.size());
+      frames_sent_.fetch_add(requests.size());
+      bytes_sent_.fetch_add(bytes.size());
+      client_obs().bytes_tx.add(bytes.size());
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        Frame frame = read_frame(conn);
+        if (frame.header.type == FrameType::ErrorReply) {
+          // The remainder of the pipeline is in an unknown state; drop the
+          // connection before propagating the typed server error.
+          conn.socket.close();
+          conn.connected = false;
+          raise_error_reply(frame);
+        }
+        if (frame.header.type != FrameType::PredictResponse) {
+          throw ProtocolError("expected PredictResponse, got " +
+                              to_string(frame.header.type));
+        }
+        DecodedResponse decoded = decode_predict_response(frame.payload);
+        if (decoded.request_id != base + i) {
+          throw ProtocolError(
+              "pipelined response id " + std::to_string(decoded.request_id) +
+              " does not match expected id " + std::to_string(base + i));
+        }
+        responses.push_back(std::move(decoded.response));
+      }
+      rpcs_.fetch_add(requests.size());
+      client_obs().rpcs.add(requests.size());
+      client_obs().rtt_us.record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      return responses;
+    } catch (const ProtocolError&) {
+      conn.socket.close();
+      conn.connected = false;
+      throw;
+    } catch (const ConnectionError&) {
+      conn.socket.close();
+      conn.connected = false;
+      transport_retries_.fetch_add(1);
+      client_obs().transport_retries.add();
+      if (retry + 1 >= attempts) throw;
+      const Duration delay = backoff_delay(options_.retry, retry, conn.rng);
+      if (slept + delay > options_.retry.retry_budget) throw;
+      slept += delay;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(delay.as_seconds()));
+    }
+  }
+}
+
+serve::Response Client::predict(const serve::Request& request) {
+  const std::uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const Frame frame =
+      call(FrameType::PredictRequest, encode_predict_request(id, request),
+           deadline_to_micros(request.deadline));
+  if (frame.header.type != FrameType::PredictResponse) {
+    throw ProtocolError("expected PredictResponse, got " +
+                        to_string(frame.header.type));
+  }
+  DecodedResponse decoded = decode_predict_response(frame.payload);
+  if (decoded.request_id != id) {
+    throw ProtocolError("response id " + std::to_string(decoded.request_id) +
+                        " does not match request id " + std::to_string(id));
+  }
+  return std::move(decoded.response);
+}
+
+ServerInfo Client::info() {
+  const Frame frame = call(FrameType::InfoRequest, {}, 0);
+  if (frame.header.type != FrameType::InfoResponse) {
+    throw ProtocolError("expected InfoResponse, got " +
+                        to_string(frame.header.type));
+  }
+  return decode_server_info(frame.payload);
+}
+
+void Client::ping() {
+  const std::uint64_t token =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const Frame frame = call(FrameType::Ping, encode_ping(token), 0);
+  if (frame.header.type != FrameType::Pong) {
+    throw ProtocolError("expected Pong, got " + to_string(frame.header.type));
+  }
+  if (decode_ping(frame.payload) != token) {
+    throw ProtocolError("pong token does not match ping");
+  }
+}
+
+}  // namespace gppm::net

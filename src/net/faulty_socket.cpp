@@ -1,0 +1,38 @@
+#include "net/faulty_socket.hpp"
+
+#include "fault/plan.hpp"
+
+namespace gppm::fault {
+
+FaultySocket FaultySocket::connect(const std::string& host, std::uint16_t port,
+                                   FaultInjector* injector) {
+  if (injector != nullptr && injector->should_fire(kSiteNetConnect)) {
+    throw net::ConnectionError("injected connect refusal to " + host + ":" +
+                               std::to_string(port));
+  }
+  return FaultySocket(net::Socket::connect(host, port), injector);
+}
+
+std::size_t FaultySocket::read_some(std::uint8_t* buffer, std::size_t size) {
+  if (injector_ != nullptr) {
+    if (injector_->should_fire(kSiteNetReset)) {
+      socket_.shutdown_both();
+      throw net::ConnectionError("injected connection reset (read)");
+    }
+    if (size > 1 && injector_->should_fire(kSiteNetShortRead)) size = 1;
+  }
+  return socket_.read_some(buffer, size);
+}
+
+void FaultySocket::write_all(const std::uint8_t* buffer, std::size_t size) {
+  if (injector_ != nullptr && injector_->should_fire(kSiteNetReset)) {
+    // Deliver half the buffer so the peer sees a mid-frame truncation,
+    // then kill the link.
+    socket_.write_all(buffer, size / 2);
+    socket_.shutdown_both();
+    throw net::ConnectionError("injected connection reset (write)");
+  }
+  socket_.write_all(buffer, size);
+}
+
+}  // namespace gppm::fault

@@ -1,0 +1,70 @@
+// A TCP socket behind an injected-fault channel — the network sibling of
+// FaultyMeter / FaultyNvmlSession.
+//
+// Real serving deployments see exactly three transport failure shapes, all
+// reproduced here deterministically under FaultInjector control (sites
+// declared in fault/plan.hpp):
+//
+//   * net.connect    — the dial is refused before any packet leaves
+//                      (ConnectionError, nothing established);
+//   * net.short_read — a read returns a single byte, exercising every
+//                      stream-reassembly path above (benign: framing must
+//                      reassemble, and the frame fuzz suite proves it does);
+//   * net.reset      — the link dies mid-frame: a write delivers only half
+//                      its bytes (the peer sees a truncated frame and an
+//                      EOF), or a read fails outright; either way the
+//                      socket is shut down and ConnectionError thrown.
+//
+// With a null injector every call forwards untouched to net::Socket, so
+// the healthy path pays one branch — the same contract as the instrument
+// wrappers.  Both net::Server and net::Client route all socket I/O through
+// this wrapper; the chaos suite drives the client side and asserts the
+// retry path converges with zero divergent predictions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/injector.hpp"
+#include "net/socket.hpp"
+
+namespace gppm::fault {
+
+/// A net::Socket whose connect/read/write pass through injected faults.
+class FaultySocket {
+ public:
+  /// Wrap an established socket.  `injector` may be nullptr (healthy).
+  explicit FaultySocket(net::Socket socket, FaultInjector* injector = nullptr)
+      : socket_(std::move(socket)), injector_(injector) {}
+  FaultySocket() = default;
+
+  /// Dial `host:port`.  Consults net.connect before dialing: a fired site
+  /// throws net::ConnectionError without touching the network (the
+  /// deterministic stand-in for a refused or timed-out connect).
+  static FaultySocket connect(const std::string& host, std::uint16_t port,
+                              FaultInjector* injector = nullptr);
+
+  /// read_some with net.short_read (truncate to 1 byte) and net.reset
+  /// (shut down + throw) applied, in that order of severity.
+  std::size_t read_some(std::uint8_t* buffer, std::size_t size);
+
+  /// write_all with net.reset applied: a fired reset delivers only the
+  /// first half of the buffer, then shuts the socket down and throws —
+  /// the peer observes a mid-frame truncation.
+  void write_all(const std::uint8_t* buffer, std::size_t size);
+
+  bool wait_readable(int timeout_ms) {
+    return socket_.wait_readable(timeout_ms);
+  }
+  void shutdown_both() noexcept { socket_.shutdown_both(); }
+  void close() noexcept { socket_.close(); }
+  bool valid() const { return socket_.valid(); }
+
+  net::Socket& socket() { return socket_; }
+
+ private:
+  net::Socket socket_;
+  FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace gppm::fault

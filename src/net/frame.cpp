@@ -1,0 +1,105 @@
+#include "net/frame.hpp"
+
+#include <algorithm>
+
+namespace gppm::net {
+
+bool frame_type_known(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::Ping) &&
+         raw <= static_cast<std::uint8_t>(FrameType::ErrorReply);
+}
+
+std::string to_string(FrameType type) {
+  switch (type) {
+    case FrameType::Ping: return "ping";
+    case FrameType::Pong: return "pong";
+    case FrameType::InfoRequest: return "info-request";
+    case FrameType::InfoResponse: return "info-response";
+    case FrameType::PredictRequest: return "predict-request";
+    case FrameType::PredictResponse: return "predict-response";
+    case FrameType::ErrorReply: return "error-reply";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::vector<std::uint8_t>& payload,
+                                       std::uint64_t deadline_micros) {
+  GPPM_CHECK(payload.size() <= 0xffffffffull, "frame payload too large");
+  WireWriter w;
+  w.bytes(kFrameMagic.data(), kFrameMagic.size());
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0);  // flags, reserved
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  w.u64(deadline_micros);
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  // Reclaim fully consumed prefix before growing, so a long-lived
+  // connection's buffer stays proportional to one frame, not to traffic.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ >= (1u << 16)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffered() < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+
+  WireReader reader(head, kFrameHeaderSize);
+  std::array<std::uint8_t, 4> magic;
+  for (std::uint8_t& b : magic) b = reader.u8();
+  if (magic != kFrameMagic) throw ProtocolError("bad frame magic");
+  const std::uint8_t version = reader.u8();
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  const std::uint8_t raw_type = reader.u8();
+  if (!frame_type_known(raw_type)) {
+    throw ProtocolError("unknown frame type " + std::to_string(raw_type));
+  }
+  FrameHeader header;
+  header.type = static_cast<FrameType>(raw_type);
+  header.flags = reader.u16();
+  if (header.flags != 0) {
+    throw ProtocolError("nonzero reserved flags " +
+                        std::to_string(header.flags));
+  }
+  header.payload_size = reader.u32();
+  header.payload_crc = reader.u32();
+  header.deadline_micros = reader.u64();
+
+  // Reject an oversized declaration before buffering (or allocating) any
+  // of the announced payload.
+  if (header.payload_size > max_payload_) {
+    throw ProtocolError("declared payload of " +
+                        std::to_string(header.payload_size) +
+                        " bytes exceeds the " + std::to_string(max_payload_) +
+                        "-byte cap");
+  }
+  if (buffered() < kFrameHeaderSize + header.payload_size) return std::nullopt;
+
+  Frame frame;
+  frame.header = header;
+  const std::uint8_t* body = head + kFrameHeaderSize;
+  frame.payload.assign(body, body + header.payload_size);
+  if (crc32(frame.payload) != header.payload_crc) {
+    throw ProtocolError("payload CRC mismatch on " +
+                        to_string(header.type) + " frame");
+  }
+  consumed_ += kFrameHeaderSize + header.payload_size;
+  return frame;
+}
+
+}  // namespace gppm::net

@@ -1,0 +1,105 @@
+// Length-prefixed, versioned, checksummed framing for the gppm RPC layer.
+//
+// Every message on a gppm connection is one frame:
+//
+//   offset  size  field
+//        0     4  magic "GPPM"
+//        4     1  protocol version (kProtocolVersion)
+//        5     1  frame type (FrameType)
+//        6     2  flags (LE u16, reserved — must be zero)
+//        8     4  payload size (LE u32)
+//       12     4  payload CRC-32 (LE u32, IEEE)
+//       16     8  deadline in microseconds (LE u64, 0 = none)
+//       24     …  payload
+//
+// The deadline rides in the frame header, not the payload, so the server
+// can stamp it onto the bridged serve::Request before the payload codec
+// runs — request frames carry the client's service deadline, every other
+// frame carries 0.
+//
+// FrameDecoder reassembles frames from an arbitrary chunking of the byte
+// stream (TCP segmentation, injected short reads).  Header validation runs
+// as soon as the 24 header bytes are buffered — a frame announcing more
+// than `max_payload` bytes is rejected *before* any allocation for it, so
+// a malicious length field cannot trigger an unbounded alloc.  All
+// failures throw ProtocolError; the caller drops the connection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace gppm::net {
+
+inline constexpr std::array<std::uint8_t, 4> kFrameMagic = {'G', 'P', 'P',
+                                                            'M'};
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 24;
+/// Default per-frame payload cap.  A full Kepler counter vector with names
+/// is ~5 KiB; 1 MiB leaves two orders of magnitude of headroom while
+/// bounding what one frame can make a peer buffer.
+inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
+
+/// Message kinds understood by this protocol version.
+enum class FrameType : std::uint8_t {
+  Ping = 1,             ///< u64 token, echoed back in a Pong
+  Pong = 2,             ///< u64 token
+  InfoRequest = 3,      ///< empty payload
+  InfoResponse = 4,     ///< boards + model fingerprints (protocol.hpp)
+  PredictRequest = 5,   ///< request id + serve::Request
+  PredictResponse = 6,  ///< request id + serve::Response
+  ErrorReply = 7,       ///< u16 code + message; sent before dropping a peer
+};
+
+/// True for the type values this protocol version defines.
+bool frame_type_known(std::uint8_t raw);
+
+std::string to_string(FrameType type);
+
+struct FrameHeader {
+  FrameType type = FrameType::Ping;
+  std::uint16_t flags = 0;
+  std::uint32_t payload_size = 0;
+  std::uint32_t payload_crc = 0;
+  std::uint64_t deadline_micros = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize one frame (header computed from the payload).
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::vector<std::uint8_t>& payload,
+                                       std::uint64_t deadline_micros = 0);
+
+/// Incremental frame reassembler over an arbitrarily chunked byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Buffer `size` more stream bytes.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Next complete frame, or nullopt while one is still partial.  Throws
+  /// ProtocolError on bad magic / version / flags / oversized declaration /
+  /// CRC mismatch; the decoder is unusable afterwards and the connection
+  /// should be dropped.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet returned as frames (nonzero at connection
+  /// close = the peer died mid-frame).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace gppm::net

@@ -1,0 +1,93 @@
+// Payload codecs: serve:: request/response vocabulary <-> frame payloads.
+//
+// The RPC surface mirrors the in-process PredictionServer exactly — a
+// PredictRequest frame carries one serve::Request (kind, board, counter
+// profile, pair, policy), a PredictResponse carries the serve::Response
+// verbatim including the typed ResponseStatus — so a client cannot tell a
+// wire prediction from an in-process one (the loopback integration test
+// asserts bit-identity).  The service deadline is NOT part of these
+// payloads: it rides in the frame header (frame.hpp) so the transport can
+// stamp it onto the bridged request without running the payload codec.
+//
+// Every decoder validates enum ranges and exact payload consumption and
+// throws ProtocolError on anything out of contract.  Model metadata
+// (fingerprints) reuses core::model_fingerprint, i.e. the pinned
+// core/serialization byte format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/request.hpp"
+
+namespace gppm::net {
+
+/// One served board as announced by InfoResponse.
+struct ModelInfo {
+  sim::GpuModel gpu = sim::GpuModel::GTX680;
+  std::uint64_t power_fingerprint = 0;
+  std::uint64_t perf_fingerprint = 0;
+};
+
+/// Server self-description (InfoResponse payload).
+struct ServerInfo {
+  std::uint8_t protocol_version = kProtocolVersion;
+  std::vector<ModelInfo> boards;
+};
+
+/// Error codes carried by ErrorReply frames (u16 on the wire, so the
+/// taxonomy can grow without a version bump).
+enum class WireErrorCode : std::uint16_t {
+  Malformed = 1,     ///< the peer's frame failed to decode
+  ShuttingDown = 2,  ///< the backend rejected the request: shutdown
+  Internal = 3,      ///< unexpected server-side failure
+};
+
+struct WireError {
+  WireErrorCode code = WireErrorCode::Internal;
+  std::string message;
+};
+
+/// A PredictRequest payload, decoded.  The request's deadline has already
+/// been stamped from the frame header by decode_predict_request.
+struct DecodedRequest {
+  std::uint64_t request_id = 0;
+  serve::Request request;
+};
+
+struct DecodedResponse {
+  std::uint64_t request_id = 0;
+  serve::Response response;
+};
+
+// --- PredictRequest -------------------------------------------------------
+std::vector<std::uint8_t> encode_predict_request(std::uint64_t request_id,
+                                                 const serve::Request& request);
+DecodedRequest decode_predict_request(const std::vector<std::uint8_t>& payload,
+                                      std::uint64_t deadline_micros);
+
+// --- PredictResponse ------------------------------------------------------
+std::vector<std::uint8_t> encode_predict_response(
+    std::uint64_t request_id, const serve::Response& response);
+DecodedResponse decode_predict_response(
+    const std::vector<std::uint8_t>& payload);
+
+// --- Info -----------------------------------------------------------------
+std::vector<std::uint8_t> encode_server_info(const ServerInfo& info);
+ServerInfo decode_server_info(const std::vector<std::uint8_t>& payload);
+
+// --- Ping / Pong ----------------------------------------------------------
+std::vector<std::uint8_t> encode_ping(std::uint64_t token);
+std::uint64_t decode_ping(const std::vector<std::uint8_t>& payload);
+
+// --- ErrorReply -----------------------------------------------------------
+std::vector<std::uint8_t> encode_wire_error(const WireError& error);
+WireError decode_wire_error(const std::vector<std::uint8_t>& payload);
+
+/// Deadline header field <-> serve deadline (Duration; 0 = none).
+std::uint64_t deadline_to_micros(Duration deadline);
+Duration deadline_from_micros(std::uint64_t micros);
+
+}  // namespace gppm::net

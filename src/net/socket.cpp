@@ -1,0 +1,183 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+namespace gppm::net {
+
+namespace {
+
+std::string errno_text(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw ConnectionError("bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+/// A dead peer must surface as ConnectionError, not SIGPIPE.  Installed
+/// once, before the first socket write.
+void ignore_sigpipe() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  ignore_sigpipe();
+  const sockaddr_in addr = make_address(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw ConnectionError(errno_text("socket"));
+  Socket socket(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    throw ConnectionError("connect to " + host + ":" + std::to_string(port) +
+                          " failed: " + std::strerror(errno));
+  }
+  // Frames are written whole; Nagle only adds latency on the reply path.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+std::size_t Socket::read_some(std::uint8_t* buffer, std::size_t size) {
+  if (fd_ < 0) throw ConnectionError("read on closed socket");
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buffer, size, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw ConnectionError(errno_text("recv"));
+  return static_cast<std::size_t>(n);
+}
+
+void Socket::write_all(const std::uint8_t* buffer, std::size_t size) {
+  ignore_sigpipe();
+  std::size_t sent = 0;
+  while (sent < size) {
+    if (fd_ < 0) throw ConnectionError("write on closed socket");
+    ssize_t n;
+    do {
+      n = ::send(fd_, buffer + sent, size - sent, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) throw ConnectionError(errno_text("send"));
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  if (fd_ < 0) throw ConnectionError("poll on closed socket");
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw ConnectionError(errno_text("poll"));
+  return rc > 0;
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(const std::string& address, std::uint16_t port,
+                   int backlog) {
+  const sockaddr_in addr = make_address(address, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw ConnectionError(errno_text("socket"));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string text =
+        "bind " + address + ":" + std::to_string(port) + ": " +
+        std::strerror(errno);
+    close();
+    throw ConnectionError(text);
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const std::string text = errno_text("listen");
+    close();
+    throw ConnectionError(text);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string text = errno_text("getsockname");
+    close();
+    throw ConnectionError(text);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket Listener::accept() {
+  if (fd_ < 0) return Socket();
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    // shutdown() surfaces as EINVAL (Linux) / ECONNABORTED; both mean the
+    // listener is done, which accept() reports as an invalid Socket.
+    if (errno == EINVAL || errno == ECONNABORTED || errno == EBADF) {
+      return Socket();
+    }
+    throw ConnectionError(errno_text("accept"));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+void Listener::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace gppm::net

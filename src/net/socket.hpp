@@ -1,0 +1,107 @@
+// Thin RAII layer over POSIX TCP sockets — the only file in the repo that
+// talks to the BSD socket API.
+//
+// Scope is deliberately narrow: IPv4 TCP with blocking I/O, because the
+// serving deployment shape is "cluster-level governor queries a prediction
+// service over loopback / rack-local links" and the concurrency story
+// lives a layer up (net::Server owns the threads, not the sockets).  Two
+// properties matter here:
+//
+//   * every descriptor is owned by exactly one Socket/Listener (move-only,
+//     closed on destruction), so no code path can leak or double-close;
+//   * transport failures throw ConnectionError, which *is* a
+//     gppm::TransientError — the client's reconnect path and the generic
+//     retry taxonomy (common/retry.hpp) treat a dropped connection exactly
+//     like a dropped instrument sample: retryable.
+//
+// shutdown_both() is the cross-thread wakeup primitive: shutting a socket
+// down makes a peer blocked in read()/poll() return immediately (EOF),
+// which is how Server::stop() unblocks its connection threads without
+// races on the descriptor itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace gppm::net {
+
+/// The transport failed (refused connect, reset, unexpected EOF).  Derives
+/// from TransientError: reconnect-and-retry is the expected reaction.
+class ConnectionError : public TransientError {
+ public:
+  explicit ConnectionError(const std::string& what)
+      : TransientError("connection error: " + what) {}
+};
+
+/// Owns one connected TCP socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd`.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Blocking IPv4 connect.  Throws ConnectionError on failure.
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+  /// Read up to `size` bytes.  Returns 0 on orderly EOF; throws
+  /// ConnectionError on transport errors.
+  std::size_t read_some(std::uint8_t* buffer, std::size_t size);
+
+  /// Write the whole buffer (looping over partial writes).  Throws
+  /// ConnectionError if the peer goes away mid-write.
+  void write_all(const std::uint8_t* buffer, std::size_t size);
+
+  /// poll() for readability.  True when a read would not block (data or
+  /// EOF), false on timeout.  Throws ConnectionError on poll errors.
+  bool wait_readable(int timeout_ms);
+
+  /// Disallow further sends and receives; wakes peers and threads blocked
+  /// on this socket.  Safe to call from another thread and repeatedly.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Owns one listening TCP socket.
+class Listener {
+ public:
+  /// Bind + listen on `address:port`; port 0 picks an ephemeral port (the
+  /// chosen one is readable via port()).  Throws ConnectionError.
+  Listener(const std::string& address, std::uint16_t port, int backlog = 64);
+  ~Listener() { close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocking accept.  Returns an invalid Socket (valid() == false) once
+  /// the listener has been shut down; throws ConnectionError on other
+  /// errors.
+  Socket accept();
+
+  /// Wake every thread blocked in accept(); they return invalid Sockets.
+  void shutdown() noexcept;
+  void close() noexcept;
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace gppm::net

@@ -1,0 +1,117 @@
+#include "net/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace gppm::net {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = build_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(std::string_view s) {
+  GPPM_CHECK(s.size() <= kMaxWireString, "wire string too long");
+  u16(static_cast<std::uint16_t>(s.size()));
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void WireWriter::bytes(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+const std::uint8_t* WireReader::need(std::size_t n, const char* what) {
+  if (size_ - pos_ < n) {
+    throw ProtocolError(std::string("payload truncated reading ") + what);
+  }
+  const std::uint8_t* at = data_ + pos_;
+  pos_ += n;
+  return at;
+}
+
+std::uint8_t WireReader::u8() { return *need(1, "u8"); }
+
+std::uint16_t WireReader::u16() {
+  const std::uint8_t* p = need(2, "u16");
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t WireReader::u32() {
+  const std::uint8_t* p = need(4, "u32");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  const std::uint8_t* p = need(8, "u64");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::size_t n = u16();
+  const std::uint8_t* p = need(n, "string body");
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+void WireReader::expect_done(const char* what) const {
+  if (!done()) {
+    throw ProtocolError(std::string(what) + ": " + std::to_string(remaining()) +
+                        " trailing bytes");
+  }
+}
+
+}  // namespace gppm::net

@@ -1,0 +1,106 @@
+// Endian-safe binary wire primitives for the gppm RPC layer.
+//
+// Everything that crosses a socket goes through these two helpers: a
+// WireWriter that appends fixed-width little-endian fields to a byte
+// buffer, and a bounds-checked WireReader that refuses to read past the
+// payload it was given.  Doubles travel as their IEEE-754 bit patterns
+// (little-endian u64), so values round-trip bit-exactly between any two
+// hosts regardless of locale or native byte order — the property the
+// "wire predictions are bit-identical to in-process predictions"
+// acceptance test pins down.
+//
+// Malformed input is a *typed* error, never a crash: every decode failure
+// throws ProtocolError (permanent — resending the same bytes cannot
+// succeed), as opposed to ConnectionError (transient, see socket.hpp)
+// which the client retry path absorbs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gppm::net {
+
+/// Base of the networking error taxonomy.  Subsystems catch NetError when
+/// they do not care whether the failure was the bytes or the transport.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+/// The bytes themselves are wrong (bad magic, bad CRC, truncated payload,
+/// out-of-range enum, oversized frame).  Permanent: retrying the same
+/// bytes cannot help, so the connection is dropped instead.
+class ProtocolError : public NetError {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : NetError("protocol error: " + what) {}
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range.  Used as
+/// the per-frame payload checksum.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& data) {
+  return crc32(data.data(), data.size());
+}
+
+/// Longest string the wire format can carry (u16 length prefix).
+inline constexpr std::size_t kMaxWireString = 0xffff;
+
+/// Append-only little-endian field writer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern as LE u64; NaNs round-trip bit-exactly too.
+  void f64(double v);
+  /// u16 length prefix + raw bytes.  Throws gppm::Error on oversized input
+  /// (an encode-side bug, not a protocol error).
+  void str(std::string_view s);
+  void bytes(const std::uint8_t* data, std::size_t size);
+
+  const std::vector<std::uint8_t>& data() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian field reader over a borrowed byte range.
+/// Every overrun throws ProtocolError; `done()` distinguishes an exactly
+/// consumed payload from one with trailing garbage.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+  /// Throws ProtocolError unless the payload was consumed exactly.
+  void expect_done(const char* what) const;
+
+ private:
+  const std::uint8_t* need(std::size_t n, const char* what);
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gppm::net

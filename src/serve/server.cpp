@@ -96,6 +96,18 @@ bool PredictionServer::has_models(sim::GpuModel gpu) const {
   return registry_[gpu_slot(gpu)] != nullptr;
 }
 
+std::vector<PredictionServer::LoadedModel> PredictionServer::loaded_models()
+    const {
+  std::vector<LoadedModel> loaded;
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  for (std::size_t i = 0; i < sim::kAllGpus.size(); ++i) {
+    if (registry_[i] == nullptr) continue;
+    loaded.push_back(
+        {sim::kAllGpus[i], registry_[i]->power_fp, registry_[i]->perf_fp});
+  }
+  return loaded;
+}
+
 std::shared_ptr<PredictionServer::ModelEntry> PredictionServer::entry_for(
     sim::GpuModel gpu) const {
   std::shared_lock<std::shared_mutex> lock(registry_mutex_);
@@ -145,11 +157,18 @@ std::optional<std::future<Response>> PredictionServer::try_submit(
 }
 
 void PredictionServer::shutdown() {
-  std::call_once(shutdown_once_, [this] {
-    running_.store(false, std::memory_order_release);
-    queue_.close();
-    for (std::thread& w : workers_) w.join();
-  });
+  // Flag first, close second: a submit racing with shutdown either gets
+  // into the queue before close() (and is drained) or fails its push.
+  // The joins run under a mutex so concurrent shutdown() calls serialize;
+  // every caller returns only once the workers are gone, and repeat calls
+  // find nothing joinable.  (The previous std::call_once version made a
+  // second caller return while the first was still joining.)
+  running_.store(false, std::memory_order_release);
+  queue_.close();
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 ServerMetrics PredictionServer::metrics() const {

@@ -95,6 +95,16 @@ class PredictionServer {
                                  const std::string& perf_path);
   bool has_models(sim::GpuModel gpu) const;
 
+  /// One loaded board as announced to clients (net::Server's InfoResponse).
+  struct LoadedModel {
+    sim::GpuModel gpu = sim::GpuModel::GTX680;
+    std::uint64_t power_fingerprint = 0;
+    std::uint64_t perf_fingerprint = 0;
+  };
+  /// Every board with a registered model pair, with the serialization
+  /// fingerprints of both models.
+  std::vector<LoadedModel> loaded_models() const;
+
   /// Enqueue a request.  Blocks while the queue is full (back-pressure)
   /// unless load shedding is on, in which case a saturated queue answers
   /// ResponseStatus::Overloaded immediately.  Throws gppm::Error once the
@@ -108,7 +118,9 @@ class PredictionServer {
   std::optional<std::future<Response>> try_submit(Request request);
 
   /// Drain and stop: reject new submissions, answer everything already
-  /// queued, join the workers.  Idempotent.
+  /// queued, join the workers.  Idempotent, and safe to call from any
+  /// number of threads concurrently — including while other threads are
+  /// still submitting (their submits fail with gppm::Error).
   void shutdown();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -162,7 +174,7 @@ class PredictionServer {
   std::array<std::shared_ptr<ModelEntry>, sim::kAllGpus.size()> registry_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
-  std::once_flag shutdown_once_;
+  std::mutex shutdown_mutex_;
 };
 
 }  // namespace gppm::serve

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <numeric>
 #include <vector>
@@ -136,6 +137,79 @@ TEST(Serialization, RandomModelsRoundTripExactly) {
       }
     }
   }
+}
+
+/// A hand-built model whose every double has a short exact hexfloat, plus
+/// the exact bytes serialize_model must emit for it.
+UnifiedModel golden_model() {
+  UnifiedModel::Parts parts;
+  parts.gpu = sim::GpuModel::GTX460;
+  parts.target = TargetKind::Power;
+  parts.scaling = FeatureScaling::FrequencyOnly;
+  parts.intercept = 42.5;      // 0x1.54p+5
+  parts.adjusted_r2 = 0.875;   // 0x1.cp-1
+  SelectedVariable v0;
+  v0.counter = "inst_issued";
+  v0.klass = profiler::EventClass::Core;
+  v0.coefficient = -0.15625;   // -0x1.4p-3
+  v0.cumulative_adjusted_r2 = 0.5;
+  SelectedVariable v1;
+  v1.counter = "inst_executed";
+  v1.klass = profiler::EventClass::Core;
+  v1.coefficient = 1024.0;     // 0x1p+10
+  v1.cumulative_adjusted_r2 = 0.75;
+  parts.variables = {v0, v1};
+  parts.counter_indices = {0, 1};
+  return UnifiedModel::from_parts(std::move(parts));
+}
+
+constexpr const char* kGoldenBytes =
+    "gppm-model 1\n"
+    "gpu GTX460\n"
+    "target power\n"
+    "scaling f\n"
+    "intercept 0x1.54p+5\n"
+    "adjusted_r2 0x1.cp-1\n"
+    "var inst_issued core 0 -0x1.4p-3 0x1p-1\n"
+    "var inst_executed core 1 0x1p+10 0x1.8p-1\n"
+    "end\n";
+
+// Pins the on-disk/wire format byte for byte.  This text is what
+// model_fingerprint hashes and what net/protocol ships; if this test
+// breaks, every stored model file and fingerprint breaks with it — bump
+// the format version instead of editing the expectation.
+TEST(Serialization, GoldenBytesPinned) {
+  EXPECT_EQ(serialize_model(golden_model()), kGoldenBytes);
+  // The fingerprint is the FNV-1a hash of exactly these bytes.
+  EXPECT_EQ(model_fingerprint(golden_model()), fnv1a(kGoldenBytes));
+  // And the bytes deserialize back to a model that re-serializes
+  // identically.
+  EXPECT_EQ(serialize_model(deserialize_model(kGoldenBytes)), kGoldenBytes);
+}
+
+// The encoding must not depend on the process locale: a comma-radix locale
+// flips printf("%a")/std::stod output, which is exactly why the codec does
+// its own formatting.  Skipped when no such locale is installed.
+TEST(Serialization, LocaleIndependentBytes) {
+  const char* applied = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (applied == nullptr) applied = std::setlocale(LC_NUMERIC, "fr_FR.UTF-8");
+  if (applied == nullptr) GTEST_SKIP() << "no comma-radix locale installed";
+  const std::string text = serialize_model(golden_model());
+  const std::string reparsed = serialize_model(deserialize_model(text));
+  std::setlocale(LC_NUMERIC, "C");
+  EXPECT_EQ(text, kGoldenBytes);
+  EXPECT_EQ(reparsed, kGoldenBytes);
+}
+
+TEST(Serialization, RejectsNonHexfloatNumbers) {
+  std::string text = serialize_model(model());
+  // A decimal-looking intercept is out of contract now that the parser is
+  // locale-free hexfloat only.
+  const std::size_t pos = text.find("intercept ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, "intercept 1.25");
+  EXPECT_THROW(deserialize_model(text), Error);
 }
 
 TEST(Serialization, RejectsGarbage) {

@@ -1,0 +1,234 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gppm::net {
+namespace {
+
+std::vector<std::uint8_t> payload_bytes() {
+  std::vector<std::uint8_t> p;
+  for (int i = 0; i < 300; ++i) p.push_back(static_cast<std::uint8_t>(i));
+  return p;
+}
+
+TEST(NetFrame, HeaderLayoutPinned) {
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::PredictRequest, {0xaa, 0xbb}, 0x0102030405060708);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + 2);
+  EXPECT_EQ(bytes[0], 'G');
+  EXPECT_EQ(bytes[1], 'P');
+  EXPECT_EQ(bytes[2], 'P');
+  EXPECT_EQ(bytes[3], 'M');
+  EXPECT_EQ(bytes[4], kProtocolVersion);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::PredictRequest));
+  EXPECT_EQ(bytes[6], 0);  // flags LE
+  EXPECT_EQ(bytes[7], 0);
+  EXPECT_EQ(bytes[8], 2);  // payload size LE
+  EXPECT_EQ(bytes[9], 0);
+  // deadline LE u64 at offset 16
+  EXPECT_EQ(bytes[16], 0x08);
+  EXPECT_EQ(bytes[23], 0x01);
+  EXPECT_EQ(bytes[24], 0xaa);
+  EXPECT_EQ(bytes[25], 0xbb);
+}
+
+TEST(NetFrame, RoundTripSingleFeed) {
+  const std::vector<std::uint8_t> payload = payload_bytes();
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::PredictResponse, payload, 12345);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.type, FrameType::PredictResponse);
+  EXPECT_EQ(frame->header.deadline_micros, 12345u);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(NetFrame, RoundTripByteByByte) {
+  // The decoder must reassemble from the worst possible chunking — the
+  // same path an injected net.short_read exercises.
+  const std::vector<std::uint8_t> payload = payload_bytes();
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::Ping, payload);
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.feed(&bytes[i], 1);
+    EXPECT_FALSE(decoder.next().has_value());
+  }
+  decoder.feed(&bytes[bytes.size() - 1], 1);
+  const std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(NetFrame, MultipleFramesInOneFeed) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<std::uint8_t> one = encode_frame(
+        FrameType::Pong, {static_cast<std::uint8_t>(i)},
+        static_cast<std::uint64_t>(i));
+    stream.insert(stream.end(), one.begin(), one.end());
+  }
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  for (int i = 0; i < 5; ++i) {
+    const std::optional<Frame> frame = decoder.next();
+    ASSERT_TRUE(frame.has_value()) << i;
+    EXPECT_EQ(frame->payload[0], i);
+    EXPECT_EQ(frame->header.deadline_micros, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(NetFrame, EmptyPayloadFrame) {
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::InfoRequest, {});
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(NetFrame, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = encode_frame(FrameType::Ping, {1});
+  bytes[0] = 'X';
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), ProtocolError);
+}
+
+TEST(NetFrame, RejectsUnknownVersion) {
+  std::vector<std::uint8_t> bytes = encode_frame(FrameType::Ping, {1});
+  bytes[4] = kProtocolVersion + 1;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), ProtocolError);
+}
+
+TEST(NetFrame, RejectsUnknownType) {
+  std::vector<std::uint8_t> bytes = encode_frame(FrameType::Ping, {1});
+  bytes[5] = 0x7f;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), ProtocolError);
+}
+
+TEST(NetFrame, RejectsNonzeroFlags) {
+  std::vector<std::uint8_t> bytes = encode_frame(FrameType::Ping, {1});
+  bytes[6] = 1;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), ProtocolError);
+}
+
+TEST(NetFrame, RejectsCorruptedPayload) {
+  std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::PredictRequest, payload_bytes());
+  bytes[kFrameHeaderSize + 7] ^= 0x40;  // flip one payload bit
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), ProtocolError);
+}
+
+TEST(NetFrame, OversizedDeclarationRejectedBeforeBuffering) {
+  // A frame header declaring a 4 GiB payload must be rejected from the 24
+  // header bytes alone — no allocation, no waiting for the bytes.
+  std::vector<std::uint8_t> bytes = encode_frame(FrameType::Ping, {1});
+  bytes[8] = 0xff;
+  bytes[9] = 0xff;
+  bytes[10] = 0xff;
+  bytes[11] = 0xff;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), kFrameHeaderSize);  // header only
+  EXPECT_THROW(decoder.next(), ProtocolError);
+
+  // Same with a configured cap: one byte over is rejected, at-cap passes.
+  FrameDecoder small(64);
+  const std::vector<std::uint8_t> over =
+      encode_frame(FrameType::Ping, std::vector<std::uint8_t>(65, 0));
+  small.feed(over.data(), kFrameHeaderSize);
+  EXPECT_THROW(small.next(), ProtocolError);
+
+  FrameDecoder at_cap(64);
+  const std::vector<std::uint8_t> fits =
+      encode_frame(FrameType::Ping, std::vector<std::uint8_t>(64, 0));
+  at_cap.feed(fits.data(), fits.size());
+  EXPECT_TRUE(at_cap.next().has_value());
+}
+
+TEST(NetFrame, TruncatedStreamNeverThrowsNorYields) {
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::PredictRequest, payload_bytes(), 99);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder;
+    if (cut > 0) decoder.feed(bytes.data(), cut);
+    EXPECT_FALSE(decoder.next().has_value()) << "cut=" << cut;
+    EXPECT_EQ(decoder.buffered(), cut);
+  }
+}
+
+TEST(NetFrame, RandomCorruptionFuzzNeverCrashes) {
+  // Contract: arbitrary corruption yields either a ProtocolError or a
+  // decoded frame (flips confined to the unchecksummed deadline field),
+  // never a crash, hang or unbounded allocation.
+  const std::vector<std::uint8_t> good =
+      encode_frame(FrameType::PredictRequest, payload_bytes(), 424242);
+  Rng rng(20260807);
+  int errors = 0, decoded = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> bytes = good;
+    const int flips = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_index(bytes.size());
+      bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    }
+    FrameDecoder decoder;
+    try {
+      decoder.feed(bytes.data(), bytes.size());
+      if (decoder.next().has_value()) ++decoded;
+    } catch (const ProtocolError&) {
+      ++errors;
+    }
+  }
+  EXPECT_GT(errors, 0);
+  EXPECT_EQ(errors + decoded <= 2000, true);
+}
+
+TEST(NetFrame, RandomGarbageStreamsFuzz) {
+  // Pure noise: every outcome must be a typed error or "need more bytes".
+  Rng rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t len = rng.uniform_index(256);
+    std::vector<std::uint8_t> bytes(len);
+    for (std::uint8_t& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    FrameDecoder decoder;
+    try {
+      decoder.feed(bytes.data(), bytes.size());
+      while (decoder.next().has_value()) {
+      }
+    } catch (const ProtocolError&) {
+    }
+  }
+}
+
+TEST(NetFrame, FrameTypeNames) {
+  EXPECT_EQ(to_string(FrameType::Ping), "ping");
+  EXPECT_EQ(to_string(FrameType::PredictRequest), "predict-request");
+  EXPECT_TRUE(frame_type_known(1));
+  EXPECT_TRUE(frame_type_known(7));
+  EXPECT_FALSE(frame_type_known(0));
+  EXPECT_FALSE(frame_type_known(8));
+}
+
+}  // namespace
+}  // namespace gppm::net

@@ -1,0 +1,168 @@
+// Network chaos: a client whose every connect/read/write passes through a
+// seeded FaultInjector running the `net` site family (connect refusals,
+// short reads, mid-frame resets) against a healthy server.  The contract
+// under test is the headline robustness claim of the RPC layer: the retry
+// path converges, and no injected transport fault ever surfaces as a
+// *wrong* prediction — every answer that comes back is bit-identical to
+// the in-process one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "fault/injector.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace gppm::net {
+namespace {
+
+const core::Dataset& dataset() {
+  static const core::Dataset ds = core::build_dataset(sim::GpuModel::GTX460);
+  return ds;
+}
+
+serve::Request predict_request(std::size_t sample_index) {
+  serve::Request r;
+  r.kind = serve::RequestKind::Predict;
+  r.gpu = sim::GpuModel::GTX460;
+  r.counters = dataset().samples[sample_index].counters;
+  return r;
+}
+
+TEST(NetChaos, ClientRetriesConvergeWithZeroDivergentPredictions) {
+  serve::PredictionServer backend;
+  backend.load_models(
+      core::UnifiedModel::fit(dataset(), core::TargetKind::Power),
+      core::UnifiedModel::fit(dataset(), core::TargetKind::ExecTime));
+  Server server(backend);
+
+  // Expected answers, in-process, before any chaos.
+  constexpr std::size_t kSamples = 6;
+  std::vector<serve::Response> expected;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    expected.push_back(backend.submit(predict_request(i)).get());
+    ASSERT_TRUE(expected.back().ok());
+  }
+
+  fault::FaultInjector injector(fault::FaultPlan::net_profile(), 20260807);
+  ClientOptions copt;
+  copt.port = server.port();
+  copt.retry.max_attempts = 10;
+  copt.retry.initial_backoff = Duration::milliseconds(0.1);
+  copt.retry.max_backoff = Duration::milliseconds(5.0);
+  Client client(copt, &injector);
+
+  int answered = 0, divergent = 0, gave_up = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    const std::size_t i = static_cast<std::size_t>(iter) % kSamples;
+    try {
+      const serve::Response r = client.predict(predict_request(i));
+      ASSERT_TRUE(r.ok()) << r.error;
+      ++answered;
+      if (r.power_watts != expected[i].power_watts ||
+          r.time_seconds != expected[i].time_seconds ||
+          r.energy_joules != expected[i].energy_joules) {
+        ++divergent;
+      }
+    } catch (const ConnectionError&) {
+      // Ten consecutive injected faults: statistically possible, counted,
+      // must stay rare.
+      ++gave_up;
+    }
+  }
+
+  EXPECT_EQ(divergent, 0);
+  EXPECT_GT(answered, 100);
+  EXPECT_LT(gave_up, 25);
+
+  // The chaos actually happened: sites fired and the client retried.
+  EXPECT_GT(injector.total_fires(), 0u);
+  const auto& stats = injector.stats();
+  EXPECT_GT(stats.at("net.short_read").fires, 0u);
+  EXPECT_GT(client.stats().transport_retries, 0u);
+  EXPECT_GT(client.stats().reconnects, 0u);
+
+  // And the server took no protocol damage from any of it: a reset mid
+  // frame is a dropped connection, never a mis-parsed one.  (Short reads
+  // are client-side here, but resets truncate client->server writes, which
+  // the server sees as clean EOFs mid-frame.)
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(NetChaos, PipelinedBatchesConvergeUnderChaos) {
+  // The batch path resends the whole pipeline on a fresh connection after
+  // a transport fault; every batch that returns must be complete, in
+  // order, and bit-identical — a mid-batch reset must never surface as a
+  // short or shuffled result.
+  serve::PredictionServer backend;
+  backend.load_models(
+      core::UnifiedModel::fit(dataset(), core::TargetKind::Power),
+      core::UnifiedModel::fit(dataset(), core::TargetKind::ExecTime));
+  Server server(backend);
+
+  constexpr std::size_t kSamples = 6;
+  std::vector<serve::Request> batch;
+  std::vector<serve::Response> expected;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    batch.push_back(predict_request(i));
+    expected.push_back(backend.submit(batch.back()).get());
+  }
+
+  fault::FaultInjector injector(fault::FaultPlan::net_profile(), 4242);
+  ClientOptions copt;
+  copt.port = server.port();
+  copt.retry.max_attempts = 10;
+  copt.retry.initial_backoff = Duration::milliseconds(0.1);
+  copt.retry.max_backoff = Duration::milliseconds(5.0);
+  Client client(copt, &injector);
+
+  int completed = 0, divergent = 0, gave_up = 0;
+  for (int round = 0; round < 40; ++round) {
+    try {
+      const std::vector<serve::Response> replies = client.predict_batch(batch);
+      ASSERT_EQ(replies.size(), batch.size());
+      ++completed;
+      for (std::size_t i = 0; i < replies.size(); ++i) {
+        if (replies[i].power_watts != expected[i].power_watts ||
+            replies[i].time_seconds != expected[i].time_seconds) {
+          ++divergent;
+        }
+      }
+    } catch (const ConnectionError&) {
+      ++gave_up;
+    }
+  }
+  EXPECT_EQ(divergent, 0);
+  EXPECT_GT(completed, 25);
+  EXPECT_GT(injector.total_fires(), 0u);
+}
+
+TEST(NetChaos, ConnectRefusalsAloneAreAbsorbed) {
+  serve::PredictionServer backend;
+  backend.load_models(
+      core::UnifiedModel::fit(dataset(), core::TargetKind::Power),
+      core::UnifiedModel::fit(dataset(), core::TargetKind::ExecTime));
+  Server server(backend);
+
+  fault::FaultInjector injector(
+      fault::FaultPlan::parse_string("net.connect p=0.5 burst=1\n"), 7);
+  ClientOptions copt;
+  copt.port = server.port();
+  copt.retry.max_attempts = 12;
+  copt.retry.initial_backoff = Duration::milliseconds(0.1);
+  Client client(copt, &injector);
+
+  // The client's pooled connection is lazy and persistent, so connect-only
+  // faults are consulted just at dial time; close() between RPCs forces a
+  // fresh dial each round.  p=0.5 over 12 attempts: failure odds ~2^-12
+  // per RPC; with the pinned seed this sequence completes deterministically.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(client.predict(predict_request(0)).ok());
+    client.close();
+  }
+  EXPECT_GT(injector.stats().at("net.connect").fires, 0u);
+}
+
+}  // namespace
+}  // namespace gppm::net

@@ -1,0 +1,179 @@
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gppm::net {
+namespace {
+
+profiler::ProfileResult sample_counters() {
+  profiler::ProfileResult counters;
+  counters.counters.push_back(
+      {"inst_issued", profiler::EventClass::Core, 1.25e9, 3.1e9});
+  counters.counters.push_back(
+      {"fb_subp0_read_sectors", profiler::EventClass::Memory, 7.5e6, 0.1});
+  counters.counters.push_back({"", profiler::EventClass::Core, 0.0, -0.0});
+  counters.run_time = Duration::seconds(0.40625);
+  return counters;
+}
+
+serve::Request sample_request() {
+  serve::Request request;
+  request.kind = serve::RequestKind::Optimize;
+  request.gpu = sim::GpuModel::GTX480;
+  request.counters = sample_counters();
+  request.pair = {sim::ClockLevel::High, sim::ClockLevel::Low};
+  request.policy = core::GovernorPolicy::PowerCap;
+  return request;
+}
+
+TEST(NetProtocol, PredictRequestRoundTrip) {
+  const serve::Request request = sample_request();
+  const std::vector<std::uint8_t> payload =
+      encode_predict_request(77, request);
+  const DecodedRequest decoded = decode_predict_request(payload, 2500);
+
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.request.kind, request.kind);
+  EXPECT_EQ(decoded.request.gpu, request.gpu);
+  EXPECT_EQ(decoded.request.policy, request.policy);
+  EXPECT_EQ(decoded.request.pair, request.pair);
+  // The deadline comes from the frame header, not the payload.
+  EXPECT_DOUBLE_EQ(decoded.request.deadline.as_seconds(), 2500e-6);
+  ASSERT_EQ(decoded.request.counters.counters.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const profiler::CounterReading& in = request.counters.counters[i];
+    const profiler::CounterReading& out = decoded.request.counters.counters[i];
+    EXPECT_EQ(out.name, in.name);
+    EXPECT_EQ(out.klass, in.klass);
+    EXPECT_EQ(out.total, in.total);       // bit-exact, not approximately
+    EXPECT_EQ(out.per_second, in.per_second);
+  }
+  EXPECT_EQ(decoded.request.counters.run_time.as_seconds(),
+            request.counters.run_time.as_seconds());
+}
+
+TEST(NetProtocol, DeadlineConversions) {
+  EXPECT_EQ(deadline_to_micros(Duration::seconds(0.0)), 0u);
+  EXPECT_EQ(deadline_to_micros(Duration::seconds(-1.0)), 0u);
+  EXPECT_EQ(deadline_to_micros(Duration::milliseconds(1.5)), 1500u);
+  // Sub-microsecond deadlines round *up* so they stay nonzero (zero on the
+  // wire means "no deadline" — silently dropping one would be wrong).
+  EXPECT_EQ(deadline_to_micros(Duration::seconds(1e-9)), 1u);
+  EXPECT_DOUBLE_EQ(deadline_from_micros(1500).as_seconds(), 1.5e-3);
+  EXPECT_DOUBLE_EQ(deadline_from_micros(0).as_seconds(), 0.0);
+}
+
+TEST(NetProtocol, PredictResponseRoundTrip) {
+  serve::Response response;
+  response.kind = serve::RequestKind::Govern;
+  response.status = serve::ResponseStatus::Ok;
+  response.pair = {sim::ClockLevel::Low, sim::ClockLevel::High};
+  response.power_watts = 101.17;
+  response.time_seconds = 0.1;
+  response.energy_joules = 101.17 * 0.1;
+  response.cache_hit = true;
+  response.latency = Duration::seconds(3.25e-5);
+  response.error = "";
+
+  const std::vector<std::uint8_t> payload =
+      encode_predict_response(42, response);
+  const DecodedResponse decoded = decode_predict_response(payload);
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.response.kind, response.kind);
+  EXPECT_EQ(decoded.response.status, response.status);
+  EXPECT_EQ(decoded.response.pair, response.pair);
+  EXPECT_EQ(decoded.response.power_watts, response.power_watts);
+  EXPECT_EQ(decoded.response.time_seconds, response.time_seconds);
+  EXPECT_EQ(decoded.response.energy_joules, response.energy_joules);
+  EXPECT_TRUE(decoded.response.cache_hit);
+  EXPECT_EQ(decoded.response.latency.as_seconds(),
+            response.latency.as_seconds());
+  EXPECT_EQ(decoded.response.error, "");
+}
+
+TEST(NetProtocol, ErrorResponseCarriesTypedStatus) {
+  serve::Response response;
+  response.kind = serve::RequestKind::Predict;
+  response.status = serve::ResponseStatus::NoModels;
+  response.error = "no models loaded for GTX680";
+  const DecodedResponse decoded =
+      decode_predict_response(encode_predict_response(1, response));
+  EXPECT_EQ(decoded.response.status, serve::ResponseStatus::NoModels);
+  EXPECT_EQ(decoded.response.error, "no models loaded for GTX680");
+}
+
+TEST(NetProtocol, RejectsOutOfRangeEnums) {
+  const std::vector<std::uint8_t> good =
+      encode_predict_request(1, sample_request());
+  // Offsets: id u64 (0..7), kind (8), gpu (9), policy (10), pair (11, 12).
+  for (const std::size_t offset : {8u, 9u, 10u, 11u, 12u}) {
+    std::vector<std::uint8_t> bad = good;
+    bad[offset] = 0x7f;
+    EXPECT_THROW(decode_predict_request(bad, 0), ProtocolError) << offset;
+  }
+
+  serve::Response response;
+  const std::vector<std::uint8_t> resp = encode_predict_response(1, response);
+  for (const std::size_t offset : {8u, 9u, 10u, 11u}) {
+    std::vector<std::uint8_t> bad = resp;
+    bad[offset] = 0x7f;
+    EXPECT_THROW(decode_predict_response(bad), ProtocolError) << offset;
+  }
+  // cache_hit flag must be 0 or 1.
+  std::vector<std::uint8_t> bad_hit = resp;
+  bad_hit[12 + 24] = 2;  // after pair: 3 f64 = 24 bytes, then the flag
+  EXPECT_THROW(decode_predict_response(bad_hit), ProtocolError);
+}
+
+TEST(NetProtocol, RejectsTruncatedAndPaddedPayloads) {
+  std::vector<std::uint8_t> payload =
+      encode_predict_request(9, sample_request());
+  std::vector<std::uint8_t> truncated(payload.begin(), payload.end() - 1);
+  EXPECT_THROW(decode_predict_request(truncated, 0), ProtocolError);
+  payload.push_back(0);  // trailing garbage
+  EXPECT_THROW(decode_predict_request(payload, 0), ProtocolError);
+}
+
+TEST(NetProtocol, RejectsCounterCountBomb) {
+  // A declared counter count the payload cannot hold must be rejected
+  // before any proportional allocation happens.
+  serve::Request request = sample_request();
+  request.counters.counters.clear();
+  std::vector<std::uint8_t> payload = encode_predict_request(1, request);
+  // The u16 counter count sits right after id/kind/gpu/policy/pair = 13
+  // bytes.
+  payload[13] = 0xff;
+  payload[14] = 0xff;
+  EXPECT_THROW(decode_predict_request(payload, 0), ProtocolError);
+}
+
+TEST(NetProtocol, ServerInfoRoundTrip) {
+  ServerInfo info;
+  info.boards.push_back({sim::GpuModel::GTX460, 0x1111222233334444ull,
+                         0x5555666677778888ull});
+  info.boards.push_back({sim::GpuModel::GTX680, 1, 2});
+  const ServerInfo decoded = decode_server_info(encode_server_info(info));
+  EXPECT_EQ(decoded.protocol_version, kProtocolVersion);
+  ASSERT_EQ(decoded.boards.size(), 2u);
+  EXPECT_EQ(decoded.boards[0].gpu, sim::GpuModel::GTX460);
+  EXPECT_EQ(decoded.boards[0].power_fingerprint, 0x1111222233334444ull);
+  EXPECT_EQ(decoded.boards[1].perf_fingerprint, 2u);
+}
+
+TEST(NetProtocol, PingAndWireErrorRoundTrip) {
+  EXPECT_EQ(decode_ping(encode_ping(0xdeadbeefcafef00dull)),
+            0xdeadbeefcafef00dull);
+  const WireError error{WireErrorCode::ShuttingDown, "drain in progress"};
+  const WireError decoded = decode_wire_error(encode_wire_error(error));
+  EXPECT_EQ(decoded.code, WireErrorCode::ShuttingDown);
+  EXPECT_EQ(decoded.message, "drain in progress");
+  // Unknown codes are rejected.
+  std::vector<std::uint8_t> bad = encode_wire_error(error);
+  bad[0] = 99;
+  EXPECT_THROW(decode_wire_error(bad), ProtocolError);
+}
+
+}  // namespace
+}  // namespace gppm::net

@@ -1,0 +1,131 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace gppm::net {
+namespace {
+
+TEST(NetWire, Crc32KnownAnswers) {
+  // The canonical IEEE CRC-32 check value.
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check, sizeof check), 0xcbf43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+  const std::uint8_t zero[4] = {0, 0, 0, 0};
+  EXPECT_EQ(crc32(zero, sizeof zero), 0x2144df1cu);
+}
+
+TEST(NetWire, LittleEndianLayoutPinned) {
+  WireWriter w;
+  w.u16(0x1122);
+  w.u32(0x33445566u);
+  w.u64(0x778899aabbccddeeull);
+  const std::vector<std::uint8_t> expected = {
+      0x22, 0x11,                                      // u16
+      0x66, 0x55, 0x44, 0x33,                          // u32
+      0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 0x77,  // u64
+  };
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(NetWire, ScalarRoundTrip) {
+  WireWriter w;
+  w.u8(0xab);
+  w.u16(0xffff);
+  w.u32(0);
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.f64(0.1);
+  w.f64(-0.0);
+  w.f64(5e-324);  // smallest subnormal
+  w.str("hello wire");
+  w.str("");
+
+  WireReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xffff);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.f64(), 0.1);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), 5e-324);
+  EXPECT_EQ(r.str(), "hello wire");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done("test"));
+}
+
+TEST(NetWire, NanRoundTripsBitExactly) {
+  const double quiet = std::numeric_limits<double>::quiet_NaN();
+  WireWriter w;
+  w.f64(quiet);
+  WireReader r(w.data());
+  const double back = r.f64();
+  std::uint64_t a = 0, b = 0;
+  std::memcpy(&a, &quiet, sizeof a);
+  std::memcpy(&b, &back, sizeof b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NetWire, ReaderOverrunIsTypedError) {
+  WireWriter w;
+  w.u16(7);
+  WireReader r(w.data());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_THROW(r.u8(), ProtocolError);
+  WireReader r2(w.data());
+  EXPECT_THROW(r2.u32(), ProtocolError);
+}
+
+TEST(NetWire, TrailingGarbageIsTypedError) {
+  WireWriter w;
+  w.u32(1);
+  w.u8(0);
+  WireReader r(w.data());
+  r.u32();
+  EXPECT_FALSE(r.done());
+  EXPECT_THROW(r.expect_done("payload"), ProtocolError);
+}
+
+TEST(NetWire, StringLengthPrefixIsBounded) {
+  // A declared string length past the payload end must throw, not read
+  // out of bounds.
+  WireWriter w;
+  w.u16(1000);  // claims 1000 bytes follow
+  w.u8('x');    // only one does
+  WireReader r(w.data());
+  EXPECT_THROW(r.str(), ProtocolError);
+
+  // Encode side: oversized strings are an encode bug, not a wire error.
+  WireWriter big;
+  EXPECT_THROW(big.str(std::string(kMaxWireString + 1, 'a')), Error);
+}
+
+TEST(NetWire, ErrorTaxonomy) {
+  // ProtocolError is a NetError is a gppm::Error — and is NOT transient:
+  // the retry layer must not absorb bad bytes.
+  try {
+    throw ProtocolError("boom");
+  } catch (const NetError& e) {
+    EXPECT_NE(std::string(e.what()).find("protocol error"), std::string::npos);
+  }
+  EXPECT_THROW(throw ProtocolError("x"), Error);
+  bool transient = false;
+  try {
+    throw ProtocolError("x");
+  } catch (const TransientError&) {
+    transient = true;
+  } catch (const Error&) {
+  }
+  EXPECT_FALSE(transient);
+}
+
+}  // namespace
+}  // namespace gppm::net

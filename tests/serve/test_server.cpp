@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -289,6 +290,53 @@ TEST(ServeServer, ShutdownIsIdempotent) {
   server.shutdown();
   server.shutdown();
   EXPECT_FALSE(server.running());
+}
+
+TEST(ServeServer, ConcurrentShutdownWithInFlightSubmits) {
+  // Many threads hammer submit() while several others race shutdown().
+  // Contract under test: every submit either yields a future that resolves
+  // to a Response, or throws gppm::Error (shut down) — never a hang, a
+  // broken future, or a crash; and every shutdown() returns with the
+  // workers joined.
+  for (int round = 0; round < 4; ++round) {
+    ServerOptions opt;
+    opt.worker_threads = 2;
+    opt.queue_capacity = 16;
+    PredictionServer server(opt);
+    server.load_models(power_model(), perf_model());
+    const profiler::ProfileResult& counters =
+        dataset().samples.front().counters;
+
+    std::atomic<int> answered{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 200; ++i) {
+          try {
+            Response r = server.submit(predict_request(counters)).get();
+            EXPECT_NE(r.status, ResponseStatus::InternalError) << r.error;
+            answered.fetch_add(1);
+          } catch (const Error&) {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 3; ++t) {
+      stoppers.emplace_back([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 + round));
+        server.shutdown();
+        EXPECT_FALSE(server.running());
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+    for (std::thread& t : stoppers) t.join();
+    server.shutdown();  // still safe after the race
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(answered.load() + rejected.load(), 4 * 200);
+  }
 }
 
 TEST(ServeServer, ConcurrentClientsAllAnswered) {

@@ -14,6 +14,9 @@
 //                                       predict every configurable pair
 //   gppm governor <gpu> <bench> [bench...]
 //                                       run the phase-level DVFS governor
+//   gppm serve <gpu> --listen PORT      put the prediction server on the
+//                                       wire (gppm::net RPC; port 0 picks
+//                                       an ephemeral port, printed on start)
 //   gppm serve-bench <gpu> [options]    replay a synthetic trace against the
 //                                       concurrent prediction server
 //   gppm chaos <gpu> [options]          characterize under injected
@@ -46,6 +49,7 @@
 #include "dvfs/combos.hpp"
 #include "kernelir/programs.hpp"
 #include "kernelir/trace.hpp"
+#include "net/server.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "profiler/cuda_profiler.hpp"
@@ -70,6 +74,8 @@ int usage(std::ostream& out, int code) {
          "  gppm fit <gpu> <power|exectime> [--out FILE] [--v2f] [--baseline]\n"
          "  gppm predict <model-file> <benchmark> [size-index]\n"
          "  gppm governor <gpu> <benchmark> [benchmark...]\n"
+         "  gppm serve <gpu> --listen PORT [--workers N] [--cache N]"
+         " [--duration S]\n"
          "  gppm serve-bench <gpu> [--requests N] [--workers N] [--clients N]"
          " [--cache N] [--jitter F]\n"
          "  gppm chaos <gpu> [--fault-profile FILE] [--seed N]"
@@ -329,6 +335,78 @@ int cmd_governor(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  // gppm serve <gpu> --listen PORT [--workers N] [--cache N] [--duration S]
+  if (argc < 3) return usage();
+  const sim::GpuModel model = parse_gpu(argv[2]);
+  bool listen = false;
+  std::uint16_t port = 0;
+  std::size_t workers = 4, cache = 1 << 16;
+  double duration = 0.0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--listen" && has_value) {
+      listen = true;
+      const unsigned long value = std::stoul(argv[++i]);
+      if (value > 65535) throw Error("port out of range");
+      port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--workers" && has_value) {
+      workers = std::stoul(argv[++i]);
+    } else if (arg == "--cache" && has_value) {
+      cache = std::stoul(argv[++i]);
+    } else if (arg == "--duration" && has_value) {
+      duration = std::stod(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  if (!listen || workers == 0) return usage();
+
+  std::cout << "fitting models for " << sim::to_string(model)
+            << " (extended form)...\n";
+  const core::Dataset ds = core::build_dataset(model);
+  core::ModelOptions popt;
+  popt.scaling = core::FeatureScaling::VoltageSquaredFrequency;
+  popt.include_baseline_terms = true;
+
+  serve::ServerOptions bopt;
+  bopt.worker_threads = workers;
+  bopt.cache_capacity = cache;
+  serve::PredictionServer backend(bopt);
+  backend.load_models(
+      core::UnifiedModel::fit(ds, core::TargetKind::Power, popt),
+      core::UnifiedModel::fit(ds, core::TargetKind::ExecTime));
+
+  net::ServerOptions nopt;
+  nopt.port = port;
+  net::Server server(backend, nopt);
+  std::cout << "listening on 127.0.0.1:" << server.port() << "\n"
+            << std::flush;
+
+  if (duration > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+  } else {
+    // Foreground service: run until stdin closes (Ctrl-D, or the driving
+    // script closing the pipe) so scripted runs get a clean shutdown path.
+    std::cout << "serving until stdin closes (--duration S to time-box)\n";
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
+  }
+
+  server.stop();
+  const net::ServerStats ns = server.stats();
+  backend.shutdown();
+  backend.metrics().print(std::cout);
+  std::cout << ns.connections_accepted << " connections ("
+            << ns.connections_refused << " refused), " << ns.frames_received
+            << " frames in / " << ns.frames_sent << " out, "
+            << ns.requests_bridged << " requests bridged, "
+            << ns.protocol_errors << " protocol errors\n";
+  return 0;
+}
+
 int cmd_serve_bench(int argc, char** argv) {
   // gppm serve-bench <gpu> [--requests N] [--workers N] [--clients N]
   //                        [--cache N] [--jitter F]
@@ -562,6 +640,7 @@ int main(int argc, char** argv) {
     else if (cmd == "fit") rc = cmd_fit(argc, argv);
     else if (cmd == "predict") rc = cmd_predict(argc, argv);
     else if (cmd == "governor") rc = cmd_governor(argc, argv);
+    else if (cmd == "serve") rc = cmd_serve(argc, argv);
     else if (cmd == "serve-bench") rc = cmd_serve_bench(argc, argv);
     else if (cmd == "chaos") rc = cmd_chaos(argc, argv);
     else if (cmd == "obs-demo") rc = cmd_obs_demo();

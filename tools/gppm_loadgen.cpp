@@ -1,0 +1,271 @@
+// gppm-loadgen — wire-level load generator for `gppm serve --listen`.
+//
+// Dials a running prediction server, asks it (InfoRequest) which boards it
+// serves, replays a synthetic suite trace for the first announced board
+// over N pooled connections, and reports throughput plus the client-side
+// latency distribution and per-status response counts.
+//
+//   gppm-loadgen --connect HOST:PORT [--requests N] [--connections N]
+//                [--open-loop RATE] [--jitter F] [--chaos] [--seed N]
+//
+// Closed loop by default: each worker thread keeps exactly one RPC in
+// flight on its pooled connection.  --open-loop paces aggregate arrivals
+// at RATE requests/sec instead (workers sleep until each request's
+// scheduled departure), which is how you measure latency under
+// non-saturating load.  --chaos routes every socket operation of the
+// client through the net.* fault sites (connect refusals, short reads,
+// mid-frame resets) to demonstrate the reconnect/resend path against a
+// live server; the injector is single-stream, so chaos forces
+// --connections 1.
+//
+// Also accepts the global --trace-out=FILE / --metrics-out=FILE
+// observability flags (see gppm --help).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "fault/injector.hpp"
+#include "net/client.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "serve/trace.hpp"
+
+using namespace gppm;
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage:\n"
+         "  gppm-loadgen --connect HOST:PORT [--requests N]"
+         " [--connections N]\n"
+         "               [--open-loop RATE] [--jitter F] [--chaos]"
+         " [--seed N]\n"
+         "also accepts --trace-out=FILE --metrics-out=FILE\n";
+  return code;
+}
+
+struct Options {
+  std::string host;
+  std::uint16_t port = 0;
+  std::size_t requests = 2000;
+  std::size_t connections = 4;
+  double open_loop_rate = 0.0;  // 0 = closed loop
+  double jitter = 0.0;
+  bool chaos = false;
+  std::uint64_t seed = 42;
+};
+
+void parse_connect(const std::string& value, Options& opt) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == value.size()) {
+    throw Error("--connect expects HOST:PORT, got '" + value + "'");
+  }
+  opt.host = value.substr(0, colon);
+  const unsigned long port = std::stoul(value.substr(colon + 1));
+  if (port == 0 || port > 65535) throw Error("port out of range");
+  opt.port = static_cast<std::uint16_t>(port);
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--connect" && has_value) {
+      parse_connect(argv[++i], opt);
+    } else if (arg == "--requests" && has_value) {
+      opt.requests = std::stoul(argv[++i]);
+    } else if (arg == "--connections" && has_value) {
+      opt.connections = std::stoul(argv[++i]);
+    } else if (arg == "--open-loop" && has_value) {
+      opt.open_loop_rate = std::stod(argv[++i]);
+    } else if (arg == "--jitter" && has_value) {
+      opt.jitter = std::stod(argv[++i]);
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg == "--seed" && has_value) {
+      opt.seed = std::stoull(argv[++i]);
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (opt.host.empty() || opt.requests == 0 || opt.connections == 0) {
+    return usage(std::cerr, 2);
+  }
+  if (opt.chaos && opt.connections > 1) {
+    // The fault injector draws from per-site RNG streams that are not
+    // thread-safe; chaos runs are single-connection by construction.
+    std::cout << "--chaos forces --connections 1\n";
+    opt.connections = 1;
+  }
+
+  fault::FaultInjector injector(fault::FaultPlan::net_profile(), opt.seed);
+  net::ClientOptions copt;
+  copt.host = opt.host;
+  copt.port = opt.port;
+  copt.pool_size = opt.connections;
+  if (opt.chaos) {
+    copt.retry.max_attempts = 8;
+    copt.retry.initial_backoff = Duration::milliseconds(1.0);
+    copt.retry.max_backoff = Duration::milliseconds(50.0);
+  }
+  net::Client client(copt, opt.chaos ? &injector : nullptr);
+
+  client.ping();
+  const net::ServerInfo info = client.info();
+  if (info.boards.empty()) throw Error("server has no models loaded");
+  const sim::GpuModel board = info.boards.front().gpu;
+  std::cout << "server speaks protocol v"
+            << static_cast<int>(info.protocol_version) << ", boards:";
+  for (const net::ModelInfo& m : info.boards) {
+    std::cout << " " << sim::to_string(m.gpu);
+  }
+  std::cout << "\nbuilding " << sim::to_string(board) << " phase corpus...\n";
+
+  const serve::PhaseCorpus corpus = serve::build_phase_corpus(board);
+  serve::TraceOptions topt;
+  topt.request_count = opt.requests;
+  topt.seed = opt.seed;
+  topt.counter_jitter = opt.jitter;
+  const std::vector<serve::Request> trace =
+      serve::synthetic_trace(corpus, topt);
+
+  std::cout << corpus.counters.size() << " phases, " << trace.size()
+            << " requests, " << opt.connections << " connections, ";
+  if (opt.open_loop_rate > 0.0) {
+    std::cout << "open loop at " << format_double(opt.open_loop_rate, 0)
+              << " req/s\n";
+  } else {
+    std::cout << "closed loop\n";
+  }
+
+  std::mutex merge_mutex;
+  std::vector<double> latencies;
+  std::map<std::string, std::uint64_t> status_counts;
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::size_t> next{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> interval(
+      opt.open_loop_rate > 0.0 ? 1.0 / opt.open_loop_rate : 0.0);
+  std::vector<std::thread> workers;
+  workers.reserve(opt.connections);
+  for (std::size_t w = 0; w < opt.connections; ++w) {
+    workers.emplace_back([&] {
+      std::vector<double> local_lat;
+      std::map<std::string, std::uint64_t> local_status;
+      for (std::size_t i = next.fetch_add(1); i < trace.size();
+           i = next.fetch_add(1)) {
+        if (opt.open_loop_rate > 0.0) {
+          std::this_thread::sleep_until(start +
+                                        interval * static_cast<double>(i));
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          const serve::Response r = client.predict(trace[i]);
+          local_lat.push_back(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+          ++local_status[serve::to_string(r.status)];
+        } catch (const net::NetError&) {
+          // Retries exhausted (chaos) or the server went away: counted,
+          // not fatal — the report must show partial failure honestly.
+          failed.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies.insert(latencies.end(), local_lat.begin(), local_lat.end());
+      for (const auto& [status, count] : local_status) {
+        status_counts[status] += count;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::sort(latencies.begin(), latencies.end());
+  AsciiTable table({"metric", "value"});
+  table.add_row({"answered", std::to_string(latencies.size())});
+  table.add_row({"transport failures", std::to_string(failed.load())});
+  for (const auto& [status, count] : status_counts) {
+    table.add_row({"status " + status, std::to_string(count)});
+  }
+  table.add_row(
+      {"req/s", format_double(static_cast<double>(latencies.size()) / elapsed,
+                              0)});
+  table.add_row({"p50 us", format_double(percentile(latencies, 0.50) * 1e6, 1)});
+  table.add_row({"p95 us", format_double(percentile(latencies, 0.95) * 1e6, 1)});
+  table.add_row({"p99 us", format_double(percentile(latencies, 0.99) * 1e6, 1)});
+  table.print(std::cout);
+
+  const net::ClientStats cs = client.stats();
+  std::cout << cs.rpcs << " RPCs, " << cs.reconnects << " reconnects, "
+            << cs.transport_retries << " transport retries, " << cs.bytes_sent
+            << " bytes out / " << cs.bytes_received << " in\n";
+  if (opt.chaos) {
+    std::cout << "chaos: " << injector.total_fires() << "/"
+              << injector.total_checks() << " site checks fired\n";
+  }
+  return failed.load() == trace.size() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Same global observability contract as gppm: strip the flags before
+  // option parsing, flush the artifacts after the run.
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--trace-out" && has_value) {
+      trace_out = argv[++i];
+    } else if (starts_with(arg, "--trace-out=")) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg == "--metrics-out" && has_value) {
+      metrics_out = argv[++i];
+    } else if (starts_with(arg, "--metrics-out=")) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+
+  try {
+    const int rc = run(static_cast<int>(args.size()), args.data());
+    if (!trace_out.empty()) {
+      obs::write_trace_file(trace_out);
+      std::cout << "trace written to " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+      obs::write_metrics_file(metrics_out);
+      std::cout << "metrics written to " << metrics_out << "\n";
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
