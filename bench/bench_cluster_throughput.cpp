@@ -1,0 +1,324 @@
+// Scaling, tail-latency and chaos-correctness characterization of the
+// gppm::cluster routing layer.  Three phases, one JSON artifact:
+//
+//   * scaling — closed-loop saturation against shaped fleets of 1, 2 and
+//     4 backends.  Each node carries the same service envelope (1 ms
+//     service floor, concurrency 4), so per-node capacity — not the one
+//     host core — is the binding constraint and the 1→2→4 curve measures
+//     what the router adds and what it scales; the gate demands >= 2.5x
+//     aggregate throughput at 4 backends vs 1.
+//   * hedging — the same non-saturating load against a 3-node fleet where
+//     a slice of requests stalls 20 ms (the slow-shard pathology), with
+//     hedged requests off then on.  The gate demands a lower p999 with
+//     hedging: slow primaries are raced against their replica instead of
+//     being waited out.
+//   * chaos — a wire fleet (each node behind its own loopback gppm::net
+//     server) with every client socket routed through the net.* fault
+//     sites while backends are killed and restarted round-robin under
+//     load.  Every successful response must be bit-identical to a
+//     single untouched reference server's answer: refusals are visible as
+//     typed statuses, wrong answers are a failed bench.
+//
+// Emits BENCH_cluster.json into the working directory; exits nonzero if
+// any gate fails.  `--smoke` shrinks the request counts for the
+// bench/cluster-labeled ctest smoke.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/fleet.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "fault/injector.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+
+using namespace gppm;
+
+namespace {
+
+constexpr sim::GpuModel kBoard = sim::GpuModel::GTX680;
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+bool bit_identical(const serve::Response& a, const serve::Response& b) {
+  return std::memcmp(&a.power_watts, &b.power_watts, sizeof(double)) == 0 &&
+         std::memcmp(&a.time_seconds, &b.time_seconds, sizeof(double)) == 0 &&
+         std::memcmp(&a.energy_joules, &b.energy_joules, sizeof(double)) ==
+             0 &&
+         a.status == b.status && a.pair == b.pair;
+}
+
+struct RunResult {
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t non_ok = 0;
+  std::uint64_t divergent = 0;
+  cluster::RouterStats router;
+};
+
+/// Closed-loop drive of a fleet's router by `workers` threads.  When
+/// `truth` is non-null every successful answer is checked bit-identical
+/// against it.
+RunResult drive(cluster::LocalFleet& fleet,
+                const std::vector<serve::Request>& trace, std::size_t workers,
+                const std::vector<serve::Response>* truth = nullptr) {
+  std::mutex merge_mutex;
+  std::vector<double> latencies;
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> non_ok{0};
+  std::atomic<std::uint64_t> divergent{0};
+  std::atomic<std::size_t> next{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      std::vector<double> local;
+      for (std::size_t i = next.fetch_add(1); i < trace.size();
+           i = next.fetch_add(1)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::Response r = fleet.router().predict(trace[i]);
+        local.push_back(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+        if (r.ok()) {
+          ok.fetch_add(1);
+          if (truth != nullptr && !bit_identical(r, (*truth)[i])) {
+            divergent.fetch_add(1);
+          }
+        } else {
+          non_ok.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::sort(latencies.begin(), latencies.end());
+  RunResult r;
+  r.rps = static_cast<double>(latencies.size()) / elapsed;
+  r.p50_us = percentile(latencies, 0.50) * 1e6;
+  r.p99_us = percentile(latencies, 0.99) * 1e6;
+  r.p999_us = percentile(latencies, 0.999) * 1e6;
+  r.ok = ok.load();
+  r.non_ok = non_ok.load();
+  r.divergent = divergent.load();
+  r.router = fleet.router().stats();
+  return r;
+}
+
+std::vector<serve::Request> make_trace(const serve::PhaseCorpus& corpus,
+                                       std::size_t count, double jitter) {
+  serve::TraceOptions topt;
+  topt.request_count = count;
+  topt.seed = bench::kCampaignSeed;
+  // Govern is stateful (hysteresis), so a replicated fleet cannot promise
+  // bit-identity for it; cluster traffic sticks to the pure endpoints.
+  topt.govern_fraction = 0.0;
+  // Full jitter makes every request a fresh phase, i.e. a fresh routing
+  // key: placement spreads uniformly instead of following the Zipf head,
+  // which is what a scaling measurement wants.
+  topt.counter_jitter = jitter;
+  return serve::synthetic_trace(corpus, topt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::size_t scaling_requests = smoke ? 1500 : 6000;
+  const std::size_t hedge_requests = smoke ? 2500 : 5000;
+  const std::size_t chaos_requests = smoke ? 1200 : 2500;
+
+  bench::print_banner(
+      "cluster throughput",
+      "Sharded/replicated router over shaped backend fleets: 1->2->4 "
+      "scaling, hedged-request tail control, chaos bit-identity gate.");
+
+  const bench::BoardModels& bm = bench::board_models(kBoard);
+  const serve::PhaseCorpus corpus = serve::build_phase_corpus(kBoard);
+
+  // ---- Phase 1: 1 -> 2 -> 4 scaling under a per-node service envelope.
+  const std::vector<serve::Request> scaling_trace =
+      make_trace(corpus, scaling_requests, 1.0);
+  const std::size_t fleet_sizes[] = {1, 2, 4};
+  std::vector<RunResult> scaling;
+  for (const std::size_t n : fleet_sizes) {
+    cluster::FleetOptions fopt;
+    fopt.backends = n;
+    fopt.shaped = true;
+    fopt.shaping.min_service = Duration::milliseconds(1.0);
+    fopt.shaping.concurrency = 4;
+    cluster::RouterOptions ropt;
+    ropt.hedging = false;  // capacity, not tail control, is under test
+    cluster::LocalFleet fleet(bm.power, bm.perf, fopt, ropt);
+    scaling.push_back(drive(fleet, scaling_trace, 32));
+    fleet.stop();
+    std::cout << n << " backends: " << format_double(scaling.back().rps, 0)
+              << " req/s, p50 " << format_double(scaling.back().p50_us, 0)
+              << " us, p999 " << format_double(scaling.back().p999_us, 0)
+              << " us\n";
+  }
+  const double speedup_4x = scaling[2].rps / scaling[0].rps;
+  const bool scaling_ok = speedup_4x >= 2.5;
+  std::cout << "4-backend speedup vs 1: " << format_double(speedup_4x, 2)
+            << "x (gate >= 2.5x)\n";
+
+  // ---- Phase 2: p999 with one-in-150 requests stalling 20 ms, hedging
+  // off vs on, under non-saturating load.
+  const std::vector<serve::Request> hedge_trace =
+      make_trace(corpus, hedge_requests, 1.0);
+  RunResult unhedged, hedged;
+  for (const bool hedging : {false, true}) {
+    cluster::FleetOptions fopt;
+    fopt.backends = 3;
+    fopt.shaped = true;
+    fopt.shaping.min_service = Duration::milliseconds(1.0);
+    fopt.shaping.concurrency = 4;
+    fopt.shaping.lag_every = 150;
+    fopt.shaping.lag = Duration::milliseconds(20.0);
+    cluster::RouterOptions ropt;
+    ropt.hedging = hedging;
+    cluster::LocalFleet fleet(bm.power, bm.perf, fopt, ropt);
+    (hedging ? hedged : unhedged) = drive(fleet, hedge_trace, 8);
+    fleet.stop();
+  }
+  const bool hedging_ok = hedged.p999_us < unhedged.p999_us;
+  std::cout << "p999 unhedged " << format_double(unhedged.p999_us, 0)
+            << " us -> hedged " << format_double(hedged.p999_us, 0) << " us ("
+            << hedged.router.hedges_fired << " hedges, "
+            << hedged.router.hedge_wins << " wins; gate: lower)\n";
+
+  // ---- Phase 3: chaos.  Wire fleet, faulted sockets, backends dying and
+  // recovering under load; every successful answer must match the
+  // untouched reference server bit for bit.
+  const std::vector<serve::Request> chaos_trace =
+      make_trace(corpus, chaos_requests, 0.0);
+  std::vector<serve::Response> truth(chaos_trace.size());
+  {
+    serve::PredictionServer reference;
+    reference.load_models(bm.power, bm.perf);
+    for (std::size_t i = 0; i < chaos_trace.size(); ++i) {
+      truth[i] = reference.submit(chaos_trace[i]).get();
+    }
+  }
+
+  fault::FaultInjector injector(fault::FaultPlan::net_profile(),
+                                bench::kCampaignSeed);
+  RunResult chaos;
+  std::uint64_t kills = 0;
+  {
+    cluster::FleetOptions fopt;
+    fopt.backends = 3;
+    fopt.wire = true;
+    fopt.injector = &injector;
+    fopt.client.retry.max_attempts = 8;
+    fopt.client.retry.initial_backoff = Duration::milliseconds(1.0);
+    fopt.client.retry.max_backoff = Duration::milliseconds(50.0);
+    cluster::LocalFleet fleet(bm.power, bm.perf, fopt, {});
+
+    std::atomic<bool> running{true};
+    std::thread reaper([&] {
+      std::size_t victim = 0;
+      while (running.load()) {
+        const std::size_t k = victim++ % fleet.size();
+        fleet.kill(k);
+        ++kills;
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        fleet.restart(k);
+        for (int tick = 0; tick < 6 && running.load(); ++tick) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+    chaos = drive(fleet, chaos_trace, 4, &truth);
+    running.store(false);
+    reaper.join();
+    fleet.stop();
+  }
+  const bool chaos_ok = chaos.divergent == 0 && chaos.ok > 0;
+  std::cout << "chaos: " << chaos.ok << " ok / " << chaos.non_ok
+            << " refused, " << chaos.divergent << " divergent, " << kills
+            << " backend kills, " << injector.total_fires() << "/"
+            << injector.total_checks() << " site checks fired\n";
+
+  AsciiTable table({"metric", "value"});
+  table.add_row({"rps 1 backend", format_double(scaling[0].rps, 0)});
+  table.add_row({"rps 2 backends", format_double(scaling[1].rps, 0)});
+  table.add_row({"rps 4 backends", format_double(scaling[2].rps, 0)});
+  table.add_row({"speedup 4 vs 1", format_double(speedup_4x, 2)});
+  table.add_row({"p999 us unhedged", format_double(unhedged.p999_us, 1)});
+  table.add_row({"p999 us hedged", format_double(hedged.p999_us, 1)});
+  table.add_row({"hedges fired", std::to_string(hedged.router.hedges_fired)});
+  table.add_row({"chaos divergent", std::to_string(chaos.divergent)});
+  table.print(std::cout);
+
+  const bool ok = scaling_ok && hedging_ok && chaos_ok;
+  {
+    std::ofstream json("BENCH_cluster.json");
+    json << "{\n  \"schema\": \"gppm.bench_cluster.v1\",\n"
+         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+         << "  \"scaling\": [\n";
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      json << "    {\"backends\": " << fleet_sizes[i]
+           << ", \"rps\": " << format_double(scaling[i].rps, 1)
+           << ", \"p50_us\": " << format_double(scaling[i].p50_us, 2)
+           << ", \"p99_us\": " << format_double(scaling[i].p99_us, 2)
+           << ", \"p999_us\": " << format_double(scaling[i].p999_us, 2)
+           << "}" << (i + 1 < scaling.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"speedup_4_vs_1\": " << format_double(speedup_4x, 3) << ",\n"
+         << "  \"hedging\": {\n"
+         << "    \"lag_every\": 150, \"lag_ms\": 20,\n"
+         << "    \"unhedged_p999_us\": " << format_double(unhedged.p999_us, 2)
+         << ",\n"
+         << "    \"hedged_p999_us\": " << format_double(hedged.p999_us, 2)
+         << ",\n"
+         << "    \"hedges_fired\": " << hedged.router.hedges_fired << ",\n"
+         << "    \"hedge_wins\": " << hedged.router.hedge_wins << ",\n"
+         << "    \"p999_improved\": " << (hedging_ok ? "true" : "false")
+         << "\n  },\n"
+         << "  \"chaos\": {\n"
+         << "    \"requests\": " << chaos_trace.size() << ",\n"
+         << "    \"ok\": " << chaos.ok << ",\n"
+         << "    \"refused\": " << chaos.non_ok << ",\n"
+         << "    \"divergent\": " << chaos.divergent << ",\n"
+         << "    \"backend_kills\": " << kills << ",\n"
+         << "    \"fault_fires\": " << injector.total_fires() << ",\n"
+         << "    \"failovers\": " << chaos.router.failovers << ",\n"
+         << "    \"bit_identical\": " << (chaos_ok ? "true" : "false")
+         << "\n  },\n"
+         << "  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+  }
+  std::cout << "wrote BENCH_cluster.json\n";
+  if (!ok) {
+    std::cerr << "FAIL:" << (scaling_ok ? "" : " scaling-gate")
+              << (hedging_ok ? "" : " hedging-gate")
+              << (chaos_ok ? "" : " chaos-gate") << "\n";
+  }
+  return ok ? 0 : 1;
+}

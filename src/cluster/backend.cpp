@@ -1,0 +1,196 @@
+#include "cluster/backend.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gppm::cluster {
+
+// --- LocalBackend ---------------------------------------------------------
+
+LocalBackend::LocalBackend(std::string name, core::UnifiedModel power_model,
+                           core::UnifiedModel perf_model,
+                           serve::ServerOptions options)
+    : name_(std::move(name)),
+      power_(std::move(power_model)),
+      perf_(std::move(perf_model)),
+      options_(options) {
+  restart();
+}
+
+LocalBackend::~LocalBackend() { kill(); }
+
+std::shared_ptr<serve::PredictionServer> LocalBackend::server() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return server_;
+}
+
+std::future<serve::Response> LocalBackend::submit(
+    const serve::Request& request) {
+  std::shared_ptr<serve::PredictionServer> server = this->server();
+  if (!server) throw Error("backend " + name_ + " is down");
+  return server->submit(request);
+}
+
+bool LocalBackend::ping() {
+  const std::shared_ptr<serve::PredictionServer> server = this->server();
+  return server && server->running();
+}
+
+bool LocalBackend::alive() const { return server() != nullptr; }
+
+void LocalBackend::kill() {
+  std::shared_ptr<serve::PredictionServer> victim;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    victim = std::move(server_);
+    server_ = nullptr;
+  }
+  // Shut down outside the lock: drain-and-join can take a moment, and a
+  // concurrent submit holding a shared_ptr copy must be free to fail on
+  // its own (submit on a draining server throws, which is the contract).
+  if (victim) victim->shutdown();
+}
+
+void LocalBackend::restart() {
+  auto fresh = std::make_shared<serve::PredictionServer>(options_);
+  // A fresh copy of the *same* fitted pair: predictions after the restart
+  // are bit-identical to before (the chaos gate depends on this).
+  fresh->load_models(power_, perf_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  server_ = std::move(fresh);
+}
+
+// --- RemoteBackend --------------------------------------------------------
+
+RemoteBackend::RemoteBackend(std::string name, net::ClientOptions options,
+                             std::size_t workers,
+                             fault::FaultInjector* injector)
+    : name_(std::move(name)),
+      client_(std::move(options), injector),
+      queue_(256) {
+  GPPM_CHECK(workers > 0, "remote backend needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RemoteBackend::~RemoteBackend() { stop(); }
+
+void RemoteBackend::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  client_.close();
+}
+
+std::future<serve::Response> RemoteBackend::submit(
+    const serve::Request& request) {
+  Job job;
+  job.request = request;
+  std::future<serve::Response> future = job.promise.get_future();
+  if (!queue_.push(std::move(job))) {
+    throw Error("backend " + name_ + " is stopped");
+  }
+  return future;
+}
+
+void RemoteBackend::worker_loop() {
+  while (true) {
+    std::vector<Job> batch = queue_.pop_batch(1);
+    if (batch.empty()) return;  // closed and drained
+    Job& job = batch.front();
+    try {
+      job.promise.set_value(client_.predict(job.request));
+    } catch (...) {
+      // NetError (retries exhausted, server gone) rides the future; the
+      // router turns it into a breaker-recorded failover.
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+bool RemoteBackend::ping() {
+  try {
+    return client_.health().accepting;
+  } catch (const net::RpcError&) {
+    // A v1 peer rejects the health frame with a typed ErrorReply; fall
+    // back to the v1 liveness probe.
+    try {
+      client_.ping();
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// --- ShapedBackend --------------------------------------------------------
+
+ShapedBackend::ShapedBackend(std::shared_ptr<Backend> inner,
+                             ShapingOptions options)
+    : inner_(std::move(inner)), options_(options), queue_(1024) {
+  GPPM_CHECK(options_.concurrency > 0,
+             "shaped backend needs concurrency >= 1");
+  workers_.reserve(options_.concurrency);
+  for (std::size_t i = 0; i < options_.concurrency; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShapedBackend::~ShapedBackend() { stop(); }
+
+void ShapedBackend::stop() {
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+std::future<serve::Response> ShapedBackend::submit(
+    const serve::Request& request) {
+  Job job;
+  job.request = request;
+  job.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::future<serve::Response> future = job.promise.get_future();
+  if (!queue_.push(std::move(job))) {
+    throw Error("backend " + name() + " is stopped");
+  }
+  return future;
+}
+
+void ShapedBackend::worker_loop() {
+  while (true) {
+    std::vector<Job> batch = queue_.pop_batch(1);
+    if (batch.empty()) return;
+    Job& job = batch.front();
+    const auto start = std::chrono::steady_clock::now();
+    double floor_s = options_.min_service.as_seconds();
+    if (options_.lag_every > 0 && job.seq % options_.lag_every == 0) {
+      floor_s += options_.lag.as_seconds();
+    }
+    try {
+      serve::Response response = inner_->submit(job.request).get();
+      // Make up whatever the real evaluation left of the service floor;
+      // sleeping burns no CPU, so shaped nodes genuinely run in parallel
+      // on one core.
+      const auto deadline =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(floor_s));
+      std::this_thread::sleep_until(deadline);
+      job.promise.set_value(std::move(response));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace gppm::cluster

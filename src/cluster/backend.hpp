@@ -1,0 +1,169 @@
+// Backend — one node of the serving fleet, as the Router sees it.
+//
+// Three implementations share the interface:
+//
+//   * LocalBackend — owns a serve::PredictionServer in-process.  kill()
+//     and restart() model a node crash and recovery: a killed backend
+//     throws from submit() (the same contract as a shut-down server) and
+//     a restarted one serves again from a *freshly loaded copy of the
+//     same fitted model pair*, so its answers stay bit-identical across
+//     the crash.
+//   * RemoteBackend — the node lives behind gppm::net TCP; submits run as
+//     blocking Client RPCs on a small private worker pool so the router's
+//     caller never blocks on another node's socket.
+//   * ShapedBackend — a decorator that imposes a node's service envelope
+//     (a minimum service time, a concurrency ceiling, an optional periodic
+//     lag spike) on whatever it wraps.  On a single-core host the fitted
+//     models answer in microseconds and N co-located backends would just
+//     contend for the one core; the envelope makes per-node capacity the
+//     binding constraint, which is what the 1→2→4 scaling bench and the
+//     hedging p999 comparison are measuring.  Sleeping threads cost no
+//     CPU, so shaped fleets scale on one core.
+//
+// Futures returned by submit() are promise-backed: dropping one (a hedge
+// loser) never blocks, and the eventual set_value lands in a dead handle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/unified_model.hpp"
+#include "net/client.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+
+namespace gppm::cluster {
+
+/// One routable node.  Implementations must be thread-safe: the router
+/// submits from many caller threads and pings from its health thread.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Launch one request.  A backend that cannot even accept (killed /
+  /// shut down / dead socket with retries exhausted) may throw here or
+  /// deliver the exception through the future; the router treats both as
+  /// the same breaker-recorded failure.  An *answered* response with a
+  /// non-Ok status is a success at this layer — the node is alive.
+  virtual std::future<serve::Response> submit(const serve::Request& request) = 0;
+
+  /// Cheap liveness probe for the health loop.  False or throw = down.
+  virtual bool ping() = 0;
+};
+
+/// In-process node: a PredictionServer plus the model pair to rebuild it.
+class LocalBackend : public Backend {
+ public:
+  LocalBackend(std::string name, core::UnifiedModel power_model,
+               core::UnifiedModel perf_model,
+               serve::ServerOptions options = {});
+  ~LocalBackend() override;
+
+  const std::string& name() const override { return name_; }
+  std::future<serve::Response> submit(const serve::Request& request) override;
+  bool ping() override;
+
+  /// Crash the node: drain, discard the server.  Subsequent submits
+  /// throw.  Idempotent.
+  void kill();
+  /// Recover: a fresh server with a fresh copy of the same model pair.
+  void restart();
+  bool alive() const;
+
+  /// The live server, or nullptr while killed (metrics inspection only).
+  std::shared_ptr<serve::PredictionServer> server() const;
+
+ private:
+  std::string name_;
+  core::UnifiedModel power_;
+  core::UnifiedModel perf_;
+  serve::ServerOptions options_;
+  mutable std::shared_mutex mutex_;
+  std::shared_ptr<serve::PredictionServer> server_;
+};
+
+/// A node behind gppm::net TCP.  Each submit is a blocking Client RPC run
+/// on one of `workers` private threads; the pooled client's stale-FD
+/// eviction and jittered reconnect backoff give re-adoption of a
+/// restarted server for free.
+class RemoteBackend : public Backend {
+ public:
+  RemoteBackend(std::string name, net::ClientOptions options,
+                std::size_t workers = 4,
+                fault::FaultInjector* injector = nullptr);
+  ~RemoteBackend() override;
+
+  const std::string& name() const override { return name_; }
+  std::future<serve::Response> submit(const serve::Request& request) override;
+  /// health() RPC against a v2 server, plain ping() against a v1 one.
+  bool ping() override;
+
+  void stop();
+  net::Client& client() { return client_; }
+
+ private:
+  struct Job {
+    serve::Request request;
+    std::promise<serve::Response> promise;
+  };
+
+  void worker_loop();
+
+  std::string name_;
+  net::Client client_;
+  serve::BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+/// Service envelope for ShapedBackend.
+struct ShapingOptions {
+  /// Floor on per-request service time (queue wait under the concurrency
+  /// ceiling counts toward it, extra sleep makes up the rest).
+  Duration min_service = Duration::milliseconds(1.0);
+  /// Requests serviced concurrently; beyond this they queue.
+  std::size_t concurrency = 4;
+  /// Every `lag_every`-th request (1-based sequence) stalls an extra
+  /// `lag` — the slow-shard behavior hedging exists to absorb.  0 = off.
+  std::size_t lag_every = 0;
+  Duration lag = Duration::milliseconds(20.0);
+};
+
+/// Decorator imposing ShapingOptions on an inner backend.
+class ShapedBackend : public Backend {
+ public:
+  ShapedBackend(std::shared_ptr<Backend> inner, ShapingOptions options);
+  ~ShapedBackend() override;
+
+  const std::string& name() const override { return inner_->name(); }
+  std::future<serve::Response> submit(const serve::Request& request) override;
+  bool ping() override { return inner_->ping(); }
+
+  void stop();
+
+ private:
+  struct Job {
+    serve::Request request;
+    std::promise<serve::Response> promise;
+    std::uint64_t seq = 0;
+  };
+
+  void worker_loop();
+
+  std::shared_ptr<Backend> inner_;
+  ShapingOptions options_;
+  serve::BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace gppm::cluster

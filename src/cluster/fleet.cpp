@@ -1,0 +1,129 @@
+#include "cluster/fleet.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gppm::cluster {
+
+LocalFleet::LocalFleet(core::UnifiedModel power_model,
+                       core::UnifiedModel perf_model, FleetOptions options,
+                       RouterOptions router_options)
+    : options_(std::move(options)),
+      power_(std::move(power_model)),
+      perf_(std::move(perf_model)) {
+  GPPM_CHECK(options_.backends >= 1, "fleet needs at least one backend");
+  router_ = std::make_unique<Router>(router_options);
+
+  nodes_.reserve(options_.backends);
+  for (std::size_t i = 0; i < options_.backends; ++i) {
+    Node node;
+    const std::string name = "node" + std::to_string(i);
+    node.local = std::make_shared<LocalBackend>(name, power_, perf_,
+                                                options_.server);
+    if (i == 0) {
+      // Same pair everywhere, so node 0 speaks for the fleet.
+      models_ = node.local->server()->loaded_models();
+    }
+    if (options_.wire) {
+      net::ServerOptions sopt;
+      sopt.port = 0;  // ephemeral on first bind, pinned thereafter
+      node.server = std::make_unique<net::Server>(*node.local->server(),
+                                                  sopt);
+      node.port = node.server->port();
+      net::ClientOptions copt = options_.client;
+      copt.host = "127.0.0.1";
+      copt.port = node.port;
+      node.fronting = std::make_shared<RemoteBackend>(
+          name, copt, options_.remote_workers, options_.injector);
+    } else {
+      node.fronting = node.local;
+    }
+    if (options_.shaped) {
+      node.fronting =
+          std::make_shared<ShapedBackend>(node.fronting, options_.shaping);
+    }
+    router_->add_backend(node.fronting);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+LocalFleet::~LocalFleet() { stop(); }
+
+void LocalFleet::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  router_->stop();
+  for (Node& node : nodes_) {
+    if (node.server) node.server->stop();
+    node.local->kill();
+  }
+}
+
+const std::string& LocalFleet::name(std::size_t i) const {
+  GPPM_CHECK(i < nodes_.size(), "node index out of range");
+  return nodes_[i].local->name();
+}
+
+std::uint16_t LocalFleet::port(std::size_t i) const {
+  GPPM_CHECK(i < nodes_.size(), "node index out of range");
+  return nodes_[i].port;
+}
+
+bool LocalFleet::alive(std::size_t i) const {
+  GPPM_CHECK(i < nodes_.size(), "node index out of range");
+  return nodes_[i].local->alive();
+}
+
+void LocalFleet::kill(std::size_t i) {
+  GPPM_CHECK(i < nodes_.size(), "node index out of range");
+  Node& node = nodes_[i];
+  // TCP front first (peers see the reset immediately), then the serving
+  // engine — the order a real process death presents.
+  if (node.server) {
+    node.server->stop();
+    node.server.reset();
+  }
+  node.local->kill();
+}
+
+void LocalFleet::restart(std::size_t i) {
+  GPPM_CHECK(i < nodes_.size(), "node index out of range");
+  Node& node = nodes_[i];
+  // A restart without a prior kill still swaps the prediction server; the
+  // old TCP front must not outlive the engine it references.
+  if (node.server) {
+    node.server->stop();
+    node.server.reset();
+  }
+  node.local->restart();
+  if (options_.wire && !node.server) {
+    // Same port (SO_REUSEADDR): clients redial the address they already
+    // know, and the pool's stale-FD eviction re-adopts the node.
+    net::ServerOptions sopt;
+    sopt.port = node.port;
+    node.server =
+        std::make_unique<net::Server>(*node.local->server(), sopt);
+  }
+}
+
+std::vector<serve::PredictionServer::LoadedModel> LocalFleet::loaded_models()
+    const {
+  return models_;
+}
+
+net::ServeBridge LocalFleet::bridge() {
+  net::ServeBridge bridge;
+  bridge.submit = [this](serve::Request request) {
+    return router_->submit(std::move(request));
+  };
+  bridge.loaded_models = [this] { return loaded_models(); };
+  bridge.health = [this] {
+    net::HealthStatus status = router_->health();
+    status.boards = static_cast<std::uint16_t>(models_.size());
+    return status;
+  };
+  return bridge;
+}
+
+}  // namespace gppm::cluster

@@ -1,0 +1,105 @@
+// LocalFleet — N backend nodes plus the Router fronting them, built from
+// one fitted model pair.
+//
+// Every node loads a copy of the *same* (power, exectime) UnifiedModel
+// pair, so any replica's answer to any request is bit-identical to any
+// other's — the property that makes hedging, failover and chaos-time
+// re-routing safe, and the one the chaos gate checks against a
+// single-node ground truth.
+//
+// Two wirings:
+//   * in-process (default): the router submits straight into each node's
+//     PredictionServer — the TSan'd cluster_smoke shape;
+//   * wire (`FleetOptions::wire`): each node additionally sits behind its
+//     own net::Server on a loopback port and the router talks to it
+//     through a RemoteBackend (pooled net::Client).  kill() then stops
+//     the node's TCP server too (connections reset like a process death)
+//     and restart() rebinds the *same* port — SO_REUSEADDR plus the
+//     client pool's stale-FD eviction make re-adoption automatic.
+//
+// Optional shaping wraps every node in a ShapedBackend service envelope
+// (see backend.hpp for why the scaling bench needs one on a 1-core host).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/backend.hpp"
+#include "cluster/router.hpp"
+#include "core/unified_model.hpp"
+#include "net/server.hpp"
+
+namespace gppm::cluster {
+
+struct FleetOptions {
+  std::size_t backends = 2;
+  /// Per-node serve options (worker pool, queue, cache).
+  serve::ServerOptions server;
+  /// Put each node behind gppm::net TCP (loopback) instead of in-process.
+  bool wire = false;
+  /// Wire mode: client options template (host/port are filled per node).
+  net::ClientOptions client;
+  /// Wire mode: RPC worker threads per RemoteBackend.
+  std::size_t remote_workers = 4;
+  /// Wire mode: fault injector for *client-side* socket I/O (net.reset
+  /// bursts in the chaos profile).  May be nullptr.
+  fault::FaultInjector* injector = nullptr;
+  /// Service envelope; disabled when shape is nullopt-like (enabled flag).
+  bool shaped = false;
+  ShapingOptions shaping;
+};
+
+class LocalFleet {
+ public:
+  /// Builds the nodes, joins them all to a fresh Router.
+  LocalFleet(core::UnifiedModel power_model, core::UnifiedModel perf_model,
+             FleetOptions options = {}, RouterOptions router_options = {});
+  ~LocalFleet();
+
+  LocalFleet(const LocalFleet&) = delete;
+  LocalFleet& operator=(const LocalFleet&) = delete;
+
+  Router& router() { return *router_; }
+  std::size_t size() const { return nodes_.size(); }
+  const std::string& name(std::size_t i) const;
+  /// Wire mode only: the node's loopback port.
+  std::uint16_t port(std::size_t i) const;
+
+  /// Crash node i mid-run: prediction server drained and discarded; in
+  /// wire mode its TCP server stops too (peers see resets/refusals).
+  void kill(std::size_t i);
+  /// Recover node i with a fresh copy of the same model pair; wire mode
+  /// rebinds the same port.
+  void restart(std::size_t i);
+  bool alive(std::size_t i) const;
+
+  /// Model fingerprints as a single-node server would announce them.
+  std::vector<serve::PredictionServer::LoadedModel> loaded_models() const;
+
+  /// Bridge for net::Server: `gppm serve --cluster N` puts the whole
+  /// fleet behind one port.  The fleet must outlive the bridge's use.
+  net::ServeBridge bridge();
+
+  /// Stop the router and every node.  Idempotent.
+  void stop();
+
+ private:
+  struct Node {
+    std::shared_ptr<LocalBackend> local;
+    std::unique_ptr<net::Server> server;  ///< wire mode only
+    std::uint16_t port = 0;               ///< pinned across restarts
+    std::shared_ptr<Backend> fronting;    ///< what the router routes to
+  };
+
+  FleetOptions options_;
+  core::UnifiedModel power_;
+  core::UnifiedModel perf_;
+  std::vector<Node> nodes_;
+  std::vector<serve::PredictionServer::LoadedModel> models_;
+  std::unique_ptr<Router> router_;
+  bool stopped_ = false;
+};
+
+}  // namespace gppm::cluster

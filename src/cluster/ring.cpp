@@ -1,0 +1,92 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "serve/cache.hpp"
+
+namespace gppm::cluster {
+
+std::uint64_t request_key(const serve::Request& request) {
+  // Mix the board into the phase fingerprint so two boards with an
+  // identical counter vector do not collide onto one arc.
+  std::uint64_t state = serve::counters_fingerprint(request.counters) ^
+                        (0x9e3779b97f4a7c15ull *
+                         (static_cast<std::uint64_t>(request.gpu) + 1));
+  return splitmix64(state);
+}
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes) {
+  GPPM_CHECK(vnodes_ > 0, "ring needs at least one virtual node per member");
+}
+
+bool HashRing::add(const std::string& id) {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), id);
+  if (it != members_.end() && *it == id) return false;
+  members_.insert(it, id);
+  rebuild_points();
+  return true;
+}
+
+bool HashRing::remove(const std::string& id) {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), id);
+  if (it == members_.end() || *it != id) return false;
+  members_.erase(it);
+  rebuild_points();
+  return true;
+}
+
+bool HashRing::contains(const std::string& id) const {
+  return std::binary_search(members_.begin(), members_.end(), id);
+}
+
+void HashRing::rebuild_points() {
+  // Point positions depend only on (member name, vnode index), never on
+  // the rest of the membership — that independence is what bounds the
+  // remap on join/leave to the arcs the member itself covers.
+  points_.clear();
+  points_.reserve(members_.size() * vnodes_);
+  for (std::uint32_t m = 0; m < members_.size(); ++m) {
+    std::uint64_t state = fnv1a(members_[m]);
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      points_.push_back({splitmix64(state), m});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.member < b.member;
+            });
+}
+
+const std::string& HashRing::owner(std::uint64_t key) const {
+  GPPM_CHECK(!points_.empty(), "consistent-hash ring is empty");
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return members_[it->member];
+}
+
+std::vector<std::string> HashRing::replicas(std::uint64_t key,
+                                            std::size_t count) const {
+  std::vector<std::string> owners;
+  if (points_.empty() || count == 0) return owners;
+  const std::size_t want = std::min(count, members_.size());
+  owners.reserve(want);
+  std::vector<bool> taken(members_.size(), false);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  for (std::size_t steps = 0; steps < points_.size() && owners.size() < want;
+       ++steps, ++it) {
+    if (it == points_.end()) it = points_.begin();  // wrap
+    if (taken[it->member]) continue;
+    taken[it->member] = true;
+    owners.push_back(members_[it->member]);
+  }
+  return owners;
+}
+
+}  // namespace gppm::cluster

@@ -1,0 +1,76 @@
+// Consistent-hash ring with virtual nodes — the cluster's placement
+// function.
+//
+// Each member is projected onto the ring at `vnodes` pseudo-random points
+// (splitmix64 stream seeded from the member's name), and a key is owned by
+// the first member clockwise from its hash.  Virtual nodes smooth the
+// per-member arc length, so K keys spread across N members within a few
+// percent of uniform, and membership change stays *bounded*: adding or
+// removing one member remaps only the keys on the arcs it gains or loses —
+// ≈K/N keys, never a full reshuffle (the property the ring tests pin).
+//
+// Replication walks further clockwise: replicas(key, R) returns the first
+// R *distinct* members, so every key has R owners and the loss of any one
+// backend leaves R-1 holders of its keys.
+//
+// The ring itself is a plain data structure with no locking; the Router
+// guards it with its membership lock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace gppm::cluster {
+
+/// Routing key for one request: the served model family (the board) mixed
+/// with the phase's counter fingerprint.  Routing on the phase rather than
+/// on the board alone matters twice over — it spreads a single board's
+/// traffic across the ring instead of pinning it to R backends, and it
+/// sends repeats of the same phase to the same owners, so each backend's
+/// prediction cache sees a concentrated (hot) slice of the key space.
+std::uint64_t request_key(const serve::Request& request);
+
+class HashRing {
+ public:
+  /// `vnodes` points per member.  Per-member load deviation scales as
+  /// ~1/sqrt(vnodes): 64 points leave ~12 % swings, 256 keep K keys over
+  /// N members inside the ±10 % band the tests pin at fleet-size N.  The
+  /// sorted point table stays tiny either way (N*vnodes entries).
+  explicit HashRing(std::size_t vnodes = 256);
+
+  /// Add a member (idempotent).  Returns true when the membership changed.
+  bool add(const std::string& id);
+  /// Remove a member (idempotent).  Returns true when the membership
+  /// changed.
+  bool remove(const std::string& id);
+
+  bool contains(const std::string& id) const;
+  std::size_t size() const { return members_.size(); }
+  std::vector<std::string> members() const { return members_; }
+
+  /// The first owner clockwise from `key`.  Throws gppm::Error on an empty
+  /// ring.
+  const std::string& owner(std::uint64_t key) const;
+
+  /// The first min(count, size()) distinct owners clockwise from `key`,
+  /// primary first.
+  std::vector<std::string> replicas(std::uint64_t key,
+                                    std::size_t count) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t member;  ///< index into members_
+  };
+
+  void rebuild_points();
+
+  std::size_t vnodes_;
+  std::vector<std::string> members_;  ///< sorted, unique
+  std::vector<Point> points_;         ///< sorted by hash
+};
+
+}  // namespace gppm::cluster

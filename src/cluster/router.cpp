@@ -1,0 +1,436 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace gppm::cluster {
+
+namespace {
+
+struct RouterObs {
+  obs::Counter& requests;
+  obs::Counter& hedges_fired;
+  obs::Counter& hedge_wins;
+  obs::Counter& hedges_abandoned;
+  obs::Counter& failovers;
+  obs::Counter& breaker_opens;
+  obs::Counter& breaker_rejections;
+  obs::Counter& ring_remaps;
+  obs::Counter& exhausted;
+  obs::Histogram& latency_us;
+};
+
+RouterObs& router_obs() {
+  obs::Registry& reg = obs::Registry::instance();
+  static RouterObs instruments{
+      reg.counter("cluster.router.requests"),
+      reg.counter("cluster.router.hedges_fired"),
+      reg.counter("cluster.router.hedge_wins"),
+      reg.counter("cluster.router.hedges_abandoned"),
+      reg.counter("cluster.router.failovers"),
+      reg.counter("cluster.router.breaker_opens"),
+      reg.counter("cluster.router.breaker_rejections"),
+      reg.counter("cluster.router.ring_remaps"),
+      reg.counter("cluster.router.exhausted"),
+      reg.histogram("cluster.router.latency_us",
+                    {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+                     100000, 250000}),
+  };
+  return instruments;
+}
+
+/// Per-backend in-flight gauge (dynamic name: one per joined backend).
+obs::Gauge& in_flight_gauge(const std::string& name) {
+  return obs::Registry::instance().gauge("cluster.router.in_flight." + name);
+}
+
+std::chrono::steady_clock::duration to_steady(Duration d) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(d.as_seconds()));
+}
+
+}  // namespace
+
+// --- LatencyTracker -------------------------------------------------------
+
+void LatencyTracker::record(double seconds) {
+  if (!(seconds > 0.0)) seconds = 1e-9;
+  // Bin i covers latencies around 2^(i/4) microseconds: quarter-octave
+  // resolution from 1 us up past 50 s in 64 bins.
+  const double micros = seconds * 1e6;
+  int bin = static_cast<int>(std::lround(std::log2(std::max(micros, 1.0)) *
+                                         4.0));
+  bin = std::clamp(bin, 0, static_cast<int>(kBins) - 1);
+  bins_[static_cast<std::size_t>(bin)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyTracker::quantile(double q) const {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    seen += bins_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen) >= rank) {
+      // Upper edge of the bin, back in seconds.
+      return std::exp2(static_cast<double>(i + 1) / 4.0) * 1e-6;
+    }
+  }
+  return std::exp2(static_cast<double>(kBins) / 4.0) * 1e-6;
+}
+
+// --- Router ---------------------------------------------------------------
+
+Router::Router(RouterOptions options)
+    : options_(options),
+      ring_(options.ring_vnodes),
+      async_queue_(4096) {
+  GPPM_CHECK(options_.replicas >= 1, "router needs replicas >= 1");
+  GPPM_CHECK(options_.async_workers >= 1, "router needs async workers >= 1");
+  executors_.reserve(options_.async_workers);
+  for (std::size_t i = 0; i < options_.async_workers; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+  if (options_.health_interval.as_seconds() > 0.0) {
+    health_thread_ = std::thread([this] { health_loop(); });
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::stop() {
+  if (stopped_.exchange(true)) return;
+  async_queue_.close();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  if (health_thread_.joinable()) health_thread_.join();
+}
+
+void Router::add_backend(std::shared_ptr<Backend> backend) {
+  GPPM_CHECK(backend != nullptr, "null backend");
+  const std::string name = backend->name();
+  obs::Gauge& gauge = in_flight_gauge(name);
+  std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+  GPPM_CHECK(slots_.find(name) == slots_.end(),
+             "backend '" + name + "' already joined");
+  slots_.emplace(name, std::make_shared<Slot>(std::move(backend),
+                                              options_.breaker, gauge));
+  if (ring_.add(name)) {
+    ring_remaps_.fetch_add(1);
+    router_obs().ring_remaps.add();
+  }
+}
+
+void Router::remove_backend(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+  slots_.erase(name);
+  if (ring_.remove(name)) {
+    ring_remaps_.fetch_add(1);
+    router_obs().ring_remaps.add();
+  }
+}
+
+std::vector<std::string> Router::backends() const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  return ring_.members();
+}
+
+std::vector<Router::SlotPtr> Router::route(
+    const serve::Request& request) const {
+  const std::uint64_t key = request_key(request);
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  std::vector<SlotPtr> candidates;
+  for (const std::string& name : ring_.replicas(key, options_.replicas)) {
+    const auto it = slots_.find(name);
+    if (it != slots_.end()) candidates.push_back(it->second);
+  }
+  return candidates;
+}
+
+Duration Router::hedge_delay() const {
+  if (latency_.count() < options_.hedge_min_samples) {
+    return options_.hedge_max_delay;
+  }
+  const double q = latency_.quantile(options_.hedge_quantile);
+  return Duration::seconds(
+      std::clamp(q, options_.hedge_min_delay.as_seconds(),
+                 options_.hedge_max_delay.as_seconds()));
+}
+
+bool Router::launch(const std::vector<SlotPtr>& candidates, std::size_t& next,
+                    bool is_hedge, Flight& out,
+                    const serve::Request& request) {
+  while (next < candidates.size()) {
+    SlotPtr slot = candidates[next++];
+    if (!slot->breaker.allow()) {
+      breaker_rejections_.fetch_add(1);
+      router_obs().breaker_rejections.add();
+      continue;
+    }
+    try {
+      Flight flight;
+      flight.launched = std::chrono::steady_clock::now();
+      flight.future = slot->backend->submit(request);
+      flight.slot = slot;
+      flight.is_hedge = is_hedge;
+      slot->in_flight.fetch_add(1, std::memory_order_relaxed);
+      slot->gauge.add(1);
+      out = std::move(flight);
+      return true;
+    } catch (const std::exception&) {
+      // Could not even accept (killed node, stopped pool): a synchronous
+      // failure, recorded like any other.
+      slot->breaker.record_failure();
+      failovers_.fetch_add(1);
+      router_obs().failovers.add();
+    }
+  }
+  return false;
+}
+
+serve::Response Router::predict(const serve::Request& request) {
+  obs::ObsSpan span("cluster.router.predict");
+  if (stopped_.load(std::memory_order_acquire)) {
+    throw Error("cluster router is stopped");
+  }
+  requests_.fetch_add(1);
+  router_obs().requests.add();
+
+  const std::vector<SlotPtr> candidates = route(request);
+  if (candidates.empty()) {
+    throw Error("cluster router has no backends");
+  }
+
+  auto finish = [&](Flight& flight) {
+    flight.slot->in_flight.fetch_add(-1, std::memory_order_relaxed);
+    flight.slot->gauge.add(-1);
+  };
+  auto typed_failure = [&] {
+    exhausted_.fetch_add(1);
+    router_obs().exhausted.add();
+    serve::Response response;
+    response.kind = request.kind;
+    response.status = serve::ResponseStatus::InternalError;
+    response.error = "all " + std::to_string(candidates.size()) +
+                     " replicas failed";
+    return response;
+  };
+
+  std::size_t next = 0;
+  std::vector<Flight> flights;
+  {
+    Flight primary;
+    if (!launch(candidates, next, /*is_hedge=*/false, primary, request)) {
+      return typed_failure();
+    }
+    flights.push_back(std::move(primary));
+  }
+  const auto hedge_at = flights.front().launched + to_steady(hedge_delay());
+  bool hedge_considered = !options_.hedging;
+
+  const auto slice = to_steady(options_.poll_slice);
+  while (true) {
+    // Poll every outstanding flight for one slice's worth of budget.
+    const auto wait =
+        slice / static_cast<std::int64_t>(std::max<std::size_t>(
+                    flights.size(), 1));
+    for (auto it = flights.begin(); it != flights.end();) {
+      if (it->future.wait_for(wait) != std::future_status::ready) {
+        ++it;
+        continue;
+      }
+      try {
+        serve::Response response = it->future.get();
+        // Winner: record, abandon the rest, answer.
+        it->slot->breaker.record_success();
+        const double took =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          it->launched)
+                .count();
+        latency_.record(took);
+        router_obs().latency_us.record(took * 1e6);
+        if (it->is_hedge) {
+          hedge_wins_.fetch_add(1);
+          router_obs().hedge_wins.add();
+        }
+        finish(*it);
+        for (auto other = flights.begin(); other != flights.end(); ++other) {
+          if (other == it) continue;
+          // The loser keeps computing into a dropped promise-backed
+          // future; its duplicate answer is discarded, which is safe
+          // because predictions are pure.
+          finish(*other);
+          hedges_abandoned_.fetch_add(1);
+          router_obs().hedges_abandoned.add();
+        }
+        return response;
+      } catch (const std::exception&) {
+        it->slot->breaker.record_failure();
+        finish(*it);
+        failovers_.fetch_add(1);
+        router_obs().failovers.add();
+        it = flights.erase(it);
+      }
+    }
+
+    if (flights.empty()) {
+      Flight replacement;
+      if (!launch(candidates, next, /*is_hedge=*/false, replacement,
+                  request)) {
+        return typed_failure();
+      }
+      flights.push_back(std::move(replacement));
+      continue;
+    }
+
+    if (!hedge_considered &&
+        std::chrono::steady_clock::now() >= hedge_at) {
+      hedge_considered = true;  // one hedge per request, fired or not
+      Flight hedge;
+      if (launch(candidates, next, /*is_hedge=*/true, hedge, request)) {
+        hedges_fired_.fetch_add(1);
+        router_obs().hedges_fired.add();
+        flights.push_back(std::move(hedge));
+      }
+    }
+  }
+}
+
+std::future<serve::Response> Router::submit(serve::Request request) {
+  AsyncJob job;
+  job.request = std::move(request);
+  std::future<serve::Response> future = job.promise.get_future();
+  if (!async_queue_.push(std::move(job))) {
+    throw Error("cluster router is stopped");
+  }
+  return future;
+}
+
+void Router::executor_loop() {
+  while (true) {
+    std::vector<AsyncJob> batch = async_queue_.pop_batch(1);
+    if (batch.empty()) return;  // closed and drained
+    AsyncJob& job = batch.front();
+    try {
+      job.promise.set_value(predict(job.request));
+    } catch (const std::exception& e) {
+      // predict() throws only for no-backends/stopped; keep the serve
+      // contract (futures resolve, never carry exceptions).
+      serve::Response response;
+      response.kind = job.request.kind;
+      response.status = serve::ResponseStatus::InternalError;
+      response.error = e.what();
+      job.promise.set_value(std::move(response));
+    }
+  }
+}
+
+void Router::health_loop() {
+  const auto interval = to_steady(options_.health_interval);
+  const auto tick = std::chrono::milliseconds(5);
+  auto next_probe = std::chrono::steady_clock::now();
+  while (!stopped_.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() < next_probe) {
+      std::this_thread::sleep_for(tick);
+      continue;
+    }
+    next_probe = std::chrono::steady_clock::now() + interval;
+
+    std::vector<SlotPtr> snapshot;
+    {
+      std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+      snapshot.reserve(slots_.size());
+      for (const auto& [name, slot] : slots_) snapshot.push_back(slot);
+    }
+    for (const SlotPtr& slot : snapshot) {
+      if (stopped_.load(std::memory_order_acquire)) return;
+      bool up = false;
+      try {
+        up = slot->backend->ping();
+      } catch (const std::exception&) {
+        up = false;
+      }
+      if (up) {
+        // Feed successes only into a probing breaker (Open/HalfOpen):
+        // pings against a Closed one would reset the consecutive-failure
+        // count from outside the request path and mask a failing backend.
+        if (slot->breaker.state() != BreakerState::Closed) {
+          if (slot->breaker.allow()) slot->breaker.record_success();
+        }
+      } else {
+        slot->breaker.record_failure();
+      }
+    }
+
+    // Mirror Closed/HalfOpen -> Open transitions into the obs counter
+    // (single-threaded here, so a plain delta is race-free).
+    std::uint64_t opens = 0;
+    for (const SlotPtr& slot : snapshot) opens += slot->breaker.opens();
+    if (opens > reported_opens_) {
+      router_obs().breaker_opens.add(opens - reported_opens_);
+      reported_opens_ = opens;
+    }
+  }
+}
+
+net::HealthStatus Router::health() const {
+  net::HealthStatus status;
+  status.queue_depth = static_cast<std::uint32_t>(async_queue_.size());
+  status.queue_capacity = 4096;
+  status.workers = static_cast<std::uint32_t>(options_.async_workers);
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  status.boards = static_cast<std::uint16_t>(slots_.size());
+  // Accepting means a request submitted now could be served: the router is
+  // running and at least one backend's breaker admits traffic (state()
+  // already reports a lapsed-cooldown Open as HalfOpen).
+  bool admits = false;
+  for (const auto& [name, slot] : slots_) {
+    if (slot->breaker.state() != BreakerState::Open) {
+      admits = true;
+      break;
+    }
+  }
+  status.accepting = admits && !stopped_.load(std::memory_order_acquire);
+  return status;
+}
+
+BreakerState Router::breaker_state(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  const auto it = slots_.find(name);
+  GPPM_CHECK(it != slots_.end(), "unknown backend '" + name + "'");
+  return it->second->breaker.state();
+}
+
+std::int64_t Router::in_flight(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  const auto it = slots_.find(name);
+  return it == slots_.end()
+             ? 0
+             : it->second->in_flight.load(std::memory_order_relaxed);
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.requests = requests_.load();
+  s.hedges_fired = hedges_fired_.load();
+  s.hedge_wins = hedge_wins_.load();
+  s.hedges_abandoned = hedges_abandoned_.load();
+  s.failovers = failovers_.load();
+  s.breaker_rejections = breaker_rejections_.load();
+  s.ring_remaps = ring_remaps_.load();
+  s.exhausted = exhausted_.load();
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  for (const auto& [name, slot] : slots_) {
+    s.breaker_opens += slot->breaker.opens();
+  }
+  return s;
+}
+
+}  // namespace gppm::cluster

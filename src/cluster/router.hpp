@@ -1,0 +1,222 @@
+// cluster::Router — sharded, replicated front-end over a backend fleet.
+//
+// Placement: each request's key (see ring.hpp) owns R replicas on a
+// consistent-hash ring, primary first.  The router sends to the primary
+// and holds the rest as hedge/failover targets, so a single backend loss
+// costs its keys one failover, not an outage, and membership change
+// remaps only ≈K/N keys.
+//
+// Tail control, layered in order of escalation:
+//
+//   * circuit breaking — a backend that keeps failing trips its breaker
+//     Open and is routed around without spending a connection attempt;
+//     the health loop probes it (HalfOpen) and closes the breaker when it
+//     answers again;
+//   * hedged requests — if the primary has not answered within the
+//     observed p`hedge_quantile` latency (log-binned tracker, clamped to
+//     [hedge_min_delay, hedge_max_delay]), the same request is fired at
+//     the next replica and the first answer wins.  The loser is
+//     abandoned, not awaited: the futures are promise-backed, so dropping
+//     the handle never blocks, and the work it represents is accounted
+//     under hedges_abandoned.  Predictions are pure, which is what makes
+//     the duplicate send safe;
+//   * failover — a failed flight (submit threw, or the future carried an
+//     exception) records a breaker failure and moves to the next replica;
+//     only when every replica has failed does the caller get an answer —
+//     a typed ResponseStatus::InternalError response, never an exception,
+//     mirroring the serve contract.
+//
+// Deadlines need no router logic: they ride the request into whichever
+// backend serves it and the serve admission queue enforces them; load
+// shedding likewise comes back as a typed Overloaded answer.
+//
+// predict() is synchronous on the caller's thread (closed-loop clients,
+// the bench).  submit() runs predict() on a private executor and returns
+// a future — the shape net::Server's bridge needs.  Everything is
+// instrumented under cluster.router.* (requests, hedges fired/won/
+// abandoned, failovers, breaker transitions, ring remaps, per-backend
+// in-flight gauges, end-to-end latency histogram).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend.hpp"
+#include "cluster/breaker.hpp"
+#include "cluster/ring.hpp"
+#include "common/units.hpp"
+#include "net/protocol.hpp"
+#include "obs/obs.hpp"
+
+namespace gppm::cluster {
+
+/// Lock-free log-binned latency sketch: record() on the hot path is two
+/// relaxed atomic increments, quantile() scans 64 bins.  Good to ~19 % bin
+/// width, plenty for a hedge trigger.
+class LatencyTracker {
+ public:
+  void record(double seconds);
+  /// Approximate q-quantile (upper edge of the containing bin), or 0 with
+  /// no samples.
+  double quantile(double q) const;
+  std::uint64_t count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kBins = 64;
+  std::atomic<std::uint64_t> bins_[kBins] = {};
+  std::atomic<std::uint64_t> total_{0};
+};
+
+struct RouterOptions {
+  /// Owners per key (>=2 for the loss-of-one-backend story; clamped to
+  /// the fleet size at routing time).
+  std::size_t replicas = 2;
+  std::size_t ring_vnodes = 256;
+
+  bool hedging = true;
+  /// Hedge fires when the primary is slower than this observed quantile.
+  double hedge_quantile = 0.99;
+  Duration hedge_min_delay = Duration::milliseconds(0.5);
+  Duration hedge_max_delay = Duration::milliseconds(100.0);
+  /// Below this many recorded latencies the trigger is hedge_max_delay
+  /// (be conservative until the distribution is known).
+  std::uint64_t hedge_min_samples = 64;
+
+  /// Completion poll tick while flights are outstanding.
+  Duration poll_slice = Duration::microseconds(200.0);
+
+  BreakerOptions breaker;
+
+  /// Health-probe period; 0 disables the background loop (tests drive
+  /// breakers directly).
+  Duration health_interval = Duration::milliseconds(25.0);
+
+  /// Executor threads behind submit().
+  std::size_t async_workers = 4;
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hedges_fired = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedges_abandoned = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_rejections = 0;
+  std::uint64_t ring_remaps = 0;
+  std::uint64_t exhausted = 0;  ///< every replica failed
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Join a backend to the ring (name from backend->name(); must be
+  /// unique among live members).
+  void add_backend(std::shared_ptr<Backend> backend);
+  /// Leave the ring; in-flight requests on the backend finish on their
+  /// own.  No-op for unknown names.
+  void remove_backend(const std::string& name);
+  std::vector<std::string> backends() const;
+
+  /// Route, hedge, fail over; always answers (typed statuses for
+  /// failures).  Throws gppm::Error only when the router has no backends
+  /// at all or is stopped.
+  serve::Response predict(const serve::Request& request);
+
+  /// predict() on the executor; the future never carries an exception
+  /// once enqueued.  Throws gppm::Error after stop() (the serve submit
+  /// contract).
+  std::future<serve::Response> submit(serve::Request request);
+
+  /// Aggregate health for the net bridge: accepting while any backend's
+  /// breaker admits traffic.
+  net::HealthStatus health() const;
+
+  BreakerState breaker_state(const std::string& name) const;
+  RouterStats stats() const;
+  /// Router-observed in-flight count for one backend (0 for unknown).
+  std::int64_t in_flight(const std::string& name) const;
+  /// Current hedge trigger (what the next slow primary would wait).
+  Duration hedge_delay() const;
+
+  /// Stop the health loop and the executor; backends are left running
+  /// (the fleet owns their lifecycle).  Idempotent.
+  void stop();
+
+ private:
+  struct Slot {
+    std::shared_ptr<Backend> backend;
+    CircuitBreaker breaker;
+    std::atomic<std::int64_t> in_flight{0};
+    /// cluster.router.in_flight.<name>, resolved once at join time so the
+    /// hot path never touches the registry map.
+    obs::Gauge& gauge;
+    Slot(std::shared_ptr<Backend> b, const BreakerOptions& bo,
+         obs::Gauge& g)
+        : backend(std::move(b)), breaker(bo), gauge(g) {}
+  };
+  using SlotPtr = std::shared_ptr<Slot>;
+
+  struct AsyncJob {
+    serve::Request request;
+    std::promise<serve::Response> promise;
+  };
+
+  /// One launched attempt.
+  struct Flight {
+    SlotPtr slot;
+    std::future<serve::Response> future;
+    std::chrono::steady_clock::time_point launched;
+    bool is_hedge = false;
+  };
+
+  std::vector<SlotPtr> route(const serve::Request& request) const;
+  /// Launch on the first admissible candidate from `next` on; records
+  /// breaker failures for refused/failed launches.  Returns false when no
+  /// candidate remains.
+  bool launch(const std::vector<SlotPtr>& candidates, std::size_t& next,
+              bool is_hedge, Flight& out, const serve::Request& request);
+  void health_loop();
+  void executor_loop();
+
+  RouterOptions options_;
+  mutable std::shared_mutex membership_mutex_;
+  HashRing ring_;
+  std::map<std::string, SlotPtr> slots_;
+
+  LatencyTracker latency_;
+
+  serve::BoundedQueue<AsyncJob> async_queue_;
+  std::vector<std::thread> executors_;
+  std::thread health_thread_;
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hedges_fired_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> hedges_abandoned_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> breaker_rejections_{0};
+  std::atomic<std::uint64_t> ring_remaps_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+  /// Breaker opens already mirrored to the obs counter (health thread
+  /// only).
+  std::uint64_t reported_opens_ = 0;
+};
+
+}  // namespace gppm::cluster

@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include <mutex>
+
 namespace gppm::fault {
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
@@ -8,6 +10,7 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
 }
 
 void FaultInjector::reset(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
   seed_ = seed;
   states_.clear();
   stats_.clear();
@@ -26,6 +29,7 @@ FaultInjector::SiteState& FaultInjector::state(std::string_view site) {
 }
 
 bool FaultInjector::should_fire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
   SiteState& s = state(site);
   SiteStats& st = stats_[std::string(site)];
   ++st.checks;
@@ -49,16 +53,24 @@ double FaultInjector::magnitude(std::string_view site) const {
 }
 
 double FaultInjector::uniform(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return state(site).rng.uniform();
 }
 
+std::map<std::string, SiteStats, std::less<>> FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 std::uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t n = 0;
   for (const auto& [site, st] : stats_) n += st.fires;
   return n;
 }
 
 std::uint64_t FaultInjector::total_checks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t n = 0;
   for (const auto& [site, st] : stats_) n += st.checks;
   return n;

@@ -13,10 +13,19 @@
 // several consecutive samples, a driver hiccup fails several consecutive
 // queries): once a site triggers, it keeps firing for `burst` consecutive
 // checks before re-arming.
+//
+// Thread safety: all methods take one internal mutex, so a single injector
+// can sit under concurrent socket paths (the cluster chaos profile drives
+// hedged RPCs against several backends through one injector).  Each site's
+// stream is still deterministic given its own check sequence; when checks
+// of ONE site race across threads, their interleaving — and hence which
+// check a fault lands on — is scheduling-dependent, so byte-reproducible
+// runs require each site to be exercised from one thread at a time.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -60,9 +69,8 @@ class FaultInjector {
   std::uint64_t seed() const { return seed_; }
 
   /// Firing statistics per site (sites appear once checked or planned).
-  const std::map<std::string, SiteStats, std::less<>>& stats() const {
-    return stats_;
-  }
+  /// Returned by value: a snapshot, safe against concurrent checks.
+  std::map<std::string, SiteStats, std::less<>> stats() const;
   std::uint64_t total_fires() const;
   std::uint64_t total_checks() const;
 
@@ -76,6 +84,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::uint64_t seed_ = 0;
+  mutable std::mutex mutex_;
   std::map<std::string, SiteState, std::less<>> states_;
   std::map<std::string, SiteStats, std::less<>> stats_;
 };

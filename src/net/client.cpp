@@ -15,6 +15,7 @@ struct ClientObs {
   obs::Counter& rpcs;
   obs::Counter& reconnects;
   obs::Counter& transport_retries;
+  obs::Counter& stale_evictions;
   obs::Counter& bytes_tx;
   obs::Counter& bytes_rx;
   obs::Histogram& rtt_us;
@@ -26,6 +27,7 @@ ClientObs& client_obs() {
       reg.counter("net.client.rpcs"),
       reg.counter("net.client.reconnects"),
       reg.counter("net.client.transport_retries"),
+      reg.counter("net.client.stale_evictions"),
       reg.counter("net.client.bytes_tx"),
       reg.counter("net.client.bytes_rx"),
       reg.histogram("net.client.rtt_us",
@@ -66,6 +68,7 @@ ClientStats Client::stats() const {
   s.connects = connects_.load();
   s.reconnects = reconnects_.load();
   s.transport_retries = transport_retries_.load();
+  s.stale_evictions = stale_evictions_.load();
   s.frames_sent = frames_sent_.load();
   s.frames_received = frames_received_.load();
   s.bytes_sent = bytes_sent_.load();
@@ -73,13 +76,41 @@ ClientStats Client::stats() const {
   return s;
 }
 
+bool Client::is_stale(Conn& conn) const {
+  // Half a frame buffered from an aborted exchange: the stream position
+  // is unknown and the next response would mis-frame.
+  if (conn.decoder.buffered() > 0) return true;
+  if (options_.idle_timeout_ms > 0 &&
+      std::chrono::steady_clock::now() - conn.last_used >
+          std::chrono::milliseconds(options_.idle_timeout_ms)) {
+    return true;
+  }
+  // Between RPCs the server owes this connection nothing, so a readable
+  // socket means EOF (the server died or restarted) or stray bytes; both
+  // make the FD unusable.  This is the probe that lets a killed-and-
+  // restarted backend be re-adopted without a stale-FD error burning a
+  // retry attempt, let alone surfacing to the caller.
+  try {
+    return conn.socket.wait_readable(0);
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
 void Client::ensure_connected(Conn& conn) {
-  if (conn.connected) return;
+  if (conn.connected) {
+    if (!is_stale(conn)) return;
+    conn.socket.close();
+    conn.connected = false;
+    stale_evictions_.fetch_add(1);
+    client_obs().stale_evictions.add();
+  }
   conn.socket =
       fault::FaultySocket::connect(options_.host, options_.port, injector_);
   // A fresh connection carries no stale half-frame from the last one.
   conn.decoder = FrameDecoder(options_.max_frame_payload);
   conn.connected = true;
+  conn.last_used = std::chrono::steady_clock::now();
   if (connects_.fetch_add(1) >= pool_.size()) {
     reconnects_.fetch_add(1);
     client_obs().reconnects.add();
@@ -100,6 +131,7 @@ Frame Client::read_frame(Conn& conn) {
   while (true) {
     if (std::optional<Frame> frame = conn.decoder.next()) {
       frames_received_.fetch_add(1);
+      conn.last_used = std::chrono::steady_clock::now();
       return std::move(*frame);
     }
     if (!conn.socket.wait_readable(options_.response_timeout_ms)) {
@@ -285,6 +317,22 @@ void Client::ping() {
   if (decode_ping(frame.payload) != token) {
     throw ProtocolError("pong token does not match ping");
   }
+}
+
+HealthStatus Client::health() {
+  const std::uint64_t token =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const Frame frame =
+      call(FrameType::HealthRequest, encode_health_request(token), 0);
+  if (frame.header.type != FrameType::HealthResponse) {
+    throw ProtocolError("expected HealthResponse, got " +
+                        to_string(frame.header.type));
+  }
+  DecodedHealth decoded = decode_health_response(frame.payload);
+  if (decoded.token != token) {
+    throw ProtocolError("health token does not match request");
+  }
+  return decoded.status;
 }
 
 }  // namespace gppm::net

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -68,6 +69,11 @@ struct ClientOptions {
   /// How long one RPC waits for its response frame before the connection
   /// is declared dead (ConnectionError, hence retried).
   int response_timeout_ms = 30000;
+  /// Pooled connections idle longer than this are closed and redialed on
+  /// next use instead of trusting a socket the server may long since have
+  /// dropped.  0 disables the idle check (the pre-send liveness probe
+  /// still runs).
+  int idle_timeout_ms = 0;
 };
 
 struct ClientStats {
@@ -75,6 +81,11 @@ struct ClientStats {
   std::uint64_t connects = 0;
   std::uint64_t reconnects = 0;
   std::uint64_t transport_retries = 0;
+  /// Pooled connections found dead/stale *before* a send (EOF or stray
+  /// bytes while idle, half-frame leftovers, idle timeout) and replaced
+  /// silently — the redial does not burn a retry attempt and no error
+  /// surfaces to the caller.
+  std::uint64_t stale_evictions = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_sent = 0;
@@ -116,6 +127,12 @@ class Client {
   /// Round-trip liveness probe.  Throws on transport/protocol failure.
   void ping();
 
+  /// Liveness + load snapshot (protocol v2).  The server answers inline on
+  /// its reader thread, so this observes prediction-queue pressure instead
+  /// of queuing behind it.  A v1 peer rejects the frame with a typed
+  /// ErrorReply, which surfaces here as RpcError.
+  HealthStatus health();
+
   /// Drop every pooled connection (an in-flight RPC on another thread
   /// finishes its attempt first; subsequent RPCs redial).
   void close();
@@ -130,6 +147,7 @@ class Client {
     FrameDecoder decoder;
     bool connected = false;
     Rng rng{0};
+    std::chrono::steady_clock::time_point last_used{};
   };
 
   /// Send `payload` as a `type` frame and read the next frame back,
@@ -140,6 +158,11 @@ class Client {
   /// Block until the next whole frame arrives on `conn`.
   Frame read_frame(Conn& conn);
   void ensure_connected(Conn& conn);
+  /// True when a nominally connected pool slot cannot be trusted for the
+  /// next RPC: idle past the timeout, half a frame buffered from an
+  /// aborted exchange, or readable while no response is owed (EOF after a
+  /// server restart, or stray bytes).
+  bool is_stale(Conn& conn) const;
   /// ErrorReply handling shared by all RPCs: decode and throw RpcError.
   [[noreturn]] static void raise_error_reply(const Frame& frame);
 
@@ -153,6 +176,7 @@ class Client {
   std::atomic<std::uint64_t> connects_{0};
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<std::uint64_t> transport_retries_{0};
+  std::atomic<std::uint64_t> stale_evictions_{0};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};

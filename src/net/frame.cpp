@@ -4,9 +4,21 @@
 
 namespace gppm::net {
 
-bool frame_type_known(std::uint8_t raw) {
-  return raw >= static_cast<std::uint8_t>(FrameType::Ping) &&
-         raw <= static_cast<std::uint8_t>(FrameType::ErrorReply);
+bool frame_type_known(std::uint8_t raw, std::uint8_t version) {
+  const std::uint8_t last =
+      version >= 2 ? static_cast<std::uint8_t>(FrameType::HealthResponse)
+                   : static_cast<std::uint8_t>(FrameType::ErrorReply);
+  return raw >= static_cast<std::uint8_t>(FrameType::Ping) && raw <= last;
+}
+
+std::uint8_t frame_min_version(FrameType type) {
+  switch (type) {
+    case FrameType::HealthRequest:
+    case FrameType::HealthResponse:
+      return 2;
+    default:
+      return kBaseProtocolVersion;
+  }
 }
 
 std::string to_string(FrameType type) {
@@ -18,6 +30,8 @@ std::string to_string(FrameType type) {
     case FrameType::PredictRequest: return "predict-request";
     case FrameType::PredictResponse: return "predict-response";
     case FrameType::ErrorReply: return "error-reply";
+    case FrameType::HealthRequest: return "health-request";
+    case FrameType::HealthResponse: return "health-response";
   }
   return "unknown";
 }
@@ -28,7 +42,7 @@ std::vector<std::uint8_t> encode_frame(FrameType type,
   GPPM_CHECK(payload.size() <= 0xffffffffull, "frame payload too large");
   WireWriter w;
   w.bytes(kFrameMagic.data(), kFrameMagic.size());
-  w.u8(kProtocolVersion);
+  w.u8(frame_min_version(type));
   w.u8(static_cast<std::uint8_t>(type));
   w.u16(0);  // flags, reserved
   w.u32(static_cast<std::uint32_t>(payload.size()));
@@ -61,16 +75,23 @@ std::optional<Frame> FrameDecoder::next() {
   for (std::uint8_t& b : magic) b = reader.u8();
   if (magic != kFrameMagic) throw ProtocolError("bad frame magic");
   const std::uint8_t version = reader.u8();
-  if (version != kProtocolVersion) {
+  if (version < kBaseProtocolVersion || version > max_version_) {
     throw ProtocolError("unsupported protocol version " +
                         std::to_string(version));
   }
   const std::uint8_t raw_type = reader.u8();
-  if (!frame_type_known(raw_type)) {
-    throw ProtocolError("unknown frame type " + std::to_string(raw_type));
+  if (!frame_type_known(raw_type, version)) {
+    throw ProtocolError("unknown frame type " + std::to_string(raw_type) +
+                        " for protocol version " + std::to_string(version));
   }
   FrameHeader header;
   header.type = static_cast<FrameType>(raw_type);
+  header.version = version;
+  if (frame_min_version(header.type) > version) {
+    throw ProtocolError(to_string(header.type) +
+                        " frame stamped with pre-dating version " +
+                        std::to_string(version));
+  }
   header.flags = reader.u16();
   if (header.flags != 0) {
     throw ProtocolError("nonzero reserved flags " +

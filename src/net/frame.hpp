@@ -36,7 +36,15 @@ namespace gppm::net {
 
 inline constexpr std::array<std::uint8_t, 4> kFrameMagic = {'G', 'P', 'P',
                                                             'M'};
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Highest protocol version this build speaks.  Version 2 added the
+/// health frame pair (HealthRequest/HealthResponse).
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// The original wire version.  Every pre-health frame type is still
+/// emitted at this version so a v1-only peer interoperates untouched on
+/// the predict path; only the newer frame kinds ride a v2 header, which a
+/// v1 peer rejects cleanly (ProtocolError -> typed ErrorReply + drop)
+/// instead of mis-parsing.
+inline constexpr std::uint8_t kBaseProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderSize = 24;
 /// Default per-frame payload cap.  A full Kepler counter vector with names
 /// is ~5 KiB; 1 MiB leaves two orders of magnitude of headroom while
@@ -52,15 +60,23 @@ enum class FrameType : std::uint8_t {
   PredictRequest = 5,   ///< request id + serve::Request
   PredictResponse = 6,  ///< request id + serve::Response
   ErrorReply = 7,       ///< u16 code + message; sent before dropping a peer
+  HealthRequest = 8,    ///< v2: u64 token; answered off the predict path
+  HealthResponse = 9,   ///< v2: token + HealthStatus (protocol.hpp)
 };
 
-/// True for the type values this protocol version defines.
-bool frame_type_known(std::uint8_t raw);
+/// True for the type values the given protocol version defines.
+bool frame_type_known(std::uint8_t raw,
+                      std::uint8_t version = kProtocolVersion);
+
+/// The lowest protocol version that defines `type` — the version a frame
+/// of that type is stamped with on the wire.
+std::uint8_t frame_min_version(FrameType type);
 
 std::string to_string(FrameType type);
 
 struct FrameHeader {
   FrameType type = FrameType::Ping;
+  std::uint8_t version = kBaseProtocolVersion;
   std::uint16_t flags = 0;
   std::uint32_t payload_size = 0;
   std::uint32_t payload_crc = 0;
@@ -72,7 +88,8 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
-/// Serialize one frame (header computed from the payload).
+/// Serialize one frame (header computed from the payload; the version byte
+/// is frame_min_version(type), so legacy traffic stays v1 on the wire).
 std::vector<std::uint8_t> encode_frame(FrameType type,
                                        const std::vector<std::uint8_t>& payload,
                                        std::uint64_t deadline_micros = 0);
@@ -80,8 +97,14 @@ std::vector<std::uint8_t> encode_frame(FrameType type,
 /// Incremental frame reassembler over an arbitrarily chunked byte stream.
 class FrameDecoder {
  public:
-  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
-      : max_payload_(max_payload) {}
+  /// `max_version` caps the protocol versions this decoder accepts
+  /// (inclusive; the floor is kBaseProtocolVersion).  The default speaks
+  /// everything this build knows; passing kBaseProtocolVersion simulates a
+  /// v1-only peer, which the version-gating tests use to prove newer frame
+  /// kinds are rejected cleanly rather than mis-parsed.
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload,
+                        std::uint8_t max_version = kProtocolVersion)
+      : max_payload_(max_payload), max_version_(max_version) {}
 
   /// Buffer `size` more stream bytes.
   void feed(const std::uint8_t* data, std::size_t size);
@@ -98,6 +121,7 @@ class FrameDecoder {
 
  private:
   std::size_t max_payload_;
+  std::uint8_t max_version_ = kProtocolVersion;
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_ = 0;
 };

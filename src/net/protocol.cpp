@@ -187,6 +187,48 @@ std::uint64_t decode_ping(const std::vector<std::uint8_t>& payload) {
   return token;
 }
 
+std::vector<std::uint8_t> encode_health_request(std::uint64_t token) {
+  WireWriter w;
+  w.u64(token);
+  return w.take();
+}
+
+std::uint64_t decode_health_request(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  const std::uint64_t token = r.u64();
+  r.expect_done("health-request");
+  return token;
+}
+
+std::vector<std::uint8_t> encode_health_response(std::uint64_t token,
+                                                 const HealthStatus& status) {
+  WireWriter w;
+  w.u64(token);
+  w.u8(status.protocol_version);
+  w.u8(status.accepting ? 1 : 0);
+  w.u16(status.boards);
+  w.u32(status.queue_depth);
+  w.u32(status.queue_capacity);
+  w.u32(status.workers);
+  return w.take();
+}
+
+DecodedHealth decode_health_response(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  DecodedHealth decoded;
+  decoded.token = r.u64();
+  decoded.status.protocol_version = r.u8();
+  const std::uint8_t accepting = r.u8();
+  if (accepting > 1) throw ProtocolError("bad health accepting flag");
+  decoded.status.accepting = accepting != 0;
+  decoded.status.boards = r.u16();
+  decoded.status.queue_depth = r.u32();
+  decoded.status.queue_capacity = r.u32();
+  decoded.status.workers = r.u32();
+  r.expect_done("health-response");
+  return decoded;
+}
+
 std::vector<std::uint8_t> encode_wire_error(const WireError& error) {
   WireWriter w;
   w.u16(static_cast<std::uint16_t>(error.code));

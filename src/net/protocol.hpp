@@ -82,6 +82,32 @@ ServerInfo decode_server_info(const std::vector<std::uint8_t>& payload);
 std::vector<std::uint8_t> encode_ping(std::uint64_t token);
 std::uint64_t decode_ping(const std::vector<std::uint8_t>& payload);
 
+// --- Health (protocol v2) -------------------------------------------------
+
+/// Liveness + load snapshot carried by a HealthResponse.  Deliberately
+/// small and answered inline by the transport (never bridged through the
+/// prediction queue), so a health probe observes queue pressure instead of
+/// adding to it.
+struct HealthStatus {
+  std::uint8_t protocol_version = kProtocolVersion;
+  bool accepting = true;            ///< false once shutdown has begun
+  std::uint16_t boards = 0;         ///< served model pairs
+  std::uint32_t queue_depth = 0;    ///< requests waiting in the serve queue
+  std::uint32_t queue_capacity = 0; ///< serve queue bound
+  std::uint32_t workers = 0;        ///< prediction worker threads
+};
+
+struct DecodedHealth {
+  std::uint64_t token = 0;  ///< echo of the request token
+  HealthStatus status;
+};
+
+std::vector<std::uint8_t> encode_health_request(std::uint64_t token);
+std::uint64_t decode_health_request(const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> encode_health_response(std::uint64_t token,
+                                                 const HealthStatus& status);
+DecodedHealth decode_health_response(const std::vector<std::uint8_t>& payload);
+
 // --- ErrorReply -----------------------------------------------------------
 std::vector<std::uint8_t> encode_wire_error(const WireError& error);
 WireError decode_wire_error(const std::vector<std::uint8_t>& payload);

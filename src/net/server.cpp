@@ -38,12 +38,38 @@ ServerObs& server_obs() {
 
 }  // namespace
 
+ServeBridge bridge_prediction_server(serve::PredictionServer& backend) {
+  ServeBridge bridge;
+  bridge.submit = [&backend](serve::Request request) {
+    return backend.submit(std::move(request));
+  };
+  bridge.loaded_models = [&backend] { return backend.loaded_models(); };
+  bridge.health = [&backend] {
+    HealthStatus status;
+    status.accepting = backend.running();
+    status.boards = static_cast<std::uint16_t>(backend.loaded_models().size());
+    status.queue_depth = static_cast<std::uint32_t>(backend.queue_depth());
+    status.queue_capacity =
+        static_cast<std::uint32_t>(backend.options().queue_capacity);
+    status.workers =
+        static_cast<std::uint32_t>(backend.options().worker_threads);
+    return status;
+  };
+  return bridge;
+}
+
 Server::Server(serve::PredictionServer& backend, ServerOptions options,
                fault::FaultInjector* injector)
-    : backend_(backend),
+    : Server(bridge_prediction_server(backend), std::move(options), injector) {}
+
+Server::Server(ServeBridge bridge, ServerOptions options,
+               fault::FaultInjector* injector)
+    : bridge_(std::move(bridge)),
       options_(std::move(options)),
       injector_(injector),
       listener_(options_.bind_address, options_.port, options_.backlog) {
+  GPPM_CHECK(bridge_.submit && bridge_.loaded_models && bridge_.health,
+             "ServeBridge requires submit, loaded_models and health");
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -87,7 +113,7 @@ ServerStats Server::stats() const {
 ServerInfo Server::build_info() const {
   ServerInfo info;
   for (const serve::PredictionServer::LoadedModel& m :
-       backend_.loaded_models()) {
+       bridge_.loaded_models()) {
     info.boards.push_back({m.gpu, m.power_fingerprint, m.perf_fingerprint});
   }
   return info;
@@ -214,13 +240,22 @@ bool Server::dispatch(Connection& conn, Frame frame) {
       reply.type = FrameType::InfoResponse;
       reply.payload = encode_server_info(build_info());
       break;
+    case FrameType::HealthRequest:
+      // Answered right here on the reader thread, never bridged through
+      // the prediction queue: a probe of a saturated backend must observe
+      // the pressure, not queue behind it.
+      reply.type = FrameType::HealthResponse;
+      reply.payload = encode_health_response(decode_health_request(
+                                                 frame.payload),
+                                             bridge_.health());
+      break;
     case FrameType::PredictRequest: {
       DecodedRequest decoded = decode_predict_request(
           frame.payload, frame.header.deadline_micros);
       reply.type = FrameType::PredictResponse;
       reply.request_id = decoded.request_id;
       try {
-        reply.future = backend_.submit(std::move(decoded.request));
+        reply.future = bridge_.submit(std::move(decoded.request));
         requests_bridged_.fetch_add(1);
       } catch (const Error& e) {
         // Backend rejected (shutdown): answer typed, then drop the peer —
@@ -235,7 +270,8 @@ bool Server::dispatch(Connection& conn, Frame frame) {
       break;
     }
     default:
-      // Server-bound traffic is Ping / InfoRequest / PredictRequest only.
+      // Server-bound traffic is Ping / InfoRequest / HealthRequest /
+      // PredictRequest only.
       throw ProtocolError("unexpected " + to_string(frame.header.type) +
                           " frame on the server side");
   }

@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -84,13 +85,33 @@ struct ServerStats {
   std::uint64_t requests_bridged = 0;
 };
 
-/// TCP front-end over a serve::PredictionServer.
+/// What the transport needs from whatever answers requests.  The classic
+/// shape binds a serve::PredictionServer directly; the cluster router
+/// binds its own submit path so a whole fleet can sit behind one port.
+/// `health` is answered inline on the reader thread — it must be cheap and
+/// must never block on the prediction queue.
+struct ServeBridge {
+  std::function<std::future<serve::Response>(serve::Request)> submit;
+  std::function<std::vector<serve::PredictionServer::LoadedModel>()>
+      loaded_models;
+  std::function<HealthStatus()> health;
+};
+
+/// Build the bridge for the single-node shape.  `backend` must outlive
+/// every use of the returned functions.
+ServeBridge bridge_prediction_server(serve::PredictionServer& backend);
+
+/// TCP front-end over a ServeBridge (a PredictionServer or a cluster
+/// router).
 class Server {
  public:
   /// Binds and starts serving immediately.  `backend` must outlive the
   /// Server.  `injector` may be nullptr; when set, server-side socket I/O
   /// consults the net.* fault sites.
   Server(serve::PredictionServer& backend, ServerOptions options = {},
+         fault::FaultInjector* injector = nullptr);
+  /// Same, fronting an arbitrary bridge (all three functions required).
+  Server(ServeBridge bridge, ServerOptions options = {},
          fault::FaultInjector* injector = nullptr);
   ~Server();
 
@@ -142,7 +163,7 @@ class Server {
   /// accept loop; stop() reaps everything.
   void reap(bool all);
 
-  serve::PredictionServer& backend_;
+  ServeBridge bridge_;
   ServerOptions options_;
   fault::FaultInjector* injector_;
   Listener listener_;

@@ -124,6 +124,10 @@ class PredictionServer {
   void shutdown();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Requests currently waiting in the admission queue — cheap enough for
+  /// a health probe to call on every poll (one mutex acquisition).
+  std::size_t queue_depth() const { return queue_.size(); }
+
   /// Point-in-time metrics (endpoint latencies, batches, queue, cache).
   ServerMetrics metrics() const;
 

@@ -1,0 +1,101 @@
+// Circuit-breaker state machine, driven entirely by explicit time_points —
+// no sleeping, so the transition timings under test are exact.
+#include "cluster/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gppm::cluster {
+namespace {
+
+using Clock = CircuitBreaker::Clock;
+
+constexpr auto kStart = Clock::time_point{std::chrono::seconds(100)};
+
+BreakerOptions fast_options() {
+  BreakerOptions opt;
+  opt.failure_threshold = 3;
+  opt.cooldown = std::chrono::milliseconds(500);
+  opt.half_open_successes = 2;
+  opt.half_open_probes = 2;
+  return opt;
+}
+
+TEST(ClusterBreaker, ClosedAdmitsAndAbsorbsScatteredFailures) {
+  CircuitBreaker breaker(fast_options());
+  EXPECT_EQ(breaker.state(kStart), BreakerState::Closed);
+  // Failures interleaved with successes never accumulate to the threshold:
+  // the counter is *consecutive* failures.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.allow(kStart));
+    breaker.record_failure(kStart);
+    breaker.record_failure(kStart);
+    breaker.record_success(kStart);
+  }
+  EXPECT_EQ(breaker.state(kStart), BreakerState::Closed);
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(ClusterBreaker, ConsecutiveFailuresTripOpen) {
+  CircuitBreaker breaker(fast_options());
+  breaker.record_failure(kStart);
+  breaker.record_failure(kStart);
+  EXPECT_EQ(breaker.state(kStart), BreakerState::Closed);
+  breaker.record_failure(kStart);  // third consecutive
+  EXPECT_EQ(breaker.state(kStart), BreakerState::Open);
+  EXPECT_EQ(breaker.opens(), 1u);
+  // Open refuses everything until the cooldown elapses.
+  EXPECT_FALSE(breaker.allow(kStart));
+  EXPECT_FALSE(breaker.allow(kStart + std::chrono::milliseconds(499)));
+}
+
+TEST(ClusterBreaker, CooldownElapsedAdmitsBoundedProbes) {
+  CircuitBreaker breaker(fast_options());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(kStart);
+  const auto probe_time = kStart + std::chrono::milliseconds(500);
+  // First allow() after the cooldown is the Open -> HalfOpen transition.
+  EXPECT_TRUE(breaker.allow(probe_time));
+  EXPECT_EQ(breaker.state(probe_time), BreakerState::HalfOpen);
+  // A second probe fits (half_open_probes = 2); a third is refused while
+  // both outcomes are pending — no thundering herd on a recovering node.
+  EXPECT_TRUE(breaker.allow(probe_time));
+  EXPECT_FALSE(breaker.allow(probe_time));
+}
+
+TEST(ClusterBreaker, HalfOpenSuccessesClose) {
+  CircuitBreaker breaker(fast_options());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(kStart);
+  const auto probe_time = kStart + std::chrono::milliseconds(500);
+  ASSERT_TRUE(breaker.allow(probe_time));
+  breaker.record_success(probe_time);
+  EXPECT_EQ(breaker.state(probe_time), BreakerState::HalfOpen)
+      << "one success of the required two must not close";
+  ASSERT_TRUE(breaker.allow(probe_time));
+  breaker.record_success(probe_time);
+  EXPECT_EQ(breaker.state(probe_time), BreakerState::Closed);
+  // A closed-again breaker needs a full fresh run of consecutive failures.
+  breaker.record_failure(probe_time);
+  EXPECT_EQ(breaker.state(probe_time), BreakerState::Closed);
+  EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(ClusterBreaker, HalfOpenFailureReopensAndRestartsCooldown) {
+  CircuitBreaker breaker(fast_options());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(kStart);
+  const auto probe_time = kStart + std::chrono::milliseconds(500);
+  ASSERT_TRUE(breaker.allow(probe_time));
+  breaker.record_failure(probe_time);  // probe failed — straight back to Open
+  EXPECT_EQ(breaker.state(probe_time), BreakerState::Open);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // The cooldown restarts from the reopen, not from the original trip.
+  EXPECT_FALSE(breaker.allow(probe_time + std::chrono::milliseconds(499)));
+  EXPECT_TRUE(breaker.allow(probe_time + std::chrono::milliseconds(500)));
+}
+
+TEST(ClusterBreaker, StateToStringCoversAllStates) {
+  EXPECT_EQ(to_string(BreakerState::Closed), "closed");
+  EXPECT_EQ(to_string(BreakerState::Open), "open");
+  EXPECT_EQ(to_string(BreakerState::HalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace gppm::cluster

@@ -1,0 +1,184 @@
+// The two properties consistent hashing is *for*: keys spread near
+// uniformly across members, and membership change remaps a bounded ≈K/N
+// slice of the key space instead of reshuffling everything.
+#include "cluster/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gppm::cluster {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t count,
+                                       std::uint64_t seed = 1) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) keys.push_back(rng.next_u64());
+  return keys;
+}
+
+TEST(ClusterRing, MembershipIsIdempotentAndSorted) {
+  HashRing ring;
+  EXPECT_TRUE(ring.add("b"));
+  EXPECT_TRUE(ring.add("a"));
+  EXPECT_FALSE(ring.add("a"));  // already present
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.contains("a"));
+  EXPECT_FALSE(ring.contains("c"));
+  EXPECT_TRUE(ring.remove("a"));
+  EXPECT_FALSE(ring.remove("a"));
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(ClusterRing, EmptyRingThrowsTypedError) {
+  HashRing ring;
+  EXPECT_THROW(ring.owner(42), Error);
+  ring.add("only");
+  EXPECT_EQ(ring.owner(42), "only");
+}
+
+TEST(ClusterRing, OwnershipIsDeterministic) {
+  HashRing a, b;
+  for (const char* m : {"node0", "node1", "node2"}) {
+    a.add(m);
+    b.add(m);
+  }
+  for (const std::uint64_t key : random_keys(500)) {
+    EXPECT_EQ(a.owner(key), b.owner(key));
+  }
+}
+
+std::map<std::string, std::size_t> owner_counts(
+    const HashRing& ring, const std::vector<std::uint64_t>& keys) {
+  std::map<std::string, std::size_t> counts;
+  for (const std::uint64_t key : keys) ++counts[ring.owner(key)];
+  return counts;
+}
+
+TEST(ClusterRing, DistributionWithinTenPercentOfUniform) {
+  // The distribution bound: with the default 256 vnodes per member, K keys
+  // over N members land within ±10 % of K/N at the fleet sizes the bench
+  // and CLI run (per-member arc variance grows with N, so larger
+  // memberships need more vnodes — pinned separately below).
+  const std::vector<std::uint64_t> keys = random_keys(60000, 7);
+  for (const std::size_t n : {2u, 3u, 4u}) {
+    HashRing ring;
+    for (std::size_t i = 0; i < n; ++i) ring.add("node" + std::to_string(i));
+    const auto counts = owner_counts(ring, keys);
+    const double expected =
+        static_cast<double>(keys.size()) / static_cast<double>(n);
+    ASSERT_EQ(counts.size(), n);
+    for (const auto& [member, count] : counts) {
+      EXPECT_NEAR(static_cast<double>(count), expected, 0.10 * expected)
+          << member << " at N=" << n;
+    }
+  }
+}
+
+TEST(ClusterRing, MoreVnodesTightenTheBandAtLargerMemberships) {
+  const std::vector<std::uint64_t> keys = random_keys(60000, 7);
+  HashRing ring(512);
+  for (std::size_t i = 0; i < 8; ++i) ring.add("node" + std::to_string(i));
+  const auto counts = owner_counts(ring, keys);
+  const double expected = static_cast<double>(keys.size()) / 8.0;
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [member, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), expected, 0.10 * expected)
+        << member;
+  }
+}
+
+TEST(ClusterRing, MemberJoinRemapsAboutOneNthOfKeys) {
+  const std::vector<std::uint64_t> keys = random_keys(40000, 11);
+  for (const std::size_t n : {3u, 5u}) {
+    HashRing ring;
+    for (std::size_t i = 0; i < n; ++i) ring.add("node" + std::to_string(i));
+    std::vector<std::string> before;
+    before.reserve(keys.size());
+    for (const std::uint64_t key : keys) before.push_back(ring.owner(key));
+
+    ring.add("joiner");
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const std::string& now = ring.owner(keys[i]);
+      if (now != before[i]) {
+        // Every remapped key moves *to the joiner*, never between
+        // incumbents — the bounded-remap property.
+        EXPECT_EQ(now, "joiner");
+        ++moved;
+      }
+    }
+    // ≈K/(N+1) keys move; allow a ±40 % band around the ideal share.
+    const double ideal =
+        static_cast<double>(keys.size()) / static_cast<double>(n + 1);
+    EXPECT_NEAR(static_cast<double>(moved), ideal, 0.4 * ideal) << "N=" << n;
+  }
+}
+
+TEST(ClusterRing, MemberLeaveRemapsOnlyItsOwnKeys) {
+  const std::vector<std::uint64_t> keys = random_keys(40000, 13);
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("node" + std::to_string(i));
+  std::vector<std::string> before;
+  before.reserve(keys.size());
+  for (const std::uint64_t key : keys) before.push_back(ring.owner(key));
+
+  ring.remove("node2");
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (before[i] == "node2") {
+      EXPECT_NE(ring.owner(keys[i]), "node2");
+      ++moved;
+    } else {
+      // Keys the leaver did not own must not move at all.
+      EXPECT_EQ(ring.owner(keys[i]), before[i]);
+    }
+  }
+  const double ideal = static_cast<double>(keys.size()) / 4.0;
+  EXPECT_NEAR(static_cast<double>(moved), ideal, 0.4 * ideal);
+}
+
+TEST(ClusterRing, ReplicasAreDistinctPrimaryFirst) {
+  HashRing ring;
+  for (int i = 0; i < 5; ++i) ring.add("node" + std::to_string(i));
+  for (const std::uint64_t key : random_keys(1000, 17)) {
+    const std::vector<std::string> owners = ring.replicas(key, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    EXPECT_EQ(owners[0], ring.owner(key));
+    EXPECT_NE(owners[0], owners[1]);
+    EXPECT_NE(owners[0], owners[2]);
+    EXPECT_NE(owners[1], owners[2]);
+  }
+  // Asking for more replicas than members clamps to the membership.
+  EXPECT_EQ(ring.replicas(1, 99).size(), 5u);
+}
+
+TEST(ClusterRing, RequestKeySpreadsPhasesAndStaysStable) {
+  serve::Request a;
+  a.gpu = sim::GpuModel::GTX460;
+  a.counters.counters.push_back(
+      {"counter0", profiler::EventClass::Core, 10.0, 1.0});
+  serve::Request b = a;
+  b.counters.counters[0].total = 11.0;  // different phase
+  serve::Request c = a;
+  c.gpu = sim::GpuModel::GTX680;  // different board, same phase
+
+  EXPECT_EQ(request_key(a), request_key(a));  // deterministic
+  EXPECT_NE(request_key(a), request_key(b));  // phase in the key
+  EXPECT_NE(request_key(a), request_key(c));  // board in the key
+  // The pair is deliberately *not* in the key: all operating points of a
+  // phase share owners (and their prediction caches).
+  serve::Request d = a;
+  d.pair = {sim::ClockLevel::Low, sim::ClockLevel::Low};
+  EXPECT_EQ(request_key(a), request_key(d));
+}
+
+}  // namespace
+}  // namespace gppm::cluster

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 namespace gppm::fault {
@@ -106,6 +107,34 @@ TEST(FaultInjector, ResetReproducesOrRediversifies) {
 
   injector.reset(22);
   EXPECT_NE(firing_sequence(injector, kSiteMeterDrop, 400), first);
+}
+
+TEST(FaultInjector, ConcurrentChecksAreSafeAndFullyAccounted) {
+  // One injector shared by concurrent socket paths (the cluster chaos
+  // profile): checks from many threads must neither race nor lose counts.
+  const FaultPlan plan = FaultPlan::parse_string(
+      "net.reset p=0.2 burst=2\nnet.short_read p=0.4\n");
+  FaultInjector injector(plan, 99);
+  constexpr int kThreads = 4;
+  constexpr int kChecksPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&injector, t] {
+      const std::string_view site =
+          t % 2 == 0 ? "net.reset" : "net.short_read";
+      for (int i = 0; i < kChecksPerThread; ++i) {
+        injector.should_fire(site);
+        injector.uniform("net.shared");
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(injector.total_checks(),
+            static_cast<std::uint64_t>(kThreads) * kChecksPerThread);
+  const auto stats = injector.stats();
+  EXPECT_EQ(stats.at("net.reset").checks, 2u * kChecksPerThread);
+  EXPECT_EQ(stats.at("net.short_read").checks, 2u * kChecksPerThread);
+  EXPECT_GT(injector.total_fires(), 0u);
 }
 
 TEST(FaultInjector, MagnitudeComesFromThePlanWithDefaultFallback) {

@@ -23,7 +23,9 @@ TEST(NetFrame, HeaderLayoutPinned) {
   EXPECT_EQ(bytes[1], 'P');
   EXPECT_EQ(bytes[2], 'P');
   EXPECT_EQ(bytes[3], 'M');
-  EXPECT_EQ(bytes[4], kProtocolVersion);
+  // Legacy frame kinds stay at the base version on the wire so v1-only
+  // peers interoperate untouched on the predict path.
+  EXPECT_EQ(bytes[4], kBaseProtocolVersion);
   EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::PredictRequest));
   EXPECT_EQ(bytes[6], 0);  // flags LE
   EXPECT_EQ(bytes[7], 0);
@@ -224,10 +226,88 @@ TEST(NetFrame, RandomGarbageStreamsFuzz) {
 TEST(NetFrame, FrameTypeNames) {
   EXPECT_EQ(to_string(FrameType::Ping), "ping");
   EXPECT_EQ(to_string(FrameType::PredictRequest), "predict-request");
+  EXPECT_EQ(to_string(FrameType::HealthRequest), "health-request");
   EXPECT_TRUE(frame_type_known(1));
   EXPECT_TRUE(frame_type_known(7));
   EXPECT_FALSE(frame_type_known(0));
-  EXPECT_FALSE(frame_type_known(8));
+  // The health pair exists only from protocol v2 on.
+  EXPECT_TRUE(frame_type_known(8));
+  EXPECT_TRUE(frame_type_known(9));
+  EXPECT_FALSE(frame_type_known(8, kBaseProtocolVersion));
+  EXPECT_FALSE(frame_type_known(9, kBaseProtocolVersion));
+  EXPECT_FALSE(frame_type_known(10));
+}
+
+TEST(NetFrame, HealthFramesStampedV2AndRoundTrip) {
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::HealthRequest, {0x01, 0x02});
+  EXPECT_EQ(bytes[4], kProtocolVersion);
+  EXPECT_EQ(frame_min_version(FrameType::HealthRequest), 2);
+  EXPECT_EQ(frame_min_version(FrameType::Ping), kBaseProtocolVersion);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.type, FrameType::HealthRequest);
+  EXPECT_EQ(frame->header.version, kProtocolVersion);
+}
+
+TEST(NetFrame, OldPeerRejectsHealthFrameCleanly) {
+  // A v1-only decoder (an old peer) must reject a v2 health frame as a
+  // typed ProtocolError — connection dropped, never mis-parsed.
+  const std::vector<std::uint8_t> health =
+      encode_frame(FrameType::HealthRequest, {0xff});
+  FrameDecoder old_peer(kDefaultMaxPayload, kBaseProtocolVersion);
+  old_peer.feed(health.data(), health.size());
+  EXPECT_THROW(old_peer.next(), ProtocolError);
+
+  // ...while legacy traffic still flows through the same old decoder.
+  const std::vector<std::uint8_t> ping = encode_frame(FrameType::Ping, {1});
+  FrameDecoder old_peer2(kDefaultMaxPayload, kBaseProtocolVersion);
+  old_peer2.feed(ping.data(), ping.size());
+  EXPECT_TRUE(old_peer2.next().has_value());
+}
+
+TEST(NetFrame, HealthFrameDowngradedToV1Rejected) {
+  // A health frame whose header claims v1 is a protocol violation: the
+  // type post-dates the stamped version.
+  std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::HealthRequest, {0x07});
+  bytes[4] = kBaseProtocolVersion;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), ProtocolError);
+}
+
+TEST(NetFrame, VersionedFuzzNeverCrashes) {
+  // Same corruption contract as the unversioned fuzz, but against a
+  // v1-capped decoder and a corpus mixing v1 and v2 frames: every outcome
+  // is a typed error or a decoded frame, never a crash.
+  const std::vector<std::uint8_t> v1 =
+      encode_frame(FrameType::PredictRequest, payload_bytes(), 77);
+  const std::vector<std::uint8_t> v2 =
+      encode_frame(FrameType::HealthResponse, payload_bytes());
+  Rng rng(20260809);
+  int errors = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> bytes = (iter % 2 == 0) ? v1 : v2;
+    const int flips = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_index(bytes.size());
+      bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    }
+    FrameDecoder decoder(kDefaultMaxPayload, iter % 4 == 0
+                                                 ? kBaseProtocolVersion
+                                                 : kProtocolVersion);
+    try {
+      decoder.feed(bytes.data(), bytes.size());
+      while (decoder.next().has_value()) {
+      }
+    } catch (const ProtocolError&) {
+      ++errors;
+    }
+  }
+  EXPECT_GT(errors, 0);
 }
 
 }  // namespace

@@ -138,6 +138,40 @@ TEST(NetChaos, PipelinedBatchesConvergeUnderChaos) {
   EXPECT_GT(injector.total_fires(), 0u);
 }
 
+TEST(NetChaos, PoolEvictsBrokenSocketsInsteadOfReusingThem) {
+  // S2 regression: an injected mid-frame reset leaves a dead FD in the
+  // client pool.  The next RPC on that slot must detect the carcass
+  // (readable-at-idle = EOF or stray bytes), evict it and redial — never
+  // fail or mis-answer on the broken socket.
+  serve::PredictionServer backend;
+  backend.load_models(
+      core::UnifiedModel::fit(dataset(), core::TargetKind::Power),
+      core::UnifiedModel::fit(dataset(), core::TargetKind::ExecTime));
+  Server server(backend);
+  const serve::Response expected = backend.submit(predict_request(0)).get();
+
+  fault::FaultInjector injector(
+      fault::FaultPlan::parse_string("net.reset p=0.10 burst=1\n"), 11);
+  ClientOptions copt;
+  copt.port = server.port();
+  copt.retry.max_attempts = 10;
+  copt.retry.initial_backoff = Duration::milliseconds(0.1);
+  copt.retry.max_backoff = Duration::milliseconds(5.0);
+  Client client(copt, &injector);
+
+  int divergent = 0;
+  for (int i = 0; i < 120; ++i) {
+    const serve::Response r = client.predict(predict_request(0));
+    ASSERT_TRUE(r.ok()) << r.error;
+    if (r.power_watts != expected.power_watts) ++divergent;
+  }
+  EXPECT_EQ(divergent, 0);
+  EXPECT_GT(injector.stats().at("net.reset").fires, 0u);
+  // Every fired reset surfaced as an evicted/redialed pool slot, not a
+  // reused broken one.
+  EXPECT_GT(client.stats().reconnects + client.stats().stale_evictions, 0u);
+}
+
 TEST(NetChaos, ConnectRefusalsAloneAreAbsorbed) {
   serve::PredictionServer backend;
   backend.load_models(

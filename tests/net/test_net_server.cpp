@@ -351,6 +351,61 @@ TEST(NetServer, ConnectionLimitAnswersTypedRefusal) {
   rig.client->ping();
 }
 
+TEST(NetServer, HealthRpcObservesBackendState) {
+  serve::ServerOptions bopt;
+  bopt.worker_threads = 2;
+  bopt.queue_capacity = 128;
+  Rig rig(bopt);
+  const HealthStatus h = rig.client->health();
+  EXPECT_EQ(h.protocol_version, kProtocolVersion);
+  EXPECT_TRUE(h.accepting);
+  EXPECT_EQ(h.boards, 1u);
+  EXPECT_EQ(h.queue_capacity, 128u);
+  EXPECT_EQ(h.workers, 2u);
+  // Health is answered inline by the transport, never bridged through the
+  // prediction queue.
+  EXPECT_EQ(rig.server.stats().requests_bridged, 0u);
+
+  rig.backend.shutdown();
+  EXPECT_FALSE(rig.client->health().accepting);
+}
+
+TEST(NetServer, ClientPoolReadoptsRestartedServer) {
+  // S2 regression: a pooled connection must notice its server died and
+  // was replaced (same port, new process in spirit) and silently redial
+  // instead of failing the next RPC on a dead FD.
+  Rig rig;
+  const serve::Request request = predict_request(dataset().samples[0].counters);
+  const serve::Response before = rig.client->predict(request);
+  ASSERT_TRUE(before.ok());
+
+  const std::uint16_t port = rig.server.port();
+  rig.server.stop();
+  ServerOptions sopt;
+  sopt.port = port;  // SO_REUSEADDR: the replacement binds the same port
+  Server reborn(rig.backend, sopt);
+  ASSERT_EQ(reborn.port(), port);
+
+  const serve::Response after = rig.client->predict(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.power_watts, before.power_watts);
+  const ClientStats cs = rig.client->stats();
+  // The dead pooled socket was evicted or redialed, never reused broken.
+  EXPECT_GE(cs.stale_evictions + cs.reconnects + cs.transport_retries, 1u);
+}
+
+TEST(NetServer, ClientIdleTimeoutEvictsPooledConnection) {
+  Rig rig;
+  ClientOptions copt;
+  copt.port = rig.server.port();
+  copt.idle_timeout_ms = 1;
+  Client impatient(copt);
+  impatient.ping();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  impatient.ping();  // pooled socket is past its idle deadline -> redial
+  EXPECT_GE(impatient.stats().stale_evictions, 1u);
+}
+
 TEST(NetServer, BackendShutdownAnswersShuttingDown) {
   Rig rig;
   rig.client->ping();

@@ -162,6 +162,40 @@ TEST(NetProtocol, ServerInfoRoundTrip) {
   EXPECT_EQ(decoded.boards[1].perf_fingerprint, 2u);
 }
 
+TEST(NetProtocol, HealthRoundTrip) {
+  EXPECT_EQ(decode_health_request(encode_health_request(0xfeedf00dull)),
+            0xfeedf00dull);
+  HealthStatus status;
+  status.accepting = false;
+  status.boards = 3;
+  status.queue_depth = 17;
+  status.queue_capacity = 4096;
+  status.workers = 8;
+  const DecodedHealth decoded =
+      decode_health_response(encode_health_response(0xabcdull, status));
+  EXPECT_EQ(decoded.token, 0xabcdull);
+  EXPECT_EQ(decoded.status.protocol_version, kProtocolVersion);
+  EXPECT_FALSE(decoded.status.accepting);
+  EXPECT_EQ(decoded.status.boards, 3u);
+  EXPECT_EQ(decoded.status.queue_depth, 17u);
+  EXPECT_EQ(decoded.status.queue_capacity, 4096u);
+  EXPECT_EQ(decoded.status.workers, 8u);
+}
+
+TEST(NetProtocol, HealthRejectsMalformedPayload) {
+  // The accepting flag is a strict 0/1 byte on the wire; anything else is
+  // a protocol violation, and truncated payloads are typed errors.
+  std::vector<std::uint8_t> bytes =
+      encode_health_response(1, HealthStatus{});
+  bytes[9] = 2;  // accepting byte follows u64 token + u8 version
+  EXPECT_THROW(decode_health_response(bytes), ProtocolError);
+  EXPECT_THROW(decode_health_request({0x01, 0x02}), ProtocolError);
+  std::vector<std::uint8_t> truncated =
+      encode_health_response(1, HealthStatus{});
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(decode_health_response(truncated), ProtocolError);
+}
+
 TEST(NetProtocol, PingAndWireErrorRoundTrip) {
   EXPECT_EQ(decode_ping(encode_ping(0xdeadbeefcafef00dull)),
             0xdeadbeefcafef00dull);

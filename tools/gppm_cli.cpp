@@ -49,6 +49,7 @@
 #include "dvfs/combos.hpp"
 #include "kernelir/programs.hpp"
 #include "kernelir/trace.hpp"
+#include "cluster/fleet.hpp"
 #include "net/server.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -76,6 +77,7 @@ int usage(std::ostream& out, int code) {
          "  gppm governor <gpu> <benchmark> [benchmark...]\n"
          "  gppm serve <gpu> --listen PORT [--workers N] [--cache N]"
          " [--duration S]\n"
+         "                  [--cluster N [--replicas R]]\n"
          "  gppm serve-bench <gpu> [--requests N] [--workers N] [--clients N]"
          " [--cache N] [--jitter F]\n"
          "  gppm chaos <gpu> [--fault-profile FILE] [--seed N]"
@@ -337,11 +339,13 @@ int cmd_governor(int argc, char** argv) {
 
 int cmd_serve(int argc, char** argv) {
   // gppm serve <gpu> --listen PORT [--workers N] [--cache N] [--duration S]
+  //                  [--cluster N [--replicas R]]
   if (argc < 3) return usage();
   const sim::GpuModel model = parse_gpu(argv[2]);
   bool listen = false;
   std::uint16_t port = 0;
   std::size_t workers = 4, cache = 1 << 16;
+  std::size_t cluster = 0, replicas = 2;
   double duration = 0.0;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -357,11 +361,15 @@ int cmd_serve(int argc, char** argv) {
       cache = std::stoul(argv[++i]);
     } else if (arg == "--duration" && has_value) {
       duration = std::stod(argv[++i]);
+    } else if (arg == "--cluster" && has_value) {
+      cluster = std::stoul(argv[++i]);
+    } else if (arg == "--replicas" && has_value) {
+      replicas = std::stoul(argv[++i]);
     } else {
       return usage();
     }
   }
-  if (!listen || workers == 0) return usage();
+  if (!listen || workers == 0 || replicas == 0) return usage();
 
   std::cout << "fitting models for " << sim::to_string(model)
             << " (extended form)...\n";
@@ -369,18 +377,39 @@ int cmd_serve(int argc, char** argv) {
   core::ModelOptions popt;
   popt.scaling = core::FeatureScaling::VoltageSquaredFrequency;
   popt.include_baseline_terms = true;
+  core::UnifiedModel power =
+      core::UnifiedModel::fit(ds, core::TargetKind::Power, popt);
+  core::UnifiedModel perf =
+      core::UnifiedModel::fit(ds, core::TargetKind::ExecTime);
 
   serve::ServerOptions bopt;
   bopt.worker_threads = workers;
   bopt.cache_capacity = cache;
-  serve::PredictionServer backend(bopt);
-  backend.load_models(
-      core::UnifiedModel::fit(ds, core::TargetKind::Power, popt),
-      core::UnifiedModel::fit(ds, core::TargetKind::ExecTime));
+
+  // Single node or a routed fleet, behind the same TCP front.
+  std::unique_ptr<serve::PredictionServer> backend;
+  std::unique_ptr<cluster::LocalFleet> fleet;
+  net::ServeBridge bridge;
+  if (cluster > 0) {
+    cluster::FleetOptions fopt;
+    fopt.backends = cluster;
+    fopt.server = bopt;
+    cluster::RouterOptions ropt;
+    ropt.replicas = replicas;
+    fleet = std::make_unique<cluster::LocalFleet>(std::move(power),
+                                                  std::move(perf), fopt, ropt);
+    bridge = fleet->bridge();
+    std::cout << "cluster: " << cluster << " in-process backends, "
+              << replicas << " replicas per key\n";
+  } else {
+    backend = std::make_unique<serve::PredictionServer>(bopt);
+    backend->load_models(std::move(power), std::move(perf));
+    bridge = net::bridge_prediction_server(*backend);
+  }
 
   net::ServerOptions nopt;
   nopt.port = port;
-  net::Server server(backend, nopt);
+  net::Server server(std::move(bridge), nopt);
   std::cout << "listening on 127.0.0.1:" << server.port() << "\n"
             << std::flush;
 
@@ -397,8 +426,16 @@ int cmd_serve(int argc, char** argv) {
 
   server.stop();
   const net::ServerStats ns = server.stats();
-  backend.shutdown();
-  backend.metrics().print(std::cout);
+  if (fleet) {
+    const cluster::RouterStats rs = fleet->router().stats();
+    fleet->stop();
+    std::cout << rs.requests << " routed (" << rs.hedges_fired << " hedges, "
+              << rs.hedge_wins << " hedge wins, " << rs.failovers
+              << " failovers, " << rs.breaker_opens << " breaker opens)\n";
+  } else {
+    backend->shutdown();
+    backend->metrics().print(std::cout);
+  }
   std::cout << ns.connections_accepted << " connections ("
             << ns.connections_refused << " refused), " << ns.frames_received
             << " frames in / " << ns.frames_sent << " out, "

@@ -1,22 +1,37 @@
-// gppm-loadgen — wire-level load generator for `gppm serve --listen`.
+// gppm-loadgen — load generator for gppm serving, wire-level or clustered.
 //
-// Dials a running prediction server, asks it (InfoRequest) which boards it
-// serves, replays a synthetic suite trace for the first announced board
-// over N pooled connections, and reports throughput plus the client-side
-// latency distribution and per-status response counts.
+// Two modes:
 //
 //   gppm-loadgen --connect HOST:PORT [--requests N] [--connections N]
 //                [--open-loop RATE] [--jitter F] [--chaos] [--seed N]
 //
-// Closed loop by default: each worker thread keeps exactly one RPC in
-// flight on its pooled connection.  --open-loop paces aggregate arrivals
-// at RATE requests/sec instead (workers sleep until each request's
-// scheduled departure), which is how you measure latency under
-// non-saturating load.  --chaos routes every socket operation of the
-// client through the net.* fault sites (connect refusals, short reads,
-// mid-frame resets) to demonstrate the reconnect/resend path against a
-// live server; the injector is single-stream, so chaos forces
-// --connections 1.
+// dials a running `gppm serve --listen` server, asks it (InfoRequest) which
+// boards it serves, replays a synthetic suite trace for the first announced
+// board over N pooled connections, and reports throughput plus the
+// client-side latency distribution and per-status response counts.
+//
+//   gppm-loadgen --cluster N [--replicas R] [--gpu NAME] [--requests N]
+//                [--connections N] [--open-loop RATE] [--jitter F]
+//                [--chaos] [--seed N]
+//
+// self-hosts a cluster::LocalFleet of N backend prediction servers behind a
+// Router (R replicas per key, hedged requests, circuit breaking) and drives
+// it with worker threads.  Every answer is checked bit-identically against
+// a single untouched reference server holding a copy of the same model
+// pair: the run FAILS (nonzero exit) if any successful response diverges.
+// --chaos puts each backend behind its own loopback gppm::net server,
+// routes the router's client sockets through the net.* fault sites
+// (connect refusals, short reads, mid-frame resets) and additionally
+// kills/restarts backends round-robin while the trace replays — the
+// zero-wrong-answers gate must hold through all of it.
+//
+// Closed loop by default: each worker keeps exactly one request in flight.
+// --open-loop paces aggregate arrivals at RATE requests/sec instead
+// (workers sleep until each request's scheduled departure), which is how
+// you measure latency under non-saturating load.  The fault injector is
+// internally synchronized, so chaos runs may use any --connections; runs
+// are only byte-reproducible at --connections 1 (fault arrival then has a
+// deterministic interleaving).
 //
 // Also accepts the global --trace-out=FILE / --metrics-out=FILE
 // observability flags (see gppm --help).
@@ -25,17 +40,21 @@
 #include <chrono>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cluster/fleet.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
+#include "core/characterization.hpp"
 #include "fault/injector.hpp"
 #include "net/client.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "serve/server.hpp"
 #include "serve/trace.hpp"
 
 using namespace gppm;
@@ -48,7 +67,12 @@ int usage(std::ostream& out, int code) {
          " [--connections N]\n"
          "               [--open-loop RATE] [--jitter F] [--chaos]"
          " [--seed N]\n"
-         "also accepts --trace-out=FILE --metrics-out=FILE\n";
+         "  gppm-loadgen --cluster N [--replicas R] [--gpu NAME]"
+         " [--requests N]\n"
+         "               [--connections N] [--open-loop RATE] [--jitter F]\n"
+         "               [--chaos] [--seed N]\n"
+         "also accepts --trace-out=FILE --metrics-out=FILE\n"
+         "gpus: gtx285 gtx460 gtx480 gtx680\n";
   return code;
 }
 
@@ -61,6 +85,9 @@ struct Options {
   double jitter = 0.0;
   bool chaos = false;
   std::uint64_t seed = 42;
+  std::size_t cluster = 0;  // 0 = wire mode (--connect)
+  std::size_t replicas = 2;
+  std::string gpu = "gtx460";
 };
 
 void parse_connect(const std::string& value, Options& opt) {
@@ -74,6 +101,14 @@ void parse_connect(const std::string& value, Options& opt) {
   opt.port = static_cast<std::uint16_t>(port);
 }
 
+sim::GpuModel parse_gpu(const std::string& name) {
+  if (name == "gtx285") return sim::GpuModel::GTX285;
+  if (name == "gtx460") return sim::GpuModel::GTX460;
+  if (name == "gtx480") return sim::GpuModel::GTX480;
+  if (name == "gtx680") return sim::GpuModel::GTX680;
+  throw Error("unknown GPU '" + name + "' (expected gtx285/460/480/680)");
+}
+
 double percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const std::size_t index = static_cast<std::size_t>(
@@ -81,40 +116,202 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[std::min(index, sorted.size() - 1)];
 }
 
-int run(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const bool has_value = i + 1 < argc;
-    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
-    if (arg == "--connect" && has_value) {
-      parse_connect(argv[++i], opt);
-    } else if (arg == "--requests" && has_value) {
-      opt.requests = std::stoul(argv[++i]);
-    } else if (arg == "--connections" && has_value) {
-      opt.connections = std::stoul(argv[++i]);
-    } else if (arg == "--open-loop" && has_value) {
-      opt.open_loop_rate = std::stod(argv[++i]);
-    } else if (arg == "--jitter" && has_value) {
-      opt.jitter = std::stod(argv[++i]);
-    } else if (arg == "--chaos") {
-      opt.chaos = true;
-    } else if (arg == "--seed" && has_value) {
-      opt.seed = std::stoull(argv[++i]);
-    } else {
-      return usage(std::cerr, 2);
+void add_latency_rows(AsciiTable& table, const std::vector<double>& sorted) {
+  table.add_row({"p50 us", format_double(percentile(sorted, 0.50) * 1e6, 1)});
+  table.add_row({"p95 us", format_double(percentile(sorted, 0.95) * 1e6, 1)});
+  table.add_row({"p99 us", format_double(percentile(sorted, 0.99) * 1e6, 1)});
+  table.add_row(
+      {"p999 us", format_double(percentile(sorted, 0.999) * 1e6, 1)});
+}
+
+/// The cluster gate: two answers to the same pure request must agree on
+/// everything the caller acts on.  Transport metadata (cache_hit, latency)
+/// legitimately differs between replicas and is excluded.
+bool same_answer(const serve::Response& a, const serve::Response& b) {
+  return a.status == b.status && a.pair == b.pair &&
+         a.power_watts == b.power_watts && a.time_seconds == b.time_seconds &&
+         a.energy_joules == b.energy_joules;
+}
+
+/// Self-hosted fleet mode: build models once, answer the whole trace from
+/// a reference single-node server, then drive the routed fleet and demand
+/// bit-identity for every successful response.
+int run_cluster(const Options& opt) {
+  const sim::GpuModel board = parse_gpu(opt.gpu);
+  std::cout << "fitting models for " << sim::to_string(board)
+            << " (extended form)...\n";
+  const core::Dataset ds = core::build_dataset(board);
+  core::ModelOptions popt;
+  popt.scaling = core::FeatureScaling::VoltageSquaredFrequency;
+  popt.include_baseline_terms = true;
+  const core::UnifiedModel power =
+      core::UnifiedModel::fit(ds, core::TargetKind::Power, popt);
+  const core::UnifiedModel perf =
+      core::UnifiedModel::fit(ds, core::TargetKind::ExecTime);
+
+  const serve::PhaseCorpus corpus = serve::build_phase_corpus(board);
+  serve::TraceOptions topt;
+  topt.request_count = opt.requests;
+  topt.seed = opt.seed;
+  topt.counter_jitter = opt.jitter;
+  // Govern is stateful (hysteresis across requests), so replicated serving
+  // cannot promise bit-identity for it; the cluster trace sticks to the
+  // pure endpoints.
+  topt.govern_fraction = 0.0;
+  const std::vector<serve::Request> trace =
+      serve::synthetic_trace(corpus, topt);
+
+  // Ground truth: one untouched in-process server with its own copy of
+  // the same model pair answers the whole trace up front.
+  std::vector<serve::Response> truth(trace.size());
+  {
+    serve::PredictionServer reference;
+    reference.load_models(power, perf);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      truth[i] = reference.submit(trace[i]).get();
     }
   }
-  if (opt.host.empty() || opt.requests == 0 || opt.connections == 0) {
-    return usage(std::cerr, 2);
+
+  fault::FaultInjector injector(fault::FaultPlan::net_profile(), opt.seed);
+  cluster::FleetOptions fopt;
+  fopt.backends = opt.cluster;
+  if (opt.chaos) {
+    fopt.wire = true;
+    fopt.injector = &injector;
+    fopt.client.retry.max_attempts = 8;
+    fopt.client.retry.initial_backoff = Duration::milliseconds(1.0);
+    fopt.client.retry.max_backoff = Duration::milliseconds(50.0);
   }
-  if (opt.chaos && opt.connections > 1) {
-    // The fault injector draws from per-site RNG streams that are not
-    // thread-safe; chaos runs are single-connection by construction.
-    std::cout << "--chaos forces --connections 1\n";
-    opt.connections = 1;
+  cluster::RouterOptions ropt;
+  ropt.replicas = opt.replicas;
+  cluster::LocalFleet fleet(power, perf, fopt, ropt);
+
+  std::cout << corpus.counters.size() << " phases, " << trace.size()
+            << " requests, " << opt.cluster << " backends ("
+            << (opt.chaos ? "wire" : "in-process") << "), " << opt.replicas
+            << " replicas per key, " << opt.connections << " workers, ";
+  if (opt.open_loop_rate > 0.0) {
+    std::cout << "open loop at " << format_double(opt.open_loop_rate, 0)
+              << " req/s\n";
+  } else {
+    std::cout << "closed loop\n";
   }
 
+  std::mutex merge_mutex;
+  std::vector<double> latencies;
+  std::map<std::string, std::uint64_t> status_counts;
+  std::atomic<std::uint64_t> divergent{0};
+  std::atomic<std::size_t> next{0};
+
+  // Chaos additionally cycles real backend deaths through the run:
+  // kill round-robin, let the routed traffic absorb it, recover, move on.
+  std::atomic<bool> running{true};
+  std::atomic<std::uint64_t> kills{0};
+  std::thread reaper;
+  if (opt.chaos && fleet.size() > 1) {
+    reaper = std::thread([&] {
+      std::size_t victim = 0;
+      while (running.load()) {
+        const std::size_t k = victim++ % fleet.size();
+        fleet.kill(k);
+        kills.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        fleet.restart(k);
+        for (int tick = 0; tick < 6 && running.load(); ++tick) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> interval(
+      opt.open_loop_rate > 0.0 ? 1.0 / opt.open_loop_rate : 0.0);
+  std::vector<std::thread> workers;
+  workers.reserve(opt.connections);
+  for (std::size_t w = 0; w < opt.connections; ++w) {
+    workers.emplace_back([&] {
+      std::vector<double> local_lat;
+      std::map<std::string, std::uint64_t> local_status;
+      std::uint64_t local_divergent = 0;
+      for (std::size_t i = next.fetch_add(1); i < trace.size();
+           i = next.fetch_add(1)) {
+        if (opt.open_loop_rate > 0.0) {
+          std::this_thread::sleep_until(start +
+                                        interval * static_cast<double>(i));
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::Response r = fleet.router().predict(trace[i]);
+        local_lat.push_back(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+        ++local_status[serve::to_string(r.status)];
+        // The gate: every *successful* routed answer must equal the
+        // single-node ground truth bit for bit.  Typed failures (a replica
+        // set momentarily dead under chaos) are visible above as non-Ok
+        // status counts — they are refusals, never wrong answers.
+        if (r.ok() && !same_answer(r, truth[i])) ++local_divergent;
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies.insert(latencies.end(), local_lat.begin(), local_lat.end());
+      for (const auto& [status, count] : local_status) {
+        status_counts[status] += count;
+      }
+      divergent.fetch_add(local_divergent);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  running.store(false);
+  if (reaper.joinable()) reaper.join();
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto ok_it = status_counts.find(serve::to_string(serve::ResponseStatus::Ok));
+  const std::uint64_t ok = ok_it != status_counts.end() ? ok_it->second : 0;
+  AsciiTable table({"metric", "value"});
+  table.add_row({"answered", std::to_string(latencies.size())});
+  for (const auto& [status, count] : status_counts) {
+    table.add_row({"status " + status, std::to_string(count)});
+  }
+  table.add_row({"divergent", std::to_string(divergent.load())});
+  table.add_row(
+      {"req/s", format_double(static_cast<double>(latencies.size()) / elapsed,
+                              0)});
+  add_latency_rows(table, latencies);
+  table.print(std::cout);
+
+  const cluster::RouterStats rs = fleet.router().stats();
+  std::cout << rs.requests << " routed, " << rs.hedges_fired << " hedges ("
+            << rs.hedge_wins << " wins, " << rs.hedges_abandoned
+            << " abandoned), " << rs.failovers << " failovers, "
+            << rs.breaker_opens << " breaker opens, " << rs.breaker_rejections
+            << " breaker rejections, " << rs.exhausted << " exhausted\n";
+  if (opt.chaos) {
+    std::cout << "chaos: " << kills.load() << " backend kills, "
+              << injector.total_fires() << "/" << injector.total_checks()
+              << " site checks fired\n";
+  }
+  fleet.stop();
+
+  if (divergent.load() != 0) {
+    std::cerr << "FAIL: " << divergent.load()
+              << " successful responses diverged from single-node ground"
+                 " truth\n";
+    return 1;
+  }
+  if (ok == 0) {
+    std::cerr << "FAIL: no successful responses\n";
+    return 1;
+  }
+  std::cout << "bit-identity gate: " << ok << "/" << ok
+            << " successful responses identical to single-node ground"
+               " truth\n";
+  return 0;
+}
+
+int run_wire(const Options& opt) {
   fault::FaultInjector injector(fault::FaultPlan::net_profile(), opt.seed);
   net::ClientOptions copt;
   copt.host = opt.host;
@@ -211,9 +408,7 @@ int run(int argc, char** argv) {
   table.add_row(
       {"req/s", format_double(static_cast<double>(latencies.size()) / elapsed,
                               0)});
-  table.add_row({"p50 us", format_double(percentile(latencies, 0.50) * 1e6, 1)});
-  table.add_row({"p95 us", format_double(percentile(latencies, 0.95) * 1e6, 1)});
-  table.add_row({"p99 us", format_double(percentile(latencies, 0.99) * 1e6, 1)});
+  add_latency_rows(table, latencies);
   table.print(std::cout);
 
   const net::ClientStats cs = client.stats();
@@ -225,6 +420,45 @@ int run(int argc, char** argv) {
               << injector.total_checks() << " site checks fired\n";
   }
   return failed.load() == trace.size() ? 1 : 0;
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--connect" && has_value) {
+      parse_connect(argv[++i], opt);
+    } else if (arg == "--cluster" && has_value) {
+      opt.cluster = std::stoul(argv[++i]);
+    } else if (arg == "--replicas" && has_value) {
+      opt.replicas = std::stoul(argv[++i]);
+    } else if (arg == "--gpu" && has_value) {
+      opt.gpu = argv[++i];
+    } else if (arg == "--requests" && has_value) {
+      opt.requests = std::stoul(argv[++i]);
+    } else if (arg == "--connections" && has_value) {
+      opt.connections = std::stoul(argv[++i]);
+    } else if (arg == "--open-loop" && has_value) {
+      opt.open_loop_rate = std::stod(argv[++i]);
+    } else if (arg == "--jitter" && has_value) {
+      opt.jitter = std::stod(argv[++i]);
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg == "--seed" && has_value) {
+      opt.seed = std::stoull(argv[++i]);
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  const bool wire = !opt.host.empty();
+  const bool fleet = opt.cluster > 0;
+  if (wire == fleet || opt.requests == 0 || opt.connections == 0 ||
+      opt.replicas == 0) {
+    return usage(std::cerr, 2);
+  }
+  return fleet ? run_cluster(opt) : run_wire(opt);
 }
 
 }  // namespace
