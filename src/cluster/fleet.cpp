@@ -1,5 +1,6 @@
 #include "cluster/fleet.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "common/error.hpp"
@@ -17,67 +18,84 @@ LocalFleet::LocalFleet(core::UnifiedModel power_model,
 
   nodes_.reserve(options_.backends);
   for (std::size_t i = 0; i < options_.backends; ++i) {
-    Node node;
-    const std::string name = "node" + std::to_string(i);
-    node.local = std::make_shared<LocalBackend>(name, power_, perf_,
-                                                options_.server);
+    const std::string name = "node" + std::to_string(next_id_++);
+    std::unique_ptr<Node> node = make_node(name);
     if (i == 0) {
       // Same pair everywhere, so node 0 speaks for the fleet.
-      models_ = node.local->server()->loaded_models();
+      models_ = node->local->server()->loaded_models();
     }
-    if (options_.wire) {
-      net::ServerOptions sopt;
-      sopt.port = 0;  // ephemeral on first bind, pinned thereafter
-      node.server = std::make_unique<net::Server>(*node.local->server(),
-                                                  sopt);
-      node.port = node.server->port();
-      net::ClientOptions copt = options_.client;
-      copt.host = "127.0.0.1";
-      copt.port = node.port;
-      node.fronting = std::make_shared<RemoteBackend>(
-          name, copt, options_.remote_workers, options_.injector);
-    } else {
-      node.fronting = node.local;
-    }
-    if (options_.shaped) {
-      node.fronting =
-          std::make_shared<ShapedBackend>(node.fronting, options_.shaping);
-    }
-    router_->add_backend(node.fronting);
+    router_->add_backend(node->fronting);
     nodes_.push_back(std::move(node));
   }
+}
+
+std::unique_ptr<LocalFleet::Node> LocalFleet::make_node(
+    const std::string& name) {
+  auto node = std::make_unique<Node>();
+  node->local =
+      std::make_shared<LocalBackend>(name, power_, perf_, options_.server);
+  if (options_.wire) {
+    net::ServerOptions sopt;
+    sopt.port = 0;  // ephemeral on first bind, pinned thereafter
+    node->server =
+        std::make_unique<net::Server>(*node->local->server(), sopt);
+    node->port = node->server->port();
+    net::ClientOptions copt = options_.client;
+    copt.host = "127.0.0.1";
+    copt.port = node->port;
+    node->fronting = std::make_shared<RemoteBackend>(
+        name, copt, options_.remote_workers, options_.injector);
+  } else {
+    node->fronting = node->local;
+  }
+  if (options_.shaped) {
+    node->fronting =
+        std::make_shared<ShapedBackend>(node->fronting, options_.shaping);
+  }
+  return node;
 }
 
 LocalFleet::~LocalFleet() { stop(); }
 
 void LocalFleet::stop() {
+  std::unique_lock<std::shared_mutex> lock(nodes_mutex_);
   if (stopped_) return;
   stopped_ = true;
   router_->stop();
-  for (Node& node : nodes_) {
-    if (node.server) node.server->stop();
-    node.local->kill();
+  for (const std::unique_ptr<Node>& node : nodes_) {
+    std::lock_guard<std::mutex> node_lock(node->lifecycle);
+    if (node->server) node->server->stop();
+    node->local->kill();
   }
 }
 
-const std::string& LocalFleet::name(std::size_t i) const {
+LocalFleet::Node& LocalFleet::node_at(std::size_t i) const {
+  std::shared_lock<std::shared_mutex> lock(nodes_mutex_);
   GPPM_CHECK(i < nodes_.size(), "node index out of range");
-  return nodes_[i].local->name();
+  // Stable: nodes are never erased and the unique_ptr target never moves.
+  return *nodes_[i];
+}
+
+std::size_t LocalFleet::size() const {
+  std::shared_lock<std::shared_mutex> lock(nodes_mutex_);
+  return nodes_.size();
+}
+
+const std::string& LocalFleet::name(std::size_t i) const {
+  return node_at(i).local->name();
 }
 
 std::uint16_t LocalFleet::port(std::size_t i) const {
-  GPPM_CHECK(i < nodes_.size(), "node index out of range");
-  return nodes_[i].port;
+  return node_at(i).port;
 }
 
 bool LocalFleet::alive(std::size_t i) const {
-  GPPM_CHECK(i < nodes_.size(), "node index out of range");
-  return nodes_[i].local->alive();
+  return node_at(i).local->alive();
 }
 
 void LocalFleet::kill(std::size_t i) {
-  GPPM_CHECK(i < nodes_.size(), "node index out of range");
-  Node& node = nodes_[i];
+  Node& node = node_at(i);
+  std::lock_guard<std::mutex> lock(node.lifecycle);
   // TCP front first (peers see the reset immediately), then the serving
   // engine — the order a real process death presents.
   if (node.server) {
@@ -88,8 +106,8 @@ void LocalFleet::kill(std::size_t i) {
 }
 
 void LocalFleet::restart(std::size_t i) {
-  GPPM_CHECK(i < nodes_.size(), "node index out of range");
-  Node& node = nodes_[i];
+  Node& node = node_at(i);
+  std::lock_guard<std::mutex> lock(node.lifecycle);
   // A restart without a prior kill still swaps the prediction server; the
   // old TCP front must not outlive the engine it references.
   if (node.server) {
@@ -105,6 +123,79 @@ void LocalFleet::restart(std::size_t i) {
     node.server =
         std::make_unique<net::Server>(*node.local->server(), sopt);
   }
+}
+
+std::size_t LocalFleet::add_node() {
+  std::unique_lock<std::shared_mutex> lock(nodes_mutex_);
+  GPPM_CHECK(!stopped_, "fleet is stopped");
+  const std::string name = "node" + std::to_string(next_id_++);
+  std::unique_ptr<Node> node = make_node(name);
+  router_->add_backend(node->fronting);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+DrainReport LocalFleet::drain_node(std::size_t i, Duration timeout) {
+  Node& node = node_at(i);
+  // Router drain first: the node leaves the ring and finishes its
+  // in-flight work while still fully alive, *then* the engine goes down.
+  DrainReport report =
+      router_->drain_backend(node.local->name(), timeout);
+  std::lock_guard<std::mutex> lock(node.lifecycle);
+  if (node.server) {
+    node.server->stop();
+    node.server.reset();
+  }
+  node.local->kill();
+  return report;
+}
+
+void LocalFleet::rejoin(std::size_t i) {
+  if (in_ring(i)) return;
+  restart(i);
+  Node& node = node_at(i);
+  router_->add_backend(node.fronting);
+}
+
+bool LocalFleet::in_ring(std::size_t i) const {
+  const std::string& who = node_at(i).local->name();
+  for (const std::string& member : router_->backends()) {
+    if (member == who) return true;
+  }
+  return false;
+}
+
+bool LocalFleet::probe(std::size_t i) const {
+  Node& node = node_at(i);
+  // Co-located fast path: a dead engine answers no ping — skip the wire
+  // round-trip (and its retry backoff) straight to "down".  A live engine
+  // behind a dead TCP front still goes through the real probe.
+  if (!node.local->alive()) return false;
+  try {
+    return node.fronting->ping();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+RollingRestartReport LocalFleet::rolling_restart(Duration per_node_timeout) {
+  const auto start = std::chrono::steady_clock::now();
+  RollingRestartReport report;
+  const std::size_t count = size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!in_ring(i)) continue;  // drained/parked nodes are not upgraded
+    DrainReport drain =
+        router_->drain_backend(name(i), per_node_timeout);
+    restart(i);
+    Node& node = node_at(i);
+    router_->add_backend(node.fronting);
+    report.zero_loss = report.zero_loss && drain.zero_loss;
+    report.drains.push_back(std::move(drain));
+  }
+  report.duration = Duration::seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return report;
 }
 
 std::vector<serve::PredictionServer::LoadedModel> LocalFleet::loaded_models()

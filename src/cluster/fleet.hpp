@@ -17,12 +17,23 @@
 //     and restart() rebinds the *same* port — SO_REUSEADDR plus the
 //     client pool's stale-FD eviction make re-adoption automatic.
 //
+// Reconfiguration: kill()/restart() are the *crash* path (abrupt, for
+// chaos).  The *planned* path is drain_node() (router drain + engine
+// shutdown), rejoin() (fresh engine, back on the ring) and
+// rolling_restart() (drain→restart→rejoin every in-ring node in turn, the
+// zero-downtime upgrade shape).  add_node() grows the fleet live.  All
+// lifecycle entry points are safe to call concurrently — a Supervisor
+// restarting node 2 while a chaos reaper kills node 0 and a drain
+// scheduler cycles node 1 is the intended load.
+//
 // Optional shaping wraps every node in a ShapedBackend service envelope
 // (see backend.hpp for why the scaling bench needs one on a 1-core host).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +62,14 @@ struct FleetOptions {
   ShapingOptions shaping;
 };
 
+/// Outcome of one rolling_restart(): per-node drain reports plus the
+/// aggregate verdict.
+struct RollingRestartReport {
+  std::vector<DrainReport> drains;
+  bool zero_loss = true;  ///< every drain completed with zero loss
+  Duration duration = Duration::seconds(0.0);
+};
+
 class LocalFleet {
  public:
   /// Builds the nodes, joins them all to a fresh Router.
@@ -62,7 +81,7 @@ class LocalFleet {
   LocalFleet& operator=(const LocalFleet&) = delete;
 
   Router& router() { return *router_; }
-  std::size_t size() const { return nodes_.size(); }
+  std::size_t size() const;
   const std::string& name(std::size_t i) const;
   /// Wire mode only: the node's loopback port.
   std::uint16_t port(std::size_t i) const;
@@ -71,9 +90,30 @@ class LocalFleet {
   /// wire mode its TCP server stops too (peers see resets/refusals).
   void kill(std::size_t i);
   /// Recover node i with a fresh copy of the same model pair; wire mode
-  /// rebinds the same port.
+  /// rebinds the same port.  Does NOT touch ring membership — pair with
+  /// rejoin() after a drain.
   void restart(std::size_t i);
   bool alive(std::size_t i) const;
+
+  /// Grow the fleet: build one more node (unique name, fresh port) and
+  /// join it to the ring.  Returns its index.
+  std::size_t add_node();
+  /// Planned removal of node i: drain on the router (handoff), then shut
+  /// the engine down.  `timeout` <= 0 uses the router default.
+  DrainReport drain_node(std::size_t i,
+                         Duration timeout = Duration::seconds(0.0));
+  /// Bring a drained/killed node back: fresh engine, rejoin the ring.
+  /// No-op when the node is already a ring member.
+  void rejoin(std::size_t i);
+  /// True when node i is currently a ring member (draining counts as
+  /// out).
+  bool in_ring(std::size_t i) const;
+  /// One supervised health probe of node i through its fronting backend.
+  bool probe(std::size_t i) const;
+  /// Drain → restart → rejoin every in-ring node, one at a time, under
+  /// whatever traffic is running.  The zero-downtime upgrade shape.
+  RollingRestartReport rolling_restart(
+      Duration per_node_timeout = Duration::seconds(0.0));
 
   /// Model fingerprints as a single-node server would announce them.
   std::vector<serve::PredictionServer::LoadedModel> loaded_models() const;
@@ -91,12 +131,25 @@ class LocalFleet {
     std::unique_ptr<net::Server> server;  ///< wire mode only
     std::uint16_t port = 0;               ///< pinned across restarts
     std::shared_ptr<Backend> fronting;    ///< what the router routes to
+    /// Serializes kill/restart/rejoin on this node (a supervisor restart
+    /// racing a chaos kill must interleave whole operations, not torn
+    /// halves).
+    std::mutex lifecycle;
   };
+
+  /// Build a node (engine, optional wire front, shaping) but do not join
+  /// it to the ring.
+  std::unique_ptr<Node> make_node(const std::string& name);
+  Node& node_at(std::size_t i) const;
 
   FleetOptions options_;
   core::UnifiedModel power_;
   core::UnifiedModel perf_;
-  std::vector<Node> nodes_;
+  /// unique_ptr so concurrent add_node() growth never moves a Node that
+  /// kill/restart/probe hold a reference to.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  mutable std::shared_mutex nodes_mutex_;
+  std::size_t next_id_ = 0;
   std::vector<serve::PredictionServer::LoadedModel> models_;
   std::unique_ptr<Router> router_;
   bool stopped_ = false;

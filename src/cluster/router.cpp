@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "fault/plan.hpp"
 #include "obs/obs.hpp"
 
 namespace gppm::cluster {
@@ -21,6 +22,7 @@ struct RouterObs {
   obs::Counter& breaker_rejections;
   obs::Counter& ring_remaps;
   obs::Counter& exhausted;
+  obs::Counter& admission_shed;
   obs::Histogram& latency_us;
 };
 
@@ -36,9 +38,31 @@ RouterObs& router_obs() {
       reg.counter("cluster.router.breaker_rejections"),
       reg.counter("cluster.router.ring_remaps"),
       reg.counter("cluster.router.exhausted"),
+      reg.counter("cluster.router.admission_shed"),
       reg.histogram("cluster.router.latency_us",
                     {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
                      100000, 250000}),
+  };
+  return instruments;
+}
+
+struct DrainObs {
+  obs::Counter& started;
+  obs::Counter& completed;
+  obs::Counter& timeouts;
+  obs::Counter& handed_off;
+  obs::Histogram& duration_ms;
+};
+
+DrainObs& drain_obs() {
+  obs::Registry& reg = obs::Registry::instance();
+  static DrainObs instruments{
+      reg.counter("cluster.drain.started"),
+      reg.counter("cluster.drain.completed"),
+      reg.counter("cluster.drain.timeouts"),
+      reg.counter("cluster.drain.handed_off"),
+      reg.histogram("cluster.drain.duration_ms",
+                    {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}),
   };
   return instruments;
 }
@@ -93,6 +117,10 @@ Router::Router(RouterOptions options)
       async_queue_(4096) {
   GPPM_CHECK(options_.replicas >= 1, "router needs replicas >= 1");
   GPPM_CHECK(options_.async_workers >= 1, "router needs async workers >= 1");
+  if (options_.admission_control) {
+    admission_ =
+        std::make_unique<serve::AdmissionController>(options_.admission);
+  }
   executors_.reserve(options_.async_workers);
   for (std::size_t i = 0; i < options_.async_workers; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
@@ -131,10 +159,100 @@ void Router::add_backend(std::shared_ptr<Backend> backend) {
 void Router::remove_backend(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(membership_mutex_);
   slots_.erase(name);
+  draining_.erase(name);
   if (ring_.remove(name)) {
     ring_remaps_.fetch_add(1);
     router_obs().ring_remaps.add();
   }
+}
+
+DrainReport Router::drain_backend(const std::string& name, Duration timeout) {
+  obs::ObsSpan span("cluster.router.drain");
+  if (timeout.as_seconds() <= 0.0) timeout = options_.drain_timeout;
+  const auto start = std::chrono::steady_clock::now();
+
+  DrainReport report;
+  report.backend = name;
+  SlotPtr slot;
+  {
+    std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+    const auto live = slots_.find(name);
+    if (live != slots_.end()) {
+      slot = live->second;
+      draining_.emplace(name, slot);
+      slots_.erase(live);
+      if (ring_.remove(name)) {
+        ring_remaps_.fetch_add(1);
+        router_obs().ring_remaps.add();
+      }
+    } else {
+      // A second drain of the same name observes the in-progress one;
+      // fully unknown names are a completed no-op.
+      const auto draining = draining_.find(name);
+      if (draining == draining_.end()) {
+        report.completed = true;
+        report.zero_loss = true;
+        return report;
+      }
+      slot = draining->second;
+    }
+  }
+  drains_.fetch_add(1);
+  drain_obs().started.add();
+
+  // Everything still counted on the slot is the handoff set: requests
+  // routed before the membership change that will finish on the leaving
+  // backend (or fail over off it).
+  report.in_flight_at_start = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(slot->in_flight.load(std::memory_order_relaxed),
+                             0));
+  const std::uint64_t failures_before =
+      slot->failures.load(std::memory_order_relaxed);
+
+  if (options_.injector != nullptr &&
+      options_.injector->should_fire(fault::kSiteClusterDrainSlow)) {
+    // A slow drain: the handoff window stretches but correctness must not
+    // change — exactly what the chaos suite asserts.
+    const double stall_ms =
+        options_.injector->magnitude(fault::kSiteClusterDrainSlow);
+    std::this_thread::sleep_for(to_steady(Duration::milliseconds(stall_ms)));
+  }
+
+  const auto deadline = start + to_steady(timeout);
+  const auto poll = to_steady(options_.drain_poll);
+  while (slot->in_flight.load(std::memory_order_acquire) > 0) {
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(poll);
+  }
+
+  const std::int64_t left = slot->in_flight.load(std::memory_order_acquire);
+  report.completed = left == 0;
+  const std::uint64_t failures_after =
+      slot->failures.load(std::memory_order_relaxed);
+  report.handed_off = report.in_flight_at_start;
+  report.zero_loss = report.completed && failures_after == failures_before;
+  report.duration = Duration::seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+
+  {
+    std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+    draining_.erase(name);
+  }
+  drain_handed_off_.fetch_add(report.handed_off);
+  drain_obs().handed_off.add(report.handed_off);
+  drain_obs().duration_ms.record(report.duration.as_seconds() * 1e3);
+  if (report.completed) {
+    drain_obs().completed.add();
+  } else {
+    drain_obs().timeouts.add();
+  }
+  return report;
+}
+
+bool Router::draining(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  return draining_.find(name) != draining_.end();
 }
 
 std::vector<std::string> Router::backends() const {
@@ -188,6 +306,7 @@ bool Router::launch(const std::vector<SlotPtr>& candidates, std::size_t& next,
       // Could not even accept (killed node, stopped pool): a synchronous
       // failure, recorded like any other.
       slot->breaker.record_failure();
+      slot->failures.fetch_add(1, std::memory_order_relaxed);
       failovers_.fetch_add(1);
       router_obs().failovers.add();
     }
@@ -196,6 +315,44 @@ bool Router::launch(const std::vector<SlotPtr>& candidates, std::size_t& next,
 }
 
 serve::Response Router::predict(const serve::Request& request) {
+  if (!admission_) return predict_admitted(request);
+
+  if (!admission_->try_acquire(request.deadline)) {
+    admission_shed_.fetch_add(1);
+    router_obs().admission_shed.add();
+    serve::Response response;
+    response.kind = request.kind;
+    response.status = serve::ResponseStatus::Overloaded;
+    response.error = "shed by admission control";
+    return response;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    serve::Response response = predict_admitted(request);
+    const Duration took = Duration::seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    const bool late = request.deadline.as_seconds() > 0.0 &&
+                      took.as_seconds() > request.deadline.as_seconds();
+    if (response.status == serve::ResponseStatus::Ok && !late) {
+      admission_->release_success(took);
+    } else if (response.status == serve::ResponseStatus::Overloaded ||
+               response.status == serve::ResponseStatus::DeadlineExceeded ||
+               late) {
+      // Downstream shed / blowout: the capacity probe overshot.
+      admission_->release_congestion(took);
+    } else {
+      admission_->release_error();
+    }
+    return response;
+  } catch (...) {
+    admission_->release_error();
+    throw;
+  }
+}
+
+serve::Response Router::predict_admitted(const serve::Request& request) {
   obs::ObsSpan span("cluster.router.predict");
   if (stopped_.load(std::memory_order_acquire)) {
     throw Error("cluster router is stopped");
@@ -273,6 +430,7 @@ serve::Response Router::predict(const serve::Request& request) {
         return response;
       } catch (const std::exception&) {
         it->slot->breaker.record_failure();
+        it->slot->failures.fetch_add(1, std::memory_order_relaxed);
         finish(*it);
         failovers_.fetch_add(1);
         router_obs().failovers.add();
@@ -403,17 +561,23 @@ net::HealthStatus Router::health() const {
 
 BreakerState Router::breaker_state(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(membership_mutex_);
-  const auto it = slots_.find(name);
-  GPPM_CHECK(it != slots_.end(), "unknown backend '" + name + "'");
+  if (const auto it = slots_.find(name); it != slots_.end()) {
+    return it->second->breaker.state();
+  }
+  const auto it = draining_.find(name);
+  GPPM_CHECK(it != draining_.end(), "unknown backend '" + name + "'");
   return it->second->breaker.state();
 }
 
 std::int64_t Router::in_flight(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(membership_mutex_);
-  const auto it = slots_.find(name);
-  return it == slots_.end()
-             ? 0
-             : it->second->in_flight.load(std::memory_order_relaxed);
+  if (const auto it = slots_.find(name); it != slots_.end()) {
+    return it->second->in_flight.load(std::memory_order_relaxed);
+  }
+  if (const auto it = draining_.find(name); it != draining_.end()) {
+    return it->second->in_flight.load(std::memory_order_relaxed);
+  }
+  return 0;
 }
 
 RouterStats Router::stats() const {
@@ -426,8 +590,14 @@ RouterStats Router::stats() const {
   s.breaker_rejections = breaker_rejections_.load();
   s.ring_remaps = ring_remaps_.load();
   s.exhausted = exhausted_.load();
+  s.drains = drains_.load();
+  s.drain_handed_off = drain_handed_off_.load();
+  s.admission_shed = admission_shed_.load();
   std::shared_lock<std::shared_mutex> lock(membership_mutex_);
   for (const auto& [name, slot] : slots_) {
+    s.breaker_opens += slot->breaker.opens();
+  }
+  for (const auto& [name, slot] : draining_) {
     s.breaker_opens += slot->breaker.opens();
   }
   return s;

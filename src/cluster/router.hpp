@@ -28,7 +28,17 @@
 //
 // Deadlines need no router logic: they ride the request into whichever
 // backend serves it and the serve admission queue enforces them; load
-// shedding likewise comes back as a typed Overloaded answer.
+// shedding likewise comes back as a typed Overloaded answer.  With
+// admission_control on, the router additionally sheds at its own door
+// (AIMD limit + deadline-aware estimate, serve::AdmissionController)
+// before any backend is touched.
+//
+// Membership changes come in two shapes: remove_backend() is abrupt
+// (crash semantics — in-flight work keeps its SlotPtr and finishes or
+// fails over), drain_backend() is planned — the member leaves the ring
+// immediately so new keys route to the post-removal owners, but the slot
+// parks in a Draining set until its in-flight count hits zero, then the
+// call reports handoff size, duration, and a zero-loss flag.
 //
 // predict() is synchronous on the caller's thread (closed-loop clients,
 // the bench).  submit() runs predict() on a private executor and returns
@@ -53,8 +63,10 @@
 #include "cluster/breaker.hpp"
 #include "cluster/ring.hpp"
 #include "common/units.hpp"
+#include "fault/injector.hpp"
 #include "net/protocol.hpp"
 #include "obs/obs.hpp"
+#include "serve/admission.hpp"
 
 namespace gppm::cluster {
 
@@ -103,6 +115,35 @@ struct RouterOptions {
 
   /// Executor threads behind submit().
   std::size_t async_workers = 4;
+
+  /// Adaptive overload control (AIMD limit + deadline-aware admission) in
+  /// front of predict(); a shed request gets a typed Overloaded response
+  /// instead of queueing toward deadline blowout.
+  bool admission_control = false;
+  serve::AdmissionOptions admission;
+
+  /// Chaos hook: consulted at the `cluster.drain.slow` site by
+  /// drain_backend().  Not owned; may be nullptr (no injection).
+  fault::FaultInjector* injector = nullptr;
+
+  /// In-flight poll tick and default wait bound for drain_backend().
+  Duration drain_poll = Duration::milliseconds(1.0);
+  Duration drain_timeout = Duration::seconds(10.0);
+};
+
+/// Outcome of one drain_backend() call.
+struct DrainReport {
+  std::string backend;
+  /// Requests still on the backend when it left the ring.
+  std::uint64_t in_flight_at_start = 0;
+  /// Requests that completed on the draining backend after it left the
+  /// ring (the handoff window).
+  std::uint64_t handed_off = 0;
+  Duration duration = Duration::seconds(0.0);
+  /// Drained to zero in time and no request failed during the handoff.
+  bool zero_loss = false;
+  /// In-flight reached zero before the timeout.
+  bool completed = false;
 };
 
 struct RouterStats {
@@ -115,6 +156,9 @@ struct RouterStats {
   std::uint64_t breaker_rejections = 0;
   std::uint64_t ring_remaps = 0;
   std::uint64_t exhausted = 0;  ///< every replica failed
+  std::uint64_t drains = 0;
+  std::uint64_t drain_handed_off = 0;
+  std::uint64_t admission_shed = 0;  ///< typed Overloaded at the door
 };
 
 class Router {
@@ -131,7 +175,18 @@ class Router {
   /// Leave the ring; in-flight requests on the backend finish on their
   /// own.  No-op for unknown names.
   void remove_backend(const std::string& name);
+  /// Planned removal: the backend leaves the ring immediately (new keys
+  /// route to the post-removal owners) but its slot is kept in a Draining
+  /// set so in-flight requests complete on it; blocks until in-flight hits
+  /// zero or `timeout` (<= 0 uses options.drain_timeout), then drops the
+  /// slot and reports.  Unknown names return a completed zero-loss no-op
+  /// report; draining a name twice observes the same drain.
+  DrainReport drain_backend(const std::string& name,
+                            Duration timeout = Duration::seconds(0.0));
   std::vector<std::string> backends() const;
+  /// True while `name` is in the draining set (left the ring, finishing
+  /// in-flight work).
+  bool draining(const std::string& name) const;
 
   /// Route, hedge, fail over; always answers (typed statuses for
   /// failures).  Throws gppm::Error only when the router has no backends
@@ -149,10 +204,15 @@ class Router {
 
   BreakerState breaker_state(const std::string& name) const;
   RouterStats stats() const;
-  /// Router-observed in-flight count for one backend (0 for unknown).
+  /// Router-observed in-flight count for one backend (0 for unknown;
+  /// draining backends still report).
   std::int64_t in_flight(const std::string& name) const;
   /// Current hedge trigger (what the next slow primary would wait).
   Duration hedge_delay() const;
+  /// The admission controller, or nullptr when admission_control is off.
+  const serve::AdmissionController* admission() const {
+    return admission_ ? admission_.get() : nullptr;
+  }
 
   /// Stop the health loop and the executor; backends are left running
   /// (the fleet owns their lifecycle).  Idempotent.
@@ -163,6 +223,8 @@ class Router {
     std::shared_ptr<Backend> backend;
     CircuitBreaker breaker;
     std::atomic<std::int64_t> in_flight{0};
+    /// Failed flights on this backend (feeds the drain zero-loss flag).
+    std::atomic<std::uint64_t> failures{0};
     /// cluster.router.in_flight.<name>, resolved once at join time so the
     /// hot path never touches the registry map.
     obs::Gauge& gauge;
@@ -186,6 +248,7 @@ class Router {
   };
 
   std::vector<SlotPtr> route(const serve::Request& request) const;
+  serve::Response predict_admitted(const serve::Request& request);
   /// Launch on the first admissible candidate from `next` on; records
   /// breaker failures for refused/failed launches.  Returns false when no
   /// candidate remains.
@@ -198,8 +261,11 @@ class Router {
   mutable std::shared_mutex membership_mutex_;
   HashRing ring_;
   std::map<std::string, SlotPtr> slots_;
+  /// Backends off the ring but still finishing in-flight work.
+  std::map<std::string, SlotPtr> draining_;
 
   LatencyTracker latency_;
+  std::unique_ptr<serve::AdmissionController> admission_;
 
   serve::BoundedQueue<AsyncJob> async_queue_;
   std::vector<std::thread> executors_;
@@ -214,6 +280,9 @@ class Router {
   std::atomic<std::uint64_t> breaker_rejections_{0};
   std::atomic<std::uint64_t> ring_remaps_{0};
   std::atomic<std::uint64_t> exhausted_{0};
+  std::atomic<std::uint64_t> drains_{0};
+  std::atomic<std::uint64_t> drain_handed_off_{0};
+  std::atomic<std::uint64_t> admission_shed_{0};
   /// Breaker opens already mirrored to the obs counter (health thread
   /// only).
   std::uint64_t reported_opens_ = 0;

@@ -1,0 +1,97 @@
+#include "cluster/schedule.hpp"
+
+#include "common/error.hpp"
+
+namespace gppm::cluster {
+
+std::string to_string(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::Kill: return "kill";
+    case ChaosAction::Restart: return "restart";
+    case ChaosAction::Drain: return "drain";
+    case ChaosAction::Rejoin: return "rejoin";
+  }
+  return "?";
+}
+
+std::string ChaosEvent::to_string() const {
+  return cluster::to_string(action) + " node" + std::to_string(node);
+}
+
+ChaosSchedule::ChaosSchedule(Options options)
+    : options_(options),
+      rng_(options.seed),
+      modes_(options.nodes, NodeMode::Up) {
+  GPPM_CHECK(options_.nodes >= 1, "chaos schedule needs >= 1 node");
+  GPPM_CHECK(options_.drains || options_.kills,
+             "chaos schedule needs at least one of drains/kills enabled");
+}
+
+ChaosEvent ChaosSchedule::next() {
+  ChaosEvent event;
+  event.node = rng_.uniform_index(options_.nodes);
+  switch (modes_[event.node]) {
+    case NodeMode::Killed:
+      event.action = ChaosAction::Restart;
+      modes_[event.node] = NodeMode::Up;
+      break;
+    case NodeMode::Drained:
+      event.action = ChaosAction::Rejoin;
+      modes_[event.node] = NodeMode::Up;
+      break;
+    case NodeMode::Up:
+      // Never take the whole fleet down: the last healthy node is left
+      // alone (its draw recovers somebody else next call).
+      {
+        std::size_t up = 0;
+        for (const NodeMode mode : modes_) {
+          if (mode == NodeMode::Up) ++up;
+        }
+        if (up <= 1) {
+          // Redirect to a disturbed node if any, else a no-op restart.
+          for (std::size_t i = 0; i < modes_.size(); ++i) {
+            const std::size_t j = (event.node + i) % modes_.size();
+            if (modes_[j] == NodeMode::Killed) {
+              event.node = j;
+              event.action = ChaosAction::Restart;
+              modes_[j] = NodeMode::Up;
+              log_.push_back(event);
+              return event;
+            }
+            if (modes_[j] == NodeMode::Drained) {
+              event.node = j;
+              event.action = ChaosAction::Rejoin;
+              modes_[j] = NodeMode::Up;
+              log_.push_back(event);
+              return event;
+            }
+          }
+          event.action = ChaosAction::Restart;  // 1-node fleet: benign
+          log_.push_back(event);
+          return event;
+        }
+      }
+      if (options_.drains &&
+          (!options_.kills || rng_.uniform() < 0.5)) {
+        event.action = ChaosAction::Drain;
+        modes_[event.node] = NodeMode::Drained;
+      } else {
+        event.action = ChaosAction::Kill;
+        modes_[event.node] = NodeMode::Killed;
+      }
+      break;
+  }
+  log_.push_back(event);
+  return event;
+}
+
+std::string ChaosSchedule::log_string() const {
+  std::string out;
+  for (const ChaosEvent& event : log_) {
+    out += event.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gppm::cluster

@@ -1,0 +1,48 @@
+#include "common/shutdown.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace gppm {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void on_signal(int signo) {
+  // Second signal: restore the default disposition and re-raise, so a
+  // tool wedged past the cooperative path can still be interrupted.
+  if (g_shutdown.exchange(true)) {
+    std::signal(signo, SIG_DFL);
+    std::raise(signo);
+  }
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+#if defined(_WIN32)
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+#else
+  struct sigaction action = {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking reads must return EINTR so loops can see the
+  // flag (see the header).
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#endif
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void reset_shutdown_for_test() {
+  g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace gppm

@@ -1,0 +1,30 @@
+// Cooperative SIGINT/SIGTERM shutdown for the CLI tools.
+//
+// The tools' contract on Ctrl-C used to be "die mid-loop, lose every
+// pending --metrics-out/--trace-out byte".  install_shutdown_handler()
+// arms a tiny async-signal-safe handler that just flips an atomic flag;
+// loops poll shutdown_requested() and unwind normally — reports print,
+// obs sinks flush, exit code stays 0 for a clean interrupt.
+//
+// The handler is installed WITHOUT SA_RESTART on purpose: a tool parked
+// in a blocking read (gppm serve's stdin getline, a socket accept) must
+// have that call fail with EINTR so its loop can observe the flag —
+// SA_RESTART would resume the read and the tool would hang until the
+// next byte arrives.  A second signal while the flag is already set
+// falls back to the default disposition, so a stuck drain can still be
+// killed with a second Ctrl-C.
+#pragma once
+
+namespace gppm {
+
+/// Arm SIGINT/SIGTERM to request a cooperative shutdown.  Idempotent.
+void install_shutdown_handler();
+
+/// True once a shutdown signal has arrived.  Async-signal-safe to set,
+/// cheap to poll from worker loops.
+bool shutdown_requested();
+
+/// Test hook: re-arm the flag (signals are process-global state).
+void reset_shutdown_for_test();
+
+}  // namespace gppm

@@ -108,6 +108,16 @@ FaultPlan FaultPlan::net_profile() {
       "net.reset       p=0.02\n");
 }
 
+FaultPlan FaultPlan::cluster_profile() {
+  return parse_string(
+      "# gppm cluster reconfiguration chaos profile\n"
+      "net.connect         p=0.05 burst=2\n"
+      "net.short_read      p=0.10 burst=4\n"
+      "net.reset           p=0.01\n"
+      "supervisor.probe    p=0.10 burst=2\n"
+      "cluster.drain.slow  p=0.20 mag=5.0\n");
+}
+
 std::string FaultPlan::to_string() const {
   std::string out;
   for (const SiteSpec& s : sites) {

@@ -45,6 +45,14 @@ inline constexpr std::string_view kSiteNetConnect = "net.connect";
 inline constexpr std::string_view kSiteNetShortRead = "net.short_read";
 inline constexpr std::string_view kSiteNetReset = "net.reset";
 
+/// The `cluster` site family consulted by the reconfiguration machinery:
+///   * supervisor.probe   — a health probe is lost (the supervisor sees a
+///                          healthy node as unresponsive);
+///   * cluster.drain.slow — a drain stalls for `mag` milliseconds before
+///                          the in-flight poll starts (slow handoff).
+inline constexpr std::string_view kSiteSupervisorProbe = "supervisor.probe";
+inline constexpr std::string_view kSiteClusterDrainSlow = "cluster.drain.slow";
+
 /// Fault behaviour of one named site.
 struct SiteSpec {
   std::string site;
@@ -77,6 +85,11 @@ struct FaultPlan {
   /// connect refusals, frequent short reads, rare mid-frame resets.  Used
   /// by the net chaos suite and `gppm-loadgen --chaos`.
   static FaultPlan net_profile();
+
+  /// A cluster reconfiguration chaos profile: lost supervisor probes and
+  /// slow drains on top of the net faults.  Used by the drain/supervisor
+  /// chaos tests and `gppm-loadgen --cluster --chaos`.
+  static FaultPlan cluster_profile();
 
   /// Render back into the profile format (parse round-trips).
   std::string to_string() const;

@@ -1,0 +1,146 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace gppm::serve {
+
+namespace {
+
+struct AdmissionObs {
+  obs::Counter& admitted;
+  obs::Counter& shed_limit;
+  obs::Counter& shed_deadline;
+  obs::Counter& backoffs;
+  obs::Gauge& limit;
+  obs::Gauge& in_flight;
+};
+
+AdmissionObs& admission_obs() {
+  obs::Registry& reg = obs::Registry::instance();
+  static AdmissionObs instruments{
+      reg.counter("serve.admission.admitted"),
+      reg.counter("serve.admission.shed_limit"),
+      reg.counter("serve.admission.shed_deadline"),
+      reg.counter("serve.admission.backoffs"),
+      reg.gauge("serve.admission.limit"),
+      reg.gauge("serve.admission.in_flight"),
+  };
+  return instruments;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options), limit_(options.initial_limit) {
+  GPPM_CHECK(options_.min_limit >= 1.0, "admission min_limit must be >= 1");
+  GPPM_CHECK(options_.max_limit >= options_.min_limit,
+             "admission max_limit must be >= min_limit");
+  GPPM_CHECK(options_.decrease > 0.0 && options_.decrease < 1.0,
+             "admission decrease factor must be in (0, 1)");
+  GPPM_CHECK(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0,
+             "admission ewma_alpha must be in (0, 1]");
+  limit_ = std::clamp(limit_, options_.min_limit, options_.max_limit);
+}
+
+bool AdmissionController::try_acquire(Duration deadline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<double>(in_flight_) + 1.0 > limit_) {
+    ++stats_.shed_limit;
+    if (options_.instrument) admission_obs().shed_limit.add();
+    return false;
+  }
+  if (deadline.as_seconds() > 0.0 && ewma_s_ > 0.0) {
+    // Estimated completion time for a request entering now: the smoothed
+    // service latency inflated by how full the window already is.
+    const double estimate =
+        ewma_s_ * (1.0 + static_cast<double>(in_flight_) / limit_);
+    if (estimate > deadline.as_seconds() * options_.deadline_headroom) {
+      ++stats_.shed_deadline;
+      if (options_.instrument) admission_obs().shed_deadline.add();
+      return false;
+    }
+  }
+  ++in_flight_;
+  ++stats_.admitted;
+  if (options_.instrument) {
+    admission_obs().admitted.add();
+    admission_obs().in_flight.add(1);
+  }
+  return true;
+}
+
+void AdmissionController::release_locked() {
+  if (in_flight_ > 0) --in_flight_;
+  if (options_.instrument) admission_obs().in_flight.add(-1);
+}
+
+void AdmissionController::observe_locked(double seconds) {
+  if (!(seconds > 0.0)) return;
+  ewma_s_ = ewma_s_ == 0.0
+                ? seconds
+                : (1.0 - options_.ewma_alpha) * ewma_s_ +
+                      options_.ewma_alpha * seconds;
+}
+
+void AdmissionController::release_success(Duration latency) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  release_locked();
+  observe_locked(latency.as_seconds());
+  // Additive increase: +1 per limit-sized window of successes, so the
+  // limit climbs one unit per "round trip" like a congestion window.
+  limit_ = std::min(options_.max_limit, limit_ + 1.0 / std::max(limit_, 1.0));
+  if (options_.instrument) {
+    admission_obs().limit.set(static_cast<std::int64_t>(limit_));
+  }
+}
+
+void AdmissionController::release_congestion(Duration latency) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  release_locked();
+  observe_locked(latency.as_seconds());
+  // One decrease per latency window: a burst of simultaneous blowouts is
+  // one congestion event, not a collapse to min_limit.
+  const auto now = Clock::now();
+  const double window_s = std::max(ewma_s_, 0.010);
+  if (now - last_decrease_ <
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(window_s))) {
+    return;
+  }
+  last_decrease_ = now;
+  limit_ = std::max(options_.min_limit, limit_ * options_.decrease);
+  ++stats_.backoffs;
+  if (options_.instrument) {
+    admission_obs().backoffs.add();
+    admission_obs().limit.set(static_cast<std::int64_t>(limit_));
+  }
+}
+
+void AdmissionController::release_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  release_locked();
+}
+
+double AdmissionController::limit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limit_;
+}
+
+std::int64_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats s = stats_;
+  s.limit = limit_;
+  s.in_flight = in_flight_;
+  s.ewma_latency_s = ewma_s_;
+  return s;
+}
+
+}  // namespace gppm::serve

@@ -50,6 +50,8 @@
 #include "kernelir/programs.hpp"
 #include "kernelir/trace.hpp"
 #include "cluster/fleet.hpp"
+#include "cluster/supervisor.hpp"
+#include "common/shutdown.hpp"
 #include "net/server.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -77,7 +79,8 @@ int usage(std::ostream& out, int code) {
          "  gppm governor <gpu> <benchmark> [benchmark...]\n"
          "  gppm serve <gpu> --listen PORT [--workers N] [--cache N]"
          " [--duration S]\n"
-         "                  [--cluster N [--replicas R]]\n"
+         "                  [--cluster N [--replicas R] [--supervise]"
+         " [--admission]]\n"
          "  gppm serve-bench <gpu> [--requests N] [--workers N] [--clients N]"
          " [--cache N] [--jitter F]\n"
          "  gppm chaos <gpu> [--fault-profile FILE] [--seed N]"
@@ -339,13 +342,15 @@ int cmd_governor(int argc, char** argv) {
 
 int cmd_serve(int argc, char** argv) {
   // gppm serve <gpu> --listen PORT [--workers N] [--cache N] [--duration S]
-  //                  [--cluster N [--replicas R]]
+  //                  [--cluster N [--replicas R] [--supervise]
+  //                  [--admission]]
   if (argc < 3) return usage();
   const sim::GpuModel model = parse_gpu(argv[2]);
   bool listen = false;
   std::uint16_t port = 0;
   std::size_t workers = 4, cache = 1 << 16;
   std::size_t cluster = 0, replicas = 2;
+  bool supervise = false, admission = false;
   double duration = 0.0;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -365,11 +370,16 @@ int cmd_serve(int argc, char** argv) {
       cluster = std::stoul(argv[++i]);
     } else if (arg == "--replicas" && has_value) {
       replicas = std::stoul(argv[++i]);
+    } else if (arg == "--supervise") {
+      supervise = true;
+    } else if (arg == "--admission") {
+      admission = true;
     } else {
       return usage();
     }
   }
   if (!listen || workers == 0 || replicas == 0) return usage();
+  if ((supervise || admission) && cluster == 0) return usage();
 
   std::cout << "fitting models for " << sim::to_string(model)
             << " (extended form)...\n";
@@ -396,15 +406,23 @@ int cmd_serve(int argc, char** argv) {
     fopt.server = bopt;
     cluster::RouterOptions ropt;
     ropt.replicas = replicas;
+    ropt.admission_control = admission;
     fleet = std::make_unique<cluster::LocalFleet>(std::move(power),
                                                   std::move(perf), fopt, ropt);
     bridge = fleet->bridge();
     std::cout << "cluster: " << cluster << " in-process backends, "
-              << replicas << " replicas per key\n";
+              << replicas << " replicas per key"
+              << (supervise ? ", supervised" : "")
+              << (admission ? ", admission control" : "") << "\n";
   } else {
     backend = std::make_unique<serve::PredictionServer>(bopt);
     backend->load_models(std::move(power), std::move(perf));
     bridge = net::bridge_prediction_server(*backend);
+  }
+
+  std::unique_ptr<cluster::Supervisor> supervisor;
+  if (fleet && supervise) {
+    supervisor = std::make_unique<cluster::Supervisor>(*fleet);
   }
 
   net::ServerOptions nopt;
@@ -413,17 +431,30 @@ int cmd_serve(int argc, char** argv) {
   std::cout << "listening on 127.0.0.1:" << server.port() << "\n"
             << std::flush;
 
+  // Ctrl-C / SIGTERM drain and report instead of dying mid-loop; the
+  // handler is installed without SA_RESTART so the stdin getline below
+  // returns on the signal.
+  install_shutdown_handler();
   if (duration > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(duration));
+    while (!shutdown_requested() &&
+           std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
   } else {
     // Foreground service: run until stdin closes (Ctrl-D, or the driving
-    // script closing the pipe) so scripted runs get a clean shutdown path.
+    // script closing the pipe) or a shutdown signal arrives.
     std::cout << "serving until stdin closes (--duration S to time-box)\n";
     std::string line;
-    while (std::getline(std::cin, line)) {
+    while (!shutdown_requested() && std::getline(std::cin, line)) {
     }
   }
+  if (shutdown_requested()) std::cout << "shutdown signal: draining\n";
 
+  if (supervisor) supervisor->stop();
   server.stop();
   const net::ServerStats ns = server.stats();
   if (fleet) {
@@ -431,7 +462,15 @@ int cmd_serve(int argc, char** argv) {
     fleet->stop();
     std::cout << rs.requests << " routed (" << rs.hedges_fired << " hedges, "
               << rs.hedge_wins << " hedge wins, " << rs.failovers
-              << " failovers, " << rs.breaker_opens << " breaker opens)\n";
+              << " failovers, " << rs.breaker_opens << " breaker opens, "
+              << rs.drains << " drains, " << rs.admission_shed
+              << " admission sheds)\n";
+    if (supervisor) {
+      const cluster::SupervisorStats ss = supervisor->stats();
+      std::cout << "supervisor: " << ss.probes << " probes, " << ss.restarts
+                << " restarts, " << ss.budget_exhausted
+                << " budget exhaustions\n";
+    }
   } else {
     backend->shutdown();
     backend->metrics().print(std::cout);

@@ -12,7 +12,9 @@
 //
 //   gppm-loadgen --cluster N [--replicas R] [--gpu NAME] [--requests N]
 //                [--connections N] [--open-loop RATE] [--jitter F]
-//                [--chaos] [--seed N]
+//                [--chaos] [--seed N] [--drain-every MS]
+//                [--rolling-restart] [--supervise] [--admission]
+//                [--deadline-ms MS]
 //
 // self-hosts a cluster::LocalFleet of N backend prediction servers behind a
 // Router (R replicas per key, hedged requests, circuit breaking) and drives
@@ -20,10 +22,26 @@
 // a single untouched reference server holding a copy of the same model
 // pair: the run FAILS (nonzero exit) if any successful response diverges.
 // --chaos puts each backend behind its own loopback gppm::net server,
-// routes the router's client sockets through the net.* fault sites
-// (connect refusals, short reads, mid-frame resets) and additionally
-// kills/restarts backends round-robin while the trace replays — the
-// zero-wrong-answers gate must hold through all of it.
+// routes the router's client sockets through the cluster chaos profile
+// fault sites (connect refusals, short reads, mid-frame resets, lost
+// supervisor probes, slow drains) and additionally kills/restarts backends
+// while the trace replays — the zero-wrong-answers gate must hold through
+// all of it.  Victims come from a seeded cluster::ChaosSchedule, so the
+// same --seed disturbs the same nodes in the same order run to run; the
+// event log is printed at the end for diffing.
+//
+// Reconfiguration-under-load flags, composable with --chaos:
+//   --drain-every MS    a drain scheduler drains and rejoins nodes on a
+//                       seeded schedule, one planned handoff every MS;
+//   --rolling-restart   continuously cycles fleet.rolling_restart() —
+//                       drain → restart → rejoin of every node in turn;
+//   --supervise         a cluster::Supervisor owns recovery: the chaos
+//                       reaper only kills, the supervisor's probes and
+//                       budgeted backoff restarts bring nodes back;
+//   --admission         AIMD + deadline-aware admission control at the
+//                       router door (excess load sheds as Overloaded);
+//   --deadline-ms MS    stamp every request with a service deadline (the
+//                       admission estimate sheds what cannot make it).
 //
 // Closed loop by default: each worker keeps exactly one request in flight.
 // --open-loop paces aggregate arrivals at RATE requests/sec instead
@@ -32,6 +50,9 @@
 // internally synchronized, so chaos runs may use any --connections; runs
 // are only byte-reproducible at --connections 1 (fault arrival then has a
 // deterministic interleaving).
+//
+// SIGINT/SIGTERM drain the in-flight work, print the partial report,
+// flush --metrics-out/--trace-out, and exit 0 (divergence still fails).
 //
 // Also accepts the global --trace-out=FILE / --metrics-out=FILE
 // observability flags (see gppm --help).
@@ -47,6 +68,9 @@
 #include <vector>
 
 #include "cluster/fleet.hpp"
+#include "cluster/schedule.hpp"
+#include "cluster/supervisor.hpp"
+#include "common/shutdown.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
 #include "core/characterization.hpp"
@@ -70,7 +94,9 @@ int usage(std::ostream& out, int code) {
          "  gppm-loadgen --cluster N [--replicas R] [--gpu NAME]"
          " [--requests N]\n"
          "               [--connections N] [--open-loop RATE] [--jitter F]\n"
-         "               [--chaos] [--seed N]\n"
+         "               [--chaos] [--seed N] [--drain-every MS]"
+         " [--rolling-restart]\n"
+         "               [--supervise] [--admission] [--deadline-ms MS]\n"
          "also accepts --trace-out=FILE --metrics-out=FILE\n"
          "gpus: gtx285 gtx460 gtx480 gtx680\n";
   return code;
@@ -88,6 +114,11 @@ struct Options {
   std::size_t cluster = 0;  // 0 = wire mode (--connect)
   std::size_t replicas = 2;
   std::string gpu = "gtx460";
+  double drain_every_ms = 0.0;  // 0 = no drain scheduler
+  bool rolling_restart = false;
+  bool supervise = false;
+  bool admission = false;
+  double deadline_ms = 0.0;  // 0 = no per-request deadline
 };
 
 void parse_connect(const std::string& value, Options& opt) {
@@ -158,8 +189,7 @@ int run_cluster(const Options& opt) {
   // cannot promise bit-identity for it; the cluster trace sticks to the
   // pure endpoints.
   topt.govern_fraction = 0.0;
-  const std::vector<serve::Request> trace =
-      serve::synthetic_trace(corpus, topt);
+  std::vector<serve::Request> trace = serve::synthetic_trace(corpus, topt);
 
   // Ground truth: one untouched in-process server with its own copy of
   // the same model pair answers the whole trace up front.
@@ -172,7 +202,17 @@ int run_cluster(const Options& opt) {
     }
   }
 
-  fault::FaultInjector injector(fault::FaultPlan::net_profile(), opt.seed);
+  // Deadlines are stamped after the ground truth is computed, so the
+  // reference answers stay the pure, deadline-free responses the gate
+  // compares against.
+  if (opt.deadline_ms > 0.0) {
+    for (serve::Request& r : trace) {
+      r.deadline = Duration::milliseconds(opt.deadline_ms);
+    }
+  }
+
+  fault::FaultInjector injector(fault::FaultPlan::cluster_profile(),
+                                opt.seed);
   cluster::FleetOptions fopt;
   fopt.backends = opt.cluster;
   if (opt.chaos) {
@@ -184,6 +224,10 @@ int run_cluster(const Options& opt) {
   }
   cluster::RouterOptions ropt;
   ropt.replicas = opt.replicas;
+  if (opt.chaos) ropt.injector = &injector;
+  if (opt.admission) {
+    ropt.admission_control = true;
+  }
   cluster::LocalFleet fleet(power, perf, fopt, ropt);
 
   std::cout << corpus.counters.size() << " phases, " << trace.size()
@@ -203,23 +247,104 @@ int run_cluster(const Options& opt) {
   std::atomic<std::uint64_t> divergent{0};
   std::atomic<std::size_t> next{0};
 
-  // Chaos additionally cycles real backend deaths through the run:
-  // kill round-robin, let the routed traffic absorb it, recover, move on.
   std::atomic<bool> running{true};
+  auto paced_sleep = [&](double total_ms) {
+    const auto tick = std::chrono::milliseconds(10);
+    auto left = std::chrono::duration<double, std::milli>(total_ms);
+    while (running.load() && !shutdown_requested() &&
+           left.count() > 0.0) {
+      std::this_thread::sleep_for(tick);
+      left -= tick;
+    }
+  };
+
+  // The supervisor owns recovery under --supervise: the reaper only
+  // kills, and the probe → backoff → restart loop brings nodes back.
+  std::unique_ptr<cluster::Supervisor> supervisor;
+  if (opt.supervise) {
+    cluster::SupervisorOptions sup;
+    sup.seed = opt.seed;
+    if (opt.chaos) sup.injector = &injector;
+    supervisor = std::make_unique<cluster::Supervisor>(fleet, sup);
+  }
+
+  // Chaos additionally cycles real backend deaths through the run.  The
+  // victims come from a seeded schedule, so two runs with the same --seed
+  // disturb the same nodes in the same order (the event log below).
+  cluster::ChaosSchedule reaper_schedule(
+      {opt.seed, fleet.size(), /*drains=*/false, /*kills=*/true});
   std::atomic<std::uint64_t> kills{0};
   std::thread reaper;
   if (opt.chaos && fleet.size() > 1) {
     reaper = std::thread([&] {
-      std::size_t victim = 0;
-      while (running.load()) {
-        const std::size_t k = victim++ % fleet.size();
-        fleet.kill(k);
-        kills.fetch_add(1);
-        std::this_thread::sleep_for(std::chrono::milliseconds(40));
-        fleet.restart(k);
-        for (int tick = 0; tick < 6 && running.load(); ++tick) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      while (running.load() && !shutdown_requested()) {
+        const cluster::ChaosEvent event = reaper_schedule.next();
+        switch (event.action) {
+          case cluster::ChaosAction::Kill:
+            fleet.kill(event.node);
+            kills.fetch_add(1);
+            // Supervised recovery needs detection (threshold probes) plus
+            // backoff before the node returns; pace the mayhem to match.
+            paced_sleep(opt.supervise ? 250.0 : 40.0);
+            break;
+          case cluster::ChaosAction::Restart:
+            // Under supervision the restart belongs to the supervisor;
+            // the schedule still emits the event so logs stay identical
+            // across supervised and unsupervised same-seed runs.
+            if (!opt.supervise) fleet.restart(event.node);
+            paced_sleep(60.0);
+            break;
+          default:
+            break;
         }
+      }
+    });
+  }
+
+  // Planned reconfiguration under load: a drain scheduler cycles
+  // drain → rejoin handoffs on its own seeded schedule.
+  cluster::ChaosSchedule drain_schedule(
+      {opt.seed, fleet.size(), /*drains=*/true, /*kills=*/false});
+  std::atomic<std::uint64_t> drains{0};
+  std::atomic<std::uint64_t> drain_losses{0};
+  std::thread drainer;
+  if (opt.drain_every_ms > 0.0 && fleet.size() > 1) {
+    drainer = std::thread([&] {
+      while (running.load() && !shutdown_requested()) {
+        paced_sleep(opt.drain_every_ms);
+        if (!running.load() || shutdown_requested()) break;
+        const cluster::ChaosEvent event = drain_schedule.next();
+        switch (event.action) {
+          case cluster::ChaosAction::Drain: {
+            const cluster::DrainReport report =
+                fleet.drain_node(event.node);
+            drains.fetch_add(1);
+            if (!report.zero_loss) drain_losses.fetch_add(1);
+            break;
+          }
+          case cluster::ChaosAction::Rejoin:
+            fleet.rejoin(event.node);
+            break;
+          default:
+            break;
+        }
+      }
+    });
+  }
+
+  // Or the full upgrade shape: rolling drain → restart → rejoin sweeps.
+  std::mutex rolling_mutex;
+  std::vector<cluster::RollingRestartReport> rolling_reports;
+  std::thread roller;
+  if (opt.rolling_restart) {
+    roller = std::thread([&] {
+      while (running.load() && !shutdown_requested()) {
+        cluster::RollingRestartReport report = fleet.rolling_restart();
+        {
+          std::lock_guard<std::mutex> lock(rolling_mutex);
+          rolling_reports.push_back(std::move(report));
+        }
+        paced_sleep(100.0);
       }
     });
   }
@@ -236,6 +361,7 @@ int run_cluster(const Options& opt) {
       std::uint64_t local_divergent = 0;
       for (std::size_t i = next.fetch_add(1); i < trace.size();
            i = next.fetch_add(1)) {
+        if (shutdown_requested()) break;  // drain: finish nothing new
         if (opt.open_loop_rate > 0.0) {
           std::this_thread::sleep_until(start +
                                         interval * static_cast<double>(i));
@@ -266,6 +392,9 @@ int run_cluster(const Options& opt) {
           .count();
   running.store(false);
   if (reaper.joinable()) reaper.join();
+  if (drainer.joinable()) drainer.join();
+  if (roller.joinable()) roller.join();
+  if (supervisor) supervisor->stop();
 
   std::sort(latencies.begin(), latencies.end());
   const auto ok_it = status_counts.find(serve::to_string(serve::ResponseStatus::Ok));
@@ -288,10 +417,46 @@ int run_cluster(const Options& opt) {
             << " abandoned), " << rs.failovers << " failovers, "
             << rs.breaker_opens << " breaker opens, " << rs.breaker_rejections
             << " breaker rejections, " << rs.exhausted << " exhausted\n";
+  if (rs.drains > 0 || opt.admission) {
+    std::cout << rs.drains << " drains (" << rs.drain_handed_off
+              << " requests handed off), " << rs.admission_shed
+              << " shed by admission\n";
+  }
+  if (opt.drain_every_ms > 0.0) {
+    std::cout << "drain scheduler: " << drains.load() << " planned drains, "
+              << drain_losses.load() << " with loss\n";
+  }
+  if (opt.rolling_restart) {
+    std::size_t sweeps = 0;
+    std::size_t lossy = 0;
+    {
+      std::lock_guard<std::mutex> lock(rolling_mutex);
+      sweeps = rolling_reports.size();
+      for (const cluster::RollingRestartReport& report : rolling_reports) {
+        if (!report.zero_loss) ++lossy;
+      }
+    }
+    std::cout << "rolling restarts: " << sweeps << " full sweeps, " << lossy
+              << " with loss\n";
+  }
+  if (supervisor) {
+    const cluster::SupervisorStats ss = supervisor->stats();
+    std::cout << "supervisor: " << ss.probes << " probes ("
+              << ss.probe_failures << " failed, " << ss.probes_lost
+              << " injected losses), " << ss.restarts << " restarts, "
+              << ss.budget_exhausted << " budget exhaustions\n";
+  }
   if (opt.chaos) {
     std::cout << "chaos: " << kills.load() << " backend kills, "
               << injector.total_fires() << "/" << injector.total_checks()
               << " site checks fired\n";
+  }
+  // The full disturbance history, one event per line: two same-seed runs
+  // emit identical logs (diff them to prove a repro).
+  const std::string events =
+      reaper_schedule.log_string() + drain_schedule.log_string();
+  if (!events.empty()) {
+    std::cout << "event log (seed " << opt.seed << "):\n" << events;
   }
   fleet.stop();
 
@@ -300,6 +465,11 @@ int run_cluster(const Options& opt) {
               << " successful responses diverged from single-node ground"
                  " truth\n";
     return 1;
+  }
+  if (shutdown_requested()) {
+    std::cout << "interrupted: partial run, " << ok
+              << " successful responses (all bit-identical)\n";
+    return 0;
   }
   if (ok == 0) {
     std::cerr << "FAIL: no successful responses\n";
@@ -369,6 +539,7 @@ int run_wire(const Options& opt) {
       std::map<std::string, std::uint64_t> local_status;
       for (std::size_t i = next.fetch_add(1); i < trace.size();
            i = next.fetch_add(1)) {
+        if (shutdown_requested()) break;  // drain: finish nothing new
         if (opt.open_loop_rate > 0.0) {
           std::this_thread::sleep_until(start +
                                         interval * static_cast<double>(i));
@@ -419,6 +590,10 @@ int run_wire(const Options& opt) {
     std::cout << "chaos: " << injector.total_fires() << "/"
               << injector.total_checks() << " site checks fired\n";
   }
+  if (shutdown_requested()) {
+    std::cout << "interrupted: partial run\n";
+    return 0;
+  }
   return failed.load() == trace.size() ? 1 : 0;
 }
 
@@ -448,6 +623,16 @@ int run(int argc, char** argv) {
       opt.chaos = true;
     } else if (arg == "--seed" && has_value) {
       opt.seed = std::stoull(argv[++i]);
+    } else if (arg == "--drain-every" && has_value) {
+      opt.drain_every_ms = std::stod(argv[++i]);
+    } else if (arg == "--rolling-restart") {
+      opt.rolling_restart = true;
+    } else if (arg == "--supervise") {
+      opt.supervise = true;
+    } else if (arg == "--admission") {
+      opt.admission = true;
+    } else if (arg == "--deadline-ms" && has_value) {
+      opt.deadline_ms = std::stod(argv[++i]);
     } else {
       return usage(std::cerr, 2);
     }
@@ -457,6 +642,10 @@ int run(int argc, char** argv) {
   if (wire == fleet || opt.requests == 0 || opt.connections == 0 ||
       opt.replicas == 0) {
     return usage(std::cerr, 2);
+  }
+  if (!fleet && (opt.drain_every_ms > 0.0 || opt.rolling_restart ||
+                 opt.supervise || opt.admission || opt.deadline_ms > 0.0)) {
+    return usage(std::cerr, 2);  // reconfiguration flags are --cluster only
   }
   return fleet ? run_cluster(opt) : run_wire(opt);
 }
@@ -486,6 +675,8 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+  // Ctrl-C drains the run and still reaches the flush below (exit 0).
+  install_shutdown_handler();
 
   try {
     const int rc = run(static_cast<int>(args.size()), args.data());

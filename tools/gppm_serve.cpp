@@ -11,14 +11,22 @@
 // Without --power-model/--perf-model the models are fitted in-process from
 // the board's 114-sample corpus (the extended V^2 f + baseline form, the
 // one a DVFS governor actually wants to serve).
+//
+// Also accepts the global --trace-out=FILE / --metrics-out=FILE
+// observability flags.  SIGINT/SIGTERM stop the replay cleanly: clients
+// drain their in-flight request, the partial report prints, the obs
+// artifacts flush, and the exit code is 0.
 #include <atomic>
 #include <chrono>
 #include <iostream>
 #include <thread>
 #include <vector>
 
+#include "common/shutdown.hpp"
 #include "common/str.hpp"
 #include "core/dataset.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
 
@@ -31,7 +39,8 @@ int usage(std::ostream& out, int code) {
          "                  [--requests N] [--workers N] [--clients N]\n"
          "                  [--cache ENTRIES] [--jitter FRACTION]\n"
          "                  [--all-sizes] [--csv]\n"
-         "                  [--power-model FILE --perf-model FILE]\n";
+         "                  [--power-model FILE --perf-model FILE]\n"
+         "also accepts --trace-out=FILE --metrics-out=FILE\n";
   return code;
 }
 
@@ -59,6 +68,33 @@ struct Cli {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global observability contract (same as gppm / gppm-loadgen): strip
+  // the flags before option parsing, flush the artifacts after the run.
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--trace-out" && has_value) {
+      trace_out = argv[++i];
+    } else if (starts_with(arg, "--trace-out=")) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg == "--metrics-out" && has_value) {
+      metrics_out = argv[++i];
+    } else if (starts_with(arg, "--metrics-out=")) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+  // Ctrl-C drains the replay and still reaches the flush below (exit 0).
+  install_shutdown_handler();
+
   try {
     Cli cli;
     for (int i = 1; i < argc; ++i) {
@@ -144,6 +180,7 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < cli.clients; ++c) {
       clients.emplace_back([&, c] {
         for (std::size_t i = c; i < trace.size(); i += cli.clients) {
+          if (shutdown_requested()) break;  // drain: launch nothing new
           try {
             server.submit(trace[i]).get();
           } catch (const std::exception&) {
@@ -171,6 +208,15 @@ int main(int argc, char** argv) {
       std::cout << "BEGIN-CSV serve_metrics\n";
       metrics.write_csv(std::cout);
       std::cout << "END-CSV\n";
+    }
+    if (shutdown_requested()) std::cout << "interrupted: partial replay\n";
+    if (!trace_out.empty()) {
+      obs::write_trace_file(trace_out);
+      std::cout << "trace written to " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+      obs::write_metrics_file(metrics_out);
+      std::cout << "metrics written to " << metrics_out << "\n";
     }
     return 0;
   } catch (const Error& e) {

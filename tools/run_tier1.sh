@@ -1,0 +1,51 @@
+#!/bin/sh
+# run_tier1.sh — the full pre-merge verification sweep in one command:
+#
+#   1. tier-1: Release-ish build + the complete ctest suite
+#      (the same invocation ROADMAP.md names as the merge gate);
+#   2. TSan:   -DGPPM_SANITIZE=thread build, then every ThreadSanitizer
+#      smoke target (compute pool, serve, obs, net, cluster) — the
+#      cluster one covers the membership-churn hammer and the 3-node
+#      kill/restart chaos suite;
+#   3. ASan:   -DGPPM_SANITIZE=address build, then the chaos_smoke
+#      target (fault-injection + chaos integration suites).
+#
+# Usage: tools/run_tier1.sh [--tier1-only]
+#
+# Build trees: build/ (tier-1), build-tsan/, build-asan/ — all under the
+# repo root, all reused across runs.  Exits nonzero on the first failing
+# stage.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+tier1_only=false
+[ "${1:-}" = "--tier1-only" ] && tier1_only=true
+
+echo "== tier-1: build + full ctest =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j"$jobs"
+(cd "$repo/build" && ctest --output-on-failure -j"$jobs")
+
+if $tier1_only; then
+  echo "== tier-1 PASS (sanitizer stages skipped) =="
+  exit 0
+fi
+
+echo "== TSan: build + concurrency smoke targets =="
+cmake -B "$repo/build-tsan" -S "$repo" -DGPPM_SANITIZE=thread >/dev/null
+cmake --build "$repo/build-tsan" -j"$jobs" \
+  --target test_common test_linalg test_stats test_serve test_obs \
+           test_net test_cluster
+for target in parallel_smoke serve_smoke obs_smoke net_smoke cluster_smoke
+do
+  echo "-- $target"
+  cmake --build "$repo/build-tsan" --target "$target"
+done
+
+echo "== ASan: build + chaos smoke =="
+cmake -B "$repo/build-asan" -S "$repo" -DGPPM_SANITIZE=address >/dev/null
+cmake --build "$repo/build-asan" -j"$jobs" --target test_fault test_chaos
+cmake --build "$repo/build-asan" --target chaos_smoke
+
+echo "== run_tier1: ALL STAGES PASS =="
