@@ -193,8 +193,15 @@ int main(int argc, char** argv) {
                   answered.load() == serial_requests + batched_requests;
   {
     std::ofstream json("BENCH_net.json");
-    json << "{\n  \"schema\": \"gppm.bench_net.v1\",\n"
-         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+    json << "{\n  \"schema\": \"gppm.bench_net.v2\",\n";
+    gppm::bench::json_env_stamp(json, smoke);
+    // Pre-SIMD trajectory anchor: the full-scale numbers recorded
+    // immediately before the slice-by-8 CRC + zero-copy read path.
+    json << "  \"baseline_pre_simd\": {\n"
+         << "    \"rps\": 14527.7,\n"
+         << "    \"p50_us\": 340.57,\n"
+         << "    \"p95_us\": 689.25,\n"
+         << "    \"p99_us\": 2117.29\n  },\n"
          << "  \"serial_requests\": " << serial_requests << ",\n"
          << "  \"batched_requests\": " << batched_requests << ",\n"
          << "  \"batch\": " << kBatch << ",\n"

@@ -10,6 +10,7 @@
 // only (used by the `bench`-labeled ctest smoke).
 
 #include <chrono>
+#include <memory>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -19,9 +20,11 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
 #include "core/features.hpp"
+#include "linalg/gram.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "stats/forward_selection.hpp"
@@ -150,6 +153,147 @@ Timing run_problem(const Problem& prob, int reps) {
   return t;
 }
 
+// ---- SIMD kernel microbenches ---------------------------------------------
+//
+// The before/after of the hot-path SIMD pass, measured as same-source
+// comparisons inside this binary: the vectorized kernels vs the identical
+// 8-lane summation tree with compiler vectorization disabled (what a
+// pre-SIMD build effectively executed), and the Gram column-panel build vs
+// the strided column walks it replaced.
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define GPPM_BENCH_NOVEC \
+  __attribute__((optimize("no-tree-vectorize,no-tree-slp-vectorize")))
+#else
+#define GPPM_BENCH_NOVEC
+#endif
+
+/// scalar::dot with auto-vectorization off: the genuine scalar baseline.
+/// (With -march=native at -O2, GCC would otherwise vectorize the 8-lane
+/// reference into the very AVX2 code we are comparing against.)  noinline
+/// keeps the attribute effective at every call site.
+GPPM_BENCH_NOVEC __attribute__((noinline)) double dot_scalar_novec(
+    const double* a, const double* b, std::size_t n) {
+  return gppm::simd::scalar::dot(a, b, n);
+}
+
+struct MicrobenchResult {
+  double simd_ms = 0.0;
+  double scalar_ms = 0.0;
+  double speedup = 0.0;
+};
+
+/// Best-of-reps wall time of `body(i)`, which must fold its work into
+/// `sink`.  The iteration index feeds the body so a pure call cannot be
+/// hoisted out of the timing loop.
+template <typename Body>
+double time_best_ms(int reps, int iters, double& sink, Body&& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    for (int i = 0; i < iters; ++i) sink += body(i);
+    const double elapsed = now_ms() - t0;
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+MicrobenchResult microbench_dot(int reps, int iters) {
+  gppm::Rng rng(99);
+  // L1-resident working set (two 8 KiB arrays), so the comparison measures
+  // the kernels, not the L2 bus: at 4096 both variants are bandwidth-bound
+  // and the vector speedup is hidden.
+  const std::size_t n = 1024;
+  // Eight extra elements so an i-dependent start offset keeps every call's
+  // arguments distinct without changing the reduction length.
+  // Round the bases up to 64 bytes: std::vector only guarantees 16, and a
+  // misaligned base makes half the 32-byte vector loads straddle cache
+  // lines, understating the kernel.
+  std::vector<double> a_store(n + 24), b_store(n + 24);
+  const auto align64 = [](double* p) {
+    void* raw = p;
+    std::size_t space = ~std::size_t{0};
+    return static_cast<double*>(std::align(64, sizeof(double), raw, space));
+  };
+  double* a = align64(a_store.data());
+  double* b = align64(b_store.data());
+  for (std::size_t i = 0; i < n + 8; ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  MicrobenchResult m;
+  double sink = 0.0;
+  // The (i & 1) * 8 start offset keeps successive calls' arguments
+  // distinct (so a pure call cannot be hoisted) while staying 64-byte
+  // aligned — an odd offset would split every vector load across cache
+  // lines and measure the split, not the kernel.
+  m.simd_ms = time_best_ms(reps, iters, sink, [&](int i) {
+    const std::size_t off = static_cast<std::size_t>(i & 1) * 8;
+    return gppm::simd::dot(a + off, b + off, n);
+  });
+  m.scalar_ms = time_best_ms(reps, iters, sink, [&](int i) {
+    const std::size_t off = static_cast<std::size_t>(i & 1) * 8;
+    return dot_scalar_novec(a + off, b + off, n);
+  });
+  m.speedup = m.simd_ms > 0.0 ? m.scalar_ms / m.simd_ms : 0.0;
+  if (sink == 0.12345) std::cout << "";  // keep the sink observable
+  return m;
+}
+
+/// The pre-panel Gram build: every cross term walks two row-major columns
+/// at stride p — the code path GramSystem used before the transpose-once
+/// column panel.
+double baseline_gram_strided_ms(const Matrix& x, int reps) {
+  const std::size_t n = x.rows(), p = x.cols();
+  double best = 0.0;
+  double sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    for (std::size_t j = 0; j < p; ++j) {
+      for (std::size_t i = 0; i <= j; ++i) {
+        sink += gppm::simd::dot_strided(x.row_ptr(0) + i, x.row_ptr(0) + j, n,
+                                        p, p);
+      }
+    }
+    const double elapsed = now_ms() - t0;
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  if (sink == 0.12345) std::cout << "";
+  return best;
+}
+
+MicrobenchResult microbench_gram(int reps) {
+  // Candidate-scoring scale: the scaled selection problem's Gram build.
+  gppm::Rng rng(1234);
+  const std::size_t n = 2048, p = 192;
+  Matrix x(n, p);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) x(i, j) = rng.normal();
+    y[i] = rng.normal();
+  }
+  MicrobenchResult m;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    const gppm::linalg::GramSystem gs =
+        gppm::linalg::build_gram_system(x, y, /*parallel=*/false);
+    const double elapsed = now_ms() - t0;
+    if (gs.n_rows != n) std::abort();
+    if (r == 0 || elapsed < m.simd_ms) m.simd_ms = elapsed;
+  }
+  m.scalar_ms = baseline_gram_strided_ms(x, reps);
+  m.speedup = m.simd_ms > 0.0 ? m.scalar_ms / m.simd_ms : 0.0;
+  return m;
+}
+
+void json_microbench(std::ostream& os, const char* name,
+                     const MicrobenchResult& m) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"simd_ms\": " << m.simd_ms << ",\n"
+     << "    \"scalar_ms\": " << m.scalar_ms << ",\n"
+     << "    \"speedup\": " << m.speedup << "\n  },\n";
+}
+
 void json_scenario(std::ostream& os, const std::string& name, const Timing& t,
                    bool has_naive) {
   os << "  \"" << name << "\": {\n"
@@ -201,6 +345,18 @@ int main(int argc, char** argv) {
   if (!smoke) runs.emplace_back(scaled_problem(), Timing{});
   for (auto& [prob, timing] : runs) timing = run_problem(prob, reps);
 
+  const MicrobenchResult dot_micro = microbench_dot(reps, smoke ? 200 : 2000);
+  const MicrobenchResult gram_micro = microbench_gram(reps);
+  std::cout << "microbench dot: simd " << gppm::format_double(
+                   dot_micro.simd_ms, 2)
+            << " ms vs scalar " << gppm::format_double(dot_micro.scalar_ms, 2)
+            << " ms (" << gppm::format_double(dot_micro.speedup, 1) << "x, "
+            << gppm::simd::kBackend << ")\n"
+            << "microbench gram: panel "
+            << gppm::format_double(gram_micro.simd_ms, 2) << " ms vs strided "
+            << gppm::format_double(gram_micro.scalar_ms, 2) << " ms ("
+            << gppm::format_double(gram_micro.speedup, 1) << "x)\n";
+
   gppm::AsciiTable table({"scenario", "rows", "cands", "naive ms",
                           "incremental ms", "parallel ms", "speedup",
                           "match"});
@@ -229,9 +385,17 @@ int main(int argc, char** argv) {
 
   {
     std::ofstream json("BENCH_selection.json");
-    json << "{\n  \"schema\": \"gppm.bench_selection.v1\",\n"
-         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-         << "  \"threads\": " << gppm::parallel_threads() << ",\n";
+    json << "{\n  \"schema\": \"gppm.bench_selection.v2\",\n";
+    gppm::bench::json_env_stamp(json, smoke);
+    // Pre-SIMD trajectory anchor: the paper_scale numbers this bench
+    // recorded immediately before the vectorized Gram/Cholesky pass
+    // (smoke run, 2 threads, scalar strided kernels).
+    json << "  \"baseline_pre_simd\": {\n"
+         << "    \"paper_scale_naive_ms\": 901.483,\n"
+         << "    \"paper_scale_incremental_ms\": 19.0978,\n"
+         << "    \"paper_scale_parallel_ms\": 19.3017\n  },\n";
+    json_microbench(json, "microbench_dot", dot_micro);
+    json_microbench(json, "microbench_gram", gram_micro);
     for (std::size_t i = 0; i < runs.size(); ++i) {
       json_scenario(json, runs[i].first.name, runs[i].second,
                     runs[i].first.time_naive);

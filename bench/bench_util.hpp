@@ -18,6 +18,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "core/dataset.hpp"
 #include "core/evaluation.hpp"
 #include "core/unified_model.hpp"
@@ -45,6 +46,18 @@ inline void begin_csv(const std::string& name) {
 }
 
 inline void end_csv() { std::cout << "END-CSV\n"; }
+
+/// Environment stamp shared by every perf-bench JSON writer: scale mode,
+/// thread count, compiler, and which SIMD backend the binary dispatched
+/// to.  Keeping it in one helper keeps the writers consistent, so a
+/// BENCH_*.json number can always be traced to the build that produced it.
+inline void json_env_stamp(std::ostream& os, bool smoke) {
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"threads\": " << gppm::parallel_threads() << ",\n"
+     << "  \"compiler\": \"" << __VERSION__ << "\",\n"
+     << "  \"simd_backend\": \"" << gppm::simd::kBackend << "\",\n"
+     << "  \"simd_lane_width\": " << gppm::simd::kLaneWidth << ",\n";
+}
 
 /// Corpus and the two fitted model families of one board.
 struct BoardFamilies {

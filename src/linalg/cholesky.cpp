@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace gppm::linalg {
 
@@ -12,8 +13,8 @@ Matrix cholesky(const Matrix& a) {
   Matrix l(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
-      double s = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      // Rows i and j of the factor are contiguous prefixes: one SIMD dot.
+      const double s = a(i, j) - simd::dot(l.row_ptr(i), l.row_ptr(j), j);
       if (i == j) {
         GPPM_CHECK(s > 0.0, "matrix not positive definite");
         l(i, i) = std::sqrt(s);
@@ -31,8 +32,7 @@ Vector solve_lower_triangular(const Matrix& l, const Vector& b) {
   const std::size_t n = l.rows();
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[i];
-    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    const double acc = b[i] - simd::dot(l.row_ptr(i), y.data(), i);
     GPPM_CHECK(l(i, i) != 0.0, "singular triangular system");
     y[i] = acc / l(i, i);
   }
@@ -45,8 +45,13 @@ Vector solve_lower_transposed(const Matrix& l, const Vector& y) {
   const std::size_t n = l.rows();
   Vector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = y[ii];
-    for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    // Column ii below the diagonal is an n-strided walk; the strided kernel
+    // keeps the canonical summation tree without transposing the factor.
+    const double acc =
+        ii + 1 < n ? y[ii] - simd::dot_strided(l.row_ptr(ii + 1) + ii,
+                                               x.data() + ii + 1, n - ii - 1,
+                                               n, 1)
+                   : y[ii];
     GPPM_CHECK(l(ii, ii) != 0.0, "singular triangular system");
     x[ii] = acc / l(ii, ii);
   }
@@ -65,8 +70,7 @@ Matrix cholesky_append(const Matrix& l, const Vector& cross, double diag) {
   const std::size_t k = l.rows();
   // Bordered factor: new row w = L^{-1} cross, new pivot sqrt(diag - |w|^2).
   const Vector w = k == 0 ? Vector{} : solve_lower_triangular(l, cross);
-  double s = diag;
-  for (double v : w) s -= v * v;
+  const double s = diag - simd::dot(w.data(), w.data(), w.size());
   // An exactly dependent column can still leave s a few ulps above zero
   // (the subtraction cancels to rounding noise), so the positivity test must
   // be relative to the column's own scale, mirroring the QR rank tolerance.

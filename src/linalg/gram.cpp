@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace gppm::linalg {
 
@@ -28,12 +29,19 @@ GramSystem build_gram_system(const Matrix& candidates, const Vector& y,
   }
   gs.tss = gs.yty - sum_y * sum_y / static_cast<double>(n);
 
-  // Work on X^T so every column dot is a contiguous row dot.
-  const Matrix xt = candidates.transposed();
+  // Transpose once into the column panel: candidate column j becomes panel
+  // row j, contiguous, so every dot below is a straight-line SIMD kernel.
+  gs.panel = candidates.transposed();
 
-  // Column norms (= the lstsq equilibration scales) and the intercept terms.
+  // Column norms (= the lstsq equilibration scales) and the intercept
+  // terms.  simd::dot over a panel row computes the same 8-lane tree as
+  // Matrix::col_norm's strided walk, so the scales equal the ones lstsq
+  // derives from the row-major matrix bit for bit.
   gs.col_scale[0] = std::sqrt(static_cast<double>(n));
-  for (std::size_t j = 0; j < p; ++j) gs.col_scale[j + 1] = candidates.col_norm(j);
+  for (std::size_t j = 0; j < p; ++j) {
+    const double* cj = gs.panel.row_ptr(j);
+    gs.col_scale[j + 1] = std::sqrt(simd::dot(cj, cj, n));
+  }
   gs.xty[0] = sum_y / gs.col_scale[0];
   gs.gram(0, 0) = 1.0;
 
@@ -41,15 +49,14 @@ GramSystem build_gram_system(const Matrix& candidates, const Vector& y,
   // its (unit) diagonal, and its X^T y entry.  Each Gram entry is written by
   // exactly one task with a fixed inner summation order, so parallel and
   // serial builds are bit-identical.
+  const double* yp = y.data();
   const auto build_column = [&](std::size_t j) {
     const double sj = gs.col_scale[j + 1];
     if (sj <= 0.0) return;  // all-zero column: row stays 0, never selectable
+    const double* cj = gs.panel.row_ptr(j);
     double col_sum = 0.0;
     double cy = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      col_sum += xt(j, r);
-      cy += xt(j, r) * y[r];
-    }
+    simd::sum_dot(cj, yp, n, col_sum, cy);
     gs.gram(0, j + 1) = col_sum / (gs.col_scale[0] * sj);
     gs.gram(j + 1, 0) = gs.gram(0, j + 1);
     gs.xty[j + 1] = cy / sj;
@@ -57,7 +64,7 @@ GramSystem build_gram_system(const Matrix& candidates, const Vector& y,
     for (std::size_t i = 0; i < j; ++i) {
       const double si = gs.col_scale[i + 1];
       if (si <= 0.0) continue;
-      const double g = xt.row_dot(i, j) / (si * sj);
+      const double g = simd::dot(gs.panel.row_ptr(i), cj, n) / (si * sj);
       gs.gram(i + 1, j + 1) = g;
       gs.gram(j + 1, i + 1) = g;
     }

@@ -26,6 +26,12 @@ struct GramSystem {
   Matrix gram;       ///< (p+1) x (p+1) normalized X^T X, unit diagonal
   Vector xty;        ///< (p+1) normalized X^T y
   Vector col_scale;  ///< per-design-column Euclidean norm (0 for zero cols)
+  /// Transpose-once column panel: row j is candidate column j of X stored
+  /// contiguously (p x n).  Built once per system so every column dot in
+  /// the Gram accumulation — and any later streaming refit against the
+  /// same sample block — is a contiguous SIMD kernel instead of a
+  /// cols()-strided walk over the row-major sample matrix.
+  Matrix panel;
   double yty = 0.0;  ///< y^T y
   double tss = 0.0;  ///< total sum of squares about the mean of y
   std::size_t n_rows = 0;
@@ -34,8 +40,9 @@ struct GramSystem {
 
 /// Build the Gram system.  With `parallel` set, the O(p^2 n) entry
 /// computation fans out over the shared compute pool; each Gram entry is
-/// produced by exactly one task with a fixed summation order, so the result
-/// is bit-identical to the serial build.
+/// produced by exactly one task with a fixed summation order (the
+/// common/simd.hpp 8-lane tree, identical on every backend), so the result
+/// is bit-identical to the serial build and to a -DGPPM_SIMD=off build.
 GramSystem build_gram_system(const Matrix& candidates, const Vector& y,
                              bool parallel = false);
 

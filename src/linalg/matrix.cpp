@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace gppm::linalg {
 
@@ -41,6 +42,11 @@ Vector Matrix::row(std::size_t r) const {
                 data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
 }
 
+const double* Matrix::row_ptr(std::size_t r) const {
+  GPPM_CHECK(r < rows_, "row out of range");
+  return data_.data() + r * cols_;
+}
+
 Vector Matrix::col(std::size_t c) const {
   GPPM_CHECK(c < cols_, "col out of range");
   Vector v(rows_);
@@ -56,22 +62,16 @@ void Matrix::set_col(std::size_t c, const Vector& v) {
 
 double Matrix::col_dot(std::size_t c1, std::size_t c2) const {
   GPPM_CHECK(c1 < cols_ && c2 < cols_, "col out of range");
-  double acc = 0.0;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    acc += data_[r * cols_ + c1] * data_[r * cols_ + c2];
-  }
-  return acc;
+  return simd::dot_strided(data_.data() + c1, data_.data() + c2, rows_, cols_,
+                           cols_);
 }
 
 double Matrix::col_norm(std::size_t c) const { return std::sqrt(col_dot(c, c)); }
 
 double Matrix::row_dot(std::size_t r1, std::size_t r2) const {
   GPPM_CHECK(r1 < rows_ && r2 < rows_, "row out of range");
-  const double* a = data_.data() + r1 * cols_;
-  const double* b = data_.data() + r2 * cols_;
-  double acc = 0.0;
-  for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * b[c];
-  return acc;
+  return simd::dot(data_.data() + r1 * cols_, data_.data() + r2 * cols_,
+                   cols_);
 }
 
 Matrix Matrix::transposed() const {
@@ -119,9 +119,7 @@ double Matrix::max_abs_diff(const Matrix& other) const {
 
 double dot(const Vector& a, const Vector& b) {
   GPPM_CHECK(a.size() == b.size(), "dot size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::dot(a.data(), b.data(), a.size());
 }
 
 double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }

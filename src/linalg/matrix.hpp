@@ -38,16 +38,23 @@ class Matrix {
 
   /// Copy of row r as a vector.
   Vector row(std::size_t r) const;
+  /// Borrowed pointer to row r's contiguous storage (cols() doubles).  The
+  /// SIMD kernels (common/simd.hpp) consume rows through this.
+  const double* row_ptr(std::size_t r) const;
   /// Copy of column c as a vector.
   Vector col(std::size_t c) const;
   /// Overwrite column c.
   void set_col(std::size_t c, const Vector& v);
 
   /// Dot product of two columns, computed in place (no temporary copies).
+  /// Strided access (row-major storage), but over the same fixed 8-lane
+  /// summation tree as the contiguous SIMD kernels, so col_dot over a
+  /// column equals simd::dot over that column copied contiguous, bit for
+  /// bit (the GramSystem column-panel path relies on this).
   double col_dot(std::size_t c1, std::size_t c2) const;
   /// Euclidean norm of column c, computed in place (no temporary copy).
   double col_norm(std::size_t c) const;
-  /// Dot product of two rows, computed in place (contiguous in memory).
+  /// Dot product of two rows (contiguous in memory, SIMD-vectorized).
   double row_dot(std::size_t r1, std::size_t r2) const;
 
   /// Matrix transpose.

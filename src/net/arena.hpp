@@ -1,0 +1,49 @@
+// Per-connection response-assembly arena.
+//
+// The writer loop assembles every outgoing batch into the same two
+// buffers: a WireWriter for the current reply's payload bytes and a frame
+// buffer the encoded frames are appended to (one socket write per batch).
+// reset()/clear() drop content but keep capacity, so after the first few
+// requests warm the buffers to the connection's working-set size the
+// steady-state reply path performs zero heap allocations — the property
+// the `simd`-labeled no-allocation regression test pins down.
+//
+// Not a general-purpose allocator: exactly two buffers, no alignment or
+// lifetime bookkeeping, single-threaded use by the owning writer loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace gppm::net {
+
+class Arena {
+ public:
+  /// Scratch writer for the payload of the reply currently being encoded.
+  /// Callers clear() it between replies; the storage is reused.
+  WireWriter& payload() { return payload_; }
+
+  /// Accumulates encoded frames for the current batch (via
+  /// encode_frame_into); written to the socket in one call.
+  std::vector<std::uint8_t>& frames() { return frames_; }
+
+  /// Drop batch content, keep both buffers' capacity.
+  void reset() {
+    payload_.clear();
+    frames_.clear();
+  }
+
+  /// Total bytes of backing storage currently held (observability hook for
+  /// the steady-state tests: must stop growing once the connection warms).
+  std::size_t capacity_bytes() const {
+    return payload_.capacity() + frames_.capacity();
+  }
+
+ private:
+  WireWriter payload_;
+  std::vector<std::uint8_t> frames_;
+};
+
+}  // namespace gppm::net

@@ -36,20 +36,40 @@ std::string to_string(FrameType type) {
   return "unknown";
 }
 
-std::vector<std::uint8_t> encode_frame(FrameType type,
-                                       const std::vector<std::uint8_t>& payload,
-                                       std::uint64_t deadline_micros) {
+void encode_frame_into(std::vector<std::uint8_t>& out, FrameType type,
+                       std::span<const std::uint8_t> payload,
+                       std::uint64_t deadline_micros) {
   GPPM_CHECK(payload.size() <= 0xffffffffull, "frame payload too large");
-  WireWriter w;
-  w.bytes(kFrameMagic.data(), kFrameMagic.size());
-  w.u8(frame_min_version(type));
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u16(0);  // flags, reserved
-  w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.u32(crc32(payload));
-  w.u64(deadline_micros);
-  w.bytes(payload.data(), payload.size());
-  return w.take();
+  // Stage the full header in a stack array and append it with one insert —
+  // two bulk inserts per frame instead of a dozen field-sized pushes.
+  std::array<std::uint8_t, kFrameHeaderSize> head;
+  std::copy(kFrameMagic.begin(), kFrameMagic.end(), head.begin());
+  head[4] = frame_min_version(type);
+  head[5] = static_cast<std::uint8_t>(type);
+  head[6] = 0;  // flags, reserved
+  head[7] = 0;
+  const auto u32_at = [&head](std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      head[at + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  u32_at(8, static_cast<std::uint32_t>(payload.size()));
+  u32_at(12, crc32(payload));
+  for (int i = 0; i < 8; ++i) {
+    head[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(deadline_micros >> (8 * i));
+  }
+  out.reserve(out.size() + kFrameHeaderSize + payload.size());
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint64_t deadline_micros) {
+  std::vector<std::uint8_t> out;
+  encode_frame_into(out, type, payload, deadline_micros);
+  return out;
 }
 
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
@@ -66,7 +86,7 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
   buffer_.insert(buffer_.end(), data, data + size);
 }
 
-std::optional<Frame> FrameDecoder::next() {
+std::optional<FrameHeader> FrameDecoder::parse_ready_header() const {
   if (buffered() < kFrameHeaderSize) return std::nullopt;
   const std::uint8_t* head = buffer_.data() + consumed_;
 
@@ -110,16 +130,31 @@ std::optional<Frame> FrameDecoder::next() {
                         "-byte cap");
   }
   if (buffered() < kFrameHeaderSize + header.payload_size) return std::nullopt;
+  return header;
+}
 
-  Frame frame;
-  frame.header = header;
-  const std::uint8_t* body = head + kFrameHeaderSize;
-  frame.payload.assign(body, body + header.payload_size);
-  if (crc32(frame.payload) != header.payload_crc) {
-    throw ProtocolError("payload CRC mismatch on " +
-                        to_string(header.type) + " frame");
+std::optional<FrameView> FrameDecoder::next_view() {
+  const std::optional<FrameHeader> header = parse_ready_header();
+  if (!header) return std::nullopt;
+
+  // CRC runs in place over the buffered bytes — the payload is never
+  // copied on this path.
+  const std::span<const std::uint8_t> body(
+      buffer_.data() + consumed_ + kFrameHeaderSize, header->payload_size);
+  if (crc32(body) != header->payload_crc) {
+    throw ProtocolError("payload CRC mismatch on " + to_string(header->type) +
+                        " frame");
   }
-  consumed_ += kFrameHeaderSize + header.payload_size;
+  consumed_ += kFrameHeaderSize + header->payload_size;
+  return FrameView{*header, body};
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::optional<FrameView> view = next_view();
+  if (!view) return std::nullopt;
+  Frame frame;
+  frame.header = view->header;
+  frame.payload.assign(view->payload.begin(), view->payload.end());
   return frame;
 }
 

@@ -28,6 +28,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/wire.hpp"
@@ -88,11 +89,37 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
-/// Serialize one frame (header computed from the payload; the version byte
-/// is frame_min_version(type), so legacy traffic stays v1 on the wire).
+/// A decoded frame whose payload is a *view* into the decoder's internal
+/// buffer — no copy.  The view stays valid until the next feed() on the
+/// decoder that produced it (feed may compact or reallocate the buffer);
+/// consumers that must hold payload bytes across a read call copy them
+/// (or use next(), which does exactly that).
+struct FrameView {
+  FrameHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Serialize one frame onto the end of `out` (header computed from the
+/// payload; the version byte is frame_min_version(type), so legacy traffic
+/// stays v1 on the wire).  Appending lets a writer batch several frames
+/// into one buffer and one socket write.
+void encode_frame_into(std::vector<std::uint8_t>& out, FrameType type,
+                       std::span<const std::uint8_t> payload,
+                       std::uint64_t deadline_micros = 0);
+
+/// Serialize one frame into a fresh buffer (wraps encode_frame_into).
 std::vector<std::uint8_t> encode_frame(FrameType type,
-                                       const std::vector<std::uint8_t>& payload,
+                                       std::span<const std::uint8_t> payload,
                                        std::uint64_t deadline_micros = 0);
+/// Convenience overload so braced payload literals ({0x01, 0x02}, {})
+/// keep working; vectors go through the span overload.
+inline std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::initializer_list<std::uint8_t> payload,
+    std::uint64_t deadline_micros = 0) {
+  return encode_frame(
+      type, std::span<const std::uint8_t>(payload.begin(), payload.size()),
+      deadline_micros);
+}
 
 /// Incremental frame reassembler over an arbitrarily chunked byte stream.
 class FrameDecoder {
@@ -109,17 +136,32 @@ class FrameDecoder {
   /// Buffer `size` more stream bytes.
   void feed(const std::uint8_t* data, std::size_t size);
 
-  /// Next complete frame, or nullopt while one is still partial.  Throws
-  /// ProtocolError on bad magic / version / flags / oversized declaration /
-  /// CRC mismatch; the decoder is unusable afterwards and the connection
-  /// should be dropped.
+  /// Next complete frame with its payload copied out, or nullopt while one
+  /// is still partial.  Throws ProtocolError on bad magic / version / flags
+  /// / oversized declaration / CRC mismatch; the decoder is unusable
+  /// afterwards and the connection should be dropped.
   std::optional<Frame> next();
+
+  /// Zero-copy variant of next(): the returned payload is a span into this
+  /// decoder's buffer, valid only until the next feed().  The CRC check
+  /// runs in place over the buffered bytes, so a valid frame is surfaced
+  /// without a single payload copy.
+  std::optional<FrameView> next_view();
 
   /// Bytes buffered but not yet returned as frames (nonzero at connection
   /// close = the peer died mid-frame).
   std::size_t buffered() const { return buffer_.size() - consumed_; }
 
+  /// Capacity of the internal stream buffer — observability hook for the
+  /// steady-state no-allocation tests.
+  std::size_t buffer_capacity() const { return buffer_.capacity(); }
+
  private:
+  /// Validate and parse the header at the front of the unconsumed region.
+  /// nullopt while the header or declared payload is still partial; throws
+  /// ProtocolError on any malformed field.
+  std::optional<FrameHeader> parse_ready_header() const;
+
   std::size_t max_payload_;
   std::uint8_t max_version_ = kProtocolVersion;
   std::vector<std::uint8_t> buffer_;

@@ -87,7 +87,7 @@ std::vector<std::uint8_t> encode_predict_request(
   return w.take();
 }
 
-DecodedRequest decode_predict_request(const std::vector<std::uint8_t>& payload,
+DecodedRequest decode_predict_request(std::span<const std::uint8_t> payload,
                                       std::uint64_t deadline_micros) {
   WireReader r(payload);
   DecodedRequest decoded;
@@ -105,9 +105,8 @@ DecodedRequest decode_predict_request(const std::vector<std::uint8_t>& payload,
   return decoded;
 }
 
-std::vector<std::uint8_t> encode_predict_response(
-    std::uint64_t request_id, const serve::Response& response) {
-  WireWriter w;
+void encode_predict_response_into(WireWriter& w, std::uint64_t request_id,
+                                  const serve::Response& response) {
   w.u64(request_id);
   w.u8(static_cast<std::uint8_t>(response.kind));
   w.u8(static_cast<std::uint8_t>(response.status));
@@ -118,11 +117,17 @@ std::vector<std::uint8_t> encode_predict_response(
   w.u8(response.cache_hit ? 1 : 0);
   w.f64(response.latency.as_seconds());
   w.str(response.error);
+}
+
+std::vector<std::uint8_t> encode_predict_response(
+    std::uint64_t request_id, const serve::Response& response) {
+  WireWriter w;
+  encode_predict_response_into(w, request_id, response);
   return w.take();
 }
 
 DecodedResponse decode_predict_response(
-    const std::vector<std::uint8_t>& payload) {
+    std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   DecodedResponse decoded;
   decoded.request_id = r.u64();
@@ -156,7 +161,7 @@ std::vector<std::uint8_t> encode_server_info(const ServerInfo& info) {
   return w.take();
 }
 
-ServerInfo decode_server_info(const std::vector<std::uint8_t>& payload) {
+ServerInfo decode_server_info(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   ServerInfo info;
   info.protocol_version = r.u8();
@@ -180,7 +185,7 @@ std::vector<std::uint8_t> encode_ping(std::uint64_t token) {
   return w.take();
 }
 
-std::uint64_t decode_ping(const std::vector<std::uint8_t>& payload) {
+std::uint64_t decode_ping(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   const std::uint64_t token = r.u64();
   r.expect_done("ping");
@@ -193,7 +198,7 @@ std::vector<std::uint8_t> encode_health_request(std::uint64_t token) {
   return w.take();
 }
 
-std::uint64_t decode_health_request(const std::vector<std::uint8_t>& payload) {
+std::uint64_t decode_health_request(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   const std::uint64_t token = r.u64();
   r.expect_done("health-request");
@@ -213,7 +218,7 @@ std::vector<std::uint8_t> encode_health_response(std::uint64_t token,
   return w.take();
 }
 
-DecodedHealth decode_health_response(const std::vector<std::uint8_t>& payload) {
+DecodedHealth decode_health_response(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   DecodedHealth decoded;
   decoded.token = r.u64();
@@ -236,7 +241,7 @@ std::vector<std::uint8_t> encode_wire_error(const WireError& error) {
   return w.take();
 }
 
-WireError decode_wire_error(const std::vector<std::uint8_t>& payload) {
+WireError decode_wire_error(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   WireError error;
   const std::uint16_t code = r.u16();

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,25 +63,34 @@ struct DecodedResponse {
   serve::Response response;
 };
 
+// Decoders take spans so the server's zero-copy path can hand them a view
+// straight into the connection's stream buffer (FrameView::payload); a
+// std::vector payload converts implicitly, so copy-holding callers (the
+// client, the tests) are untouched.
+
 // --- PredictRequest -------------------------------------------------------
 std::vector<std::uint8_t> encode_predict_request(std::uint64_t request_id,
                                                  const serve::Request& request);
-DecodedRequest decode_predict_request(const std::vector<std::uint8_t>& payload,
+DecodedRequest decode_predict_request(std::span<const std::uint8_t> payload,
                                       std::uint64_t deadline_micros);
 
 // --- PredictResponse ------------------------------------------------------
 std::vector<std::uint8_t> encode_predict_response(
     std::uint64_t request_id, const serve::Response& response);
-DecodedResponse decode_predict_response(
-    const std::vector<std::uint8_t>& payload);
+/// Arena variant: append the payload to `w` (not cleared first) so a
+/// per-connection scratch writer can cycle through responses without
+/// reallocating at steady state.
+void encode_predict_response_into(WireWriter& w, std::uint64_t request_id,
+                                  const serve::Response& response);
+DecodedResponse decode_predict_response(std::span<const std::uint8_t> payload);
 
 // --- Info -----------------------------------------------------------------
 std::vector<std::uint8_t> encode_server_info(const ServerInfo& info);
-ServerInfo decode_server_info(const std::vector<std::uint8_t>& payload);
+ServerInfo decode_server_info(std::span<const std::uint8_t> payload);
 
 // --- Ping / Pong ----------------------------------------------------------
 std::vector<std::uint8_t> encode_ping(std::uint64_t token);
-std::uint64_t decode_ping(const std::vector<std::uint8_t>& payload);
+std::uint64_t decode_ping(std::span<const std::uint8_t> payload);
 
 // --- Health (protocol v2) -------------------------------------------------
 
@@ -103,14 +113,14 @@ struct DecodedHealth {
 };
 
 std::vector<std::uint8_t> encode_health_request(std::uint64_t token);
-std::uint64_t decode_health_request(const std::vector<std::uint8_t>& payload);
+std::uint64_t decode_health_request(std::span<const std::uint8_t> payload);
 std::vector<std::uint8_t> encode_health_response(std::uint64_t token,
                                                  const HealthStatus& status);
-DecodedHealth decode_health_response(const std::vector<std::uint8_t>& payload);
+DecodedHealth decode_health_response(std::span<const std::uint8_t> payload);
 
 // --- ErrorReply -----------------------------------------------------------
 std::vector<std::uint8_t> encode_wire_error(const WireError& error);
-WireError decode_wire_error(const std::vector<std::uint8_t>& payload);
+WireError decode_wire_error(std::span<const std::uint8_t> payload);
 
 /// Deadline header field <-> serve deadline (Duration; 0 = none).
 std::uint64_t deadline_to_micros(Duration deadline);

@@ -188,20 +188,24 @@ void Server::accept_loop() {
 
 void Server::reader_loop(Connection& conn) {
   FrameDecoder decoder(options_.max_frame_payload);
-  std::vector<std::uint8_t> buf(64 * 1024);
   bool open = true;
   while (open && !stopped_.load(std::memory_order_acquire)) {
     try {
       if (!conn.socket.wait_readable(options_.poll_interval_ms)) continue;
-      const std::size_t n = conn.socket.read_some(buf.data(), buf.size());
+      const std::size_t n =
+          conn.socket.read_some(conn.read_buf.data(), conn.read_buf.size());
       if (n == 0) break;  // orderly EOF
       bytes_received_.fetch_add(n);
       server_obs().bytes_rx.add(n);
-      decoder.feed(buf.data(), n);
-      while (std::optional<Frame> frame = decoder.next()) {
+      decoder.feed(conn.read_buf.data(), n);
+      // next_view() surfaces each frame's payload as a view into the
+      // decoder's buffer; dispatch decodes straight from it, so request
+      // bytes are copied exactly once (socket -> stream buffer) on this
+      // path.  The views die before the next feed(), as required.
+      while (std::optional<FrameView> frame = decoder.next_view()) {
         frames_received_.fetch_add(1);
         server_obs().frames_rx.add();
-        if (!dispatch(conn, std::move(*frame))) {
+        if (!dispatch(conn, *frame)) {
           open = false;
           break;
         }
@@ -225,7 +229,7 @@ void Server::reader_loop(Connection& conn) {
   conn.exited.fetch_add(1, std::memory_order_release);
 }
 
-bool Server::dispatch(Connection& conn, Frame frame) {
+bool Server::dispatch(Connection& conn, const FrameView& frame) {
   obs::ObsSpan span("net.server.dispatch");
   PendingReply reply;
   switch (frame.header.type) {
@@ -287,27 +291,33 @@ void Server::writer_loop(Connection& conn) {
   while (open) {
     std::vector<PendingReply> batch = conn.replies.pop_batch(16);
     if (batch.empty()) break;  // closed and drained
-    // Encode the whole drained batch into one buffer and send it with one
-    // write: a pipelining peer gets its responses in a single segment, and
-    // the syscall cost amortizes over the batch.  FIFO order is preserved
-    // because futures resolve in dispatch order.
-    std::vector<std::uint8_t> out;
+    // Encode the whole drained batch into the connection arena and send it
+    // with one write: a pipelining peer gets its responses in a single
+    // segment, the syscall cost amortizes over the batch, and once the
+    // arena has warmed to the working-set size the predict reply path
+    // allocates nothing.  FIFO order is preserved because futures resolve
+    // in dispatch order.
+    conn.arena.reset();
+    std::vector<std::uint8_t>& out = conn.arena.frames();
     for (PendingReply& reply : batch) {
-      std::vector<std::uint8_t> payload;
       FrameType type = reply.type;
       if (reply.future.has_value()) {
+        WireWriter& payload = conn.arena.payload();
+        payload.clear();
         try {
-          payload = encode_predict_response(reply.request_id,
-                                            reply.future->get());
+          encode_predict_response_into(payload, reply.request_id,
+                                       reply.future->get());
         } catch (const std::exception& e) {
           type = FrameType::ErrorReply;
-          payload = encode_wire_error({WireErrorCode::Internal, e.what()});
+          payload.clear();
+          const std::vector<std::uint8_t> err =
+              encode_wire_error({WireErrorCode::Internal, e.what()});
+          payload.bytes(err.data(), err.size());
         }
+        encode_frame_into(out, type, payload.data());
       } else {
-        payload = std::move(reply.payload);
+        encode_frame_into(out, type, reply.payload);
       }
-      const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
-      out.insert(out.end(), bytes.begin(), bytes.end());
     }
     try {
       conn.socket.write_all(out.data(), out.size());

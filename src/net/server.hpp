@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
 #include "net/protocol.hpp"
@@ -142,9 +143,14 @@ class Server {
 
   struct Connection {
     explicit Connection(std::size_t write_queue_capacity)
-        : replies(write_queue_capacity) {}
+        : replies(write_queue_capacity), read_buf(64 * 1024) {}
     fault::FaultySocket socket;
     serve::BoundedQueue<PendingReply> replies;
+    /// Socket read scratch, allocated once per connection (not per loop
+    /// iteration) — part of the steady-state zero-allocation contract.
+    std::vector<std::uint8_t> read_buf;
+    /// Response-assembly buffers for the writer loop, reused per batch.
+    Arena arena;
     std::thread reader;
     std::thread writer;
     /// Loop-exit count; 2 = both threads done, safe to reap without
@@ -155,9 +161,11 @@ class Server {
   void accept_loop();
   void reader_loop(Connection& conn);
   void writer_loop(Connection& conn);
-  /// Decode + dispatch one frame; pushes the owed reply.  Returns false
-  /// when the connection should close (backend shut down).
-  bool dispatch(Connection& conn, Frame frame);
+  /// Decode + dispatch one frame; pushes the owed reply.  The frame's
+  /// payload is a view into the connection decoder's buffer (zero-copy);
+  /// dispatch must finish with it before the next socket read.  Returns
+  /// false when the connection should close (backend shut down).
+  bool dispatch(Connection& conn, const FrameView& frame);
   ServerInfo build_info() const;
   /// Reap finished connections (joins their threads).  Called from the
   /// accept loop; stop() reaps everything.

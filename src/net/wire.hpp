@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,18 +43,36 @@ class ProtocolError : public NetError {
 };
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range.  Used as
-/// the per-frame payload checksum.
+/// the per-frame payload checksum.  Computed slice-by-8 (eight table
+/// lookups per 8 input bytes) — integer-only, so the result is identical
+/// on every host and unaffected by GPPM_SIMD.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
-inline std::uint32_t crc32(const std::vector<std::uint8_t>& data) {
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
   return crc32(data.data(), data.size());
 }
+
+/// Byte-at-a-time reference CRC-32.  Kept solely so the `simd`-labeled
+/// parity suite can pin the slice-by-8 fast path against the textbook
+/// loop; production code always uses crc32().
+std::uint32_t crc32_reference(const std::uint8_t* data, std::size_t size);
 
 /// Longest string the wire format can carry (u16 length prefix).
 inline constexpr std::size_t kMaxWireString = 0xffff;
 
-/// Append-only little-endian field writer.
+/// Append-only little-endian field writer.  Multi-byte fields are staged
+/// in a stack buffer and appended with one bulk insert (a single unaligned
+/// store after optimization), not byte-by-byte push_backs.
 class WireWriter {
  public:
+  WireWriter() = default;
+  /// Adopt `reuse`'s storage (cleared, capacity kept) — the arena path:
+  /// a per-connection buffer cycles through encode/take without ever
+  /// reallocating at steady state.
+  explicit WireWriter(std::vector<std::uint8_t>&& reuse)
+      : buffer_(std::move(reuse)) {
+    buffer_.clear();
+  }
+
   void u8(std::uint8_t v) { buffer_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -68,6 +87,10 @@ class WireWriter {
   const std::vector<std::uint8_t>& data() const { return buffer_; }
   std::vector<std::uint8_t> take() { return std::move(buffer_); }
   std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return buffer_.capacity(); }
+  /// Drop content, keep capacity (arena reuse between requests).
+  void clear() { buffer_.clear(); }
+  void reserve(std::size_t n) { buffer_.reserve(n); }
 
  private:
   std::vector<std::uint8_t> buffer_;
@@ -80,7 +103,9 @@ class WireReader {
  public:
   WireReader(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
-  explicit WireReader(const std::vector<std::uint8_t>& payload)
+  /// Borrow any contiguous byte range — a decoded frame's payload view
+  /// (zero-copy path) or a std::vector (both convert to the span).
+  explicit WireReader(std::span<const std::uint8_t> payload)
       : WireReader(payload.data(), payload.size()) {}
 
   std::uint8_t u8();

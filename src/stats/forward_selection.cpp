@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/gram.hpp"
 #include "obs/obs.hpp"
@@ -181,19 +182,16 @@ class IncrementalState {
     const std::size_t d = c + 1;
     const std::size_t k = model_.size();
     if (gs_.col_scale[d] <= 0.0) return false;  // all-zero column
-    // Forward substitution against the row-grown factor.
+    // Forward substitution against the row-grown factor; the subtracted
+    // cross term is one contiguous SIMD dot per row.
     w.resize(k);
     for (std::size_t i = 0; i < k; ++i) {
-      double acc = gs_.gram(model_[i], d);
-      for (std::size_t j = 0; j < i; ++j) acc -= lrows_[i][j] * w[j];
+      const double acc =
+          gs_.gram(model_[i], d) - simd::dot(lrows_[i].data(), w.data(), i);
       w[i] = acc / lrows_[i][i];
     }
-    s = 1.0;
-    double wz = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      s -= w[i] * w[i];
-      wz += w[i] * z_[i];
-    }
+    s = 1.0 - simd::dot(w.data(), w.data(), k);
+    const double wz = simd::dot(w.data(), z_.data(), k);
     if (s <= kPivotTol) return false;
     zd = (gs_.xty[d] - wz) / std::sqrt(s);
     return true;

@@ -189,7 +189,8 @@ TEST(NetProtocol, HealthRejectsMalformedPayload) {
       encode_health_response(1, HealthStatus{});
   bytes[9] = 2;  // accepting byte follows u64 token + u8 version
   EXPECT_THROW(decode_health_response(bytes), ProtocolError);
-  EXPECT_THROW(decode_health_request({0x01, 0x02}), ProtocolError);
+  EXPECT_THROW(decode_health_request(std::vector<std::uint8_t>{0x01, 0x02}),
+               ProtocolError);
   std::vector<std::uint8_t> truncated =
       encode_health_response(1, HealthStatus{});
   truncated.resize(truncated.size() - 3);

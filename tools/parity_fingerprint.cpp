@@ -1,0 +1,62 @@
+// Cross-build artifact fingerprint: fits every board's power and perf
+// models from the deterministic characterization dataset and prints their
+// core::model_fingerprint values, plus raw kernel probes (SIMD dot / sum
+// over a pinned pseudorandom vector, CRC-32 of a pinned buffer).
+//
+// The output is a pure function of the numeric pipeline, so a default
+// (SIMD) build and a -DGPPM_SIMD=off build must print IDENTICAL text —
+// run_tier1.sh diffs the two to enforce the bit-identical-fallback
+// contract end to end, through selection, Cholesky, QR and serialization,
+// not just through the kernel parity unit tests.
+//
+// The active backend is reported on a comment line ("# backend: ...") so
+// a human can tell the two logs apart; the diff skips it.
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "core/dataset.hpp"
+#include "core/serialization.hpp"
+#include "core/unified_model.hpp"
+#include "net/wire.hpp"
+
+using namespace gppm;
+
+int main() {
+  std::printf("# backend: %s (lanes=%zu)\n", simd::kBackend,
+              simd::kLaneWidth);
+
+  // Raw kernel probes over a pinned pseudorandom vector.
+  Rng rng(0xf00d);
+  std::vector<double> a(1021), b(1021);
+  for (double& x : a) x = rng.normal(0.0, 2.0);
+  for (double& x : b) x = rng.normal(0.0, 2.0);
+  std::printf("kernel dot=%016llx sum=%016llx\n",
+              static_cast<unsigned long long>(
+                  std::bit_cast<std::uint64_t>(
+                      simd::dot(a.data(), b.data(), a.size()))),
+              static_cast<unsigned long long>(
+                  std::bit_cast<std::uint64_t>(simd::sum(a.data(), a.size()))));
+
+  std::vector<std::uint8_t> buf(65539);
+  for (std::uint8_t& byte : buf) {
+    byte = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+  }
+  std::printf("kernel crc32=%08x\n", net::crc32(buf.data(), buf.size()));
+
+  // Full-pipeline fingerprints: dataset -> forward selection -> QR refit
+  // -> serialized-model hash, per board and target.
+  for (sim::GpuModel m : sim::kAllGpus) {
+    const core::Dataset ds = core::build_dataset(m);
+    const core::UnifiedModel power =
+        core::UnifiedModel::fit(ds, core::TargetKind::Power);
+    const core::UnifiedModel perf =
+        core::UnifiedModel::fit(ds, core::TargetKind::ExecTime);
+    std::printf("%s power=%016llx perf=%016llx\n", sim::to_string(m).c_str(),
+                static_cast<unsigned long long>(core::model_fingerprint(power)),
+                static_cast<unsigned long long>(core::model_fingerprint(perf)));
+  }
+  return 0;
+}

@@ -3,18 +3,24 @@
 #
 #   1. tier-1: Release-ish build + the complete ctest suite
 #      (the same invocation ROADMAP.md names as the merge gate);
-#   2. TSan:   -DGPPM_SANITIZE=thread build, then every ThreadSanitizer
+#   2. scalar: -DGPPM_SIMD=off build, the simd-labeled parity suites, and
+#      a byte-for-byte diff of gppm_parity_fingerprint output against the
+#      default build — the cross-build bit-identity gate from
+#      docs/PERFORMANCE.md (model artifacts must not depend on the ISA);
+#   3. TSan:   -DGPPM_SANITIZE=thread build, then every ThreadSanitizer
 #      smoke target (compute pool, serve, obs, net, cluster) — the
 #      cluster one covers the membership-churn hammer and the 3-node
 #      kill/restart chaos suite;
-#   3. ASan:   -DGPPM_SANITIZE=address build, then the chaos_smoke
-#      target (fault-injection + chaos integration suites).
+#   4. ASan:   -DGPPM_SANITIZE=address build, then the chaos_smoke and
+#      simd_smoke targets (fault-injection/chaos suites, plus the
+#      zero-copy span-aliasing fuzz where ASan can catch a dangling
+#      payload view).
 #
 # Usage: tools/run_tier1.sh [--tier1-only]
 #
-# Build trees: build/ (tier-1), build-tsan/, build-asan/ — all under the
-# repo root, all reused across runs.  Exits nonzero on the first failing
-# stage.
+# Build trees: build/ (tier-1), build-scalar/, build-tsan/, build-asan/ —
+# all under the repo root, all reused across runs.  Exits nonzero on the
+# first failing stage.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,9 +34,25 @@ cmake --build "$repo/build" -j"$jobs"
 (cd "$repo/build" && ctest --output-on-failure -j"$jobs")
 
 if $tier1_only; then
-  echo "== tier-1 PASS (sanitizer stages skipped) =="
+  echo "== tier-1 PASS (scalar + sanitizer stages skipped) =="
   exit 0
 fi
+
+echo "== scalar fallback: GPPM_SIMD=off build + parity + fingerprint diff =="
+cmake -B "$repo/build-scalar" -S "$repo" -DGPPM_SIMD=off >/dev/null
+cmake --build "$repo/build-scalar" -j"$jobs" \
+  --target test_simd gppm_parity_fingerprint
+cmake --build "$repo/build-scalar" --target simd_smoke
+"$repo/build/src/core/gppm_parity_fingerprint" \
+  | grep -v '^#' > "$repo/build/parity_fingerprint.txt"
+"$repo/build-scalar/src/core/gppm_parity_fingerprint" \
+  | grep -v '^#' > "$repo/build-scalar/parity_fingerprint.txt"
+if ! diff "$repo/build/parity_fingerprint.txt" \
+          "$repo/build-scalar/parity_fingerprint.txt"; then
+  echo "FAIL: SIMD and scalar builds produced different artifacts" >&2
+  exit 1
+fi
+echo "-- fingerprints bit-identical across builds"
 
 echo "== TSan: build + concurrency smoke targets =="
 cmake -B "$repo/build-tsan" -S "$repo" -DGPPM_SANITIZE=thread >/dev/null
@@ -43,9 +65,11 @@ do
   cmake --build "$repo/build-tsan" --target "$target"
 done
 
-echo "== ASan: build + chaos smoke =="
+echo "== ASan: build + chaos/simd smokes =="
 cmake -B "$repo/build-asan" -S "$repo" -DGPPM_SANITIZE=address >/dev/null
-cmake --build "$repo/build-asan" -j"$jobs" --target test_fault test_chaos
+cmake --build "$repo/build-asan" -j"$jobs" \
+  --target test_fault test_chaos test_simd
 cmake --build "$repo/build-asan" --target chaos_smoke
+cmake --build "$repo/build-asan" --target simd_smoke
 
 echo "== run_tier1: ALL STAGES PASS =="
