@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/error.hpp"
@@ -96,12 +97,27 @@ void LatencyTracker::record(double seconds) {
 
 double LatencyTracker::quantile(double q) const {
   const std::uint64_t total = total_.load(std::memory_order_relaxed);
-  if (total == 0) return 0.0;
-  const double rank = q * static_cast<double>(total);
+  // No samples: there is no estimate.  +inf (not 0) is the safe sentinel —
+  // every caller that clamps the result into a delay band lands on its
+  // conservative ceiling instead of its aggressive floor.
+  if (total == 0) return std::numeric_limits<double>::infinity();
+  // Integer rank in [1, total]: the rank-th smallest recorded sample.  A
+  // fractional `q * total` compared with >= let rank 0 (q == 0, or any q
+  // small enough to round below one sample) match the *empty* bin 0 and
+  // report ~1.19 us no matter what was recorded.
+  std::uint64_t rank = 1;
+  if (std::isfinite(q) && q > 0.0) {
+    rank = q >= 1.0 ? total
+                    : std::min<std::uint64_t>(
+                          total,
+                          static_cast<std::uint64_t>(
+                              std::ceil(q * static_cast<double>(total))));
+    rank = std::max<std::uint64_t>(rank, 1);
+  }
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBins; ++i) {
     seen += bins_[i].load(std::memory_order_relaxed);
-    if (static_cast<double>(seen) >= rank) {
+    if (seen >= rank) {
       // Upper edge of the bin, back in seconds.
       return std::exp2(static_cast<double>(i + 1) / 4.0) * 1e-6;
     }

@@ -76,8 +76,12 @@ namespace gppm::cluster {
 class LatencyTracker {
  public:
   void record(double seconds);
-  /// Approximate q-quantile (upper edge of the containing bin), or 0 with
-  /// no samples.
+  /// Approximate q-quantile (upper edge of the bin holding the rank-th
+  /// smallest sample, rank = clamp(ceil(q * count), 1, count)), or +inf
+  /// with no samples — "no estimate": a caller clamping into a delay band
+  /// then gets the conservative ceiling, never the aggressive floor.
+  /// Single-sample windows and q == 0 return that sample's own bin, not
+  /// the empty bin-0 edge.
   double quantile(double q) const;
   std::uint64_t count() const {
     return total_.load(std::memory_order_relaxed);

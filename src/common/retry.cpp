@@ -6,15 +6,39 @@
 namespace gppm {
 
 Duration backoff_delay(const RetryPolicy& policy, int retry, Rng& rng) {
-  const double base = policy.initial_backoff.as_seconds() *
-                      std::pow(std::max(1.0, policy.multiplier),
-                               static_cast<double>(std::max(0, retry)));
-  const double capped = std::min(base, policy.max_backoff.as_seconds());
+  const double initial = std::max(0.0, policy.initial_backoff.as_seconds());
+  const double cap = std::max(0.0, policy.max_backoff.as_seconds());
+  const double multiplier = std::max(1.0, policy.multiplier);
+
+  // Saturate BEFORE exponentiating.  The naive initial * multiplier^retry
+  // overflows double range around retry ~ 1000 (multiplier 2): the power
+  // becomes inf, and with initial == 0 the product is 0 * inf == NaN, which
+  // then slips through std::min/std::max comparisons and collapses the
+  // delay to zero — a hot retry loop exactly when the operation has already
+  // failed many times.  Once multiplier^retry would cross cap/initial the
+  // exact magnitude is irrelevant, so compare in log space and clamp first.
+  double capped = cap;
+  if (initial <= 0.0) {
+    capped = 0.0;  // a zero initial backoff means "no pacing" at every step
+  } else if (initial >= cap || multiplier <= 1.0) {
+    capped = std::min(initial, cap);
+  } else {
+    // retry doublings fit below the cap iff retry < log_m(cap / initial).
+    const double saturation_step =
+        std::log(cap / initial) / std::log(multiplier);
+    const double step = static_cast<double>(std::max(0, retry));
+    if (step < saturation_step) {
+      capped = std::min(initial * std::pow(multiplier, step), cap);
+    }
+  }
+
+  // Jitter scales the delay by a factor from [1 - jf, 1 + jf].  A fraction
+  // >= 1 would let the draw go negative (clamped to a zero delay — no
+  // pacing at all), so the fraction itself saturates below 1: even a
+  // misconfigured policy keeps at least 5% of its nominal delay.
+  const double jf = std::clamp(policy.jitter_fraction, 0.0, 0.95);
   const double jitter =
-      policy.jitter_fraction > 0.0
-          ? rng.uniform(1.0 - policy.jitter_fraction,
-                        1.0 + policy.jitter_fraction)
-          : 1.0;
+      policy.jitter_fraction > 0.0 ? rng.uniform(1.0 - jf, 1.0 + jf) : 1.0;
   return Duration::seconds(std::max(0.0, capped * jitter));
 }
 

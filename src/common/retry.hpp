@@ -34,7 +34,9 @@ struct RetryPolicy {
   /// Per-retry backoff ceiling.
   Duration max_backoff = Duration::seconds(2.0);
   /// Deterministic jitter: each delay is scaled by a factor drawn uniformly
-  /// from [1 - jitter_fraction, 1 + jitter_fraction].
+  /// from [1 - jitter_fraction, 1 + jitter_fraction].  The fraction
+  /// saturates at 0.95 inside backoff_delay — a fraction >= 1 would let the
+  /// factor go negative and erase the delay entirely.
   double jitter_fraction = 0.1;
   /// Total backoff budget across the operation's retries; once spent, the
   /// next transient failure is final.
@@ -51,7 +53,9 @@ struct RetryStats {
 
 /// Backoff before retry number `retry` (0-based: the delay after the first
 /// failure is backoff_delay(policy, 0, rng)).  Deterministic given the RNG
-/// state.
+/// state.  Saturates at max_backoff for arbitrarily high retry counts: the
+/// exponential is compared in log space before being computed, so the delay
+/// can never overflow to inf/NaN and wrap to a tiny or negative value.
 Duration backoff_delay(const RetryPolicy& policy, int retry, Rng& rng);
 
 /// Run `fn`, retrying on TransientError under `policy`.  PermanentError and

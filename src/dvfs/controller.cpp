@@ -19,6 +19,16 @@ void Controller::boot() {
 }
 
 void Controller::set_pair(sim::FrequencyPair pair) {
+  // Same-pair transitions are a no-op: a steady-state governor re-asserting
+  // its current decision must not pay (or count) a patch + reboot cycle.
+  // Still reject pairs this board cannot configure, exactly like a real
+  // transition would — a no-op answer to an illegal request would hide
+  // misconfiguration.  Only skip when the GPU really is at the image's
+  // pair; if someone bypassed the controller and moved the clocks, the
+  // reboot re-asserts the BIOS state.
+  GPPM_CHECK(is_configurable(gpu_.spec().model, pair),
+             "pair not configurable on this board");
+  if (pair == current_pair() && gpu_.frequency_pair() == pair) return;
   patch_boot_pstate(image_, pair);  // throws on illegal pairs
   boot();
 }

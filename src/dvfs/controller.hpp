@@ -12,15 +12,19 @@
 namespace gppm::dvfs {
 
 /// Owns the board's VBIOS image and drives the Gpu's clock pair through it.
-/// Every transition goes through patch_boot_pstate + a simulated re-boot, so
-/// illegal pairs are rejected with the same error the patching path raises.
+/// Every real transition goes through patch_boot_pstate + a simulated
+/// re-boot; requesting the pair the board is already at is a validated
+/// no-op (no patch, no reboot_count increment), so a steady-state governor
+/// can re-assert its decision every phase without thrashing P-states.
+/// Illegal pairs are rejected with the same error either way.
 class Controller {
  public:
   /// Builds the factory image for the GPU's model and boots at (H-H).
   explicit Controller(sim::Gpu& gpu);
 
   /// Set the operating point.  Throws gppm::Error if the pair is not
-  /// configurable on this board (TABLE III).
+  /// configurable on this board (TABLE III).  A request equal to
+  /// current_pair() returns without patching or rebooting.
   void set_pair(sim::FrequencyPair pair);
 
   /// Current operating point (decoded from the image, not cached).
@@ -32,7 +36,8 @@ class Controller {
   /// The raw image (for tests and the quickstart example).
   const std::vector<std::uint8_t>& image() const { return image_; }
 
-  /// Number of simulated reboots performed (each set_pair reboots once).
+  /// Number of simulated reboots performed (one per *effective* set_pair;
+  /// same-pair no-ops and rejected requests charge nothing).
   int reboot_count() const { return reboot_count_; }
 
  private:

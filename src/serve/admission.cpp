@@ -1,6 +1,7 @@
 #include "serve/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
@@ -35,13 +36,25 @@ AdmissionObs& admission_obs() {
 
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(options), limit_(options.initial_limit) {
-  GPPM_CHECK(options_.min_limit >= 1.0, "admission min_limit must be >= 1");
-  GPPM_CHECK(options_.max_limit >= options_.min_limit,
-             "admission max_limit must be >= min_limit");
+  // Every comparison below is written so NaN fails it: NaN limits would
+  // otherwise slip through std::clamp and pin the AIMD window open (every
+  // `in_flight + 1 > limit` check is false against NaN — unbounded
+  // admission) or shut.  Typed errors at construction beat either.
+  GPPM_CHECK(std::isfinite(options_.min_limit) && options_.min_limit >= 1.0,
+             "admission min_limit must be finite and >= 1");
+  GPPM_CHECK(std::isfinite(options_.max_limit) &&
+                 options_.max_limit >= options_.min_limit,
+             "admission max_limit must be finite and >= min_limit");
+  GPPM_CHECK(std::isfinite(options_.initial_limit) &&
+                 options_.initial_limit >= 1.0,
+             "admission initial_limit must be finite and >= 1");
   GPPM_CHECK(options_.decrease > 0.0 && options_.decrease < 1.0,
              "admission decrease factor must be in (0, 1)");
   GPPM_CHECK(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0,
              "admission ewma_alpha must be in (0, 1]");
+  GPPM_CHECK(std::isfinite(options_.deadline_headroom) &&
+                 options_.deadline_headroom > 0.0,
+             "admission deadline_headroom must be finite and > 0");
   limit_ = std::clamp(limit_, options_.min_limit, options_.max_limit);
 }
 

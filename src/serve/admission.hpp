@@ -42,6 +42,11 @@
 
 namespace gppm::serve {
 
+/// Validated at AdmissionController construction: limits must be finite
+/// with 1 <= min_limit <= max_limit and initial_limit >= 1 (clamped into
+/// [min, max]), decrease in (0, 1), ewma_alpha in (0, 1], deadline_headroom
+/// finite and > 0.  Violations (including NaN, which would pin the AIMD
+/// clamp open or shut) throw gppm::Error instead of misbehaving silently.
 struct AdmissionOptions {
   /// Starting concurrency limit (the slow-start ceiling is probed from
   /// here).

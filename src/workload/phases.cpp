@@ -1,0 +1,54 @@
+#include "workload/phases.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::workload {
+
+sim::RunProfile Phase::profile() const {
+  GPPM_CHECK(scale > 0.0, "phase scale must be > 0");
+  return find_benchmark(benchmark).build(scale);
+}
+
+std::vector<Phase> phase_schedule(const PhaseScheduleOptions& options,
+                                  const std::vector<std::string>& exclude) {
+  GPPM_CHECK(options.drift >= 0.0 && options.drift < 1.0,
+             "phase drift must be in [0, 1)");
+  std::vector<const BenchmarkDef*> eligible;
+  for (const BenchmarkDef& b : benchmark_suite()) {
+    if (std::find(exclude.begin(), exclude.end(), b.name) != exclude.end()) {
+      continue;
+    }
+    eligible.push_back(&b);
+  }
+  GPPM_CHECK(!eligible.empty(), "no eligible benchmarks for phase schedule");
+
+  Rng rng(options.seed);
+  std::vector<Phase> schedule;
+  schedule.reserve(options.phases);
+  std::vector<const BenchmarkDef*> order;
+  while (schedule.size() < options.phases) {
+    if (order.empty()) {
+      // Fisher-Yates over the eligible set: a fresh kernel order per lap.
+      order = eligible;
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.uniform_index(i)]);
+      }
+    }
+    const BenchmarkDef* bench = order.back();
+    order.pop_back();
+    const std::size_t size_index = rng.uniform_index(bench->size_count);
+    const double wobble =
+        options.drift == 0.0 ? 0.0 : options.drift * rng.uniform(-1.0, 1.0);
+    Phase phase;
+    phase.benchmark = bench->name;
+    phase.scale = bench->scale_of(size_index) * (1.0 + wobble);
+    schedule.push_back(std::move(phase));
+  }
+  return schedule;
+}
+
+}  // namespace gppm::workload

@@ -1,0 +1,50 @@
+// Phase-segmented workload emission for the online DVFS governor.
+//
+// A governor does not see a curated modeling corpus; it sees *phases* — a
+// stream of kernels from whatever applications happen to be running, at
+// input sizes the offline corpus never measured.  This module turns the
+// TABLE II suite into such a stream: a deterministic schedule of
+// (benchmark, input scale) phases whose scales drift off the corpus's
+// doubling ladder, so an online refit engine has real distribution shift
+// to chase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel_profile.hpp"
+
+namespace gppm::workload {
+
+/// One application phase: a benchmark run at an input scale.  Unlike the
+/// corpus's size_index ladder (scale 2^i exactly), a phase scale may sit
+/// anywhere BenchmarkDef::build accepts.
+struct Phase {
+  std::string benchmark;
+  double scale = 1.0;
+
+  /// Run profile of the phase (looked up in the suite registry).
+  sim::RunProfile profile() const;
+};
+
+struct PhaseScheduleOptions {
+  /// Number of phases emitted.
+  std::size_t phases = 24;
+  /// Seed of the schedule; equal seeds give identical schedules.
+  std::uint64_t seed = 42;
+  /// Relative scale wobble around the corpus ladder: each phase's scale is
+  /// a ladder point times (1 + drift * u), u uniform in [-1, 1].  0 stays
+  /// exactly on the ladder.
+  double drift = 0.25;
+};
+
+/// Build a deterministic phase schedule over the benchmark suite, skipping
+/// any benchmark named in `exclude` (callers pass the profiler-unsupported
+/// set — this module cannot depend on the profiler).  Phases cycle through
+/// the eligible programs in a seed-shuffled order so consecutive phases
+/// change kernels, re-shuffling each time the list is exhausted.
+std::vector<Phase> phase_schedule(const PhaseScheduleOptions& options = {},
+                                  const std::vector<std::string>& exclude = {});
+
+}  // namespace gppm::workload

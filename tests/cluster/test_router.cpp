@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -204,6 +205,47 @@ TEST(ClusterRouter, HedgeFiresOnSlowPrimaryAndFastReplicaWins) {
   EXPECT_EQ(stats.hedge_wins, 1u);
   EXPECT_EQ(stats.hedges_abandoned, 1u);
   EXPECT_EQ(stats.failovers, 0u);  // a hedge is not a failover
+}
+
+TEST(ClusterRouter, EmptyLatencyWindowHasNoQuantileEstimate) {
+  // Regression: an empty tracker answered 0.0, which callers clamping into
+  // a delay band turned into the *aggressive* floor.  "No samples" is "no
+  // estimate" — the sentinel is +inf so such clamps land on the ceiling.
+  LatencyTracker tracker;
+  EXPECT_TRUE(std::isinf(tracker.quantile(0.0)));
+  EXPECT_TRUE(std::isinf(tracker.quantile(0.5)));
+  EXPECT_TRUE(std::isinf(tracker.quantile(0.99)));
+}
+
+TEST(ClusterRouter, SingleSampleWindowAnswersItsOwnBinAtEveryQuantile) {
+  // Regression: rank was the fractional q * total compared with >=, so
+  // q == 0 (rank 0) matched the empty bin 0 and reported ~1.19 us for a
+  // window whose only sample was 10 ms.  Every quantile of a one-sample
+  // window must return that sample's own bin edge.
+  LatencyTracker tracker;
+  tracker.record(0.010);  // 10 ms
+  const double edge = tracker.quantile(0.5);
+  EXPECT_GT(edge, 0.008);
+  EXPECT_LT(edge, 0.014);  // ~19 % log-bin width around 10 ms
+  EXPECT_DOUBLE_EQ(tracker.quantile(0.0), edge);
+  EXPECT_DOUBLE_EQ(tracker.quantile(0.99), edge);
+  EXPECT_DOUBLE_EQ(tracker.quantile(1.0), edge);
+}
+
+TEST(ClusterRouter, HedgeWaitsAtCeilingBeforeAnyLatencyIsObserved) {
+  // Regression: with hedge_min_samples == 0 an unwarmed router computed
+  // quantile() == 0.0 and clamped to hedge_min_delay — hedging every
+  // request at the most aggressive trigger before a single latency had
+  // been observed.  The no-estimate sentinel now clamps to the ceiling.
+  RouterOptions opt;
+  opt.health_interval = Duration::seconds(0.0);
+  opt.hedging = true;
+  opt.hedge_min_samples = 0;
+  opt.hedge_min_delay = Duration::milliseconds(0.5);
+  opt.hedge_max_delay = Duration::milliseconds(100.0);
+  Router router(opt);
+  EXPECT_DOUBLE_EQ(router.hedge_delay().as_seconds(),
+                   opt.hedge_max_delay.as_seconds());
 }
 
 TEST(ClusterRouter, SubmitDeliversThroughFutureAndThrowsAfterStop) {

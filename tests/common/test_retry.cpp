@@ -166,6 +166,63 @@ TEST(Retry, SingleAttemptPolicyNeverBacksOff) {
   EXPECT_DOUBLE_EQ(stats.total_backoff.as_seconds(), 0.0);
 }
 
+TEST(Retry, BackoffSaturatesAtCapForHighAttemptCounts) {
+  // Regression: the naive initial * multiplier^retry overflows double range
+  // at high retry counts (multiplier^1100 == inf), and with a zero initial
+  // backoff the product is 0 * inf == NaN, which slips through the min/max
+  // clamps.  The delay must saturate at max_backoff — never wrap to a tiny,
+  // negative or NaN value.
+  RetryPolicy p;
+  p.initial_backoff = Duration::milliseconds(10.0);
+  p.multiplier = 2.0;
+  p.max_backoff = Duration::seconds(2.0);
+  p.jitter_fraction = 0.0;  // exact values
+  Rng rng(3);
+  for (int retry : {32, 64, 100, 1024, 100000, 2147483647}) {
+    const Duration d = backoff_delay(p, retry, rng);
+    EXPECT_DOUBLE_EQ(d.as_seconds(), 2.0) << "retry " << retry;
+  }
+}
+
+TEST(Retry, BackoffAtHighAttemptsStaysWithinJitterBandOfCap) {
+  RetryPolicy p;
+  p.jitter_fraction = 0.1;
+  Rng rng(17);
+  for (int retry = 32; retry < 4096; retry = retry * 2 + 1) {
+    const double s = backoff_delay(p, retry, rng).as_seconds();
+    EXPECT_GE(s, p.max_backoff.as_seconds() * 0.9 - 1e-12);
+    EXPECT_LE(s, p.max_backoff.as_seconds() * 1.1 + 1e-12);
+  }
+}
+
+TEST(Retry, OverLargeJitterFractionNeverErasesTheDelay) {
+  // Regression: jitter_fraction >= 1 drew factors from [1-jf, 1+jf], which
+  // includes negative values — ~25% of draws at jf=2 collapsed (after the
+  // zero clamp) to a no-pacing retry storm.  The fraction now saturates
+  // below 1, so every delay keeps a positive floor.
+  RetryPolicy p;
+  p.initial_backoff = Duration::milliseconds(100.0);
+  p.jitter_fraction = 2.0;  // misconfigured
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double s = backoff_delay(p, 3, rng).as_seconds();
+    EXPECT_GT(s, 0.0) << "draw " << i;
+    // 5% floor of the nominal (capped) delay.
+    EXPECT_GE(s, 0.05 * 0.8 - 1e-12);
+  }
+}
+
+TEST(Retry, ZeroInitialBackoffIsZeroAtEveryRetry) {
+  // With initial_backoff == 0 the old code returned 0 for small retries and
+  // NaN-collapsed-to-0 for large ones; pin the intended "no pacing"
+  // behavior explicitly at both ends.
+  RetryPolicy p;
+  p.initial_backoff = Duration::seconds(0.0);
+  Rng rng(8);
+  EXPECT_DOUBLE_EQ(backoff_delay(p, 0, rng).as_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(p, 5000, rng).as_seconds(), 0.0);
+}
+
 TEST(Retry, SameSeedSameBackoffAccounting) {
   RetryPolicy p;
   p.max_attempts = 5;

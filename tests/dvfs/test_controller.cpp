@@ -58,6 +58,45 @@ TEST(Controller, RejectedSetPairIsFullyTransactional) {
   EXPECT_EQ(ctl.reboot_count(), reboots_before + 1);
 }
 
+TEST(Controller, SamePairSetIsANoOpWithoutReboot) {
+  // Regression: set_pair used to patch + reboot even when the requested
+  // pair equaled current_pair(), so a governor re-asserting its steady
+  // state thrashed reboot_count once per phase.
+  sim::Gpu gpu(GpuModel::GTX680);
+  Controller ctl(gpu);
+  const FrequencyPair mm{ClockLevel::Medium, ClockLevel::Medium};
+  ctl.set_pair(mm);
+  const int reboots_after_transition = ctl.reboot_count();
+  const std::vector<std::uint8_t> image_before = ctl.image();
+  for (int i = 0; i < 100; ++i) ctl.set_pair(mm);
+  EXPECT_EQ(ctl.reboot_count(), reboots_after_transition);
+  EXPECT_EQ(ctl.image(), image_before);
+  EXPECT_EQ(ctl.current_pair(), mm);
+  EXPECT_EQ(gpu.frequency_pair(), mm);
+}
+
+TEST(Controller, SamePairSetStillRejectsIllegalPairs) {
+  // The no-op path must not weaken validation: an illegal pair throws even
+  // if (impossibly) requested repeatedly.
+  sim::Gpu gpu(GpuModel::GTX680);
+  Controller ctl(gpu);
+  EXPECT_THROW(ctl.set_pair({ClockLevel::Low, ClockLevel::Low}), gppm::Error);
+  EXPECT_THROW(ctl.set_pair({ClockLevel::Low, ClockLevel::Low}), gppm::Error);
+}
+
+TEST(Controller, SamePairSetReassertsExternallyMovedClocks) {
+  // If something bypassed the controller and moved the GPU's clocks, a
+  // same-pair set_pair is NOT a no-op: it reboots to re-assert BIOS state.
+  sim::Gpu gpu(GpuModel::GTX680);
+  Controller ctl(gpu);
+  const FrequencyPair boot_pair = ctl.current_pair();
+  gpu.set_frequency_pair({ClockLevel::Medium, ClockLevel::Medium});
+  const int before = ctl.reboot_count();
+  ctl.set_pair(boot_pair);
+  EXPECT_EQ(ctl.reboot_count(), before + 1);
+  EXPECT_EQ(gpu.frequency_pair(), boot_pair);
+}
+
 TEST(Controller, AvailablePairsMatchTableThree) {
   sim::Gpu gpu(GpuModel::GTX460);
   Controller ctl(gpu);

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <thread>
 
+#include "common/error.hpp"
 #include "serve/admission.hpp"
 
 namespace gppm::serve {
@@ -112,6 +114,82 @@ TEST(ServeAdmission, ErrorReleaseIsNeutral) {
   EXPECT_DOUBLE_EQ(ctl.limit(), before);
   EXPECT_EQ(ctl.in_flight(), 0);
   EXPECT_EQ(ctl.stats().backoffs, 0u);
+}
+
+TEST(ServeAdmission, ConstructionRejectsInvertedAndZeroLimits) {
+  // Boundary sweep of the Options contract: inverted clamp, zero/sub-one
+  // limits, and out-of-range knobs all throw a typed gppm::Error at
+  // construction instead of silently producing a pinned/inverted clamp.
+  auto with = [](auto mutate) {
+    AdmissionOptions opt;
+    opt.instrument = false;
+    mutate(opt);
+    return opt;
+  };
+  EXPECT_THROW(AdmissionController(with([](AdmissionOptions& o) {
+                 o.min_limit = 8.0;
+                 o.max_limit = 4.0;  // inverted
+               })),
+               gppm::Error);
+  EXPECT_THROW(AdmissionController(with([](AdmissionOptions& o) {
+                 o.min_limit = 0.0;  // zero floor
+               })),
+               gppm::Error);
+  EXPECT_THROW(AdmissionController(with([](AdmissionOptions& o) {
+                 o.max_limit = 0.0;  // zero ceiling (also < min)
+               })),
+               gppm::Error);
+  EXPECT_THROW(AdmissionController(with([](AdmissionOptions& o) {
+                 o.initial_limit = 0.0;  // zero start
+               })),
+               gppm::Error);
+  EXPECT_THROW(AdmissionController(with([](AdmissionOptions& o) {
+                 o.decrease = 1.0;  // no decrease
+               })),
+               gppm::Error);
+  EXPECT_THROW(AdmissionController(with([](AdmissionOptions& o) {
+                 o.ewma_alpha = 0.0;  // EWMA never updates
+               })),
+               gppm::Error);
+  EXPECT_THROW(AdmissionController(with([](AdmissionOptions& o) {
+                 o.deadline_headroom = 0.0;  // sheds every deadline request
+               })),
+               gppm::Error);
+  // min == max is a legal degenerate (fixed limit); exactly-1 floors work.
+  EXPECT_NO_THROW(AdmissionController(with([](AdmissionOptions& o) {
+    o.min_limit = o.max_limit = o.initial_limit = 1.0;
+  })));
+}
+
+TEST(ServeAdmission, ConstructionRejectsNaNLimits) {
+  // Regression: a NaN initial_limit survived std::clamp and pinned the AIMD
+  // window open — `in_flight + 1 > NaN` is false forever, so the controller
+  // admitted without bound.  NaN anywhere in Options must throw instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int field = 0; field < 4; ++field) {
+    AdmissionOptions opt;
+    opt.instrument = false;
+    if (field == 0) opt.initial_limit = nan;
+    if (field == 1) opt.min_limit = nan;
+    if (field == 2) opt.max_limit = nan;
+    if (field == 3) opt.deadline_headroom = nan;
+    EXPECT_THROW(AdmissionController ctl(opt), gppm::Error) << "field "
+                                                            << field;
+  }
+  AdmissionOptions inf_opt;
+  inf_opt.instrument = false;
+  inf_opt.max_limit = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(AdmissionController ctl(inf_opt), gppm::Error);
+}
+
+TEST(ServeAdmission, OutOfRangeInitialLimitClampsIntoBand) {
+  AdmissionOptions opt;
+  opt.instrument = false;
+  opt.min_limit = 4.0;
+  opt.max_limit = 16.0;
+  opt.initial_limit = 1000.0;  // above the ceiling: clamped, not rejected
+  AdmissionController ctl(opt);
+  EXPECT_DOUBLE_EQ(ctl.limit(), 16.0);
 }
 
 TEST(ServeAdmission, StatsSnapshotIsCoherent) {

@@ -1,0 +1,149 @@
+#include "stats/streaming_ols.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/ols.hpp"
+
+namespace gppm::stats {
+namespace {
+
+// Rows of y = 3 + 2*x - 0.5*x^2 with an explicit intercept column, the
+// shape StreamingOls consumes (the caller owns the intercept).
+linalg::Vector row_of(double x) { return linalg::Vector{1.0, x, x * x}; }
+double target_of(double x) { return 3.0 + 2.0 * x - 0.5 * x * x; }
+
+TEST(StreamingOls, RecoversExactLinearModelFromStream) {
+  StreamingOls ols(3);
+  for (int i = 0; i < 12; ++i) {
+    const double x = static_cast<double>(i);
+    ols.observe(row_of(x), target_of(x));
+  }
+  // Tolerance bounded below by the ridge prior's shrinkage, not fp error.
+  const linalg::Vector beta = ols.coefficients();
+  EXPECT_NEAR(beta[0], 3.0, 1e-4);
+  EXPECT_NEAR(beta[1], 2.0, 1e-4);
+  EXPECT_NEAR(beta[2], -0.5, 1e-4);
+}
+
+TEST(StreamingOls, SeedPlusStreamMatchesBatchFit) {
+  // Noisy data, half seeded as the permanent prior and half streamed:
+  // with no eviction the solution must match one batch OLS over all rows.
+  Rng rng(7);
+  const std::size_t n = 40;
+  linalg::Matrix all_x(n, 3);
+  linalg::Vector all_y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-3.0, 3.0);
+    const linalg::Vector row = row_of(x);
+    for (std::size_t j = 0; j < 3; ++j) all_x(i, j) = row[j];
+    all_y[i] = target_of(x) + rng.uniform(-0.1, 0.1);
+  }
+
+  StreamingOls ols(3);
+  linalg::Matrix seed_x(n / 2, 3);
+  linalg::Vector seed_y(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) seed_x(i, j) = all_x(i, j);
+    seed_y[i] = all_y[i];
+  }
+  ols.seed(seed_x, seed_y);
+  for (std::size_t i = n / 2; i < n; ++i) {
+    ols.observe({all_x(i, 0), all_x(i, 1), all_x(i, 2)}, all_y[i]);
+  }
+
+  // Batch reference without the explicit intercept column (ols_fit adds
+  // its own): strip column 0.
+  linalg::Matrix no_intercept(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    no_intercept(i, 0) = all_x(i, 1);
+    no_intercept(i, 1) = all_x(i, 2);
+  }
+  const OlsFit batch = ols_fit(no_intercept, all_y);
+  const linalg::Vector beta = ols.coefficients();
+  EXPECT_NEAR(beta[0], batch.intercept, 1e-6);
+  EXPECT_NEAR(beta[1], batch.coefficients[0], 1e-6);
+  EXPECT_NEAR(beta[2], batch.coefficients[1], 1e-6);
+}
+
+TEST(StreamingOls, WindowActuallyForgets) {
+  // Fill the window from one regime, then stream a full window of a
+  // different regime: the old rows must be fully evicted and the solution
+  // must track the new slope, not a blend.
+  StreamingOlsOptions opt;
+  opt.window = 16;
+  StreamingOls ols(2, opt);
+  for (int i = 0; i < 16; ++i) {
+    const double x = static_cast<double>(i + 1);
+    ols.observe({1.0, x}, 10.0 * x);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const double x = static_cast<double>(i + 1);
+    ols.observe({1.0, x}, -4.0 * x);
+  }
+  EXPECT_EQ(ols.window_size(), 16u);
+  EXPECT_EQ(ols.observed(), 32u);
+  EXPECT_EQ(ols.evicted(), 16u);
+  const linalg::Vector beta = ols.coefficients();
+  EXPECT_NEAR(beta[0], 0.0, 1e-5);
+  EXPECT_NEAR(beta[1], -4.0, 1e-5);
+}
+
+TEST(StreamingOls, CollinearStreamStaysFiniteThroughRidge) {
+  StreamingOls ols(2);
+  for (int i = 0; i < 8; ++i) ols.observe({1.0, 2.0}, 5.0);
+  const linalg::Vector beta = ols.coefficients();
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(std::isfinite(beta[j])) << "beta[" << j << "]";
+  }
+  // The fitted plane must still reproduce the one observed point.
+  EXPECT_NEAR(beta[0] + 2.0 * beta[1], 5.0, 1e-4);
+}
+
+TEST(StreamingOls, IdenticalStreamsYieldIdenticalCoefficients) {
+  StreamingOlsOptions opt;
+  opt.window = 8;
+  StreamingOls a(3, opt);
+  StreamingOls b(3, opt);
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(-2.0, 2.0);
+    const double y = target_of(x) + rng.uniform(-0.05, 0.05);
+    a.observe(row_of(x), y);
+    b.observe(row_of(x), y);
+  }
+  const linalg::Vector ba = a.coefficients();
+  const linalg::Vector bb = b.coefficients();
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(ba[j], bb[j]);
+  EXPECT_EQ(a.evicted(), b.evicted());
+  EXPECT_EQ(a.rebuilds(), b.rebuilds());
+}
+
+TEST(StreamingOls, SeedRowsArePermanentAcrossEviction) {
+  // A strong seed prior must still anchor the fit after the entire
+  // streamed window has turned over.
+  StreamingOlsOptions opt;
+  opt.window = 4;
+  StreamingOls ols(2, opt);
+  linalg::Matrix seed_x(32, 2);
+  linalg::Vector seed_y(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const double x = static_cast<double>(i % 8);
+    seed_x(i, 0) = 1.0;
+    seed_x(i, 1) = x;
+    seed_y[i] = 7.0 * x;
+  }
+  ols.seed(seed_x, seed_y);
+  for (int i = 0; i < 12; ++i) {
+    const double x = static_cast<double>(i % 8);
+    ols.observe({1.0, x}, 7.0 * x);
+  }
+  EXPECT_EQ(ols.window_size(), 4u);
+  const linalg::Vector beta = ols.coefficients();
+  EXPECT_NEAR(beta[1], 7.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace gppm::stats

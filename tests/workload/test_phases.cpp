@@ -1,0 +1,111 @@
+#include "workload/phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "workload/suite.hpp"
+
+namespace gppm::workload {
+namespace {
+
+TEST(PhaseSchedule, EqualSeedsGiveIdenticalSchedules) {
+  PhaseScheduleOptions opt;
+  opt.phases = 32;
+  opt.seed = 9;
+  const std::vector<Phase> a = phase_schedule(opt);
+  const std::vector<Phase> b = phase_schedule(opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].benchmark, b[i].benchmark);
+    EXPECT_EQ(a[i].scale, b[i].scale);
+  }
+}
+
+TEST(PhaseSchedule, DifferentSeedsDiffer) {
+  PhaseScheduleOptions a_opt, b_opt;
+  a_opt.phases = b_opt.phases = 32;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  const std::vector<Phase> a = phase_schedule(a_opt);
+  const std::vector<Phase> b = phase_schedule(b_opt);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].benchmark != b[i].benchmark || a[i].scale != b[i].scale) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PhaseSchedule, ExcludedBenchmarksNeverAppear) {
+  const std::string excluded = benchmark_suite().front().name;
+  PhaseScheduleOptions opt;
+  opt.phases = 64;
+  for (const Phase& p : phase_schedule(opt, {excluded})) {
+    EXPECT_NE(p.benchmark, excluded);
+  }
+}
+
+TEST(PhaseSchedule, EachLapVisitsEveryEligibleBenchmarkOnce) {
+  const std::size_t suite_size = benchmark_suite().size();
+  PhaseScheduleOptions opt;
+  opt.phases = suite_size;
+  const std::vector<Phase> lap = phase_schedule(opt);
+  std::set<std::string> seen;
+  for (const Phase& p : lap) seen.insert(p.benchmark);
+  EXPECT_EQ(seen.size(), suite_size);
+}
+
+TEST(PhaseSchedule, ZeroDriftStaysOnCorpusLadder) {
+  PhaseScheduleOptions opt;
+  opt.phases = 48;
+  opt.drift = 0.0;
+  for (const Phase& p : phase_schedule(opt)) {
+    const BenchmarkDef& def = find_benchmark(p.benchmark);
+    bool on_ladder = false;
+    for (std::size_t i = 0; i < def.size_count; ++i) {
+      if (p.scale == def.scale_of(i)) on_ladder = true;
+    }
+    EXPECT_TRUE(on_ladder) << p.benchmark << " scale " << p.scale;
+  }
+}
+
+TEST(PhaseSchedule, DriftedScalesStayWithinWobbleBand) {
+  PhaseScheduleOptions opt;
+  opt.phases = 96;
+  opt.drift = 0.25;
+  for (const Phase& p : phase_schedule(opt)) {
+    const BenchmarkDef& def = find_benchmark(p.benchmark);
+    bool within_band = false;
+    for (std::size_t i = 0; i < def.size_count; ++i) {
+      const double ladder = def.scale_of(i);
+      if (p.scale >= ladder * 0.75 && p.scale <= ladder * 1.25) {
+        within_band = true;
+      }
+    }
+    EXPECT_TRUE(within_band) << p.benchmark << " scale " << p.scale;
+    EXPECT_GT(p.scale, 0.0);
+  }
+}
+
+TEST(PhaseSchedule, RejectsInvalidDrift) {
+  PhaseScheduleOptions opt;
+  opt.drift = 1.0;
+  EXPECT_THROW(phase_schedule(opt), Error);
+  opt.drift = -0.1;
+  EXPECT_THROW(phase_schedule(opt), Error);
+}
+
+TEST(PhaseSchedule, PhaseProfileBuildsRunProfile) {
+  PhaseScheduleOptions opt;
+  opt.phases = 4;
+  for (const Phase& p : phase_schedule(opt)) {
+    EXPECT_FALSE(p.profile().kernels.empty());
+  }
+}
+
+}  // namespace
+}  // namespace gppm::workload

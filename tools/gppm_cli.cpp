@@ -14,6 +14,11 @@
 //                                       predict every configurable pair
 //   gppm governor <gpu> <bench> [bench...]
 //                                       run the phase-level DVFS governor
+//   gppm govern <gpu> [options]         run the *online* closed-loop
+//                                       governor over a drifting phase
+//                                       schedule: profile -> decide ->
+//                                       apply through the VBIOS controller
+//                                       -> measure -> refit online
 //   gppm serve <gpu> --listen PORT      put the prediction server on the
 //                                       wire (gppm::net RPC; port 0 picks
 //                                       an ephemeral port, printed on start)
@@ -31,6 +36,7 @@
 // (chrome://tracing / Perfetto loadable) and the metrics registry as CSV.
 //
 // GPU names: gtx285, gtx460, gtx480, gtx680.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -47,6 +53,7 @@
 #include "core/governor.hpp"
 #include "core/serialization.hpp"
 #include "dvfs/combos.hpp"
+#include "governor/loop.hpp"
 #include "kernelir/programs.hpp"
 #include "kernelir/trace.hpp"
 #include "cluster/fleet.hpp"
@@ -77,6 +84,10 @@ int usage(std::ostream& out, int code) {
          "  gppm fit <gpu> <power|exectime> [--out FILE] [--v2f] [--baseline]\n"
          "  gppm predict <model-file> <benchmark> [size-index]\n"
          "  gppm governor <gpu> <benchmark> [benchmark...]\n"
+         "  gppm govern <gpu> [--policy energy|edp|perf-cap] [--phases N]"
+         " [--seed N]\n"
+         "              [--cap W] [--max-slowdown F] [--window N] [--refit N]"
+         " [--no-baselines]\n"
          "  gppm serve <gpu> --listen PORT [--workers N] [--cache N]"
          " [--duration S]\n"
          "                  [--cluster N [--replicas R] [--supervise]"
@@ -337,6 +348,99 @@ int cmd_governor(int argc, char** argv) {
   table.print(std::cout);
   std::cout << governor.switch_count() << " P-state switches over "
             << governor.decision_count() << " phases\n";
+  return 0;
+}
+
+int cmd_govern(int argc, char** argv) {
+  // gppm govern <gpu> [--policy energy|edp|perf-cap] [--phases N]
+  //             [--seed N] [--cap W] [--max-slowdown F] [--window N]
+  //             [--refit N] [--no-baselines]
+  if (argc < 3) return usage();
+  const sim::GpuModel model = parse_gpu(argv[2]);
+
+  governor::LoopOptions opt;
+  std::size_t phase_count = 24;
+  std::uint64_t seed = 42;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "energy") {
+        opt.governor.policy = core::GovernorPolicy::MinimumEnergy;
+      } else if (p == "edp") {
+        opt.governor.policy = core::GovernorPolicy::MinimumEdp;
+      } else if (p == "perf-cap") {
+        opt.governor.policy = core::GovernorPolicy::PowerCap;
+      } else {
+        throw Error("unknown policy '" + p + "' (energy/edp/perf-cap)");
+      }
+    } else if (arg == "--phases") phase_count = std::stoul(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--cap") opt.governor.power_cap = Power::watts(std::stod(next()));
+    else if (arg == "--max-slowdown") opt.governor.max_slowdown = std::stod(next());
+    else if (arg == "--window") opt.governor.refit.window = std::stoul(next());
+    else if (arg == "--refit") opt.governor.refit_interval = std::stoul(next());
+    else if (arg == "--no-baselines") opt.measure_baselines = false;
+    else return usage();
+  }
+
+  std::cout << "training models for " << sim::to_string(model) << "...\n";
+  const core::Dataset ds = core::build_dataset(model);
+  core::ModelOptions popt;
+  popt.scaling = core::FeatureScaling::VoltageSquaredFrequency;
+  popt.include_baseline_terms = true;
+  governor::GovernorLoop loop(
+      model, ds, core::UnifiedModel::fit(ds, core::TargetKind::Power, popt),
+      core::UnifiedModel::fit(ds, core::TargetKind::ExecTime), opt);
+
+  workload::PhaseScheduleOptions sched;
+  sched.phases = phase_count;
+  sched.seed = seed;
+  const std::vector<workload::Phase> phases = workload::phase_schedule(
+      sched, profiler::CudaProfiler::unsupported_benchmarks());
+
+  const governor::LoopResult result = loop.run(phases);
+
+  AsciiTable table(opt.measure_baselines
+                       ? std::vector<std::string>{"phase", "scale", "pair",
+                                                  "energy J", "default J",
+                                                  "oracle J", "saving %"}
+                       : std::vector<std::string>{"phase", "scale", "pair",
+                                                  "energy J"});
+  for (const governor::PhaseOutcome& o : result.phases) {
+    std::vector<std::string> row = {
+        o.phase.benchmark, format_double(o.phase.scale, 2),
+        sim::to_string(o.pair), format_double(o.measured.energy.as_joules(), 1)};
+    if (opt.measure_baselines) {
+      row.push_back(format_double(o.default_energy_joules, 1));
+      row.push_back(format_double(o.oracle_energy_joules, 1));
+      row.push_back(format_double(
+          (1.0 - o.measured.energy.as_joules() /
+                     std::max(1e-12, o.default_energy_joules)) * 100.0, 1));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "policy " << core::to_string(opt.governor.policy) << ": "
+            << format_double(result.governed_energy_joules, 0) << " J governed";
+  if (opt.measure_baselines) {
+    std::cout << " vs " << format_double(result.default_energy_joules, 0)
+              << " J static (H-H), oracle "
+              << format_double(result.oracle_energy_joules, 0) << " J ("
+              << format_double((1.0 - result.governed_energy_joules /
+                                    std::max(1e-12,
+                                             result.default_energy_joules)) *
+                                   100.0, 1)
+              << "% saved)";
+  }
+  std::cout << "\n" << result.switches << " switches, " << result.reboots
+            << " reboots, " << result.refits << " refits over "
+            << result.phases.size() << " phases\n";
   return 0;
 }
 
@@ -716,6 +820,7 @@ int main(int argc, char** argv) {
     else if (cmd == "fit") rc = cmd_fit(argc, argv);
     else if (cmd == "predict") rc = cmd_predict(argc, argv);
     else if (cmd == "governor") rc = cmd_governor(argc, argv);
+    else if (cmd == "govern") rc = cmd_govern(argc, argv);
     else if (cmd == "serve") rc = cmd_serve(argc, argv);
     else if (cmd == "serve-bench") rc = cmd_serve_bench(argc, argv);
     else if (cmd == "chaos") rc = cmd_chaos(argc, argv);

@@ -8,9 +8,10 @@
 #      default build — the cross-build bit-identity gate from
 #      docs/PERFORMANCE.md (model artifacts must not depend on the ISA);
 #   3. TSan:   -DGPPM_SANITIZE=thread build, then every ThreadSanitizer
-#      smoke target (compute pool, serve, obs, net, cluster) — the
-#      cluster one covers the membership-churn hammer and the 3-node
-#      kill/restart chaos suite;
+#      smoke target (compute pool, serve, obs, net, cluster, governor) —
+#      the cluster one covers the membership-churn hammer and the 3-node
+#      kill/restart chaos suite, the governor one the online
+#      decide/observe/refit loop over the shared compute pool;
 #   4. ASan:   -DGPPM_SANITIZE=address build, then the chaos_smoke and
 #      simd_smoke targets (fault-injection/chaos suites, plus the
 #      zero-copy span-aliasing fuzz where ASan can catch a dangling
@@ -58,8 +59,9 @@ echo "== TSan: build + concurrency smoke targets =="
 cmake -B "$repo/build-tsan" -S "$repo" -DGPPM_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j"$jobs" \
   --target test_common test_linalg test_stats test_serve test_obs \
-           test_net test_cluster
-for target in parallel_smoke serve_smoke obs_smoke net_smoke cluster_smoke
+           test_net test_cluster test_governor
+for target in parallel_smoke serve_smoke obs_smoke net_smoke cluster_smoke \
+              governor_smoke
 do
   echo "-- $target"
   cmake --build "$repo/build-tsan" --target "$target"
