@@ -1,0 +1,293 @@
+// Concurrent-kernel interference verification: gppm::mix end to end.
+//
+// Runs the mix pipeline — seeded co-schedules, the contention engine, the
+// interference corpus and the solo/mix model families — on every board and
+// gates the results:
+//
+//   * interference gate — on each (board, degree) configuration the
+//     solo-trained time family systematically *underpredicts* held-out
+//     contended member times (negative signed bias: interference is real),
+//     and the mix-aware family beats it on time-weighted error (wape);
+//   * isolation gate — a 2-tenant overload sweep against the prediction
+//     server: the quota-limited aggressor's burst sheds as typed
+//     Overloaded answers while the un-quota'd victim tenant is answered
+//     Ok on every request;
+//   * determinism gate — same-seed mix schedules, corpora and engine
+//     executions are bit-identical across two independent builds.
+//
+// Emits BENCH_mix.json (shared env stamp); exits nonzero if any gate
+// fails.  --smoke shrinks the board x degree sweep for the ctest wrapper.
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "mix/engine.hpp"
+#include "mix/model.hpp"
+#include "serve/server.hpp"
+
+using namespace gppm;
+
+namespace {
+
+struct MixConfigRun {
+  sim::GpuModel model = sim::GpuModel::GTX480;
+  std::size_t degree = 2;
+  mix::MixEvaluation ev;
+};
+
+MixConfigRun run_config(sim::GpuModel model, std::size_t degree) {
+  mix::MixCorpusOptions copt;
+  copt.mixes = 32;
+  copt.degree = degree;
+  copt.seed = bench::kCampaignSeed;
+  const mix::MixCorpus corpus = mix::build_mix_corpus(model, copt);
+  core::ModelOptions mopt;
+  mopt.max_variables = 5;
+  const mix::MixModelSet models = mix::fit_mix_models(corpus, mopt);
+  MixConfigRun run;
+  run.model = model;
+  run.degree = degree;
+  run.ev = mix::evaluate_mix_models(models, corpus);
+  return run;
+}
+
+struct TenantGate {
+  std::size_t aggressor_ok = 0;
+  std::size_t aggressor_shed = 0;
+  std::size_t victim_ok = 0;
+  std::size_t victim_total = 0;
+  bool ok() const {
+    return aggressor_ok >= 1 && aggressor_shed >= 1 &&
+           victim_ok == victim_total && victim_total > 0;
+  }
+};
+
+TenantGate run_tenant_gate() {
+  const core::Dataset& ds = bench::board_families(sim::GpuModel::GTX460).dataset;
+  const core::UnifiedModel power =
+      core::UnifiedModel::fit(ds, core::TargetKind::Power);
+  const core::UnifiedModel perf =
+      core::UnifiedModel::fit(ds, core::TargetKind::ExecTime);
+
+  serve::ServerOptions opt;
+  opt.worker_threads = 1;
+  opt.max_batch = 1;
+  opt.cache_capacity = 0;
+  serve::PredictionServer server(opt);
+  server.load_models(power, perf);
+  server.set_tenant_quota(1, 1);
+
+  auto request = [&](std::uint32_t tenant, std::size_t i,
+                     serve::RequestKind kind) {
+    serve::Request r;
+    r.kind = kind;
+    r.gpu = sim::GpuModel::GTX460;
+    r.tenant = tenant;
+    r.counters = ds.samples[i % ds.samples.size()].counters;
+    return r;
+  };
+
+  // Build every request up front so the submit loops are pure moves, and
+  // pad the prefill requests' counters far past the catalog: the worker
+  // fingerprints every reading before predicting (trailing pad is inert
+  // for the prediction itself), so each prefill job pins the single
+  // worker for orders of magnitude longer than the whole burst takes to
+  // submit — the aggressor's quota ticket provably stays in flight.
+  std::vector<serve::Request> prefill_reqs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    serve::Request r = request(0, i, serve::RequestKind::Optimize);
+    r.counters.counters.resize(r.counters.counters.size() + (1u << 17),
+                               {"pad", profiler::EventClass::Core,
+                                static_cast<double>(i), 1.0});
+    prefill_reqs.push_back(std::move(r));
+  }
+  std::vector<serve::Request> burst_reqs;
+  for (std::size_t i = 0; i < 64; ++i) {
+    burst_reqs.push_back(request(1, i, serve::RequestKind::Optimize));
+    burst_reqs.push_back(request(2, i, serve::RequestKind::Predict));
+  }
+  std::vector<std::future<serve::Response>> prefill;
+  for (serve::Request& r : prefill_reqs) {
+    prefill.push_back(server.submit(std::move(r)));
+  }
+  std::vector<std::future<serve::Response>> aggressor;
+  std::vector<std::future<serve::Response>> victim;
+  for (serve::Request& r : burst_reqs) {
+    const bool is_victim = r.tenant == 2;
+    std::future<serve::Response> f = server.submit(std::move(r));
+    if (is_victim) {
+      victim.push_back(std::move(f));
+    } else {
+      aggressor.push_back(std::move(f));
+    }
+  }
+
+  TenantGate gate;
+  for (std::future<serve::Response>& f : prefill) f.get();
+  for (std::future<serve::Response>& f : aggressor) {
+    const serve::Response r = f.get();
+    if (r.ok()) {
+      ++gate.aggressor_ok;
+    } else if (r.status == serve::ResponseStatus::Overloaded) {
+      ++gate.aggressor_shed;
+    }
+  }
+  for (std::future<serve::Response>& f : victim) {
+    ++gate.victim_total;
+    if (f.get().ok()) ++gate.victim_ok;
+  }
+  server.shutdown();
+  return gate;
+}
+
+bool run_determinism_gate() {
+  // Schedules, corpora and engine executions must be pure functions of
+  // (seed, model, mix, pair) — compare two independent builds bitwise.
+  mix::MixCorpusOptions copt;
+  copt.mixes = 8;
+  copt.degree = 2;
+  copt.seed = bench::kCampaignSeed;
+  const mix::MixCorpus a = mix::build_mix_corpus(sim::GpuModel::GTX480, copt);
+  const mix::MixCorpus b = mix::build_mix_corpus(sim::GpuModel::GTX480, copt);
+  if (a.member_train.samples.size() != b.member_train.samples.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.member_train.samples.size(); ++i) {
+    const core::Sample& sa = a.member_train.samples[i];
+    const core::Sample& sb = b.member_train.samples[i];
+    if (sa.counters.counters.size() != sb.counters.counters.size()) {
+      return false;
+    }
+    for (std::size_t c = 0; c < sa.counters.counters.size(); ++c) {
+      if (sa.counters.counters[c].total != sb.counters.counters[c].total) {
+        return false;
+      }
+    }
+    if (sa.runs.size() != sb.runs.size()) return false;
+    for (std::size_t r = 0; r < sa.runs.size(); ++r) {
+      if (sa.runs[r].exec_time.as_seconds() !=
+              sb.runs[r].exec_time.as_seconds() ||
+          sa.runs[r].avg_power.as_watts() != sb.runs[r].avg_power.as_watts()) {
+        return false;
+      }
+    }
+  }
+
+  const std::vector<mix::ScheduledMix> schedule = mix::mix_schedule();
+  const mix::MixProfile profile = mix::make_mix_profile(schedule.front(), 0);
+  mix::MixEngine e1(sim::GpuModel::GTX680, bench::kCampaignSeed);
+  mix::MixEngine e2(sim::GpuModel::GTX680, bench::kCampaignSeed);
+  const mix::MixExecution x1 = e1.execute(profile);
+  const mix::MixExecution x2 = e2.execute(profile);
+  if (x1.makespan.as_seconds() != x2.makespan.as_seconds() ||
+      x1.avg_power.as_watts() != x2.avg_power.as_watts()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < x1.members.size(); ++i) {
+    if (x1.members[i].contended_time.as_seconds() !=
+        x2.members[i].contended_time.as_seconds()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+
+  bench::print_banner(
+      "Concurrent-kernel interference (gppm::mix)",
+      "Co-scheduled kernel mixes under SM partitioning and bandwidth "
+      "contention; solo vs interference-aware model families gated on "
+      "held-out contended time, plus tenant-quota isolation and "
+      "determinism gates.");
+
+  std::vector<std::pair<sim::GpuModel, std::size_t>> configs;
+  if (smoke) {
+    configs = {{sim::GpuModel::GTX480, 2}, {sim::GpuModel::GTX460, 2}};
+  } else {
+    for (sim::GpuModel model : sim::kAllGpus) {
+      configs.push_back({model, 2});
+      configs.push_back({model, 3});
+    }
+  }
+
+  std::vector<MixConfigRun> runs(configs.size());
+  gppm::parallel_for(configs.size(), [&](std::size_t i) {
+    runs[i] = run_config(configs[i].first, configs[i].second);
+  });
+
+  AsciiTable table({"gpu", "degree", "solo wape %", "mix wape %",
+                    "solo bias", "power wape %", "gate"});
+  bool interference_ok = true;
+  for (const MixConfigRun& run : runs) {
+    if (!run.ev.passes()) interference_ok = false;
+    table.add_row({sim::to_string(run.model), std::to_string(run.degree),
+                   format_double(run.ev.solo_time_wape, 2),
+                   format_double(run.ev.mix_time_wape, 2),
+                   format_double(run.ev.solo_signed_bias, 3),
+                   format_double(run.ev.power_wape, 2),
+                   run.ev.passes() ? "PASS" : "FAIL"});
+  }
+  table.print(std::cout);
+
+  const TenantGate tenant = run_tenant_gate();
+  std::cout << "tenant overload sweep: aggressor " << tenant.aggressor_ok
+            << " ok / " << tenant.aggressor_shed << " shed, victim "
+            << tenant.victim_ok << "/" << tenant.victim_total << " ok\n";
+  const bool determinism_ok = run_determinism_gate();
+
+  std::cout << "interference gate (mix beats solo, solo underpredicts): "
+            << (interference_ok ? "held" : "BLOWN") << "\n"
+            << "isolation gate (quota sheds aggressor, victim untouched): "
+            << (tenant.ok() ? "held" : "BLOWN") << "\n"
+            << "determinism gate (same-seed bit-identity): "
+            << (determinism_ok ? "held" : "BLOWN") << "\n";
+
+  const bool ok = interference_ok && tenant.ok() && determinism_ok;
+  {
+    std::ofstream json("BENCH_mix.json");
+    json << "{\n  \"schema\": \"gppm.bench_mix.v1\",\n";
+    bench::json_env_stamp(json, smoke);
+    json << "  \"mixes\": 32,\n  \"max_variables\": 5,\n"
+         << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const MixConfigRun& run = runs[i];
+      json << "    {\"gpu\": \"" << sim::to_string(run.model) << "\""
+           << ", \"degree\": " << run.degree
+           << ", \"solo_time_wape\": " << format_double(run.ev.solo_time_wape, 3)
+           << ", \"mix_time_wape\": " << format_double(run.ev.mix_time_wape, 3)
+           << ", \"solo_signed_bias\": "
+           << format_double(run.ev.solo_signed_bias, 4)
+           << ", \"power_wape\": " << format_double(run.ev.power_wape, 3)
+           << ", \"pass\": " << (run.ev.passes() ? "true" : "false") << "}"
+           << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"tenant\": {\"aggressor_ok\": " << tenant.aggressor_ok
+         << ", \"aggressor_shed\": " << tenant.aggressor_shed
+         << ", \"victim_ok\": " << tenant.victim_ok
+         << ", \"victim_total\": " << tenant.victim_total << "},\n"
+         << "  \"gates\": {\"interference\": "
+         << (interference_ok ? "true" : "false")
+         << ", \"isolation\": " << (tenant.ok() ? "true" : "false")
+         << ", \"determinism\": " << (determinism_ok ? "true" : "false")
+         << "},\n"
+         << "  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+  }
+  std::cout << "wrote BENCH_mix.json\n";
+  if (!ok) {
+    std::cerr << "FAIL:" << (interference_ok ? "" : " interference-gate")
+              << (tenant.ok() ? "" : " isolation-gate")
+              << (determinism_ok ? "" : " determinism-gate") << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -9,11 +9,15 @@
 namespace gppm::cluster {
 
 std::uint64_t request_key(const serve::Request& request) {
-  // Mix the board into the phase fingerprint so two boards with an
-  // identical counter vector do not collide onto one arc.
+  // Mix the board and the tenant into the phase fingerprint: two boards
+  // with an identical counter vector must not collide onto one arc, and
+  // two tenants replaying the same phase may be served by different model
+  // families, so their keys (and hence placement) must differ too.
   std::uint64_t state = serve::counters_fingerprint(request.counters) ^
                         (0x9e3779b97f4a7c15ull *
-                         (static_cast<std::uint64_t>(request.gpu) + 1));
+                         (static_cast<std::uint64_t>(request.gpu) + 1)) ^
+                        (0xbf58476d1ce4e5b9ull *
+                         (static_cast<std::uint64_t>(request.tenant) + 1));
   return splitmix64(state);
 }
 

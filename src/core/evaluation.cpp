@@ -23,6 +23,18 @@ double Evaluation::mape() const {
   return acc / static_cast<double>(rows.size());
 }
 
+double Evaluation::wape() const {
+  GPPM_CHECK(!rows.empty(), "empty evaluation");
+  double num = 0.0;
+  double den = 0.0;
+  for (const RowError& r : rows) {
+    num += r.abs_error();
+    den += r.actual;
+  }
+  GPPM_CHECK(den > 0.0, "wape needs a positive actual total");
+  return 100.0 * num / den;
+}
+
 double Evaluation::mean_abs_error() const {
   GPPM_CHECK(!rows.empty(), "empty evaluation");
   double acc = 0.0;

@@ -27,6 +27,11 @@ struct Evaluation {
 
   /// Mean absolute percentage error (TABLEs VII/VIII "Error[%]").
   double mape() const;
+  /// Weighted absolute percentage error: sum |pred - actual| / sum actual
+  /// (library extension).  Weights every row by its magnitude, so it reads
+  /// as the aggregate misprediction of total target units — robust to the
+  /// tiny-denominator rows that dominate mape() on wide-range targets.
+  double wape() const;
   /// Mean absolute error in target units (TABLE VII "Error[W]").
   double mean_abs_error() const;
   /// All absolute percentage errors, for distribution plots.

@@ -32,6 +32,10 @@ double feature_value(const profiler::CounterReading& reading,
   return reading.total / freq_ghz;
 }
 
+bool is_mix_feature(const std::string& name) {
+  return name.rfind(kMixFeaturePrefix, 0) == 0;
+}
+
 profiler::CounterReading baseline_reading(profiler::EventClass klass) {
   profiler::CounterReading r;
   r.name = klass == profiler::EventClass::Core ? kBaselineCoreFeature

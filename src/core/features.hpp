@@ -60,6 +60,16 @@ double feature_value(const profiler::CounterReading& reading,
 inline constexpr const char* kBaselineCoreFeature = "baseline_core_domain";
 inline constexpr const char* kBaselineMemFeature = "baseline_mem_domain";
 
+/// Name prefix of mix-level pseudo-counters (`gppm::mix` appends them to a
+/// member's profile past the catalog: co-runner bandwidth pressure as a
+/// memory-event reading, SM-share loss as a core-event reading — see
+/// docs/MIX.md).  Model fitting accepts readings under this prefix after
+/// the catalog counters; everything else there is rejected.
+inline constexpr const char* kMixFeaturePrefix = "mix.";
+
+/// True if `name` is a mix-level pseudo-feature.
+bool is_mix_feature(const std::string& name);
+
 /// A pseudo-reading with unit rate/total for a domain's baseline feature.
 profiler::CounterReading baseline_reading(profiler::EventClass klass);
 

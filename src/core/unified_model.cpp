@@ -16,9 +16,24 @@ UnifiedModel UnifiedModel::fit(const Dataset& dataset, TargetKind target,
 ModelFamily ModelFamily::fit(const Dataset& dataset, TargetKind target,
                              const ModelOptions& options,
                              const sim::FrequencyPair* pair_filter) {
-  const RegressionTable table =
+  RegressionTable table =
       build_table(dataset, target, pair_filter, options.scaling,
                   options.include_baseline_terms);
+
+  if (!options.candidate_features.empty()) {
+    // Zero out non-candidate columns; selection skips constant columns, so
+    // this restricts the search without perturbing the engine.
+    for (std::size_t c = 0; c < table.feature_names.size(); ++c) {
+      const bool allowed =
+          std::find(options.candidate_features.begin(),
+                    options.candidate_features.end(),
+                    table.feature_names[c]) != options.candidate_features.end();
+      if (allowed) continue;
+      for (std::size_t r = 0; r < table.features.rows(); ++r) {
+        table.features(r, c) = 0.0;
+      }
+    }
+  }
 
   stats::SelectionOptions sel;
   sel.max_variables = options.max_variables;
@@ -29,8 +44,17 @@ ModelFamily ModelFamily::fit(const Dataset& dataset, TargetKind target,
 
   const auto& catalog =
       profiler::counter_catalog(sim::device_spec(dataset.model).architecture);
-  GPPM_CHECK(catalog.size() +
-                     (options.include_baseline_terms ? 2u : 0u) ==
+  const auto& readings = dataset.samples.front().counters.counters;
+  // Samples carry at least the full catalog; anything past it must be a
+  // mix-level pseudo-counter (gppm::mix appends those to member profiles).
+  GPPM_CHECK(readings.size() >= catalog.size(),
+             "sample has fewer counters than the board catalog");
+  for (std::size_t c = catalog.size(); c < readings.size(); ++c) {
+    GPPM_CHECK(is_mix_feature(readings[c].name),
+               "unexpected extra counter past the catalog: " +
+                   readings[c].name);
+  }
+  GPPM_CHECK(readings.size() + (options.include_baseline_terms ? 2u : 0u) ==
                  table.feature_names.size(),
              "catalog/feature mismatch");
 
@@ -48,11 +72,16 @@ ModelFamily ModelFamily::fit(const Dataset& dataset, TargetKind target,
       const std::size_t col = result.selected[i];
       SelectedVariable var;
       var.counter = table.feature_names[col];
-      // Baseline pseudo-features sit past the catalog: core first, mem second.
+      // Columns map: catalog counters first, then any mix pseudo-counters
+      // (klass carried on the reading itself), then the two baseline
+      // pseudo-features: core first, mem second.
       var.klass = col < catalog.size()
                       ? catalog[col].klass
-                      : (col == catalog.size() ? profiler::EventClass::Core
-                                               : profiler::EventClass::Memory);
+                      : (col < readings.size()
+                             ? readings[col].klass
+                             : (col == readings.size()
+                                    ? profiler::EventClass::Core
+                                    : profiler::EventClass::Memory));
       var.coefficient = prefix.coefficients[i];
       var.cumulative_adjusted_r2 = result.r2_trace[i];
       model.variables_.push_back(std::move(var));
@@ -90,12 +119,17 @@ UnifiedModel UnifiedModel::from_parts(Parts parts) {
   for (std::size_t i = 0; i < parts.variables.size(); ++i) {
     const std::size_t idx = parts.counter_indices[i];
     // Catalog counters must match by name; indices past the catalog are
-    // the two baseline pseudo-features.
+    // either mix pseudo-counters (validated by prefix — their position
+    // depends on how many the fitting profile carried) or the two baseline
+    // pseudo-features.
     if (idx < catalog.size()) {
       GPPM_CHECK(catalog[idx].name == parts.variables[i].counter,
                  "counter/index mismatch: " + parts.variables[i].counter);
     } else {
-      GPPM_CHECK(idx <= catalog.size() + 1, "feature index out of range");
+      const std::string& name = parts.variables[i].counter;
+      GPPM_CHECK(is_mix_feature(name) || name == kBaselineCoreFeature ||
+                     name == kBaselineMemFeature,
+                 "feature index past catalog with unrecognized name: " + name);
     }
   }
   UnifiedModel model;
@@ -121,6 +155,10 @@ double UnifiedModel::predict(const profiler::ProfileResult& counters,
       GPPM_CHECK(reading.name == variables_[i].counter,
                  "counter order mismatch: expected " + variables_[i].counter);
     } else {
+      // A mix-term model cannot be driven by a profile that lacks the mix
+      // pseudo-counters — that would silently substitute a unit baseline.
+      GPPM_CHECK(!is_mix_feature(variables_[i].counter),
+                 "profile lacks mix pseudo-counter " + variables_[i].counter);
       // Baseline pseudo-feature (extension): unit-rate reading.
       reading = baseline_reading(variables_[i].klass);
     }

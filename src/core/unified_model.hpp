@@ -25,6 +25,12 @@ struct ModelOptions {
   stats::SelectionEngine engine = stats::SelectionEngine::IncrementalGram;
   /// Fan candidate scoring out over the shared compute pool.
   bool parallel = false;
+  /// If non-empty, forward selection may only pick features whose name is
+  /// in this list (others are zeroed out of the design).  Used to fit a
+  /// family on a proven basis — e.g. the mix families restrict candidates
+  /// to the solo family's selections plus the mix pseudo-features, which
+  /// keeps small interference corpora from chasing noise counters.
+  std::vector<std::string> candidate_features;
 };
 
 /// One selected explanatory variable of a fitted model.

@@ -15,13 +15,30 @@ constexpr double kSpecialOpSlots = 4.0;    // SFU ops are ~4x scarcer
 constexpr double kSharedOpSlots = 0.5;     // LSU port, dual-issued
 constexpr double kTexOpSlots = 1.0;
 
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
 void validate(const KernelProfile& k) {
   GPPM_CHECK(k.blocks > 0 && k.threads_per_block > 0, "empty launch");
   GPPM_CHECK(k.launches > 0, "launches must be >= 1");
+  // Operation counts must be finite: a non-finite count would flow through
+  // the roofline's min/max combination as a silent clamp (NaN compares
+  // false everywhere) and surface as garbage time instead of an error.
+  GPPM_CHECK(finite_nonneg(k.flops_sp_per_thread) &&
+                 finite_nonneg(k.flops_dp_per_thread) &&
+                 finite_nonneg(k.int_ops_per_thread) &&
+                 finite_nonneg(k.special_ops_per_thread) &&
+                 finite_nonneg(k.shared_ops_per_thread) &&
+                 finite_nonneg(k.tex_ops_per_thread),
+             "kernel '" + k.name + "': operation counts must be finite and >= 0");
+  GPPM_CHECK(finite_nonneg(k.global_load_bytes_per_thread) &&
+                 finite_nonneg(k.global_store_bytes_per_thread),
+             "kernel '" + k.name + "': global byte counts must be finite and >= 0");
   GPPM_CHECK(k.coalescing > 0.0 && k.coalescing <= 1.0, "coalescing in (0,1]");
   GPPM_CHECK(k.locality >= 0.0 && k.locality < 1.0, "locality in [0,1)");
-  GPPM_CHECK(k.divergence >= 1.0, "divergence >= 1");
-  GPPM_CHECK(k.bank_conflict >= 1.0, "bank_conflict >= 1");
+  GPPM_CHECK(k.divergence >= 1.0 && std::isfinite(k.divergence),
+             "divergence >= 1");
+  GPPM_CHECK(k.bank_conflict >= 1.0 && std::isfinite(k.bank_conflict),
+             "bank_conflict >= 1");
   GPPM_CHECK(k.occupancy > 0.0 && k.occupancy <= 1.0, "occupancy in (0,1]");
   GPPM_CHECK(k.overlap >= 0.0 && k.overlap <= 1.0, "overlap in [0,1]");
 }
@@ -49,13 +66,41 @@ double kernel_dram_bytes(const DeviceSpec& spec, const KernelProfile& k) {
   return raw * (1.0 - hit) / k.coalescing;
 }
 
+double device_bandwidth_ceiling(const DeviceSpec& spec, FrequencyPair pair) {
+  return spec.mem_bandwidth_gbps * 1e9 *
+         spec.mem_clock.frequency_ratio(pair.mem) *
+         spec.timing.dram_efficiency;
+}
+
+double sustained_bandwidth(const DeviceSpec& spec, const KernelProfile& kernel,
+                           FrequencyPair pair) {
+  // Bandwidth scales linearly with the memory clock; sustained efficiency
+  // degrades at low occupancy (not enough requests in flight) and when the
+  // core clock is low relative to the memory clock (the SMs cannot issue
+  // requests fast enough to keep DRAM busy).  The latter is what makes
+  // memory-bound kernels gain performance from the core clock at Mem-H,
+  // the paper's Fig. 2 observation on Streamcluster.
+  const double mlp_eff = 0.55 + 0.45 * kernel.occupancy;
+  const double clock_ratio = spec.core_clock.frequency_ratio(pair.core) /
+                             spec.mem_clock.frequency_ratio(pair.mem);
+  const double issue_eff = std::min(1.0, 0.55 + 0.5 * clock_ratio);
+  return device_bandwidth_ceiling(spec, pair) * mlp_eff * issue_eff;
+}
+
+double kernel_bandwidth_demand(const DeviceSpec& spec,
+                               const KernelProfile& kernel,
+                               FrequencyPair pair) {
+  const KernelTiming t = compute_kernel_timing(spec, kernel, pair);
+  const double seconds = t.kernel_time.as_seconds();
+  return seconds > 0.0 ? t.dram_bytes / seconds : 0.0;
+}
+
 KernelTiming compute_kernel_timing(const DeviceSpec& spec,
                                    const KernelProfile& kernel,
                                    FrequencyPair pair) {
   validate(kernel);
 
   const Frequency core_freq = spec.core_clock.at(pair.core).frequency;
-  const Frequency mem_freq = spec.mem_clock.at(pair.mem).frequency;
 
   // --- Compute side ---------------------------------------------------
   // Low occupancy costs issue efficiency: with few resident warps the
@@ -71,21 +116,17 @@ KernelTiming compute_kernel_timing(const DeviceSpec& spec,
 
   // --- Memory side ----------------------------------------------------
   const double dram_bytes = kernel_dram_bytes(spec, kernel);
-  // Bandwidth scales linearly with the memory clock; sustained efficiency
-  // degrades at low occupancy (not enough requests in flight) and when the
-  // core clock is low relative to the memory clock (the SMs cannot issue
-  // requests fast enough to keep DRAM busy).  The latter is what makes
-  // memory-bound kernels gain performance from the core clock at Mem-H,
-  // the paper's Fig. 2 observation on Streamcluster.
-  const double mlp_eff = 0.55 + 0.45 * kernel.occupancy;
-  const double clock_ratio = spec.core_clock.frequency_ratio(pair.core) /
-                             spec.mem_clock.frequency_ratio(pair.mem);
-  const double issue_eff = std::min(1.0, 0.55 + 0.5 * clock_ratio);
-  const double bw_bytes_per_s = spec.mem_bandwidth_gbps * 1e9 *
-                                spec.mem_clock.frequency_ratio(pair.mem) *
-                                spec.timing.dram_efficiency * mlp_eff *
-                                issue_eff;
-  const double t_mem = bw_bytes_per_s > 0.0 ? dram_bytes / bw_bytes_per_s : 0.0;
+  const double bw_bytes_per_s = sustained_bandwidth(spec, kernel, pair);
+  // A kernel that moves DRAM traffic on a device that cannot deliver any
+  // bandwidth has an implied demand above the ceiling by construction.
+  // Reject it: the previous behaviour silently clamped t_mem to zero,
+  // i.e. granted the kernel infinite bandwidth.
+  GPPM_CHECK(dram_bytes == 0.0 || bw_bytes_per_s > 0.0,
+             "kernel '" + kernel.name + "' demands " +
+                 std::to_string(dram_bytes) +
+                 " DRAM bytes but the device bandwidth ceiling at this "
+                 "operating point is zero");
+  const double t_mem = dram_bytes > 0.0 ? dram_bytes / bw_bytes_per_s : 0.0;
 
   // --- Bounded overlap combination -------------------------------------
   const double t_max = std::max(t_comp, t_mem);

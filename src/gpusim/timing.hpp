@@ -40,4 +40,27 @@ double thread_issue_cycles(const DeviceSpec& spec, const KernelProfile& k);
 /// coalescing waste.  Exposed for tests and the profiler layer.
 double kernel_dram_bytes(const DeviceSpec& spec, const KernelProfile& k);
 
+/// Sustained DRAM bandwidth the device can deliver to `kernel` at `pair`,
+/// bytes/second: the peak-bandwidth ceiling scaled by the memory clock and
+/// degraded by occupancy (requests in flight) and the core:memory clock
+/// ratio (issue rate).  This is the per-kernel share basis the concurrent
+/// mix engine divides under contention.
+double sustained_bandwidth(const DeviceSpec& spec, const KernelProfile& kernel,
+                           FrequencyPair pair);
+
+/// The bandwidth a kernel *demands* while running at `pair`, bytes/second:
+/// its DRAM traffic spread over its own kernel time.  For a memory-bound
+/// kernel this equals its sustained bandwidth; for a compute-bound kernel
+/// it is lower.  Aggregating demands across co-scheduled kernels against
+/// the device ceiling is the mix engine's first-order contention model.
+double kernel_bandwidth_demand(const DeviceSpec& spec,
+                               const KernelProfile& kernel,
+                               FrequencyPair pair);
+
+/// Device DRAM ceiling at `pair`, bytes/second: peak bandwidth scaled by
+/// the memory clock and the sustained-efficiency calibration.  No kernel's
+/// demand can exceed it, and the sum of co-scheduled demands above it is
+/// what produces interference slowdowns.
+double device_bandwidth_ceiling(const DeviceSpec& spec, FrequencyPair pair);
+
 }  // namespace gppm::sim

@@ -1,0 +1,144 @@
+#include "mix/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dvfs/combos.hpp"
+#include "mix/engine.hpp"
+#include "mix/model.hpp"
+#include "profiler/cuda_profiler.hpp"
+
+namespace gppm::mix {
+
+namespace {
+
+/// Average board power over a solo run's timeline.
+Power timeline_power(const sim::RunExecution& exec) {
+  double joules = 0.0;
+  for (const sim::PowerSegment& seg : exec.timeline) {
+    joules += seg.gpu_power.as_watts() * seg.duration.as_seconds();
+  }
+  const double total = exec.total_time.as_seconds();
+  return Power::watts(total > 0.0 ? joules / total : 0.0);
+}
+
+}  // namespace
+
+MixCorpus build_mix_corpus(sim::GpuModel model,
+                           const MixCorpusOptions& options) {
+  GPPM_CHECK(options.holdout_every >= 2,
+             "holdout_every must be >= 2 (every corpus needs both splits)");
+
+  MixCorpus corpus;
+  corpus.model = model;
+  corpus.degree = options.degree;
+  corpus.solo.model = model;
+  corpus.member_train.model = model;
+  corpus.member_eval.model = model;
+  corpus.power_train.model = model;
+  corpus.power_eval.model = model;
+
+  MixScheduleOptions sopt;
+  sopt.mixes = options.mixes;
+  sopt.degree = options.degree;
+  sopt.seed = options.seed;
+  sopt.drift = options.drift;
+  const std::vector<ScheduledMix> schedule = mix_schedule(
+      sopt, profiler::CudaProfiler::unsupported_benchmarks());
+
+  MixEngine engine(model, options.seed);
+  profiler::CudaProfiler prof(options.seed ^ 0xC0DA);
+  prof.set_sampling_sigma(options.profiler_sampling_sigma);
+  const std::vector<sim::FrequencyPair> pairs = dvfs::configurable_pairs(model);
+  const sim::Architecture arch = engine.spec().architecture;
+
+  for (std::size_t mi = 0; mi < schedule.size(); ++mi) {
+    const MixProfile mix = make_mix_profile(schedule[mi], mi);
+    const bool holdout =
+        mi % options.holdout_every == options.holdout_every - 1;
+
+    // --- Solo corpus: each member alone on the full board -------------
+    // Counters at the default pair (the paper's basis), measurements at
+    // every configurable pair.  The member corpus reuses these counters,
+    // so solo and mix models see bit-identical observation noise.
+    std::vector<profiler::ProfileResult> solo_counters;
+    for (const MixMember& m : mix.members) {
+      sim::RunProfile run;
+      run.benchmark_name = m.benchmark;
+      run.kernels.push_back(m.kernel);
+      run.host_time = Duration::seconds(0.0);
+
+      engine.set_frequency_pair(sim::kDefaultPair);
+      core::Sample solo;
+      solo.benchmark = m.benchmark;
+      solo.size_index = mi;
+      solo.counters = prof.collect(engine.gpu(), run);
+      solo_counters.push_back(solo.counters);
+
+      for (sim::FrequencyPair pair : pairs) {
+        engine.set_frequency_pair(pair);
+        const sim::RunExecution exec = engine.gpu().run(run);
+        core::Measurement meas;
+        meas.pair = pair;
+        meas.exec_time = exec.total_time;
+        meas.avg_power = timeline_power(exec);
+        meas.energy = meas.avg_power * meas.exec_time;
+        solo.runs.push_back(meas);
+      }
+      corpus.solo.samples.push_back(std::move(solo));
+    }
+
+    // --- Mix execution at the default pair: counter basis -------------
+    engine.set_frequency_pair(sim::kDefaultPair);
+    const MixExecution base = engine.execute(mix);
+    const profiler::ProfileResult blended =
+        prof.collect_events(arch, base.events, base.makespan, mix_key(mix));
+
+    std::vector<core::Sample> members(mix.degree());
+    for (std::size_t k = 0; k < mix.degree(); ++k) {
+      members[k].benchmark = mix.members[k].benchmark;
+      members[k].size_index = mi;
+      members[k].counters =
+          augment_profile(solo_counters[k], std::max(0.0, base.contention_factor - 1.0),
+                          mix.members[k].sm_share);
+    }
+    core::Sample power;
+    power.benchmark = mix.name;
+    power.size_index = mi;
+    power.counters = blended;
+
+    // --- Measurements at every configurable pair ----------------------
+    for (sim::FrequencyPair pair : pairs) {
+      engine.set_frequency_pair(pair);
+      const MixExecution exec = engine.execute(mix);
+      for (std::size_t k = 0; k < mix.degree(); ++k) {
+        core::Measurement meas;
+        meas.pair = pair;
+        meas.exec_time = exec.members[k].contended_time;
+        meas.avg_power = exec.avg_power;
+        meas.energy = meas.avg_power * meas.exec_time;
+        members[k].runs.push_back(meas);
+      }
+      core::Measurement pmeas;
+      pmeas.pair = pair;
+      pmeas.exec_time = exec.makespan;
+      pmeas.avg_power = exec.avg_power;
+      pmeas.energy = exec.energy;
+      power.runs.push_back(pmeas);
+    }
+
+    core::Dataset& member_ds =
+        holdout ? corpus.member_eval : corpus.member_train;
+    core::Dataset& power_ds = holdout ? corpus.power_eval : corpus.power_train;
+    for (core::Sample& s : members) member_ds.samples.push_back(std::move(s));
+    power_ds.samples.push_back(std::move(power));
+  }
+
+  GPPM_CHECK(!corpus.member_train.samples.empty() &&
+                 !corpus.member_eval.samples.empty(),
+             "mix corpus needs enough mixes for both splits; raise `mixes` "
+             "or lower `holdout_every`");
+  return corpus;
+}
+
+}  // namespace gppm::mix

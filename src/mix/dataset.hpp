@@ -1,0 +1,50 @@
+// The interference-modeling corpus builder.
+//
+// Mirrors the paper's corpus discipline (counters once at the default pair,
+// measurements at every configurable pair) on three corpora per board:
+//
+//   * solo      — every distinct mix-member kernel run alone on the full
+//                 board; the baseline a solo-trained time model comes from;
+//   * member    — one sample per (mix, member): the member's own solo
+//                 counters augmented with the mix pseudo-features
+//                 (co-runner bandwidth pressure, SM-share loss), target =
+//                 the member's *contended* completion time in the mix;
+//   * power     — one sample per mix: blended counters over all members,
+//                 target = average board power of the co-schedule.
+//
+// Mixes ending each `holdout_every` window go to the eval split, so fitted
+// mix models are gated on mixes they never saw.
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.hpp"
+#include "mix/schedule.hpp"
+
+namespace gppm::mix {
+
+struct MixCorpusOptions {
+  std::uint64_t seed = 42;
+  std::size_t mixes = 12;
+  std::size_t degree = 2;   ///< members per mix, in [2, 4]
+  double drift = 0.25;      ///< input-scale wobble of the phase stream
+  double profiler_sampling_sigma = 0.05;
+  std::size_t holdout_every = 4;  ///< every N-th mix is held out (N >= 2)
+};
+
+/// The three corpora plus their held-out splits.
+struct MixCorpus {
+  sim::GpuModel model = sim::GpuModel::GTX480;
+  std::size_t degree = 2;
+  core::Dataset solo;          ///< solo-kernel baseline corpus
+  core::Dataset member_train;  ///< augmented member samples, training mixes
+  core::Dataset member_eval;   ///< augmented member samples, held-out mixes
+  core::Dataset power_train;   ///< blended per-mix samples, training mixes
+  core::Dataset power_eval;    ///< blended per-mix samples, held-out mixes
+};
+
+/// Build the corpus for one board from a seeded mix schedule.
+MixCorpus build_mix_corpus(sim::GpuModel model,
+                           const MixCorpusOptions& options = {});
+
+}  // namespace gppm::mix

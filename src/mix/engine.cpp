@@ -1,0 +1,206 @@
+#include "mix/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gpusim/power.hpp"
+#include "gpusim/timing.hpp"
+
+namespace gppm::mix {
+
+namespace {
+
+/// Bounded-overlap roofline combination, same form as the solo engine.
+double roofline(double t_comp, double t_mem, double overlap) {
+  const double t_max = std::max(t_comp, t_mem);
+  const double t_min = std::min(t_comp, t_mem);
+  return t_max + (1.0 - overlap) * t_min;
+}
+
+/// Per-member state threaded through the piecewise simulation.
+struct MemberState {
+  double t_comp = 0.0;     ///< per-launch compute time in its partition, s
+  double t_mem_solo = 0.0; ///< per-launch memory time at full bandwidth, s
+  double overlap = 0.85;
+  double launches = 1.0;
+  double factor = 1.0;     ///< realized/nominal unmodeled time factor
+  double demand = 0.0;     ///< bytes/s wanted while the kernel executes
+  double remaining = 1.0;  ///< fraction of the launch series left
+  bool active = true;
+};
+
+}  // namespace
+
+MixEngine::MixEngine(sim::GpuModel model, std::uint64_t seed)
+    : gpu_(model, seed), seed_(seed) {}
+
+void MixEngine::set_frequency_pair(sim::FrequencyPair pair) {
+  gpu_.set_frequency_pair(pair);
+}
+
+MixExecution MixEngine::execute(const MixProfile& mix) const {
+  validate(mix);
+  const sim::DeviceSpec& spec = gpu_.spec();
+  const sim::FrequencyPair pair = gpu_.frequency_pair();
+  const double overhead = spec.timing.launch_overhead.as_seconds();
+  const double ceiling = sim::device_bandwidth_ceiling(spec, pair);
+
+  MixExecution out;
+  std::vector<MemberState> st(mix.members.size());
+
+  for (std::size_t i = 0; i < mix.members.size(); ++i) {
+    const MixMember& m = mix.members[i];
+    const sim::KernelTiming nominal =
+        sim::compute_kernel_timing(spec, m.kernel, pair);
+    // The solo run on the full board — what a solo-trained model predicts.
+    const sim::KernelExecution solo = gpu_.launch(m.kernel);
+    out.events += solo.events;
+
+    MemberState& s = st[i];
+    s.t_comp = nominal.compute_time.as_seconds() / m.sm_share;
+    s.t_mem_solo = nominal.memory_time.as_seconds();
+    s.overlap = m.kernel.overlap;
+    s.launches = static_cast<double>(m.kernel.launches);
+    // Recover the engine's counter-invisible time factor from the realized
+    // solo run, so a mix member carries the same workload character solo
+    // and contended (Gpu keys the draw on the kernel, not on call order).
+    const double t_kernel_nominal = nominal.kernel_time.as_seconds();
+    s.factor =
+        t_kernel_nominal > 0.0
+            ? (solo.timing.total_time.as_seconds() / s.launches - overhead) /
+                  t_kernel_nominal
+            : 1.0;
+    // Demand: the bandwidth the member consumes running uncontended in its
+    // partition.  A share cut raises memory-boundedness and thus demand —
+    // the per-launch DRAM traffic is spread over a shorter compute shadow.
+    const double t_part = roofline(s.t_comp, s.t_mem_solo, s.overlap);
+    s.demand = t_part > 0.0 ? nominal.dram_bytes / t_part : 0.0;
+
+    MemberExecution me;
+    me.benchmark = m.benchmark;
+    me.kernel = m.kernel.name;
+    me.sm_share = m.sm_share;
+    me.solo_time = solo.timing.total_time;
+    me.bw_demand = s.demand;
+    out.members.push_back(std::move(me));
+  }
+
+  GPPM_CHECK(ceiling > 0.0 || std::all_of(st.begin(), st.end(),
+                                          [](const MemberState& s) {
+                                            return s.t_mem_solo == 0.0;
+                                          }),
+             "mix '" + mix.name +
+                 "' moves DRAM traffic but the device bandwidth ceiling at "
+                 "this operating point is zero");
+
+  double total_demand = 0.0;
+  for (const MemberState& s : st) total_demand += s.demand;
+  out.bw_pressure = ceiling > 0.0 ? total_demand / ceiling : 0.0;
+  out.contention_factor = std::max(1.0, out.bw_pressure);
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    out.members[i].co_bw_pressure =
+        ceiling > 0.0 ? (total_demand - st[i].demand) / ceiling : 0.0;
+  }
+
+  // Piecewise co-simulation: within an interval the active set is fixed, so
+  // each member progresses at 1/T_i of its launch series per second, where
+  // T_i is its total time under the interval's contention factor.  The
+  // earliest finisher bounds the interval; afterwards the survivors'
+  // contention factor is recomputed (it can only drop).
+  double elapsed = 0.0;
+  double energy_j = 0.0;
+  std::size_t active_count = st.size();
+  while (active_count > 0) {
+    double demand_sum = 0.0;
+    for (const MemberState& s : st) {
+      if (s.active) demand_sum += s.demand;
+    }
+    const double contention =
+        ceiling > 0.0 ? std::max(1.0, demand_sum / ceiling) : 1.0;
+
+    // Interval rates and the earliest retirement.
+    double dt = 0.0;
+    bool first = true;
+    std::vector<double> totals(st.size(), 0.0);
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      MemberState& s = st[i];
+      if (!s.active) continue;
+      const double t_cont =
+          roofline(s.t_comp, s.t_mem_solo * contention, s.overlap);
+      totals[i] = s.launches * (t_cont * s.factor + overhead);
+      GPPM_CHECK(totals[i] > 0.0, "mix member with zero duration");
+      const double finish = s.remaining * totals[i];
+      if (first || finish < dt) {
+        dt = finish;
+        first = false;
+      }
+    }
+
+    // Board power during the interval: each member keeps its partition's
+    // compute busy for its compute fraction (share-weighted to the device)
+    // and draws its granted bandwidth slice.
+    double core_util = 0.0;
+    double mem_util = 0.0;
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      const MemberState& s = st[i];
+      if (!s.active) continue;
+      const double t_cont =
+          roofline(s.t_comp, s.t_mem_solo * contention, s.overlap);
+      if (t_cont > 0.0) {
+        core_util += out.members[i].sm_share * std::min(1.0, s.t_comp / t_cont);
+      }
+      if (ceiling > 0.0) mem_util += s.demand / contention / ceiling;
+    }
+    core_util = std::clamp(core_util, 0.0, 1.0);
+    mem_util = std::clamp(mem_util, 0.0, 1.0);
+    const double watts =
+        sim::gpu_power(spec, pair, core_util, mem_util).as_watts();
+
+    elapsed += dt;
+    energy_j += watts * dt;
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      MemberState& s = st[i];
+      if (!s.active) continue;
+      s.remaining -= dt / totals[i];
+      if (s.remaining <= 1e-12) {
+        s.active = false;
+        --active_count;
+        out.members[i].contended_time = Duration::seconds(elapsed);
+        const double solo_s = out.members[i].solo_time.as_seconds();
+        out.members[i].slowdown = solo_s > 0.0 ? elapsed / solo_s : 1.0;
+      }
+    }
+  }
+
+  out.makespan = Duration::seconds(elapsed);
+
+  // Counter-invisible power deviation, same structure as the solo engine:
+  // a per-mix workload factor plus a small per-pair residual, scaling the
+  // above-idle portion only.  Keyed on the mix identity so two engines
+  // executing the same mix agree bit-for-bit.
+  const std::uint64_t kkey =
+      mix_key(mix) ^ (static_cast<std::uint64_t>(spec.model) << 40);
+  Rng krng = Rng(seed_ ^ 0x9077e5).fork(kkey);
+  Rng prng =
+      Rng(seed_ ^ 0x9077e6).fork(kkey ^ (fnv1a(sim::to_string(pair)) << 1));
+  const double pfactor =
+      std::exp(spec.power.unmodeled_power_sigma * krng.normal() +
+               0.03 * prng.normal());
+  const double idle = sim::gpu_idle_power(spec, pair).as_watts();
+  const double avg_nominal = elapsed > 0.0 ? energy_j / elapsed : idle;
+  const double avg_w = idle + (avg_nominal - idle) * pfactor;
+  out.avg_power = Power::watts(avg_w);
+  out.energy = out.avg_power * out.makespan;
+
+  // Blended elapsed cycles cover the co-scheduled wall time, not the sum of
+  // each member's solo run (work-like counters blend by summation; cycle
+  // counters follow the wall clock).
+  const double core_hz = spec.core_clock.at(pair.core).frequency.as_hz();
+  out.events.elapsed_cycles = elapsed * core_hz;
+
+  return out;
+}
+
+}  // namespace gppm::mix

@@ -1,0 +1,69 @@
+// The concurrent-kernel execution engine.
+//
+// MixEngine co-schedules a MixProfile on one simulated board: each member
+// kernel holds its SM share (compute throughput scales with the share) and
+// all members compete for DRAM bandwidth.  The contention model is
+// first-order, on the same physics as the solo roofline: each member
+// *demands* the bandwidth it would consume running alone in its partition;
+// when the aggregate demand exceeds the device ceiling every member's
+// memory time inflates by the overcommit factor.  The simulation is
+// piecewise — as members retire, the survivors' contention factor is
+// recomputed — so short co-runners stop hurting long ones once they finish.
+// Deterministic: same (model, seed, mix, pair) gives bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpusim/engine.hpp"
+#include "mix/profile.hpp"
+
+namespace gppm::mix {
+
+/// What happened to one member of an executed mix.
+struct MemberExecution {
+  std::string benchmark;
+  std::string kernel;
+  double sm_share = 0.0;
+  Duration solo_time;       ///< realized solo run on the full board
+  Duration contended_time;  ///< completion time inside the mix
+  double slowdown = 1.0;    ///< contended / solo (>= 1 by construction)
+  double bw_demand = 0.0;   ///< bytes/s the member demands in its partition
+  double co_bw_pressure = 0.0;  ///< co-runners' aggregate demand / ceiling
+};
+
+/// Result of executing one mix.
+struct MixExecution {
+  Duration makespan;              ///< time until the last member finishes
+  Power avg_power;                ///< board power averaged over the makespan
+  Energy energy;                  ///< avg_power * makespan
+  sim::HardwareEvents events;     ///< blended ground truth over all members
+  std::vector<MemberExecution> members;  ///< mix order
+  double bw_pressure = 0.0;       ///< aggregate initial demand / ceiling
+  double contention_factor = 1.0; ///< max(1, bw_pressure) at mix start
+};
+
+/// Co-schedules mixes on one simulated board.  Mirrors sim::Gpu's
+/// determinism contract: results are keyed on (seed, model, mix identity,
+/// operating point), never on call order.
+class MixEngine {
+ public:
+  explicit MixEngine(sim::GpuModel model, std::uint64_t seed = 42);
+
+  const sim::DeviceSpec& spec() const { return gpu_.spec(); }
+  const sim::Gpu& gpu() const { return gpu_; }
+
+  void set_frequency_pair(sim::FrequencyPair pair);
+  sim::FrequencyPair frequency_pair() const { return gpu_.frequency_pair(); }
+
+  /// Execute a validated mix at the pinned clocks.
+  MixExecution execute(const MixProfile& mix) const;
+
+ private:
+  sim::Gpu gpu_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gppm::mix

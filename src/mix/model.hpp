@@ -1,0 +1,118 @@
+// Interference-aware model fitting and gating.
+//
+// The mix-level feature set extends the paper's counter basis with two
+// pseudo-counters appended past the catalog (core::kMixFeaturePrefix):
+//
+//   mix.bw_pressure  (memory-event)  the mix's bandwidth overcommit beyond
+//                                    the device ceiling (contention factor
+//                                    minus one), scaled by the member's
+//                                    profiled run time — its Eq. 2 feature
+//                                    is proportional to the extra memory
+//                                    time contention adds;
+//   mix.sm_share     (core-event)    (1/share - 1) scaled by the profiled
+//                                    run time — proportional to the extra
+//                                    compute time a partial SM partition
+//                                    adds.
+//
+// Both flow through the existing Eq. 1/Eq. 2 frequency scaling and the
+// incremental-Gram forward selection unchanged; a solo-trained family sees
+// neither, which is exactly why it underpredicts contended time.
+#pragma once
+
+#include "core/evaluation.hpp"
+#include "mix/dataset.hpp"
+
+namespace gppm::mix {
+
+/// Names of the two mix pseudo-features (under core::kMixFeaturePrefix).
+inline constexpr const char* kMixBwPressureFeature = "mix.bw_pressure";
+inline constexpr const char* kMixSmShareFeature = "mix.sm_share";
+
+/// Prefixes of the interacted pseudo-counters: each core-event counter `c`
+/// gains a share-interacted copy `mix.sx.<c>` (reading scaled by
+/// 1/share - 1) and each memory-event counter a bandwidth-interacted copy
+/// `mix.bx.<c>` (scaled by the overcommit).  The extra time interference
+/// adds is proportional to the member's own compute (resp. memory) work,
+/// and these let the regression express that in the very basis the solo
+/// model used for it, instead of through a single whole-run time proxy.
+inline constexpr const char* kMixShareInteractionPrefix = "mix.sx.";
+inline constexpr const char* kMixBwInteractionPrefix = "mix.bx.";
+
+/// Append the two mix pseudo-readings to a member's (or blend's) profile.
+/// `bw_overcommit` is the mix's aggregate-demand excess over the device
+/// ceiling (MixExecution::contention_factor - 1; 0 when bandwidth does not
+/// bind), `sm_share` the member's SM fraction.  Recomputable at serving
+/// time from any profile plus the two mix scalars.
+profiler::ProfileResult augment_profile(const profiler::ProfileResult& base,
+                                        double bw_overcommit,
+                                        double sm_share);
+
+/// The two mix scalars recovered from an augmented profile's
+/// pseudo-counters (throws if the profile was never augmented).
+struct MixScalars {
+  double bw_overcommit = 0.0;  ///< contention factor - 1
+  double share_scalar = 0.0;   ///< 1/sm_share - 1
+};
+MixScalars mix_scalars(const profiler::ProfileResult& augmented);
+
+/// The fitted per-degree model set of one board.
+struct MixModelSet {
+  sim::GpuModel model = sim::GpuModel::GTX480;
+  std::size_t degree = 2;
+  core::ModelFamily solo_time;   ///< fitted on the solo corpus (no mix terms)
+  core::ModelFamily solo_power;  ///< fitted on the solo corpus
+  core::ModelFamily mix_time;    ///< fitted on augmented member samples
+  core::ModelFamily mix_power;   ///< fitted on blended per-mix samples
+};
+
+/// Fit the four families through the existing selection engine.  The solo
+/// families select freely over the catalog; the mix families restrict
+/// their candidates to the matching solo family's proven basis plus the
+/// mix pseudo-features (ModelOptions::candidate_features), so small
+/// interference corpora extend a validated feature set instead of chasing
+/// noise counters.  The mix time family additionally chooses its candidate
+/// set (with or without the rarely-binding bandwidth terms) and its prefix
+/// length on two complementary validation slices of the training mixes.
+MixModelSet fit_mix_models(const MixCorpus& corpus,
+                           const core::ModelOptions& options = {});
+
+/// Predict one member's contended time from its augmented profile, with
+/// the prediction clamped to the physically admissible slowdown envelope
+/// [0, solo_prediction * (1/share) * contention] — the guard that keeps a
+/// leverage point in a small interference corpus from producing runaway
+/// extrapolations at serving time.
+double predict_member_time(const MixModelSet& models,
+                           const profiler::ProfileResult& augmented,
+                           sim::FrequencyPair pair);
+
+/// Held-out gate quantities (evaluated on the corpus's eval splits).
+///
+/// The headline comparison is time-weighted (wape): it reads as the
+/// misprediction of aggregate contended GPU-seconds, which is what
+/// admission and capacity decisions consume, and it is robust to the
+/// sub-second rows whose tiny denominators dominate mape on a corpus
+/// whose targets span orders of magnitude.
+struct MixEvaluation {
+  double solo_time_wape = 0.0;   ///< solo family on contended member times
+  double mix_time_wape = 0.0;    ///< mix family on the same rows
+  double solo_time_mape = 0.0;   ///< unweighted, for reference
+  double mix_time_mape = 0.0;    ///< unweighted, for reference
+  /// Mean signed relative error (predicted - actual) / actual of the solo
+  /// family on contended times; negative = systematic underprediction,
+  /// which the acceptance gate requires the solo models to show.
+  double solo_signed_bias = 0.0;
+  double power_wape = 0.0;       ///< mix power family on held-out mixes
+  double power_mape = 0.0;       ///< unweighted, for reference
+
+  /// The interference gate: the mix family explains held-out contended
+  /// time strictly better than the solo family, and the solo family
+  /// systematically underpredicts it (interference is real and modeled).
+  bool passes() const {
+    return mix_time_wape < solo_time_wape && solo_signed_bias < 0.0;
+  }
+};
+
+MixEvaluation evaluate_mix_models(const MixModelSet& models,
+                                  const MixCorpus& corpus);
+
+}  // namespace gppm::mix

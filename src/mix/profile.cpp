@@ -1,0 +1,68 @@
+#include "mix/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gpusim/timing.hpp"
+
+namespace gppm::mix {
+
+void validate(const MixProfile& mix) {
+  GPPM_CHECK(mix.members.size() >= kMinMixDegree &&
+                 mix.members.size() <= kMaxMixDegree,
+             "mix '" + mix.name + "': degree must be in [2, 4], got " +
+                 std::to_string(mix.members.size()));
+  double share_sum = 0.0;
+  for (const MixMember& m : mix.members) {
+    GPPM_CHECK(std::isfinite(m.sm_share) && m.sm_share > 0.0 &&
+                   m.sm_share <= 1.0,
+               "mix '" + mix.name + "': member '" + m.kernel.name +
+                   "' sm_share must be in (0, 1]");
+    share_sum += m.sm_share;
+  }
+  // Tolerate float accumulation on exactly-full partitions.
+  GPPM_CHECK(share_sum <= 1.0 + 1e-9,
+             "mix '" + mix.name + "': SM shares sum to " +
+                 std::to_string(share_sum) + " > 1 (oversubscribed)");
+  for (std::size_t i = 0; i < mix.members.size(); ++i) {
+    for (std::size_t j = i + 1; j < mix.members.size(); ++j) {
+      GPPM_CHECK(mix.members[i].benchmark != mix.members[j].benchmark,
+                 "mix '" + mix.name + "': duplicate benchmark '" +
+                     mix.members[i].benchmark + "'");
+    }
+  }
+}
+
+const sim::KernelProfile& dominant_kernel(const sim::RunProfile& profile) {
+  GPPM_CHECK(!profile.kernels.empty(),
+             "run '" + profile.benchmark_name + "' has no kernels");
+  const sim::DeviceSpec& ref = sim::device_spec(sim::GpuModel::GTX480);
+  const sim::KernelProfile* best = nullptr;
+  double best_s = -1.0;
+  for (const sim::KernelProfile& k : profile.kernels) {
+    const double s =
+        sim::compute_kernel_timing(ref, k, sim::kDefaultPair)
+            .total_time.as_seconds();
+    if (s > best_s) {
+      best_s = s;
+      best = &k;
+    }
+  }
+  return *best;
+}
+
+std::uint64_t mix_key(const MixProfile& mix) {
+  std::vector<std::string> keys;
+  keys.reserve(mix.members.size());
+  for (const MixMember& m : mix.members) {
+    keys.push_back(m.kernel.name + "@" + std::to_string(m.sm_share));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t key = fnv1a("gppm.mix");
+  for (const std::string& k : keys) key ^= fnv1a(k);
+  return key;
+}
+
+}  // namespace gppm::mix

@@ -1,0 +1,55 @@
+// Co-scheduled kernel mixes (gppm::mix input format).
+//
+// A MixProfile describes 2-4 kernels resident on one board at once, each
+// holding a fraction of the SMs.  The paper characterizes one kernel at a
+// time; real fleets co-schedule, and the contention that produces is the
+// scenario axis this subsystem opens (see docs/MIX.md and PAPERS.md,
+// Goswami et al.).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel_profile.hpp"
+
+namespace gppm::mix {
+
+/// Mix cardinality bounds: pairs up to 4-way co-schedules.
+inline constexpr std::size_t kMinMixDegree = 2;
+inline constexpr std::size_t kMaxMixDegree = 4;
+
+/// One co-scheduled kernel: where it came from, its profile, and the
+/// fraction of the board's SMs it holds.
+struct MixMember {
+  std::string benchmark;      ///< source benchmark (for routing/reporting)
+  sim::KernelProfile kernel;  ///< the kernel occupying the partition
+  double sm_share = 0.5;      ///< fraction of SMs allocated, (0, 1]
+};
+
+/// A full co-schedule.  `name` identifies the mix deterministically
+/// (it keys profiler observation noise and the engine's unmodeled draws).
+struct MixProfile {
+  std::string name;
+  std::vector<MixMember> members;
+
+  std::size_t degree() const { return members.size(); }
+};
+
+/// Validate a mix: 2-4 members, distinct benchmarks, shares in (0, 1]
+/// summing to at most 1 (the partition cannot oversubscribe SMs).
+/// Throws gppm::Error on violations.
+void validate(const MixProfile& mix);
+
+/// The dominant kernel of a run profile: the one with the largest nominal
+/// total time on the reference board (GTX 480) at the default pair.  Mixes
+/// are built from dominant kernels — they carry the contention story of
+/// their benchmark.
+const sim::KernelProfile& dominant_kernel(const sim::RunProfile& profile);
+
+/// Stable identity of a mix: fnv1a over the sorted member kernel names and
+/// shares.  Keys profiler observation error and unmodeled power draws so
+/// results depend on the mix, not on call order.
+std::uint64_t mix_key(const MixProfile& mix);
+
+}  // namespace gppm::mix

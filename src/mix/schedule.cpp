@@ -1,0 +1,102 @@
+#include "mix/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gppm::mix {
+
+std::vector<ScheduledMix> mix_schedule(const MixScheduleOptions& options,
+                                       const std::vector<std::string>& exclude) {
+  GPPM_CHECK(options.mixes > 0, "mix schedule with zero mixes");
+  GPPM_CHECK(options.degree >= kMinMixDegree &&
+                 options.degree <= kMaxMixDegree,
+             "mix degree must be in [2, 4]");
+
+  // Oversample the phase stream: grouping requires distinct benchmarks per
+  // mix, and the stream's reshuffle boundaries can put the same program in
+  // adjacent positions.  Phases that would duplicate a benchmark already in
+  // the open mix are deferred, never dropped out of order arbitrarily —
+  // the construction is a pure function of the stream, hence of the seed.
+  workload::PhaseScheduleOptions popt;
+  popt.phases = options.mixes * options.degree * 2;
+  popt.seed = options.seed;
+  popt.drift = options.drift;
+  const std::vector<workload::Phase> stream =
+      workload::phase_schedule(popt, exclude);
+
+  std::vector<ScheduledMix> out;
+  out.reserve(options.mixes);
+  std::vector<workload::Phase> deferred;
+  ScheduledMix open;
+
+  auto has_benchmark = [&](const std::string& name) {
+    return std::any_of(open.phases.begin(), open.phases.end(),
+                       [&](const workload::Phase& p) {
+                         return p.benchmark == name;
+                       });
+  };
+  auto push_phase = [&](const workload::Phase& p) {
+    open.phases.push_back(p);
+    if (open.phases.size() == options.degree) {
+      out.push_back(std::move(open));
+      open = ScheduledMix{};
+    }
+  };
+
+  for (const workload::Phase& p : stream) {
+    if (out.size() == options.mixes) break;
+    if (has_benchmark(p.benchmark)) {
+      deferred.push_back(p);
+      continue;
+    }
+    push_phase(p);
+    // Deferred phases re-enter as soon as a mix can take them.
+    for (std::size_t i = 0; i < deferred.size() && out.size() < options.mixes;) {
+      if (!has_benchmark(deferred[i].benchmark)) {
+        push_phase(deferred[i]);
+        deferred.erase(deferred.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  GPPM_CHECK(out.size() == options.mixes,
+             "phase stream too short to build the requested mixes");
+
+  // Seeded, uneven SM shares normalized to a full partition.  Forked per
+  // mix index so a schedule prefix is stable under a larger `mixes`.
+  const Rng base(options.seed ^ fnv1a("gppm.mix.shares"));
+  for (std::size_t mi = 0; mi < out.size(); ++mi) {
+    Rng rng = base.fork(mi);
+    std::vector<double>& shares = out[mi].shares;
+    shares.resize(options.degree);
+    double sum = 0.0;
+    for (double& s : shares) {
+      s = rng.uniform(0.5, 1.5);
+      sum += s;
+    }
+    for (double& s : shares) s /= sum;
+  }
+  return out;
+}
+
+MixProfile make_mix_profile(const ScheduledMix& scheduled, std::size_t index) {
+  GPPM_CHECK(scheduled.phases.size() == scheduled.shares.size(),
+             "scheduled mix with mismatched phases/shares");
+  MixProfile mix;
+  mix.name = "mix-" + std::to_string(index);
+  for (std::size_t i = 0; i < scheduled.phases.size(); ++i) {
+    const sim::RunProfile run = scheduled.phases[i].profile();
+    MixMember m;
+    m.benchmark = scheduled.phases[i].benchmark;
+    m.kernel = dominant_kernel(run);
+    m.sm_share = scheduled.shares[i];
+    mix.members.push_back(std::move(m));
+  }
+  validate(mix);
+  return mix;
+}
+
+}  // namespace gppm::mix

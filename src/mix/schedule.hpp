@@ -1,0 +1,45 @@
+// Deterministic mix-schedule generation.
+//
+// Composes workload::phase_schedule — the drifting (benchmark, scale)
+// stream built for the governor — into co-schedules: consecutive eligible
+// phases are grouped into mixes of a fixed degree, each member receiving a
+// seeded SM share.  Same seed, same schedule, bit for bit; drift bounds are
+// inherited per co-runner from the underlying phase stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mix/profile.hpp"
+#include "workload/phases.hpp"
+
+namespace gppm::mix {
+
+/// One scheduled co-schedule: the phases that feed it and the SM shares
+/// assigned to them (parallel arrays, `degree` entries each).
+struct ScheduledMix {
+  std::vector<workload::Phase> phases;
+  std::vector<double> shares;
+};
+
+struct MixScheduleOptions {
+  std::size_t mixes = 12;      ///< number of co-schedules emitted
+  std::size_t degree = 2;      ///< members per mix, in [2, 4]
+  std::uint64_t seed = 42;     ///< equal seeds give identical schedules
+  double drift = 0.25;         ///< per-phase scale wobble (see phase_schedule)
+};
+
+/// Build a deterministic schedule of kernel mixes over the benchmark suite,
+/// skipping benchmarks named in `exclude` (callers pass the
+/// profiler-unsupported set).  Benchmarks within one mix are distinct;
+/// shares are seeded, uneven, and sum to 1 per mix.
+std::vector<ScheduledMix> mix_schedule(
+    const MixScheduleOptions& options = {},
+    const std::vector<std::string>& exclude = {});
+
+/// Materialize a scheduled mix into an executable MixProfile: each phase
+/// contributes the dominant kernel of its run profile at the scheduled
+/// scale.  `index` names the mix deterministically.
+MixProfile make_mix_profile(const ScheduledMix& scheduled, std::size_t index);
+
+}  // namespace gppm::mix

@@ -153,7 +153,7 @@ void Client::raise_error_reply(const Frame& frame) {
 }
 
 Frame Client::call(FrameType type, const std::vector<std::uint8_t>& payload,
-                   std::uint64_t deadline_micros) {
+                   std::uint64_t deadline_micros, std::uint8_t version) {
   obs::ObsSpan span("net.client.rpc");
   const auto start = std::chrono::steady_clock::now();
   Conn& conn =
@@ -161,7 +161,7 @@ Frame Client::call(FrameType type, const std::vector<std::uint8_t>& payload,
              pool_.size()];
   std::lock_guard<std::mutex> lock(conn.mutex);
   const std::vector<std::uint8_t> bytes =
-      encode_frame(type, payload, deadline_micros);
+      encode_frame(type, payload, deadline_micros, version);
 
   // Manual retry loop rather than retry_call: backoff here is real sleep
   // on a live transport, not the acquisition layer's virtual time.  The
@@ -215,7 +215,8 @@ std::vector<serve::Response> Client::predict_batch(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const std::vector<std::uint8_t> one = encode_frame(
         FrameType::PredictRequest, encode_predict_request(base + i, requests[i]),
-        deadline_to_micros(requests[i].deadline));
+        deadline_to_micros(requests[i].deadline),
+        predict_request_version(requests[i]));
     bytes.insert(bytes.end(), one.begin(), one.end());
   }
 
@@ -285,7 +286,8 @@ serve::Response Client::predict(const serve::Request& request) {
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
   const Frame frame =
       call(FrameType::PredictRequest, encode_predict_request(id, request),
-           deadline_to_micros(request.deadline));
+           deadline_to_micros(request.deadline),
+           predict_request_version(request));
   if (frame.header.type != FrameType::PredictResponse) {
     throw ProtocolError("expected PredictResponse, got " +
                         to_string(frame.header.type));

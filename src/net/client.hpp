@@ -153,7 +153,7 @@ class Client {
   /// Send `payload` as a `type` frame and read the next frame back,
   /// reconnecting and resending on transport failure per options_.retry.
   Frame call(FrameType type, const std::vector<std::uint8_t>& payload,
-             std::uint64_t deadline_micros);
+             std::uint64_t deadline_micros, std::uint8_t version = 0);
   Frame attempt(Conn& conn, const std::vector<std::uint8_t>& bytes);
   /// Block until the next whole frame arrives on `conn`.
   Frame read_frame(Conn& conn);

@@ -38,8 +38,11 @@ namespace gppm::net {
 inline constexpr std::array<std::uint8_t, 4> kFrameMagic = {'G', 'P', 'P',
                                                             'M'};
 /// Highest protocol version this build speaks.  Version 2 added the
-/// health frame pair (HealthRequest/HealthResponse).
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// health frame pair (HealthRequest/HealthResponse); version 3 added the
+/// optional tenant-id trailer on PredictRequest payloads (tenant-0
+/// requests keep the version-1 byte layout, so legacy peers interoperate
+/// untouched until a nonzero tenant actually rides the wire).
+inline constexpr std::uint8_t kProtocolVersion = 3;
 /// The original wire version.  Every pre-health frame type is still
 /// emitted at this version so a v1-only peer interoperates untouched on
 /// the predict path; only the newer frame kinds ride a v2 header, which a
@@ -100,25 +103,29 @@ struct FrameView {
 };
 
 /// Serialize one frame onto the end of `out` (header computed from the
-/// payload; the version byte is frame_min_version(type), so legacy traffic
-/// stays v1 on the wire).  Appending lets a writer batch several frames
-/// into one buffer and one socket write.
+/// payload).  `version` 0 stamps frame_min_version(type), so legacy
+/// traffic stays v1 on the wire; codecs whose payload uses a newer layout
+/// (a tenant-carrying PredictRequest) pass the version that layout
+/// requires.  Appending lets a writer batch several frames into one
+/// buffer and one socket write.
 void encode_frame_into(std::vector<std::uint8_t>& out, FrameType type,
                        std::span<const std::uint8_t> payload,
-                       std::uint64_t deadline_micros = 0);
+                       std::uint64_t deadline_micros = 0,
+                       std::uint8_t version = 0);
 
 /// Serialize one frame into a fresh buffer (wraps encode_frame_into).
 std::vector<std::uint8_t> encode_frame(FrameType type,
                                        std::span<const std::uint8_t> payload,
-                                       std::uint64_t deadline_micros = 0);
+                                       std::uint64_t deadline_micros = 0,
+                                       std::uint8_t version = 0);
 /// Convenience overload so braced payload literals ({0x01, 0x02}, {})
 /// keep working; vectors go through the span overload.
 inline std::vector<std::uint8_t> encode_frame(
     FrameType type, std::initializer_list<std::uint8_t> payload,
-    std::uint64_t deadline_micros = 0) {
+    std::uint64_t deadline_micros = 0, std::uint8_t version = 0) {
   return encode_frame(
       type, std::span<const std::uint8_t>(payload.begin(), payload.size()),
-      deadline_micros);
+      deadline_micros, version);
 }
 
 /// Incremental frame reassembler over an arbitrarily chunked byte stream.

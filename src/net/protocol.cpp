@@ -84,7 +84,14 @@ std::vector<std::uint8_t> encode_predict_request(
   w.u8(static_cast<std::uint8_t>(request.policy));
   encode_pair(w, request.pair);
   encode_counters(w, request.counters);
+  // Tenant trailer (v3): only a nonzero tenant changes the byte layout, so
+  // tenant-0 traffic stays bit-identical to what a v1 peer expects.
+  if (request.tenant != 0) w.u32(request.tenant);
   return w.take();
+}
+
+std::uint8_t predict_request_version(const serve::Request& request) {
+  return request.tenant != 0 ? 3 : kBaseProtocolVersion;
 }
 
 DecodedRequest decode_predict_request(std::span<const std::uint8_t> payload,
@@ -101,6 +108,14 @@ DecodedRequest decode_predict_request(std::span<const std::uint8_t> payload,
   decoded.request.pair = decode_pair(r);
   decoded.request.counters = decode_counters(r);
   decoded.request.deadline = deadline_from_micros(deadline_micros);
+  if (r.remaining() == 4) {
+    decoded.request.tenant = r.u32();
+    // The trailer exists precisely because the tenant is nonzero; a zero
+    // here means the encoder and decoder disagree about the layout.
+    if (decoded.request.tenant == 0) {
+      throw ProtocolError("tenant trailer carries tenant 0");
+    }
+  }
   r.expect_done("predict-request");
   return decoded;
 }

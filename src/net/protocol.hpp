@@ -69,10 +69,17 @@ struct DecodedResponse {
 // client, the tests) are untouched.
 
 // --- PredictRequest -------------------------------------------------------
+/// Tenant-0 requests encode to the original (v1) byte layout; a nonzero
+/// tenant appends a u32 tenant-id trailer, and the frame carrying the
+/// payload must be stamped with predict_request_version(request) so a
+/// pre-v3 peer rejects it cleanly instead of mis-parsing the trailer.
 std::vector<std::uint8_t> encode_predict_request(std::uint64_t request_id,
                                                  const serve::Request& request);
 DecodedRequest decode_predict_request(std::span<const std::uint8_t> payload,
                                       std::uint64_t deadline_micros);
+/// The frame version a PredictRequest payload requires: the base version
+/// for tenant 0, version 3 once a tenant trailer rides along.
+std::uint8_t predict_request_version(const serve::Request& request);
 
 // --- PredictResponse ------------------------------------------------------
 std::vector<std::uint8_t> encode_predict_response(

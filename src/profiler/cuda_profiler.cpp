@@ -29,27 +29,20 @@ bool CudaProfiler::supports(const std::string& benchmark_name) {
   return true;
 }
 
-ProfileResult CudaProfiler::collect(const sim::Gpu& gpu,
-                                    const sim::RunProfile& profile) const {
-  if (!supports(profile.benchmark_name)) {
-    throw ProfilerUnsupported(profile.benchmark_name);
-  }
-
-  const sim::RunExecution exec = gpu.run(profile);
-  const auto& catalog = counter_catalog(gpu.spec().architecture);
-
-  // A stable key for this run's identity: the set of kernels profiled.
-  std::uint64_t run_key = fnv1a(profile.benchmark_name);
-  for (const sim::KernelProfile& k : profile.kernels) run_key ^= fnv1a(k.name);
+ProfileResult CudaProfiler::collect_events(sim::Architecture arch,
+                                           const sim::HardwareEvents& events,
+                                           Duration run_time,
+                                           std::uint64_t run_key) const {
+  const auto& catalog = counter_catalog(arch);
 
   ProfileResult out;
-  out.run_time = exec.total_time;
+  out.run_time = run_time;
   out.counters.reserve(catalog.size());
-  const double run_seconds = exec.total_time.as_seconds();
+  const double run_seconds = run_time.as_seconds();
   GPPM_CHECK(run_seconds > 0.0, "zero-length profiled run");
 
   for (const CounterDef& def : catalog) {
-    const double truth = def.extract(exec.events);
+    const double truth = def.extract(events);
     // SM-sampling extrapolation: the profiler counts on one SM/TPC and
     // multiplies up; workload imbalance turns into a systematic relative
     // error that is stable for a given (counter, workload) pair.
@@ -65,6 +58,22 @@ ProfileResult CudaProfiler::collect(const sim::Gpu& gpu,
     out.counters.push_back(std::move(r));
   }
   return out;
+}
+
+ProfileResult CudaProfiler::collect(const sim::Gpu& gpu,
+                                    const sim::RunProfile& profile) const {
+  if (!supports(profile.benchmark_name)) {
+    throw ProfilerUnsupported(profile.benchmark_name);
+  }
+
+  const sim::RunExecution exec = gpu.run(profile);
+
+  // A stable key for this run's identity: the set of kernels profiled.
+  std::uint64_t run_key = fnv1a(profile.benchmark_name);
+  for (const sim::KernelProfile& k : profile.kernels) run_key ^= fnv1a(k.name);
+
+  return collect_events(gpu.spec().architecture, exec.events, exec.total_time,
+                        run_key);
 }
 
 }  // namespace gppm::profiler

@@ -63,6 +63,16 @@ class CudaProfiler {
   ProfileResult collect(const sim::Gpu& gpu,
                         const sim::RunProfile& profile) const;
 
+  /// Collect counters directly from an already-synthesized event record —
+  /// the observation layer of `collect` without the execution step.  This
+  /// is what the mix engine uses to profile *blended* events from
+  /// co-scheduled kernels: the same catalog, the same SM-sampling error
+  /// model, keyed on `run_key` (the caller's stable identity for the run,
+  /// e.g. an fnv1a over the co-scheduled kernel names).
+  ProfileResult collect_events(sim::Architecture arch,
+                               const sim::HardwareEvents& events,
+                               Duration run_time, std::uint64_t run_key) const;
+
   /// Relative stddev of the SM-sampling extrapolation error.
   double sampling_sigma() const { return sampling_sigma_; }
   void set_sampling_sigma(double sigma);

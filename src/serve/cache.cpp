@@ -48,6 +48,7 @@ std::uint64_t PredictionKey::hash() const {
   std::uint64_t h = kFnvOffset;
   mix(h, model_fp);
   mix(h, counters_fp);
+  mix(h, family);
   mix(h, static_cast<std::uint64_t>(pair.core) * 4 +
              static_cast<std::uint64_t>(pair.mem));
   return h;

@@ -34,10 +34,17 @@ namespace gppm::serve {
 /// excluding the names made such profiles collide onto one cache entry.
 std::uint64_t counters_fingerprint(const profiler::ProfileResult& counters);
 
-/// Cache key for one prediction.
+/// Cache key for one prediction.  `family` is the model-family id the
+/// prediction was served under (the tenant id in the multi-tenant server;
+/// 0 for the shared default family).  Model fingerprints usually separate
+/// families already, but the id is part of the key so two families that
+/// happen to carry bit-identical models — e.g. a tenant bootstrapped from
+/// a copy of the default pair and refit later — can never alias each
+/// other's entries across the swap.
 struct PredictionKey {
   std::uint64_t model_fp = 0;
   std::uint64_t counters_fp = 0;
+  std::uint64_t family = 0;
   sim::FrequencyPair pair;
 
   bool operator==(const PredictionKey&) const = default;

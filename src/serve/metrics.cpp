@@ -122,6 +122,45 @@ void MetricsCollector::record_error_response() {
   ServeInstruments::instance().errors.add();
 }
 
+void MetricsCollector::record_tenant_accepted(std::uint32_t tenant) {
+  if (tenant == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(tenant_mutex_);
+    ++tenants_[tenant].accepted;
+  }
+  if (obs::enabled()) {
+    obs::Registry::instance()
+        .counter("serve.tenant." + std::to_string(tenant) + ".accepted")
+        .add();
+  }
+}
+
+void MetricsCollector::record_tenant_shed(std::uint32_t tenant) {
+  if (tenant == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(tenant_mutex_);
+    ++tenants_[tenant].shed;
+  }
+  if (obs::enabled()) {
+    obs::Registry::instance()
+        .counter("serve.tenant." + std::to_string(tenant) + ".shed")
+        .add();
+  }
+}
+
+void MetricsCollector::record_tenant_cache_hit(std::uint32_t tenant) {
+  if (tenant == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(tenant_mutex_);
+    ++tenants_[tenant].cache_hits;
+  }
+  if (obs::enabled()) {
+    obs::Registry::instance()
+        .counter("serve.tenant." + std::to_string(tenant) + ".cache_hit")
+        .add();
+  }
+}
+
 namespace {
 
 double histogram_quantile(
@@ -176,6 +215,14 @@ ServerMetrics MetricsCollector::snapshot() const {
   m.shed_requests = shed_.load(std::memory_order_relaxed);
   m.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   m.error_responses = error_responses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(tenant_mutex_);
+    m.tenants.reserve(tenants_.size());
+    for (const auto& [tenant, cells] : tenants_) {
+      m.tenants.push_back(
+          {tenant, cells.accepted, cells.shed, cells.cache_hits});
+    }
+  }
   return m;
 }
 
@@ -208,6 +255,15 @@ void ServerMetrics::print(std::ostream& out) const {
       << cache.hits << " hits / " << cache.misses << " misses (hit rate "
       << format_double(cache.hit_rate() * 100.0, 1) << "%), "
       << cache.evictions << " evictions\n";
+  if (!tenants.empty()) {
+    AsciiTable table({"tenant", "accepted", "shed", "cache hits"});
+    table.set_title("per-tenant");
+    for (const TenantStats& t : tenants) {
+      table.add_row({std::to_string(t.tenant), std::to_string(t.accepted),
+                     std::to_string(t.shed), std::to_string(t.cache_hits)});
+    }
+    table.print(out);
+  }
 }
 
 void ServerMetrics::write_csv(std::ostream& out) const {
@@ -240,6 +296,12 @@ void ServerMetrics::write_csv(std::ostream& out) const {
     csv.row({"batch_size", std::to_string(i + 1),
              std::to_string(batch_size_counts[i])});
   }
+  for (const TenantStats& t : tenants) {
+    const std::string id = std::to_string(t.tenant);
+    csv.row({"tenant_accepted", id, std::to_string(t.accepted)});
+    csv.row({"tenant_shed", id, std::to_string(t.shed)});
+    csv.row({"tenant_cache_hits", id, std::to_string(t.cache_hits)});
+  }
 }
 
 void publish_to_obs(const ServerMetrics& metrics) {
@@ -255,6 +317,12 @@ void publish_to_obs(const ServerMetrics& metrics) {
   reg.gauge("serve.cache_hits").set(as_i64(metrics.cache.hits));
   reg.gauge("serve.cache_misses").set(as_i64(metrics.cache.misses));
   reg.gauge("serve.cache_evictions").set(as_i64(metrics.cache.evictions));
+  for (const TenantStats& t : metrics.tenants) {
+    const std::string prefix = "serve.tenant." + std::to_string(t.tenant);
+    reg.gauge(prefix + ".accepted").set(as_i64(t.accepted));
+    reg.gauge(prefix + ".shed").set(as_i64(t.shed));
+    reg.gauge(prefix + ".cache_hit").set(as_i64(t.cache_hits));
+  }
 }
 
 }  // namespace gppm::serve

@@ -10,8 +10,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "serve/cache.hpp"
@@ -39,6 +42,16 @@ struct EndpointStats {
   double p99_seconds = 0.0;
 };
 
+/// Per-tenant serving counters.  Only non-zero tenants are tracked — the
+/// shared tenant-0 traffic stays entirely on the lock-free path and is
+/// covered by the aggregate counters.
+struct TenantStats {
+  std::uint32_t tenant = 0;
+  std::uint64_t accepted = 0;    ///< admitted past the tenant quota
+  std::uint64_t shed = 0;        ///< answered Overloaded by the quota
+  std::uint64_t cache_hits = 0;  ///< answered entirely from the cache
+};
+
 /// A point-in-time view of the server's counters, safe to copy around.
 struct ServerMetrics {
   std::array<EndpointStats, kRequestKindCount> endpoints;
@@ -53,6 +66,8 @@ struct ServerMetrics {
   std::array<std::uint64_t, kMaxTrackedBatch> batch_size_counts{};
   std::size_t queue_high_water = 0;
   CacheStats cache;
+  /// Per-tenant counters, sorted by tenant id (non-zero tenants only).
+  std::vector<TenantStats> tenants;
 
   /// Human-readable rendering (per-endpoint table + summary lines).
   AsciiTable to_table() const;
@@ -77,6 +92,10 @@ class MetricsCollector {
   void record_shed();
   void record_deadline_expired();
   void record_error_response();
+  /// Per-tenant accounting (no-ops for tenant 0; see TenantStats).
+  void record_tenant_accepted(std::uint32_t tenant);
+  void record_tenant_shed(std::uint32_t tenant);
+  void record_tenant_cache_hit(std::uint32_t tenant);
 
   /// Materialize a snapshot.  Bins are read without a global lock; counts
   /// recorded concurrently with the snapshot may land in either view.
@@ -102,6 +121,17 @@ class MetricsCollector {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> deadline_expired_{0};
   std::atomic<std::uint64_t> error_responses_{0};
+
+  /// Tenant cells live under a mutex: the tenant population is small and
+  /// unknown up front, and tenant-0 traffic (the common case) never takes
+  /// this lock.
+  struct TenantCells {
+    std::uint64_t accepted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t cache_hits = 0;
+  };
+  mutable std::mutex tenant_mutex_;
+  std::map<std::uint32_t, TenantCells> tenants_;
 };
 
 }  // namespace gppm::serve

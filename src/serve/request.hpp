@@ -31,6 +31,12 @@ std::string to_string(RequestKind kind);
 struct Request {
   RequestKind kind = RequestKind::Predict;
   sim::GpuModel gpu = sim::GpuModel::GTX680;
+  /// Which tenant this request belongs to.  Tenant 0 is the shared
+  /// default: it is served from the board's default model pair and is
+  /// never quota-limited.  Non-zero tenants route to their own model
+  /// family when one is registered (falling back to the default pair) and
+  /// are subject to any per-tenant admission quota.
+  std::uint32_t tenant = 0;
   profiler::ProfileResult counters;
   /// Predict only: the operating point to evaluate.
   sim::FrequencyPair pair = sim::kDefaultPair;
@@ -49,7 +55,7 @@ enum class ResponseStatus : std::uint8_t {
   Ok,
   NoModels,          ///< no model pair loaded for the requested board
   DeadlineExceeded,  ///< spent longer than request.deadline in the queue
-  Overloaded,        ///< load-shed: queue saturated at submission time
+  Overloaded,        ///< load-shed: queue or tenant quota saturated
   InternalError,     ///< the handler threw; details in Response::error
 };
 

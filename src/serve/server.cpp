@@ -24,10 +24,13 @@ std::size_t policy_slot(core::GovernorPolicy policy) {
 }
 
 /// Batch-grouping key: jobs with equal keys share a registry entry and an
-/// endpoint handler.
-std::uint32_t group_key(const Request& r) {
-  return static_cast<std::uint32_t>(gpu_slot(r.gpu)) * kRequestKindCount +
-         static_cast<std::uint32_t>(r.kind);
+/// endpoint handler.  The tenant is part of the key — tenants may resolve
+/// to different model families, so a group must never span tenants.
+std::uint64_t group_key(const Request& r) {
+  const std::uint64_t endpoint =
+      static_cast<std::uint64_t>(gpu_slot(r.gpu)) * kRequestKindCount +
+      static_cast<std::uint64_t>(r.kind);
+  return (static_cast<std::uint64_t>(r.tenant) << 8) | endpoint;
 }
 
 }  // namespace
@@ -52,6 +55,12 @@ PredictionServer::~PredictionServer() { shutdown(); }
 
 sim::GpuModel PredictionServer::load_models(core::UnifiedModel power_model,
                                             core::UnifiedModel perf_model) {
+  return load_tenant_models(0, std::move(power_model), std::move(perf_model));
+}
+
+sim::GpuModel PredictionServer::load_tenant_models(
+    std::uint32_t tenant, core::UnifiedModel power_model,
+    core::UnifiedModel perf_model) {
   GPPM_CHECK(power_model.target() == core::TargetKind::Power,
              "first model must target power");
   GPPM_CHECK(perf_model.target() == core::TargetKind::ExecTime,
@@ -60,6 +69,7 @@ sim::GpuModel PredictionServer::load_models(core::UnifiedModel power_model,
              "models fitted for different boards");
 
   auto entry = std::make_shared<ModelEntry>();
+  entry->tenant = tenant;
   entry->power_fp = core::model_fingerprint(power_model);
   entry->perf_fp = core::model_fingerprint(perf_model);
   entry->pairs = dvfs::configurable_pairs(power_model.gpu());
@@ -77,8 +87,50 @@ sim::GpuModel PredictionServer::load_models(core::UnifiedModel power_model,
   const sim::GpuModel gpu = entry->power.gpu();
   const std::size_t slot = gpu_slot(gpu);
   std::unique_lock<std::shared_mutex> lock(registry_mutex_);
-  registry_[slot] = std::move(entry);
+  if (tenant == 0) {
+    registry_[slot] = std::move(entry);
+  } else {
+    tenant_registry_[static_cast<std::uint64_t>(tenant) *
+                         sim::kAllGpus.size() +
+                     slot] = std::move(entry);
+  }
   return gpu;
+}
+
+bool PredictionServer::has_tenant_models(std::uint32_t tenant,
+                                         sim::GpuModel gpu) const {
+  if (tenant == 0) return has_models(gpu);
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  return tenant_registry_.count(static_cast<std::uint64_t>(tenant) *
+                                    sim::kAllGpus.size() +
+                                gpu_slot(gpu)) > 0;
+}
+
+void PredictionServer::set_tenant_quota(std::uint32_t tenant,
+                                        std::size_t quota) {
+  GPPM_CHECK(tenant != 0, "tenant 0 (the shared default) cannot be limited");
+  std::lock_guard<std::mutex> lock(quota_mutex_);
+  if (quota == 0) {
+    quotas_.erase(tenant);
+    return;
+  }
+  // A fixed quota, not an adaptive one: pin the AIMD limits together so
+  // the controller degenerates to a plain concurrency cap.  Isolation
+  // wants a contract ("tenant 7 gets 16 slots"), not a probe.
+  AdmissionOptions opt;
+  opt.initial_limit = static_cast<double>(quota);
+  opt.min_limit = static_cast<double>(quota);
+  opt.max_limit = static_cast<double>(quota);
+  opt.instrument = false;
+  quotas_[tenant] = std::make_shared<AdmissionController>(opt);
+}
+
+std::shared_ptr<AdmissionController> PredictionServer::quota_for(
+    std::uint32_t tenant) const {
+  if (tenant == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(quota_mutex_);
+  auto it = quotas_.find(tenant);
+  return it == quotas_.end() ? nullptr : it->second;
 }
 
 sim::GpuModel PredictionServer::load_model_files(const std::string& power_path,
@@ -109,9 +161,33 @@ std::vector<PredictionServer::LoadedModel> PredictionServer::loaded_models()
 }
 
 std::shared_ptr<PredictionServer::ModelEntry> PredictionServer::entry_for(
-    sim::GpuModel gpu) const {
+    std::uint32_t tenant, sim::GpuModel gpu) const {
+  const std::size_t slot = gpu_slot(gpu);
   std::shared_lock<std::shared_mutex> lock(registry_mutex_);
-  return registry_[gpu_slot(gpu)];
+  if (tenant != 0) {
+    auto it = tenant_registry_.find(
+        static_cast<std::uint64_t>(tenant) * sim::kAllGpus.size() + slot);
+    if (it != tenant_registry_.end()) return it->second;
+  }
+  return registry_[slot];
+}
+
+bool PredictionServer::acquire_tenant_quota(Job& job) {
+  std::shared_ptr<AdmissionController> quota = quota_for(job.request.tenant);
+  if (quota == nullptr) return true;
+  if (quota->try_acquire(job.request.deadline)) {
+    job.quota = std::move(quota);
+    return true;
+  }
+  metrics_.record_shed();
+  metrics_.record_tenant_shed(job.request.tenant);
+  Response response;
+  response.kind = job.request.kind;
+  response.status = ResponseStatus::Overloaded;
+  response.error = "tenant " + std::to_string(job.request.tenant) +
+                   " quota saturated";
+  job.promise.set_value(std::move(response));
+  return false;
 }
 
 std::future<Response> PredictionServer::submit(Request request) {
@@ -119,27 +195,34 @@ std::future<Response> PredictionServer::submit(Request request) {
   job.request = std::move(request);
   job.enqueued = std::chrono::steady_clock::now();
   std::future<Response> future = job.promise.get_future();
+  const std::uint32_t tenant = job.request.tenant;
+  if (!acquire_tenant_quota(job)) return future;
   if (options_.load_shedding) {
-    if (queue_.try_push(std::move(job))) return future;
+    if (queue_.try_push(std::move(job))) {
+      metrics_.record_tenant_accepted(tenant);
+      return future;
+    }
     // try_push left the job intact; a closed queue is still a hard
     // rejection, a merely full one is answered Overloaded right here.
     if (queue_.closed()) {
       metrics_.record_rejected();
+      if (job.quota) job.quota->release_error();
       throw Error("prediction server is shut down");
     }
     metrics_.record_shed();
     Response response;
-    response.kind = job.request.kind;
     response.status = ResponseStatus::Overloaded;
     response.error = "admission queue saturated (" +
                      std::to_string(options_.queue_capacity) + " queued)";
-    job.promise.set_value(std::move(response));
+    finish(job, std::move(response));
     return future;
   }
   if (!queue_.push(std::move(job))) {
     metrics_.record_rejected();
+    if (job.quota) job.quota->release_error();
     throw Error("prediction server is shut down");
   }
+  metrics_.record_tenant_accepted(tenant);
   return future;
 }
 
@@ -149,10 +232,14 @@ std::optional<std::future<Response>> PredictionServer::try_submit(
   job.request = std::move(request);
   job.enqueued = std::chrono::steady_clock::now();
   std::future<Response> future = job.promise.get_future();
+  const std::uint32_t tenant = job.request.tenant;
+  if (!acquire_tenant_quota(job)) return future;
   if (!queue_.try_push(std::move(job))) {
     metrics_.record_rejected();
+    if (job.quota) job.quota->release_error();
     return std::nullopt;
   }
+  metrics_.record_tenant_accepted(tenant);
   return future;
 }
 
@@ -199,8 +286,8 @@ void PredictionServer::worker_loop() {
                                        group_key(batch[begin].request)) {
         ++end;
       }
-      const std::shared_ptr<ModelEntry> entry =
-          entry_for(batch[begin].request.gpu);
+      const std::shared_ptr<ModelEntry> entry = entry_for(
+          batch[begin].request.tenant, batch[begin].request.gpu);
       if (entry == nullptr) {
         for (std::size_t i = begin; i < end; ++i) {
           if (expire_if_past_deadline(batch[i])) continue;
@@ -224,6 +311,23 @@ void PredictionServer::finish(Job& job, Response response) {
   const auto now = std::chrono::steady_clock::now();
   response.latency = Duration::seconds(
       std::chrono::duration<double>(now - job.enqueued).count());
+  if (job.quota) {
+    // Steer the (degenerate, fixed-limit) controller honestly anyway: a
+    // congestion answer must not read as success to its EWMA.
+    switch (response.status) {
+      case ResponseStatus::Ok:
+        job.quota->release_success(response.latency);
+        break;
+      case ResponseStatus::Overloaded:
+      case ResponseStatus::DeadlineExceeded:
+        job.quota->release_congestion(response.latency);
+        break;
+      default:
+        job.quota->release_error();
+        break;
+    }
+    job.quota.reset();
+  }
   job.promise.set_value(std::move(response));
 }
 
@@ -253,6 +357,7 @@ void PredictionServer::process_group(ModelEntry& entry, Job* jobs,
       bool cache_hit = false;
       Response response = handle(entry, job.request, cache_hit);
       response.cache_hit = cache_hit;
+      if (cache_hit) metrics_.record_tenant_cache_hit(job.request.tenant);
       const double latency = std::chrono::duration<double>(
           std::chrono::steady_clock::now() - job.enqueued).count();
       metrics_.record_request(job.request.kind, latency);
@@ -269,9 +374,10 @@ void PredictionServer::process_group(ModelEntry& entry, Job* jobs,
 
 double PredictionServer::cached_predict(
     const core::UnifiedModel& model, std::uint64_t model_fp,
-    std::uint64_t counters_fp, const profiler::ProfileResult& counters,
-    sim::FrequencyPair pair, bool& all_hits) {
-  const PredictionKey key{model_fp, counters_fp, pair};
+    std::uint64_t counters_fp, std::uint64_t family,
+    const profiler::ProfileResult& counters, sim::FrequencyPair pair,
+    bool& all_hits) {
+  const PredictionKey key{model_fp, counters_fp, family, pair};
   double value = 0.0;
   if (cache_.lookup(key, value)) return value;
   all_hits = false;
@@ -283,6 +389,10 @@ double PredictionServer::cached_predict(
 Response PredictionServer::handle(ModelEntry& entry, const Request& request,
                                   bool& cache_hit) {
   const std::uint64_t cfp = counters_fingerprint(request.counters);
+  // Cache entries are stamped with the *serving* family, which is 0 when a
+  // tenant falls back to the board default — fallback tenants then share
+  // the default family's cache entries instead of duplicating them.
+  const std::uint64_t fam = entry.tenant;
   bool all_hits = true;
   Response response;
 
@@ -290,10 +400,10 @@ Response PredictionServer::handle(ModelEntry& entry, const Request& request,
     case RequestKind::Predict: {
       response.pair = request.pair;
       response.power_watts = cached_predict(
-          entry.power, entry.power_fp, cfp, request.counters, request.pair,
-          all_hits);
+          entry.power, entry.power_fp, cfp, fam, request.counters,
+          request.pair, all_hits);
       response.time_seconds = cached_predict(
-          entry.perf, entry.perf_fp, cfp, request.counters, request.pair,
+          entry.perf, entry.perf_fp, cfp, fam, request.counters, request.pair,
           all_hits);
       response.energy_joules = response.power_watts * response.time_seconds;
       break;
@@ -305,12 +415,12 @@ Response PredictionServer::handle(ModelEntry& entry, const Request& request,
       double best_energy = 0.0;
       bool first = true;
       for (sim::FrequencyPair pair : entry.pairs) {
-        const double power =
-            std::max(1.0, cached_predict(entry.power, entry.power_fp, cfp,
-                                         request.counters, pair, all_hits));
-        const double time =
-            std::max(1e-3, cached_predict(entry.perf, entry.perf_fp, cfp,
-                                          request.counters, pair, all_hits));
+        const double power = std::max(
+            1.0, cached_predict(entry.power, entry.power_fp, cfp, fam,
+                                request.counters, pair, all_hits));
+        const double time = std::max(
+            1e-3, cached_predict(entry.perf, entry.perf_fp, cfp, fam,
+                                 request.counters, pair, all_hits));
         const double energy = power * time;
         if (first || energy < best_energy) {
           first = false;
@@ -332,12 +442,12 @@ Response PredictionServer::handle(ModelEntry& entry, const Request& request,
         pick = slot.governor.decide(request.counters);
       }
       response.pair = pick;
-      response.power_watts =
-          std::max(1.0, cached_predict(entry.power, entry.power_fp, cfp,
-                                       request.counters, pick, all_hits));
-      response.time_seconds =
-          std::max(1e-3, cached_predict(entry.perf, entry.perf_fp, cfp,
-                                        request.counters, pick, all_hits));
+      response.power_watts = std::max(
+          1.0, cached_predict(entry.power, entry.power_fp, cfp, fam,
+                              request.counters, pick, all_hits));
+      response.time_seconds = std::max(
+          1e-3, cached_predict(entry.perf, entry.perf_fp, cfp, fam,
+                               request.counters, pick, all_hits));
       response.energy_joules = response.power_watts * response.time_seconds;
       break;
     }

@@ -14,8 +14,13 @@
 //     governor lock amortize over the group — batch size adapts to load
 //     by construction, there is no artificial batching delay;
 //   * a sharded LRU PredictionCache keyed on (model fingerprint, counter
-//     fingerprint, pair) — fitted models are pure functions, so repeated
-//     phases are answered without touching the model at all;
+//     fingerprint, family, pair) — fitted models are pure functions, so
+//     repeated phases are answered without touching the model at all;
+//   * multi-tenant routing: a request's tenant id selects a per-tenant
+//     model family when one is registered (load_tenant_models), falling
+//     back to the board default otherwise, and nonzero tenants can carry a
+//     fixed admission quota (set_tenant_quota) that sheds excess load as
+//     typed Overloaded answers before it reaches the queue;
 //   * a MetricsCollector every worker records into (per-endpoint latency
 //     histograms, batch shapes, rejections) plus queue high-water and
 //     cache hit/miss accounting, exported as table and CSV.
@@ -37,6 +42,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -46,6 +52,7 @@
 #include <vector>
 
 #include "core/serialization.hpp"
+#include "serve/admission.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
@@ -95,6 +102,25 @@ class PredictionServer {
                                  const std::string& perf_path);
   bool has_models(sim::GpuModel gpu) const;
 
+  /// Register (or hot-swap) a per-tenant model family for the models'
+  /// board.  Tenant 0 is the shared default family — the call is then
+  /// identical to load_models().  Requests carrying this tenant id are
+  /// answered from this pair; tenants without a registered family for the
+  /// requested board fall back to the board default.
+  sim::GpuModel load_tenant_models(std::uint32_t tenant,
+                                   core::UnifiedModel power_model,
+                                   core::UnifiedModel perf_model);
+  /// True when `tenant` has its own family registered for `gpu` (does not
+  /// consider the tenant-0 fallback).
+  bool has_tenant_models(std::uint32_t tenant, sim::GpuModel gpu) const;
+
+  /// Install (quota > 0) or remove (quota == 0) a fixed concurrency quota
+  /// for a nonzero tenant.  An over-quota submission is answered with a
+  /// typed ResponseStatus::Overloaded immediately — it never occupies a
+  /// queue slot, so one tenant's burst cannot starve the others.  Tenant 0
+  /// (the shared default) cannot be limited.
+  void set_tenant_quota(std::uint32_t tenant, std::size_t quota);
+
   /// One loaded board as announced to clients (net::Server's InfoResponse).
   struct LoadedModel {
     sim::GpuModel gpu = sim::GpuModel::GTX680;
@@ -138,6 +164,9 @@ class PredictionServer {
     Request request;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Quota ticket held while a quota-limited tenant's request is in
+    /// flight; finish() releases it according to the response status.
+    std::shared_ptr<AdmissionController> quota;
   };
   /// One governor instance per policy; decide() mutates hysteresis state,
   /// so each slot carries its own lock.
@@ -148,6 +177,9 @@ class PredictionServer {
   };
   /// Everything the workers need for one board, resolved once per group.
   struct ModelEntry {
+    /// Owning model family (0 = the shared default).  Used as the cache
+    /// key's family so tenant families never alias the default entries.
+    std::uint32_t tenant = 0;
     core::UnifiedModel power;
     core::UnifiedModel perf;
     std::uint64_t power_fp = 0;
@@ -158,17 +190,27 @@ class PredictionServer {
 
   void worker_loop();
   void process_group(ModelEntry& entry, Job* jobs, std::size_t count);
-  /// Stamp kind + latency and resolve the job's promise.
-  static void finish(Job& job, Response response);
+  /// Stamp kind + latency, release any tenant quota ticket (success /
+  /// congestion / error according to the status) and resolve the promise.
+  void finish(Job& job, Response response);
   /// Answer DeadlineExceeded if the job out-waited its deadline (and
   /// record it); returns true when the job was answered.
   bool expire_if_past_deadline(Job& job);
+  /// Acquire the tenant's quota ticket into `job.quota`.  Returns false —
+  /// after answering the promise with a typed Overloaded — when the quota
+  /// sheds the request.
+  bool acquire_tenant_quota(Job& job);
   Response handle(ModelEntry& entry, const Request& request, bool& cache_hit);
   double cached_predict(const core::UnifiedModel& model,
                         std::uint64_t model_fp, std::uint64_t counters_fp,
+                        std::uint64_t family,
                         const profiler::ProfileResult& counters,
                         sim::FrequencyPair pair, bool& all_hits);
-  std::shared_ptr<ModelEntry> entry_for(sim::GpuModel gpu) const;
+  /// Resolve the model entry for (tenant, board): the tenant's own family
+  /// when registered, else the board default, else nullptr.
+  std::shared_ptr<ModelEntry> entry_for(std::uint32_t tenant,
+                                        sim::GpuModel gpu) const;
+  std::shared_ptr<AdmissionController> quota_for(std::uint32_t tenant) const;
 
   ServerOptions options_;
   BoundedQueue<Job> queue_;
@@ -176,6 +218,10 @@ class PredictionServer {
   MetricsCollector metrics_;
   mutable std::shared_mutex registry_mutex_;
   std::array<std::shared_ptr<ModelEntry>, sim::kAllGpus.size()> registry_;
+  /// Per-tenant families, keyed tenant * board-count + board-slot.
+  std::map<std::uint64_t, std::shared_ptr<ModelEntry>> tenant_registry_;
+  mutable std::mutex quota_mutex_;
+  std::map<std::uint32_t, std::shared_ptr<AdmissionController>> quotas_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::mutex shutdown_mutex_;

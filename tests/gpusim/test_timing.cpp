@@ -189,6 +189,27 @@ TEST(Timing, ValidatesKernelProfiles) {
   EXPECT_THROW(compute_kernel_timing(spec, k, kDefaultPair), gppm::Error);
 }
 
+TEST(Timing, RejectsTrafficAgainstZeroBandwidthCeiling) {
+  // Regression for the silent-clamp bug: a device whose bandwidth ceiling
+  // collapses to zero used to grant DRAM-moving kernels infinite bandwidth
+  // (t_mem clamped to 0).  The timing model must reject the profile — its
+  // implied bandwidth demand exceeds any finite ceiling — not mask it.
+  DeviceSpec spec = device_spec(GpuModel::GTX480);
+  spec.timing.dram_efficiency = 0.0;
+  EXPECT_EQ(device_bandwidth_ceiling(spec, kDefaultPair), 0.0);
+  EXPECT_THROW(compute_kernel_timing(spec, memory_kernel(), kDefaultPair),
+               gppm::Error);
+
+  // A kernel with no DRAM traffic is still computable on the same device.
+  KernelProfile pure = compute_kernel();
+  pure.global_load_bytes_per_thread = 0.0;
+  pure.global_store_bytes_per_thread = 0.0;
+  pure.locality = 0.0;
+  const KernelTiming t = compute_kernel_timing(spec, pure, kDefaultPair);
+  EXPECT_EQ(t.memory_time.as_seconds(), 0.0);
+  EXPECT_GT(t.kernel_time.as_seconds(), 0.0);
+}
+
 TEST(Timing, DoublePrecisionCostlier) {
   const DeviceSpec& spec = device_spec(GpuModel::GTX680);
   KernelProfile k = compute_kernel();

@@ -1,0 +1,206 @@
+#include "mix/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mix/profile.hpp"
+
+namespace gppm::mix {
+namespace {
+
+sim::KernelProfile compute_kernel(const std::string& name) {
+  sim::KernelProfile k;
+  k.name = name;
+  k.blocks = 2048;
+  k.threads_per_block = 256;
+  k.flops_sp_per_thread = 800.0;
+  k.int_ops_per_thread = 100.0;
+  k.global_load_bytes_per_thread = 2.0;
+  k.locality = 0.8;
+  return k;
+}
+
+sim::KernelProfile memory_kernel(const std::string& name) {
+  sim::KernelProfile k;
+  k.name = name;
+  k.blocks = 2048;
+  k.threads_per_block = 256;
+  k.flops_sp_per_thread = 4.0;
+  k.global_load_bytes_per_thread = 64.0;
+  k.global_store_bytes_per_thread = 16.0;
+  k.locality = 0.1;
+  return k;
+}
+
+MixMember member(const std::string& benchmark, sim::KernelProfile kernel,
+                 double share) {
+  MixMember m;
+  m.benchmark = benchmark;
+  m.kernel = std::move(kernel);
+  m.sm_share = share;
+  return m;
+}
+
+MixProfile pair_mix(double share_a = 0.5, double share_b = 0.5) {
+  MixProfile mix;
+  mix.name = "test-pair";
+  mix.members.push_back(member("alpha", compute_kernel("ck"), share_a));
+  mix.members.push_back(member("beta", memory_kernel("mk"), share_b));
+  return mix;
+}
+
+TEST(MixProfileValidate, RejectsBadCardinality) {
+  MixProfile one;
+  one.name = "one";
+  one.members.push_back(member("a", compute_kernel("ck"), 0.5));
+  EXPECT_THROW(validate(one), Error);
+
+  MixProfile five;
+  five.name = "five";
+  for (int i = 0; i < 5; ++i) {
+    std::string name = "b";
+    name += std::to_string(i);
+    five.members.push_back(member(name, compute_kernel("ck"), 0.19));
+  }
+  EXPECT_THROW(validate(five), Error);
+
+  EXPECT_NO_THROW(validate(pair_mix()));
+}
+
+TEST(MixProfileValidate, RejectsBadShares) {
+  EXPECT_THROW(validate(pair_mix(0.0, 0.5)), Error);
+  EXPECT_THROW(validate(pair_mix(-0.1, 0.5)), Error);
+  EXPECT_THROW(validate(pair_mix(1.2, 0.5)), Error);
+  // Oversubscribed partition: each share is legal, the sum is not.
+  EXPECT_THROW(validate(pair_mix(0.7, 0.7)), Error);
+  // A full partition is legal.
+  EXPECT_NO_THROW(validate(pair_mix(0.6, 0.4)));
+}
+
+TEST(MixProfileValidate, RejectsDuplicateBenchmarks) {
+  MixProfile mix;
+  mix.name = "dup";
+  mix.members.push_back(member("same", compute_kernel("ck"), 0.5));
+  mix.members.push_back(member("same", memory_kernel("mk"), 0.5));
+  EXPECT_THROW(validate(mix), Error);
+}
+
+TEST(MixKey, DependsOnMembersNotOrder) {
+  MixProfile a = pair_mix(0.6, 0.4);
+  MixProfile b = a;
+  std::swap(b.members[0], b.members[1]);
+  b.name = "renamed";  // identity is the member set, not the label
+  EXPECT_EQ(mix_key(a), mix_key(b));
+  EXPECT_NE(mix_key(a), mix_key(pair_mix(0.5, 0.5)));
+}
+
+TEST(MixEngine, ExecutionIsDeterministicAndOrderIndependent) {
+  const MixProfile mix_a = pair_mix(0.6, 0.4);
+  MixProfile mix_b = pair_mix(0.5, 0.5);
+  mix_b.name = "test-pair-even";
+
+  MixEngine first(sim::GpuModel::GTX480, 42);
+  MixEngine second(sim::GpuModel::GTX480, 42);
+  const MixExecution a1 = first.execute(mix_a);
+  const MixExecution b1 = first.execute(mix_b);
+  // The second engine sees mix_b first: results must not depend on call
+  // order (the determinism contract mirrors sim::Gpu's).
+  const MixExecution b2 = second.execute(mix_b);
+  const MixExecution a2 = second.execute(mix_a);
+
+  for (const auto* p : {&a1, &b1}) {
+    const MixExecution& x = *p;
+    const MixExecution& y = (p == &a1) ? a2 : b2;
+    EXPECT_EQ(x.makespan.as_seconds(), y.makespan.as_seconds());
+    EXPECT_EQ(x.avg_power.as_watts(), y.avg_power.as_watts());
+    EXPECT_EQ(x.energy.as_joules(), y.energy.as_joules());
+    ASSERT_EQ(x.members.size(), y.members.size());
+    for (std::size_t i = 0; i < x.members.size(); ++i) {
+      EXPECT_EQ(x.members[i].contended_time.as_seconds(),
+                y.members[i].contended_time.as_seconds());
+      EXPECT_EQ(x.members[i].solo_time.as_seconds(),
+                y.members[i].solo_time.as_seconds());
+      EXPECT_EQ(x.members[i].slowdown, y.members[i].slowdown);
+    }
+  }
+}
+
+TEST(MixEngine, ContentionNeverSpeedsAMemberUp) {
+  MixEngine engine(sim::GpuModel::GTX480, 42);
+  const MixExecution out = engine.execute(pair_mix(0.5, 0.5));
+  ASSERT_EQ(out.members.size(), 2u);
+  double max_contended = 0.0;
+  for (const MemberExecution& m : out.members) {
+    EXPECT_GE(m.slowdown, 1.0 - 1e-9) << m.benchmark;
+    EXPECT_GE(m.contended_time.as_seconds(),
+              m.solo_time.as_seconds() * (1.0 - 1e-9));
+    EXPECT_GT(m.bw_demand, 0.0);
+    EXPECT_GE(m.co_bw_pressure, 0.0);
+    max_contended = std::max(max_contended, m.contended_time.as_seconds());
+  }
+  EXPECT_GE(out.contention_factor, 1.0);
+  EXPECT_DOUBLE_EQ(out.makespan.as_seconds(), max_contended);
+  EXPECT_DOUBLE_EQ(out.energy.as_joules(),
+                   out.avg_power.as_watts() * out.makespan.as_seconds());
+}
+
+TEST(MixEngine, SmallerShareSlowsDownMore) {
+  // The same kernel under two benchmark names: the member squeezed onto
+  // fewer SMs must finish later than its twin with the bigger partition.
+  MixProfile mix;
+  mix.name = "asymmetric";
+  mix.members.push_back(member("big", compute_kernel("twin"), 0.7));
+  mix.members.push_back(member("small", compute_kernel("twin"), 0.3));
+
+  MixEngine engine(sim::GpuModel::GTX480, 42);
+  const MixExecution out = engine.execute(mix);
+  ASSERT_EQ(out.members.size(), 2u);
+  // Identical kernels realize identical solo runs (draws key on the
+  // kernel, not the member slot), so the slowdowns order like the times.
+  EXPECT_EQ(out.members[0].solo_time.as_seconds(),
+            out.members[1].solo_time.as_seconds());
+  EXPECT_GT(out.members[1].contended_time.as_seconds(),
+            out.members[0].contended_time.as_seconds());
+  EXPECT_GT(out.members[1].slowdown, out.members[0].slowdown);
+}
+
+TEST(MixEngine, BandwidthPressureTracksMemoryHunger) {
+  // Two memory-hungry kernels overcommit bandwidth harder than two
+  // compute kernels; the contention factor must reflect that.
+  MixProfile hungry;
+  hungry.name = "hungry";
+  hungry.members.push_back(member("m1", memory_kernel("mk1"), 0.5));
+  hungry.members.push_back(member("m2", memory_kernel("mk2"), 0.5));
+  MixProfile mild;
+  mild.name = "mild";
+  mild.members.push_back(member("c1", compute_kernel("ck1"), 0.5));
+  mild.members.push_back(member("c2", compute_kernel("ck2"), 0.5));
+
+  MixEngine engine(sim::GpuModel::GTX480, 42);
+  const MixExecution h = engine.execute(hungry);
+  const MixExecution m = engine.execute(mild);
+  EXPECT_GT(h.bw_pressure, m.bw_pressure);
+  EXPECT_GT(h.contention_factor, 1.0);
+  // Two memory kernels on half a board each genuinely collide: both run
+  // visibly slower than solo, not within float noise of it.
+  for (const MemberExecution& me : h.members) {
+    EXPECT_GT(me.slowdown, 1.05) << me.benchmark;
+  }
+}
+
+TEST(MixEngine, ExecuteValidatesTheMix) {
+  MixEngine engine(sim::GpuModel::GTX480, 42);
+  EXPECT_THROW(engine.execute(pair_mix(0.8, 0.8)), Error);
+}
+
+TEST(MixEngine, RespectsPinnedFrequencyPair) {
+  MixEngine engine(sim::GpuModel::GTX480, 42);
+  const MixExecution high = engine.execute(pair_mix());
+  engine.set_frequency_pair(
+      {sim::ClockLevel::Low, sim::ClockLevel::Low});
+  const MixExecution low = engine.execute(pair_mix());
+  EXPECT_GT(low.makespan.as_seconds(), high.makespan.as_seconds());
+}
+
+}  // namespace
+}  // namespace gppm::mix

@@ -1,0 +1,195 @@
+#include "mix/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mix/dataset.hpp"
+
+namespace gppm::mix {
+namespace {
+
+profiler::ProfileResult base_profile() {
+  profiler::ProfileResult p;
+  p.counters.push_back(
+      {"inst_issued", profiler::EventClass::Core, 6.0e9, 3.0e9});
+  p.counters.push_back(
+      {"fb_subp0_read_sectors", profiler::EventClass::Memory, 8.0e6, 4.0e6});
+  p.run_time = Duration::seconds(2.0);
+  return p;
+}
+
+TEST(MixModel, AugmentAppendsPseudoAndInteractedCounters) {
+  const profiler::ProfileResult base = base_profile();
+  const profiler::ProfileResult aug = augment_profile(base, 0.5, 0.25);
+  // Two pseudo-features plus one interacted copy per base counter.
+  ASSERT_EQ(aug.counters.size(), base.counters.size() + 2 + 2);
+  EXPECT_EQ(aug.counters[2].name, kMixBwPressureFeature);
+  EXPECT_EQ(aug.counters[2].klass, profiler::EventClass::Memory);
+  EXPECT_DOUBLE_EQ(aug.counters[2].total, 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(aug.counters[2].per_second, 0.5);
+  EXPECT_EQ(aug.counters[3].name, kMixSmShareFeature);
+  EXPECT_EQ(aug.counters[3].klass, profiler::EventClass::Core);
+  EXPECT_DOUBLE_EQ(aug.counters[3].total, 3.0 * 2.0);  // (1/0.25 - 1) * T
+  EXPECT_DOUBLE_EQ(aug.counters[3].per_second, 3.0);
+  // Core counters interact with the share scalar, memory counters with
+  // the bandwidth overcommit, in catalog order.
+  EXPECT_EQ(aug.counters[4].name, std::string(kMixShareInteractionPrefix) +
+                                      "inst_issued");
+  EXPECT_DOUBLE_EQ(aug.counters[4].total, 3.0 * 6.0e9);
+  EXPECT_EQ(aug.counters[5].name, std::string(kMixBwInteractionPrefix) +
+                                      "fb_subp0_read_sectors");
+  EXPECT_DOUBLE_EQ(aug.counters[5].total, 0.5 * 8.0e6);
+
+  const MixScalars s = mix_scalars(aug);
+  EXPECT_DOUBLE_EQ(s.bw_overcommit, 0.5);
+  EXPECT_DOUBLE_EQ(s.share_scalar, 3.0);
+}
+
+TEST(MixModel, AugmentRejectsBadInputs) {
+  const profiler::ProfileResult base = base_profile();
+  EXPECT_THROW(augment_profile(base, -0.1, 0.5), Error);
+  EXPECT_THROW(augment_profile(base, 0.0, 0.0), Error);
+  EXPECT_THROW(augment_profile(base, 0.0, 1.5), Error);
+  profiler::ProfileResult timeless = base;
+  timeless.run_time = Duration::seconds(0.0);
+  EXPECT_THROW(augment_profile(timeless, 0.0, 0.5), Error);
+  // Augmenting twice would stack pseudo-counters — a layout corruption.
+  const profiler::ProfileResult once = augment_profile(base, 0.2, 0.5);
+  EXPECT_THROW(augment_profile(once, 0.2, 0.5), Error);
+  // And un-augmented profiles carry no scalars to recover.
+  EXPECT_THROW(mix_scalars(base), Error);
+}
+
+TEST(MixCorpus, ShapesFollowTheHoldoutDiscipline) {
+  MixCorpusOptions opt;
+  opt.mixes = 8;
+  opt.degree = 2;
+  opt.holdout_every = 4;
+  const MixCorpus corpus = build_mix_corpus(sim::GpuModel::GTX460, opt);
+  EXPECT_EQ(corpus.model, sim::GpuModel::GTX460);
+  EXPECT_EQ(corpus.degree, 2u);
+  EXPECT_FALSE(corpus.solo.samples.empty());
+  // Every (mix, member) lands in exactly one member split, every mix in
+  // exactly one power split, and every fourth mix is held out.
+  EXPECT_EQ(corpus.member_train.samples.size() +
+                corpus.member_eval.samples.size(),
+            opt.mixes * opt.degree);
+  EXPECT_EQ(corpus.power_train.samples.size() +
+                corpus.power_eval.samples.size(),
+            opt.mixes);
+  EXPECT_EQ(corpus.power_eval.samples.size(), opt.mixes / opt.holdout_every);
+  EXPECT_EQ(corpus.member_eval.samples.size(),
+            (opt.mixes / opt.holdout_every) * opt.degree);
+  // Member samples carry the augmented layout; their scalars recover.
+  for (const core::Sample& s : corpus.member_train.samples) {
+    const MixScalars scalars = mix_scalars(s.counters);
+    EXPECT_GE(scalars.bw_overcommit, 0.0);
+    EXPECT_GT(scalars.share_scalar, 0.0);
+    EXPECT_FALSE(s.runs.empty());
+  }
+}
+
+TEST(MixCorpus, SameSeedBuildsBitIdenticalCorpora) {
+  MixCorpusOptions opt;
+  opt.mixes = 8;
+  opt.degree = 2;
+  const MixCorpus a = build_mix_corpus(sim::GpuModel::GTX480, opt);
+  const MixCorpus b = build_mix_corpus(sim::GpuModel::GTX480, opt);
+  ASSERT_EQ(a.member_train.samples.size(), b.member_train.samples.size());
+  for (std::size_t i = 0; i < a.member_train.samples.size(); ++i) {
+    const core::Sample& sa = a.member_train.samples[i];
+    const core::Sample& sb = b.member_train.samples[i];
+    ASSERT_EQ(sa.counters.counters.size(), sb.counters.counters.size());
+    for (std::size_t c = 0; c < sa.counters.counters.size(); ++c) {
+      EXPECT_EQ(sa.counters.counters[c].total, sb.counters.counters[c].total);
+    }
+    ASSERT_EQ(sa.runs.size(), sb.runs.size());
+    for (std::size_t r = 0; r < sa.runs.size(); ++r) {
+      EXPECT_EQ(sa.runs[r].exec_time.as_seconds(),
+                sb.runs[r].exec_time.as_seconds());
+      EXPECT_EQ(sa.runs[r].avg_power.as_watts(),
+                sb.runs[r].avg_power.as_watts());
+    }
+  }
+  ASSERT_EQ(a.power_eval.samples.size(), b.power_eval.samples.size());
+  for (std::size_t i = 0; i < a.power_eval.samples.size(); ++i) {
+    ASSERT_FALSE(a.power_eval.samples[i].runs.empty());
+    EXPECT_EQ(a.power_eval.samples[i].runs[0].avg_power.as_watts(),
+              b.power_eval.samples[i].runs[0].avg_power.as_watts());
+  }
+
+  MixCorpusOptions reseeded = opt;
+  reseeded.seed = 43;
+  const MixCorpus c = build_mix_corpus(sim::GpuModel::GTX480, reseeded);
+  bool differs =
+      c.member_train.samples.size() != a.member_train.samples.size();
+  if (!differs) {
+    differs = c.member_train.samples[0].runs[0].exec_time.as_seconds() !=
+              a.member_train.samples[0].runs[0].exec_time.as_seconds();
+  }
+  EXPECT_TRUE(differs);
+}
+
+// The gate corpus and model set are shared across the tests below: the fit
+// is the expensive step, and every assertion reads the same configuration
+// the bench gates on (GTX 480, pairs, 32 mixes, 5-variable budget).
+const MixCorpus& gate_corpus() {
+  static const MixCorpus corpus = [] {
+    MixCorpusOptions opt;
+    opt.mixes = 32;
+    opt.degree = 2;
+    opt.seed = 42;
+    return build_mix_corpus(sim::GpuModel::GTX480, opt);
+  }();
+  return corpus;
+}
+
+const MixModelSet& gate_models() {
+  static const MixModelSet models = [] {
+    core::ModelOptions opt;
+    opt.max_variables = 5;
+    return fit_mix_models(gate_corpus(), opt);
+  }();
+  return models;
+}
+
+TEST(MixModel, InterferenceGatePasses) {
+  const MixEvaluation ev = evaluate_mix_models(gate_models(), gate_corpus());
+  // The tentpole claim: a solo-trained time model systematically
+  // underpredicts contended time, and the mix-aware family closes the gap
+  // on mixes it never saw.
+  EXPECT_LT(ev.solo_signed_bias, 0.0);
+  EXPECT_LT(ev.mix_time_wape, ev.solo_time_wape);
+  EXPECT_TRUE(ev.passes());
+  EXPECT_GT(ev.solo_time_wape, 0.0);
+  EXPECT_GT(ev.power_wape, 0.0);
+}
+
+TEST(MixModel, FamiliesCarryTheCorpusIdentity) {
+  const MixModelSet& models = gate_models();
+  EXPECT_EQ(models.model, sim::GpuModel::GTX480);
+  EXPECT_EQ(models.degree, 2u);
+  EXPECT_GE(models.mix_time.size(), 1u);
+  EXPECT_GE(models.mix_power.size(), 1u);
+}
+
+TEST(MixModel, PredictionsRespectTheSlowdownEnvelope) {
+  const MixModelSet& models = gate_models();
+  for (const core::Sample& s : gate_corpus().member_eval.samples) {
+    const MixScalars scalars = mix_scalars(s.counters);
+    for (const core::Measurement& run : s.runs) {
+      const double solo =
+          models.solo_time.full().predict(s.counters, run.pair);
+      const double mix = predict_member_time(models, s.counters, run.pair);
+      if (solo > 0.0) {
+        const double ceiling = solo * (1.0 + scalars.share_scalar) *
+                               (1.0 + scalars.bw_overcommit);
+        EXPECT_LE(mix, ceiling * (1.0 + 1e-12));
+        EXPECT_GT(mix, 0.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gppm::mix

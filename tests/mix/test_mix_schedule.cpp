@@ -1,0 +1,156 @@
+#include "mix/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace gppm::mix {
+namespace {
+
+MixScheduleOptions options(std::size_t degree = 2, std::uint64_t seed = 42) {
+  MixScheduleOptions opt;
+  opt.mixes = 10;
+  opt.degree = degree;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(MixSchedule, SameSeedIsBitIdentical) {
+  const std::vector<ScheduledMix> a = mix_schedule(options());
+  const std::vector<ScheduledMix> b = mix_schedule(options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].phases.size(), b[i].phases.size());
+    for (std::size_t j = 0; j < a[i].phases.size(); ++j) {
+      EXPECT_EQ(a[i].phases[j].benchmark, b[i].phases[j].benchmark);
+      // Bitwise, not approximately: the schedule is the reproducibility
+      // anchor of every mix corpus built from it.
+      EXPECT_EQ(a[i].phases[j].scale, b[i].phases[j].scale);
+      EXPECT_EQ(a[i].shares[j], b[i].shares[j]);
+    }
+  }
+}
+
+TEST(MixSchedule, DifferentSeedsDiffer) {
+  const std::vector<ScheduledMix> a = mix_schedule(options(2, 42));
+  const std::vector<ScheduledMix> b = mix_schedule(options(2, 43));
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    for (std::size_t j = 0; j < a[i].phases.size() && !differs; ++j) {
+      differs = a[i].phases[j].benchmark != b[i].phases[j].benchmark ||
+                a[i].phases[j].scale != b[i].phases[j].scale ||
+                a[i].shares[j] != b[i].shares[j];
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MixSchedule, EveryDegreeYieldsFullDistinctMixes) {
+  for (std::size_t degree = kMinMixDegree; degree <= kMaxMixDegree; ++degree) {
+    const std::vector<ScheduledMix> mixes = mix_schedule(options(degree));
+    ASSERT_EQ(mixes.size(), 10u);
+    for (const ScheduledMix& m : mixes) {
+      ASSERT_EQ(m.phases.size(), degree);
+      ASSERT_EQ(m.shares.size(), degree);
+      // Benchmarks within one mix are distinct by construction.
+      std::set<std::string> names;
+      double sum = 0.0;
+      for (std::size_t j = 0; j < degree; ++j) {
+        names.insert(m.phases[j].benchmark);
+        EXPECT_GT(m.shares[j], 0.0);
+        EXPECT_LT(m.shares[j], 1.0);
+        sum += m.shares[j];
+      }
+      EXPECT_EQ(names.size(), degree);
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(MixSchedule, HonorsExclusions) {
+  const std::vector<ScheduledMix> base = mix_schedule(options());
+  const std::string excluded = base.front().phases.front().benchmark;
+  const std::vector<ScheduledMix> pruned =
+      mix_schedule(options(), {excluded});
+  for (const ScheduledMix& m : pruned) {
+    for (const workload::Phase& p : m.phases) {
+      EXPECT_NE(p.benchmark, excluded);
+    }
+  }
+}
+
+TEST(MixSchedule, DriftBoundsHoldPerCoRunner) {
+  // Each phase scale is a ladder point 2^i times (1 + drift * u) with u in
+  // [-1, 1]; with drift 0.25 the off-ladder factor stays within 0.5 of a
+  // power of two in log space, so rounding log2 recovers the ladder point.
+  MixScheduleOptions opt = options();
+  opt.drift = 0.25;
+  for (const ScheduledMix& m : mix_schedule(opt)) {
+    for (const workload::Phase& p : m.phases) {
+      const double ladder = std::exp2(std::round(std::log2(p.scale)));
+      const double factor = p.scale / ladder;
+      EXPECT_GE(factor, 1.0 - opt.drift - 1e-12);
+      EXPECT_LE(factor, 1.0 + opt.drift + 1e-12);
+    }
+  }
+}
+
+TEST(MixSchedule, ZeroDriftStaysOnTheLadder) {
+  MixScheduleOptions opt = options();
+  opt.drift = 0.0;
+  for (const ScheduledMix& m : mix_schedule(opt)) {
+    for (const workload::Phase& p : m.phases) {
+      const double ladder = std::exp2(std::round(std::log2(p.scale)));
+      EXPECT_DOUBLE_EQ(p.scale, ladder);
+    }
+  }
+}
+
+TEST(MixSchedule, RejectsBadOptions) {
+  MixScheduleOptions opt;
+  opt.mixes = 0;
+  EXPECT_THROW(mix_schedule(opt), Error);
+  opt = options();
+  opt.degree = 1;
+  EXPECT_THROW(mix_schedule(opt), Error);
+  opt.degree = 5;
+  EXPECT_THROW(mix_schedule(opt), Error);
+}
+
+TEST(MixSchedule, MaterializesValidProfiles) {
+  const std::vector<ScheduledMix> mixes = mix_schedule(options(3));
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    const MixProfile profile = make_mix_profile(mixes[i], i);
+    EXPECT_EQ(profile.name, "mix-" + std::to_string(i));
+    ASSERT_EQ(profile.degree(), 3u);
+    for (std::size_t j = 0; j < profile.members.size(); ++j) {
+      EXPECT_EQ(profile.members[j].benchmark, mixes[i].phases[j].benchmark);
+      EXPECT_EQ(profile.members[j].sm_share, mixes[i].shares[j]);
+      EXPECT_FALSE(profile.members[j].kernel.name.empty());
+    }
+    // make_mix_profile validates; a second validation must also hold.
+    EXPECT_NO_THROW(validate(profile));
+  }
+}
+
+TEST(MixSchedule, PrefixStableUnderLargerRequest) {
+  // Shares fork per mix index, so asking for more mixes must not perturb
+  // the ones already scheduled.
+  MixScheduleOptions small = options();
+  MixScheduleOptions large = options();
+  large.mixes = 20;
+  const std::vector<ScheduledMix> a = mix_schedule(small);
+  const std::vector<ScheduledMix> b = mix_schedule(large);
+  ASSERT_GE(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a[i].shares.size(); ++j) {
+      EXPECT_EQ(a[i].shares[j], b[i].shares[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gppm::mix

@@ -1,0 +1,256 @@
+// Multi-tenant serving: per-tenant model families, fixed admission quotas
+// and per-tenant metrics on the PredictionServer (the serving half of the
+// gppm::mix interference work — tenants are how co-located workloads reach
+// the server as distinct principals).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/server.hpp"
+
+namespace gppm::serve {
+namespace {
+
+const core::Dataset& dataset() {
+  static const core::Dataset ds = core::build_dataset(sim::GpuModel::GTX460);
+  return ds;
+}
+
+const core::UnifiedModel& power_model() {
+  static const core::UnifiedModel m =
+      core::UnifiedModel::fit(dataset(), core::TargetKind::Power);
+  return m;
+}
+
+const core::UnifiedModel& perf_model() {
+  static const core::UnifiedModel m =
+      core::UnifiedModel::fit(dataset(), core::TargetKind::ExecTime);
+  return m;
+}
+
+// A deliberately coarser family (one selected counter) so tenant routing
+// is observable: its predictions differ from the default family's.
+const core::UnifiedModel& coarse_power_model() {
+  static const core::UnifiedModel m = [] {
+    core::ModelOptions opt;
+    opt.max_variables = 1;
+    return core::UnifiedModel::fit(dataset(), core::TargetKind::Power, opt);
+  }();
+  return m;
+}
+
+const core::UnifiedModel& coarse_perf_model() {
+  static const core::UnifiedModel m = [] {
+    core::ModelOptions opt;
+    opt.max_variables = 1;
+    return core::UnifiedModel::fit(dataset(), core::TargetKind::ExecTime, opt);
+  }();
+  return m;
+}
+
+Request predict_request(std::uint32_t tenant,
+                        sim::FrequencyPair pair = sim::kDefaultPair) {
+  Request r;
+  r.kind = RequestKind::Predict;
+  r.gpu = sim::GpuModel::GTX460;
+  r.tenant = tenant;
+  r.counters = dataset().samples.front().counters;
+  r.pair = pair;
+  return r;
+}
+
+TEST(ServeTenant, RoutesToTheTenantFamilyWithDefaultFallback) {
+  PredictionServer server;
+  server.load_models(power_model(), perf_model());
+  server.load_tenant_models(7, coarse_power_model(), coarse_perf_model());
+  EXPECT_TRUE(server.has_tenant_models(7, sim::GpuModel::GTX460));
+  EXPECT_FALSE(server.has_tenant_models(7, sim::GpuModel::GTX680));
+  EXPECT_FALSE(server.has_tenant_models(8, sim::GpuModel::GTX460));
+
+  const profiler::ProfileResult& counters =
+      dataset().samples.front().counters;
+  const Response own = server.submit(predict_request(7)).get();
+  ASSERT_TRUE(own.ok());
+  EXPECT_DOUBLE_EQ(own.power_watts,
+                   coarse_power_model().predict(counters, sim::kDefaultPair));
+  EXPECT_DOUBLE_EQ(own.time_seconds,
+                   coarse_perf_model().predict(counters, sim::kDefaultPair));
+
+  // A tenant without a registered family answers from the board default —
+  // exactly what an untenanted (tenant 0) request sees.
+  const Response fallback = server.submit(predict_request(8)).get();
+  const Response shared = server.submit(predict_request(0)).get();
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_DOUBLE_EQ(fallback.power_watts,
+                   power_model().predict(counters, sim::kDefaultPair));
+  EXPECT_DOUBLE_EQ(fallback.power_watts, shared.power_watts);
+  EXPECT_DOUBLE_EQ(fallback.time_seconds, shared.time_seconds);
+  // Routing is observable: the coarse family really predicts differently.
+  EXPECT_NE(own.power_watts, shared.power_watts);
+}
+
+TEST(ServeTenant, TenantZeroIsLoadModels) {
+  PredictionServer server;
+  server.load_tenant_models(0, power_model(), perf_model());
+  EXPECT_TRUE(server.has_models(sim::GpuModel::GTX460));
+  // Tenant 0 *is* the default family, so the tenant-scoped query answers
+  // the same question as has_models.
+  EXPECT_TRUE(server.has_tenant_models(0, sim::GpuModel::GTX460));
+  EXPECT_FALSE(server.has_tenant_models(0, sim::GpuModel::GTX680));
+}
+
+TEST(ServeTenant, SharedDefaultTenantCannotBeQuotaLimited) {
+  PredictionServer server;
+  EXPECT_THROW(server.set_tenant_quota(0, 1), Error);
+}
+
+TEST(ServeTenant, QuotaShedsTheAggressorAndSparesTheRest) {
+  ServerOptions opt;
+  // One slow worker and no cache: the burst below is submitted far faster
+  // than Optimize requests are served, so a quota of 1 must shed.
+  opt.worker_threads = 1;
+  opt.max_batch = 1;
+  opt.cache_capacity = 0;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+  server.set_tenant_quota(5, 1);
+
+  auto heavy_request = [](std::uint32_t tenant, std::size_t i) {
+    Request heavy;
+    heavy.kind = RequestKind::Optimize;
+    heavy.gpu = sim::GpuModel::GTX460;
+    heavy.tenant = tenant;
+    heavy.counters = dataset().samples[i % dataset().samples.size()].counters;
+    return heavy;
+  };
+
+  // Build every request up front so the submit loop below is pure moves,
+  // and pad each prefill request's counters far past the catalog: the
+  // worker fingerprints *every* reading before predicting (predict itself
+  // indexes only the selected counters, so trailing pad is inert), which
+  // pins the single worker per prefill job for orders of magnitude longer
+  // than the whole moved-in burst takes to submit.
+  std::vector<Request> prefill_reqs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Request r = heavy_request(0, i);
+    r.counters.counters.resize(r.counters.counters.size() + (1u << 17),
+                               {"pad", profiler::EventClass::Core,
+                                static_cast<double>(i), 1.0});
+    prefill_reqs.push_back(std::move(r));
+  }
+  std::vector<Request> aggressor_reqs;
+  std::vector<Request> victim_reqs;
+  for (std::size_t i = 0; i < 50; ++i) {
+    aggressor_reqs.push_back(heavy_request(5, i));
+    if (i % 10 == 0) victim_reqs.push_back(predict_request(6));
+  }
+
+  // Prefill the FIFO with shared-tenant work: the quota holder submitted
+  // next cannot finish (and release its ticket) before the single worker
+  // drains all of it, so the burst after it deterministically over-quotas.
+  std::vector<std::future<Response>> prefill;
+  for (Request& r : prefill_reqs) {
+    prefill.push_back(server.submit(std::move(r)));
+  }
+  std::vector<std::future<Response>> aggressor;
+  std::vector<std::future<Response>> victim;
+  std::size_t next_victim = 0;
+  for (std::size_t i = 0; i < aggressor_reqs.size(); ++i) {
+    aggressor.push_back(server.submit(std::move(aggressor_reqs[i])));
+    if (i % 10 == 0) {
+      victim.push_back(server.submit(std::move(victim_reqs[next_victim++])));
+    }
+  }
+  for (std::future<Response>& f : prefill) {
+    EXPECT_TRUE(f.get().ok());
+  }
+
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (std::future<Response>& f : aggressor) {
+    const Response r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status, ResponseStatus::Overloaded);
+      EXPECT_NE(r.error.find("quota saturated"), std::string::npos);
+      ++shed;
+    }
+  }
+  EXPECT_GE(ok, 1u);   // the ticket holder is always served
+  EXPECT_GE(shed, 1u); // and the rest of the burst cannot fit a quota of 1
+  EXPECT_EQ(ok + shed, aggressor.size());
+  // The un-quota'd tenant rode through the same burst untouched.
+  for (std::future<Response>& f : victim) {
+    EXPECT_TRUE(f.get().ok());
+  }
+
+  const ServerMetrics m = server.metrics();
+  bool found = false;
+  for (const TenantStats& t : m.tenants) {
+    if (t.tenant != 5) continue;
+    found = true;
+    EXPECT_EQ(t.accepted, ok);
+    EXPECT_EQ(t.shed, shed);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeTenant, RemovingTheQuotaRestoresAdmission) {
+  ServerOptions opt;
+  opt.worker_threads = 1;
+  opt.max_batch = 1;
+  opt.cache_capacity = 0;
+  PredictionServer server(opt);
+  server.load_models(power_model(), perf_model());
+  server.set_tenant_quota(5, 1);
+  server.set_tenant_quota(5, 0);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(server.submit(predict_request(5)));
+  }
+  for (std::future<Response>& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+TEST(ServeTenant, CacheHitsAreAttributedToTheTenant) {
+  PredictionServer server;  // default options: cache enabled
+  server.load_models(power_model(), perf_model());
+  const Request req = predict_request(3);
+  ASSERT_TRUE(server.submit(req).get().ok());
+  const Response second = server.submit(req).get();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cache_hit);
+
+  const ServerMetrics m = server.metrics();
+  bool found = false;
+  for (const TenantStats& t : m.tenants) {
+    if (t.tenant != 3) continue;
+    found = true;
+    EXPECT_EQ(t.accepted, 2u);
+    EXPECT_GE(t.cache_hits, 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeTenant, TenantFamiliesDoNotAliasCacheEntries) {
+  // Same counters, same pair, two families: the second tenant must get
+  // its own family's numbers, not the default family's cached entry.
+  PredictionServer server;
+  server.load_models(power_model(), perf_model());
+  server.load_tenant_models(7, coarse_power_model(), coarse_perf_model());
+  const Response shared = server.submit(predict_request(0)).get();
+  const Response tenant = server.submit(predict_request(7)).get();
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(tenant.ok());
+  EXPECT_NE(shared.power_watts, tenant.power_watts);
+  const profiler::ProfileResult& counters =
+      dataset().samples.front().counters;
+  EXPECT_DOUBLE_EQ(tenant.power_watts,
+                   coarse_power_model().predict(counters, sim::kDefaultPair));
+}
+
+}  // namespace
+}  // namespace gppm::serve

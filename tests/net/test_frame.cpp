@@ -239,9 +239,11 @@ TEST(NetFrame, FrameTypeNames) {
 }
 
 TEST(NetFrame, HealthFramesStampedV2AndRoundTrip) {
+  // Health frames stay at their introduction version (2), not the build's
+  // top version — stamping the minimum keeps mixed-version fleets talking.
   const std::vector<std::uint8_t> bytes =
       encode_frame(FrameType::HealthRequest, {0x01, 0x02});
-  EXPECT_EQ(bytes[4], kProtocolVersion);
+  EXPECT_EQ(bytes[4], 2);
   EXPECT_EQ(frame_min_version(FrameType::HealthRequest), 2);
   EXPECT_EQ(frame_min_version(FrameType::Ping), kBaseProtocolVersion);
   FrameDecoder decoder;
@@ -249,7 +251,31 @@ TEST(NetFrame, HealthFramesStampedV2AndRoundTrip) {
   const std::optional<Frame> frame = decoder.next();
   ASSERT_TRUE(frame.has_value());
   EXPECT_EQ(frame->header.type, FrameType::HealthRequest);
-  EXPECT_EQ(frame->header.version, kProtocolVersion);
+  EXPECT_EQ(frame->header.version, 2);
+}
+
+TEST(NetFrame, VersionOverrideStampsTenantFrames) {
+  // A codec can raise the stamped version above the type minimum (the v3
+  // tenant trailer rides a PredictRequest, whose minimum is v1)...
+  const std::vector<std::uint8_t> v3 = encode_frame(
+      FrameType::PredictRequest, {0x01}, /*deadline_micros=*/0, 3);
+  EXPECT_EQ(v3[4], 3);
+  FrameDecoder decoder;
+  decoder.feed(v3.data(), v3.size());
+  ASSERT_TRUE(decoder.next().has_value());
+
+  // ...and a pre-v3 peer rejects such a frame cleanly instead of
+  // mis-parsing the trailer it does not know about.
+  FrameDecoder old_peer(kDefaultMaxPayload, /*max_version=*/2);
+  old_peer.feed(v3.data(), v3.size());
+  EXPECT_THROW(old_peer.next(), ProtocolError);
+
+  // Below the type minimum or above the build maximum is a caller bug.
+  EXPECT_THROW(encode_frame(FrameType::HealthRequest, {0x01}, 0, 1),
+               Error);
+  EXPECT_THROW(encode_frame(FrameType::Ping, {0x01}, 0,
+                            kProtocolVersion + 1),
+               Error);
 }
 
 TEST(NetFrame, OldPeerRejectsHealthFrameCleanly) {

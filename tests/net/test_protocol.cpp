@@ -54,6 +54,46 @@ TEST(NetProtocol, PredictRequestRoundTrip) {
             request.counters.run_time.as_seconds());
 }
 
+TEST(NetProtocol, TenantTrailerRoundTrip) {
+  serve::Request request = sample_request();
+  request.tenant = 4242;
+  const std::vector<std::uint8_t> payload =
+      encode_predict_request(9, request);
+  EXPECT_EQ(predict_request_version(request), 3);
+  const DecodedRequest decoded = decode_predict_request(payload, 0);
+  EXPECT_EQ(decoded.request.tenant, 4242u);
+  EXPECT_EQ(decoded.request.kind, request.kind);
+  EXPECT_EQ(decoded.request.gpu, request.gpu);
+}
+
+TEST(NetProtocol, TenantZeroKeepsLegacyBytes) {
+  // A tenant-0 request must encode to exactly the pre-v3 byte layout —
+  // that is the interoperability contract with v1/v2 peers.
+  serve::Request request = sample_request();
+  const std::vector<std::uint8_t> legacy = encode_predict_request(7, request);
+  request.tenant = 0;
+  const std::vector<std::uint8_t> again = encode_predict_request(7, request);
+  EXPECT_EQ(legacy, again);
+  EXPECT_EQ(predict_request_version(request), kBaseProtocolVersion);
+
+  request.tenant = 1;
+  const std::vector<std::uint8_t> tenanted =
+      encode_predict_request(7, request);
+  EXPECT_EQ(tenanted.size(), legacy.size() + 4);
+  EXPECT_EQ(decode_predict_request(legacy, 0).request.tenant, 0u);
+}
+
+TEST(NetProtocol, RejectsZeroTenantTrailer) {
+  // A trailer announcing tenant 0 is a layout disagreement, not a value.
+  serve::Request request = sample_request();
+  request.tenant = 1;
+  std::vector<std::uint8_t> payload = encode_predict_request(7, request);
+  for (std::size_t i = payload.size() - 4; i < payload.size(); ++i) {
+    payload[i] = 0;
+  }
+  EXPECT_THROW(decode_predict_request(payload, 0), ProtocolError);
+}
+
 TEST(NetProtocol, DeadlineConversions) {
   EXPECT_EQ(deadline_to_micros(Duration::seconds(0.0)), 0u);
   EXPECT_EQ(deadline_to_micros(Duration::seconds(-1.0)), 0u);

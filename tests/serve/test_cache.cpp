@@ -13,8 +13,9 @@ namespace gppm::serve {
 namespace {
 
 PredictionKey key(std::uint64_t model_fp, std::uint64_t counters_fp,
-                  sim::FrequencyPair pair = sim::kDefaultPair) {
-  return PredictionKey{model_fp, counters_fp, pair};
+                  sim::FrequencyPair pair = sim::kDefaultPair,
+                  std::uint64_t family = 0) {
+  return PredictionKey{model_fp, counters_fp, family, pair};
 }
 
 TEST(ServeCache, MissThenHit) {
@@ -39,6 +40,23 @@ TEST(ServeCache, KeyComponentsAllMatter) {
   EXPECT_FALSE(cache.lookup(
       key(1, 2, {sim::ClockLevel::Low, sim::ClockLevel::High}), v));
   EXPECT_TRUE(cache.lookup(key(1, 2, sim::kDefaultPair), v));
+}
+
+TEST(ServeCache, FamilySeparatesTenantEntries) {
+  // Two tenants can serve bit-identical models (same fingerprints) over
+  // the same phase — e.g. a tenant family bootstrapped from a copy of the
+  // default pair.  The family id must keep their entries apart so a later
+  // refit of one family can never be answered from the other's cache.
+  PredictionCache cache(16);
+  cache.insert(key(1, 2, sim::kDefaultPair, /*family=*/0), 10.0);
+  double v = 0.0;
+  EXPECT_FALSE(cache.lookup(key(1, 2, sim::kDefaultPair, /*family=*/7), v));
+  cache.insert(key(1, 2, sim::kDefaultPair, /*family=*/7), 70.0);
+  ASSERT_TRUE(cache.lookup(key(1, 2, sim::kDefaultPair, 0), v));
+  EXPECT_EQ(v, 10.0);
+  ASSERT_TRUE(cache.lookup(key(1, 2, sim::kDefaultPair, 7), v));
+  EXPECT_EQ(v, 70.0);
+  EXPECT_EQ(cache.stats().entries, 2u);
 }
 
 TEST(ServeCache, LruEvictsOldestWithinShard) {

@@ -96,6 +96,57 @@ TEST(ServeMetrics, TableAndCsvRenderings) {
   EXPECT_NE(csv.str().find("batch_size,2,1"), std::string::npos);
 }
 
+TEST(ServeMetrics, TenantCountersRoundTripThroughTableAndCsv) {
+  MetricsCollector collector;
+  // Tenant 0 is the shared default: recording it is a no-op by contract.
+  collector.record_tenant_accepted(0);
+  collector.record_tenant_shed(0);
+  collector.record_tenant_cache_hit(0);
+  for (int i = 0; i < 3; ++i) collector.record_tenant_accepted(7);
+  collector.record_tenant_shed(7);
+  collector.record_tenant_accepted(9);
+  for (int i = 0; i < 2; ++i) collector.record_tenant_cache_hit(9);
+
+  const ServerMetrics m = collector.snapshot();
+  ASSERT_EQ(m.tenants.size(), 2u);  // tenant 0 never appears
+  EXPECT_EQ(m.tenants[0].tenant, 7u);
+  EXPECT_EQ(m.tenants[0].accepted, 3u);
+  EXPECT_EQ(m.tenants[0].shed, 1u);
+  EXPECT_EQ(m.tenants[0].cache_hits, 0u);
+  EXPECT_EQ(m.tenants[1].tenant, 9u);
+  EXPECT_EQ(m.tenants[1].accepted, 1u);
+  EXPECT_EQ(m.tenants[1].cache_hits, 2u);
+
+  std::ostringstream table;
+  m.print(table);
+  EXPECT_NE(table.str().find("per-tenant"), std::string::npos);
+
+  std::ostringstream csv;
+  m.write_csv(csv);
+  EXPECT_NE(csv.str().find("tenant_accepted,7,3"), std::string::npos);
+  EXPECT_NE(csv.str().find("tenant_shed,7,1"), std::string::npos);
+  EXPECT_NE(csv.str().find("tenant_cache_hits,9,2"), std::string::npos);
+}
+
+TEST(ServeMetrics, ConcurrentTenantRecordingLosesNothing) {
+  MetricsCollector collector;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        collector.record_tenant_accepted(1 + (i % 2));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const ServerMetrics m = collector.snapshot();
+  ASSERT_EQ(m.tenants.size(), 2u);
+  EXPECT_EQ(m.tenants[0].accepted + m.tenants[1].accepted,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
 TEST(ServeMetrics, ConcurrentRecordingLosesNothing) {
   MetricsCollector collector;
   constexpr int kThreads = 4;

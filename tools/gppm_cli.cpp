@@ -27,6 +27,11 @@
 //   gppm chaos <gpu> [options]          characterize under injected
 //                                       instrument faults; report coverage
 //                                       and divergence vs the fault-free run
+//   gppm mix <gpu> [options]            co-schedule kernel mixes on one
+//                                       board: per-member slowdowns and
+//                                       bandwidth pressure, and with --fit
+//                                       the interference-aware model gate
+//                                       (solo vs mix held-out error)
 //   gppm obs-demo                       exercise every instrumented layer
 //                                       and print the obs metrics table
 //
@@ -56,6 +61,9 @@
 #include "governor/loop.hpp"
 #include "kernelir/programs.hpp"
 #include "kernelir/trace.hpp"
+#include "mix/engine.hpp"
+#include "mix/model.hpp"
+#include "mix/schedule.hpp"
 #include "cluster/fleet.hpp"
 #include "cluster/supervisor.hpp"
 #include "common/shutdown.hpp"
@@ -96,6 +104,7 @@ int usage(std::ostream& out, int code) {
          " [--cache N] [--jitter F]\n"
          "  gppm chaos <gpu> [--fault-profile FILE] [--seed N]"
          " [--benchmarks N]\n"
+         "  gppm mix <gpu> [--mixes N] [--degree D] [--seed N] [--fit]\n"
          "  gppm obs-demo\n"
          "any command also accepts --trace-out=FILE --metrics-out=FILE\n"
          "gpus: gtx285 gtx460 gtx480 gtx680\n";
@@ -709,6 +718,90 @@ int cmd_chaos(int argc, char** argv) {
   return report.divergent_count() == 0 ? 0 : 1;
 }
 
+int cmd_mix(int argc, char** argv) {
+  // gppm mix <gpu> [--mixes N] [--degree D] [--seed N] [--fit]
+  if (argc < 3) return usage();
+  const sim::GpuModel model = parse_gpu(argv[2]);
+  std::size_t mixes = 8;
+  std::size_t degree = 2;
+  std::uint64_t seed = 42;
+  bool fit = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--mixes" && has_value) {
+      mixes = std::stoul(argv[++i]);
+    } else if (arg == "--degree" && has_value) {
+      degree = std::stoul(argv[++i]);
+    } else if (arg == "--seed" && has_value) {
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--fit") {
+      fit = true;
+    } else {
+      return usage();
+    }
+  }
+  if (mixes == 0) return usage();
+
+  mix::MixScheduleOptions sched;
+  sched.mixes = mixes;
+  sched.degree = degree;
+  sched.seed = seed;
+  const std::vector<mix::ScheduledMix> schedule = mix::mix_schedule(
+      sched, profiler::CudaProfiler::unsupported_benchmarks());
+  mix::MixEngine engine(model, seed);
+
+  AsciiTable table({"mix", "member", "share", "solo s", "contended s",
+                    "slowdown", "co-bw"});
+  double worst_slowdown = 1.0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const mix::MixProfile profile = mix::make_mix_profile(schedule[i], i);
+    const mix::MixExecution run = engine.execute(profile);
+    for (const mix::MemberExecution& m : run.members) {
+      worst_slowdown = std::max(worst_slowdown, m.slowdown);
+      table.add_row({profile.name, m.benchmark,
+                     format_double(m.sm_share, 2),
+                     format_double(m.solo_time.as_seconds(), 4),
+                     format_double(m.contended_time.as_seconds(), 4),
+                     format_double(m.slowdown, 2),
+                     format_double(m.co_bw_pressure, 2)});
+    }
+    table.add_row({profile.name, "(board)", "1.00",
+                   format_double(run.makespan.as_seconds(), 4) + " makespan",
+                   format_double(run.avg_power.as_watts(), 1) + " W",
+                   format_double(run.contention_factor, 2) + " cf", ""});
+  }
+  table.print(std::cout);
+  std::cout << schedule.size() << " mixes of degree " << degree << " on "
+            << sim::to_string(model) << ", worst member slowdown "
+            << format_double(worst_slowdown, 2) << "x\n";
+
+  if (!fit) return 0;
+  std::cout << "building the interference corpus (32 mixes) and fitting "
+               "solo + mix families...\n";
+  mix::MixCorpusOptions copt;
+  copt.mixes = 32;
+  copt.degree = degree;
+  copt.seed = seed;
+  const mix::MixCorpus corpus = mix::build_mix_corpus(model, copt);
+  core::ModelOptions mopt;
+  mopt.max_variables = 5;
+  const mix::MixModelSet models = mix::fit_mix_models(corpus, mopt);
+  const mix::MixEvaluation ev = mix::evaluate_mix_models(models, corpus);
+  AsciiTable gate({"family", "held-out wape %", "held-out mape %"});
+  gate.add_row({"solo time on contended", format_double(ev.solo_time_wape, 2),
+                format_double(ev.solo_time_mape, 2)});
+  gate.add_row({"mix time", format_double(ev.mix_time_wape, 2),
+                format_double(ev.mix_time_mape, 2)});
+  gate.add_row({"mix power", format_double(ev.power_wape, 2),
+                format_double(ev.power_mape, 2)});
+  gate.print(std::cout);
+  std::cout << "solo signed bias " << format_double(ev.solo_signed_bias, 3)
+            << " (negative = underpredicts contention), gate "
+            << (ev.passes() ? "PASS" : "FAIL") << "\n";
+  return ev.passes() ? 0 : 1;
+}
+
 int cmd_obs_demo() {
   // A small pass through every instrumented layer, so the obs wiring can be
   // eyeballed end to end: a resilient sweep under a light fault plan (sweep.*
@@ -824,6 +917,7 @@ int main(int argc, char** argv) {
     else if (cmd == "serve") rc = cmd_serve(argc, argv);
     else if (cmd == "serve-bench") rc = cmd_serve_bench(argc, argv);
     else if (cmd == "chaos") rc = cmd_chaos(argc, argv);
+    else if (cmd == "mix") rc = cmd_mix(argc, argv);
     else if (cmd == "obs-demo") rc = cmd_obs_demo();
     else return usage();
     flush_obs();

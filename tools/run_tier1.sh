@@ -8,7 +8,8 @@
 #      default build — the cross-build bit-identity gate from
 #      docs/PERFORMANCE.md (model artifacts must not depend on the ISA);
 #   3. TSan:   -DGPPM_SANITIZE=thread build, then every ThreadSanitizer
-#      smoke target (compute pool, serve, obs, net, cluster, governor) —
+#      smoke target (compute pool, serve, obs, net, cluster, governor,
+#      mix) —
 #      the cluster one covers the membership-churn hammer and the 3-node
 #      kill/restart chaos suite, the governor one the online
 #      decide/observe/refit loop over the shared compute pool;
@@ -59,9 +60,9 @@ echo "== TSan: build + concurrency smoke targets =="
 cmake -B "$repo/build-tsan" -S "$repo" -DGPPM_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j"$jobs" \
   --target test_common test_linalg test_stats test_serve test_obs \
-           test_net test_cluster test_governor
+           test_net test_cluster test_governor test_mix
 for target in parallel_smoke serve_smoke obs_smoke net_smoke cluster_smoke \
-              governor_smoke
+              governor_smoke mix_smoke
 do
   echo "-- $target"
   cmake --build "$repo/build-tsan" --target "$target"
